@@ -1,0 +1,105 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * codeword width and bits-per-key (index size vs selectivity cost);
+//! * double-buffered vs unbuffered streaming (the overlap the Double
+//!   Buffer exists for);
+//! * the 12-argument encoding limit.
+
+use clare_disk::SimNanos;
+use clare_fs2::buffer::pipeline_time;
+use clare_scw::{encode_clause_signature, encode_query_descriptor, ScwConfig};
+use clare_term::parser::parse_term;
+use clare_term::SymbolTable;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_codeword_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scw_width");
+    for width in [16u16, 64, 256] {
+        let config = ScwConfig::custom(width, 3, 12);
+        let mut symbols = SymbolTable::new();
+        let signatures: Vec<_> = (0..2000)
+            .map(|i| {
+                let head = parse_term(&format!("p(k{i}, v{})", i % 97), &mut symbols).unwrap();
+                encode_clause_signature(&head, &config)
+            })
+            .collect();
+        let query = parse_term("p(k55, X)", &mut symbols).unwrap();
+        let descriptor = encode_query_descriptor(&query, &config);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| {
+                let hits = signatures.iter().filter(|s| descriptor.matches(s)).count();
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bits_per_key(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scw_bits_per_key");
+    for bits in [1u8, 3, 8] {
+        let config = ScwConfig::custom(64, bits, 12);
+        let mut symbols = SymbolTable::new();
+        let head = parse_term("p(k1, f(g(a)), [1, 2], 3.5)", &mut symbols).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| black_box(encode_clause_signature(black_box(&head), &config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffering(c: &mut Criterion) {
+    // 200 clauses with varied transfer/match times: double buffering takes
+    // max() per step, a single buffer takes the sum. The bench measures
+    // the model evaluation; the printed comparison is the design insight.
+    let stages: Vec<(SimNanos, SimNanos)> = (0..200)
+        .map(|i| {
+            (
+                SimNanos::from_ns(2_000 + (i % 7) * 300),
+                SimNanos::from_ns(1_000 + (i % 11) * 400),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("buffering");
+    group.bench_function("double_buffer_pipeline", |b| {
+        b.iter(|| black_box(pipeline_time(black_box(&stages))))
+    });
+    group.bench_function("single_buffer_sum", |b| {
+        b.iter(|| {
+            let total: SimNanos = stages.iter().map(|(t, p)| *t + *p).sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_encoded_args_limit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scw_encoded_args");
+    let mut symbols = SymbolTable::new();
+    let args: Vec<String> = (0..16).map(|i| format!("a{i}")).collect();
+    let head = parse_term(&format!("p({})", args.join(", ")), &mut symbols).unwrap();
+    for limit in [4usize, 12, 16] {
+        let config = ScwConfig::custom(64, 3, limit);
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, _| {
+            b.iter(|| black_box(encode_clause_signature(black_box(&head), &config)))
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows keep the full suite fast while staying
+/// statistically useful.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_codeword_width, bench_bits_per_key, bench_buffering, bench_encoded_args_limit
+}
+criterion_main!(benches);

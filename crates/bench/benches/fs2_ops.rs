@@ -1,0 +1,62 @@
+//! Criterion counterpart of E1/E2 (Table 1, Figures 6–12): how fast the
+//! *simulator* executes each of the seven hardware operations, and the
+//! route-derivation cost itself.
+
+use clare_fs2::{Fs2Engine, HwOp};
+use clare_pif::{encode_clause_head, encode_query};
+use clare_term::parser::parse_term;
+use clare_term::SymbolTable;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Query/clause pairs whose match is dominated by one operation each.
+const OP_CASES: [(&str, &str, &str); 7] = [
+    ("match", "f(a, b, c)", "f(a, b, c)"),
+    ("db_store", "f(a, b, c)", "f(A, B, C)"),
+    ("query_store", "f(X, Y, Z)", "f(a, b, c)"),
+    ("db_fetch", "f(a, a, a)", "f(A, A, A)"),
+    ("query_fetch", "f(X, X, X)", "f(a, a, a)"),
+    ("db_cross_bound_fetch", "f(X, a, a)", "f(A, A, A)"),
+    ("query_cross_bound_fetch", "f(X, Y, X, Y)", "f(B, B, c, c)"),
+];
+
+fn bench_op_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs2_op_matching");
+    for (label, query, clause) in OP_CASES {
+        let mut symbols = SymbolTable::new();
+        let q = parse_term(query, &mut symbols).unwrap();
+        let cl = parse_term(clause, &mut symbols).unwrap();
+        let q_stream = encode_query(&q).unwrap();
+        let c_stream = encode_clause_head(&cl).unwrap();
+        let mut engine = Fs2Engine::new(&q_stream).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.match_clause_stream(black_box(&c_stream)).matched))
+        });
+    }
+    group.finish();
+}
+
+fn bench_route_derivation(c: &mut Criterion) {
+    c.bench_function("table1_derivation", |b| {
+        b.iter(|| {
+            let total: u64 = HwOp::ALL.iter().map(|op| op.execution_time().as_ns()).sum();
+            black_box(total)
+        })
+    });
+}
+
+/// Short measurement windows keep the full suite fast while staying
+/// statistically useful.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_op_matching, bench_route_derivation
+}
+criterion_main!(benches);

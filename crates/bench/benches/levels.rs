@@ -1,0 +1,60 @@
+//! Criterion counterpart of E9: software partial matching cost at each of
+//! the five levels, over terms of several depths — the cost half of the
+//! level-3 trade-off.
+
+use clare_term::parser::parse_term;
+use clare_term::SymbolTable;
+use clare_unify::partial::{partial_match, MatchLevel, PartialConfig};
+use clare_unify::unify_query_clause;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn nested(depth: usize, key: &str) -> String {
+    let mut t = key.to_string();
+    for _ in 0..depth {
+        t = format!("g({t})");
+    }
+    format!("shape({t}, extra, [a, b, c])")
+}
+
+fn bench_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partial_match_level");
+    for depth in [1usize, 3] {
+        let mut symbols = SymbolTable::new();
+        let query = parse_term(&nested(depth, "k1"), &mut symbols).unwrap();
+        let clause = parse_term(&nested(depth, "k2"), &mut symbols).unwrap();
+        for level in MatchLevel::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{level}"), depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            partial_match(&query, &clause, PartialConfig::level(level)).matched,
+                        )
+                    })
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("full unify", depth), &depth, |b, _| {
+            b.iter(|| black_box(unify_query_clause(&query, &clause).is_some()))
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows keep the full suite fast while staying
+/// statistically useful.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_levels
+}
+criterion_main!(benches);

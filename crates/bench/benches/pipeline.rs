@@ -1,0 +1,90 @@
+//! Criterion counterpart of E5/E8: whole-retrieval throughput per search
+//! mode, and raw FS2 clause-stream filtering speed (simulator clauses per
+//! second).
+
+use clare_core::{retrieve, CrsOptions, SearchMode};
+use clare_fs2::Fs2Engine;
+use clare_kb::{KbBuilder, KbConfig, KnowledgeBase};
+use clare_pif::{encode_clause_head, encode_query, PifStream};
+use clare_term::parser::parse_term;
+use clare_term::Term;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const FACTS: usize = 8_000;
+
+fn build_kb() -> (KnowledgeBase, Term) {
+    let mut builder = KbBuilder::new();
+    let mut source = String::with_capacity(FACTS * 24);
+    for i in 0..FACTS {
+        source.push_str(&format!(
+            "stock(part{}, w{}, {}).\n",
+            i % 1000,
+            i % 23,
+            i % 500
+        ));
+    }
+    builder.consult("inv", &source).unwrap();
+    let query = parse_term("stock(part123, W, Q)", builder.symbols_mut()).unwrap();
+    (builder.finish(KbConfig::default()), query)
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let (kb, query) = build_kb();
+    let opts = CrsOptions::default();
+    let mut group = c.benchmark_group("retrieve_mode");
+    group.sample_size(20);
+    for mode in SearchMode::ALL {
+        group.bench_function(format!("{mode}"), |b| {
+            b.iter(|| black_box(retrieve(&kb, black_box(&query), mode, &opts).stats.unified))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fs2_stream(c: &mut Criterion) {
+    // Raw engine speed: clauses filtered per second by the simulator.
+    let mut symbols = clare_term::SymbolTable::new();
+    let query = parse_term("stock(part1, W, Q)", &mut symbols).unwrap();
+    let streams: Vec<PifStream> = (0..1000)
+        .map(|i| {
+            let clause = parse_term(
+                &format!("stock(part{}, w{}, {})", i, i % 23, i % 500),
+                &mut symbols,
+            )
+            .unwrap();
+            encode_clause_head(&clause).unwrap()
+        })
+        .collect();
+    let mut engine = Fs2Engine::new(&encode_query(&query).unwrap()).unwrap();
+    let mut group = c.benchmark_group("fs2_stream");
+    group.throughput(Throughput::Elements(streams.len() as u64));
+    group.bench_function("clauses_per_sec", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for s in &streams {
+                if engine.match_clause_stream(s).matched {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+/// Short measurement windows keep the full suite fast while staying
+/// statistically useful.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_modes, bench_fs2_stream
+}
+criterion_main!(benches);

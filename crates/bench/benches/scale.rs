@@ -1,0 +1,74 @@
+//! Criterion counterpart of E10: knowledge-base compilation and two-stage
+//! retrieval as the relation grows toward Warren scale.
+
+use clare_core::{retrieve, CrsOptions, SearchMode};
+use clare_kb::{KbBuilder, KbConfig};
+use clare_term::builder::TermBuilder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn build(facts: usize) -> (clare_kb::KnowledgeBase, clare_term::Term) {
+    let mut builder = KbBuilder::new();
+    let mut clauses = Vec::with_capacity(facts);
+    {
+        let mut t = TermBuilder::new(builder.symbols_mut());
+        for i in 0..facts {
+            let k = t.atom(&format!("k{}", i % (facts / 10).max(10)));
+            let v = t.atom(&format!("v{}", i % 97));
+            clauses.push(t.fact("rel", vec![k, v]));
+        }
+    }
+    for c in clauses {
+        builder.add_clause("m", c);
+    }
+    let q = clare_term::parser::parse_term("rel(k7, X)", builder.symbols_mut()).unwrap();
+    (builder.finish(KbConfig::default()), q)
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kb_compile");
+    group.sample_size(10);
+    for facts in [2_000usize, 10_000] {
+        group.throughput(Throughput::Elements(facts as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(facts), &facts, |b, &n| {
+            b.iter(|| black_box(build(n).0.clause_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_retrieval_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_stage_retrieval");
+    group.sample_size(20);
+    let opts = CrsOptions::default();
+    for facts in [2_000usize, 10_000, 40_000] {
+        let (kb, query) = build(facts);
+        group.throughput(Throughput::Elements(facts as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(facts), &facts, |b, _| {
+            b.iter(|| {
+                black_box(
+                    retrieve(&kb, &query, SearchMode::TwoStage, &opts)
+                        .stats
+                        .unified,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows keep the full suite fast while staying
+/// statistically useful.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_compile, bench_retrieval_scale
+}
+criterion_main!(benches);

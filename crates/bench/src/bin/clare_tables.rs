@@ -1,0 +1,80 @@
+//! `clare-tables` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! clare-tables              # print every experiment
+//! clare-tables table1 fs1   # print selected experiments
+//! clare-tables --list       # list experiment names
+//! ```
+
+use clare_bench::experiments;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "E1: Table 1 — FS2 operation execution times"),
+    ("figures", "E2: Figures 6-12 — datapath route timings"),
+    ("tableA1", "E3: Table A1 — PIF data type scheme"),
+    ("fig1", "E4: Figure 1 — matching algorithm validation"),
+    ("throughput", "E5: FS2 filtering rate vs disks"),
+    ("fs1", "E6: FS1 index scan vs exhaustive search"),
+    ("falsedrops", "E7: SCW+MB false-drop sources"),
+    ("modes", "E8: the four search modes"),
+    ("levels", "E9: matching levels 1-5 ablation"),
+    ("warren", "E10: Warren-scale scalability"),
+    ("resultmem", "E11: Result Memory sizing"),
+    ("suite", "E12: database benchmark suite (refs [6,7] style)"),
+    ("lists", "E13: unlimited-list matching (two-counter rule)"),
+    (
+        "microprogram",
+        "appendix: the assembled WCS microprogram listing",
+    ),
+];
+
+fn run_one(name: &str) -> bool {
+    let divider = "=".repeat(72);
+    println!("{divider}");
+    match name {
+        "table1" => println!("{}", experiments::table1::run()),
+        "figures" => println!("{}", experiments::figures::run()),
+        "tableA1" => println!("{}", experiments::table_a1::run()),
+        "fig1" => println!("{}", experiments::fig1::run(5000, 0xF1_61)),
+        "throughput" => println!("{}", experiments::throughput::run(0.002)),
+        "fs1" => println!("{}", experiments::fs1::run(0.002)),
+        "falsedrops" => println!("{}", experiments::false_drops::run()),
+        "modes" => println!("{}", experiments::modes::run()),
+        "levels" => println!("{}", experiments::levels::run(4)),
+        "warren" => println!(
+            "{}",
+            experiments::warren_scale::run(&[0.0005, 0.001, 0.002, 0.005])
+        ),
+        "resultmem" => println!("{}", experiments::result_memory::run()),
+        "suite" => println!("{}", experiments::bench_suite::run(1)),
+        "lists" => println!("{}", experiments::lists::run()),
+        "microprogram" => println!("{}", clare_fs2::Microprogram::standard()),
+        other => {
+            eprintln!("unknown experiment `{other}`; try --list");
+            return false;
+        }
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for (name, description) in EXPERIMENTS {
+            println!("{name:<12} {description}");
+        }
+        return;
+    }
+    let selected: Vec<&str> = if args.is_empty() {
+        EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut ok = true;
+    for name in selected {
+        ok &= run_one(name);
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,68 @@
+//! E2 — Figures 6–12: the per-cycle route timing breakdowns.
+//!
+//! Each figure in the paper carries a timing box listing the components on
+//! the database and query routes per cycle, their subtotals, and the
+//! execution-time formula. [`run`] regenerates all seven boxes from the
+//! simulator's route definitions.
+
+use clare_fs2::{HwOp, RouteTrace};
+use std::fmt;
+
+/// The seven regenerated timing boxes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Figures {
+    /// One trace per operation, Figures 6–12 in order.
+    pub traces: Vec<RouteTrace>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Figures {
+    Figures {
+        traces: HwOp::ALL.iter().map(|op| op.route_trace()).collect(),
+    }
+}
+
+impl Figures {
+    /// The subtotals (per-cycle max route times plus terminal) per op;
+    /// used by tests to validate against the figures' printed arithmetic.
+    pub fn subtotal_ns(&self, op: HwOp) -> u64 {
+        op.execution_time().as_ns()
+    }
+}
+
+impl fmt::Display for Figures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E2 / Figures 6-12: datapath route timing calculations\n")?;
+        for trace in &self.traces {
+            writeln!(f, "{trace}\n")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_figures() {
+        let figs = run();
+        assert_eq!(figs.traces.len(), 7);
+        assert_eq!(figs.traces[0].op, HwOp::Match);
+        assert_eq!(figs.traces[6].op, HwOp::QueryCrossBoundFetch);
+    }
+
+    #[test]
+    fn printed_arithmetic_matches_figures() {
+        // Spot-check the strings against the numbers printed in the paper.
+        let text = run().to_string();
+        assert!(text.contains("Sel6 20 -> Query Memory 35 -> Sel3 20 (=75)"));
+        assert!(text.contains("Sel6 20 -> Query Memory 35 -> Reg3 20 (=75)"));
+        assert!(text.contains("Double Buffer 20 -> Sel1 20 -> Sel5 20 -> Sel4 20 (=80)"));
+        assert!(text.contains("execution time = 95 ns"));
+        assert!(text.contains("execution time = 235 ns"));
+        // Figure 10's famous 120 ns cycle-1 query route.
+        assert!(text
+            .contains("Sel6 20 -> Query Memory 35 -> Sel3 20 -> Sel2 20 -> DB Memory 25 (=120)"));
+    }
+}

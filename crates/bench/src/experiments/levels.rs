@@ -1,0 +1,199 @@
+//! E9 — §2.2: the five matching levels against key depth.
+//!
+//! "Since the cost and complexity of the matching hardware to cater for
+//! levels four and five are high, a level three partial test unification
+//! algorithm is being adopted." This ablation shows the trade-off the
+//! choice rests on: a level-`n` filter separates clauses only when the
+//! discriminating constant is shallow enough, while deeper levels cost
+//! more hardware (cycles/complexity).
+
+use clare_kb::{KbBuilder, KbConfig};
+use clare_term::Term;
+use clare_unify::partial::{partial_match, MatchLevel, PartialConfig};
+use clare_workload::DeepSpec;
+use std::fmt;
+
+/// Candidate fraction per level for one key depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthRow {
+    /// Depth of the discriminating key.
+    pub depth: usize,
+    /// Fraction of the predicate accepted at each level L1..L5.
+    pub accepted_fraction: [f64; 5],
+    /// Average word-comparison steps per clause at each level (the cost
+    /// half of the trade-off; L5 is full unification, reported as 0).
+    pub avg_comparisons: [f64; 5],
+}
+
+/// The ablation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelsReport {
+    /// One row per key depth.
+    pub rows: Vec<DepthRow>,
+    /// Facts per depth (denominator).
+    pub facts: usize,
+    /// Distinct keys (ideal candidate fraction = 1/keys).
+    pub keys: usize,
+}
+
+/// Runs the ablation over key depths `0..=max_depth`.
+pub fn run(max_depth: usize) -> LevelsReport {
+    let facts = 400;
+    let keys = 40;
+    let mut rows = Vec::new();
+    for depth in 0..=max_depth {
+        let spec = DeepSpec { facts, depth, keys };
+        let mut b = KbBuilder::new();
+        let heads = spec.generate(&mut b, "m");
+        let kb = b.finish(KbConfig::default());
+        let pred = kb.lookup("shape", 1).expect("generated predicate");
+        // Query: the first stored head (ground, key 0).
+        let query: &Term = &heads[0];
+        let mut accepted = [0usize; 5];
+        let mut comparisons = [0usize; 5];
+        for clause in pred.clauses() {
+            for (i, level) in MatchLevel::ALL.iter().enumerate() {
+                let report = partial_match(query, clause.head(), PartialConfig::level(*level));
+                if report.matched {
+                    accepted[i] += 1;
+                }
+                comparisons[i] += report.comparisons;
+            }
+        }
+        rows.push(DepthRow {
+            depth,
+            accepted_fraction: accepted.map(|a| a as f64 / facts as f64),
+            avg_comparisons: comparisons.map(|c| c as f64 / facts as f64),
+        });
+    }
+    LevelsReport { rows, facts, keys }
+}
+
+impl LevelsReport {
+    /// The ideal (fully discriminating) candidate fraction.
+    pub fn ideal_fraction(&self) -> f64 {
+        1.0 / self.keys as f64
+    }
+}
+
+impl fmt::Display for LevelsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E9 / §2.2: matching levels 1-5 vs key depth ({} facts, {} keys, ideal fraction {:.3})\n",
+            self.facts,
+            self.keys,
+            self.ideal_fraction()
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cells = vec![r.depth.to_string()];
+                cells.extend(r.accepted_fraction.iter().map(|a| format!("{:.3}", a)));
+                cells.extend(r.avg_comparisons[..4].iter().map(|c| format!("{:.1}", c)));
+                cells
+            })
+            .collect();
+        f.write_str(&crate::render_table(
+            &[
+                "key depth",
+                "L1",
+                "L2",
+                "L3",
+                "L4",
+                "L5",
+                "cmp@L1",
+                "cmp@L2",
+                "cmp@L3",
+                "cmp@L4",
+            ],
+            &rows,
+        ))?;
+        writeln!(
+            f,
+            "\nlevel 3 (the hardware's choice) separates keys at depth <= 1;\n\
+             deeper keys need L4/L5, whose hardware the paper deems too costly."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_monotonicity() {
+        let report = run(3);
+        for row in &report.rows {
+            for w in row.accepted_fraction.windows(2) {
+                assert!(
+                    w[0] >= w[1] - 1e-12,
+                    "deeper levels accept fewer: {:?}",
+                    row
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level3_separates_shallow_keys_only() {
+        let report = run(3);
+        let ideal = report.ideal_fraction();
+        // Depth 0: the key is the argument itself; L2 already separates.
+        let d0 = &report.rows[0];
+        assert!((d0.accepted_fraction[1] - ideal).abs() < 1e-9);
+        // Depth 1: first-level elements; L3 separates, L2 does not.
+        let d1 = &report.rows[1];
+        assert!(
+            (d1.accepted_fraction[2] - ideal).abs() < 1e-9,
+            "L3 at depth 1"
+        );
+        assert!(
+            (d1.accepted_fraction[1] - 1.0).abs() < 1e-9,
+            "L2 blind at depth 1"
+        );
+        // Depth 2: below the level-3 horizon.
+        let d2 = &report.rows[2];
+        assert!(
+            (d2.accepted_fraction[2] - 1.0).abs() < 1e-9,
+            "L3 blind at depth 2"
+        );
+        assert!(
+            (d2.accepted_fraction[3] - ideal).abs() < 1e-9,
+            "L4 sees depth 2"
+        );
+    }
+
+    #[test]
+    fn l5_always_exact() {
+        let report = run(3);
+        let ideal = report.ideal_fraction();
+        for row in &report.rows {
+            assert!(
+                (row.accepted_fraction[4] - ideal).abs() < 1e-9,
+                "L5 is full unification"
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_levels_cost_more_comparisons() {
+        let report = run(3);
+        // At depth 3 the nest is 4 levels deep: L4 must walk far more
+        // word pairs than L2/L3, which stop early.
+        let d3 = report.rows.last().unwrap();
+        assert!(d3.avg_comparisons[3] > d3.avg_comparisons[2]);
+        assert!(d3.avg_comparisons[2] >= d3.avg_comparisons[1]);
+    }
+
+    #[test]
+    fn l1_accepts_everything_here() {
+        // All facts share the same top-level type; type-only matching
+        // cannot reject anything.
+        let report = run(2);
+        for row in &report.rows {
+            assert!((row.accepted_fraction[0] - 1.0).abs() < 1e-9);
+        }
+    }
+}

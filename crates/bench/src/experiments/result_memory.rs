@@ -1,0 +1,162 @@
+//! E11 — §3.2: Result Memory sizing.
+//!
+//! "The Result Memory has a capacity of 32K bytes which is large enough to
+//! contain all clause satisfiers of one disk track — the worst case of a
+//! single FS2 search call." The 6-bit satisfier counter caps one call at
+//! 64 captures, and the 9-bit offset counter caps a record at 512 bytes.
+//! This experiment measures satisfiers-per-track for queries of varying
+//! selectivity and reports when the counters would wrap.
+
+use clare_core::{retrieve, CrsOptions, SearchMode};
+use clare_fs2::result::{SATISFIER_SLOTS, SLOT_BYTES};
+use clare_kb::{KbBuilder, KbConfig};
+use clare_term::builder::TermBuilder;
+use clare_workload::{derive_queries, QueryShape};
+use std::fmt;
+
+/// One probe row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultMemoryRow {
+    /// Query shape.
+    pub shape: &'static str,
+    /// Satisfiers captured.
+    pub satisfiers: usize,
+    /// Tracks the predicate occupies.
+    pub tracks: usize,
+    /// Tracks whose satisfier count exceeded the 64-slot memory.
+    pub overflow_tracks: usize,
+}
+
+/// The report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultMemoryReport {
+    /// Average records per track in the workload.
+    pub records_per_track: f64,
+    /// Average record size (bytes).
+    pub record_bytes: f64,
+    /// The probes.
+    pub rows: Vec<ResultMemoryRow>,
+}
+
+/// Runs the probes on one dense relation (small records, so a track holds
+/// far more clauses than the Result Memory holds satisfiers).
+pub fn run() -> ResultMemoryReport {
+    let mut b = KbBuilder::new();
+    let mut heads = Vec::new();
+    let mut clauses = Vec::new();
+    {
+        let mut t = TermBuilder::new(b.symbols_mut());
+        for i in 0..4000usize {
+            let k = t.atom(&format!("k{}", i % 400));
+            let v = t.atom(&format!("v{}", i % 7));
+            let fact = t.fact("item", vec![k, v]);
+            heads.push(fact.head().clone());
+            clauses.push(fact);
+        }
+    }
+    for c in clauses {
+        b.add_clause("m", c);
+    }
+    let miss = b.symbols_mut().intern_atom("never_stored_atom");
+    let kb = b.finish(KbConfig::default());
+    let opts = CrsOptions::default();
+
+    let pred = kb.lookup("item", 2).expect("generated predicate");
+    let tracks = pred.file().track_count();
+    let records_per_track = pred.clauses().len() as f64 / tracks as f64;
+    let record_bytes = pred.file().payload_bytes() as f64 / pred.clauses().len() as f64;
+
+    let mut rows = Vec::new();
+    for shape in [
+        QueryShape::GroundHit,
+        QueryShape::HalfOpen,
+        QueryShape::OpenAll,
+    ] {
+        let queries = derive_queries(&heads, shape, 1, miss, 0xE11E);
+        let r = retrieve(&kb, &queries[0], SearchMode::Fs2Only, &opts);
+        rows.push(ResultMemoryRow {
+            shape: shape.label(),
+            satisfiers: r.stats.candidates,
+            tracks,
+            overflow_tracks: r.stats.result_memory_overflows,
+        });
+    }
+    ResultMemoryReport {
+        records_per_track,
+        record_bytes,
+        rows,
+    }
+}
+
+impl fmt::Display for ResultMemoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E11 / §3.2: Result Memory (64 slots x 512 B = 32 KB)\n")?;
+        writeln!(
+            f,
+            "workload: {:.0} records/track, {:.0} B/record (slot limit {} B)",
+            self.records_per_track, self.record_bytes, SLOT_BYTES
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.shape.to_owned(),
+                    r.satisfiers.to_string(),
+                    r.tracks.to_string(),
+                    format!("{} / {}", r.overflow_tracks, r.tracks),
+                ]
+            })
+            .collect();
+        f.write_str(&crate::render_table(
+            &["query shape", "satisfiers", "tracks", "overflowing tracks"],
+            &rows,
+        ))?;
+        writeln!(
+            f,
+            "\na track holds up to {:.0} records but only {} satisfier slots exist:\n\
+             unselective queries overflow and would force per-track re-reads",
+            self.records_per_track, SATISFIER_SLOTS
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selective_queries_fit_the_memory() {
+        let r = run();
+        let ground = r.rows.iter().find(|x| x.shape == "ground-hit").unwrap();
+        assert_eq!(ground.overflow_tracks, 0);
+        let half = r.rows.iter().find(|x| x.shape == "half-open").unwrap();
+        assert_eq!(half.overflow_tracks, 0, "10 hits fit 64 slots");
+    }
+
+    #[test]
+    fn unselective_queries_overflow() {
+        let r = run();
+        assert!(
+            r.records_per_track > SATISFIER_SLOTS as f64,
+            "workload dense enough to overflow: {}",
+            r.records_per_track
+        );
+        let open = r.rows.iter().find(|x| x.shape == "open-all").unwrap();
+        assert!(open.overflow_tracks > 0, "open scan overflows the 64 slots");
+        assert!(
+            open.overflow_tracks <= open.tracks,
+            "overflows counted per track of the queried predicate"
+        );
+        assert_eq!(open.satisfiers, 4000, "open scan captures everything");
+    }
+
+    #[test]
+    fn records_fit_slot_limit() {
+        let r = run();
+        assert!(
+            r.record_bytes < SLOT_BYTES as f64,
+            "records fit 512-byte slots"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! E1 — Table 1: execution times of the FS2 hardware functions.
+//!
+//! The simulator derives each time from the per-component datapath routes
+//! of Figures 6–12; this experiment prints the derived table next to the
+//! paper's published values and flags any divergence.
+
+use crate::render_table;
+use clare_fs2::HwOp;
+use std::fmt;
+
+/// The paper's published Table 1, for comparison.
+pub const PAPER_TIMES_NS: [(u8, &str, u64); 7] = [
+    (6, "MATCH", 105),
+    (7, "DB_STORE", 95),
+    (8, "QUERY_STORE", 115),
+    (9, "DB_FETCH", 105),
+    (10, "QUERY_FETCH", 170),
+    (11, "DB_CROSS_BOUND_FETCH", 170),
+    (12, "QUERY_CROSS_BOUND_FETCH", 235),
+];
+
+/// One reproduced row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// The figure defining the operation.
+    pub figure: u8,
+    /// Operation name.
+    pub name: &'static str,
+    /// Time derived from the component routes (ns).
+    pub derived_ns: u64,
+    /// The paper's published time (ns).
+    pub paper_ns: u64,
+}
+
+/// The reproduced table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1 {
+    /// Rows in Table 1 order.
+    pub rows: Vec<Row>,
+}
+
+impl Table1 {
+    /// True if every derived time equals the published one.
+    pub fn matches_paper(&self) -> bool {
+        self.rows.iter().all(|r| r.derived_ns == r.paper_ns)
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> Table1 {
+    let rows = HwOp::ALL
+        .iter()
+        .zip(PAPER_TIMES_NS)
+        .map(|(op, (figure, name, paper_ns))| {
+            debug_assert_eq!(op.name(), name);
+            Row {
+                figure,
+                name,
+                derived_ns: op.execution_time().as_ns(),
+                paper_ns,
+            }
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E1 / Table 1: Execution Times of the FS2 Hardware Functions"
+        )?;
+        writeln!(f, "(derived from component routes, never transcribed)\n")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.figure.to_string(),
+                    r.name.to_owned(),
+                    r.derived_ns.to_string(),
+                    r.paper_ns.to_string(),
+                    if r.derived_ns == r.paper_ns {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                    .to_owned(),
+                ]
+            })
+            .collect();
+        f.write_str(&render_table(
+            &["figure", "operation", "derived ns", "paper ns", "match"],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_matches_the_paper() {
+        let t = run();
+        assert_eq!(t.rows.len(), 7);
+        assert!(t.matches_paper(), "derived Table 1 diverges: {t}");
+    }
+
+    #[test]
+    fn render_contains_all_ops() {
+        let text = run().to_string();
+        for (_, name, _) in PAPER_TIMES_NS {
+            assert!(text.contains(name));
+        }
+    }
+}

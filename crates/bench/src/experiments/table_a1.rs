@@ -1,0 +1,158 @@
+//! E3 — Table A1: the CLARE data type scheme.
+//!
+//! Regenerates the appendix table from the implemented tag scheme and
+//! checks the exact byte values the paper prints.
+
+use crate::render_table;
+use clare_pif::TypeTag;
+use std::fmt;
+
+/// One regenerated row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Item name as printed in Table A1.
+    pub item: String,
+    /// Tag byte (or tag pattern base for families).
+    pub tag_byte: u8,
+    /// Bit pattern rendering.
+    pub bits: String,
+    /// Content-field description.
+    pub content: &'static str,
+}
+
+/// The regenerated table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableA1 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Row>,
+    /// Number of distinct valid tag byte values in the scheme.
+    pub tag_value_count: usize,
+}
+
+fn row(tag: TypeTag, content: &'static str) -> Row {
+    let byte = tag.to_byte();
+    Row {
+        item: tag.to_string(),
+        tag_byte: byte,
+        bits: format!("{:04b} {:04b}", byte >> 4, byte & 0xF),
+        content,
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> TableA1 {
+    let rows = vec![
+        row(TypeTag::Anon, "-"),
+        row(TypeTag::QueryVar { first: true }, "Variable Offset"),
+        row(TypeTag::QueryVar { first: false }, "Variable Offset"),
+        row(TypeTag::DbVar { first: true }, "Variable Offset"),
+        row(TypeTag::DbVar { first: false }, "Variable Offset"),
+        row(TypeTag::AtomPtr, "Symbol Table Offset"),
+        row(TypeTag::FloatPtr, "Symbol Table Offset"),
+        row(
+            TypeTag::IntInline { high_nibble: 0 },
+            "Least Significant Value (nibble = MS nibble)",
+        ),
+        row(
+            TypeTag::StructInline { arity: 0 },
+            "Functor Symbol Table Offset; Elements Follow",
+        ),
+        row(
+            TypeTag::StructPtr { arity: 0 },
+            "Functor Symbol Table Offset; Extension = Pointer",
+        ),
+        row(
+            TypeTag::ListInline {
+                arity: 0,
+                terminated: true,
+            },
+            "List Elements Follow",
+        ),
+        row(
+            TypeTag::ListInline {
+                arity: 0,
+                terminated: false,
+            },
+            "List Elements Follow",
+        ),
+        row(
+            TypeTag::ListPtr {
+                arity: 0,
+                terminated: true,
+            },
+            "Pointer to List (DB argument only)",
+        ),
+        row(
+            TypeTag::ListPtr {
+                arity: 0,
+                terminated: false,
+            },
+            "Pointer to List (DB argument only)",
+        ),
+    ];
+    TableA1 {
+        rows,
+        tag_value_count: clare_pif::tags::TAG_VALUE_COUNT,
+    }
+}
+
+impl fmt::Display for TableA1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E3 / Table A1: CLARE Data Type Scheme (PIF tags)\n")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.item.clone(),
+                    format!("{} ({:#04x})", r.bits, r.tag_byte),
+                    r.content.to_owned(),
+                ]
+            })
+            .collect();
+        f.write_str(&render_table(&["item", "type tag", "content"], &rows))?;
+        writeln!(
+            f,
+            "\n{} distinct valid tag byte values (paper's production scheme: 107 types)",
+            self.tag_value_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_values_match_the_printed_table() {
+        let t = run();
+        let byte = |item: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.item == item)
+                .unwrap_or_else(|| panic!("row {item}"))
+                .tag_byte
+        };
+        assert_eq!(byte("Anonymous Var"), 0x20);
+        assert_eq!(byte("First Query Var"), 0x27);
+        assert_eq!(byte("Subsequent Query Var"), 0x25);
+        assert_eq!(byte("First DB Var"), 0x26);
+        assert_eq!(byte("Subsequent DB Var"), 0x24);
+        assert_eq!(byte("Atom Pointer"), 0x08);
+        assert_eq!(byte("Float Pointer"), 0x09);
+        assert_eq!(byte("Integer In-line"), 0x10);
+        assert_eq!(byte("Structure In-line/0"), 0b0110_0000);
+        assert_eq!(byte("Structure Pointer/0"), 0b0100_0000);
+        assert_eq!(byte("Terminated List In-line/0"), 0b1110_0000);
+        assert_eq!(byte("Unterminated List In-line/0"), 0b1010_0000);
+        assert_eq!(byte("Terminated List Pointer/0"), 0b1100_0000);
+        assert_eq!(byte("Unterminated List Pointer/0"), 0b1000_0000);
+    }
+
+    #[test]
+    fn renders_bit_patterns() {
+        let text = run().to_string();
+        assert!(text.contains("0010 0000 (0x20)"));
+        assert!(text.contains("0010 0111 (0x27)"));
+    }
+}

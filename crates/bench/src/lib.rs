@@ -1,0 +1,74 @@
+//! Experiment harness for the CLARE reproduction.
+//!
+//! Every table and figure of the paper's evaluation maps to one module
+//! under [`experiments`]; the `clare-tables` binary prints them all (or
+//! one by name). Each experiment returns a structured report type whose
+//! `Display` impl renders the table, so the same code is unit-tested for
+//! the paper's qualitative claims and printed for EXPERIMENTS.md.
+//!
+//! | id | paper artefact | module |
+//! |----|----------------|--------|
+//! | E1 | Table 1 (FS2 op times) | [`experiments::table1`] |
+//! | E2 | Figures 6–12 (route timings) | [`experiments::figures`] |
+//! | E3 | Table A1 (PIF type scheme) | [`experiments::table_a1`] |
+//! | E4 | Figure 1 (matching algorithm validation) | [`experiments::fig1`] |
+//! | E5 | §4 FS2 worst-case rate vs disks | [`experiments::throughput`] |
+//! | E6 | §4 FS1 scan rate / index vs exhaustive | [`experiments::fs1`] |
+//! | E7 | §2.1 false-drop sources | [`experiments::false_drops`] |
+//! | E8 | §2.2 search modes (a)–(d) | [`experiments::modes`] |
+//! | E9 | §2.2 matching levels 1–5 | [`experiments::levels`] |
+//! | E10 | §1 Warren-scale scalability | [`experiments::warren_scale`] |
+//! | E11 | §3.2 Result Memory sizing | [`experiments::result_memory`] |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// Renders a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_owned()
+    };
+    let mut out = String::new();
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_renders_aligned() {
+        let t = super::render_table(
+            &["op", "ns"],
+            &[
+                vec!["MATCH".into(), "105".into()],
+                vec!["QUERY_CROSS_BOUND_FETCH".into(), "235".into()],
+            ],
+        );
+        assert!(t.contains("MATCH"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

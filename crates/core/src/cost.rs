@@ -1,0 +1,97 @@
+//! Software cost model for the host CPU.
+//!
+//! The paper's target host is a SUN3/160 (M68020 at ~16 MHz, roughly 2
+//! MIPS). Search mode (a) — "by software only — the CRS performs all the
+//! search operations itself" — and the full-unification stage of every
+//! mode run on that host. The constants here model those costs at the
+//! instruction-budget level:
+//!
+//! * a word-level partial-match step in compiled C is a few dozen
+//!   instructions (tag dispatch, load, compare, branch) — ~6 µs at 2 MIPS
+//!   once memory traffic is included, against the hardware's 95–235 ns;
+//! * full unification costs per term node (dereference, trail, branch) —
+//!   ~8 µs per node plus a per-clause activation overhead.
+//!
+//! Absolute values matter less than their *ratio* to the hardware numbers
+//! (tens of microseconds vs. ~100 ns, i.e. a factor of 30–60×), which is
+//! the regime the paper's motivation describes. Every constant is a knob
+//! so the benches can sweep the assumption.
+
+use clare_disk::SimNanos;
+
+/// Per-operation software costs on the host CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareCostModel {
+    /// One word-level partial-match step (the software analogue of a
+    /// Table 1 operation).
+    pub partial_op: SimNanos,
+    /// Full unification cost per term node visited.
+    pub full_unify_per_node: SimNanos,
+    /// Per-clause activation overhead (record decode, dispatch).
+    pub per_clause_overhead: SimNanos,
+}
+
+impl SoftwareCostModel {
+    /// The M68020-class host model described in the module docs.
+    pub fn m68020() -> Self {
+        SoftwareCostModel {
+            partial_op: SimNanos::from_micros(6),
+            full_unify_per_node: SimNanos::from_micros(8),
+            per_clause_overhead: SimNanos::from_micros(20),
+        }
+    }
+
+    /// A free software model (for isolating disk/hardware effects in
+    /// ablation benches).
+    pub fn zero() -> Self {
+        SoftwareCostModel {
+            partial_op: SimNanos::ZERO,
+            full_unify_per_node: SimNanos::ZERO,
+            per_clause_overhead: SimNanos::ZERO,
+        }
+    }
+
+    /// Cost of a software partial match that performed `ops` operations.
+    pub fn partial_match_cost(&self, ops: usize) -> SimNanos {
+        self.partial_op * ops as u64
+    }
+
+    /// Cost of fully unifying a query of `query_nodes` against a head of
+    /// `head_nodes` (both sides' nodes are visited).
+    pub fn full_unify_cost(&self, query_nodes: usize, head_nodes: usize) -> SimNanos {
+        self.per_clause_overhead + self.full_unify_per_node * (query_nodes + head_nodes) as u64
+    }
+}
+
+impl Default for SoftwareCostModel {
+    fn default() -> Self {
+        Self::m68020()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m68020_is_much_slower_than_hardware() {
+        let m = SoftwareCostModel::m68020();
+        // The slowest hardware op is 235 ns; software is at least 20× that.
+        assert!(m.partial_op.as_ns() > 235 * 20);
+    }
+
+    #[test]
+    fn costs_scale_linearly() {
+        let m = SoftwareCostModel::m68020();
+        assert_eq!(m.partial_match_cost(10).as_ns(), 10 * m.partial_op.as_ns());
+        let one = m.full_unify_cost(3, 4);
+        assert_eq!(one, m.per_clause_overhead + m.full_unify_per_node * 7);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let z = SoftwareCostModel::zero();
+        assert_eq!(z.partial_match_cost(100), SimNanos::ZERO);
+        assert_eq!(z.full_unify_cost(10, 10), SimNanos::ZERO);
+    }
+}

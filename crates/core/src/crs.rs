@@ -1,0 +1,603 @@
+//! The four CRS search modes and their timing pipelines (§2.2).
+//!
+//! Every mode ends with **full unification** of the surviving candidates
+//! on the host CPU; what differs is which filters run first and what has
+//! to come off the disk:
+//!
+//! | mode | index scanned | clause file read | filter |
+//! |---|---|---|---|
+//! | (a) `SoftwareOnly` | no | all of it (if disk resident) | host CPU |
+//! | (b) `Fs1Only` | yes, via FS1 | candidate tracks | codewords only |
+//! | (c) `Fs2Only` | no | all of it, streamed through FS2 | test unification |
+//! | (d) `TwoStage` | yes, via FS1 | candidate tracks through FS2 | both |
+//!
+//! Because each filter is *complete* (no false negatives — property-tested
+//! across the workspace), every mode returns the same answer set; the
+//! modes differ in elapsed time and in how many false drops reach the full
+//! unifier.
+
+use crate::cost::SoftwareCostModel;
+use clare_disk::{DiskProfile, SimNanos};
+use clare_fs2::Fs2Engine;
+use clare_kb::{KnowledgeBase, ModuleKind, Predicate};
+use clare_pif::{encode_query, ClauseRecord};
+use clare_scw::{encode_query_descriptor, ClauseAddr};
+use clare_term::{term_size, ClauseId, Term};
+use clare_unify::partial::{partial_match, PartialConfig};
+use clare_unify::unify_query_clause;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// The four searching modes of §2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchMode {
+    /// (a) The CRS performs all the search operations itself.
+    SoftwareOnly,
+    /// (b) The superimposed-codeword hardware only.
+    Fs1Only,
+    /// (c) The partial-test-unification hardware only.
+    Fs2Only,
+    /// (d) The two-stage hardware filter.
+    TwoStage,
+}
+
+impl SearchMode {
+    /// All four modes, in the paper's (a)–(d) order.
+    pub const ALL: [SearchMode; 4] = [
+        SearchMode::SoftwareOnly,
+        SearchMode::Fs1Only,
+        SearchMode::Fs2Only,
+        SearchMode::TwoStage,
+    ];
+}
+
+impl fmt::Display for SearchMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SearchMode::SoftwareOnly => "software only",
+            SearchMode::Fs1Only => "FS1 only",
+            SearchMode::Fs2Only => "FS2 only",
+            SearchMode::TwoStage => "FS1+FS2",
+        })
+    }
+}
+
+/// CRS configuration: the disk the knowledge base lives on and the host
+/// software cost model.
+#[derive(Debug, Clone)]
+pub struct CrsOptions {
+    /// Disk profile for all streaming/fetch timing.
+    pub disk: DiskProfile,
+    /// Host CPU cost model.
+    pub cost: SoftwareCostModel,
+}
+
+impl Default for CrsOptions {
+    fn default() -> Self {
+        CrsOptions {
+            disk: DiskProfile::fujitsu_m2351a(),
+            cost: SoftwareCostModel::m68020(),
+        }
+    }
+}
+
+/// Timing and selectivity statistics for one retrieval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrievalStats {
+    /// The mode that ran.
+    pub mode: SearchMode,
+    /// Clauses in the predicate.
+    pub clauses_total: usize,
+    /// Candidates surviving FS1, when it ran.
+    pub after_fs1: Option<usize>,
+    /// Candidates surviving FS2, when it ran.
+    pub after_fs2: Option<usize>,
+    /// Candidates handed to full unification.
+    pub candidates: usize,
+    /// Clauses that fully unify (the answer set — identical across modes).
+    pub unified: usize,
+    /// `candidates - unified`: filter false drops that reached the host.
+    pub false_drops: usize,
+    /// Simulated disk time (streaming + fetches).
+    pub disk_time: SimNanos,
+    /// FS1 hardware scan time.
+    pub fs1_time: SimNanos,
+    /// FS2 hardware matching time (sum of Table 1 costs).
+    pub fs2_time: SimNanos,
+    /// Host time spent software-filtering (mode (a) only).
+    pub software_filter_time: SimNanos,
+    /// Host time spent fully unifying the candidates.
+    pub full_unify_time: SimNanos,
+    /// Modelled wall-clock for the whole retrieval, with disk/filter
+    /// overlap where the double-buffered hardware provides it.
+    pub elapsed: SimNanos,
+    /// Bytes that came off the disk.
+    pub bytes_from_disk: u64,
+    /// Tracks whose satisfier count exceeded the 64-slot Result Memory
+    /// (each would force a re-read on the real hardware).
+    pub result_memory_overflows: usize,
+}
+
+impl RetrievalStats {
+    fn empty(mode: SearchMode) -> Self {
+        RetrievalStats {
+            mode,
+            clauses_total: 0,
+            after_fs1: None,
+            after_fs2: None,
+            candidates: 0,
+            unified: 0,
+            false_drops: 0,
+            disk_time: SimNanos::ZERO,
+            fs1_time: SimNanos::ZERO,
+            fs2_time: SimNanos::ZERO,
+            software_filter_time: SimNanos::ZERO,
+            full_unify_time: SimNanos::ZERO,
+            elapsed: SimNanos::ZERO,
+            bytes_from_disk: 0,
+            result_memory_overflows: 0,
+        }
+    }
+}
+
+/// A retrieval's outcome: the candidate clause ids (in program order) that
+/// survived the filters, plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrieval {
+    /// Candidates for full unification, in clause order.
+    pub candidates: Vec<ClauseId>,
+    /// Timing and selectivity.
+    pub stats: RetrievalStats,
+}
+
+/// Retrieves all candidate clauses for `query` using `mode`.
+///
+/// A query that cannot be compiled for the hardware (an integer outside
+/// the 28-bit in-line range, or a stream larger than the Query Memory)
+/// falls back to software-only retrieval; `stats.mode` reports what
+/// actually ran.
+pub fn retrieve(
+    kb: &KnowledgeBase,
+    query: &Term,
+    mode: SearchMode,
+    opts: &CrsOptions,
+) -> Retrieval {
+    let Some((functor, arity)) = query.functor_arity() else {
+        return Retrieval {
+            candidates: Vec::new(),
+            stats: RetrievalStats::empty(mode),
+        };
+    };
+    let Some((module, pred)) = kb.module_of(functor, arity) else {
+        return Retrieval {
+            candidates: Vec::new(),
+            stats: RetrievalStats::empty(mode),
+        };
+    };
+    let disk_resident = module.kind() == ModuleKind::Large;
+
+    // Hardware modes need an encodable query.
+    let hw_query = match mode {
+        SearchMode::SoftwareOnly => None,
+        _ => match encode_query(query) {
+            Ok(stream) => Fs2Engine::new(&stream).ok(),
+            Err(_) => None,
+        },
+    };
+    let effective_mode = match (mode, &hw_query) {
+        (SearchMode::SoftwareOnly, _) => SearchMode::SoftwareOnly,
+        // FS1 needs no query stream, only a descriptor, so it stays viable.
+        (SearchMode::Fs1Only, _) => SearchMode::Fs1Only,
+        (m, Some(_)) => m,
+        (_, None) => SearchMode::SoftwareOnly,
+    };
+
+    let mut stats = RetrievalStats::empty(effective_mode);
+    stats.clauses_total = pred.clauses().len();
+
+    let candidates: Vec<ClauseId> = match effective_mode {
+        SearchMode::SoftwareOnly => software_phase(pred, query, opts, disk_resident, &mut stats),
+        SearchMode::Fs1Only => {
+            let addrs = fs1_phase(pred, query, opts, &mut stats);
+            fetch_candidate_tracks(pred, &addrs, opts, &mut stats);
+            stats.after_fs1 = Some(addrs.len());
+            addrs_to_ids(pred, &addrs)
+        }
+        SearchMode::Fs2Only => {
+            let mut engine = hw_query.expect("checked above");
+            let all_tracks: Vec<usize> = (0..pred.file().track_count()).collect();
+            let satisfiers = fs2_phase(pred, &mut engine, &all_tracks, opts, &mut stats);
+            stats.after_fs2 = Some(satisfiers.len());
+            addrs_to_ids(pred, &satisfiers)
+        }
+        SearchMode::TwoStage => {
+            let mut engine = hw_query.expect("checked above");
+            let fs1_addrs = fs1_phase(pred, query, opts, &mut stats);
+            stats.after_fs1 = Some(fs1_addrs.len());
+            let tracks: Vec<usize> = fs1_addrs
+                .iter()
+                .map(|a| a.track() as usize)
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let fs2_addrs = fs2_phase(pred, &mut engine, &tracks, opts, &mut stats);
+            // Intersect: only clauses selected by both stages go on.
+            let fs1_set: BTreeSet<ClauseAddr> = fs1_addrs.into_iter().collect();
+            let joint: Vec<ClauseAddr> = fs2_addrs
+                .into_iter()
+                .filter(|a| fs1_set.contains(a))
+                .collect();
+            stats.after_fs2 = Some(joint.len());
+            addrs_to_ids(pred, &joint)
+        }
+    };
+
+    // Full unification of the survivors — the answer set.
+    let query_nodes = term_size(query);
+    let mut unified = 0usize;
+    for id in &candidates {
+        let clause = &pred.clauses()[id.index() as usize];
+        stats.full_unify_time += opts
+            .cost
+            .full_unify_cost(query_nodes, term_size(clause.head()));
+        if unify_query_clause(query, clause.head()).is_some() {
+            unified += 1;
+        }
+    }
+    stats.candidates = candidates.len();
+    stats.unified = unified;
+    stats.false_drops = candidates.len() - unified;
+    stats.elapsed += stats.full_unify_time;
+
+    Retrieval { candidates, stats }
+}
+
+fn addrs_to_ids(pred: &Predicate, addrs: &[ClauseAddr]) -> Vec<ClauseId> {
+    let by_addr: HashMap<ClauseAddr, usize> = pred
+        .addrs()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (*a, i))
+        .collect();
+    let mut ids: Vec<ClauseId> = addrs
+        .iter()
+        .map(|a| ClauseId::new(by_addr[a] as u32))
+        .collect();
+    ids.sort();
+    ids
+}
+
+/// Mode (a): stream everything (if disk resident) and filter on the host.
+fn software_phase(
+    pred: &Predicate,
+    query: &Term,
+    opts: &CrsOptions,
+    disk_resident: bool,
+    stats: &mut RetrievalStats,
+) -> Vec<ClauseId> {
+    if disk_resident {
+        stats.disk_time = pred.file().scan_time(&opts.disk);
+        stats.bytes_from_disk = pred.file().occupied_bytes() as u64;
+    }
+    let mut out = Vec::new();
+    for (i, clause) in pred.clauses().iter().enumerate() {
+        let report = partial_match(query, clause.head(), PartialConfig::fs2());
+        stats.software_filter_time += opts.cost.partial_match_cost(report.ops.len().max(1));
+        if report.matched {
+            out.push(ClauseId::new(i as u32));
+        }
+    }
+    // The host cannot overlap its own filtering with much else.
+    stats.elapsed = stats.disk_time + stats.software_filter_time;
+    out
+}
+
+/// FS1 phase: stream the secondary file, scan codewords at 4.5 MB/s.
+fn fs1_phase(
+    pred: &Predicate,
+    query: &Term,
+    opts: &CrsOptions,
+    stats: &mut RetrievalStats,
+) -> Vec<ClauseAddr> {
+    let outcome = pred.index().scan(query);
+    let index_bytes = outcome.bytes_scanned as u64;
+    let disk_transfer = opts.disk.sustained_rate().transfer_time(index_bytes);
+    let positioning = opts.disk.avg_seek() + opts.disk.avg_rotational_latency();
+    stats.fs1_time += outcome.fs1_time;
+    stats.disk_time += positioning + disk_transfer;
+    stats.bytes_from_disk += index_bytes;
+    // FS1 filters on the fly: the scan overlaps the transfer.
+    stats.elapsed += positioning + disk_transfer.max(outcome.fs1_time);
+    outcome.matches
+}
+
+/// Disk time to fetch the tracks containing `addrs` (mode (b): the host
+/// reads candidate tracks whole, then unifies).
+fn fetch_candidate_tracks(
+    pred: &Predicate,
+    addrs: &[ClauseAddr],
+    opts: &CrsOptions,
+    stats: &mut RetrievalStats,
+) {
+    let tracks: BTreeSet<u32> = addrs.iter().map(|a| a.track()).collect();
+    let mut prev: Option<u32> = None;
+    for &t in &tracks {
+        let contiguous = prev.is_some_and(|p| t == p + 1);
+        let positioning = if contiguous {
+            SimNanos::ZERO
+        } else {
+            opts.disk.avg_seek() + opts.disk.avg_rotational_latency()
+        };
+        let transfer = opts.disk.track_transfer_time();
+        stats.disk_time += positioning + transfer;
+        stats.elapsed += positioning + transfer;
+        stats.bytes_from_disk += pred.file().track_bytes() as u64;
+        prev = Some(t);
+    }
+}
+
+/// FS2 phase over the given tracks: each track streams from disk into the
+/// Double Buffer while the previous track's clauses are matched, so the
+/// per-track elapsed time is `max(transfer, matching)`.
+fn fs2_phase(
+    pred: &Predicate,
+    engine: &mut Fs2Engine,
+    tracks: &[usize],
+    opts: &CrsOptions,
+    stats: &mut RetrievalStats,
+) -> Vec<ClauseAddr> {
+    let mut satisfiers = Vec::new();
+    let mut prev: Option<usize> = None;
+    for &t in tracks {
+        let track = &pred.file().tracks()[t];
+        let mut track_fs2 = SimNanos::ZERO;
+        let mut track_hits = 0usize;
+        for (slot, record_bytes) in track.records().iter().enumerate() {
+            let (record, _) = ClauseRecord::from_bytes(record_bytes)
+                .expect("knowledge base records are well-formed");
+            let verdict = engine.match_clause_stream(record.head_stream());
+            track_fs2 += verdict.time;
+            if verdict.matched {
+                satisfiers.push(ClauseAddr::new(t as u32, slot as u16));
+                track_hits += 1;
+            }
+        }
+        if track_hits > clare_fs2::result::SATISFIER_SLOTS {
+            stats.result_memory_overflows += 1;
+        }
+        // Adjacent tracks continue the sweep for free; a gap costs a
+        // fresh positioning (seek + rotational latency).
+        let positioning = if prev.is_none() {
+            opts.disk.avg_seek() + opts.disk.avg_rotational_latency()
+        } else if prev == Some(t.wrapping_sub(1)) {
+            SimNanos::ZERO
+        } else {
+            opts.disk.avg_seek() + opts.disk.avg_rotational_latency()
+        };
+        let transfer = opts.disk.track_transfer_time();
+        stats.fs2_time += track_fs2;
+        stats.disk_time += positioning + transfer;
+        stats.bytes_from_disk += pred.file().track_bytes() as u64;
+        // Double buffering overlaps matching with the next transfer.
+        stats.elapsed += positioning + transfer.max(track_fs2);
+        prev = Some(t);
+    }
+    satisfiers
+}
+
+/// The mode-selection heuristic the paper sketches: "depending on the
+/// nature of a query (e.g. whether it contains cross bound variables) and
+/// the knowledge base (e.g. whether it is rule or fact intensive)".
+pub fn choose_mode(kb: &KnowledgeBase, query: &Term) -> SearchMode {
+    let Some((functor, arity)) = query.functor_arity() else {
+        return SearchMode::SoftwareOnly;
+    };
+    let Some((module, pred)) = kb.module_of(functor, arity) else {
+        return SearchMode::SoftwareOnly;
+    };
+    // Memory-resident modules are searched by the host directly.
+    if module.kind() == ModuleKind::Small {
+        return SearchMode::SoftwareOnly;
+    }
+    let descriptor = encode_query_descriptor(query, pred.index().config());
+    let shared_vars = clare_term::visit::has_repeated_vars(query);
+    if descriptor.is_unconstrained() {
+        // FS1 would retrieve the whole predicate (the married_couple
+        // case); go straight to FS2, which shared variables need anyway.
+        return SearchMode::Fs2Only;
+    }
+    if pred.rule_fraction() > 0.5 {
+        // Rule-intensive predicate: heads are mostly non-ground, so their
+        // index masks make FS1 unselective — the paper's "rule or fact
+        // intensive" criterion.
+        return SearchMode::Fs2Only;
+    }
+    if query.is_ground() && pred.rule_fraction() < 0.2 && !shared_vars {
+        // Ground queries against fact-intensive predicates: FS1's deep
+        // keys are already highly selective.
+        return SearchMode::Fs1Only;
+    }
+    SearchMode::TwoStage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clare_kb::{KbBuilder, KbConfig};
+    use clare_term::parser::parse_term;
+
+    fn kb_with(source: &str) -> (KnowledgeBase, Vec<Term>) {
+        (build(source, &[]).0, vec![])
+    }
+
+    fn build(source: &str, queries: &[&str]) -> (KnowledgeBase, Vec<Term>) {
+        let mut b = KbBuilder::new();
+        b.consult("m", source).unwrap();
+        let terms: Vec<Term> = queries
+            .iter()
+            .map(|q| parse_term(q, b.symbols_mut()).unwrap())
+            .collect();
+        (b.finish(KbConfig::default()), terms)
+    }
+
+    fn big_facts(n: usize) -> String {
+        (0..n)
+            .map(|i| format!("fact(k{i}, v{}).", i % 10))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn all_modes_agree_on_answer_set() {
+        let (kb, queries) = build(
+            &big_facts(500),
+            &["fact(k42, X)", "fact(K, v3)", "fact(S, S)", "fact(k1, v1)"],
+        );
+        let opts = CrsOptions::default();
+        for q in &queries {
+            let unified: Vec<usize> = SearchMode::ALL
+                .iter()
+                .map(|m| retrieve(&kb, q, *m, &opts).stats.unified)
+                .collect();
+            assert!(
+                unified.windows(2).all(|w| w[0] == w[1]),
+                "modes disagree for query: {unified:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_superset_of_answers_and_ordered() {
+        let (kb, queries) = build(&big_facts(300), &["fact(k7, X)"]);
+        let opts = CrsOptions::default();
+        for mode in SearchMode::ALL {
+            let r = retrieve(&kb, &queries[0], mode, &opts);
+            assert!(r.stats.candidates >= r.stats.unified);
+            assert_eq!(r.stats.false_drops, r.stats.candidates - r.stats.unified);
+            assert!(
+                r.candidates.windows(2).all(|w| w[0] < w[1]),
+                "clause order preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn two_stage_never_more_candidates_than_single_stages() {
+        let (kb, queries) = build(&big_facts(400), &["fact(k9, X)", "fact(K, v2)"]);
+        let opts = CrsOptions::default();
+        for q in &queries {
+            let fs1 = retrieve(&kb, q, SearchMode::Fs1Only, &opts);
+            let fs2 = retrieve(&kb, q, SearchMode::Fs2Only, &opts);
+            let two = retrieve(&kb, q, SearchMode::TwoStage, &opts);
+            assert!(two.stats.candidates <= fs1.stats.candidates);
+            assert!(two.stats.candidates <= fs2.stats.candidates);
+        }
+    }
+
+    #[test]
+    fn shared_variable_query_defeats_fs1_but_not_fs2() {
+        let mut src = big_facts(100);
+        src.push_str("\nfact(same, same).");
+        let (kb, queries) = build(&src, &["fact(S, S)"]);
+        let opts = CrsOptions::default();
+        let fs1 = retrieve(&kb, &queries[0], SearchMode::Fs1Only, &opts);
+        let fs2 = retrieve(&kb, &queries[0], SearchMode::Fs2Only, &opts);
+        assert_eq!(
+            fs1.stats.candidates, 101,
+            "FS1 retrieves the entire predicate"
+        );
+        assert!(
+            fs2.stats.candidates < 15,
+            "FS2 cross-binding checks cut it down: {}",
+            fs2.stats.candidates
+        );
+        assert_eq!(fs2.stats.unified, fs1.stats.unified);
+    }
+
+    #[test]
+    fn timing_fields_populated_per_mode() {
+        let (kb, queries) = build(&big_facts(2000), &["fact(k100, X)"]);
+        let opts = CrsOptions::default();
+        let q = &queries[0];
+        let sw = retrieve(&kb, q, SearchMode::SoftwareOnly, &opts);
+        assert!(sw.stats.software_filter_time.as_ns() > 0);
+        assert_eq!(sw.stats.fs1_time, SimNanos::ZERO);
+        assert_eq!(sw.stats.fs2_time, SimNanos::ZERO);
+        let fs1 = retrieve(&kb, q, SearchMode::Fs1Only, &opts);
+        assert!(fs1.stats.fs1_time.as_ns() > 0);
+        assert_eq!(fs1.stats.fs2_time, SimNanos::ZERO);
+        let fs2 = retrieve(&kb, q, SearchMode::Fs2Only, &opts);
+        assert!(fs2.stats.fs2_time.as_ns() > 0);
+        assert_eq!(fs2.stats.fs1_time, SimNanos::ZERO);
+        let two = retrieve(&kb, q, SearchMode::TwoStage, &opts);
+        assert!(two.stats.fs1_time.as_ns() > 0);
+        assert!(two.stats.fs2_time.as_ns() > 0);
+        // The two-stage filter reads fewer bytes than a full FS2 scan.
+        assert!(two.stats.bytes_from_disk < fs2.stats.bytes_from_disk);
+    }
+
+    #[test]
+    fn missing_predicate_is_empty() {
+        let (kb, queries) = build("p(a).", &["q(a)"]);
+        let r = retrieve(
+            &kb,
+            &queries[0],
+            SearchMode::TwoStage,
+            &CrsOptions::default(),
+        );
+        assert!(r.candidates.is_empty());
+        assert_eq!(r.stats.unified, 0);
+    }
+
+    #[test]
+    fn unencodable_query_falls_back_to_software() {
+        let (kb, queries) = build("p(1).", &["p(999999999999)"]);
+        let r = retrieve(
+            &kb,
+            &queries[0],
+            SearchMode::Fs2Only,
+            &CrsOptions::default(),
+        );
+        assert_eq!(r.stats.mode, SearchMode::SoftwareOnly);
+        assert_eq!(r.stats.unified, 0);
+    }
+
+    #[test]
+    fn mode_selection_heuristic() {
+        let mut src = big_facts(3000); // large module
+        src.push_str("\nrule_pred(X) :- fact(X, v0).\n");
+        let (kb, queries) = build(&src, &["fact(S, S)", "fact(k1, v1)", "fact(k1, X)"]);
+        assert_eq!(choose_mode(&kb, &queries[0]), SearchMode::Fs2Only);
+        assert_eq!(choose_mode(&kb, &queries[1]), SearchMode::Fs1Only);
+        assert_eq!(choose_mode(&kb, &queries[2]), SearchMode::TwoStage);
+        // Small module -> software.
+        let (small_kb, small_q) = build("p(a).", &["p(a)"]);
+        assert_eq!(
+            choose_mode(&small_kb, &small_q[0]),
+            SearchMode::SoftwareOnly
+        );
+    }
+
+    #[test]
+    fn rules_are_retrieved_too() {
+        let (kb, queries) = build(
+            "anc(X, Y) :- parent(X, Y).
+             anc(X, Z) :- parent(X, Y), anc(Y, Z).
+             parent(a, b).",
+            &["anc(a, Q)"],
+        );
+        let r = retrieve(
+            &kb,
+            &queries[0],
+            SearchMode::TwoStage,
+            &CrsOptions::default(),
+        );
+        assert_eq!(r.stats.unified, 2, "both rule heads unify");
+    }
+
+    #[test]
+    fn empty_source_ignored() {
+        let (kb, _) = kb_with("p(a).");
+        assert_eq!(kb.clause_count(), 1);
+    }
+}

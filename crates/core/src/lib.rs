@@ -1,0 +1,53 @@
+//! The CLARE core: Clause Retrieval Server (CRS) and resolution engine.
+//!
+//! "An independent software module, the Clause Retrieval Server (CRS), is
+//! being developed which links CLARE with the PDBM Prolog system. In
+//! practice, there will be four searching modes during a clause retrieval:
+//! (a) by software only …; (b) using FS1 only …; (c) using FS2 only …;
+//! (d) using both FS1 and FS2 — a two-stage hardware filter." (§2.2.)
+//!
+//! This crate integrates every substrate in the workspace:
+//!
+//! * [`crs`] — the four [`SearchMode`]s with a full timing pipeline
+//!   (disk streaming, FS1 index scan at 4.5 MB/s, FS2 double-buffered
+//!   matching at Table 1 costs, software costs on an M68020-class host),
+//!   plus the mode-selection heuristic the paper sketches.
+//! * [`resolve`] — an SLD resolution engine that performs clause lookup
+//!   through the CRS, so whole Prolog queries run end-to-end against
+//!   disk-resident knowledge bases.
+//! * [`server`] — [`ClauseRetrievalServer`]: shared, concurrent access for
+//!   multiple clients with read/write transaction semantics.
+//! * [`cost`] — the software cost model used by mode (a) and by the final
+//!   full-unification stage of every mode.
+//!
+//! # Examples
+//!
+//! ```
+//! use clare_core::{retrieve, CrsOptions, SearchMode};
+//! use clare_kb::{KbBuilder, KbConfig};
+//! use clare_term::parser::parse_term;
+//!
+//! let mut builder = KbBuilder::new();
+//! builder.consult("m", "p(a, 1). p(b, 2). p(a, 3).")?;
+//! // Parse the query in the same symbol namespace, then compile.
+//! let query = parse_term("p(a, X)", builder.symbols_mut())?;
+//! let kb = builder.finish(KbConfig::default());
+//!
+//! let outcome = retrieve(&kb, &query, SearchMode::TwoStage, &CrsOptions::default());
+//! assert_eq!(outcome.stats.unified, 2); // p(a, 1) and p(a, 3)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod cost;
+pub mod crs;
+pub mod resolve;
+pub mod server;
+
+pub use board::ClareBoard;
+pub use cost::SoftwareCostModel;
+pub use crs::{choose_mode, retrieve, CrsOptions, Retrieval, RetrievalStats, SearchMode};
+pub use resolve::{solve, solve_goals, Solution, SolveOptions, SolveOutcome};
+pub use server::ClauseRetrievalServer;

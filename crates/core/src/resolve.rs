@@ -1,0 +1,485 @@
+//! SLD resolution on top of the CRS.
+//!
+//! The PDBM system is "a single Prolog system" managing the whole
+//! knowledge base; this module supplies the resolution loop so queries run
+//! end-to-end: every goal's clause lookup goes through
+//! [`retrieve`](crate::crs::retrieve()) (in a chosen or automatically
+//! selected search mode), candidates are fully unified, and matching
+//! clause bodies are expanded depth-first in program order — standard
+//! Prolog semantics, including the user-significant clause ordering the
+//! paper insists a general-purpose knowledge base must preserve.
+
+use crate::crs::{choose_mode, retrieve, CrsOptions, RetrievalStats, SearchMode};
+use clare_disk::SimNanos;
+use clare_kb::KnowledgeBase;
+use clare_term::{Term, VarId};
+use clare_unify::full::{unify, UnifyOptions};
+use clare_unify::store::{shift_vars, var_span, BindingStore};
+use std::collections::HashMap;
+
+/// How the solver picks a search mode per goal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeChoice {
+    /// Always use this mode.
+    Fixed(SearchMode),
+    /// Use [`choose_mode`] per (instantiated) goal.
+    Auto,
+}
+
+/// Solver limits and configuration.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Search-mode policy.
+    pub mode: ModeChoice,
+    /// Stop after this many solutions (`usize::MAX` for all).
+    pub max_solutions: usize,
+    /// Maximum resolution depth (guards runaway recursion).
+    pub max_depth: usize,
+    /// CRS configuration.
+    pub crs: CrsOptions,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            mode: ModeChoice::Auto,
+            max_solutions: usize::MAX,
+            max_depth: 256,
+            crs: CrsOptions::default(),
+        }
+    }
+}
+
+/// One solution: the query with its variables instantiated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The fully resolved query term.
+    pub term: Term,
+    /// Bindings of the query's named variables, in first-occurrence
+    /// order: `(name, resolved term)`.
+    pub bindings: Vec<(String, Term)>,
+}
+
+/// Aggregate statistics for one solve call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveStats {
+    /// Goals expanded (retrievals performed).
+    pub retrievals: usize,
+    /// Clauses fully unified across all retrievals.
+    pub clauses_unified: usize,
+    /// Candidates examined across all retrievals.
+    pub candidates: usize,
+    /// Total modelled retrieval time.
+    pub retrieval_elapsed: SimNanos,
+    /// Depth limit hits (search was cut).
+    pub depth_cuts: usize,
+}
+
+impl SolveStats {
+    fn absorb(&mut self, stats: &RetrievalStats) {
+        self.retrievals += 1;
+        self.clauses_unified += stats.unified;
+        self.candidates += stats.candidates;
+        self.retrieval_elapsed += stats.elapsed;
+    }
+}
+
+/// The result of a solve call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome {
+    /// Solutions in Prolog order.
+    pub solutions: Vec<Solution>,
+    /// Aggregate statistics.
+    pub stats: SolveStats,
+}
+
+/// Solves `query` (a single goal) against the knowledge base.
+///
+/// `var_names` supplies the query's variable names for the bindings
+/// report (pass the names from
+/// [`parse_term_with_vars`](clare_term::parser::parse_term_with_vars), or
+/// an empty slice to skip named bindings).
+///
+/// # Examples
+///
+/// ```
+/// use clare_core::{solve, SolveOptions};
+/// use clare_kb::{KbBuilder, KbConfig};
+/// use clare_term::parser::parse_term_with_vars;
+///
+/// let mut b = KbBuilder::new();
+/// b.consult("m", "
+///     parent(tom, bob). parent(bob, ann).
+///     grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+/// ")?;
+/// let (query, names) = parse_term_with_vars("grandparent(tom, Who)", b.symbols_mut())?;
+/// let kb = b.finish(KbConfig::default());
+///
+/// let outcome = solve(&kb, &query, &names, &SolveOptions::default());
+/// assert_eq!(outcome.solutions.len(), 1);
+/// assert_eq!(outcome.solutions[0].bindings[0].0, "Who");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve(
+    kb: &KnowledgeBase,
+    query: &Term,
+    var_names: &[String],
+    options: &SolveOptions,
+) -> SolveOutcome {
+    solve_goals(kb, std::slice::from_ref(query), var_names, options)
+}
+
+/// Solves a conjunction of goals sharing one variable scope (the shape
+/// [`parse_goals`](clare_term::parser::parse_goals) produces).
+///
+/// For a single goal, [`Solution::term`] is that goal resolved; for a
+/// conjunction it is a list of the resolved goals.
+///
+/// # Examples
+///
+/// ```
+/// use clare_core::{solve_goals, SolveOptions};
+/// use clare_kb::{KbBuilder, KbConfig};
+/// use clare_term::parser::parse_goals;
+///
+/// let mut b = KbBuilder::new();
+/// b.consult("m", "parent(tom, bob). parent(tom, liz). male(bob).")?;
+/// let (goals, names) = parse_goals("parent(tom, X), male(X)", b.symbols_mut())?;
+/// let kb = b.finish(KbConfig::default());
+///
+/// let outcome = solve_goals(&kb, &goals, &names, &SolveOptions::default());
+/// assert_eq!(outcome.solutions.len(), 1); // only bob is male
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve_goals(
+    kb: &KnowledgeBase,
+    goals: &[Term],
+    var_names: &[String],
+    options: &SolveOptions,
+) -> SolveOutcome {
+    let span = goals.iter().map(var_span).max().unwrap_or(0) as usize;
+    let query = if goals.len() == 1 {
+        goals[0].clone()
+    } else {
+        Term::List {
+            items: goals.to_vec(),
+            tail: None,
+        }
+    };
+    let mut store = BindingStore::with_capacity(span);
+    let mut ctx = Solver {
+        kb,
+        options,
+        store: &mut store,
+        solutions: Vec::new(),
+        stats: SolveStats::default(),
+        query,
+        var_names,
+    };
+    ctx.dfs(goals, 0);
+    SolveOutcome {
+        solutions: ctx.solutions,
+        stats: ctx.stats,
+    }
+}
+
+struct Solver<'a> {
+    kb: &'a KnowledgeBase,
+    options: &'a SolveOptions,
+    store: &'a mut BindingStore,
+    solutions: Vec<Solution>,
+    stats: SolveStats,
+    query: Term,
+    var_names: &'a [String],
+}
+
+impl Solver<'_> {
+    fn done(&self) -> bool {
+        self.solutions.len() >= self.options.max_solutions
+    }
+
+    fn dfs(&mut self, goals: &[Term], depth: usize) {
+        if self.done() {
+            return;
+        }
+        let Some((goal, rest)) = goals.split_first() else {
+            self.record_solution();
+            return;
+        };
+        if depth >= self.options.max_depth {
+            self.stats.depth_cuts += 1;
+            return;
+        }
+        // Instantiate the goal under current bindings, then renumber its
+        // variables densely so the hardware query encoding stays compact.
+        let resolved = self.store.resolve(goal);
+        let (compact, reverse) = compact_vars(&resolved);
+        let mode = match self.options.mode {
+            ModeChoice::Fixed(m) => m,
+            ModeChoice::Auto => choose_mode(self.kb, &compact),
+        };
+        let retrieval = retrieve(self.kb, &compact, mode, &self.options.crs);
+        self.stats.absorb(&retrieval.stats);
+        let Some((functor, arity)) = compact.functor_arity() else {
+            return;
+        };
+        let Some(pred) = self.kb.predicate(functor, arity) else {
+            return;
+        };
+        for id in retrieval.candidates {
+            if self.done() {
+                return;
+            }
+            let clause = &pred.clauses()[id.index() as usize];
+            // Rename the clause apart: its variables move past every slot
+            // allocated so far.
+            let base = self.store.len() as u32;
+            let clause_span = clause.var_names().len() as u32;
+            self.store.ensure((base + clause_span) as usize);
+            let head = shift_vars(clause.head(), base);
+            let mark = self.store.mark();
+            // Unify against the *original* goal (under the store), not the
+            // compacted copy, so bindings propagate to the caller's terms.
+            // Occurs check on: keeps the solver total (see the oracle).
+            if unify(goal, &head, self.store, UnifyOptions { occurs_check: true }) {
+                let mut next: Vec<Term> =
+                    clause.body().iter().map(|g| shift_vars(g, base)).collect();
+                next.extend(rest.iter().cloned());
+                self.dfs(&next, depth + 1);
+            }
+            self.store.undo(mark);
+            let _ = reverse; // reverse map only needed for diagnostics
+        }
+    }
+
+    fn record_solution(&mut self) {
+        let term = self.store.resolve(&self.query);
+        let bindings = self
+            .var_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    name.clone(),
+                    self.store.resolve(&Term::Var(VarId::new(i as u32))),
+                )
+            })
+            .collect();
+        self.solutions.push(Solution { term, bindings });
+    }
+}
+
+/// Renumbers the named variables of `term` densely from zero, returning
+/// the rewritten term and the map from new index to original [`VarId`].
+pub fn compact_vars(term: &Term) -> (Term, Vec<VarId>) {
+    let mut map: HashMap<VarId, VarId> = HashMap::new();
+    let mut reverse = Vec::new();
+    let compacted = rewrite(term, &mut map, &mut reverse);
+    (compacted, reverse)
+}
+
+fn rewrite(term: &Term, map: &mut HashMap<VarId, VarId>, reverse: &mut Vec<VarId>) -> Term {
+    match term {
+        Term::Var(v) => {
+            let next = VarId::new(reverse.len() as u32);
+            let id = *map.entry(*v).or_insert_with(|| {
+                reverse.push(*v);
+                next
+            });
+            Term::Var(id)
+        }
+        Term::Struct { functor, args } => Term::Struct {
+            functor: *functor,
+            args: args.iter().map(|a| rewrite(a, map, reverse)).collect(),
+        },
+        Term::List { items, tail } => Term::List {
+            items: items.iter().map(|i| rewrite(i, map, reverse)).collect(),
+            tail: tail.as_deref().map(|t| Box::new(rewrite(t, map, reverse))),
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clare_kb::{KbBuilder, KbConfig};
+    use clare_term::parser::{parse_term, parse_term_with_vars};
+    use clare_term::{SymbolTable, TermDisplay};
+
+    fn family_kb() -> (KnowledgeBase, SymbolTable) {
+        let mut b = KbBuilder::new();
+        b.consult(
+            "family",
+            "parent(tom, bob). parent(tom, liz). parent(bob, ann).
+             parent(bob, pat). parent(pat, jim).
+             grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+             ancestor(X, Y) :- parent(X, Y).
+             ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).",
+        )
+        .unwrap();
+        let kb = b.finish(KbConfig::default());
+        let sy = kb.symbols().clone();
+        (kb, sy)
+    }
+
+    fn answers(kb: &KnowledgeBase, sy: &SymbolTable, query: &str) -> Vec<String> {
+        let mut local = sy.clone();
+        let (q, names) = parse_term_with_vars(query, &mut local).unwrap();
+        // Symbols in the query must pre-exist in the KB for equality of
+        // offsets; parsing with a clone is safe when atoms already occur.
+        let outcome = solve(kb, &q, &names, &SolveOptions::default());
+        outcome
+            .solutions
+            .iter()
+            .map(|s| TermDisplay::new(&s.term, &local).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn facts_in_program_order() {
+        let (kb, sy) = family_kb();
+        assert_eq!(
+            answers(&kb, &sy, "parent(tom, X)"),
+            vec!["parent(tom, bob)", "parent(tom, liz)"]
+        );
+    }
+
+    #[test]
+    fn rule_expansion() {
+        let (kb, sy) = family_kb();
+        assert_eq!(
+            answers(&kb, &sy, "grandparent(tom, W)"),
+            vec!["grandparent(tom, ann)", "grandparent(tom, pat)"]
+        );
+    }
+
+    #[test]
+    fn recursive_rules() {
+        let (kb, sy) = family_kb();
+        let anc = answers(&kb, &sy, "ancestor(tom, W)");
+        assert_eq!(
+            anc,
+            vec![
+                "ancestor(tom, bob)",
+                "ancestor(tom, liz)",
+                "ancestor(tom, ann)",
+                "ancestor(tom, pat)",
+                "ancestor(tom, jim)",
+            ]
+        );
+    }
+
+    #[test]
+    fn ground_query_succeeds_or_fails() {
+        let (kb, sy) = family_kb();
+        assert_eq!(answers(&kb, &sy, "parent(tom, bob)").len(), 1);
+        assert!(answers(&kb, &sy, "parent(bob, tom)").is_empty());
+    }
+
+    #[test]
+    fn bindings_reported_by_name() {
+        let (kb, _sy) = family_kb();
+        let mut local = kb.symbols().clone();
+        let (q, names) = parse_term_with_vars("parent(Child, ann)", &mut local).unwrap();
+        let outcome = solve(&kb, &q, &names, &SolveOptions::default());
+        assert_eq!(outcome.solutions.len(), 1);
+        let (name, term) = &outcome.solutions[0].bindings[0];
+        assert_eq!(name, "Child");
+        assert_eq!(TermDisplay::new(term, &local).to_string(), "bob");
+    }
+
+    #[test]
+    fn max_solutions_limits() {
+        let (kb, _sy) = family_kb();
+        let mut local = kb.symbols().clone();
+        let (q, names) = parse_term_with_vars("parent(A, B)", &mut local).unwrap();
+        let outcome = solve(
+            &kb,
+            &q,
+            &names,
+            &SolveOptions {
+                max_solutions: 2,
+                ..SolveOptions::default()
+            },
+        );
+        assert_eq!(outcome.solutions.len(), 2);
+    }
+
+    #[test]
+    fn depth_limit_cuts_infinite_recursion() {
+        let mut b = KbBuilder::new();
+        b.consult("m", "loop(X) :- loop(X).").unwrap();
+        let (q, names) = parse_term_with_vars("loop(a)", b.symbols_mut()).unwrap();
+        let kb = b.finish(KbConfig::default());
+        let outcome = solve(
+            &kb,
+            &q,
+            &names,
+            &SolveOptions {
+                max_depth: 20,
+                ..SolveOptions::default()
+            },
+        );
+        assert!(outcome.solutions.is_empty());
+        assert!(outcome.stats.depth_cuts > 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (kb, _sy) = family_kb();
+        let mut local = kb.symbols().clone();
+        let (q, names) = parse_term_with_vars("grandparent(tom, W)", &mut local).unwrap();
+        let outcome = solve(&kb, &q, &names, &SolveOptions::default());
+        assert!(outcome.stats.retrievals >= 3); // grandparent + parent goals
+        assert!(outcome.stats.clauses_unified >= 4);
+        assert!(outcome.stats.retrieval_elapsed.as_ns() > 0);
+    }
+
+    #[test]
+    fn every_fixed_mode_gives_same_answers() {
+        let (kb, sy) = family_kb();
+        let mut local = sy.clone();
+        let (q, names) = parse_term_with_vars("ancestor(tom, W)", &mut local).unwrap();
+        let baseline = solve(&kb, &q, &names, &SolveOptions::default());
+        for mode in SearchMode::ALL {
+            let outcome = solve(
+                &kb,
+                &q,
+                &names,
+                &SolveOptions {
+                    mode: ModeChoice::Fixed(mode),
+                    ..SolveOptions::default()
+                },
+            );
+            assert_eq!(
+                outcome.solutions, baseline.solutions,
+                "mode {mode} changed the answers"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_vars_renumbers_densely() {
+        let mut sy = SymbolTable::new();
+        let t = parse_term("f(X, Y, X)", &mut sy).unwrap();
+        let shifted = shift_vars(&t, 1000);
+        let (compact, reverse) = compact_vars(&shifted);
+        assert_eq!(var_span(&compact), 2);
+        assert_eq!(reverse, vec![VarId::new(1000), VarId::new(1001)]);
+        // Sharing preserved.
+        let vars = clare_term::collect_vars(&compact);
+        assert_eq!(vars[0], vars[2]);
+    }
+
+    #[test]
+    fn shared_variable_goal_end_to_end() {
+        let mut b = KbBuilder::new();
+        b.consult("m", "pair(a, b). pair(c, c). pair(d, e). pair(f, f).")
+            .unwrap();
+        let (q, names) = parse_term_with_vars("pair(S, S)", b.symbols_mut()).unwrap();
+        let kb = b.finish(KbConfig::default());
+        let outcome = solve(&kb, &q, &names, &SolveOptions::default());
+        assert_eq!(outcome.solutions.len(), 2);
+    }
+}

@@ -1,0 +1,332 @@
+//! Multi-client access: the Clause Retrieval Server proper.
+//!
+//! "The CRS will also support simultaneous access by multiple clients
+//! which involves procedures for concurrency control and transaction
+//! handling." (§2.2.) The server holds the knowledge base behind a
+//! read/write lock: retrievals and solves run concurrently (each client
+//! gets its own FS2 engine state — the simulated hardware is virtualised
+//! per call, as a time-sliced CRS would do), while updates swap in a new
+//! compiled knowledge base atomically.
+
+use crate::crs::{retrieve, CrsOptions, Retrieval, SearchMode};
+use crate::resolve::{SolveOptions, SolveOutcome};
+use clare_disk::SimNanos;
+use clare_kb::KnowledgeBase;
+use clare_term::Term;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// Aggregate service statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Retrievals served.
+    pub retrievals: u64,
+    /// Solve calls served.
+    pub solves: u64,
+    /// Knowledge-base updates committed.
+    pub updates: u64,
+    /// Total modelled retrieval time across clients.
+    pub total_elapsed: SimNanos,
+}
+
+/// A shared, thread-safe clause retrieval service.
+///
+/// # Examples
+///
+/// ```
+/// use clare_core::{ClauseRetrievalServer, CrsOptions, SearchMode};
+/// use clare_kb::{KbBuilder, KbConfig};
+/// use clare_term::parser::parse_term;
+///
+/// let mut b = KbBuilder::new();
+/// b.consult("m", "p(a). p(b).")?;
+/// let query = parse_term("p(a)", b.symbols_mut())?;
+/// let server = ClauseRetrievalServer::new(b.finish(KbConfig::default()), CrsOptions::default());
+///
+/// let outcome = server.retrieve(&query, SearchMode::TwoStage);
+/// assert_eq!(outcome.stats.unified, 1);
+/// assert_eq!(server.stats().retrievals, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ClauseRetrievalServer {
+    kb: RwLock<Arc<KnowledgeBase>>,
+    options: CrsOptions,
+    stats: Mutex<ServerStats>,
+}
+
+impl ClauseRetrievalServer {
+    /// Wraps a compiled knowledge base.
+    pub fn new(kb: KnowledgeBase, options: CrsOptions) -> Self {
+        ClauseRetrievalServer {
+            kb: RwLock::new(Arc::new(kb)),
+            options,
+            stats: Mutex::new(ServerStats::default()),
+        }
+    }
+
+    /// A snapshot of the current knowledge base (clients keep a consistent
+    /// view even across a concurrent update).
+    pub fn snapshot(&self) -> Arc<KnowledgeBase> {
+        self.kb.read().clone()
+    }
+
+    /// Serves one retrieval.
+    pub fn retrieve(&self, query: &Term, mode: SearchMode) -> Retrieval {
+        let kb = self.snapshot();
+        let outcome = retrieve(&kb, query, mode, &self.options);
+        let mut stats = self.stats.lock();
+        stats.retrievals += 1;
+        stats.total_elapsed += outcome.stats.elapsed;
+        outcome
+    }
+
+    /// Serves one solve call.
+    pub fn solve(
+        &self,
+        query: &Term,
+        var_names: &[String],
+        options: &SolveOptions,
+    ) -> SolveOutcome {
+        self.solve_goals(std::slice::from_ref(query), var_names, options)
+    }
+
+    /// Serves a conjunction of goals sharing one variable scope.
+    pub fn solve_goals(
+        &self,
+        goals: &[Term],
+        var_names: &[String],
+        options: &SolveOptions,
+    ) -> SolveOutcome {
+        let kb = self.snapshot();
+        let outcome = crate::resolve::solve_goals(&kb, goals, var_names, options);
+        let mut stats = self.stats.lock();
+        stats.solves += 1;
+        stats.total_elapsed += outcome.stats.retrieval_elapsed;
+        outcome
+    }
+
+    /// Commits a new compiled knowledge base atomically. In-flight clients
+    /// finish against their snapshot; new calls see the update.
+    pub fn update(&self, kb: KnowledgeBase) {
+        *self.kb.write() = Arc::new(kb);
+        self.stats.lock().updates += 1;
+    }
+
+    /// Begins an update transaction against the current knowledge base:
+    /// the returned [`UpdateTransaction`] accumulates new clauses and
+    /// recompiles + swaps atomically on [`commit`](UpdateTransaction::commit).
+    /// Readers are never blocked; concurrent transactions are
+    /// last-writer-wins (the paper's CRS promises "procedures for
+    /// concurrency control and transaction handling" — this is the
+    /// optimistic variant).
+    pub fn begin_update(&self) -> UpdateTransaction<'_> {
+        UpdateTransaction {
+            server: self,
+            builder: self.snapshot().to_builder(),
+        }
+    }
+
+    /// Service statistics so far.
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock()
+    }
+}
+
+/// An in-progress knowledge-base update. Dropping it without
+/// [`commit`](Self::commit) discards every change.
+#[derive(Debug)]
+pub struct UpdateTransaction<'a> {
+    server: &'a ClauseRetrievalServer,
+    builder: clare_kb::KbBuilder,
+}
+
+impl UpdateTransaction<'_> {
+    /// Parses and appends clauses to `module` (created on first use).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error; the transaction stays usable.
+    pub fn consult(&mut self, module: &str, source: &str) -> Result<(), clare_kb::KbError> {
+        self.builder.consult(module, source)
+    }
+
+    /// Appends one clause to `module`.
+    pub fn add_clause(&mut self, module: &str, clause: clare_term::Clause) {
+        self.builder.add_clause(module, clause);
+    }
+
+    /// The transaction's symbol table (parse queries/terms against it).
+    pub fn symbols_mut(&mut self) -> &mut clare_term::SymbolTable {
+        self.builder.symbols_mut()
+    }
+
+    /// Recompiles and atomically publishes the updated knowledge base.
+    ///
+    /// # Errors
+    ///
+    /// Returns the compilation error; nothing is published on failure.
+    pub fn commit(self, config: clare_kb::KbConfig) -> Result<(), clare_kb::KbError> {
+        let kb = self.builder.try_finish(config)?;
+        self.server.update(kb);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clare_kb::{KbBuilder, KbConfig};
+    use clare_term::parser::parse_term;
+
+    fn server_with(source: &str, queries: &[&str]) -> (ClauseRetrievalServer, Vec<Term>) {
+        let mut b = KbBuilder::new();
+        b.consult("m", source).unwrap();
+        let terms: Vec<Term> = queries
+            .iter()
+            .map(|q| parse_term(q, b.symbols_mut()).unwrap())
+            .collect();
+        (
+            ClauseRetrievalServer::new(b.finish(KbConfig::default()), CrsOptions::default()),
+            terms,
+        )
+    }
+
+    #[test]
+    fn concurrent_clients_get_consistent_answers() {
+        let facts: String = (0..400)
+            .map(|i| format!("item(k{i}, v{}).", i % 7))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let (server, queries) = server_with(&facts, &["item(k13, X)", "item(K, v3)"]);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                for (qi, expected) in [(0usize, 1usize), (1, 57)] {
+                    let server = &server;
+                    let q = &queries[qi];
+                    scope.spawn(move || {
+                        for mode in SearchMode::ALL {
+                            let r = server.retrieve(q, mode);
+                            assert_eq!(r.stats.unified, expected);
+                        }
+                    });
+                }
+            }
+        });
+        assert_eq!(server.stats().retrievals, 8 * 2 * 4);
+        assert!(server.stats().total_elapsed.as_ns() > 0);
+    }
+
+    #[test]
+    fn update_swaps_atomically() {
+        let (server, queries) = server_with("p(a).", &["p(a)"]);
+        assert_eq!(
+            server
+                .retrieve(&queries[0], SearchMode::TwoStage)
+                .stats
+                .unified,
+            1
+        );
+        // Build a replacement KB in the *same* symbol-table lineage so the
+        // query's interned atoms stay valid.
+        let snapshot = server.snapshot();
+        let mut b = KbBuilder::new();
+        *b.symbols_mut() = snapshot.symbols().clone();
+        b.consult("m", "p(a). p(a).").unwrap();
+        server.update(b.finish(KbConfig::default()));
+        assert_eq!(
+            server
+                .retrieve(&queries[0], SearchMode::TwoStage)
+                .stats
+                .unified,
+            2
+        );
+        assert_eq!(server.stats().updates, 1);
+    }
+
+    #[test]
+    fn update_transaction_appends_clauses() {
+        let (server, queries) = server_with("p(a).", &["p(a)"]);
+        let mut tx = server.begin_update();
+        tx.consult("m", "p(a). q(new_thing).").unwrap();
+        tx.commit(KbConfig::default()).unwrap();
+        // The old clause survived, the new ones joined.
+        assert_eq!(
+            server
+                .retrieve(&queries[0], SearchMode::SoftwareOnly)
+                .stats
+                .unified,
+            2
+        );
+        assert!(server.snapshot().lookup("q", 1).is_some());
+        assert_eq!(server.stats().updates, 1);
+        // Symbol offsets stayed stable across the transaction: the old
+        // query term still resolves.
+        assert_eq!(
+            server
+                .retrieve(&queries[0], SearchMode::TwoStage)
+                .stats
+                .unified,
+            2
+        );
+    }
+
+    #[test]
+    fn dropped_transaction_changes_nothing() {
+        let (server, queries) = server_with("p(a).", &["p(a)"]);
+        {
+            let mut tx = server.begin_update();
+            tx.consult("m", "p(a).").unwrap();
+            // dropped without commit
+        }
+        assert_eq!(
+            server
+                .retrieve(&queries[0], SearchMode::SoftwareOnly)
+                .stats
+                .unified,
+            1
+        );
+        assert_eq!(server.stats().updates, 0);
+    }
+
+    #[test]
+    fn failing_commit_publishes_nothing() {
+        let (server, queries) = server_with("p(a).", &["p(a)"]);
+        let mut tx = server.begin_update();
+        tx.consult("m", "p(999999999999).").unwrap(); // un-encodable int
+        assert!(tx.commit(KbConfig::default()).is_err());
+        assert_eq!(
+            server
+                .retrieve(&queries[0], SearchMode::SoftwareOnly)
+                .stats
+                .unified,
+            1
+        );
+    }
+
+    #[test]
+    fn snapshot_isolated_from_update() {
+        let (server, queries) = server_with("p(a).", &["p(a)"]);
+        let before = server.snapshot();
+        let mut b = KbBuilder::new();
+        *b.symbols_mut() = before.symbols().clone();
+        b.consult("m", "q(z).").unwrap();
+        server.update(b.finish(KbConfig::default()));
+        // The old snapshot still answers the old query.
+        let r = crate::crs::retrieve(
+            &before,
+            &queries[0],
+            SearchMode::SoftwareOnly,
+            &CrsOptions::default(),
+        );
+        assert_eq!(r.stats.unified, 1);
+        // The server's new view does not.
+        assert_eq!(
+            server
+                .retrieve(&queries[0], SearchMode::SoftwareOnly)
+                .stats
+                .unified,
+            0
+        );
+    }
+}

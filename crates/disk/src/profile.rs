@@ -1,0 +1,269 @@
+//! Disk drive profiles: geometry plus timing.
+//!
+//! Two presets model the drives the paper names for the SUN3/160 target
+//! (§4): the SCSI **Micropolis 1325** and the SMD **Fujitsu M2351A**
+//! ("Eagle"). Figures are drawn from period data sheets where available and
+//! chosen to land on the paper's operating points: the Fujitsu, "tuned to
+//! operate at its peak rate", sustains circa 2 MB/s; the SCSI drive is
+//! slower.
+
+use crate::time::{ByteRate, SimNanos};
+use std::fmt;
+
+/// A disk drive model: geometry and timing parameters.
+///
+/// # Examples
+///
+/// ```
+/// use clare_disk::DiskProfile;
+///
+/// let eagle = DiskProfile::fujitsu_m2351a();
+/// assert!((eagle.sustained_rate().as_mb_per_sec() - 2.0).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskProfile {
+    name: &'static str,
+    track_bytes: usize,
+    tracks_per_cylinder: u32,
+    cylinders: u32,
+    rpm: u32,
+    sustained_rate: ByteRate,
+    avg_seek: SimNanos,
+    track_to_track_seek: SimNanos,
+}
+
+impl DiskProfile {
+    /// The SMD Fujitsu M2351A "Eagle": the faster option the paper assumes
+    /// when arguing the FS2 filter outruns the disk. ~474 MB formatted,
+    /// 20 data heads, peak-tuned sustained transfer ≈ 2 MB/s.
+    pub fn fujitsu_m2351a() -> Self {
+        DiskProfile {
+            name: "Fujitsu M2351A (SMD)",
+            track_bytes: 20 * 1024,
+            tracks_per_cylinder: 20,
+            cylinders: 842,
+            rpm: 3961,
+            sustained_rate: ByteRate::from_mb_per_sec(2.0),
+            avg_seek: SimNanos::from_millis(18),
+            track_to_track_seek: SimNanos::from_millis(5),
+        }
+    }
+
+    /// The SCSI Micropolis 1325: the slower option. ~69 MB formatted,
+    /// 8 heads, ~1 MB/s sustained over SCSI.
+    pub fn micropolis_1325() -> Self {
+        DiskProfile {
+            name: "Micropolis 1325 (SCSI)",
+            track_bytes: 16 * 1024,
+            tracks_per_cylinder: 8,
+            cylinders: 1024,
+            rpm: 3600,
+            sustained_rate: ByteRate::from_mb_per_sec(1.0),
+            avg_seek: SimNanos::from_millis(28),
+            track_to_track_seek: SimNanos::from_millis(6),
+        }
+    }
+
+    /// A custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry parameter is zero.
+    #[allow(clippy::too_many_arguments)] // one parameter per datasheet field
+    pub fn custom(
+        name: &'static str,
+        track_bytes: usize,
+        tracks_per_cylinder: u32,
+        cylinders: u32,
+        rpm: u32,
+        sustained_rate: ByteRate,
+        avg_seek: SimNanos,
+        track_to_track_seek: SimNanos,
+    ) -> Self {
+        assert!(track_bytes > 0, "track size must be positive");
+        assert!(
+            tracks_per_cylinder > 0 && cylinders > 0,
+            "geometry must be positive"
+        );
+        assert!(rpm > 0, "rpm must be positive");
+        DiskProfile {
+            name,
+            track_bytes,
+            tracks_per_cylinder,
+            cylinders,
+            rpm,
+            sustained_rate,
+            avg_seek,
+            track_to_track_seek,
+        }
+    }
+
+    /// Human-readable drive name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Formatted bytes per track.
+    pub fn track_bytes(&self) -> usize {
+        self.track_bytes
+    }
+
+    /// Data heads (= tracks per cylinder).
+    pub fn tracks_per_cylinder(&self) -> u32 {
+        self.tracks_per_cylinder
+    }
+
+    /// Number of cylinders.
+    pub fn cylinders(&self) -> u32 {
+        self.cylinders
+    }
+
+    /// Total formatted capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.track_bytes as u64 * self.tracks_per_cylinder as u64 * self.cylinders as u64
+    }
+
+    /// Sustained sequential transfer rate.
+    pub fn sustained_rate(&self) -> ByteRate {
+        self.sustained_rate
+    }
+
+    /// Average seek time.
+    pub fn avg_seek(&self) -> SimNanos {
+        self.avg_seek
+    }
+
+    /// Adjacent-cylinder seek time.
+    pub fn track_to_track_seek(&self) -> SimNanos {
+        self.track_to_track_seek
+    }
+
+    /// One platter revolution.
+    pub fn rotation_period(&self) -> SimNanos {
+        SimNanos::from_secs_f64(60.0 / self.rpm as f64)
+    }
+
+    /// Average rotational latency (half a revolution).
+    pub fn avg_rotational_latency(&self) -> SimNanos {
+        SimNanos::from_ns(self.rotation_period().as_ns() / 2)
+    }
+
+    /// Time to transfer one full track at the sustained rate.
+    pub fn track_transfer_time(&self) -> SimNanos {
+        self.sustained_rate.transfer_time(self.track_bytes as u64)
+    }
+
+    /// Time to read `n_tracks` sequentially starting from a random
+    /// position: one average seek, one average rotational latency, the
+    /// track transfers, and a cylinder-to-cylinder seek whenever a cylinder
+    /// boundary is crossed.
+    pub fn sequential_read_time(&self, n_tracks: u64) -> SimNanos {
+        if n_tracks == 0 {
+            return SimNanos::ZERO;
+        }
+        let cylinder_crossings = (n_tracks - 1) / self.tracks_per_cylinder as u64;
+        self.avg_seek
+            + self.avg_rotational_latency()
+            + self.track_transfer_time() * n_tracks
+            + self.track_to_track_seek * cylinder_crossings
+    }
+}
+
+impl fmt::Display for DiskProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} — {:.0} MB, {} B/track, {} heads, {} cyl, {} rpm, {}",
+            self.name,
+            self.capacity_bytes() as f64 / 1e6,
+            self.track_bytes,
+            self.tracks_per_cylinder,
+            self.cylinders,
+            self.rpm,
+            self.sustained_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eagle_matches_paper_operating_point() {
+        let d = DiskProfile::fujitsu_m2351a();
+        assert!((d.sustained_rate().as_mb_per_sec() - 2.0).abs() < 1e-9);
+        // Capacity in the hundreds of MB (the real Eagle was ~474 MB).
+        assert!(d.capacity_bytes() > 300_000_000);
+        assert!(d.capacity_bytes() < 600_000_000);
+    }
+
+    #[test]
+    fn scsi_is_slower_than_smd() {
+        let scsi = DiskProfile::micropolis_1325();
+        let smd = DiskProfile::fujitsu_m2351a();
+        assert!(scsi.sustained_rate().as_bytes_per_sec() < smd.sustained_rate().as_bytes_per_sec());
+    }
+
+    #[test]
+    fn rotation_math() {
+        let d = DiskProfile::micropolis_1325();
+        // 3600 rpm = 60 rps -> 16.67 ms per revolution.
+        assert!((d.rotation_period().as_millis_f64() - 16.667).abs() < 0.01);
+        assert_eq!(
+            d.avg_rotational_latency().as_ns(),
+            d.rotation_period().as_ns() / 2
+        );
+    }
+
+    #[test]
+    fn sequential_read_time_components() {
+        let d = DiskProfile::fujitsu_m2351a();
+        assert_eq!(d.sequential_read_time(0), SimNanos::ZERO);
+        let one = d.sequential_read_time(1);
+        assert_eq!(
+            one,
+            d.avg_seek() + d.avg_rotational_latency() + d.track_transfer_time()
+        );
+        // Reading within one cylinder adds only transfers.
+        let five = d.sequential_read_time(5);
+        assert_eq!(one + d.track_transfer_time() * 4, five);
+        // Crossing a cylinder boundary adds a track-to-track seek.
+        let tpc = d.tracks_per_cylinder() as u64;
+        let crossing = d.sequential_read_time(tpc + 1);
+        assert_eq!(
+            crossing,
+            d.sequential_read_time(tpc) + d.track_transfer_time() + d.track_to_track_seek()
+        );
+    }
+
+    #[test]
+    fn track_transfer_consistent_with_rate() {
+        let d = DiskProfile::fujitsu_m2351a();
+        let t = d.track_transfer_time();
+        let implied = d.track_bytes() as f64 / t.as_secs_f64();
+        assert!((implied - d.sustained_rate().as_bytes_per_sec()).abs() < 1e3);
+    }
+
+    #[test]
+    #[should_panic(expected = "track size")]
+    fn zero_track_rejected() {
+        DiskProfile::custom(
+            "bad",
+            0,
+            1,
+            1,
+            3600,
+            ByteRate::from_mb_per_sec(1.0),
+            SimNanos::ZERO,
+            SimNanos::ZERO,
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = DiskProfile::fujitsu_m2351a().to_string();
+        assert!(s.contains("Fujitsu"));
+        assert!(s.contains("MB/s"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Simulated time and data rates.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A span of simulated time in nanoseconds.
+///
+/// Nanoseconds are the paper's native unit (every Table 1 entry is in ns);
+/// a `u64` spans ~584 years, ample for any experiment.
+///
+/// # Examples
+///
+/// ```
+/// use clare_disk::SimNanos;
+///
+/// let op = SimNanos::from_ns(235);
+/// let million_ops = op * 1_000_000;
+/// assert_eq!(million_ops.as_millis_f64(), 235.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimNanos(u64);
+
+impl SimNanos {
+    /// Zero duration.
+    pub const ZERO: SimNanos = SimNanos(0);
+
+    /// Constructs from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimNanos(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimNanos(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimNanos(ms * 1_000_000)
+    }
+
+    /// Constructs from seconds (fractional), rounding to the nearest ns.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "duration must be finite and non-negative"
+        );
+        SimNanos((secs * 1e9).round() as u64)
+    }
+
+    /// The raw nanosecond count.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimNanos) -> SimNanos {
+        SimNanos(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two durations (e.g. two parallel datapath routes — the
+    /// paper always takes "the longest routing time of the two").
+    pub fn max(self, other: SimNanos) -> SimNanos {
+        SimNanos(self.0.max(other.0))
+    }
+}
+
+impl Add for SimNanos {
+    type Output = SimNanos;
+    fn add(self, rhs: SimNanos) -> SimNanos {
+        SimNanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimNanos {
+    fn add_assign(&mut self, rhs: SimNanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimNanos {
+    type Output = SimNanos;
+    fn sub(self, rhs: SimNanos) -> SimNanos {
+        SimNanos(self.0.checked_sub(rhs.0).expect("negative duration"))
+    }
+}
+
+impl Mul<u64> for SimNanos {
+    type Output = SimNanos;
+    fn mul(self, rhs: u64) -> SimNanos {
+        SimNanos(self.0 * rhs)
+    }
+}
+
+impl Sum for SimNanos {
+    fn sum<I: Iterator<Item = SimNanos>>(iter: I) -> SimNanos {
+        iter.fold(SimNanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimNanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 10_000 {
+            write!(f, "{} ns", self.0)
+        } else if self.0 < 10_000_000 {
+            write!(f, "{:.2} µs", self.as_micros_f64())
+        } else if self.0 < 10_000_000_000 {
+            write!(f, "{:.2} ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        }
+    }
+}
+
+/// A sustained data rate in bytes per second.
+///
+/// # Examples
+///
+/// ```
+/// use clare_disk::{ByteRate, SimNanos};
+///
+/// // The paper's worst-case FS2 rate: one byte every 235 ns.
+/// let rate = ByteRate::per_byte_time(SimNanos::from_ns(235));
+/// assert!((rate.as_mb_per_sec() - 4.25).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ByteRate(f64);
+
+impl ByteRate {
+    /// Constructs from bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        assert!(bps.is_finite() && bps > 0.0, "rate must be positive");
+        ByteRate(bps)
+    }
+
+    /// Constructs from megabytes per second (decimal MB, as the paper
+    /// uses: 1 MB = 10^6 bytes).
+    pub fn from_mb_per_sec(mbps: f64) -> Self {
+        Self::from_bytes_per_sec(mbps * 1e6)
+    }
+
+    /// The rate achieved when each byte takes `per_byte` to process.
+    pub fn per_byte_time(per_byte: SimNanos) -> Self {
+        Self::from_bytes_per_sec(1e9 / per_byte.as_ns() as f64)
+    }
+
+    /// Bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Megabytes (10^6 bytes) per second.
+    pub fn as_mb_per_sec(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Time to move `bytes` at this rate.
+    pub fn transfer_time(self, bytes: u64) -> SimNanos {
+        SimNanos::from_secs_f64(bytes as f64 / self.0)
+    }
+
+    /// The rate implied by moving `bytes` in `elapsed`.
+    ///
+    /// Returns `None` for a zero duration.
+    pub fn observed(bytes: u64, elapsed: SimNanos) -> Option<Self> {
+        if elapsed == SimNanos::ZERO {
+            None
+        } else {
+            Some(Self::from_bytes_per_sec(
+                bytes as f64 / elapsed.as_secs_f64(),
+            ))
+        }
+    }
+}
+
+impl fmt::Display for ByteRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} MB/s", self.as_mb_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_conversions() {
+        assert_eq!(SimNanos::from_micros(3).as_ns(), 3_000);
+        assert_eq!(SimNanos::from_millis(2).as_ns(), 2_000_000);
+        assert_eq!(SimNanos::from_secs_f64(1.5).as_ns(), 1_500_000_000);
+        assert_eq!(SimNanos::from_ns(500).as_micros_f64(), 0.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimNanos::from_ns(100);
+        let b = SimNanos::from_ns(40);
+        assert_eq!((a + b).as_ns(), 140);
+        assert_eq!((a - b).as_ns(), 60);
+        assert_eq!((a * 3).as_ns(), 300);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.saturating_sub(a), SimNanos::ZERO);
+        let total: SimNanos = [a, b, b].into_iter().sum();
+        assert_eq!(total.as_ns(), 180);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn underflow_panics() {
+        let _ = SimNanos::from_ns(1) - SimNanos::from_ns(2);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimNanos::from_ns(235).to_string(), "235 ns");
+        assert_eq!(SimNanos::from_micros(150).to_string(), "150.00 µs");
+        assert_eq!(SimNanos::from_millis(25).to_string(), "25.00 ms");
+        assert_eq!(SimNanos::from_secs_f64(12.5).to_string(), "12.500 s");
+    }
+
+    #[test]
+    fn paper_worst_case_rate() {
+        // 1 byte per 235 ns ≈ 4.25 MB/s — the §4 claim.
+        let rate = ByteRate::per_byte_time(SimNanos::from_ns(235));
+        assert!((rate.as_mb_per_sec() - 4.2553).abs() < 0.001);
+    }
+
+    #[test]
+    fn transfer_time_inverts_rate() {
+        let rate = ByteRate::from_mb_per_sec(2.0);
+        let t = rate.transfer_time(2_000_000);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_rate() {
+        let r = ByteRate::observed(1_000_000, SimNanos::from_secs_f64(0.5)).unwrap();
+        assert!((r.as_mb_per_sec() - 2.0).abs() < 1e-9);
+        assert!(ByteRate::observed(1, SimNanos::ZERO).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        ByteRate::from_bytes_per_sec(0.0);
+    }
+}

@@ -1,0 +1,381 @@
+//! Track-organized record files and streaming reads.
+//!
+//! Records are opaque byte strings to this crate (the PIF layer defines
+//! their contents). A record never spans a track boundary: the paper sizes
+//! FS2's Result Memory to hold "all clause satisfiers of one disk track —
+//! the worst case of a single FS2 search call", which presumes track-aligned
+//! records.
+
+use crate::profile::DiskProfile;
+use crate::time::{ByteRate, SimNanos};
+use std::fmt;
+
+/// Error from [`FileBuilder::append_record`]: the record exceeds one track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordTooLargeError {
+    /// Size of the offending record.
+    pub record_bytes: usize,
+    /// The track capacity it must fit in.
+    pub track_bytes: usize,
+}
+
+impl fmt::Display for RecordTooLargeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "record of {} bytes does not fit a {}-byte track",
+            self.record_bytes, self.track_bytes
+        )
+    }
+}
+
+impl std::error::Error for RecordTooLargeError {}
+
+/// One disk track's worth of records.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Track {
+    records: Vec<Vec<u8>>,
+    used_bytes: usize,
+}
+
+impl Track {
+    /// Records stored on this track, in layout order.
+    pub fn records(&self) -> &[Vec<u8>] {
+        &self.records
+    }
+
+    /// Bytes occupied by records (excluding end-of-track padding).
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of records on the track.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// Builds a [`StoredFile`] by appending records first-fit onto tracks.
+#[derive(Debug)]
+pub struct FileBuilder {
+    track_bytes: usize,
+    tracks: Vec<Track>,
+}
+
+impl FileBuilder {
+    /// Creates a builder for tracks of `track_bytes` capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `track_bytes` is zero.
+    pub fn new(track_bytes: usize) -> Self {
+        assert!(track_bytes > 0, "track size must be positive");
+        FileBuilder {
+            track_bytes,
+            tracks: vec![Track::default()],
+        }
+    }
+
+    /// Appends a record, starting a new track when the current one is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecordTooLargeError`] if the record alone exceeds a track.
+    pub fn append_record(&mut self, record: &[u8]) -> Result<(), RecordTooLargeError> {
+        if record.len() > self.track_bytes {
+            return Err(RecordTooLargeError {
+                record_bytes: record.len(),
+                track_bytes: self.track_bytes,
+            });
+        }
+        let current = self
+            .tracks
+            .last_mut()
+            .expect("builder keeps one open track");
+        if current.used_bytes + record.len() > self.track_bytes {
+            self.tracks.push(Track::default());
+        }
+        let current = self.tracks.last_mut().expect("just ensured");
+        current.records.push(record.to_vec());
+        current.used_bytes += record.len();
+        Ok(())
+    }
+
+    /// Finishes the file. An empty trailing track is dropped.
+    pub fn finish(mut self, name: impl Into<String>) -> StoredFile {
+        if self
+            .tracks
+            .last()
+            .is_some_and(|t| t.records.is_empty() && self.tracks.len() > 1)
+        {
+            self.tracks.pop();
+        }
+        StoredFile {
+            name: name.into(),
+            track_bytes: self.track_bytes,
+            tracks: self.tracks,
+        }
+    }
+}
+
+/// A record file laid out on disk tracks.
+///
+/// # Examples
+///
+/// ```
+/// use clare_disk::{DiskProfile, FileBuilder};
+///
+/// let profile = DiskProfile::micropolis_1325();
+/// let mut b = FileBuilder::new(profile.track_bytes());
+/// for i in 0..100u32 {
+///     b.append_record(&i.to_be_bytes())?;
+/// }
+/// let file = b.finish("numbers");
+/// let mut stream = file.stream(&profile);
+/// let mut seen = 0;
+/// while let Some(track) = stream.next_track() {
+///     seen += track.record_count();
+/// }
+/// assert_eq!(seen, 100);
+/// assert!(stream.stats().elapsed.as_ns() > 0);
+/// # Ok::<(), clare_disk::RecordTooLargeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredFile {
+    name: String,
+    track_bytes: usize,
+    tracks: Vec<Track>,
+}
+
+impl StoredFile {
+    /// File name (diagnostic only).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Track capacity this file was laid out for.
+    pub fn track_bytes(&self) -> usize {
+        self.track_bytes
+    }
+
+    /// The tracks in order.
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Number of tracks occupied.
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Total records across all tracks.
+    pub fn record_count(&self) -> usize {
+        self.tracks.iter().map(Track::record_count).sum()
+    }
+
+    /// Total record payload bytes (excluding padding).
+    pub fn payload_bytes(&self) -> usize {
+        self.tracks.iter().map(Track::used_bytes).sum()
+    }
+
+    /// Bytes the file occupies on disk (whole tracks, including padding) —
+    /// what a full scan must transfer.
+    pub fn occupied_bytes(&self) -> usize {
+        self.tracks.len() * self.track_bytes
+    }
+
+    /// Starts a timed streaming read of the whole file.
+    pub fn stream<'a>(&'a self, profile: &'a DiskProfile) -> TrackStream<'a> {
+        TrackStream {
+            file: self,
+            profile,
+            next: 0,
+            stats: TransferStats::default(),
+        }
+    }
+
+    /// Time for one exhaustive sequential scan on `profile`.
+    pub fn scan_time(&self, profile: &DiskProfile) -> SimNanos {
+        profile.sequential_read_time(self.tracks.len() as u64)
+    }
+}
+
+/// Accumulated statistics for a streaming read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Simulated time spent so far (seek + latency + transfers).
+    pub elapsed: SimNanos,
+    /// Bytes transferred (whole tracks).
+    pub bytes: u64,
+    /// Tracks delivered.
+    pub tracks: u64,
+    /// Records delivered.
+    pub records: u64,
+}
+
+impl TransferStats {
+    /// The effective delivery rate so far, if any time has elapsed.
+    pub fn rate(&self) -> Option<ByteRate> {
+        ByteRate::observed(self.bytes, self.elapsed)
+    }
+}
+
+/// A streaming, timed read over a [`StoredFile`]'s tracks.
+///
+/// Each [`next_track`](Self::next_track) call accounts the simulated time
+/// to deliver that track: the first call pays the average seek and
+/// rotational latency, later calls pay a cylinder-to-cylinder seek when the
+/// track index crosses a cylinder boundary, and every call pays the track
+/// transfer time.
+#[derive(Debug)]
+pub struct TrackStream<'a> {
+    file: &'a StoredFile,
+    profile: &'a DiskProfile,
+    next: usize,
+    stats: TransferStats,
+}
+
+impl<'a> TrackStream<'a> {
+    /// Delivers the next track, or `None` at end of file.
+    pub fn next_track(&mut self) -> Option<&'a Track> {
+        let track = self.file.tracks.get(self.next)?;
+        if self.next == 0 {
+            self.stats.elapsed += self.profile.avg_seek() + self.profile.avg_rotational_latency();
+        } else if self.next.is_multiple_of(self.profile.tracks_per_cylinder() as usize) {
+            self.stats.elapsed += self.profile.track_to_track_seek();
+        }
+        self.stats.elapsed += self.profile.track_transfer_time();
+        self.stats.bytes += self.file.track_bytes as u64;
+        self.stats.tracks += 1;
+        self.stats.records += track.record_count() as u64;
+        self.next += 1;
+        Some(track)
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> TransferStats {
+        self.stats
+    }
+
+    /// Index of the track the next call will deliver.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> DiskProfile {
+        DiskProfile::fujitsu_m2351a()
+    }
+
+    #[test]
+    fn records_fill_tracks_without_spanning() {
+        let mut b = FileBuilder::new(100);
+        b.append_record(&[0u8; 60]).unwrap();
+        b.append_record(&[1u8; 60]).unwrap(); // doesn't fit track 0
+        let f = b.finish("t");
+        assert_eq!(f.track_count(), 2);
+        assert_eq!(f.tracks()[0].record_count(), 1);
+        assert_eq!(f.tracks()[0].used_bytes(), 60);
+        assert_eq!(f.tracks()[1].used_bytes(), 60);
+        assert_eq!(f.payload_bytes(), 120);
+        assert_eq!(f.occupied_bytes(), 200);
+    }
+
+    #[test]
+    fn exact_fit_does_not_open_new_track() {
+        let mut b = FileBuilder::new(100);
+        b.append_record(&[0u8; 50]).unwrap();
+        b.append_record(&[1u8; 50]).unwrap();
+        let f = b.finish("t");
+        assert_eq!(f.track_count(), 1);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut b = FileBuilder::new(100);
+        let err = b.append_record(&[0u8; 101]).unwrap_err();
+        assert_eq!(err.record_bytes, 101);
+        assert_eq!(err.track_bytes, 100);
+    }
+
+    #[test]
+    fn empty_file_has_one_empty_track() {
+        let f = FileBuilder::new(100).finish("empty");
+        assert_eq!(f.track_count(), 1);
+        assert_eq!(f.record_count(), 0);
+    }
+
+    #[test]
+    fn stream_visits_every_record_in_order() {
+        let p = profile();
+        let mut b = FileBuilder::new(64);
+        for i in 0..10u8 {
+            b.append_record(&[i; 20]).unwrap();
+        }
+        let f = b.finish("t");
+        let mut s = f.stream(&p);
+        let mut seen = Vec::new();
+        while let Some(track) = s.next_track() {
+            for r in track.records() {
+                seen.push(r[0]);
+            }
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<u8>>());
+        assert_eq!(s.stats().records, 10);
+        assert_eq!(s.stats().tracks as usize, f.track_count());
+    }
+
+    #[test]
+    fn stream_timing_matches_scan_time() {
+        let p = profile();
+        let mut b = FileBuilder::new(p.track_bytes());
+        // Enough records for several cylinders.
+        let n_tracks_wanted = p.tracks_per_cylinder() as usize * 2 + 3;
+        for _ in 0..n_tracks_wanted {
+            b.append_record(&vec![7u8; p.track_bytes()]).unwrap();
+        }
+        let f = b.finish("big");
+        assert_eq!(f.track_count(), n_tracks_wanted);
+        let mut s = f.stream(&p);
+        while s.next_track().is_some() {}
+        assert_eq!(s.stats().elapsed, f.scan_time(&p));
+    }
+
+    #[test]
+    fn first_track_pays_seek_and_latency() {
+        let p = profile();
+        let mut b = FileBuilder::new(p.track_bytes());
+        b.append_record(&[1u8; 10]).unwrap();
+        let f = b.finish("t");
+        let mut s = f.stream(&p);
+        s.next_track().unwrap();
+        assert_eq!(
+            s.stats().elapsed,
+            p.avg_seek() + p.avg_rotational_latency() + p.track_transfer_time()
+        );
+    }
+
+    #[test]
+    fn delivery_rate_approaches_sustained_for_long_files() {
+        let p = profile();
+        let mut b = FileBuilder::new(p.track_bytes());
+        for _ in 0..500 {
+            b.append_record(&vec![0u8; p.track_bytes()]).unwrap();
+        }
+        let f = b.finish("long");
+        let mut s = f.stream(&p);
+        while s.next_track().is_some() {}
+        let rate = s.stats().rate().unwrap();
+        let sustained = p.sustained_rate().as_bytes_per_sec();
+        assert!(
+            rate.as_bytes_per_sec() > sustained * 0.85,
+            "long scans amortise seeks: {rate} vs {}",
+            p.sustained_rate()
+        );
+        assert!(rate.as_bytes_per_sec() <= sustained);
+    }
+}

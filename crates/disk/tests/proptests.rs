@@ -1,0 +1,77 @@
+//! Property tests for track layout and streaming timing.
+
+use clare_disk::{ByteRate, DiskProfile, FileBuilder, SimNanos};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Records come back in order, none lost, none split across tracks.
+    #[test]
+    fn layout_preserves_records(
+        sizes in prop::collection::vec(1usize..400, 0..60),
+        track_bytes in 400usize..2000,
+    ) {
+        let mut builder = FileBuilder::new(track_bytes);
+        for (i, size) in sizes.iter().enumerate() {
+            builder.append_record(&vec![i as u8; *size]).unwrap();
+        }
+        let file = builder.finish("prop");
+        prop_assert_eq!(file.record_count(), sizes.len());
+        let mut seen = Vec::new();
+        for track in file.tracks() {
+            let mut used = 0usize;
+            for record in track.records() {
+                seen.push(record.len());
+                used += record.len();
+                // First byte identifies the record index.
+                if !record.is_empty() {
+                    prop_assert_eq!(record[0] as usize, seen.len() - 1);
+                }
+            }
+            prop_assert!(used <= track_bytes, "track never over-filled");
+            prop_assert_eq!(track.used_bytes(), used);
+        }
+        prop_assert_eq!(seen, sizes);
+    }
+
+    /// Streaming time equals the closed-form scan time, and rates never
+    /// exceed the sustained rate.
+    #[test]
+    fn stream_timing_consistent(n_records in 1usize..120) {
+        let profile = DiskProfile::micropolis_1325();
+        let mut builder = FileBuilder::new(profile.track_bytes());
+        for _ in 0..n_records {
+            builder.append_record(&[0u8; 3000]).unwrap();
+        }
+        let file = builder.finish("prop");
+        let mut stream = file.stream(&profile);
+        while stream.next_track().is_some() {}
+        let stats = stream.stats();
+        prop_assert_eq!(stats.elapsed, file.scan_time(&profile));
+        prop_assert_eq!(stats.records, n_records as u64);
+        let rate = stats.rate().unwrap();
+        prop_assert!(rate.as_bytes_per_sec() <= profile.sustained_rate().as_bytes_per_sec() + 1.0);
+    }
+
+    /// Transfer time inverts the rate within rounding.
+    #[test]
+    fn rate_transfer_inverse(mb in 0.1f64..20.0, bytes in 1u64..100_000_000) {
+        let rate = ByteRate::from_mb_per_sec(mb);
+        let t = rate.transfer_time(bytes);
+        let back = ByteRate::observed(bytes, t).unwrap();
+        let rel = (back.as_bytes_per_sec() - rate.as_bytes_per_sec()).abs()
+            / rate.as_bytes_per_sec();
+        prop_assert!(rel < 1e-3, "relative error {rel}");
+    }
+
+    /// SimNanos arithmetic is consistent with u64 arithmetic.
+    #[test]
+    fn simnanos_arithmetic(a in 0u64..1 << 40, b in 0u64..1 << 40, k in 0u64..1000) {
+        let (sa, sb) = (SimNanos::from_ns(a), SimNanos::from_ns(b));
+        prop_assert_eq!((sa + sb).as_ns(), a + b);
+        prop_assert_eq!((sa * k).as_ns(), a * k);
+        prop_assert_eq!(sa.max(sb).as_ns(), a.max(b));
+        prop_assert_eq!(sa.saturating_sub(sb).as_ns(), a.saturating_sub(b));
+    }
+}

@@ -1,0 +1,162 @@
+//! Datapath components of the Test Unification Engine (Figure 5) and their
+//! propagation delays.
+//!
+//! Every delay below appears in the timing calculations printed under
+//! Figures 6–12 of the paper. They are the *only* timing inputs to the
+//! simulator: Table 1 falls out of summing routes built from these.
+
+use clare_disk::SimNanos;
+use std::fmt;
+
+/// A datapath component with a fixed propagation delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// The Double Buffer output register (20 ns).
+    DoubleBuffer,
+    /// Selector 1 (20 ns) — routes In-bus or DB Memory data to the
+    /// comparator A-port.
+    Sel1,
+    /// Selector 2 (20 ns) — routes the DB Memory A address port.
+    Sel2,
+    /// Selector 3 (20 ns) — routes Query Memory or DB Memory data to the
+    /// comparator B-port.
+    Sel3,
+    /// Selector 4 (20 ns) — routes the Query Memory data input.
+    Sel4,
+    /// Selector 5 (20 ns) — routes database data toward the Query Memory.
+    Sel5,
+    /// Selector 6 (20 ns) — routes the Query Memory address (microcode
+    /// bits 13–20 during a search).
+    Sel6,
+    /// The dual-ported DB Memory, read access (25 ns).
+    DbMemory,
+    /// The Query Memory, read access (35 ns).
+    QueryMemory,
+    /// Register 1 (20 ns) — holds cross-binding references.
+    Reg1,
+    /// Register 3 (20 ns) — feeds the DB Memory data input.
+    Reg3,
+}
+
+impl Component {
+    /// Propagation delay, exactly as printed in the paper's figures.
+    pub fn delay(self) -> SimNanos {
+        let ns = match self {
+            Component::DoubleBuffer => 20,
+            Component::Sel1
+            | Component::Sel2
+            | Component::Sel3
+            | Component::Sel4
+            | Component::Sel5
+            | Component::Sel6 => 20,
+            Component::DbMemory => 25,
+            Component::QueryMemory => 35,
+            Component::Reg1 | Component::Reg3 => 20,
+        };
+        SimNanos::from_ns(ns)
+    }
+
+    /// The name the paper's figures use.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::DoubleBuffer => "Double Buffer",
+            Component::Sel1 => "Sel1",
+            Component::Sel2 => "Sel2",
+            Component::Sel3 => "Sel3",
+            Component::Sel4 => "Sel4",
+            Component::Sel5 => "Sel5",
+            Component::Sel6 => "Sel6",
+            Component::DbMemory => "DB Memory",
+            Component::QueryMemory => "Query Memory",
+            Component::Reg1 => "Reg1",
+            Component::Reg3 => "Reg3",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The terminal action that closes a hardware operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Terminal {
+    /// The ALS 8-bit comparator generates HIT (30 ns).
+    Compare,
+    /// A write into the DB Memory (20 ns).
+    WriteDbMemory,
+    /// A write into the Query Memory (35 ns — the memory's access time).
+    WriteQueryMemory,
+}
+
+impl Terminal {
+    /// Delay of the terminal action.
+    pub fn delay(self) -> SimNanos {
+        let ns = match self {
+            Terminal::Compare => 30,
+            Terminal::WriteDbMemory => 20,
+            Terminal::WriteQueryMemory => 35,
+        };
+        SimNanos::from_ns(ns)
+    }
+
+    /// The label the figures use.
+    pub fn name(self) -> &'static str {
+        match self {
+            Terminal::Compare => "comparison",
+            Terminal::WriteDbMemory => "DB Memory write",
+            Terminal::WriteQueryMemory => "Query Memory write",
+        }
+    }
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The WCS clock (an 8 MHz oscillator synchronises the Writable Control
+/// Store, §3.1).
+pub const WCS_CLOCK_HZ: u64 = 8_000_000;
+
+/// Capacity of the Writable Control Store: 2048 instructions of 64 bits.
+pub const WCS_INSTRUCTIONS: usize = 2048;
+
+/// Width of one WCS microinstruction in bits.
+pub const WCS_INSTRUCTION_BITS: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_delays() {
+        assert_eq!(Component::DoubleBuffer.delay().as_ns(), 20);
+        assert_eq!(Component::Sel1.delay().as_ns(), 20);
+        assert_eq!(Component::Sel6.delay().as_ns(), 20);
+        assert_eq!(Component::DbMemory.delay().as_ns(), 25);
+        assert_eq!(Component::QueryMemory.delay().as_ns(), 35);
+        assert_eq!(Component::Reg1.delay().as_ns(), 20);
+        assert_eq!(Component::Reg3.delay().as_ns(), 20);
+        assert_eq!(Terminal::Compare.delay().as_ns(), 30);
+        assert_eq!(Terminal::WriteDbMemory.delay().as_ns(), 20);
+        assert_eq!(Terminal::WriteQueryMemory.delay().as_ns(), 35);
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(Component::DoubleBuffer.name(), "Double Buffer");
+        assert_eq!(Component::QueryMemory.name(), "Query Memory");
+        assert_eq!(Terminal::Compare.name(), "comparison");
+    }
+
+    #[test]
+    fn wcs_parameters() {
+        assert_eq!(WCS_CLOCK_HZ, 8_000_000);
+        assert_eq!(WCS_INSTRUCTIONS, 2048);
+        assert_eq!(WCS_INSTRUCTION_BITS, 64);
+    }
+}

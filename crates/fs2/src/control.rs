@@ -1,0 +1,219 @@
+//! The 8-bit control register and operational modes (§2.2/§3).
+//!
+//! CLARE is memory-mapped into the SUN host's VME space at
+//! `ffff7e00`–`ffff7fff`. Bit 2 of the control register selects FS1 or
+//! FS2; bits 0–1 select the operational mode; bit 7 reports that a match
+//! was found during a search.
+
+use std::fmt;
+
+/// First byte of the shared CLARE address window in the host's VME space.
+pub const VME_WINDOW_START: u32 = 0xffff_7e00;
+/// Last byte of the shared CLARE address window.
+pub const VME_WINDOW_END: u32 = 0xffff_7fff;
+
+/// The four FS2 operational modes, selected by control-register bits
+/// b0/b1 exactly as the paper's mode table gives them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperationalMode {
+    /// b0=0, b1=0 — read captured satisfiers out of the Result Memory.
+    ReadResult,
+    /// b0=0, b1=1 — stream disk data through the filter.
+    Search,
+    /// b0=1, b1=0 — load microprogram instructions into the WCS.
+    Microprogramming,
+    /// b0=1, b1=1 — write query argument words into the Query Memory.
+    SetQuery,
+}
+
+impl OperationalMode {
+    /// Encodes to `(b0, b1)`.
+    pub fn to_bits(self) -> (bool, bool) {
+        match self {
+            OperationalMode::ReadResult => (false, false),
+            OperationalMode::Search => (false, true),
+            OperationalMode::Microprogramming => (true, false),
+            OperationalMode::SetQuery => (true, true),
+        }
+    }
+
+    /// Decodes from `(b0, b1)`.
+    pub fn from_bits(b0: bool, b1: bool) -> Self {
+        match (b0, b1) {
+            (false, false) => OperationalMode::ReadResult,
+            (false, true) => OperationalMode::Search,
+            (true, false) => OperationalMode::Microprogramming,
+            (true, true) => OperationalMode::SetQuery,
+        }
+    }
+}
+
+impl fmt::Display for OperationalMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OperationalMode::ReadResult => "Read Result",
+            OperationalMode::Search => "Search",
+            OperationalMode::Microprogramming => "Microprogramming",
+            OperationalMode::SetQuery => "Set Query",
+        })
+    }
+}
+
+/// Which filter board the shared address window talks to (control bit b2:
+/// 0 selects FS1, 1 selects FS2 — "the two filters are mutually
+/// exclusive").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterSelect {
+    /// The superimposed-codeword index scanner.
+    Fs1,
+    /// The partial-test-unification engine.
+    Fs2,
+}
+
+/// The 8-bit CLARE control register.
+///
+/// # Examples
+///
+/// ```
+/// use clare_fs2::{ControlRegister, FilterSelect, OperationalMode};
+///
+/// let mut reg = ControlRegister::new();
+/// reg.select_filter(FilterSelect::Fs2);
+/// reg.set_mode(OperationalMode::Search);
+/// assert_eq!(reg.mode(), OperationalMode::Search);
+/// assert_eq!(reg.raw() & 0b100, 0b100);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlRegister(u8);
+
+impl ControlRegister {
+    /// A cleared register: Read Result mode, FS1 selected, no match flag.
+    pub fn new() -> Self {
+        ControlRegister(0)
+    }
+
+    /// The raw byte as the host would read it over the VMEbus.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs from a raw byte.
+    pub fn from_raw(byte: u8) -> Self {
+        ControlRegister(byte)
+    }
+
+    /// Sets the operational mode bits (b0/b1).
+    pub fn set_mode(&mut self, mode: OperationalMode) {
+        let (b0, b1) = mode.to_bits();
+        self.0 = (self.0 & !0b11) | (b0 as u8) | ((b1 as u8) << 1);
+    }
+
+    /// The current operational mode.
+    pub fn mode(self) -> OperationalMode {
+        OperationalMode::from_bits(self.0 & 1 != 0, self.0 & 2 != 0)
+    }
+
+    /// Sets the filter-select bit (b2).
+    pub fn select_filter(&mut self, filter: FilterSelect) {
+        match filter {
+            FilterSelect::Fs1 => self.0 &= !0b100,
+            FilterSelect::Fs2 => self.0 |= 0b100,
+        }
+    }
+
+    /// Which filter the window currently addresses.
+    pub fn filter(self) -> FilterSelect {
+        if self.0 & 0b100 != 0 {
+            FilterSelect::Fs2
+        } else {
+            FilterSelect::Fs1
+        }
+    }
+
+    /// Sets or clears the match-found flag (b7), as the search hardware
+    /// does at the end of a search.
+    pub fn set_match_found(&mut self, found: bool) {
+        if found {
+            self.0 |= 0b1000_0000;
+        } else {
+            self.0 &= !0b1000_0000;
+        }
+    }
+
+    /// True if the last search captured at least one satisfier.
+    pub fn match_found(self) -> bool {
+        self.0 & 0b1000_0000 != 0
+    }
+}
+
+impl fmt::Display for ControlRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#010b} ({}, {:?}, match={})",
+            self.0,
+            self.mode(),
+            self.filter(),
+            self.match_found()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_bit_encoding_matches_paper_table() {
+        assert_eq!(OperationalMode::ReadResult.to_bits(), (false, false));
+        assert_eq!(OperationalMode::Search.to_bits(), (false, true));
+        assert_eq!(OperationalMode::Microprogramming.to_bits(), (true, false));
+        assert_eq!(OperationalMode::SetQuery.to_bits(), (true, true));
+        for m in [
+            OperationalMode::ReadResult,
+            OperationalMode::Search,
+            OperationalMode::Microprogramming,
+            OperationalMode::SetQuery,
+        ] {
+            let (b0, b1) = m.to_bits();
+            assert_eq!(OperationalMode::from_bits(b0, b1), m);
+        }
+    }
+
+    #[test]
+    fn register_fields_are_independent() {
+        let mut r = ControlRegister::new();
+        r.select_filter(FilterSelect::Fs2);
+        r.set_mode(OperationalMode::SetQuery);
+        r.set_match_found(true);
+        assert_eq!(r.mode(), OperationalMode::SetQuery);
+        assert_eq!(r.filter(), FilterSelect::Fs2);
+        assert!(r.match_found());
+        r.set_mode(OperationalMode::Search);
+        assert_eq!(r.filter(), FilterSelect::Fs2, "mode change keeps b2");
+        assert!(r.match_found(), "mode change keeps b7");
+        r.select_filter(FilterSelect::Fs1);
+        assert_eq!(r.mode(), OperationalMode::Search, "b2 change keeps mode");
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let mut r = ControlRegister::new();
+        r.set_mode(OperationalMode::Microprogramming);
+        r.select_filter(FilterSelect::Fs2);
+        let byte = r.raw();
+        assert_eq!(ControlRegister::from_raw(byte), r);
+        // b0=1, b1=0, b2=1 -> 0b101.
+        assert_eq!(byte, 0b101);
+    }
+
+    #[test]
+    fn vme_window_is_128k_shared() {
+        // The paper describes a 128 KB shared window; the printed hex
+        // bounds span 512 bytes — we reproduce the printed bounds and note
+        // the discrepancy here.
+        assert_eq!(VME_WINDOW_START, 0xffff_7e00);
+        assert_eq!(VME_WINDOW_END, 0xffff_7fff);
+        assert_eq!(VME_WINDOW_END - VME_WINDOW_START + 1, 512);
+    }
+}

@@ -1,0 +1,202 @@
+//! The Map ROM: type-pair dispatch to microroutines (§3.1).
+//!
+//! "The Map ROM stores a list of jump vectors and its address port is
+//! connected to the db-data and Q-data bus… Only the type fields of the
+//! db-data and Q-data are effective. Depending on the combination of the
+//! type fields, different microprogram routines are invoked."
+//!
+//! The simulated ROM is a real 256×256 table indexed by the two raw tag
+//! bytes; every entry names one of six microroutines. Building the table
+//! walks every valid tag pair and applies the §3.1 category rules, with
+//! the Figure 1 precedence: the database-variable branch (case 5) is
+//! checked before the query-variable branch (case 6).
+
+use clare_pif::tags::TagCategory;
+use clare_pif::TypeTag;
+use std::fmt;
+
+/// A microroutine entry point in the Writable Control Store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Routine {
+    /// Either word is the anonymous variable: the match succeeds
+    /// immediately ("a don't care object … causes a skip").
+    Skip,
+    /// Both words are simple terms (or a simple/complex mixture, which the
+    /// comparator rejects by inequality): a single MATCH.
+    SimpleMatch,
+    /// The database word is a named variable: store / fetch / cross-bound
+    /// fetch against the DB Memory (Figure 1 cases 5a–5c).
+    DbVar,
+    /// The query word is a named variable (database side is not): store /
+    /// fetch / cross-bound fetch against the Query Memory (cases 6a–6c).
+    QueryVar,
+    /// Both words are complex: counter-driven repetitive matching.
+    ComplexMatch,
+    /// At least one tag byte is not a valid PIF tag: the stream is
+    /// corrupt; the clause is rejected.
+    Invalid,
+}
+
+impl fmt::Display for Routine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Routine::Skip => "SKIP",
+            Routine::SimpleMatch => "SIMPLE_MATCH",
+            Routine::DbVar => "DB_VAR",
+            Routine::QueryVar => "QUERY_VAR",
+            Routine::ComplexMatch => "COMPLEX_MATCH",
+            Routine::Invalid => "INVALID",
+        })
+    }
+}
+
+/// The 64 K-entry jump table.
+pub struct MapRom {
+    table: Box<[Routine; 65536]>,
+}
+
+impl MapRom {
+    /// Builds the ROM from the tag categories.
+    pub fn new() -> Self {
+        let mut table = vec![Routine::Invalid; 65536];
+        for db_byte in 0u16..=255 {
+            let Ok(db_tag) = TypeTag::from_byte(db_byte as u8) else {
+                continue;
+            };
+            for q_byte in 0u16..=255 {
+                let Ok(q_tag) = TypeTag::from_byte(q_byte as u8) else {
+                    continue;
+                };
+                table[(db_byte as usize) << 8 | q_byte as usize] = Self::classify(db_tag, q_tag);
+            }
+        }
+        MapRom {
+            table: table
+                .into_boxed_slice()
+                .try_into().expect("table has exactly 65536 entries"),
+        }
+    }
+
+    fn classify(db_tag: TypeTag, q_tag: TypeTag) -> Routine {
+        use TypeTag::{Anon, DbVar, QueryVar};
+        // Anonymous variables skip before anything else.
+        if matches!(db_tag, Anon) || matches!(q_tag, Anon) {
+            return Routine::Skip;
+        }
+        // Figure 1 precedence: database-variable branch first.
+        if matches!(db_tag, DbVar { .. } | QueryVar { .. }) {
+            // A QV tag on the database bus would be a compiler error, but
+            // the ROM still routes it through the variable machinery.
+            return Routine::DbVar;
+        }
+        if matches!(q_tag, QueryVar { .. } | DbVar { .. }) {
+            return Routine::QueryVar;
+        }
+        match (db_tag.category(), q_tag.category()) {
+            (TagCategory::Complex, TagCategory::Complex) => Routine::ComplexMatch,
+            // Simple/simple and simple/complex both go to the comparator;
+            // a category mismatch simply never raises HIT.
+            _ => Routine::SimpleMatch,
+        }
+    }
+
+    /// Dispatches on the two raw tag bytes (db word, query word).
+    pub fn dispatch(&self, db_tag: u8, q_tag: u8) -> Routine {
+        self.table[(db_tag as usize) << 8 | q_tag as usize]
+    }
+
+    /// Dispatches on decoded tags.
+    pub fn dispatch_tags(&self, db_tag: TypeTag, q_tag: TypeTag) -> Routine {
+        self.dispatch(db_tag.to_byte(), q_tag.to_byte())
+    }
+}
+
+impl Default for MapRom {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for MapRom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MapRom").field("entries", &65536).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clare_pif::tags::*;
+
+    #[test]
+    fn anon_skips_everything() {
+        let rom = MapRom::new();
+        for other in [TAG_ATOM_PTR, TAG_FIRST_DV, TAG_FIRST_QV, 0x10, 0xE2] {
+            assert_eq!(rom.dispatch(TAG_ANON, other), Routine::Skip);
+            assert_eq!(rom.dispatch(other, TAG_ANON), Routine::Skip);
+        }
+        assert_eq!(rom.dispatch(TAG_ANON, TAG_ANON), Routine::Skip);
+    }
+
+    #[test]
+    fn db_variable_branch_takes_precedence() {
+        let rom = MapRom::new();
+        // Both sides variables: the DB branch wins (Figure 1 case order).
+        assert_eq!(rom.dispatch(TAG_FIRST_DV, TAG_FIRST_QV), Routine::DbVar);
+        assert_eq!(rom.dispatch(TAG_SUB_DV, TAG_SUB_QV), Routine::DbVar);
+        assert_eq!(rom.dispatch(TAG_FIRST_DV, TAG_ATOM_PTR), Routine::DbVar);
+        assert_eq!(rom.dispatch(TAG_ATOM_PTR, TAG_FIRST_QV), Routine::QueryVar);
+    }
+
+    #[test]
+    fn simple_pairs_go_to_comparator() {
+        let rom = MapRom::new();
+        assert_eq!(
+            rom.dispatch(TAG_ATOM_PTR, TAG_ATOM_PTR),
+            Routine::SimpleMatch
+        );
+        assert_eq!(rom.dispatch(0x15, 0x10), Routine::SimpleMatch);
+        assert_eq!(
+            rom.dispatch(TAG_FLOAT_PTR, TAG_ATOM_PTR),
+            Routine::SimpleMatch
+        );
+        // Simple vs complex also reaches the comparator (and fails there).
+        assert_eq!(rom.dispatch(TAG_ATOM_PTR, 0xE2), Routine::SimpleMatch);
+        assert_eq!(rom.dispatch(0x62, TAG_ATOM_PTR), Routine::SimpleMatch);
+    }
+
+    #[test]
+    fn complex_pairs_go_to_repetitive_matching() {
+        let rom = MapRom::new();
+        assert_eq!(rom.dispatch(0x62, 0x62), Routine::ComplexMatch); // struct/struct
+        assert_eq!(rom.dispatch(0xE2, 0xA1), Routine::ComplexMatch); // listT/listU
+        assert_eq!(rom.dispatch(0x42, 0x62), Routine::ComplexMatch); // ptr/inline
+    }
+
+    #[test]
+    fn invalid_tags_marked() {
+        let rom = MapRom::new();
+        assert_eq!(rom.dispatch(0x00, TAG_ATOM_PTR), Routine::Invalid);
+        assert_eq!(rom.dispatch(TAG_ATOM_PTR, 0x3F), Routine::Invalid);
+    }
+
+    #[test]
+    fn every_valid_pair_has_a_routine() {
+        let rom = MapRom::new();
+        let mut valid_pairs = 0;
+        for a in 0u16..=255 {
+            for b in 0u16..=255 {
+                let valid =
+                    TypeTag::from_byte(a as u8).is_ok() && TypeTag::from_byte(b as u8).is_ok();
+                let routine = rom.dispatch(a as u8, b as u8);
+                if valid {
+                    assert_ne!(routine, Routine::Invalid, "pair ({a:#04x},{b:#04x})");
+                    valid_pairs += 1;
+                } else {
+                    assert_eq!(routine, Routine::Invalid);
+                }
+            }
+        }
+        assert_eq!(valid_pairs, TAG_VALUE_COUNT * TAG_VALUE_COUNT);
+    }
+}

@@ -1,0 +1,196 @@
+//! The Result Memory and its Address Generator (§3.2, Figure 4).
+//!
+//! "The Result Memory has a capacity of 32K bytes which is large enough to
+//! contain all clause satisfiers of one disk track — the worst case of a
+//! single FS2 search call." The Address Generator is two counters: a 6-bit
+//! counter selecting the satisfier slot (incremented per satisfier, its
+//! final value is the satisfier count) and a 9-bit counter addressing
+//! bytes within the slot (reset to zero after every clause).
+
+use std::fmt;
+
+/// Total Result Memory capacity.
+pub const RESULT_MEMORY_BYTES: usize = 32 * 1024;
+/// Satisfier slots: the upper counter is 6 bits wide.
+pub const SATISFIER_SLOTS: usize = 64;
+/// Bytes per slot: the lower counter is 9 bits wide.
+pub const SLOT_BYTES: usize = 512;
+
+/// Overflow conditions a search call can hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResultOverflow {
+    /// More satisfiers than the 6-bit counter can address: the 65th hit on
+    /// one track has nowhere to go.
+    SatisfierCount {
+        /// Slots available.
+        slots: usize,
+    },
+    /// A clause record larger than the 9-bit offset counter's reach.
+    RecordTooLarge {
+        /// The record's size.
+        record_bytes: usize,
+    },
+}
+
+impl fmt::Display for ResultOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResultOverflow::SatisfierCount { slots } => {
+                write!(f, "result memory full: all {slots} satisfier slots used")
+            }
+            ResultOverflow::RecordTooLarge { record_bytes } => write!(
+                f,
+                "clause record of {record_bytes} bytes exceeds the {SLOT_BYTES}-byte slot"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResultOverflow {}
+
+/// The Result Memory: 64 slots of 512 bytes.
+///
+/// # Examples
+///
+/// ```
+/// use clare_fs2::ResultMemory;
+///
+/// let mut rm = ResultMemory::new();
+/// rm.capture(&[1, 2, 3])?;
+/// assert_eq!(rm.satisfier_count(), 1);
+/// assert_eq!(rm.drain(), vec![vec![1, 2, 3]]);
+/// assert_eq!(rm.satisfier_count(), 0);
+/// # Ok::<(), clare_fs2::result::ResultOverflow>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResultMemory {
+    slots: Vec<Vec<u8>>,
+}
+
+impl ResultMemory {
+    /// An empty result memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Captures one satisfying clause record into the next slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResultOverflow`] when the record exceeds a slot or all
+    /// slots are used — both conditions the real counters cannot express.
+    pub fn capture(&mut self, record: &[u8]) -> Result<(), ResultOverflow> {
+        if record.len() > SLOT_BYTES {
+            return Err(ResultOverflow::RecordTooLarge {
+                record_bytes: record.len(),
+            });
+        }
+        if self.slots.len() >= SATISFIER_SLOTS {
+            return Err(ResultOverflow::SatisfierCount {
+                slots: SATISFIER_SLOTS,
+            });
+        }
+        self.slots.push(record.to_vec());
+        Ok(())
+    }
+
+    /// The upper counter's value: satisfiers captured so far.
+    pub fn satisfier_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The hardware address the next byte write would use:
+    /// `upper_counter << 9 | lower_counter`.
+    pub fn next_address(&self) -> u16 {
+        ((self.slots.len() as u16) << 9) & 0x7FFF
+    }
+
+    /// True if no satisfiers are held.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Reads the captured records without consuming them (Read Result
+    /// mode is non-destructive; the host reads the memory over the bus).
+    pub fn satisfiers(&self) -> &[Vec<u8>] {
+        &self.slots
+    }
+
+    /// Takes all captured records and resets the counters for the next
+    /// search call.
+    pub fn drain(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.slots)
+    }
+
+    /// Clears the memory (start of a new search call).
+    pub fn reset(&mut self) {
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_paper() {
+        assert_eq!(SATISFIER_SLOTS * SLOT_BYTES, RESULT_MEMORY_BYTES);
+        assert_eq!(SATISFIER_SLOTS, 1 << 6, "6-bit upper counter");
+        assert_eq!(SLOT_BYTES, 1 << 9, "9-bit lower counter");
+    }
+
+    #[test]
+    fn captures_in_order() {
+        let mut rm = ResultMemory::new();
+        rm.capture(&[1]).unwrap();
+        rm.capture(&[2]).unwrap();
+        assert_eq!(rm.satisfier_count(), 2);
+        assert_eq!(rm.satisfiers(), &[vec![1], vec![2]]);
+        assert_eq!(rm.drain(), vec![vec![1], vec![2]]);
+        assert!(rm.is_empty());
+    }
+
+    #[test]
+    fn slot_overflow_at_64() {
+        let mut rm = ResultMemory::new();
+        for i in 0..SATISFIER_SLOTS {
+            rm.capture(&[i as u8]).unwrap();
+        }
+        let err = rm.capture(&[0xFF]).unwrap_err();
+        assert_eq!(err, ResultOverflow::SatisfierCount { slots: 64 });
+        assert_eq!(rm.satisfier_count(), 64);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut rm = ResultMemory::new();
+        let big = vec![0u8; SLOT_BYTES + 1];
+        assert_eq!(
+            rm.capture(&big).unwrap_err(),
+            ResultOverflow::RecordTooLarge {
+                record_bytes: SLOT_BYTES + 1
+            }
+        );
+        let exact = vec![0u8; SLOT_BYTES];
+        assert!(rm.capture(&exact).is_ok());
+    }
+
+    #[test]
+    fn next_address_tracks_upper_counter() {
+        let mut rm = ResultMemory::new();
+        assert_eq!(rm.next_address(), 0);
+        rm.capture(&[1]).unwrap();
+        assert_eq!(rm.next_address(), 1 << 9);
+        rm.capture(&[2]).unwrap();
+        assert_eq!(rm.next_address(), 2 << 9);
+    }
+
+    #[test]
+    fn reset_restores_counters() {
+        let mut rm = ResultMemory::new();
+        rm.capture(&[1]).unwrap();
+        rm.reset();
+        assert_eq!(rm.satisfier_count(), 0);
+        assert_eq!(rm.next_address(), 0);
+    }
+}

@@ -1,0 +1,413 @@
+//! Register-transfer-level execution of the microprogram's datapath
+//! control fields over the Figure 5 structure.
+//!
+//! Where [`ops`](crate::ops) derives *timings* from routes and
+//! [`engine`](crate::engine) implements the *semantics* directly, this
+//! module closes the loop: it evaluates the selector settings of each
+//! microinstruction against an explicit wiring of the Test Unification
+//! Engine —
+//!
+//! ```text
+//!   Sel1: left = In-bus,          right = DB Memory B-data   → Comp A
+//!   Sel2: left = Sel1 output,     right = Sel3 output        → DB Mem A-addr
+//!   Sel3: left = DB Memory A-data, right = Query Memory data → Comp B, Sel2
+//!   Sel4: left = Sel5 output,     right = VME data           → Q Mem data-in
+//!   Sel5: right = Sel1 output                                → Sel4
+//!   Sel6: left = ub13–20,         right = VME address        → Q Mem addr
+//!   Reg1: DB Memory B-data        (cross-binding reference)
+//!   Reg3: Query Memory data       (DB Memory data-in)
+//! ```
+//!
+//! — and produces the comparator verdict and memory writes. Tests verify
+//! that executing each Table 1 routine at this level computes exactly the
+//! dereference/store behaviour the matching engine implements, so the
+//! microprogram, the route timings, and the engine semantics are three
+//! views of one machine.
+
+use crate::micro::{DatapathControl, SelBranch};
+use crate::ops::HwOp;
+
+/// 24-bit content mask: the memory address space of the TUE.
+const CONTENT: u32 = 0x00FF_FFFF;
+
+/// The architectural state the datapath carries across cycles.
+#[derive(Debug, Clone, Default)]
+pub struct Datapath {
+    /// Reg1 — cross-binding reference register.
+    pub reg1: u32,
+    /// Reg3 — DB Memory data-in register.
+    pub reg3: u32,
+    /// Latched comparator A port.
+    pub port_a: u32,
+    /// Latched comparator B port.
+    pub port_b: u32,
+    /// Latched DB Memory A address (for recycling).
+    pub a_addr: u32,
+}
+
+/// One cycle's observable effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleEffects {
+    /// The comparator's HIT output, when strobed this cycle.
+    pub hit: Option<bool>,
+    /// A DB Memory write `(address, value)`, if any.
+    pub db_write: Option<(u32, u32)>,
+    /// A Query Memory write `(address, value)`, if any.
+    pub q_write: Option<(u32, u32)>,
+}
+
+/// The memory environment a cycle executes against.
+#[derive(Debug)]
+pub struct RtlEnv<'a> {
+    /// The In-bus: the current database argument word (Double Buffer
+    /// output).
+    pub in_bus: u32,
+    /// The Query Memory contents (stream words and variable cells).
+    pub q_memory: &'a mut Vec<u32>,
+    /// The DB Memory contents (database variable cells).
+    pub db_memory: &'a mut Vec<u32>,
+}
+
+fn read(memory: &[u32], addr: u32) -> u32 {
+    memory.get((addr & CONTENT) as usize).copied().unwrap_or(0)
+}
+
+fn write(memory: &mut Vec<u32>, addr: u32, value: u32) {
+    let index = (addr & CONTENT) as usize;
+    if index >= memory.len() {
+        memory.resize(index + 1, 0);
+    }
+    memory[index] = value;
+}
+
+impl Datapath {
+    /// A powered-up datapath with cleared registers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates one microcycle: combinational selector outputs first,
+    /// then register latches, memory writes, and the comparator strobe.
+    pub fn cycle(&mut self, control: &DatapathControl, env: &mut RtlEnv<'_>) -> CycleEffects {
+        // Query Memory address: Sel6 left = microcode bits 13–20.
+        let q_addr = match control.sel6 {
+            SelBranch::Left => control.q_address as u32,
+            SelBranch::Right | SelBranch::Hold => control.q_address as u32,
+        };
+        let q_data = read(env.q_memory, q_addr);
+
+        // DB Memory B port: addressed by the In-bus content, or by Reg1
+        // during a cross-binding chase.
+        let b_addr = if control.b_addr_from_reg1 {
+            self.reg1
+        } else {
+            env.in_bus
+        };
+        let db_b_data = read(env.db_memory, b_addr);
+        // DB Memory A port: addressed by the latched A address from the
+        // previous cycle (reads happen before this cycle's address update).
+        let db_a_data = read(env.db_memory, self.a_addr);
+
+        // Selector network (combinational).
+        let sel1 = match control.sel1 {
+            SelBranch::Left => Some(env.in_bus),
+            SelBranch::Right => Some(db_b_data),
+            SelBranch::Hold => None,
+        };
+        let sel3 = match control.sel3 {
+            SelBranch::Left => Some(db_a_data),
+            SelBranch::Right => Some(q_data),
+            SelBranch::Hold => None,
+        };
+        let sel2 = match control.sel2 {
+            SelBranch::Left => sel1,
+            SelBranch::Right => sel3,
+            SelBranch::Hold => None,
+        };
+        let sel5 = match control.sel5 {
+            SelBranch::Right => sel1,
+            _ => None,
+        };
+        let sel4 = match control.sel4 {
+            SelBranch::Left => sel5,
+            SelBranch::Right => None, // VME data: not driven during search
+            SelBranch::Hold => None,
+        };
+
+        // Latches at end of cycle.
+        if let Some(a) = sel1 {
+            self.port_a = a;
+        }
+        if let Some(b) = sel3 {
+            self.port_b = b;
+        }
+        if let Some(addr) = sel2 {
+            self.a_addr = addr & CONTENT;
+        }
+        if control.latch_reg1 {
+            self.reg1 = db_b_data;
+        }
+        if control.latch_reg3 {
+            self.reg3 = q_data;
+        }
+
+        // Memory writes and the comparator.
+        let mut effects = CycleEffects::default();
+        if control.write_db_memory {
+            let addr = self.a_addr;
+            write(env.db_memory, addr, self.reg3);
+            effects.db_write = Some((addr, self.reg3));
+        }
+        if control.write_query_memory {
+            let value = sel4.unwrap_or(self.port_a);
+            write(env.q_memory, q_addr, value);
+            effects.q_write = Some((q_addr, value));
+        }
+        if control.compare {
+            effects.hit = Some(self.port_a == self.port_b);
+        }
+        effects
+    }
+
+    /// Executes every cycle of one Table 1 routine (using the
+    /// microprogram's own control settings) and returns the final cycle's
+    /// effects.
+    pub fn execute_op(&mut self, op: HwOp, q_address: u8, env: &mut RtlEnv<'_>) -> CycleEffects {
+        let program = crate::micro::Microprogram::standard();
+        let mut last = CycleEffects::default();
+        for instruction in program.op_routine(op) {
+            let mut control = instruction.control;
+            control.q_address = q_address;
+            last = self.cycle(&control, env);
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(tag: u8, content: u32) -> u32 {
+        ((tag as u32) << 24) | (content & CONTENT)
+    }
+
+    /// Fresh memories: query words at 0.., db cells self-referencing.
+    fn env_with(q: Vec<u32>, db: Vec<u32>) -> (Vec<u32>, Vec<u32>) {
+        (q, db)
+    }
+
+    #[test]
+    fn match_compares_in_bus_with_query_word() {
+        let (mut q, mut db) = env_with(vec![word(0x08, 42)], vec![]);
+        let mut dp = Datapath::new();
+        let fx = dp.execute_op(
+            HwOp::Match,
+            0,
+            &mut RtlEnv {
+                in_bus: word(0x08, 42),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, Some(true));
+        let fx = dp.execute_op(
+            HwOp::Match,
+            0,
+            &mut RtlEnv {
+                in_bus: word(0x08, 43),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, Some(false));
+    }
+
+    #[test]
+    fn db_store_writes_query_word_at_in_bus_address() {
+        // DB variable with offset 3 on the In-bus; query word at address 1.
+        let (mut q, mut db) = env_with(vec![0, word(0x08, 99)], vec![0; 8]);
+        let mut dp = Datapath::new();
+        let fx = dp.execute_op(
+            HwOp::DbStore,
+            1,
+            &mut RtlEnv {
+                in_bus: word(0x26, 3),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        // The figure's semantics: DB Memory[content of db word] := query
+        // argument. Addresses take the word's low 24 bits.
+        assert_eq!(fx.db_write, Some((word(0x26, 3) & CONTENT, word(0x08, 99))));
+        assert_eq!(db[(word(0x26, 3) & CONTENT) as usize], word(0x08, 99));
+    }
+
+    #[test]
+    fn query_store_writes_db_word_into_query_memory() {
+        let (mut q, mut db) = env_with(vec![0, 0, 0], vec![]);
+        let mut dp = Datapath::new();
+        let fx = dp.execute_op(
+            HwOp::QueryStore,
+            2,
+            &mut RtlEnv {
+                in_bus: word(0x08, 7),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.q_write, Some((2, word(0x08, 7))));
+        assert_eq!(q[2], word(0x08, 7));
+    }
+
+    #[test]
+    fn db_fetch_compares_binding_with_query_word() {
+        // DB cell 5 holds atom#12; query word is atom#12 -> HIT.
+        let mut db = vec![0; 8];
+        db[5] = word(0x08, 12);
+        let (mut q, mut db) = env_with(vec![word(0x08, 12)], db);
+        let mut dp = Datapath::new();
+        let fx = dp.execute_op(
+            HwOp::DbFetch,
+            0,
+            &mut RtlEnv {
+                in_bus: word(0x24, 5),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, Some(true));
+        // Different binding -> miss.
+        db[5] = word(0x08, 13);
+        let fx = dp.execute_op(
+            HwOp::DbFetch,
+            0,
+            &mut RtlEnv {
+                in_bus: word(0x24, 5),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, Some(false));
+    }
+
+    #[test]
+    fn query_fetch_dereferences_through_db_memory() {
+        // Query cell (addr 1) holds a pointer word whose content addresses
+        // DB Memory cell 6; that cell holds the binding to compare.
+        let mut db = vec![0; 8];
+        db[6] = word(0x08, 77);
+        let (mut q, mut db) = env_with(vec![0, word(0x25, 6)], db);
+        let mut dp = Datapath::new();
+        let fx = dp.execute_op(
+            HwOp::QueryFetch,
+            1,
+            &mut RtlEnv {
+                in_bus: word(0x08, 77),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, Some(true), "in_bus == DB[Q[1].content]");
+        db[6] = word(0x08, 78);
+        let fx = dp.execute_op(
+            HwOp::QueryFetch,
+            1,
+            &mut RtlEnv {
+                in_bus: word(0x08, 77),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, Some(false));
+    }
+
+    #[test]
+    fn db_cross_bound_fetch_chases_two_levels() {
+        // In-bus names DB cell 2; cell 2 holds a reference to cell 4;
+        // cell 4 holds the ultimate binding.
+        let mut db = vec![0; 8];
+        db[2] = word(0x24, 4);
+        db[4] = word(0x08, 55);
+        let (mut q, mut db) = env_with(vec![word(0x08, 55)], db);
+        let mut dp = Datapath::new();
+        let fx = dp.execute_op(
+            HwOp::DbCrossBoundFetch,
+            0,
+            &mut RtlEnv {
+                in_bus: word(0x24, 2),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, Some(true), "DB[DB[in_bus].content] == Q[0]");
+        db[4] = word(0x08, 56);
+        let fx = dp.execute_op(
+            HwOp::DbCrossBoundFetch,
+            0,
+            &mut RtlEnv {
+                in_bus: word(0x24, 2),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, Some(false));
+    }
+
+    #[test]
+    fn query_cross_bound_fetch_chases_three_levels() {
+        // Q[1] -> DB[3] -> DB[5] -> ultimate binding, compared to In-bus.
+        let mut db = vec![0; 8];
+        db[3] = word(0x24, 5);
+        db[5] = word(0x08, 91);
+        let (mut q, mut db) = env_with(vec![0, word(0x25, 3)], db);
+        let mut dp = Datapath::new();
+        let fx = dp.execute_op(
+            HwOp::QueryCrossBoundFetch,
+            1,
+            &mut RtlEnv {
+                in_bus: word(0x08, 91),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, Some(true), "in_bus == DB[DB[Q[1]].content]");
+        db[5] = word(0x08, 92);
+        let fx = dp.execute_op(
+            HwOp::QueryCrossBoundFetch,
+            1,
+            &mut RtlEnv {
+                in_bus: word(0x08, 91),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, Some(false));
+    }
+
+    #[test]
+    fn store_ops_do_not_strobe_the_comparator() {
+        let (mut q, mut db) = env_with(vec![word(0x08, 1)], vec![0; 4]);
+        let mut dp = Datapath::new();
+        let fx = dp.execute_op(
+            HwOp::DbStore,
+            0,
+            &mut RtlEnv {
+                in_bus: word(0x26, 1),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, None);
+        let fx = dp.execute_op(
+            HwOp::QueryStore,
+            0,
+            &mut RtlEnv {
+                in_bus: word(0x08, 2),
+                q_memory: &mut q,
+                db_memory: &mut db,
+            },
+        );
+        assert_eq!(fx.hit, None);
+    }
+}

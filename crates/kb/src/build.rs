@@ -1,0 +1,310 @@
+//! Building knowledge bases: consult source text or add clauses
+//! programmatically, then compile every predicate to its clause file and
+//! secondary index.
+
+use crate::predicate::{KnowledgeBase, Module, ModuleKind, Predicate};
+use clare_disk::{DiskProfile, FileBuilder};
+use clare_pif::ClauseRecord;
+use clare_scw::{ClauseAddr, IndexFile, ScwConfig};
+use clare_term::parser::{parse_program, ParseError};
+use clare_term::{Clause, Symbol, SymbolTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Compilation parameters.
+#[derive(Debug, Clone)]
+pub struct KbConfig {
+    /// Disk whose track geometry lays out the clause files.
+    pub disk: DiskProfile,
+    /// SCW+MB scheme for the secondary files.
+    pub scw: ScwConfig,
+    /// Modules whose compiled size exceeds this many bytes are classified
+    /// [`ModuleKind::Large`] (disk resident). The default, 64 KB, keeps
+    /// toy modules in memory and pushes anything substantial to disk.
+    pub large_module_threshold: usize,
+}
+
+impl Default for KbConfig {
+    fn default() -> Self {
+        KbConfig {
+            disk: DiskProfile::fujitsu_m2351a(),
+            scw: ScwConfig::paper(),
+            large_module_threshold: 64 * 1024,
+        }
+    }
+}
+
+/// Errors while building a knowledge base.
+#[derive(Debug)]
+pub enum KbError {
+    /// Source text failed to parse.
+    Parse(ParseError),
+    /// A clause could not be compiled to PIF.
+    Pif(clare_pif::PifError),
+    /// A clause record exceeds one disk track.
+    RecordTooLarge(clare_disk::RecordTooLargeError),
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::Parse(e) => write!(f, "parse error: {e}"),
+            KbError::Pif(e) => write!(f, "PIF compilation error: {e}"),
+            KbError::RecordTooLarge(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KbError::Parse(e) => Some(e),
+            KbError::Pif(e) => Some(e),
+            KbError::RecordTooLarge(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for KbError {
+    fn from(e: ParseError) -> Self {
+        KbError::Parse(e)
+    }
+}
+
+impl From<clare_pif::PifError> for KbError {
+    fn from(e: clare_pif::PifError) -> Self {
+        KbError::Pif(e)
+    }
+}
+
+impl From<clare_disk::RecordTooLargeError> for KbError {
+    fn from(e: clare_disk::RecordTooLargeError) -> Self {
+        KbError::RecordTooLarge(e)
+    }
+}
+
+/// Accumulates clauses module by module, then compiles.
+///
+/// # Examples
+///
+/// ```
+/// use clare_kb::{KbBuilder, KbConfig};
+///
+/// let mut b = KbBuilder::new();
+/// b.consult("m", "p(a). p(b).")?;
+/// let kb = b.finish(KbConfig::default());
+/// assert_eq!(kb.modules().len(), 1);
+/// # Ok::<(), clare_kb::KbError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct KbBuilder {
+    symbols: SymbolTable,
+    modules: Vec<(String, Vec<Clause>)>,
+    module_index: HashMap<String, usize>,
+}
+
+impl KbBuilder {
+    /// An empty builder with a fresh symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The symbol table being populated (e.g. for building query terms in
+    /// the same namespace).
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// Parses `source` and adds its clauses to `module` (created on first
+    /// use), preserving order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::Parse`] on malformed source.
+    pub fn consult(&mut self, module: &str, source: &str) -> Result<(), KbError> {
+        let clauses = parse_program(source, &mut self.symbols)?;
+        let slot = self.module_slot(module);
+        self.modules[slot].1.extend(clauses);
+        Ok(())
+    }
+
+    /// Adds one already-built clause to `module`.
+    pub fn add_clause(&mut self, module: &str, clause: Clause) {
+        let slot = self.module_slot(module);
+        self.modules[slot].1.push(clause);
+    }
+
+    fn module_slot(&mut self, module: &str) -> usize {
+        if let Some(&i) = self.module_index.get(module) {
+            return i;
+        }
+        let i = self.modules.len();
+        self.modules.push((module.to_owned(), Vec::new()));
+        self.module_index.insert(module.to_owned(), i);
+        i
+    }
+
+    /// Compiles everything: groups clauses into predicates (preserving
+    /// clause order within each), lays each predicate's records onto disk
+    /// tracks, and builds its secondary index.
+    ///
+    /// Clauses that fail PIF compilation are skipped with a debug
+    /// assertion; use [`Self::try_finish`] to surface the error.
+    pub fn finish(self, config: KbConfig) -> KnowledgeBase {
+        self.try_finish(config).expect("clauses compile to PIF")
+    }
+
+    /// Fallible variant of [`Self::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first PIF or layout error encountered.
+    pub fn try_finish(self, config: KbConfig) -> Result<KnowledgeBase, KbError> {
+        let mut modules = Vec::new();
+        let mut by_indicator = HashMap::new();
+        for (mi, (name, clauses)) in self.modules.into_iter().enumerate() {
+            // Group into predicates, preserving first-seen order.
+            let mut order: Vec<(Symbol, usize)> = Vec::new();
+            let mut grouped: HashMap<(Symbol, usize), Vec<Clause>> = HashMap::new();
+            for clause in clauses {
+                let key = clause.predicate();
+                if !grouped.contains_key(&key) {
+                    order.push(key);
+                }
+                grouped.entry(key).or_default().push(clause);
+            }
+            let mut predicates = Vec::new();
+            for (pi, key) in order.iter().enumerate() {
+                let clauses = grouped.remove(key).expect("grouped by key");
+                let predicate = compile_predicate(*key, clauses, &config)?;
+                by_indicator.insert(*key, (mi, pi));
+                predicates.push(predicate);
+            }
+            let mut module = Module {
+                name,
+                kind: ModuleKind::Small,
+                predicates,
+            };
+            if module.compiled_bytes() > config.large_module_threshold {
+                module.kind = ModuleKind::Large;
+            }
+            modules.push(module);
+        }
+        Ok(KnowledgeBase {
+            symbols: self.symbols,
+            modules,
+            by_indicator,
+        })
+    }
+}
+
+fn compile_predicate(
+    (functor, arity): (Symbol, usize),
+    clauses: Vec<Clause>,
+    config: &KbConfig,
+) -> Result<Predicate, KbError> {
+    let mut file_builder = FileBuilder::new(config.disk.track_bytes());
+    let mut index = IndexFile::new(config.scw);
+    let mut addrs = Vec::with_capacity(clauses.len());
+    // Track layout mirrors FileBuilder's first-fit so addresses line up.
+    let mut track = 0u32;
+    let mut slot = 0u16;
+    let mut used = 0usize;
+    for clause in &clauses {
+        let record = ClauseRecord::compile(clause)?;
+        let bytes = record.to_bytes();
+        if used + bytes.len() > config.disk.track_bytes() && used > 0 {
+            track += 1;
+            slot = 0;
+            used = 0;
+        }
+        file_builder.append_record(&bytes)?;
+        let addr = ClauseAddr::new(track, slot);
+        index.insert(clause.head(), addr);
+        addrs.push(addr);
+        used += bytes.len();
+        slot += 1;
+    }
+    Ok(Predicate {
+        functor,
+        arity,
+        clauses,
+        file: file_builder.finish(format!("pred_{}_{arity}.pdb", functor.offset())),
+        index,
+        addrs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_agree_with_file_layout() {
+        let mut b = KbBuilder::new();
+        let facts: Vec<String> = (0..2000).map(|i| format!("big(k{i}, v{i}).")).collect();
+        b.consult("m", &facts.join("\n")).unwrap();
+        let kb = b.finish(KbConfig::default());
+        let p = kb.lookup("big", 2).unwrap();
+        assert!(p.file().track_count() > 1, "spans multiple tracks");
+        // Every address must point at the right record.
+        for (i, addr) in p.addrs().iter().enumerate() {
+            let record = p.record_at(*addr);
+            let (decoded, _) = clare_pif::ClauseRecord::from_bytes(record).unwrap();
+            assert_eq!(
+                decoded.clause(),
+                &p.clauses()[i],
+                "address {addr} for clause {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_and_large_module_classification() {
+        let mut b = KbBuilder::new();
+        b.consult("tiny", "p(a).").unwrap();
+        let facts: Vec<String> = (0..5000).map(|i| format!("q(k{i}, data{i}).")).collect();
+        b.consult("huge", &facts.join("\n")).unwrap();
+        let kb = b.finish(KbConfig::default());
+        assert_eq!(kb.modules()[0].kind(), ModuleKind::Small);
+        assert_eq!(kb.modules()[1].kind(), ModuleKind::Large);
+    }
+
+    #[test]
+    fn consult_accumulates_across_calls() {
+        let mut b = KbBuilder::new();
+        b.consult("m", "p(a).").unwrap();
+        b.consult("m", "p(b). q(c).").unwrap();
+        let kb = b.finish(KbConfig::default());
+        assert_eq!(kb.modules().len(), 1);
+        assert_eq!(kb.lookup("p", 1).unwrap().clauses().len(), 2);
+        assert_eq!(kb.lookup("q", 1).unwrap().clauses().len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut b = KbBuilder::new();
+        assert!(matches!(b.consult("m", "p(a"), Err(KbError::Parse(_))));
+    }
+
+    #[test]
+    fn pif_errors_surface_in_try_finish() {
+        let mut b = KbBuilder::new();
+        b.consult("m", "p(999999999999).").unwrap();
+        assert!(matches!(
+            b.try_finish(KbConfig::default()),
+            Err(KbError::Pif(_))
+        ));
+    }
+
+    #[test]
+    fn add_clause_programmatically() {
+        let mut b = KbBuilder::new();
+        let mut builder_scope = clare_term::builder::TermBuilder::new(b.symbols_mut());
+        let args = vec![builder_scope.atom("x"), builder_scope.int(1)];
+        let fact = builder_scope.fact("p", args);
+        b.add_clause("m", fact);
+        let kb = b.finish(KbConfig::default());
+        assert_eq!(kb.lookup("p", 2).unwrap().clauses().len(), 1);
+    }
+}

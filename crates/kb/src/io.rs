@@ -1,0 +1,296 @@
+//! Saving and loading knowledge bases.
+//!
+//! The persistent format (`.ckb`) stores the shared symbol table plus
+//! every module's clauses as PIF clause records — the same bytes the
+//! simulated disk holds. Loading rebuilds the compiled form (track
+//! layout, secondary indexes) through [`KbBuilder`], so a loaded
+//! knowledge base is bit-identical to recompiling the original source
+//! under the same [`KbConfig`].
+
+use crate::build::{KbBuilder, KbConfig, KbError};
+use crate::predicate::KnowledgeBase;
+use clare_pif::ClauseRecord;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening a `.ckb` stream.
+pub const MAGIC: &[u8; 4] = b"CKB1";
+
+/// Errors from [`save`]/[`load`].
+#[derive(Debug)]
+pub enum KbIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream is not a well-formed `.ckb`.
+    Malformed(String),
+    /// A stored clause failed to recompile.
+    Build(KbError),
+}
+
+impl fmt::Display for KbIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbIoError::Io(e) => write!(f, "i/o error: {e}"),
+            KbIoError::Malformed(why) => write!(f, "malformed knowledge base file: {why}"),
+            KbIoError::Build(e) => write!(f, "rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KbIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KbIoError::Io(e) => Some(e),
+            KbIoError::Build(e) => Some(e),
+            KbIoError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KbIoError {
+    fn from(e: std::io::Error) -> Self {
+        KbIoError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_be_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_be_bytes())
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> std::io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, KbIoError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_be_bytes(buf))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, KbIoError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_be_bytes(buf))
+}
+
+fn read_str(r: &mut impl Read) -> Result<String, KbIoError> {
+    let len = read_u32(r)? as usize;
+    if len > 1 << 24 {
+        return Err(KbIoError::Malformed("string length implausible".into()));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| KbIoError::Malformed("non-UTF-8 string".into()))
+}
+
+/// Serializes a knowledge base.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn save(kb: &KnowledgeBase, writer: &mut impl Write) -> Result<(), KbIoError> {
+    writer.write_all(MAGIC)?;
+    // Symbol table: atoms then floats, in offset order (so that interning
+    // on load reproduces identical offsets).
+    let symbols = kb.symbols();
+    write_u32(writer, symbols.atom_count() as u32)?;
+    for (_, text) in symbols.atoms() {
+        write_str(writer, text)?;
+    }
+    write_u32(writer, symbols.float_count() as u32)?;
+    for offset in 0..symbols.float_count() {
+        let value = symbols.float_value(clare_term::FloatId::from_offset(offset as u32));
+        write_u64(writer, value.to_bits())?;
+    }
+    // Modules: name + clause records in predicate-grouped order.
+    write_u32(writer, kb.modules().len() as u32)?;
+    for module in kb.modules() {
+        write_str(writer, module.name())?;
+        let clause_count: usize = module.predicates().iter().map(|p| p.clauses().len()).sum();
+        write_u32(writer, clause_count as u32)?;
+        for pred in module.predicates() {
+            for clause in pred.clauses() {
+                let record =
+                    ClauseRecord::compile(clause).expect("stored clauses compiled once already");
+                let bytes = record.to_bytes();
+                write_u32(writer, bytes.len() as u32)?;
+                writer.write_all(&bytes)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes and recompiles a knowledge base under `config`.
+///
+/// # Errors
+///
+/// Returns [`KbIoError`] on I/O failure, malformed data, or recompilation
+/// failure.
+pub fn load(reader: &mut impl Read, config: KbConfig) -> Result<KnowledgeBase, KbIoError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(KbIoError::Malformed("bad magic".into()));
+    }
+    let mut builder = KbBuilder::new();
+    let atom_count = read_u32(reader)? as usize;
+    for _ in 0..atom_count {
+        let text = read_str(reader)?;
+        builder.symbols_mut().intern_atom(&text);
+    }
+    let float_count = read_u32(reader)? as usize;
+    for _ in 0..float_count {
+        let bits = read_u64(reader)?;
+        builder.symbols_mut().intern_float(f64::from_bits(bits));
+    }
+    let module_count = read_u32(reader)? as usize;
+    for _ in 0..module_count {
+        let name = read_str(reader)?;
+        let clause_count = read_u32(reader)? as usize;
+        for _ in 0..clause_count {
+            let len = read_u32(reader)? as usize;
+            if len > 1 << 24 {
+                return Err(KbIoError::Malformed("record length implausible".into()));
+            }
+            let mut bytes = vec![0u8; len];
+            reader.read_exact(&mut bytes)?;
+            let (record, used) = ClauseRecord::from_bytes(&bytes)
+                .map_err(|e| KbIoError::Malformed(format!("bad clause record: {e}")))?;
+            if used != len {
+                return Err(KbIoError::Malformed("trailing record bytes".into()));
+            }
+            builder.add_clause(&name, record.clause().clone());
+        }
+    }
+    builder.try_finish(config).map_err(KbIoError::Build)
+}
+
+/// Saves to a filesystem path.
+///
+/// # Errors
+///
+/// As for [`save`].
+pub fn save_to_path(kb: &KnowledgeBase, path: impl AsRef<Path>) -> Result<(), KbIoError> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save(kb, &mut file)
+}
+
+/// Loads from a filesystem path.
+///
+/// # Errors
+///
+/// As for [`load`].
+pub fn load_from_path(
+    path: impl AsRef<Path>,
+    config: KbConfig,
+) -> Result<KnowledgeBase, KbIoError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    load(&mut file, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::KbStats;
+
+    fn sample_kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        b.consult(
+            "family",
+            "parent(tom, bob). parent(bob, ann).
+             weight('heavy item', 2.5).
+             gp(X, Z) :- parent(X, Y), parent(Y, Z).",
+        )
+        .unwrap();
+        b.consult("other", "colour(red). colour(blue).").unwrap();
+        b.finish(KbConfig::default())
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let kb = sample_kb();
+        let mut buf = Vec::new();
+        save(&kb, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice(), KbConfig::default()).unwrap();
+        assert_eq!(KbStats::gather(&loaded), KbStats::gather(&kb));
+        assert_eq!(loaded.modules().len(), 2);
+        assert_eq!(loaded.modules()[0].name(), "family");
+        // Symbol offsets identical: terms compare equal across the trip.
+        for (module, loaded_module) in kb.modules().iter().zip(loaded.modules()) {
+            for (pred, loaded_pred) in module.predicates().iter().zip(loaded_module.predicates()) {
+                assert_eq!(pred.clauses(), loaded_pred.clauses());
+                assert_eq!(pred.addrs(), loaded_pred.addrs());
+            }
+        }
+        // Float survives by bit pattern.
+        assert!(loaded.symbols().lookup_float(2.5).is_some());
+    }
+
+    #[test]
+    fn loaded_kb_answers_queries_identically() {
+        use clare_term::parser::parse_term;
+        let kb = sample_kb();
+        let mut buf = Vec::new();
+        save(&kb, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice(), KbConfig::default()).unwrap();
+        let mut symbols = loaded.symbols().clone();
+        let q = parse_term("parent(tom, X)", &mut symbols).unwrap();
+        let pred = loaded.lookup("parent", 2).unwrap();
+        let scan = pred.index().scan(&q);
+        assert_eq!(
+            scan.matches.len(),
+            kb.lookup("parent", 2)
+                .unwrap()
+                .index()
+                .scan(&q)
+                .matches
+                .len()
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let kb = sample_kb();
+        let path =
+            std::env::temp_dir().join(format!("clare_kb_io_test_{}.ckb", std::process::id()));
+        save_to_path(&kb, &path).unwrap();
+        let loaded = load_from_path(&path, KbConfig::default()).unwrap();
+        assert_eq!(loaded.clause_count(), kb.clause_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = load(&mut b"NOPE".as_slice(), KbConfig::default()).unwrap_err();
+        assert!(matches!(err, KbIoError::Malformed(_)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let kb = sample_kb();
+        let mut buf = Vec::new();
+        save(&kb, &mut buf).unwrap();
+        for cut in [3, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                load(&mut buf[..cut].to_vec().as_slice(), KbConfig::default()).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_kb_roundtrips() {
+        let kb = KbBuilder::new().finish(KbConfig::default());
+        let mut buf = Vec::new();
+        save(&kb, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice(), KbConfig::default()).unwrap();
+        assert_eq!(loaded.clause_count(), 0);
+    }
+}

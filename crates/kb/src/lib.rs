@@ -1,0 +1,51 @@
+//! Knowledge-base layer of the CLARE reproduction.
+//!
+//! The PDBM project stores clauses in Prolog-X **modules**: "small modules
+//! which are loaded into main memory when required, and large modules which
+//! are disk resident" (§2). Within a module, "predicates with the same
+//! functor names and arities are stored in a compiled clause file" (§2.1),
+//! each with a **secondary file** of SCW+MB index entries.
+//!
+//! This crate models exactly that:
+//!
+//! * [`Predicate`] — a clause set in user order, compiled to a
+//!   track-organised [`StoredFile`](clare_disk::StoredFile) of
+//!   [`ClauseRecord`](clare_pif::ClauseRecord)s plus an
+//!   [`IndexFile`](clare_scw::IndexFile).
+//! * [`Module`] — a named group of predicates, classified
+//!   [`ModuleKind::Small`] (memory resident) or [`ModuleKind::Large`]
+//!   (disk resident) by a size threshold.
+//! * [`KnowledgeBase`] / [`KbBuilder`] — the whole store with its shared
+//!   [`SymbolTable`](clare_term::SymbolTable). Facts and rules mix freely
+//!   in one predicate and keep their order — the integrated-system
+//!   property the paper contrasts with coupled EDB/IDB designs.
+//!
+//! # Examples
+//!
+//! ```
+//! use clare_kb::{KbBuilder, KbConfig};
+//!
+//! let mut builder = KbBuilder::new();
+//! builder.consult("family", "
+//!     parent(tom, bob).
+//!     parent(bob, ann).
+//!     grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+//! ")?;
+//! let kb = builder.finish(KbConfig::default());
+//! assert_eq!(kb.clause_count(), 3);
+//! let parent = kb.lookup("parent", 2).expect("predicate exists");
+//! assert_eq!(parent.clauses().len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod io;
+pub mod predicate;
+pub mod stats;
+
+pub use build::{KbBuilder, KbConfig, KbError};
+pub use io::{load_from_path, save_to_path, KbIoError};
+pub use predicate::{KnowledgeBase, Module, ModuleKind, Predicate};
+pub use stats::KbStats;

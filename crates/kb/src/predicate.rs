@@ -1,0 +1,328 @@
+//! Predicates, modules, and the knowledge base proper.
+
+use clare_disk::{DiskProfile, SimNanos, StoredFile};
+use clare_scw::{ClauseAddr, IndexFile};
+use clare_term::{Clause, ClauseId, Symbol, SymbolTable};
+use std::collections::HashMap;
+
+/// A compiled predicate: the clause list (user order), its compiled clause
+/// file, its secondary index file, and the address of every clause record.
+#[derive(Debug, Clone)]
+pub struct Predicate {
+    pub(crate) functor: Symbol,
+    pub(crate) arity: usize,
+    pub(crate) clauses: Vec<Clause>,
+    pub(crate) file: StoredFile,
+    pub(crate) index: IndexFile,
+    pub(crate) addrs: Vec<ClauseAddr>,
+}
+
+impl Predicate {
+    /// The predicate indicator.
+    pub fn indicator(&self) -> (Symbol, usize) {
+        (self.functor, self.arity)
+    }
+
+    /// The clauses in user (program) order.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// The compiled clause file (track-organised records).
+    pub fn file(&self) -> &StoredFile {
+        &self.file
+    }
+
+    /// The SCW+MB secondary index file.
+    pub fn index(&self) -> &IndexFile {
+        &self.index
+    }
+
+    /// Disk address of each clause, indexed by clause position.
+    pub fn addrs(&self) -> &[ClauseAddr] {
+        &self.addrs
+    }
+
+    /// The clause stored at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was not produced for this predicate.
+    pub fn clause_at(&self, addr: ClauseAddr) -> (&Clause, ClauseId) {
+        let pos = self
+            .addrs
+            .iter()
+            .position(|a| *a == addr)
+            .expect("address belongs to this predicate");
+        (&self.clauses[pos], ClauseId::new(pos as u32))
+    }
+
+    /// The raw clause record bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn record_at(&self, addr: ClauseAddr) -> &[u8] {
+        &self.file.tracks()[addr.track() as usize].records()[addr.slot() as usize]
+    }
+
+    /// Time to fetch the single record at `addr` with a random access
+    /// (seek + rotational latency + record transfer).
+    pub fn record_fetch_time(&self, addr: ClauseAddr, profile: &DiskProfile) -> SimNanos {
+        let bytes = self.record_at(addr).len() as u64;
+        profile.avg_seek()
+            + profile.avg_rotational_latency()
+            + profile.sustained_rate().transfer_time(bytes)
+    }
+
+    /// True if the predicate mixes ground facts with rules or non-ground
+    /// facts — the "mixed relation" a coupled EDB/IDB system disallows.
+    pub fn is_mixed(&self) -> bool {
+        let ground = self.clauses.iter().filter(|c| c.is_ground_fact()).count();
+        ground != 0 && ground != self.clauses.len()
+    }
+
+    /// Fraction of clauses that are rules (non-empty body).
+    pub fn rule_fraction(&self) -> f64 {
+        if self.clauses.is_empty() {
+            return 0.0;
+        }
+        self.clauses.iter().filter(|c| !c.is_fact()).count() as f64 / self.clauses.len() as f64
+    }
+}
+
+/// Memory- or disk-residency of a module (§2: small modules are loaded
+/// into main memory when required, large modules are disk resident).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModuleKind {
+    /// Loaded into main memory when required.
+    Small,
+    /// Disk resident; searched through the CLARE filters.
+    Large,
+}
+
+/// A named module: a group of predicates.
+#[derive(Debug, Clone)]
+pub struct Module {
+    pub(crate) name: String,
+    pub(crate) kind: ModuleKind,
+    pub(crate) predicates: Vec<Predicate>,
+}
+
+impl Module {
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Small (memory) or large (disk) classification.
+    pub fn kind(&self) -> ModuleKind {
+        self.kind
+    }
+
+    /// The predicates in definition order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Total compiled bytes (clause files plus index files).
+    pub fn compiled_bytes(&self) -> usize {
+        self.predicates
+            .iter()
+            .map(|p| p.file.occupied_bytes() + p.index.file_bytes())
+            .sum()
+    }
+}
+
+/// The assembled knowledge base.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    pub(crate) symbols: SymbolTable,
+    pub(crate) modules: Vec<Module>,
+    pub(crate) by_indicator: HashMap<(Symbol, usize), (usize, usize)>,
+}
+
+impl KnowledgeBase {
+    /// The shared symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The modules in creation order.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Looks up a predicate by indicator.
+    pub fn predicate(&self, functor: Symbol, arity: usize) -> Option<&Predicate> {
+        self.by_indicator
+            .get(&(functor, arity))
+            .map(|&(m, p)| &self.modules[m].predicates[p])
+    }
+
+    /// Looks up a predicate by functor *name* (convenience for tests and
+    /// examples).
+    pub fn lookup(&self, name: &str, arity: usize) -> Option<&Predicate> {
+        let sym = self.symbols.lookup_atom(name)?;
+        self.predicate(sym, arity)
+    }
+
+    /// The module containing a predicate, with the predicate itself.
+    pub fn module_of(&self, functor: Symbol, arity: usize) -> Option<(&Module, &Predicate)> {
+        self.by_indicator.get(&(functor, arity)).map(|&(m, p)| {
+            let module = &self.modules[m];
+            (module, &module.predicates[p])
+        })
+    }
+
+    /// Total clause count across all modules.
+    pub fn clause_count(&self) -> usize {
+        self.modules
+            .iter()
+            .flat_map(|m| &m.predicates)
+            .map(|p| p.clauses.len())
+            .sum()
+    }
+
+    /// Total compiled size on disk in bytes.
+    pub fn compiled_bytes(&self) -> usize {
+        self.modules.iter().map(Module::compiled_bytes).sum()
+    }
+
+    /// Decompiles the knowledge base back into a [`KbBuilder`] carrying
+    /// the same symbol table and every clause in module/predicate order —
+    /// the basis for incremental updates (add clauses, recompile).
+    ///
+    /// [`KbBuilder`]: crate::build::KbBuilder
+    pub fn to_builder(&self) -> crate::build::KbBuilder {
+        let mut builder = crate::build::KbBuilder::new();
+        *builder.symbols_mut() = self.symbols.clone();
+        for module in &self.modules {
+            for pred in &module.predicates {
+                for clause in &pred.clauses {
+                    builder.add_clause(&module.name, clause.clone());
+                }
+            }
+        }
+        builder
+    }
+
+    /// Approximate bytes needed to hold every clause in main memory — the
+    /// quantity that breaks in-RAM Prolog systems at scale (the paper's
+    /// footnote: benchmarked systems "were unable to cope with more than
+    /// about 60k clauses").
+    pub fn in_memory_bytes(&self) -> usize {
+        self.symbols.approx_bytes()
+            + self
+                .modules
+                .iter()
+                .flat_map(|m| &m.predicates)
+                .map(|p| p.file.payload_bytes() * 2)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::{KbBuilder, KbConfig};
+
+    fn family() -> crate::KnowledgeBase {
+        let mut b = KbBuilder::new();
+        b.consult(
+            "family",
+            "parent(tom, bob). parent(bob, ann). parent(bob, pat).
+             male(tom). male(bob).
+             grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+             ancestor(X, Y) :- parent(X, Y).
+             ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).",
+        )
+        .unwrap();
+        b.finish(KbConfig::default())
+    }
+
+    #[test]
+    fn predicates_grouped_by_indicator() {
+        let kb = family();
+        assert_eq!(kb.lookup("parent", 2).unwrap().clauses().len(), 3);
+        assert_eq!(kb.lookup("male", 1).unwrap().clauses().len(), 2);
+        assert_eq!(kb.lookup("ancestor", 2).unwrap().clauses().len(), 2);
+        assert!(kb.lookup("parent", 3).is_none());
+        assert!(kb.lookup("unknown", 1).is_none());
+        assert_eq!(kb.clause_count(), 8);
+    }
+
+    #[test]
+    fn clause_order_is_preserved() {
+        let kb = family();
+        let parent = kb.lookup("parent", 2).unwrap();
+        let firsts: Vec<String> = parent
+            .clauses()
+            .iter()
+            .map(|c| {
+                let (f, _) = c.predicate();
+                kb.symbols().atom_text(f).to_owned()
+            })
+            .collect();
+        assert_eq!(firsts, vec!["parent"; 3]);
+        // Order check via the second argument atoms of the heads.
+        let arg1: Vec<&str> = parent
+            .clauses()
+            .iter()
+            .map(|c| match c.head() {
+                clare_term::Term::Struct { args, .. } => match &args[1] {
+                    clare_term::Term::Atom(s) => kb.symbols().atom_text(*s),
+                    _ => panic!("expected atom"),
+                },
+                _ => panic!("expected struct"),
+            })
+            .collect();
+        assert_eq!(arg1, vec!["bob", "ann", "pat"]);
+    }
+
+    #[test]
+    fn addresses_resolve_to_records() {
+        let kb = family();
+        let p = kb.lookup("parent", 2).unwrap();
+        assert_eq!(p.addrs().len(), 3);
+        for (i, addr) in p.addrs().iter().enumerate() {
+            let (clause, id) = p.clause_at(*addr);
+            assert_eq!(id.index() as usize, i);
+            assert_eq!(clause, &p.clauses()[i]);
+            let record = p.record_at(*addr);
+            let (decoded, _) = clare_pif::ClauseRecord::from_bytes(record).unwrap();
+            assert_eq!(decoded.clause(), clause);
+        }
+    }
+
+    #[test]
+    fn index_sized_per_clause() {
+        let kb = family();
+        let p = kb.lookup("parent", 2).unwrap();
+        assert_eq!(p.index().len(), 3);
+        assert!(p.index().file_bytes() < p.file().payload_bytes());
+    }
+
+    #[test]
+    fn mixed_relation_detected() {
+        let mut b = KbBuilder::new();
+        b.consult(
+            "mix",
+            "status(server1, up). status(server2, down).
+             status(S, unknown) :- not_monitored(S).
+             not_monitored(printer).",
+        )
+        .unwrap();
+        let kb = b.finish(KbConfig::default());
+        assert!(kb.lookup("status", 2).unwrap().is_mixed());
+        assert!(!kb.lookup("not_monitored", 1).unwrap().is_mixed());
+        let frac = kb.lookup("status", 2).unwrap().rule_fraction();
+        assert!((frac - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_and_disk_sizes_positive() {
+        let kb = family();
+        assert!(kb.compiled_bytes() > 0);
+        assert!(kb.in_memory_bytes() > 0);
+    }
+}

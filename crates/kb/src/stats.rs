@@ -1,0 +1,133 @@
+//! Knowledge-base statistics: the shape metrics the paper's discussion
+//! turns on (EDB/IDB split, rule intensity, Warren's medium-KB estimate).
+
+use crate::predicate::KnowledgeBase;
+use std::fmt;
+
+/// Aggregate statistics over a knowledge base.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KbStats {
+    /// Number of predicates.
+    pub predicates: usize,
+    /// Total clauses.
+    pub clauses: usize,
+    /// Ground facts (the extensional part).
+    pub ground_facts: usize,
+    /// Non-ground facts (facts containing variables).
+    pub open_facts: usize,
+    /// Rules (clauses with bodies — the intensional part).
+    pub rules: usize,
+    /// Predicates mixing ground facts with rules/open facts.
+    pub mixed_predicates: usize,
+    /// Compiled size on disk (clause files + secondary files), bytes.
+    pub compiled_bytes: usize,
+    /// Estimated bytes to hold everything in main memory instead.
+    pub in_memory_bytes: usize,
+}
+
+impl KbStats {
+    /// Gathers statistics from a knowledge base.
+    pub fn gather(kb: &KnowledgeBase) -> Self {
+        let mut s = KbStats {
+            predicates: 0,
+            clauses: 0,
+            ground_facts: 0,
+            open_facts: 0,
+            rules: 0,
+            mixed_predicates: 0,
+            compiled_bytes: kb.compiled_bytes(),
+            in_memory_bytes: kb.in_memory_bytes(),
+        };
+        for module in kb.modules() {
+            for pred in module.predicates() {
+                s.predicates += 1;
+                s.clauses += pred.clauses().len();
+                if pred.is_mixed() {
+                    s.mixed_predicates += 1;
+                }
+                for clause in pred.clauses() {
+                    if !clause.is_fact() {
+                        s.rules += 1;
+                    } else if clause.is_ground_fact() {
+                        s.ground_facts += 1;
+                    } else {
+                        s.open_facts += 1;
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Fraction of clauses that are rules.
+    pub fn rule_fraction(&self) -> f64 {
+        if self.clauses == 0 {
+            0.0
+        } else {
+            self.rules as f64 / self.clauses as f64
+        }
+    }
+}
+
+impl fmt::Display for KbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} predicates, {} clauses ({} ground facts, {} open facts, {} rules)",
+            self.predicates, self.clauses, self.ground_facts, self.open_facts, self.rules
+        )?;
+        write!(
+            f,
+            "{} mixed predicates; {:.1} KB compiled, {:.1} KB if memory-resident",
+            self.mixed_predicates,
+            self.compiled_bytes as f64 / 1024.0,
+            self.in_memory_bytes as f64 / 1024.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{KbBuilder, KbConfig};
+
+    #[test]
+    fn classification_counts() {
+        let mut b = KbBuilder::new();
+        b.consult(
+            "m",
+            "f(a). f(b).
+             open(X, tag).
+             r(X) :- f(X).
+             mixed(ground). mixed(Y) :- open(Y, tag).",
+        )
+        .unwrap();
+        let kb = b.finish(KbConfig::default());
+        let s = KbStats::gather(&kb);
+        assert_eq!(s.predicates, 4);
+        assert_eq!(s.clauses, 6);
+        assert_eq!(s.ground_facts, 3); // f(a), f(b), mixed(ground)
+        assert_eq!(s.open_facts, 1); // open(X, tag)
+        assert_eq!(s.rules, 2);
+        assert_eq!(s.mixed_predicates, 1);
+        assert!((s.rule_fraction() - 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let mut b = KbBuilder::new();
+        b.consult("m", "p(a).").unwrap();
+        let kb = b.finish(KbConfig::default());
+        let text = KbStats::gather(&kb).to_string();
+        assert!(text.contains("1 predicates"));
+        assert!(text.contains("1 clauses"));
+    }
+
+    #[test]
+    fn empty_kb() {
+        let kb = KbBuilder::new().finish(KbConfig::default());
+        let s = KbStats::gather(&kb);
+        assert_eq!(s.clauses, 0);
+        assert_eq!(s.rule_fraction(), 0.0);
+    }
+}

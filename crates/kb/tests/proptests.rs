@@ -1,0 +1,78 @@
+//! Property tests for knowledge-base compilation and persistence.
+
+use clare_kb::{io, KbBuilder, KbConfig, KbStats};
+use proptest::prelude::*;
+
+/// Random small programs: facts and rules over a tiny vocabulary.
+fn program_source() -> impl Strategy<Value = String> {
+    let arg = prop_oneof![
+        "[a-c]".prop_map(|a| a),
+        (0i64..10).prop_map(|v| v.to_string()),
+        "[X-Z]".prop_map(|v| v),
+        Just("g(a, Y)".to_owned()),
+        Just("[1, 2 | T]".to_owned()),
+    ];
+    let head = ("[pq]", prop::collection::vec(arg.clone(), 1..4))
+        .prop_map(|(f, a)| format!("{f}({})", a.join(", ")));
+    let clause = (head.clone(), proptest::option::of(head)).prop_map(|(h, body)| match body {
+        Some(b) => format!("{h} :- {b}."),
+        None => format!("{h}."),
+    });
+    prop::collection::vec(clause, 0..25).prop_map(|cs| cs.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compilation is total over generated programs, clause counts add up,
+    /// and addresses resolve to the right records.
+    #[test]
+    fn compilation_invariants(source in program_source()) {
+        let mut b = KbBuilder::new();
+        b.consult("m", &source).unwrap();
+        let kb = b.finish(KbConfig::default());
+        let stats = KbStats::gather(&kb);
+        prop_assert_eq!(stats.clauses, kb.clause_count());
+        for module in kb.modules() {
+            for pred in module.predicates() {
+                prop_assert_eq!(pred.addrs().len(), pred.clauses().len());
+                for (i, addr) in pred.addrs().iter().enumerate() {
+                    let (clause, id) = pred.clause_at(*addr);
+                    prop_assert_eq!(id.index() as usize, i);
+                    prop_assert_eq!(clause, &pred.clauses()[i]);
+                }
+                prop_assert_eq!(pred.index().len(), pred.clauses().len());
+            }
+        }
+    }
+
+    /// Save/load is the identity on clauses, addresses, and statistics.
+    #[test]
+    fn persistence_roundtrip(source in program_source()) {
+        let mut b = KbBuilder::new();
+        b.consult("m", &source).unwrap();
+        let kb = b.finish(KbConfig::default());
+        let mut buf = Vec::new();
+        io::save(&kb, &mut buf).unwrap();
+        let loaded = io::load(&mut buf.as_slice(), KbConfig::default()).unwrap();
+        prop_assert_eq!(KbStats::gather(&loaded), KbStats::gather(&kb));
+        for (m, lm) in kb.modules().iter().zip(loaded.modules()) {
+            prop_assert_eq!(m.name(), lm.name());
+            for (p, lp) in m.predicates().iter().zip(lm.predicates()) {
+                prop_assert_eq!(p.clauses(), lp.clauses());
+                prop_assert_eq!(p.addrs(), lp.addrs());
+            }
+        }
+    }
+
+    /// The decompile/recompile cycle (to_builder) is also the identity.
+    #[test]
+    fn to_builder_roundtrip(source in program_source()) {
+        let mut b = KbBuilder::new();
+        b.consult("m", &source).unwrap();
+        let kb = b.finish(KbConfig::default());
+        let rebuilt = kb.to_builder().finish(KbConfig::default());
+        prop_assert_eq!(KbStats::gather(&rebuilt), KbStats::gather(&kb));
+        prop_assert_eq!(rebuilt.clause_count(), kb.clause_count());
+    }
+}

@@ -1,0 +1,358 @@
+//! On-disk clause records.
+//!
+//! A compiled clause file (one per predicate — "predicates with the same
+//! functor names and arities are stored in a compiled clause file") is a
+//! sequence of records. Each record carries:
+//!
+//! 1. the **PIF head stream** — what FS2's Test Unification Engine walks;
+//! 2. a **lossless serialization of the whole clause** — the "compiled
+//!    clause" that the Prolog system full-unifies after the filters accept
+//!    the record (our stand-in for Prolog-X bytecode).
+//!
+//! The record length is the quantity streamed from disk, so it drives every
+//! throughput figure (the paper's MB/s rates are bytes-past-the-filter per
+//! second).
+
+use crate::encode::encode_clause_head;
+use crate::error::PifError;
+use crate::word::PifStream;
+use bytes::{Buf, BufMut};
+use clare_term::{Clause, Term, VarId};
+
+/// A compiled clause record: PIF head stream plus the full clause.
+///
+/// # Examples
+///
+/// ```
+/// use clare_term::{SymbolTable, parser::parse_clause};
+/// use clare_pif::ClauseRecord;
+///
+/// let mut sy = SymbolTable::new();
+/// let clause = parse_clause("parent(tom, bob).", &mut sy)?;
+/// let record = ClauseRecord::compile(&clause)?;
+/// let bytes = record.to_bytes();
+/// let (back, consumed) = ClauseRecord::from_bytes(&bytes)?;
+/// assert_eq!(consumed, bytes.len());
+/// assert_eq!(back.clause(), &clause);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClauseRecord {
+    head_stream: PifStream,
+    clause: Clause,
+}
+
+impl ClauseRecord {
+    /// Compiles a clause: encodes its head into a PIF stream (database
+    /// side) and retains the clause for post-filter full unification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PifError`] if the head cannot be encoded (out-of-range
+    /// integer, oversized offsets).
+    pub fn compile(clause: &Clause) -> Result<Self, PifError> {
+        let head_stream = encode_clause_head(clause.head())?;
+        Ok(ClauseRecord {
+            head_stream,
+            clause: clause.clone(),
+        })
+    }
+
+    /// The PIF stream FS2 matches against the query.
+    pub fn head_stream(&self) -> &PifStream {
+        &self.head_stream
+    }
+
+    /// The complete stored clause.
+    pub fn clause(&self) -> &Clause {
+        &self.clause
+    }
+
+    /// Serializes the record: `u32` total length (including the length
+    /// field itself), PIF stream, then the clause.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        self.head_stream.write_to(&mut body);
+        write_clause(&self.clause, &mut body);
+        let mut out = Vec::with_capacity(body.len() + 4);
+        out.put_u32((body.len() + 4) as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Size of the serialized record in bytes.
+    pub fn byte_len(&self) -> usize {
+        // Avoids materialising the buffer twice in hot paths would be
+        // nicer, but records are compiled once and cached by the KB layer.
+        self.to_bytes().len()
+    }
+
+    /// Deserializes one record from the front of `data`, returning it and
+    /// the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PifError::Malformed`] on truncation or invalid content.
+    pub fn from_bytes(data: &[u8]) -> Result<(Self, usize), PifError> {
+        let malformed = |offset: usize, reason: &str| PifError::Malformed {
+            offset,
+            reason: reason.to_owned(),
+        };
+        if data.len() < 4 {
+            return Err(malformed(0, "truncated record length"));
+        }
+        let total = u32::from_be_bytes([data[0], data[1], data[2], data[3]]) as usize;
+        if total < 4 || data.len() < total {
+            return Err(malformed(0, "record length exceeds available data"));
+        }
+        let mut buf = &data[4..total];
+        let head_stream = PifStream::read_from(&mut buf)?;
+        let clause = read_clause(&mut buf)?;
+        Ok((
+            ClauseRecord {
+                head_stream,
+                clause,
+            },
+            total,
+        ))
+    }
+}
+
+fn write_term(term: &Term, buf: &mut impl BufMut) {
+    match term {
+        Term::Atom(s) => {
+            buf.put_u8(0x01);
+            buf.put_u32(s.offset());
+        }
+        Term::Int(v) => {
+            buf.put_u8(0x02);
+            buf.put_i64(*v);
+        }
+        Term::Float(fid) => {
+            buf.put_u8(0x03);
+            buf.put_u32(fid.offset());
+        }
+        Term::Var(v) => {
+            buf.put_u8(0x04);
+            buf.put_u32(v.index());
+        }
+        Term::Anon => buf.put_u8(0x05),
+        Term::Struct { functor, args } => {
+            buf.put_u8(0x06);
+            buf.put_u32(functor.offset());
+            buf.put_u16(args.len() as u16);
+            for a in args {
+                write_term(a, buf);
+            }
+        }
+        Term::List { items, tail } => {
+            buf.put_u8(0x07);
+            buf.put_u16(items.len() as u16);
+            buf.put_u8(tail.is_some() as u8);
+            for i in items {
+                write_term(i, buf);
+            }
+            if let Some(t) = tail {
+                write_term(t, buf);
+            }
+        }
+    }
+}
+
+fn read_term(buf: &mut impl Buf) -> Result<Term, PifError> {
+    let malformed = |reason: &str| PifError::Malformed {
+        offset: 0,
+        reason: reason.to_owned(),
+    };
+    if !buf.has_remaining() {
+        return Err(malformed("truncated term"));
+    }
+    match buf.get_u8() {
+        0x01 => {
+            ensure(buf, 4)?;
+            Ok(Term::Atom(clare_term::Symbol::from_offset(buf.get_u32())))
+        }
+        0x02 => {
+            ensure(buf, 8)?;
+            Ok(Term::Int(buf.get_i64()))
+        }
+        0x03 => {
+            ensure(buf, 4)?;
+            Ok(Term::Float(clare_term::FloatId::from_offset(buf.get_u32())))
+        }
+        0x04 => {
+            ensure(buf, 4)?;
+            Ok(Term::Var(VarId::new(buf.get_u32())))
+        }
+        0x05 => Ok(Term::Anon),
+        0x06 => {
+            ensure(buf, 6)?;
+            let functor = clare_term::Symbol::from_offset(buf.get_u32());
+            let n = buf.get_u16() as usize;
+            let mut args = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                args.push(read_term(buf)?);
+            }
+            Ok(Term::Struct { functor, args })
+        }
+        0x07 => {
+            ensure(buf, 3)?;
+            let n = buf.get_u16() as usize;
+            let has_tail = buf.get_u8() != 0;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(read_term(buf)?);
+            }
+            let tail = if has_tail {
+                Some(Box::new(read_term(buf)?))
+            } else {
+                None
+            };
+            Ok(Term::List { items, tail })
+        }
+        other => Err(malformed(&format!("unknown term marker {other:#04x}"))),
+    }
+}
+
+fn ensure(buf: &impl Buf, n: usize) -> Result<(), PifError> {
+    if buf.remaining() < n {
+        Err(PifError::Malformed {
+            offset: 0,
+            reason: "truncated term payload".to_owned(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn write_clause(clause: &Clause, buf: &mut impl BufMut) {
+    write_term(clause.head(), buf);
+    buf.put_u16(clause.body().len() as u16);
+    for goal in clause.body() {
+        write_term(goal, buf);
+    }
+    buf.put_u16(clause.var_names().len() as u16);
+    for name in clause.var_names() {
+        buf.put_u16(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+    }
+}
+
+fn read_clause(buf: &mut impl Buf) -> Result<Clause, PifError> {
+    let malformed = |reason: &str| PifError::Malformed {
+        offset: 0,
+        reason: reason.to_owned(),
+    };
+    let head = read_term(buf)?;
+    ensure(buf, 2)?;
+    let n_body = buf.get_u16() as usize;
+    let mut body = Vec::with_capacity(n_body.min(1024));
+    for _ in 0..n_body {
+        body.push(read_term(buf)?);
+    }
+    ensure(buf, 2)?;
+    let n_vars = buf.get_u16() as usize;
+    let mut var_names = Vec::with_capacity(n_vars.min(1024));
+    for _ in 0..n_vars {
+        ensure(buf, 2)?;
+        let len = buf.get_u16() as usize;
+        ensure(buf, len)?;
+        let mut bytes = vec![0u8; len];
+        buf.copy_to_slice(&mut bytes);
+        var_names
+            .push(String::from_utf8(bytes).map_err(|_| malformed("variable name is not UTF-8"))?);
+    }
+    Clause::new(head, body, var_names).map_err(|_| malformed("stored head is not callable"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clare_term::parser::parse_clause;
+    use clare_term::SymbolTable;
+
+    fn roundtrip(src: &str) {
+        let mut sy = SymbolTable::new();
+        let clause = parse_clause(src, &mut sy).unwrap();
+        let record = ClauseRecord::compile(&clause).unwrap();
+        let bytes = record.to_bytes();
+        let (back, consumed) = ClauseRecord::from_bytes(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len(), "whole record consumed for {src}");
+        assert_eq!(back.clause(), &clause, "clause roundtrip for {src}");
+        assert_eq!(
+            back.head_stream(),
+            record.head_stream(),
+            "stream roundtrip for {src}"
+        );
+    }
+
+    #[test]
+    fn roundtrips_facts_and_rules() {
+        roundtrip("parent(tom, bob).");
+        roundtrip("p(1, -2, 3.5, 'quoted atom').");
+        roundtrip("gp(X, Z) :- p(X, Y), p(Y, Z).");
+        roundtrip("member(X, [X | _]).");
+        roundtrip("member(X, [_ | T]) :- member(X, T).");
+        roundtrip("deep(f(g(h([a, b, [c | T]])))).");
+        roundtrip("halt.");
+    }
+
+    #[test]
+    fn record_length_prefix_is_total() {
+        let mut sy = SymbolTable::new();
+        let clause = parse_clause("p(a).", &mut sy).unwrap();
+        let record = ClauseRecord::compile(&clause).unwrap();
+        let bytes = record.to_bytes();
+        let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        assert_eq!(len, bytes.len());
+        assert_eq!(record.byte_len(), bytes.len());
+    }
+
+    #[test]
+    fn consecutive_records_parse_from_one_buffer() {
+        let mut sy = SymbolTable::new();
+        let c1 = parse_clause("p(a).", &mut sy).unwrap();
+        let c2 = parse_clause("p(b, c).", &mut sy).unwrap();
+        let mut buf = ClauseRecord::compile(&c1).unwrap().to_bytes();
+        buf.extend(ClauseRecord::compile(&c2).unwrap().to_bytes());
+        let (r1, n1) = ClauseRecord::from_bytes(&buf).unwrap();
+        let (r2, n2) = ClauseRecord::from_bytes(&buf[n1..]).unwrap();
+        assert_eq!(r1.clause(), &c1);
+        assert_eq!(r2.clause(), &c2);
+        assert_eq!(n1 + n2, buf.len());
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let mut sy = SymbolTable::new();
+        let clause = parse_clause("p(a, b, c).", &mut sy).unwrap();
+        let bytes = ClauseRecord::compile(&clause).unwrap().to_bytes();
+        for cut in [0, 2, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                ClauseRecord::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(ClauseRecord::from_bytes(&[0xFF; 16]).is_err());
+    }
+
+    #[test]
+    fn head_stream_matches_direct_encoding() {
+        let mut sy = SymbolTable::new();
+        let clause = parse_clause("f(A, a, A).", &mut sy).unwrap();
+        let record = ClauseRecord::compile(&clause).unwrap();
+        let direct = encode_clause_head(clause.head()).unwrap();
+        assert_eq!(record.head_stream(), &direct);
+        let tags: Vec<u8> = record
+            .head_stream()
+            .words()
+            .iter()
+            .map(|w| w.tag())
+            .collect();
+        assert_eq!(tags, vec![0x26, 0x08, 0x24]);
+    }
+}

@@ -1,0 +1,383 @@
+//! The Table A1 type-tag scheme, bit-for-bit.
+//!
+//! | Item | Tag |
+//! |---|---|
+//! | Anonymous Var | `0010 0000` (0x20) |
+//! | First Query Var | `0010 0111` (0x27) |
+//! | Subsequent Query Var | `0010 0101` (0x25) |
+//! | First DB Var | `0010 0110` (0x26) |
+//! | Subsequent DB Var | `0010 0100` (0x24) |
+//! | Atom Pointer | `0000 1000` (0x08) |
+//! | Float Pointer | `0000 1001` (0x09) |
+//! | Integer In-line | `0001 nnnn` (0x1N, `nnnn` = most significant nibble) |
+//! | Structure In-line | `011a aaaa` (arity ≤ 31, elements follow) |
+//! | Structure Pointer | `010a aaaa` |
+//! | Terminated List In-line | `111a aaaa` (elements follow) |
+//! | Unterminated List In-line | `101a aaaa` (elements follow) |
+//! | Terminated List Pointer | `110a aaaa` (DB arguments only) |
+//! | Unterminated List Pointer | `100a aaaa` (DB arguments only) |
+
+use crate::error::PifError;
+use std::fmt;
+
+/// Base tag byte for the anonymous variable.
+pub const TAG_ANON: u8 = 0x20;
+/// Tag byte for a first-occurrence query variable.
+pub const TAG_FIRST_QV: u8 = 0x27;
+/// Tag byte for a subsequent-occurrence query variable.
+pub const TAG_SUB_QV: u8 = 0x25;
+/// Tag byte for a first-occurrence database variable.
+pub const TAG_FIRST_DV: u8 = 0x26;
+/// Tag byte for a subsequent-occurrence database variable.
+pub const TAG_SUB_DV: u8 = 0x24;
+/// Tag byte for an atom pointer (content = symbol table offset).
+pub const TAG_ATOM_PTR: u8 = 0x08;
+/// Tag byte for a float pointer (content = symbol table offset).
+pub const TAG_FLOAT_PTR: u8 = 0x09;
+/// High nibble of an in-line integer tag (`0x1N`).
+pub const TAG_INT_NIBBLE: u8 = 0x10;
+/// High bits of a structure in-line tag (`011a aaaa`).
+pub const TAG_STRUCT_INLINE: u8 = 0b0110_0000;
+/// High bits of a structure pointer tag (`010a aaaa`).
+pub const TAG_STRUCT_PTR: u8 = 0b0100_0000;
+/// High bits of a terminated list in-line tag (`111a aaaa`).
+pub const TAG_LIST_T_INLINE: u8 = 0b1110_0000;
+/// High bits of an unterminated list in-line tag (`101a aaaa`).
+pub const TAG_LIST_U_INLINE: u8 = 0b1010_0000;
+/// High bits of a terminated list pointer tag (`110a aaaa`).
+pub const TAG_LIST_T_PTR: u8 = 0b1100_0000;
+/// High bits of an unterminated list pointer tag (`100a aaaa`).
+pub const TAG_LIST_U_PTR: u8 = 0b1000_0000;
+
+/// Maximum arity encodable in the 5-bit arity field of a complex-term tag.
+pub const MAX_TAG_ARITY: u8 = 31;
+
+/// Number of distinct tag byte values in the scheme: 5 variable tags,
+/// 2 pointer tags, 16 integer tags (`0x10`–`0x1F`), and 6 complex families
+/// of 32 arities each (192). The paper reports "107 data types" for its
+/// richer production scheme; ours enumerates the Table A1 subset.
+pub const TAG_VALUE_COUNT: usize = 5 + 2 + 16 + 6 * 32;
+
+/// Decoded meaning of a tag byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeTag {
+    /// `_` — matches anything, binds nothing.
+    Anon,
+    /// Query variable; `first` distinguishes 1st-QV from Sub-QV.
+    QueryVar {
+        /// True for the first occurrence in the query.
+        first: bool,
+    },
+    /// Database variable; `first` distinguishes 1st-DV from Sub-DV.
+    DbVar {
+        /// True for the first occurrence in the clause head.
+        first: bool,
+    },
+    /// Atom pointer (content = symbol table offset).
+    AtomPtr,
+    /// Float pointer (content = symbol table offset).
+    FloatPtr,
+    /// In-line integer; the tag's low nibble is the value's most
+    /// significant nibble (bits 24–27 of the 28-bit value).
+    IntInline {
+        /// Most significant nibble of the 28-bit two's-complement value.
+        high_nibble: u8,
+    },
+    /// In-line structure; elements follow in the stream.
+    StructInline {
+        /// Arity (1–31).
+        arity: u8,
+    },
+    /// Structure pointer; elements do not appear in the stream.
+    StructPtr {
+        /// Arity field (saturated at 31 for larger structures).
+        arity: u8,
+    },
+    /// In-line list; elements follow.
+    ListInline {
+        /// Number of in-line elements.
+        arity: u8,
+        /// True for a terminated (proper) list.
+        terminated: bool,
+    },
+    /// List pointer; elements do not appear in the stream.
+    ListPtr {
+        /// Arity field (saturated at 31).
+        arity: u8,
+        /// True for a terminated list.
+        terminated: bool,
+    },
+}
+
+/// The three handling categories of §3.1: simple terms need simple
+/// matching, variable terms need store/fetch operations, complex terms need
+/// repetitive matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagCategory {
+    /// Atoms, integers, floats — compared by equality.
+    Simple,
+    /// The five variable tags — skip, store, or fetch-then-match.
+    Variable,
+    /// Structures and lists — counter-driven repetitive matching.
+    Complex,
+}
+
+impl TypeTag {
+    /// Encodes this tag to its Table A1 byte value.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            TypeTag::Anon => TAG_ANON,
+            TypeTag::QueryVar { first: true } => TAG_FIRST_QV,
+            TypeTag::QueryVar { first: false } => TAG_SUB_QV,
+            TypeTag::DbVar { first: true } => TAG_FIRST_DV,
+            TypeTag::DbVar { first: false } => TAG_SUB_DV,
+            TypeTag::AtomPtr => TAG_ATOM_PTR,
+            TypeTag::FloatPtr => TAG_FLOAT_PTR,
+            TypeTag::IntInline { high_nibble } => TAG_INT_NIBBLE | (high_nibble & 0x0F),
+            TypeTag::StructInline { arity } => TAG_STRUCT_INLINE | (arity & 0x1F),
+            TypeTag::StructPtr { arity } => TAG_STRUCT_PTR | (arity & 0x1F),
+            TypeTag::ListInline {
+                arity,
+                terminated: true,
+            } => TAG_LIST_T_INLINE | (arity & 0x1F),
+            TypeTag::ListInline {
+                arity,
+                terminated: false,
+            } => TAG_LIST_U_INLINE | (arity & 0x1F),
+            TypeTag::ListPtr {
+                arity,
+                terminated: true,
+            } => TAG_LIST_T_PTR | (arity & 0x1F),
+            TypeTag::ListPtr {
+                arity,
+                terminated: false,
+            } => TAG_LIST_U_PTR | (arity & 0x1F),
+        }
+    }
+
+    /// Decodes a Table A1 tag byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PifError::Malformed`] for byte values outside the scheme.
+    pub fn from_byte(byte: u8) -> Result<Self, PifError> {
+        let malformed = |reason: String| PifError::Malformed { offset: 0, reason };
+        match byte {
+            TAG_ANON => Ok(TypeTag::Anon),
+            TAG_FIRST_QV => Ok(TypeTag::QueryVar { first: true }),
+            TAG_SUB_QV => Ok(TypeTag::QueryVar { first: false }),
+            TAG_FIRST_DV => Ok(TypeTag::DbVar { first: true }),
+            TAG_SUB_DV => Ok(TypeTag::DbVar { first: false }),
+            TAG_ATOM_PTR => Ok(TypeTag::AtomPtr),
+            TAG_FLOAT_PTR => Ok(TypeTag::FloatPtr),
+            b if b & 0xF0 == TAG_INT_NIBBLE => Ok(TypeTag::IntInline {
+                high_nibble: b & 0x0F,
+            }),
+            b if b & 0xE0 == TAG_STRUCT_INLINE => Ok(TypeTag::StructInline { arity: b & 0x1F }),
+            b if b & 0xE0 == TAG_STRUCT_PTR => Ok(TypeTag::StructPtr { arity: b & 0x1F }),
+            b if b & 0xE0 == TAG_LIST_T_INLINE => Ok(TypeTag::ListInline {
+                arity: b & 0x1F,
+                terminated: true,
+            }),
+            b if b & 0xE0 == TAG_LIST_U_INLINE => Ok(TypeTag::ListInline {
+                arity: b & 0x1F,
+                terminated: false,
+            }),
+            b if b & 0xE0 == TAG_LIST_T_PTR => Ok(TypeTag::ListPtr {
+                arity: b & 0x1F,
+                terminated: true,
+            }),
+            b if b & 0xE0 == TAG_LIST_U_PTR => Ok(TypeTag::ListPtr {
+                arity: b & 0x1F,
+                terminated: false,
+            }),
+            other => Err(malformed(format!("unknown tag byte {other:#04x}"))),
+        }
+    }
+
+    /// The §3.1 handling category of this tag.
+    pub fn category(self) -> TagCategory {
+        match self {
+            TypeTag::AtomPtr | TypeTag::FloatPtr | TypeTag::IntInline { .. } => TagCategory::Simple,
+            TypeTag::Anon | TypeTag::QueryVar { .. } | TypeTag::DbVar { .. } => {
+                TagCategory::Variable
+            }
+            TypeTag::StructInline { .. }
+            | TypeTag::StructPtr { .. }
+            | TypeTag::ListInline { .. }
+            | TypeTag::ListPtr { .. } => TagCategory::Complex,
+        }
+    }
+
+    /// Number of element words that follow this word in the stream
+    /// (non-zero only for in-line complex tags).
+    pub fn inline_elements(self) -> usize {
+        match self {
+            TypeTag::StructInline { arity } | TypeTag::ListInline { arity, .. } => arity as usize,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for TypeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeTag::Anon => f.write_str("Anonymous Var"),
+            TypeTag::QueryVar { first: true } => f.write_str("First Query Var"),
+            TypeTag::QueryVar { first: false } => f.write_str("Subsequent Query Var"),
+            TypeTag::DbVar { first: true } => f.write_str("First DB Var"),
+            TypeTag::DbVar { first: false } => f.write_str("Subsequent DB Var"),
+            TypeTag::AtomPtr => f.write_str("Atom Pointer"),
+            TypeTag::FloatPtr => f.write_str("Float Pointer"),
+            TypeTag::IntInline { .. } => f.write_str("Integer In-line"),
+            TypeTag::StructInline { arity } => write!(f, "Structure In-line/{arity}"),
+            TypeTag::StructPtr { arity } => write!(f, "Structure Pointer/{arity}"),
+            TypeTag::ListInline {
+                arity,
+                terminated: true,
+            } => write!(f, "Terminated List In-line/{arity}"),
+            TypeTag::ListInline {
+                arity,
+                terminated: false,
+            } => write!(f, "Unterminated List In-line/{arity}"),
+            TypeTag::ListPtr {
+                arity,
+                terminated: true,
+            } => write!(f, "Terminated List Pointer/{arity}"),
+            TypeTag::ListPtr {
+                arity,
+                terminated: false,
+            } => write!(f, "Unterminated List Pointer/{arity}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_a1_byte_values() {
+        // The exact byte values printed in Table A1 of the paper.
+        assert_eq!(TypeTag::Anon.to_byte(), 0x20);
+        assert_eq!(TypeTag::QueryVar { first: true }.to_byte(), 0x27);
+        assert_eq!(TypeTag::QueryVar { first: false }.to_byte(), 0x25);
+        assert_eq!(TypeTag::DbVar { first: true }.to_byte(), 0x26);
+        assert_eq!(TypeTag::DbVar { first: false }.to_byte(), 0x24);
+        assert_eq!(TypeTag::AtomPtr.to_byte(), 0x08);
+        assert_eq!(TypeTag::FloatPtr.to_byte(), 0x09);
+        assert_eq!(TypeTag::IntInline { high_nibble: 0xA }.to_byte(), 0x1A);
+        assert_eq!(TypeTag::StructInline { arity: 2 }.to_byte(), 0b0110_0010);
+        assert_eq!(TypeTag::StructPtr { arity: 31 }.to_byte(), 0b0101_1111);
+        assert_eq!(
+            TypeTag::ListInline {
+                arity: 3,
+                terminated: true
+            }
+            .to_byte(),
+            0b1110_0011
+        );
+        assert_eq!(
+            TypeTag::ListInline {
+                arity: 3,
+                terminated: false
+            }
+            .to_byte(),
+            0b1010_0011
+        );
+        assert_eq!(
+            TypeTag::ListPtr {
+                arity: 1,
+                terminated: true
+            }
+            .to_byte(),
+            0b1100_0001
+        );
+        assert_eq!(
+            TypeTag::ListPtr {
+                arity: 1,
+                terminated: false
+            }
+            .to_byte(),
+            0b1000_0001
+        );
+    }
+
+    #[test]
+    fn roundtrip_every_valid_byte() {
+        let mut valid = 0usize;
+        for byte in 0u8..=255 {
+            if let Ok(tag) = TypeTag::from_byte(byte) {
+                assert_eq!(tag.to_byte(), byte, "roundtrip for {byte:#04x}");
+                valid += 1;
+            }
+        }
+        assert_eq!(valid, TAG_VALUE_COUNT);
+    }
+
+    #[test]
+    fn invalid_bytes_rejected() {
+        for byte in [0x00u8, 0x07, 0x0A, 0x21, 0x23, 0x28, 0x3F] {
+            assert!(
+                TypeTag::from_byte(byte).is_err(),
+                "{byte:#04x} should be invalid"
+            );
+        }
+    }
+
+    #[test]
+    fn categories_match_section_3_1() {
+        assert_eq!(TypeTag::AtomPtr.category(), TagCategory::Simple);
+        assert_eq!(TypeTag::FloatPtr.category(), TagCategory::Simple);
+        assert_eq!(
+            TypeTag::IntInline { high_nibble: 0 }.category(),
+            TagCategory::Simple
+        );
+        assert_eq!(TypeTag::Anon.category(), TagCategory::Variable);
+        assert_eq!(
+            TypeTag::QueryVar { first: true }.category(),
+            TagCategory::Variable
+        );
+        assert_eq!(
+            TypeTag::DbVar { first: false }.category(),
+            TagCategory::Variable
+        );
+        assert_eq!(
+            TypeTag::StructInline { arity: 1 }.category(),
+            TagCategory::Complex
+        );
+        assert_eq!(
+            TypeTag::ListPtr {
+                arity: 0,
+                terminated: true
+            }
+            .category(),
+            TagCategory::Complex
+        );
+    }
+
+    #[test]
+    fn inline_elements_count() {
+        assert_eq!(TypeTag::StructInline { arity: 5 }.inline_elements(), 5);
+        assert_eq!(
+            TypeTag::ListInline {
+                arity: 2,
+                terminated: false
+            }
+            .inline_elements(),
+            2
+        );
+        assert_eq!(TypeTag::StructPtr { arity: 5 }.inline_elements(), 0);
+        assert_eq!(TypeTag::AtomPtr.inline_elements(), 0);
+    }
+
+    #[test]
+    fn display_names_match_table() {
+        assert_eq!(TypeTag::Anon.to_string(), "Anonymous Var");
+        assert_eq!(
+            TypeTag::QueryVar { first: true }.to_string(),
+            "First Query Var"
+        );
+        assert_eq!(TypeTag::AtomPtr.to_string(), "Atom Pointer");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the PIF word and record encodings.
+
+use clare_pif::word::{INT_MAX, INT_MIN};
+use clare_pif::{ClauseRecord, PifStream, PifWord, TypeTag};
+use clare_term::parser::parse_clause;
+use clare_term::SymbolTable;
+use proptest::prelude::*;
+
+fn arbitrary_tag() -> impl Strategy<Value = TypeTag> {
+    prop_oneof![
+        Just(TypeTag::Anon),
+        any::<bool>().prop_map(|first| TypeTag::QueryVar { first }),
+        any::<bool>().prop_map(|first| TypeTag::DbVar { first }),
+        Just(TypeTag::AtomPtr),
+        Just(TypeTag::FloatPtr),
+        (0u8..16).prop_map(|high_nibble| TypeTag::IntInline { high_nibble }),
+        (0u8..32).prop_map(|arity| TypeTag::StructInline { arity }),
+        (0u8..32).prop_map(|arity| TypeTag::StructPtr { arity }),
+        (0u8..32, any::<bool>())
+            .prop_map(|(arity, terminated)| TypeTag::ListInline { arity, terminated }),
+        (0u8..32, any::<bool>())
+            .prop_map(|(arity, terminated)| TypeTag::ListPtr { arity, terminated }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every constructible tag round-trips through its byte.
+    #[test]
+    fn tag_byte_roundtrip(tag in arbitrary_tag()) {
+        prop_assert_eq!(TypeTag::from_byte(tag.to_byte()).unwrap(), tag);
+    }
+
+    /// In-range integers round-trip through the 28-bit in-line encoding.
+    #[test]
+    fn int_roundtrip(v in INT_MIN..=INT_MAX) {
+        let word = PifWord::int(v).unwrap();
+        prop_assert_eq!(word.int_value(), Some(v));
+        // And through the packed 32-bit form.
+        let packed = PifWord::from_u32(word.to_u32()).unwrap();
+        prop_assert_eq!(packed.int_value(), Some(v));
+    }
+
+    /// Out-of-range integers are rejected, never truncated.
+    #[test]
+    fn int_out_of_range_rejected(v in prop_oneof![
+        (i64::MIN..INT_MIN),
+        (INT_MAX + 1..=i64::MAX),
+    ]) {
+        prop_assert!(PifWord::int(v).is_err());
+    }
+
+    /// Streams of arbitrary words survive serialization.
+    #[test]
+    fn stream_roundtrip(specs in prop::collection::vec(
+        (arbitrary_tag(), 0u32..0x100_0000, proptest::option::of(any::<u32>())),
+        0..40,
+    )) {
+        let stream: PifStream = specs
+            .iter()
+            .map(|(tag, content, ext)| match ext {
+                Some(e) => PifWord::with_extension(*tag, *content, *e),
+                None => PifWord::new(*tag, *content),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        stream.write_to(&mut buf);
+        let back = PifStream::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, stream);
+    }
+
+    /// Clause records round-trip for a grammar of generated clauses.
+    #[test]
+    fn record_roundtrip(
+        functor in "[a-z][a-z0-9]{0,5}",
+        args in prop::collection::vec(
+            prop_oneof![
+                "[a-z][a-z0-9]{0,4}".prop_map(|a| a),
+                (-1000i64..1000).prop_map(|v| v.to_string()),
+                "[A-Z]".prop_map(|v| v),
+                Just("_".to_owned()),
+                Just("[x, y | T]".to_owned()),
+                Just("g(h(deep), [1])".to_owned()),
+            ],
+            1..6,
+        ),
+    ) {
+        let mut symbols = SymbolTable::new();
+        let src = format!("{functor}({}).", args.join(", "));
+        let clause = parse_clause(&src, &mut symbols).unwrap();
+        let record = ClauseRecord::compile(&clause).unwrap();
+        let bytes = record.to_bytes();
+        let (back, used) = ClauseRecord::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back.clause(), &clause);
+    }
+
+    /// Truncating a record anywhere makes it unreadable, never panics.
+    #[test]
+    fn truncation_is_detected(cut_fraction in 0.0f64..1.0) {
+        let mut symbols = SymbolTable::new();
+        let clause = parse_clause("p(a, [1, 2 | T], g(h)).", &mut symbols).unwrap();
+        let bytes = ClauseRecord::compile(&clause).unwrap().to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+        prop_assert!(ClauseRecord::from_bytes(&bytes[..cut]).is_err());
+    }
+}

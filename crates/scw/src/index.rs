@@ -1,0 +1,265 @@
+//! The secondary index file and the FS1 scanner.
+//!
+//! "For fast searching in large files, codewords are generated for facts
+//! and rule heads and these are maintained in a secondary file. The
+//! secondary file is effectively an index table associating codewords with
+//! clause addresses." (§2.1.)
+
+use crate::config::ScwConfig;
+use crate::encode::{encode_clause_signature, encode_query_descriptor, ClauseSignature};
+use clare_disk::SimNanos;
+use clare_term::Term;
+use std::fmt;
+
+/// Address of a clause in its compiled clause file: track plus slot within
+/// the track. What FS1 hands to FS2 (or the CRS) after an index hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClauseAddr {
+    track: u32,
+    slot: u16,
+}
+
+impl ClauseAddr {
+    /// Creates an address.
+    pub fn new(track: u32, slot: u16) -> Self {
+        ClauseAddr { track, slot }
+    }
+
+    /// Track index within the compiled clause file.
+    pub fn track(self) -> u32 {
+        self.track
+    }
+
+    /// Record slot within the track.
+    pub fn slot(self) -> u16 {
+        self.slot
+    }
+}
+
+impl fmt::Display for ClauseAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}#{}", self.track, self.slot)
+    }
+}
+
+/// One secondary-file entry: a clause signature plus the clause address.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexEntry {
+    /// Codeword and mask bits for the clause head.
+    pub signature: ClauseSignature,
+    /// Where the clause record lives.
+    pub addr: ClauseAddr,
+}
+
+/// Result of one FS1 scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanOutcome {
+    /// Addresses of clauses whose codewords matched (potential unifiers,
+    /// including false drops).
+    pub matches: Vec<ClauseAddr>,
+    /// Entries examined (= clause count of the predicate).
+    pub entries_scanned: usize,
+    /// Secondary-file bytes streamed through the FS1 hardware.
+    pub bytes_scanned: usize,
+    /// Time the FS1 hardware needs at its scan rate (4.5 MB/s prototype).
+    pub fs1_time: SimNanos,
+}
+
+impl ScanOutcome {
+    /// Fraction of scanned entries that matched.
+    pub fn selectivity(&self) -> f64 {
+        if self.entries_scanned == 0 {
+            0.0
+        } else {
+            self.matches.len() as f64 / self.entries_scanned as f64
+        }
+    }
+}
+
+/// The secondary index file for one predicate's compiled clause file.
+///
+/// # Examples
+///
+/// ```
+/// use clare_term::{SymbolTable, parser::parse_term};
+/// use clare_scw::{ClauseAddr, IndexFile, ScwConfig};
+///
+/// let mut sy = SymbolTable::new();
+/// let mut index = IndexFile::new(ScwConfig::paper());
+/// for (i, fact) in ["p(a)", "p(b)", "p(X)"].iter().enumerate() {
+///     let head = parse_term(fact, &mut sy)?;
+///     index.insert(&head, ClauseAddr::new(0, i as u16));
+/// }
+/// let outcome = index.scan(&parse_term("p(a)", &mut sy)?);
+/// // p(a) matches; p(X) matches via its mask bit; p(b) is filtered out.
+/// assert_eq!(outcome.matches.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexFile {
+    config: ScwConfig,
+    entries: Vec<IndexEntry>,
+}
+
+impl IndexFile {
+    /// Creates an empty index with the given scheme parameters.
+    pub fn new(config: ScwConfig) -> Self {
+        IndexFile {
+            config,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The scheme parameters.
+    pub fn config(&self) -> &ScwConfig {
+        &self.config
+    }
+
+    /// Encodes and appends a clause head. Entries keep insertion order —
+    /// clause order is user-significant in Prolog and the index preserves
+    /// it so retrieval returns clauses in program order.
+    pub fn insert(&mut self, head: &Term, addr: ClauseAddr) {
+        let signature = encode_clause_signature(head, &self.config);
+        self.entries.push(IndexEntry { signature, addr });
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in clause order.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// Size of the secondary file in bytes.
+    pub fn file_bytes(&self) -> usize {
+        self.entries.len() * self.config.entry_bytes()
+    }
+
+    /// Scans the whole index against a query, as the FS1 hardware does:
+    /// every entry is examined (the match is a streaming comparison, not a
+    /// tree descent), and the scan time is the secondary-file size over the
+    /// FS1 scan rate.
+    pub fn scan(&self, query: &Term) -> ScanOutcome {
+        let descriptor = encode_query_descriptor(query, &self.config);
+        let matches = self
+            .entries
+            .iter()
+            .filter(|e| descriptor.matches(&e.signature))
+            .map(|e| e.addr)
+            .collect();
+        let bytes_scanned = self.file_bytes();
+        ScanOutcome {
+            matches,
+            entries_scanned: self.entries.len(),
+            bytes_scanned,
+            fs1_time: self.config.scan_rate().transfer_time(bytes_scanned as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clare_term::parser::parse_term;
+    use clare_term::SymbolTable;
+
+    fn build_index(clauses: &[&str], sy: &mut SymbolTable) -> IndexFile {
+        let mut index = IndexFile::new(ScwConfig::paper());
+        for (i, src) in clauses.iter().enumerate() {
+            let head = parse_term(src, sy).unwrap();
+            index.insert(&head, ClauseAddr::new((i / 4) as u32, (i % 4) as u16));
+        }
+        index
+    }
+
+    #[test]
+    fn scan_filters_and_preserves_order() {
+        let mut sy = SymbolTable::new();
+        let index = build_index(
+            &["p(a, 1)", "p(b, 2)", "p(a, 3)", "p(X, 4)", "p(a, 5)"],
+            &mut sy,
+        );
+        let outcome = index.scan(&parse_term("p(a, Y)", &mut sy).unwrap());
+        // p(a,1), p(a,3), p(X,4) [mask], p(a,5) — in clause order.
+        assert_eq!(
+            outcome.matches,
+            vec![
+                ClauseAddr::new(0, 0),
+                ClauseAddr::new(0, 2),
+                ClauseAddr::new(0, 3),
+                ClauseAddr::new(1, 0),
+            ]
+        );
+        assert_eq!(outcome.entries_scanned, 5);
+    }
+
+    #[test]
+    fn unconstrained_query_retrieves_everything() {
+        let mut sy = SymbolTable::new();
+        let index = build_index(&["m(a, b)", "m(c, d)", "m(e, e)"], &mut sy);
+        let outcome = index.scan(&parse_term("m(S, S)", &mut sy).unwrap());
+        assert_eq!(outcome.matches.len(), 3, "shared vars defeat FS1");
+        assert_eq!(outcome.selectivity(), 1.0);
+    }
+
+    #[test]
+    fn selective_query_has_low_selectivity() {
+        let mut sy = SymbolTable::new();
+        let clauses: Vec<String> = (0..100).map(|i| format!("q(k{i}, v{i})")).collect();
+        let refs: Vec<&str> = clauses.iter().map(String::as_str).collect();
+        let index = build_index(&refs, &mut sy);
+        let outcome = index.scan(&parse_term("q(k42, X)", &mut sy).unwrap());
+        assert!(!outcome.matches.is_empty(), "the true hit survives");
+        assert!(
+            outcome.selectivity() < 0.1,
+            "selectivity {} too high",
+            outcome.selectivity()
+        );
+        assert!(outcome
+            .matches
+            .contains(&ClauseAddr::new(42 / 4, (42 % 4) as u16)));
+    }
+
+    #[test]
+    fn fs1_time_follows_file_size() {
+        let mut sy = SymbolTable::new();
+        let clauses: Vec<String> = (0..450).map(|i| format!("r(a{i})")).collect();
+        let refs: Vec<&str> = clauses.iter().map(String::as_str).collect();
+        let index = build_index(&refs, &mut sy);
+        assert_eq!(index.file_bytes(), 450 * index.config().entry_bytes());
+        let outcome = index.scan(&parse_term("r(a7)", &mut sy).unwrap());
+        // 450 entries × 17 B = 7650 B at 4.5 MB/s = 1.7 ms.
+        let expected_ns = (index.file_bytes() as f64 / 4.5e6 * 1e9).round() as u64;
+        assert!(
+            (outcome.fs1_time.as_ns() as i64 - expected_ns as i64).abs() < 1000,
+            "fs1 time {} vs expected {expected_ns} ns",
+            outcome.fs1_time
+        );
+    }
+
+    #[test]
+    fn empty_index() {
+        let mut sy = SymbolTable::new();
+        let index = IndexFile::new(ScwConfig::paper());
+        let outcome = index.scan(&parse_term("p(a)", &mut sy).unwrap());
+        assert!(outcome.matches.is_empty());
+        assert_eq!(outcome.selectivity(), 0.0);
+        assert_eq!(outcome.fs1_time, SimNanos::ZERO);
+    }
+
+    #[test]
+    fn secondary_file_smaller_than_typical_clause_file() {
+        // The scheme's whole point: entry size is a handful of bytes,
+        // independent of clause size.
+        let config = ScwConfig::paper();
+        assert!(config.entry_bytes() <= 24);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the SCW+MB index: soundness (a clause always
+//! matches a query it trivially unifies with) and structural properties
+//! of codewords.
+
+use clare_scw::{
+    encode_clause_signature, encode_query_descriptor, ClauseAddr, Codeword, IndexFile, ScwConfig,
+};
+use clare_term::parser::parse_term;
+use clare_term::SymbolTable;
+use proptest::prelude::*;
+
+/// Source strategy for ground-ish clause heads.
+fn head_source() -> impl Strategy<Value = String> {
+    let arg = prop_oneof![
+        "[a-z][a-z0-9]{0,4}".prop_map(|a| a),
+        (-500i64..500).prop_map(|v| v.to_string()),
+        "[A-Z]".prop_map(|v| v),
+        Just("_".to_owned()),
+        Just("g(x, Y)".to_owned()),
+        Just("[1, 2]".to_owned()),
+        Just("[a | T]".to_owned()),
+    ];
+    prop::collection::vec(arg, 1..6).prop_map(|args| format!("p({})", args.join(", ")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Self-match soundness: every head matches the query that is its own
+    /// text (which trivially unifies).
+    #[test]
+    fn clause_matches_itself(src in head_source()) {
+        let mut symbols = SymbolTable::new();
+        let head = parse_term(&src, &mut symbols).unwrap();
+        let config = ScwConfig::paper();
+        let signature = encode_clause_signature(&head, &config);
+        let descriptor = encode_query_descriptor(&head, &config);
+        prop_assert!(descriptor.matches(&signature), "self-match for {src}");
+    }
+
+    /// Replacing any query argument with a fresh variable can only widen
+    /// the match (monotone relaxation).
+    #[test]
+    fn relaxing_a_query_never_loses_matches(
+        q_src in head_source(),
+        c_src in head_source(),
+        victim in 0usize..6,
+    ) {
+        let mut symbols = SymbolTable::new();
+        let q = parse_term(&q_src, &mut symbols).unwrap();
+        let c = parse_term(&c_src, &mut symbols).unwrap();
+        let config = ScwConfig::paper();
+        let signature = encode_clause_signature(&c, &config);
+        let strict = encode_query_descriptor(&q, &config).matches(&signature);
+        // Relax one argument to a fresh variable.
+        let clare_term::Term::Struct { functor, mut args } = q else { unreachable!() };
+        let idx = victim % args.len();
+        args[idx] = clare_term::Term::Var(clare_term::VarId::new(40));
+        let relaxed = clare_term::Term::Struct { functor, args };
+        let relaxed_match = encode_query_descriptor(&relaxed, &config).matches(&signature);
+        prop_assert!(!strict || relaxed_match, "relaxation lost a match");
+    }
+
+    /// Codeword merge is the join: both operands are subsets of the merge,
+    /// and subset testing is reflexive and transitive on generated words.
+    #[test]
+    fn codeword_lattice(keys in prop::collection::vec(any::<u64>(), 0..24)) {
+        let config = ScwConfig::paper();
+        let mut merged = Codeword::zero(&config);
+        let words: Vec<Codeword> = keys
+            .iter()
+            .map(|k| Codeword::key_bits(&config, *k))
+            .collect();
+        for w in &words {
+            merged.merge(w);
+        }
+        for w in &words {
+            prop_assert!(w.subset_of(&merged));
+            prop_assert!(w.subset_of(w));
+        }
+        prop_assert!(Codeword::zero(&config).subset_of(&merged));
+        prop_assert!(merged.count_ones() <= (keys.len() as u32) * config.bits_per_key() as u32);
+    }
+
+    /// The index returns addresses in insertion order and never invents
+    /// entries.
+    #[test]
+    fn index_scan_is_an_ordered_subset(heads in prop::collection::vec(head_source(), 1..40)) {
+        let mut symbols = SymbolTable::new();
+        let config = ScwConfig::paper();
+        let mut index = IndexFile::new(config);
+        let mut addrs = Vec::new();
+        for (i, src) in heads.iter().enumerate() {
+            let head = parse_term(src, &mut symbols).unwrap();
+            let addr = ClauseAddr::new(0, i as u16);
+            index.insert(&head, addr);
+            addrs.push(addr);
+        }
+        let q = parse_term(&heads[0], &mut symbols).unwrap();
+        let outcome = index.scan(&q);
+        // Subset of inserted addresses, strictly increasing slots.
+        for m in &outcome.matches {
+            prop_assert!(addrs.contains(m));
+        }
+        prop_assert!(outcome.matches.windows(2).all(|w| w[0] < w[1]));
+        // And the self head is among them.
+        prop_assert!(outcome.matches.contains(&addrs[0]));
+    }
+}

@@ -1,0 +1,257 @@
+//! Pretty-printing of terms and clauses back to Edinburgh syntax.
+//!
+//! Because terms store interned offsets, printing needs the
+//! [`SymbolTable`]; the adapters here borrow it and implement
+//! [`std::fmt::Display`].
+
+use crate::symbol::SymbolTable;
+use crate::term::{Clause, Term};
+use std::fmt;
+
+/// Display adapter for a [`Term`].
+///
+/// # Examples
+///
+/// ```
+/// use clare_term::{SymbolTable, TermDisplay, parser::parse_term_with_vars};
+///
+/// let mut symbols = SymbolTable::new();
+/// let (t, names) = parse_term_with_vars("f(X, [a | T])", &mut symbols)?;
+/// let printed = TermDisplay::new(&t, &symbols).with_var_names(&names).to_string();
+/// assert_eq!(printed, "f(X, [a | T])");
+/// # Ok::<(), clare_term::parser::ParseError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TermDisplay<'a> {
+    term: &'a Term,
+    symbols: &'a SymbolTable,
+    var_names: Option<&'a [String]>,
+}
+
+impl<'a> TermDisplay<'a> {
+    /// Creates a display adapter; variables print as `_V0`, `_V1`, ….
+    pub fn new(term: &'a Term, symbols: &'a SymbolTable) -> Self {
+        TermDisplay {
+            term,
+            symbols,
+            var_names: None,
+        }
+    }
+
+    /// Uses source variable names (e.g. a clause's
+    /// [`var_names`](Clause::var_names)) instead of `_Vn`.
+    pub fn with_var_names(mut self, names: &'a [String]) -> Self {
+        self.var_names = Some(names);
+        self
+    }
+
+    fn fmt_term(&self, term: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match term {
+            Term::Atom(sym) => {
+                let text = self.symbols.try_atom_text(*sym).unwrap_or("<foreign-atom>");
+                write_atom(text, f)
+            }
+            Term::Int(v) => write!(f, "{v}"),
+            Term::Float(id) => {
+                // Print floats so the reader lexes them back as floats: a
+                // value like 5.0 renders as "5" under `{}` (which would
+                // re-parse as an integer), so force a fraction or keep the
+                // exponent form the lexer now accepts.
+                let value = self.symbols.float_value(*id);
+                let text = format!("{value}");
+                if text.contains('.')
+                    || text.contains('e')
+                    || text.contains("NaN")
+                    || text.contains("inf")
+                {
+                    f.write_str(&text)
+                } else {
+                    write!(f, "{text}.0")
+                }
+            }
+            Term::Var(v) => match self.var_names.and_then(|n| n.get(v.index() as usize)) {
+                Some(name) => f.write_str(name),
+                None => write!(f, "{v}"),
+            },
+            Term::Anon => f.write_str("_"),
+            Term::Struct { functor, args } => {
+                let text = self
+                    .symbols
+                    .try_atom_text(*functor)
+                    .unwrap_or("<foreign-atom>");
+                write_atom(text, f)?;
+                f.write_str("(")?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    self.fmt_term(arg, f)?;
+                }
+                f.write_str(")")
+            }
+            Term::List { items, tail } => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    self.fmt_term(item, f)?;
+                }
+                if let Some(t) = tail {
+                    f.write_str(" | ")?;
+                    self.fmt_term(t, f)?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_term(self.term, f)
+    }
+}
+
+/// Display adapter for a [`Clause`], printing `head.` or `head :- body.`.
+#[derive(Debug, Clone, Copy)]
+pub struct ClauseDisplay<'a> {
+    clause: &'a Clause,
+    symbols: &'a SymbolTable,
+}
+
+impl<'a> ClauseDisplay<'a> {
+    /// Creates a display adapter using the clause's own variable names.
+    pub fn new(clause: &'a Clause, symbols: &'a SymbolTable) -> Self {
+        ClauseDisplay { clause, symbols }
+    }
+}
+
+impl fmt::Display for ClauseDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = self.clause.var_names();
+        let head = TermDisplay::new(self.clause.head(), self.symbols).with_var_names(names);
+        write!(f, "{head}")?;
+        if !self.clause.is_fact() {
+            f.write_str(" :- ")?;
+            for (i, goal) in self.clause.body().iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                let g = TermDisplay::new(goal, self.symbols).with_var_names(names);
+                write!(f, "{g}")?;
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+/// Writes an atom, quoting it when it is not a bare lowercase identifier.
+fn write_atom(text: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let bare = !text.is_empty()
+        && text.as_bytes()[0].is_ascii_lowercase()
+        && text.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'_');
+    if bare {
+        f.write_str(text)
+    } else {
+        f.write_str("'")?;
+        for ch in text.chars() {
+            match ch {
+                '\'' => f.write_str("''")?,
+                '\\' => f.write_str("\\\\")?,
+                '\n' => f.write_str("\\n")?,
+                '\t' => f.write_str("\\t")?,
+                other => write!(f, "{other}")?,
+            }
+        }
+        f.write_str("'")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_clause, parse_term, parse_term_with_vars};
+
+    fn roundtrip(src: &str) {
+        let mut s = SymbolTable::new();
+        let (t, names) = parse_term_with_vars(src, &mut s).unwrap();
+        let printed = TermDisplay::new(&t, &s).with_var_names(&names).to_string();
+        assert_eq!(printed, src);
+        // And printing parses back to an equal term.
+        let mut s2 = SymbolTable::new();
+        let t2 = parse_term(&printed, &mut s2).unwrap();
+        let printed2 = TermDisplay::new(&t2, &s2).to_string();
+        let reference = TermDisplay::new(&t, &s).to_string();
+        assert_eq!(printed2, reference);
+    }
+
+    #[test]
+    fn roundtrips_representative_terms() {
+        roundtrip("a");
+        roundtrip("f(a, b)");
+        roundtrip("f(g(h(1)), -2)");
+        roundtrip("[a, b, c]");
+        roundtrip("[a | T]");
+        roundtrip("[]");
+        roundtrip("f(X, Y, X)");
+        roundtrip("f(_, _)");
+        roundtrip("2.5");
+    }
+
+    #[test]
+    fn quotes_non_bare_atoms() {
+        let mut s = SymbolTable::new();
+        let t = parse_term("'hello world'", &mut s).unwrap();
+        assert_eq!(TermDisplay::new(&t, &s).to_string(), "'hello world'");
+        let t = parse_term("'It''s'", &mut s).unwrap();
+        assert_eq!(TermDisplay::new(&t, &s).to_string(), "'It''s'");
+    }
+
+    #[test]
+    fn fallback_var_names() {
+        let mut s = SymbolTable::new();
+        let t = parse_term("f(A, B)", &mut s).unwrap();
+        assert_eq!(TermDisplay::new(&t, &s).to_string(), "f(_V0, _V1)");
+    }
+
+    #[test]
+    fn clause_display_fact_and_rule() {
+        let mut s = SymbolTable::new();
+        let fact = parse_clause("parent(tom, bob).", &mut s).unwrap();
+        assert_eq!(
+            ClauseDisplay::new(&fact, &s).to_string(),
+            "parent(tom, bob)."
+        );
+        let rule = parse_clause("gp(X, Z) :- p(X, Y), p(Y, Z).", &mut s).unwrap();
+        assert_eq!(
+            ClauseDisplay::new(&rule, &s).to_string(),
+            "gp(X, Z) :- p(X, Y), p(Y, Z)."
+        );
+    }
+
+    #[test]
+    fn foreign_symbol_does_not_panic() {
+        let s = SymbolTable::new();
+        let t = Term::Atom(crate::symbol::Symbol::from_offset(999));
+        assert_eq!(TermDisplay::new(&t, &s).to_string(), "'<foreign-atom>'");
+    }
+}
+
+#[cfg(test)]
+mod float_display_tests {
+    use super::*;
+    use crate::parser::parse_term;
+
+    #[test]
+    fn integral_and_exponent_floats_reparse_as_floats() {
+        for src in ["2.5", "5.0", "1.5e10", "2e-3", "0.001"] {
+            let mut sy = SymbolTable::new();
+            let t = parse_term(src, &mut sy).unwrap();
+            assert!(matches!(t, crate::term::Term::Float(_)), "{src} is a float");
+            let printed = TermDisplay::new(&t, &sy).to_string();
+            let t2 = parse_term(&printed, &mut sy).unwrap();
+            assert_eq!(t2, t, "roundtrip through `{printed}`");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Prolog term representation for the CLARE reproduction.
+//!
+//! This crate provides the foundational data model shared by every other
+//! crate in the workspace:
+//!
+//! * [`SymbolTable`] — an interner for atom names and floating point
+//!   constants. The paper's Pseudo In-line Format (PIF) represents atoms and
+//!   floats as *symbol table offsets*; interning here gives every atom and
+//!   float a stable small integer identity that the `clare-pif` encoder can
+//!   embed directly in content fields.
+//! * [`Term`] — Prolog terms: atoms, integers, floats, named and anonymous
+//!   variables, structures, and (terminated or unterminated) lists. Lists are
+//!   first-class rather than sugar for `'.'/2` because the CLARE hardware
+//!   type scheme (Table A1 of the paper) treats them as distinct type tags.
+//! * [`Clause`] — a fact or rule with a user-significant ordering position.
+//! * [`parser`] — a reader for an Edinburgh-syntax subset sufficient for the
+//!   paper's workloads (facts, rules, lists, quoted atoms, comments).
+//!
+//! # Examples
+//!
+//! ```
+//! use clare_term::{SymbolTable, parser::parse_term};
+//!
+//! let mut symbols = SymbolTable::new();
+//! let term = parse_term("married_couple(Same, Same)", &mut symbols)?;
+//! assert_eq!(term.functor_arity(), Some((symbols.intern_atom("married_couple"), 2)));
+//! # Ok::<(), clare_term::parser::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod display;
+pub mod parser;
+pub mod symbol;
+pub mod term;
+pub mod visit;
+
+pub use display::{ClauseDisplay, TermDisplay};
+pub use symbol::{FloatId, Symbol, SymbolTable};
+pub use term::{Clause, ClauseId, Term, VarId};
+pub use visit::{collect_vars, term_depth, term_size};

@@ -1,0 +1,477 @@
+//! Tokenizer for the Edinburgh-syntax subset.
+
+use std::fmt;
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+/// Token kinds produced by [`Lexer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Unquoted lowercase atom or quoted atom.
+    Atom(String),
+    /// Variable name (initial uppercase or `_`); the bare `_` is the
+    /// anonymous variable.
+    Var(String),
+    /// Integer literal (possibly negative).
+    Int(i64),
+    /// Float literal (possibly negative).
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `|`
+    Bar,
+    /// Clause terminator `.`
+    Dot,
+    /// Rule neck `:-`
+    Neck,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Atom(a) => write!(f, "atom `{a}`"),
+            TokenKind::Var(v) => write!(f, "variable `{v}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Float(x) => write!(f, "float `{x}`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Bar => f.write_str("`|`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Neck => f.write_str("`:-`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lexical error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming tokenizer over a source string.
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenizes the whole input, appending a final [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] on unterminated quotes or comments, malformed
+    /// numbers, or characters outside the supported subset.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let offset = self.pos;
+            let Some(&c) = self.src.get(self.pos) else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    offset,
+                });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'(' => {
+                    self.pos += 1;
+                    TokenKind::LParen
+                }
+                b')' => {
+                    self.pos += 1;
+                    TokenKind::RParen
+                }
+                b'[' => {
+                    self.pos += 1;
+                    TokenKind::LBracket
+                }
+                b']' => {
+                    self.pos += 1;
+                    TokenKind::RBracket
+                }
+                b',' => {
+                    self.pos += 1;
+                    TokenKind::Comma
+                }
+                b'|' => {
+                    self.pos += 1;
+                    TokenKind::Bar
+                }
+                b'.' => {
+                    self.pos += 1;
+                    TokenKind::Dot
+                }
+                b':' => {
+                    if self.src.get(self.pos + 1) == Some(&b'-') {
+                        self.pos += 2;
+                        TokenKind::Neck
+                    } else {
+                        return Err(self.error("expected `:-`"));
+                    }
+                }
+                b'\'' => self.quoted_atom()?,
+                b'-' => {
+                    if self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit) {
+                        self.pos += 1;
+                        self.number(true)?
+                    } else {
+                        return Err(self.error("`-` is only supported before a number literal"));
+                    }
+                }
+                b'0'..=b'9' => self.number(false)?,
+                b'a'..=b'z' => self.bare_atom(),
+                b'A'..=b'Z' | b'_' => self.variable(),
+                other => {
+                    return Err(
+                        self.error(&format!("unsupported character `{}`", char::from(other)))
+                    )
+                }
+            };
+            out.push(Token { kind, offset });
+        }
+    }
+
+    fn error(&self, message: &str) -> LexError {
+        LexError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.src.get(self.pos) {
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'%') => {
+                    while let Some(&c) = self.src.get(self.pos) {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.src.get(self.pos), self.src.get(self.pos + 1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(LexError {
+                                    message: "unterminated block comment".into(),
+                                    offset: start,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) -> &'src str {
+        let start = self.pos;
+        while self.src.get(self.pos).is_some_and(|&c| pred(c)) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos]).expect("ASCII subset")
+    }
+
+    fn bare_atom(&mut self) -> TokenKind {
+        let text = self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+        TokenKind::Atom(text.to_owned())
+    }
+
+    fn variable(&mut self) -> TokenKind {
+        let text = self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+        TokenKind::Var(text.to_owned())
+    }
+
+    fn quoted_atom(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut text = String::new();
+        loop {
+            match self.src.get(self.pos) {
+                Some(b'\'') => {
+                    if self.src.get(self.pos + 1) == Some(&b'\'') {
+                        text.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(TokenKind::Atom(text));
+                    }
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.src.get(self.pos).copied().ok_or_else(|| LexError {
+                        message: "unterminated escape".into(),
+                        offset: start,
+                    })?;
+                    text.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'\\' => '\\',
+                        b'\'' => '\'',
+                        other => {
+                            return Err(LexError {
+                                message: format!("unknown escape `\\{}`", char::from(other)),
+                                offset: self.pos,
+                            })
+                        }
+                    });
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    text.push(char::from(c));
+                    self.pos += 1;
+                }
+                None => {
+                    return Err(LexError {
+                        message: "unterminated quoted atom".into(),
+                        offset: start,
+                    })
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, negative: bool) -> Result<TokenKind, LexError> {
+        let int_part = self.take_while(|c| c.is_ascii_digit());
+        // A float has `digits.digits` and/or an exponent; a lone `.` after
+        // digits is the clause terminator, so only consume it when a digit
+        // follows.
+        let has_fraction = self.src.get(self.pos) == Some(&b'.')
+            && self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit);
+        let mut text = int_part.to_owned();
+        if has_fraction {
+            self.pos += 1;
+            let frac_part = self.take_while(|c| c.is_ascii_digit());
+            text.push('.');
+            text.push_str(frac_part);
+        }
+        let has_exponent = matches!(self.src.get(self.pos), Some(b'e' | b'E'))
+            && match (self.src.get(self.pos + 1), self.src.get(self.pos + 2)) {
+                (Some(d), _) if d.is_ascii_digit() => true,
+                (Some(b'+' | b'-'), Some(d)) if d.is_ascii_digit() => true,
+                _ => false,
+            };
+        if has_exponent {
+            text.push('e');
+            self.pos += 1;
+            if matches!(self.src.get(self.pos), Some(b'+' | b'-')) {
+                text.push(char::from(self.src[self.pos]));
+                self.pos += 1;
+            }
+            text.push_str(self.take_while(|c| c.is_ascii_digit()));
+        }
+        if has_fraction || has_exponent {
+            let mut value: f64 = text.parse().map_err(|_| self.error("malformed float"))?;
+            if negative {
+                value = -value;
+            }
+            Ok(TokenKind::Float(value))
+        } else {
+            let mut value: i64 = text
+                .parse()
+                .map_err(|_| self.error("integer literal out of range"))?;
+            if negative {
+                value = -value;
+            }
+            Ok(TokenKind::Int(value))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .expect("test input lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn punctuation_and_atoms() {
+        assert_eq!(
+            lex("f(a, B)."),
+            vec![
+                TokenKind::Atom("f".into()),
+                TokenKind::LParen,
+                TokenKind::Atom("a".into()),
+                TokenKind::Comma,
+                TokenKind::Var("B".into()),
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn neck_and_lists() {
+        assert_eq!(
+            lex("p :- [X|T]."),
+            vec![
+                TokenKind::Atom("p".into()),
+                TokenKind::Neck,
+                TokenKind::LBracket,
+                TokenKind::Var("X".into()),
+                TokenKind::Bar,
+                TokenKind::Var("T".into()),
+                TokenKind::RBracket,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            lex("1 -2 3.5 -4.25"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Int(-2),
+                TokenKind::Float(3.5),
+                TokenKind::Float(-4.25),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn exponent_floats() {
+        assert_eq!(
+            lex("1.5e10 2e-3 7E+2 -2.5e-1"),
+            vec![
+                TokenKind::Float(1.5e10),
+                TokenKind::Float(2e-3),
+                TokenKind::Float(7e2),
+                TokenKind::Float(-0.25),
+                TokenKind::Eof,
+            ]
+        );
+        // `e` not followed by an exponent stays an atom boundary:
+        // `2elephants` lexes as int 2 then atom.
+        assert_eq!(
+            lex("2elephants"),
+            vec![
+                TokenKind::Int(2),
+                TokenKind::Atom("elephants".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_then_clause_dot() {
+        // `f(1).` — the dot terminates the clause, it is not a float.
+        assert_eq!(
+            lex("1."),
+            vec![TokenKind::Int(1), TokenKind::Dot, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn quoted_atoms_with_escapes() {
+        assert_eq!(
+            lex("'hello world' 'it''s' 'a\\nb'"),
+            vec![
+                TokenKind::Atom("hello world".into()),
+                TokenKind::Atom("it's".into()),
+                TokenKind::Atom("a\nb".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            lex("a % line comment\n /* block */ b"),
+            vec![
+                TokenKind::Atom("a".into()),
+                TokenKind::Atom("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_variables() {
+        assert_eq!(
+            lex("_ _Tail"),
+            vec![
+                TokenKind::Var("_".into()),
+                TokenKind::Var("_Tail".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = Lexer::new("abc $").tokenize().unwrap_err();
+        assert_eq!(err.offset, 4);
+        let err = Lexer::new("'open").tokenize().unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        assert!(Lexer::new("/* never closed").tokenize().is_err());
+    }
+}

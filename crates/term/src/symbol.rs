@@ -1,0 +1,300 @@
+//! Interned symbols: atom names and floating-point constants.
+//!
+//! The CLARE hardware never sees textual atom names. In the Pseudo In-line
+//! Format (PIF, Table A1 of the paper) an atom argument is the tag `0x08`
+//! followed by a *symbol table offset*, and a float argument is the tag
+//! `0x09` followed by a symbol table offset. Equality of two atoms or two
+//! floats therefore reduces to equality of offsets — which is exactly what
+//! the FS2 comparator tests. [`SymbolTable`] reproduces that contract: the
+//! same atom text (or the same float bit pattern) always interns to the same
+//! offset, and distinct texts (bit patterns) intern to distinct offsets.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned atom name: an index into a [`SymbolTable`].
+///
+/// In PIF terms this is the "symbol table offset" stored in the content field
+/// of an atom argument or of a structure's functor.
+///
+/// # Examples
+///
+/// ```
+/// use clare_term::SymbolTable;
+///
+/// let mut table = SymbolTable::new();
+/// let a = table.intern_atom("likes");
+/// let b = table.intern_atom("likes");
+/// assert_eq!(a, b);
+/// assert_eq!(table.atom_text(a), "likes");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the raw symbol-table offset.
+    pub fn offset(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a symbol from a raw offset.
+    ///
+    /// Intended for decoders (e.g. the PIF decoder) that read offsets back
+    /// from an encoded byte stream. The caller is responsible for only using
+    /// offsets that were produced by the same [`SymbolTable`].
+    pub fn from_offset(offset: u32) -> Self {
+        Symbol(offset)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An interned floating-point constant: an index into a [`SymbolTable`].
+///
+/// The paper stores floats out-of-line in the symbol table (tag `0x09`,
+/// content = symbol table offset), so float comparison in the hardware is
+/// offset comparison. Floats are interned by bit pattern: `0.0` and `-0.0`
+/// are *different* entries, and a NaN is equal to an identically-encoded NaN,
+/// mirroring a table keyed on the stored bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FloatId(u32);
+
+impl FloatId {
+    /// Returns the raw symbol-table offset.
+    pub fn offset(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a float id from a raw offset.
+    ///
+    /// See [`Symbol::from_offset`] for the intended use.
+    pub fn from_offset(offset: u32) -> Self {
+        FloatId(offset)
+    }
+}
+
+impl fmt::Display for FloatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flt#{}", self.0)
+    }
+}
+
+/// Interner mapping atom texts and float constants to stable offsets.
+///
+/// One table is shared by a whole knowledge base (the paper keeps a single
+/// symbol table per compiled clause file). All crates in the workspace pass
+/// `&SymbolTable` or `&mut SymbolTable` explicitly; there is no global state.
+///
+/// # Examples
+///
+/// ```
+/// use clare_term::SymbolTable;
+///
+/// let mut table = SymbolTable::new();
+/// let pi = table.intern_float(3.14);
+/// assert_eq!(table.float_value(pi), 3.14);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    atoms: Vec<String>,
+    atom_index: HashMap<String, Symbol>,
+    floats: Vec<f64>,
+    float_index: HashMap<u64, FloatId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an atom name, returning its stable offset.
+    ///
+    /// Interning the same text twice returns the same [`Symbol`].
+    pub fn intern_atom(&mut self, text: &str) -> Symbol {
+        if let Some(&sym) = self.atom_index.get(text) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.atoms.len()).expect("symbol table overflow"));
+        self.atoms.push(text.to_owned());
+        self.atom_index.insert(text.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up an atom without interning it.
+    ///
+    /// Returns `None` if the text has never been interned. Useful for query
+    /// compilation against a read-only knowledge base: a query atom that does
+    /// not occur anywhere in the knowledge base can never match.
+    pub fn lookup_atom(&self, text: &str) -> Option<Symbol> {
+        self.atom_index.get(text).copied()
+    }
+
+    /// Returns the text of an interned atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this table.
+    pub fn atom_text(&self, sym: Symbol) -> &str {
+        &self.atoms[sym.0 as usize]
+    }
+
+    /// Returns the text of an interned atom, or `None` for a foreign offset.
+    pub fn try_atom_text(&self, sym: Symbol) -> Option<&str> {
+        self.atoms.get(sym.0 as usize).map(String::as_str)
+    }
+
+    /// Interns a float constant (by bit pattern), returning its offset.
+    pub fn intern_float(&mut self, value: f64) -> FloatId {
+        let bits = value.to_bits();
+        if let Some(&id) = self.float_index.get(&bits) {
+            return id;
+        }
+        let id = FloatId(u32::try_from(self.floats.len()).expect("float table overflow"));
+        self.floats.push(value);
+        self.float_index.insert(bits, id);
+        id
+    }
+
+    /// Looks up a float without interning it. See [`Self::lookup_atom`].
+    pub fn lookup_float(&self, value: f64) -> Option<FloatId> {
+        self.float_index.get(&value.to_bits()).copied()
+    }
+
+    /// Returns the value of an interned float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn float_value(&self, id: FloatId) -> f64 {
+        self.floats[id.0 as usize]
+    }
+
+    /// Number of distinct atoms interned so far.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of distinct float constants interned so far.
+    pub fn float_count(&self) -> usize {
+        self.floats.len()
+    }
+
+    /// Iterates over all interned atoms as `(symbol, text)` pairs.
+    pub fn atoms(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .map(|(i, text)| (Symbol(i as u32), text.as_str()))
+    }
+
+    /// Approximate memory footprint of the table in bytes.
+    ///
+    /// Used by the knowledge-base sizing experiments (E10) when accounting
+    /// for the in-memory cost of a loaded module.
+    pub fn approx_bytes(&self) -> usize {
+        let atom_bytes: usize = self.atoms.iter().map(|a| a.len() + 24).sum();
+        atom_bytes
+            + self.floats.len() * 8
+            + self.atom_index.len() * 48
+            + self.float_index.len() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_atom_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern_atom("foo");
+        let b = t.intern_atom("foo");
+        assert_eq!(a, b);
+        assert_eq!(t.atom_count(), 1);
+    }
+
+    #[test]
+    fn distinct_atoms_get_distinct_offsets() {
+        let mut t = SymbolTable::new();
+        let a = t.intern_atom("foo");
+        let b = t.intern_atom("bar");
+        assert_ne!(a, b);
+        assert_eq!(t.atom_text(a), "foo");
+        assert_eq!(t.atom_text(b), "bar");
+    }
+
+    #[test]
+    fn offsets_are_dense_and_stable() {
+        let mut t = SymbolTable::new();
+        for i in 0..100 {
+            let s = t.intern_atom(&format!("a{i}"));
+            assert_eq!(s.offset(), i);
+        }
+        // Re-interning does not disturb the numbering.
+        assert_eq!(t.intern_atom("a42").offset(), 42);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup_atom("ghost"), None);
+        assert_eq!(t.atom_count(), 0);
+        let s = t.intern_atom("ghost");
+        assert_eq!(t.lookup_atom("ghost"), Some(s));
+    }
+
+    #[test]
+    fn float_interning_by_bit_pattern() {
+        let mut t = SymbolTable::new();
+        let pos = t.intern_float(0.0);
+        let neg = t.intern_float(-0.0);
+        assert_ne!(pos, neg, "0.0 and -0.0 have different bit patterns");
+        assert_eq!(t.intern_float(0.0), pos);
+        let nan = t.intern_float(f64::NAN);
+        assert_eq!(
+            t.intern_float(f64::NAN),
+            nan,
+            "same NaN encoding interns equal"
+        );
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let mut t = SymbolTable::new();
+        for v in [1.5, -2.25, 1e300, f64::MIN_POSITIVE] {
+            let id = t.intern_float(v);
+            assert_eq!(t.float_value(id), v);
+        }
+    }
+
+    #[test]
+    fn atoms_iterator_matches_contents() {
+        let mut t = SymbolTable::new();
+        t.intern_atom("x");
+        t.intern_atom("y");
+        let all: Vec<_> = t.atoms().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(all, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn from_offset_roundtrip() {
+        let mut t = SymbolTable::new();
+        let s = t.intern_atom("roundtrip");
+        assert_eq!(Symbol::from_offset(s.offset()), s);
+        let f = t.intern_float(9.75);
+        assert_eq!(FloatId::from_offset(f.offset()), f);
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let mut t = SymbolTable::new();
+        let before = t.approx_bytes();
+        t.intern_atom("some_reasonably_long_predicate_name");
+        assert!(t.approx_bytes() > before);
+    }
+}

@@ -1,0 +1,147 @@
+//! Structural traversal helpers over [`Term`]s.
+
+use crate::term::{Term, VarId};
+
+/// Collects every named variable occurrence, in left-to-right order, with
+/// duplicates preserved.
+///
+/// Duplicates matter: the PIF compiler classifies the *first* occurrence of a
+/// variable differently from subsequent ones (`1st-QV` vs `Sub-QV` in the
+/// paper), and the FS1 false-drop analysis hinges on repeated variables such
+/// as `married_couple(Same, Same)`.
+///
+/// # Examples
+///
+/// ```
+/// use clare_term::{collect_vars, SymbolTable, parser::parse_term};
+///
+/// let mut symbols = SymbolTable::new();
+/// let t = parse_term("f(X, g(Y, X))", &mut symbols)?;
+/// let vars = collect_vars(&t);
+/// assert_eq!(vars.len(), 3); // X, Y, X
+/// assert_eq!(vars[0], vars[2]);
+/// # Ok::<(), clare_term::parser::ParseError>(())
+/// ```
+pub fn collect_vars(term: &Term) -> Vec<VarId> {
+    let mut out = Vec::new();
+    collect_vars_into(term, &mut out);
+    out
+}
+
+fn collect_vars_into(term: &Term, out: &mut Vec<VarId>) {
+    match term {
+        Term::Var(v) => out.push(*v),
+        Term::Struct { args, .. } => {
+            for a in args {
+                collect_vars_into(a, out);
+            }
+        }
+        Term::List { items, tail } => {
+            for i in items {
+                collect_vars_into(i, out);
+            }
+            if let Some(t) = tail {
+                collect_vars_into(t, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// True if any named variable occurs more than once in `term`.
+///
+/// Such terms defeat the SCW+MB index (variables are ignored during
+/// encoding), which is one of the three false-drop sources the paper lists.
+pub fn has_repeated_vars(term: &Term) -> bool {
+    let vars = collect_vars(term);
+    let mut seen = std::collections::HashSet::new();
+    vars.into_iter().any(|v| !seen.insert(v))
+}
+
+/// Nesting depth of a term: constants and variables have depth 0; a complex
+/// term has depth `1 + max(children)`.
+///
+/// The paper's matching Levels 1–5 are distinguished by how deep into this
+/// structure the filter looks (Level 3 = "first level structures").
+pub fn term_depth(term: &Term) -> usize {
+    match term {
+        Term::Struct { .. } | Term::List { .. } => {
+            1 + term.children().map(term_depth).max().unwrap_or(0)
+        }
+        _ => 0,
+    }
+}
+
+/// Total number of nodes in the term tree (the term itself counts as 1).
+pub fn term_size(term: &Term) -> usize {
+    1 + term.children().map(term_size).sum::<usize>()
+}
+
+/// Calls `f` on `term` and every subterm, pre-order.
+pub fn for_each_subterm<'t>(term: &'t Term, f: &mut impl FnMut(&'t Term)) {
+    f(term);
+    for child in term.children() {
+        for_each_subterm(child, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+    use crate::symbol::SymbolTable;
+
+    fn parse(src: &str) -> Term {
+        let mut st = SymbolTable::new();
+        parse_term(src, &mut st).expect("test term parses")
+    }
+
+    #[test]
+    fn collect_vars_in_order_with_duplicates() {
+        let t = parse("f(X, g(Y, X), _)");
+        let vars = collect_vars(&t);
+        assert_eq!(vars.len(), 3);
+        assert_eq!(vars[0], vars[2]);
+        assert_ne!(vars[0], vars[1]);
+    }
+
+    #[test]
+    fn anon_vars_are_not_collected() {
+        let t = parse("f(_, _, _)");
+        assert!(collect_vars(&t).is_empty());
+    }
+
+    #[test]
+    fn repeated_var_detection() {
+        assert!(has_repeated_vars(&parse("married_couple(S, S)")));
+        assert!(!has_repeated_vars(&parse("married_couple(A, B)")));
+        assert!(
+            !has_repeated_vars(&parse("f(_, _)")),
+            "anon vars never repeat"
+        );
+    }
+
+    #[test]
+    fn depth_of_flat_and_nested() {
+        assert_eq!(term_depth(&parse("a")), 0);
+        assert_eq!(term_depth(&parse("f(a, b)")), 1);
+        assert_eq!(term_depth(&parse("f(g(h(a)))")), 3);
+        assert_eq!(term_depth(&parse("[a, [b, [c]]]")), 3);
+    }
+
+    #[test]
+    fn size_counts_every_node() {
+        assert_eq!(term_size(&parse("a")), 1);
+        assert_eq!(term_size(&parse("f(a, b)")), 3);
+        // list node + 2 items + tail var
+        assert_eq!(term_size(&parse("[a, b | T]")), 4);
+    }
+
+    #[test]
+    fn for_each_subterm_preorder() {
+        let t = parse("f(g(a), b)");
+        let mut count = 0;
+        for_each_subterm(&t, &mut |_| count += 1);
+        assert_eq!(count, term_size(&t));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the reader/writer pair and the symbol table.
+
+use clare_term::parser::{parse_term, parse_term_with_vars};
+use clare_term::{SymbolTable, TermDisplay};
+use proptest::prelude::*;
+
+/// A strategy generating syntactically valid term source text.
+fn term_source() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| s),
+        // Quoted atoms with spaces and escapable characters.
+        "[ -~]{0,8}".prop_map(|s| format!("'{}'", s.replace(['\\', '\''], ""))),
+    ];
+    let leaf = prop_oneof![
+        atom.clone(),
+        (-1_000_000i64..1_000_000).prop_map(|v| v.to_string()),
+        (0u32..1000u32, 1u32..1000u32).prop_map(|(a, b)| format!("{a}.{b}")),
+        (1u32..999, -6i32..7).prop_map(|(m, e)| format!("{m}e{e}")),
+        (1u32..99, 1u32..99, -4i32..5).prop_map(|(a, b, e)| format!("{a}.{b}e{e}")),
+        "[A-Z][a-z0-9]{0,4}".prop_map(|s| s),
+        Just("_".to_owned()),
+    ];
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        let args = prop::collection::vec(inner.clone(), 1..4);
+        prop_oneof![
+            // Structure
+            ("[a-z][a-z0-9_]{0,6}", args.clone())
+                .prop_map(|(f, a)| format!("{f}({})", a.join(", "))),
+            // Terminated list
+            prop::collection::vec(inner.clone(), 0..4)
+                .prop_map(|items| format!("[{}]", items.join(", "))),
+            // Unterminated list
+            (prop::collection::vec(inner, 1..4), "[A-Z][a-z0-9]{0,4}")
+                .prop_map(|(items, tail)| format!("[{} | {tail}]", items.join(", "))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Printing a parsed term and re-parsing it yields the same tree.
+    #[test]
+    fn display_parse_roundtrip(src in term_source()) {
+        let mut symbols = SymbolTable::new();
+        let term = parse_term(&src, &mut symbols).expect("generated source parses");
+        let printed = TermDisplay::new(&term, &symbols).to_string();
+        let reparsed = parse_term(&printed, &mut symbols)
+            .unwrap_or_else(|e| panic!("printed form `{printed}` must parse: {e}"));
+        prop_assert_eq!(&reparsed, &term, "roundtrip through `{}`", printed);
+    }
+
+    /// Variable names survive through the scope table.
+    #[test]
+    fn var_names_roundtrip(src in term_source()) {
+        let mut symbols = SymbolTable::new();
+        let (term, names) = parse_term_with_vars(&src, &mut symbols).unwrap();
+        let vars = clare_term::collect_vars(&term);
+        // Every collected variable has a name, and ids are dense.
+        for v in &vars {
+            prop_assert!((v.index() as usize) < names.len());
+        }
+        let printed = TermDisplay::new(&term, &symbols)
+            .with_var_names(&names)
+            .to_string();
+        let (reparsed, names2) = parse_term_with_vars(&printed, &mut symbols).unwrap();
+        prop_assert_eq!(reparsed, term);
+        // First-occurrence order is canonical, so names survive exactly.
+        prop_assert_eq!(names2, names);
+    }
+
+    /// Interning is injective over generated texts.
+    #[test]
+    fn symbol_interning_injective(texts in prop::collection::hash_set("[a-z][a-z0-9_]{0,10}", 0..40)) {
+        let mut table = SymbolTable::new();
+        let syms: Vec<_> = texts.iter().map(|t| table.intern_atom(t)).collect();
+        let unique: std::collections::HashSet<_> = syms.iter().collect();
+        prop_assert_eq!(unique.len(), texts.len());
+        for (text, sym) in texts.iter().zip(&syms) {
+            prop_assert_eq!(table.atom_text(*sym), text.as_str());
+        }
+    }
+
+    /// term_size and term_depth relate sanely.
+    #[test]
+    fn size_bounds_depth(src in term_source()) {
+        let mut symbols = SymbolTable::new();
+        let term = parse_term(&src, &mut symbols).unwrap();
+        prop_assert!(clare_term::term_depth(&term) < clare_term::term_size(&term) + 1);
+    }
+}

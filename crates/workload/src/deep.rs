@@ -1,0 +1,132 @@
+//! Nested-structure workloads for the matching-level ablation.
+//!
+//! The paper's Levels 1–5 differ in how deep into a term the filter
+//! looks. To expose that trade-off, this generator builds facts whose
+//! *only* discriminating constant sits at a controlled nesting depth:
+//!
+//! ```text
+//! shape(g(g(...g(k17)...)))        % depth d, key at the bottom
+//! ```
+//!
+//! A Level-`n` filter can separate two such facts only if it descends at
+//! least as deep as the key; anything shallower passes every clause of
+//! the predicate (maximal false drops).
+
+use clare_kb::KbBuilder;
+use clare_term::builder::TermBuilder;
+use clare_term::Term;
+
+/// Parameters of the deep-structure predicate.
+#[derive(Debug, Clone)]
+pub struct DeepSpec {
+    /// Number of facts.
+    pub facts: usize,
+    /// Nesting depth of the discriminating key (0 = key at top level).
+    pub depth: usize,
+    /// Distinct keys (facts cycle through them).
+    pub keys: usize,
+}
+
+impl Default for DeepSpec {
+    fn default() -> Self {
+        DeepSpec {
+            facts: 200,
+            depth: 2,
+            keys: 50,
+        }
+    }
+}
+
+impl DeepSpec {
+    /// Builds the nested term `g(g(…g(k<key>)…))` with `depth` wrappers.
+    pub fn nest(t: &mut TermBuilder<'_>, depth: usize, key: usize) -> Term {
+        let mut term = t.atom(&format!("k{key}"));
+        for _ in 0..depth {
+            term = t.structure("g", vec![term]);
+        }
+        term
+    }
+
+    /// Populates `module` with `shape/1` facts and returns the heads.
+    pub fn generate(&self, builder: &mut KbBuilder, module: &str) -> Vec<Term> {
+        let mut heads = Vec::with_capacity(self.facts);
+        let mut clauses = Vec::with_capacity(self.facts);
+        {
+            let mut t = TermBuilder::new(builder.symbols_mut());
+            for i in 0..self.facts {
+                let arg = Self::nest(&mut t, self.depth, i % self.keys.max(1));
+                let fact = t.fact("shape", vec![arg]);
+                heads.push(fact.head().clone());
+                clauses.push(fact);
+            }
+        }
+        for clause in clauses {
+            builder.add_clause(module, clause);
+        }
+        heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clare_kb::KbConfig;
+    use clare_term::term_depth;
+
+    #[test]
+    fn key_sits_at_declared_depth() {
+        let spec = DeepSpec {
+            facts: 10,
+            depth: 3,
+            keys: 5,
+        };
+        let mut b = KbBuilder::new();
+        let heads = spec.generate(&mut b, "m");
+        let kb = b.finish(KbConfig::default());
+        assert_eq!(kb.lookup("shape", 1).unwrap().clauses().len(), 10);
+        for head in &heads {
+            // shape(...) adds one level above the nest.
+            assert_eq!(term_depth(head), spec.depth + 1);
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_flat() {
+        let spec = DeepSpec {
+            facts: 4,
+            depth: 0,
+            keys: 2,
+        };
+        let mut b = KbBuilder::new();
+        let heads = spec.generate(&mut b, "m");
+        for head in &heads {
+            assert_eq!(term_depth(head), 1);
+        }
+    }
+
+    #[test]
+    fn keys_cycle() {
+        let spec = DeepSpec {
+            facts: 6,
+            depth: 1,
+            keys: 3,
+        };
+        let mut b = KbBuilder::new();
+        let heads = spec.generate(&mut b, "m");
+        assert_eq!(heads[0], heads[3]);
+        assert_ne!(heads[0], heads[1]);
+    }
+
+    #[test]
+    fn level_separation_on_deep_keys() {
+        use clare_term::parser::parse_term;
+        use clare_unify::partial::match_at_all_levels;
+        // Two facts differing only at depth 3.
+        let mut sy = clare_term::SymbolTable::new();
+        let a = parse_term("shape(g(g(g(k1))))", &mut sy).unwrap();
+        let b = parse_term("shape(g(g(g(k2))))", &mut sy).unwrap();
+        let verdicts = match_at_all_levels(&a, &b);
+        // L1..L3 cannot separate them; L4/L5 can.
+        assert_eq!(verdicts, [true, true, true, false, false]);
+    }
+}

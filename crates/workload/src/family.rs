@@ -1,0 +1,174 @@
+//! The family/genealogy workload.
+
+use clare_kb::KbBuilder;
+use clare_term::builder::TermBuilder;
+use clare_term::Term;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the family knowledge base.
+#[derive(Debug, Clone)]
+pub struct FamilySpec {
+    /// Number of married couples (each produces a `married_couple/2`
+    /// fact, two `parent/2` facts per child, and gender facts).
+    pub couples: usize,
+    /// Children per couple.
+    pub children_per_couple: usize,
+    /// Fraction of couples recorded reflexively (both arguments the same
+    /// atom) — the targets of the paper's `married_couple(Same, Same)`
+    /// query.
+    pub reflexive_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FamilySpec {
+    fn default() -> Self {
+        FamilySpec {
+            couples: 100,
+            children_per_couple: 2,
+            reflexive_fraction: 0.02,
+            seed: 0xFA41_1109,
+        }
+    }
+}
+
+/// What the generator produced, for deriving queries.
+#[derive(Debug, Clone)]
+pub struct FamilySummary {
+    /// Heads of the generated `married_couple/2` facts.
+    pub couple_heads: Vec<Term>,
+    /// Heads of the generated `parent/2` facts.
+    pub parent_heads: Vec<Term>,
+    /// Number of reflexive couples actually generated.
+    pub reflexive_couples: usize,
+}
+
+impl FamilySpec {
+    /// Populates `module` in `builder` with the family knowledge base and
+    /// its rule set.
+    pub fn generate(&self, builder: &mut KbBuilder, module: &str) -> FamilySummary {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut couple_heads = Vec::new();
+        let mut parent_heads = Vec::new();
+        let mut reflexive = 0usize;
+        let mut facts: Vec<clare_term::Clause> = Vec::new();
+        {
+            let mut t = TermBuilder::new(builder.symbols_mut());
+            for c in 0..self.couples {
+                let husband = format!("h{c}");
+                let wife = format!("w{c}");
+                let (a, b) = if rng.gen_bool(self.reflexive_fraction) {
+                    reflexive += 1;
+                    (husband.clone(), husband.clone())
+                } else {
+                    (husband.clone(), wife.clone())
+                };
+                let args = vec![t.atom(&a), t.atom(&b)];
+                let couple = t.fact("married_couple", args);
+                couple_heads.push(couple.head().clone());
+                facts.push(couple);
+                let h_atom = t.atom(&husband);
+                facts.push(t.fact("male", vec![h_atom]));
+                let w_atom = t.atom(&wife);
+                facts.push(t.fact("female", vec![w_atom]));
+                for k in 0..self.children_per_couple {
+                    let child = format!("c{c}_{k}");
+                    let args = vec![t.atom(&husband), t.atom(&child)];
+                    let p1 = t.fact("parent", args);
+                    parent_heads.push(p1.head().clone());
+                    facts.push(p1);
+                    let args = vec![t.atom(&wife), t.atom(&child)];
+                    let p2 = t.fact("parent", args);
+                    parent_heads.push(p2.head().clone());
+                    facts.push(p2);
+                    let c_atom = t.atom(&child);
+                    if rng.gen_bool(0.5) {
+                        facts.push(t.fact("male", vec![c_atom]));
+                    } else {
+                        facts.push(t.fact("female", vec![c_atom]));
+                    }
+                }
+            }
+        }
+        for fact in facts {
+            builder.add_clause(module, fact);
+        }
+        builder
+            .consult(
+                module,
+                "grandparent(G, C) :- parent(G, P), parent(P, C).
+                 father(F, C) :- parent(F, C), male(F).
+                 mother(M, C) :- parent(M, C), female(M).
+                 sibling(A, B) :- parent(P, A), parent(P, B).
+                 ancestor(A, D) :- parent(A, D).
+                 ancestor(A, D) :- parent(A, P), ancestor(P, D).",
+            )
+            .expect("rule text parses");
+        FamilySummary {
+            couple_heads,
+            parent_heads,
+            reflexive_couples: reflexive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clare_kb::KbConfig;
+
+    #[test]
+    fn generates_expected_shape() {
+        let spec = FamilySpec {
+            couples: 50,
+            children_per_couple: 2,
+            reflexive_fraction: 0.1,
+            seed: 7,
+        };
+        let mut b = KbBuilder::new();
+        let summary = spec.generate(&mut b, "family");
+        let kb = b.finish(KbConfig::default());
+        assert_eq!(kb.lookup("married_couple", 2).unwrap().clauses().len(), 50);
+        assert_eq!(kb.lookup("parent", 2).unwrap().clauses().len(), 200);
+        assert_eq!(summary.couple_heads.len(), 50);
+        assert_eq!(summary.parent_heads.len(), 200);
+        assert!(summary.reflexive_couples > 0);
+        assert!(summary.reflexive_couples < 20);
+        // Rules present.
+        assert!(kb.lookup("ancestor", 2).is_some());
+        assert_eq!(kb.lookup("ancestor", 2).unwrap().clauses().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let spec = FamilySpec::default();
+        let run = |spec: &FamilySpec| {
+            let mut b = KbBuilder::new();
+            let s = spec.generate(&mut b, "m");
+            (
+                s.reflexive_couples,
+                b.finish(KbConfig::default()).clause_count(),
+            )
+        };
+        assert_eq!(run(&spec), run(&spec));
+    }
+
+    #[test]
+    fn reflexive_couples_answer_shared_var_query() {
+        use clare_core::{retrieve, CrsOptions, SearchMode};
+        use clare_term::parser::parse_term;
+        let spec = FamilySpec {
+            couples: 200,
+            children_per_couple: 1,
+            reflexive_fraction: 0.05,
+            seed: 11,
+        };
+        let mut b = KbBuilder::new();
+        let summary = spec.generate(&mut b, "family");
+        let q = parse_term("married_couple(S, S)", b.symbols_mut()).unwrap();
+        let kb = b.finish(KbConfig::default());
+        let r = retrieve(&kb, &q, SearchMode::TwoStage, &CrsOptions::default());
+        assert_eq!(r.stats.unified, summary.reflexive_couples);
+    }
+}

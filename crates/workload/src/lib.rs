@@ -1,0 +1,38 @@
+//! Synthetic workloads for the CLARE experiments.
+//!
+//! The paper's evaluation plan leans on the Heriot-Watt database
+//! benchmarks (refs \[6,7\], unpublished data) and on D.H.D. Warren's
+//! medium-knowledge-base estimate — "3000 predicates, 30000 rules,
+//! 3000000 facts, and 30 Mbytes total size". This crate generates
+//! structurally equivalent synthetic workloads:
+//!
+//! * [`family`] — a genealogy knowledge base: `parent/2`, `male/1`,
+//!   `female/1`, `married_couple/2` facts plus recursive rules; it
+//!   includes the paper's `married_couple(Same, Same)` shared-variable
+//!   scenario with a controllable fraction of reflexive couples.
+//! * [`warren`] — Warren-scale knowledge bases, scalable from
+//!   laptop-friendly fractions up to the full 3 M facts.
+//! * [`deep`] — nested-structure predicates whose discriminating argument
+//!   sits at a controlled depth, for the matching-level ablation (the
+//!   paper's Levels 1–5 trade-off).
+//! * [`query`] — query sets derived from generated clause heads:
+//!   ground hits and misses, half-open queries, shared-variable queries,
+//!   fully open scans.
+//!
+//! All generators are deterministic from a seed.
+
+#![warn(missing_docs)]
+
+pub mod deep;
+pub mod family;
+pub mod query;
+pub mod random;
+pub mod suite;
+pub mod warren;
+
+pub use deep::DeepSpec;
+pub use family::FamilySpec;
+pub use query::{derive_queries, QueryShape};
+pub use random::{RandomTermSpec, RandomTerms};
+pub use suite::{SuiteQuery, SuiteSpec, SuiteSummary};
+pub use warren::{WarrenSpec, WarrenSummary};

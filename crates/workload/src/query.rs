@@ -1,0 +1,202 @@
+//! Query derivation: turn generated clause heads into query sets of known
+//! shape.
+
+use clare_term::{Term, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The query shapes the experiments sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryShape {
+    /// An exact copy of a stored head: one guaranteed answer.
+    GroundHit,
+    /// A stored head with one argument replaced by a fresh atom that
+    /// occurs nowhere: zero answers (pure filter-selectivity probe).
+    GroundMiss,
+    /// A stored head with half its arguments replaced by distinct
+    /// variables.
+    HalfOpen,
+    /// Every argument is the *same* variable — the paper's
+    /// `married_couple(Same, Same)` shape that defeats FS1.
+    SharedVar,
+    /// Every argument is a distinct variable: retrieve the predicate.
+    OpenAll,
+}
+
+impl QueryShape {
+    /// All shapes.
+    pub const ALL: [QueryShape; 5] = [
+        QueryShape::GroundHit,
+        QueryShape::GroundMiss,
+        QueryShape::HalfOpen,
+        QueryShape::SharedVar,
+        QueryShape::OpenAll,
+    ];
+
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryShape::GroundHit => "ground-hit",
+            QueryShape::GroundMiss => "ground-miss",
+            QueryShape::HalfOpen => "half-open",
+            QueryShape::SharedVar => "shared-var",
+            QueryShape::OpenAll => "open-all",
+        }
+    }
+}
+
+/// Derives `count` queries of `shape` from a pool of stored heads.
+///
+/// `miss_atom` must be a symbol that occurs nowhere in the knowledge base
+/// (callers intern something like `"never_stored"`); it makes
+/// [`QueryShape::GroundMiss`] queries answer-free by construction.
+///
+/// # Panics
+///
+/// Panics if `heads` is empty.
+pub fn derive_queries(
+    heads: &[Term],
+    shape: QueryShape,
+    count: usize,
+    miss_atom: clare_term::Symbol,
+    seed: u64,
+) -> Vec<Term> {
+    assert!(!heads.is_empty(), "need at least one head to derive from");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD4_11E7);
+    (0..count)
+        .map(|_| {
+            let head = &heads[rng.gen_range(0..heads.len())];
+            reshape(head, shape, miss_atom, &mut rng)
+        })
+        .collect()
+}
+
+fn reshape(
+    head: &Term,
+    shape: QueryShape,
+    miss_atom: clare_term::Symbol,
+    rng: &mut StdRng,
+) -> Term {
+    let Term::Struct { functor, args } = head else {
+        return head.clone();
+    };
+    let n = args.len();
+    let new_args: Vec<Term> = match shape {
+        QueryShape::GroundHit => args.clone(),
+        QueryShape::GroundMiss => {
+            let victim = rng.gen_range(0..n);
+            args.iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    if i == victim {
+                        Term::Atom(miss_atom)
+                    } else {
+                        a.clone()
+                    }
+                })
+                .collect()
+        }
+        QueryShape::HalfOpen => args
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                if i % 2 == 1 {
+                    Term::Var(VarId::new((i / 2) as u32))
+                } else {
+                    a.clone()
+                }
+            })
+            .collect(),
+        QueryShape::SharedVar => (0..n).map(|_| Term::Var(VarId::new(0))).collect(),
+        QueryShape::OpenAll => (0..n).map(|i| Term::Var(VarId::new(i as u32))).collect(),
+    };
+    Term::Struct {
+        functor: *functor,
+        args: new_args,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clare_term::parser::parse_term;
+    use clare_term::{collect_vars, SymbolTable};
+
+    fn heads(sy: &mut SymbolTable) -> Vec<Term> {
+        ["p(a, b, c)", "p(d, e, f)", "p(g, h, i)"]
+            .iter()
+            .map(|s| parse_term(s, sy).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn ground_hit_is_identical() {
+        let mut sy = SymbolTable::new();
+        let hs = heads(&mut sy);
+        let miss = sy.intern_atom("never_stored");
+        let qs = derive_queries(&hs, QueryShape::GroundHit, 10, miss, 1);
+        for q in &qs {
+            assert!(hs.contains(q));
+        }
+    }
+
+    #[test]
+    fn ground_miss_contains_miss_atom() {
+        let mut sy = SymbolTable::new();
+        let hs = heads(&mut sy);
+        let miss = sy.intern_atom("never_stored");
+        let qs = derive_queries(&hs, QueryShape::GroundMiss, 10, miss, 2);
+        for q in &qs {
+            assert!(q.is_ground());
+            assert!(q.children().any(|c| *c == Term::Atom(miss)));
+        }
+    }
+
+    #[test]
+    fn half_open_mixes_vars_and_constants() {
+        let mut sy = SymbolTable::new();
+        let hs = heads(&mut sy);
+        let miss = sy.intern_atom("never_stored");
+        let qs = derive_queries(&hs, QueryShape::HalfOpen, 5, miss, 3);
+        for q in &qs {
+            assert!(!q.is_ground());
+            assert!(q.children().any(|c| !c.is_var()));
+        }
+    }
+
+    #[test]
+    fn shared_var_uses_one_variable() {
+        let mut sy = SymbolTable::new();
+        let hs = heads(&mut sy);
+        let miss = sy.intern_atom("never_stored");
+        let qs = derive_queries(&hs, QueryShape::SharedVar, 5, miss, 4);
+        for q in &qs {
+            let vars = collect_vars(q);
+            assert_eq!(vars.len(), 3);
+            assert!(vars.iter().all(|v| *v == vars[0]));
+        }
+    }
+
+    #[test]
+    fn open_all_uses_distinct_variables() {
+        let mut sy = SymbolTable::new();
+        let hs = heads(&mut sy);
+        let miss = sy.intern_atom("never_stored");
+        let qs = derive_queries(&hs, QueryShape::OpenAll, 5, miss, 5);
+        for q in &qs {
+            let vars = collect_vars(q);
+            assert_eq!(vars.len(), 3);
+            assert_ne!(vars[0], vars[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut sy = SymbolTable::new();
+        let hs = heads(&mut sy);
+        let miss = sy.intern_atom("never_stored");
+        let a = derive_queries(&hs, QueryShape::HalfOpen, 20, miss, 9);
+        let b = derive_queries(&hs, QueryShape::HalfOpen, 20, miss, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,167 @@
+//! Random term and clause-head generation, for property tests and the
+//! Figure 1 algorithm-validation experiment.
+//!
+//! Generated pairs share a predicate indicator (as FS2 always sees clauses
+//! from one compiled clause file) and draw constants from a small pool so
+//! that matches actually occur.
+
+use clare_term::{Symbol, SymbolTable, Term, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning for the random generator.
+#[derive(Debug, Clone)]
+pub struct RandomTermSpec {
+    /// Predicate arity of generated heads.
+    pub arity: usize,
+    /// Maximum nesting depth of arguments.
+    pub max_depth: usize,
+    /// Size of the atom pool (smaller = more collisions = more matches).
+    pub atoms: usize,
+    /// Number of distinct variables available per term.
+    pub vars: usize,
+    /// Probability that a position becomes a variable.
+    pub var_probability: f64,
+}
+
+impl Default for RandomTermSpec {
+    fn default() -> Self {
+        RandomTermSpec {
+            arity: 3,
+            max_depth: 3,
+            atoms: 6,
+            vars: 3,
+            var_probability: 0.3,
+        }
+    }
+}
+
+/// A deterministic random term generator.
+#[derive(Debug)]
+pub struct RandomTerms {
+    spec: RandomTermSpec,
+    rng: StdRng,
+    functor: Symbol,
+    atom_pool: Vec<Symbol>,
+    struct_pool: Vec<Symbol>,
+}
+
+impl RandomTerms {
+    /// Creates a generator interning its pools into `symbols`.
+    pub fn new(spec: RandomTermSpec, symbols: &mut SymbolTable, seed: u64) -> Self {
+        let functor = symbols.intern_atom("rt");
+        let atom_pool = (0..spec.atoms.max(1))
+            .map(|i| symbols.intern_atom(&format!("a{i}")))
+            .collect();
+        let struct_pool = (0..3)
+            .map(|i| symbols.intern_atom(&format!("s{i}")))
+            .collect();
+        RandomTerms {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            functor,
+            atom_pool,
+            struct_pool,
+        }
+    }
+
+    /// Generates one clause-head/query-shaped term `rt(arg, …)`.
+    pub fn head(&mut self) -> Term {
+        let args = (0..self.spec.arity)
+            .map(|_| self.term(self.spec.max_depth))
+            .collect();
+        Term::Struct {
+            functor: self.functor,
+            args,
+        }
+    }
+
+    fn term(&mut self, depth: usize) -> Term {
+        if self.rng.gen_bool(self.spec.var_probability) {
+            return if self.rng.gen_bool(0.15) {
+                Term::Anon
+            } else {
+                Term::Var(VarId::new(
+                    self.rng.gen_range(0..self.spec.vars.max(1)) as u32
+                ))
+            };
+        }
+        let complex_allowed = depth > 0;
+        match self.rng.gen_range(0..if complex_allowed { 6 } else { 3 }) {
+            0 => Term::Atom(self.atom_pool[self.rng.gen_range(0..self.atom_pool.len())]),
+            1 => Term::Int(self.rng.gen_range(-5..5)),
+            2 => Term::Atom(self.atom_pool[self.rng.gen_range(0..self.atom_pool.len())]),
+            3 => {
+                let functor = self.struct_pool[self.rng.gen_range(0..self.struct_pool.len())];
+                let arity = self.rng.gen_range(1..=2);
+                Term::Struct {
+                    functor,
+                    args: (0..arity).map(|_| self.term(depth - 1)).collect(),
+                }
+            }
+            _ => {
+                let n = self.rng.gen_range(0..=3);
+                let tail = if n > 0 && self.rng.gen_bool(0.3) {
+                    Some(Box::new(Term::Var(VarId::new(
+                        self.rng.gen_range(0..self.spec.vars.max(1)) as u32,
+                    ))))
+                } else {
+                    None
+                };
+                Term::List {
+                    items: (0..n).map(|_| self.term(depth - 1)).collect(),
+                    tail,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut sy1 = SymbolTable::new();
+        let mut g1 = RandomTerms::new(RandomTermSpec::default(), &mut sy1, 42);
+        let mut sy2 = SymbolTable::new();
+        let mut g2 = RandomTerms::new(RandomTermSpec::default(), &mut sy2, 42);
+        for _ in 0..50 {
+            assert_eq!(g1.head(), g2.head());
+        }
+    }
+
+    #[test]
+    fn heads_are_well_formed() {
+        let mut sy = SymbolTable::new();
+        let spec = RandomTermSpec::default();
+        let mut g = RandomTerms::new(spec.clone(), &mut sy, 7);
+        for _ in 0..200 {
+            let h = g.head();
+            assert_eq!(h.arity(), spec.arity);
+            assert!(h.functor_arity().is_some());
+            assert!(clare_term::term_depth(&h) <= spec.max_depth + 1);
+        }
+    }
+
+    #[test]
+    fn produces_both_matches_and_mismatches() {
+        use clare_unify::unify_query_clause;
+        let mut sy = SymbolTable::new();
+        let mut g = RandomTerms::new(RandomTermSpec::default(), &mut sy, 99);
+        let mut matched = 0;
+        let mut missed = 0;
+        for _ in 0..300 {
+            let q = g.head();
+            let c = g.head();
+            if unify_query_clause(&q, &c).is_some() {
+                matched += 1;
+            } else {
+                missed += 1;
+            }
+        }
+        assert!(matched > 10, "some pairs unify: {matched}");
+        assert!(missed > 10, "some pairs fail: {missed}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Warren-scale knowledge bases.
+//!
+//! D.H.D. Warren's medium-size estimate (§1 of the paper): "of the order
+//! of 3000 predicates, 30000 rules, 3000000 facts, and 30 Mbytes total
+//! size". [`WarrenSpec::full`] generates exactly those proportions;
+//! [`WarrenSpec::scaled`] shrinks everything by a factor so tests and
+//! benches stay laptop-friendly while preserving the shape (ratio of
+//! rules to facts, predicate fan-out, value skew).
+
+use clare_kb::KbBuilder;
+use clare_term::builder::TermBuilder;
+use clare_term::Term;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a Warren-style knowledge base.
+#[derive(Debug, Clone)]
+pub struct WarrenSpec {
+    /// Number of predicates.
+    pub predicates: usize,
+    /// Number of rules, distributed over ~10% of the predicates.
+    pub rules: usize,
+    /// Number of facts, distributed over the remaining predicates.
+    pub facts: usize,
+    /// Size of the constant pool facts draw from (controls selectivity).
+    pub constants: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WarrenSpec {
+    /// Warren's full estimate: 3000 predicates, 30 000 rules, 3 000 000
+    /// facts (~30 MB compiled).
+    pub fn full() -> Self {
+        WarrenSpec {
+            predicates: 3000,
+            rules: 30_000,
+            facts: 3_000_000,
+            constants: 100_000,
+            seed: 0x03A8_8E11,
+        }
+    }
+
+    /// The full estimate scaled by `factor` (e.g. `0.01` for a 1% model:
+    /// 30 predicates, 300 rules, 30 000 facts).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn scaled(factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        let full = Self::full();
+        let scale = |n: usize| ((n as f64 * factor).round() as usize).max(1);
+        WarrenSpec {
+            predicates: scale(full.predicates),
+            rules: scale(full.rules),
+            facts: scale(full.facts),
+            constants: scale(full.constants).max(100),
+            seed: full.seed,
+        }
+    }
+
+    /// Populates `module` with the knowledge base.
+    pub fn generate(&self, builder: &mut KbBuilder, module: &str) -> WarrenSummary {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // ~10% of predicates are rule heads, the rest hold facts.
+        let rule_preds = (self.predicates / 10).max(1);
+        let fact_preds = (self.predicates - rule_preds).max(1);
+        let mut sample_heads = Vec::new();
+        let mut clauses = Vec::with_capacity(self.facts + self.rules);
+        {
+            let mut t = TermBuilder::new(builder.symbols_mut());
+            // Facts: skewed key distribution (squaring a uniform variate
+            // gives a gentle power law) over a bounded constant pool.
+            for i in 0..self.facts {
+                let pred_index = i % fact_preds;
+                let pred = format!("f{pred_index}");
+                let arity = 2 + (pred_index % 3); // arities 2..=4, fixed per predicate
+                let mut args = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    let u: f64 = rng.gen();
+                    let k = ((u * u) * self.constants as f64) as usize;
+                    if rng.gen_bool(0.15) {
+                        args.push(t.int((k % 100_000) as i64));
+                    } else {
+                        args.push(t.atom(&format!("k{k}")));
+                    }
+                }
+                let fact = t.fact(&pred, args);
+                if (sample_heads.len() < 1000 || i % 997 == 0)
+                    && sample_heads.len() < 2000 {
+                        sample_heads.push(fact.head().clone());
+                    }
+                clauses.push(fact);
+            }
+            // Rules: each head `r<i>(X, Y)` with 1–3 body goals over fact
+            // predicates, sharing variables head↔body.
+            for i in 0..self.rules {
+                t.reset_vars();
+                let x = t.fresh_var();
+                let y = t.fresh_var();
+                let head = t.structure(&format!("r{}", i % rule_preds), vec![x.clone(), y.clone()]);
+                let n_goals = 1 + (i % 3);
+                let mut body = Vec::with_capacity(n_goals);
+                let mut link = x;
+                for g in 0..n_goals {
+                    // Goals target arity-2 fact predicates (index ≡ 0 mod 3).
+                    let p = rng.gen_range(0..fact_preds);
+                    let target = format!("f{}", p - (p % 3));
+                    let next = if g + 1 == n_goals {
+                        y.clone()
+                    } else {
+                        t.fresh_var()
+                    };
+                    body.push(t.structure(&target, vec![link, next.clone()]));
+                    link = next;
+                }
+                clauses.push(t.rule(head, body).expect("structure head"));
+            }
+        }
+        for clause in clauses {
+            builder.add_clause(module, clause);
+        }
+        WarrenSummary {
+            fact_predicates: fact_preds,
+            rule_predicates: rule_preds,
+            sample_heads,
+        }
+    }
+}
+
+/// Generation summary, for deriving queries.
+#[derive(Debug, Clone)]
+pub struct WarrenSummary {
+    /// Predicates holding facts.
+    pub fact_predicates: usize,
+    /// Predicates holding rules.
+    pub rule_predicates: usize,
+    /// A sample of generated fact heads (query targets).
+    pub sample_heads: Vec<Term>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clare_kb::{KbConfig, KbStats};
+
+    #[test]
+    fn scaled_spec_preserves_proportions() {
+        let s = WarrenSpec::scaled(0.001);
+        assert_eq!(s.predicates, 3);
+        assert_eq!(s.rules, 30);
+        assert_eq!(s.facts, 3000);
+        let full = WarrenSpec::full();
+        assert_eq!(full.facts / full.rules, s.facts / s.rules);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn zero_factor_rejected() {
+        WarrenSpec::scaled(0.0);
+    }
+
+    #[test]
+    fn generates_declared_counts() {
+        let spec = WarrenSpec::scaled(0.002);
+        let mut b = KbBuilder::new();
+        let summary = spec.generate(&mut b, "warren");
+        let kb = b.finish(KbConfig::default());
+        let stats = KbStats::gather(&kb);
+        assert_eq!(stats.clauses, spec.facts + spec.rules);
+        assert_eq!(stats.rules, spec.rules);
+        assert_eq!(stats.ground_facts, spec.facts);
+        assert!(stats.predicates <= spec.predicates + 1);
+        assert!(!summary.sample_heads.is_empty());
+    }
+
+    #[test]
+    fn rule_bodies_reference_fact_predicates() {
+        let spec = WarrenSpec {
+            predicates: 20,
+            rules: 10,
+            facts: 200,
+            constants: 100,
+            seed: 3,
+        };
+        let mut b = KbBuilder::new();
+        spec.generate(&mut b, "m");
+        let kb = b.finish(KbConfig::default());
+        let rules = kb.lookup("r0", 2).expect("rule predicate exists");
+        assert!(!rules.clauses().is_empty());
+        for clause in rules.clauses() {
+            assert!(!clause.is_fact());
+            for goal in clause.body() {
+                let (f, a) = goal.functor_arity().expect("goals are structures");
+                assert_eq!(a, 2);
+                assert!(kb.symbols().atom_text(f).starts_with('f'));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_size_tracks_scale() {
+        let small = {
+            let mut b = KbBuilder::new();
+            WarrenSpec::scaled(0.0005).generate(&mut b, "m");
+            b.finish(KbConfig::default()).compiled_bytes()
+        };
+        let larger = {
+            let mut b = KbBuilder::new();
+            WarrenSpec::scaled(0.002).generate(&mut b, "m");
+            b.finish(KbConfig::default()).compiled_bytes()
+        };
+        assert!(
+            larger > small * 2,
+            "size grows with scale: {small} -> {larger}"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! # CLARE — a type-driven engine for Prolog clause retrieval
+//!
+//! A faithful, route-accurate Rust reproduction of *Wong & Williams, "A
+//! Type Driven Hardware Engine for Prolog Clause Retrieval over a Large
+//! Knowledge Base" (ISCA 1989)*: the two-stage CLARE filter (FS1
+//! superimposed codewords + mask bits, FS2 partial test unification), the
+//! PDBM knowledge-base system around it, and the full experiment harness.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`term`] | Prolog terms, symbol table, reader |
+//! | [`unify`] | full unification oracle + matching levels 1–5 |
+//! | [`pif`] | Pseudo In-line Format (Table A1 tags, clause records) |
+//! | [`scw`] | FS1: SCW+MB codewords, masks, index scanner |
+//! | [`disk`] | disk geometry/timing, track-organised files |
+//! | [`fs2`] | FS2 simulator: datapath, Map ROM, engine, result memory |
+//! | [`kb`] | modules, predicates, compiled clause files |
+//! | [`core`] | Clause Retrieval Server, search modes, resolution |
+//! | [`workload`] | synthetic knowledge bases and query sets |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clare::prelude::*;
+//!
+//! let mut builder = KbBuilder::new();
+//! builder.consult("family", "
+//!     parent(tom, bob). parent(bob, ann).
+//!     grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+//! ")?;
+//! let (query, names) = parse_term_with_vars("grandparent(tom, Who)", builder.symbols_mut())?;
+//! let kb = builder.finish(KbConfig::default());
+//!
+//! let outcome = solve(&kb, &query, &names, &SolveOptions::default());
+//! assert_eq!(outcome.solutions.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use clare_core as core;
+pub use clare_disk as disk;
+pub use clare_fs2 as fs2;
+pub use clare_kb as kb;
+pub use clare_pif as pif;
+pub use clare_scw as scw;
+pub use clare_term as term;
+pub use clare_unify as unify;
+pub use clare_workload as workload;
+
+/// The most commonly used items, in one import.
+pub mod prelude {
+    pub use clare_core::{
+        choose_mode, retrieve, solve, solve_goals, ClauseRetrievalServer, CrsOptions, SearchMode,
+        SolveOptions,
+    };
+    pub use clare_disk::{ByteRate, DiskProfile, SimNanos};
+    pub use clare_fs2::{Fs2Device, Fs2Engine, HwOp};
+    pub use clare_kb::{KbBuilder, KbConfig, KbStats, KnowledgeBase};
+    pub use clare_pif::{encode_clause_head, encode_query, ClauseRecord};
+    pub use clare_scw::{IndexFile, ScwConfig};
+    pub use clare_term::parser::{
+        parse_clause, parse_goals, parse_program, parse_term, parse_term_with_vars,
+    };
+    pub use clare_term::{Clause, SymbolTable, Term, TermDisplay};
+    pub use clare_unify::partial::{partial_match, MatchLevel, PartialConfig};
+    pub use clare_unify::unify_query_clause;
+}
