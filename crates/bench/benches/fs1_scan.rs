@@ -1,14 +1,16 @@
-//! Criterion counterpart of E6: FS1 secondary-file scanning — codeword
-//! generation and index scan throughput at several index sizes.
+//! Criterion counterpart of E6/E14: FS1 secondary-file scanning —
+//! codeword generation and index scan throughput at several index
+//! sizes, comparing the retained scalar reference scan against the
+//! packed columnar scan and the sharded parallel scan.
 
-use clare_scw::{ClauseAddr, IndexFile, ScwConfig};
+use clare_scw::{encode_query_descriptor, ClauseAddr, IndexFile, ScwConfig};
 use clare_term::parser::parse_term;
 use clare_term::SymbolTable;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn build_index(n: usize, symbols: &mut SymbolTable) -> IndexFile {
-    let mut index = IndexFile::new(ScwConfig::paper());
+    let mut index = IndexFile::with_capacity(ScwConfig::paper(), n);
     for i in 0..n {
         let head = parse_term(&format!("p(k{}, v{})", i, i % 97), symbols).unwrap();
         index.insert(&head, ClauseAddr::new((i / 200) as u32, (i % 200) as u16));
@@ -17,14 +19,39 @@ fn build_index(n: usize, symbols: &mut SymbolTable) -> IndexFile {
 }
 
 fn bench_index_scan(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
     let mut group = c.benchmark_group("fs1_index_scan");
-    for n in [1_000usize, 10_000, 50_000] {
+    for n in [1_000usize, 10_000, 100_000] {
         let mut symbols = SymbolTable::new();
         let index = build_index(n, &mut symbols);
         let query = parse_term("p(k42, X)", &mut symbols).unwrap();
+        let descriptor = encode_query_descriptor(&query, index.config());
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(index.scan(black_box(&query)).matches.len()))
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| black_box(index.scan_reference(black_box(&descriptor)).matches.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    index
+                        .scan_with_descriptor(black_box(&descriptor))
+                        .matches
+                        .len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    index
+                        .scan_with(black_box(&descriptor), workers)
+                        .matches
+                        .len(),
+                )
+            })
         });
     }
     group.finish();

@@ -23,6 +23,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("suite", "E12: database benchmark suite (refs [6,7] style)"),
     ("lists", "E13: unlimited-list matching (two-counter rule)"),
     (
+        "fs1bench",
+        "E14: FS1 host scan wall-clock (writes BENCH_fs1.json)",
+    ),
+    (
         "microprogram",
         "appendix: the assembled WCS microprogram listing",
     ),
@@ -48,6 +52,17 @@ fn run_one(name: &str) -> bool {
         "resultmem" => println!("{}", experiments::result_memory::run()),
         "suite" => println!("{}", experiments::bench_suite::run(1)),
         "lists" => println!("{}", experiments::lists::run()),
+        "fs1bench" => {
+            let report = experiments::fs1_wallclock::run(
+                &[1_000, 10_000, 100_000],
+                std::time::Duration::from_secs(1),
+            );
+            println!("{report}");
+            match std::fs::write("BENCH_fs1.json", report.to_json()) {
+                Ok(()) => println!("wrote BENCH_fs1.json"),
+                Err(e) => eprintln!("could not write BENCH_fs1.json: {e}"),
+            }
+        }
         "microprogram" => println!("{}", clare_fs2::Microprogram::standard()),
         other => {
             eprintln!("unknown experiment `{other}`; try --list");

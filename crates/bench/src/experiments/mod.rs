@@ -6,6 +6,7 @@ pub mod false_drops;
 pub mod fig1;
 pub mod figures;
 pub mod fs1;
+pub mod fs1_wallclock;
 pub mod levels;
 pub mod lists;
 pub mod modes;

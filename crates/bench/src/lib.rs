@@ -19,6 +19,9 @@
 //! | E9 | §2.2 matching levels 1–5 | [`experiments::levels`] |
 //! | E10 | §1 Warren-scale scalability | [`experiments::warren_scale`] |
 //! | E11 | §3.2 Result Memory sizing | [`experiments::result_memory`] |
+//! | E12 | database benchmark suite | [`experiments::bench_suite`] |
+//! | E13 | unlimited-list matching | [`experiments::lists`] |
+//! | E14 | FS1 host scan wall-clock (BENCH_fs1.json) | [`experiments::fs1_wallclock`] |
 
 #![warn(missing_docs)]
 

@@ -202,13 +202,9 @@ impl ClareBoard {
             .fs1_descriptor
             .as_ref()
             .ok_or(BoardError::Fs1NotReady)?;
-        let before = self.fs1_results.len();
-        for entry in index.entries() {
-            if descriptor.matches(&entry.signature) {
-                self.fs1_results.push(entry.addr);
-            }
-        }
-        let found = self.fs1_results.len() - before;
+        let outcome = index.scan_with_descriptor(descriptor);
+        let found = outcome.matches.len();
+        self.fs1_results.extend(outcome.matches);
         self.control.set_match_found(!self.fs1_results.is_empty());
         Ok(found)
     }

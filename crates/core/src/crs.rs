@@ -70,6 +70,11 @@ pub struct CrsOptions {
     pub disk: DiskProfile,
     /// Host CPU cost model.
     pub cost: SoftwareCostModel,
+    /// Worker threads for the FS1 index scan. `None` (the default) defers
+    /// to the index's own [`clare_scw::ScwConfig::parallelism`]; `Some(n)`
+    /// overrides it per server. The answer set and all modelled times are
+    /// identical at every level — only host wall-clock changes.
+    pub fs1_parallelism: Option<usize>,
 }
 
 impl Default for CrsOptions {
@@ -77,6 +82,7 @@ impl Default for CrsOptions {
         CrsOptions {
             disk: DiskProfile::fujitsu_m2351a(),
             cost: SoftwareCostModel::m68020(),
+            fs1_parallelism: None,
         }
     }
 }
@@ -162,6 +168,64 @@ pub fn retrieve(
     mode: SearchMode,
     opts: &CrsOptions,
 ) -> Retrieval {
+    retrieve_inner(kb, query, mode, opts, None)
+}
+
+/// Retrieves candidates for several queries, amortizing the FS1 index
+/// sweep: queries against the same predicate are compiled together and
+/// their descriptors tested in one pass over the packed secondary file
+/// ([`clare_scw::IndexFile::scan_batch`]). Results come back in input
+/// order, and each is exactly what [`retrieve`] would return for that
+/// query alone — the batch changes host wall-clock, not semantics or
+/// modelled times.
+pub fn retrieve_batch(
+    kb: &KnowledgeBase,
+    queries: &[Term],
+    mode: SearchMode,
+    opts: &CrsOptions,
+) -> Vec<Retrieval> {
+    // Group FS1-eligible queries by predicate so each group shares a pass.
+    let wants_fs1 = matches!(mode, SearchMode::Fs1Only | SearchMode::TwoStage);
+    let mut groups: HashMap<(clare_term::Symbol, usize), Vec<usize>> = HashMap::new();
+    if wants_fs1 {
+        for (i, query) in queries.iter().enumerate() {
+            if let Some(key) = query.functor_arity() {
+                groups.entry(key).or_default().push(i);
+            }
+        }
+    }
+
+    let mut fs1_outcomes: Vec<Option<clare_scw::ScanOutcome>> = vec![None; queries.len()];
+    for ((functor, arity), members) in groups {
+        let Some((_, pred)) = kb.module_of(functor, arity) else {
+            continue;
+        };
+        let index = pred.index();
+        let descriptors: Vec<_> = members
+            .iter()
+            .map(|&i| encode_query_descriptor(&queries[i], index.config()))
+            .collect();
+        let workers = opts.fs1_parallelism.unwrap_or(index.config().parallelism());
+        let outcomes = index.scan_batch_with(&descriptors, workers);
+        for (&i, outcome) in members.iter().zip(outcomes) {
+            fs1_outcomes[i] = Some(outcome);
+        }
+    }
+
+    queries
+        .iter()
+        .zip(fs1_outcomes)
+        .map(|(query, fs1)| retrieve_inner(kb, query, mode, opts, fs1))
+        .collect()
+}
+
+fn retrieve_inner(
+    kb: &KnowledgeBase,
+    query: &Term,
+    mode: SearchMode,
+    opts: &CrsOptions,
+    fs1_precomputed: Option<clare_scw::ScanOutcome>,
+) -> Retrieval {
     let Some((functor, arity)) = query.functor_arity() else {
         return Retrieval {
             candidates: Vec::new(),
@@ -198,7 +262,7 @@ pub fn retrieve(
     let candidates: Vec<ClauseId> = match effective_mode {
         SearchMode::SoftwareOnly => software_phase(pred, query, opts, disk_resident, &mut stats),
         SearchMode::Fs1Only => {
-            let addrs = fs1_phase(pred, query, opts, &mut stats);
+            let addrs = fs1_phase(pred, query, opts, fs1_precomputed, &mut stats);
             fetch_candidate_tracks(pred, &addrs, opts, &mut stats);
             stats.after_fs1 = Some(addrs.len());
             addrs_to_ids(pred, &addrs)
@@ -212,7 +276,7 @@ pub fn retrieve(
         }
         SearchMode::TwoStage => {
             let mut engine = hw_query.expect("checked above");
-            let fs1_addrs = fs1_phase(pred, query, opts, &mut stats);
+            let fs1_addrs = fs1_phase(pred, query, opts, fs1_precomputed, &mut stats);
             stats.after_fs1 = Some(fs1_addrs.len());
             let tracks: Vec<usize> = fs1_addrs
                 .iter()
@@ -293,13 +357,25 @@ fn software_phase(
 }
 
 /// FS1 phase: stream the secondary file, scan codewords at 4.5 MB/s.
+/// `precomputed` carries a batch scan's outcome so grouped queries do not
+/// sweep the index again.
 fn fs1_phase(
     pred: &Predicate,
     query: &Term,
     opts: &CrsOptions,
+    precomputed: Option<clare_scw::ScanOutcome>,
     stats: &mut RetrievalStats,
 ) -> Vec<ClauseAddr> {
-    let outcome = pred.index().scan(query);
+    let outcome = precomputed.unwrap_or_else(|| {
+        let index = pred.index();
+        match opts.fs1_parallelism {
+            Some(workers) => {
+                let descriptor = encode_query_descriptor(query, index.config());
+                index.scan_with(&descriptor, workers)
+            }
+            None => index.scan(query),
+        }
+    });
     let index_bytes = outcome.bytes_scanned as u64;
     let disk_transfer = opts.disk.sustained_rate().transfer_time(index_bytes);
     let positioning = opts.disk.avg_seek() + opts.disk.avg_rotational_latency();

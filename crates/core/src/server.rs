@@ -81,6 +81,23 @@ impl ClauseRetrievalServer {
         outcome
     }
 
+    /// Serves a batch of retrievals against one consistent snapshot: the
+    /// knowledge base is read once, same-predicate queries share a single
+    /// FS1 index sweep ([`crate::crs::retrieve_batch`]), and the service
+    /// statistics are updated under one lock acquisition. Results are in
+    /// query order and identical to issuing each query via
+    /// [`ClauseRetrievalServer::retrieve`].
+    pub fn retrieve_batch(&self, queries: &[Term], mode: SearchMode) -> Vec<Retrieval> {
+        let kb = self.snapshot();
+        let outcomes = crate::crs::retrieve_batch(&kb, queries, mode, &self.options);
+        let mut stats = self.stats.lock();
+        stats.retrievals += outcomes.len() as u64;
+        for outcome in &outcomes {
+            stats.total_elapsed += outcome.stats.elapsed;
+        }
+        outcomes
+    }
+
     /// Serves one solve call.
     pub fn solve(
         &self,

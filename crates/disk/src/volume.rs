@@ -241,7 +241,10 @@ impl<'a> TrackStream<'a> {
         let track = self.file.tracks.get(self.next)?;
         if self.next == 0 {
             self.stats.elapsed += self.profile.avg_seek() + self.profile.avg_rotational_latency();
-        } else if self.next.is_multiple_of(self.profile.tracks_per_cylinder() as usize) {
+        } else if self
+            .next
+            .is_multiple_of(self.profile.tracks_per_cylinder() as usize)
+        {
             self.stats.elapsed += self.profile.track_to_track_seek();
         }
         self.stats.elapsed += self.profile.track_transfer_time();

@@ -73,7 +73,8 @@ impl MapRom {
         MapRom {
             table: table
                 .into_boxed_slice()
-                .try_into().expect("table has exactly 65536 entries"),
+                .try_into()
+                .expect("table has exactly 65536 entries"),
         }
     }
 

@@ -44,8 +44,8 @@ pub fn render_trace(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<4} {:<16} {:<16} {:<14} {:<26} {}",
-        "#", "query word", "db word", "routine", "operation", "outcome"
+        "{:<4} {:<16} {:<16} {:<14} {:<26} outcome",
+        "#", "query word", "db word", "routine", "operation"
     );
     for (i, step) in steps.iter().enumerate() {
         let q = query_stream

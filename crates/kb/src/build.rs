@@ -204,7 +204,7 @@ fn compile_predicate(
     config: &KbConfig,
 ) -> Result<Predicate, KbError> {
     let mut file_builder = FileBuilder::new(config.disk.track_bytes());
-    let mut index = IndexFile::new(config.scw);
+    let mut index = IndexFile::with_capacity(config.scw, clauses.len());
     let mut addrs = Vec::with_capacity(clauses.len());
     // Track layout mirrors FileBuilder's first-fit so addresses line up.
     let mut track = 0u32;

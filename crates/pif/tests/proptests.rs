@@ -45,8 +45,8 @@ proptest! {
     /// Out-of-range integers are rejected, never truncated.
     #[test]
     fn int_out_of_range_rejected(v in prop_oneof![
-        (i64::MIN..INT_MIN),
-        (INT_MAX + 1..=i64::MAX),
+        i64::MIN..INT_MIN,
+        INT_MAX + 1..=i64::MAX,
     ]) {
         prop_assert!(PifWord::int(v).is_err());
     }

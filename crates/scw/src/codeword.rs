@@ -91,14 +91,22 @@ impl Codeword {
         self.limbs.iter().all(|&l| l == 0)
     }
 
-    /// Serialized size in bytes.
+    /// Serialized size in bytes (the last byte is partial when the width
+    /// is not a multiple of 8).
     pub fn byte_len(&self) -> usize {
-        self.width as usize / 8
+        (self.width as usize).div_ceil(8)
     }
 
     /// Raw limbs (little-endian bit order within the word).
     pub fn limbs(&self) -> &[u64] {
         &self.limbs
+    }
+
+    /// Rebuilds a codeword from raw limbs (the packed index stores limbs
+    /// columnar and reconstructs signatures on demand).
+    pub(crate) fn from_raw(width: u16, limbs: Vec<u64>) -> Codeword {
+        debug_assert_eq!(limbs.len(), (width as usize).div_ceil(64));
+        Codeword { limbs, width }
     }
 }
 
@@ -235,6 +243,16 @@ mod tests {
         let ab = parse_term("f(a, b)", &mut sy).unwrap();
         let ba = parse_term("f(b, a)", &mut sy).unwrap();
         assert_ne!(hash_term(&ab), hash_term(&ba));
+    }
+
+    #[test]
+    fn byte_len_rounds_up_for_unaligned_widths() {
+        // Regression: width/8 truncated, so a 65-bit codeword claimed 8
+        // bytes and its 65th bit fell outside the serialized form.
+        for (width, expected) in [(8u16, 1usize), (64, 8), (65, 9), (71, 9), (72, 9), (1, 1)] {
+            let cw = Codeword::zero(&ScwConfig::custom(width, 1, 1));
+            assert_eq!(cw.byte_len(), expected, "width {width}");
+        }
     }
 
     #[test]

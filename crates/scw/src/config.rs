@@ -24,42 +24,56 @@ pub struct ScwConfig {
     bits_per_key: u8,
     encoded_args: usize,
     scan_rate: ByteRate,
+    parallelism: usize,
+    shard_entries: usize,
 }
+
+/// Default scan shard size: entries per shard for the parallel FS1 scan,
+/// standing in for the span one disk head streams per rotation.
+pub const DEFAULT_SHARD_ENTRIES: usize = 4096;
 
 impl ScwConfig {
     /// The configuration used throughout the reproduction: 64-bit
-    /// codewords, 3 bits per key, 12 encoded arguments, 4.5 MB/s scan rate.
+    /// codewords, 3 bits per key, 12 encoded arguments, 4.5 MB/s scan rate,
+    /// single-headed (sequential) scanning.
     pub fn paper() -> Self {
         ScwConfig {
             width_bits: 64,
             bits_per_key: 3,
             encoded_args: 12,
             scan_rate: ByteRate::from_mb_per_sec(4.5),
+            parallelism: 1,
+            shard_entries: DEFAULT_SHARD_ENTRIES,
         }
     }
 
     /// A custom configuration (for the width/density ablation benches).
+    /// Widths need not be byte-aligned; serialized entries round the
+    /// codeword up to whole bytes.
     ///
     /// # Panics
     ///
-    /// Panics if `width_bits` is zero or not a multiple of 8, if
-    /// `bits_per_key` is zero or exceeds `width_bits`, or if `encoded_args`
-    /// is zero.
+    /// Panics if `width_bits` is zero, if `bits_per_key` is zero or
+    /// exceeds `width_bits`, or if `encoded_args` is zero or above 32
+    /// (the packed index stores the 2-bit masks of one entry in a single
+    /// 64-bit word).
     pub fn custom(width_bits: u16, bits_per_key: u8, encoded_args: usize) -> Self {
-        assert!(
-            width_bits > 0 && width_bits.is_multiple_of(8),
-            "width must be a positive multiple of 8"
-        );
+        assert!(width_bits > 0, "width must be positive");
         assert!(
             bits_per_key > 0 && (bits_per_key as u16) <= width_bits,
             "bits per key must be in 1..=width"
         );
-        assert!(encoded_args > 0, "must encode at least one argument");
+        assert!(
+            (1..=32).contains(&encoded_args),
+            "encoded args must be in 1..=32"
+        );
         ScwConfig {
             width_bits,
             bits_per_key,
             encoded_args,
             scan_rate: ByteRate::from_mb_per_sec(4.5),
+            parallelism: 1,
+            shard_entries: DEFAULT_SHARD_ENTRIES,
         }
     }
 
@@ -90,11 +104,37 @@ impl ScwConfig {
         self
     }
 
-    /// Size of one serialized index entry in bytes: the codeword, a 4-byte
-    /// mask field (2 bits per encoded position, rounded up), and a 6-byte
-    /// clause address.
+    /// Number of worker threads the packed FS1 scan uses — the software
+    /// analogue of scanning several tracks with parallel disk heads.
+    /// 1 (the default) scans sequentially on the calling thread.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Sets the scan parallelism (clamped to at least 1). The scan result
+    /// is identical at every level; only wall-clock time changes.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Entries per scan shard — the unit of work a parallel scan hands to
+    /// one worker, modelling the span a single head covers.
+    pub fn shard_entries(&self) -> usize {
+        self.shard_entries
+    }
+
+    /// Sets the shard size (clamped to at least 1).
+    pub fn with_shard_entries(mut self, entries: usize) -> Self {
+        self.shard_entries = entries.max(1);
+        self
+    }
+
+    /// Size of one serialized index entry in bytes: the codeword (rounded
+    /// up to whole bytes), a mask field (2 bits per encoded position,
+    /// rounded up), and a 6-byte clause address.
     pub fn entry_bytes(&self) -> usize {
-        self.width_bits as usize / 8 + self.mask_bytes() + 6
+        (self.width_bits as usize).div_ceil(8) + self.mask_bytes() + 6
     }
 
     /// Bytes used by the mask field.
@@ -134,9 +174,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "multiple of 8")]
-    fn odd_width_rejected() {
-        ScwConfig::custom(65, 3, 12);
+    fn unaligned_width_rounds_entry_up() {
+        // Widths no longer need byte alignment; the serialized codeword
+        // rounds up to whole bytes.
+        let c = ScwConfig::custom(65, 3, 12);
+        assert_eq!(c.entry_bytes(), 9 + 3 + 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "encoded args")]
+    fn too_many_encoded_args_rejected() {
+        ScwConfig::custom(64, 3, 33);
+    }
+
+    #[test]
+    fn parallelism_knobs_clamp() {
+        let c = ScwConfig::paper().with_parallelism(0).with_shard_entries(0);
+        assert_eq!(c.parallelism(), 1);
+        assert_eq!(c.shard_entries(), 1);
+        let c = ScwConfig::paper()
+            .with_parallelism(4)
+            .with_shard_entries(512);
+        assert_eq!(c.parallelism(), 4);
+        assert_eq!(c.shard_entries(), 512);
     }
 
     #[test]

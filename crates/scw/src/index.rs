@@ -4,12 +4,47 @@
 //! and rule heads and these are maintained in a secondary file. The
 //! secondary file is effectively an index table associating codewords with
 //! clause addresses." (§2.1.)
+//!
+//! # Packed columnar layout
+//!
+//! The index stores its entries struct-of-arrays: all codeword limbs in
+//! one contiguous `Vec<u64>` (a fixed stride per entry), all mask bits
+//! packed two per position into one `u64` word per entry, and all clause
+//! addresses in a parallel array. A scan is then a branch-light sweep over
+//! dense machine words — the software analogue of the FS1 streaming
+//! comparator, which sees the secondary file as a flat byte stream rather
+//! than a collection of records.
+//!
+//! A query is compiled once per scan into the bit requirements each mask
+//! state implies, so the per-entry test collapses to a single
+//! subset-of-codeword check: for every position the per-position subset
+//! tests AND together, and `(A ⊆ E) ∧ (B ⊆ E) ⟺ (A ∪ B) ⊆ E`, so the
+//! union of the required bits is tested at once. Which bits are required
+//! depends only on the entry's (masked) mask word, so requirements are
+//! cached per distinct mask word — typically a handful per predicate.
+//!
+//! # Sharding and parallel scan
+//!
+//! Entries are grouped into fixed-size shards
+//! ([`ScwConfig::shard_entries`]); [`ScwConfig::parallelism`] workers
+//! claim shards and scan them independently, modelling the paper's scan
+//! of multiple tracks with parallel disk heads. Per-shard hit lists are
+//! merged in shard order, so the result is byte-identical to a sequential
+//! scan at every parallelism level: Prolog clause order is preserved.
+//! The modelled [`ScanOutcome::fs1_time`] is unchanged — it is the
+//! secondary-file size over the FS1 scan rate, independent of how the
+//! software host organises the sweep.
 
 use crate::config::ScwConfig;
-use crate::encode::{encode_clause_signature, encode_query_descriptor, ClauseSignature};
+use crate::encode::{
+    encode_clause_signature, encode_query_descriptor, ArgMask, ClauseSignature, QueryArg,
+    QueryDescriptor,
+};
+use crate::Codeword;
 use clare_disk::SimNanos;
 use clare_term::Term;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Address of a clause in its compiled clause file: track plus slot within
 /// the track. What FS1 hands to FS2 (or the CRS) after an index hit.
@@ -43,6 +78,9 @@ impl fmt::Display for ClauseAddr {
 }
 
 /// One secondary-file entry: a clause signature plus the clause address.
+///
+/// The packed index does not store entries in this form; it is the
+/// materialized row view returned by [`IndexFile::iter_entries`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexEntry {
     /// Codeword and mask bits for the clause head.
@@ -76,7 +114,13 @@ impl ScanOutcome {
     }
 }
 
-/// The secondary index file for one predicate's compiled clause file.
+/// Every 2-bit mask field set to [`ArgMask::Var`] (0b10): the packed mask
+/// word starts here so positions beyond a clause's arity read as `Var`,
+/// exactly as [`QueryDescriptor::matches`] defaults missing positions.
+const ALL_VAR: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+/// The secondary index file for one predicate's compiled clause file,
+/// stored columnar (see the module docs).
 ///
 /// # Examples
 ///
@@ -98,15 +142,35 @@ impl ScanOutcome {
 #[derive(Debug, Clone)]
 pub struct IndexFile {
     config: ScwConfig,
-    entries: Vec<IndexEntry>,
+    /// Codeword limbs per entry (fixed stride into `limbs`).
+    limbs_per_entry: usize,
+    /// All entries' codeword limbs, contiguous.
+    limbs: Vec<u64>,
+    /// One packed mask word per entry: 2 bits per position, low to high,
+    /// `Var`-filled beyond the clause's arity.
+    mask_words: Vec<u64>,
+    /// Number of real (clause-arity) mask fields per entry.
+    mask_len: Vec<u8>,
+    /// Clause address per entry, in clause order.
+    addrs: Vec<ClauseAddr>,
 }
 
 impl IndexFile {
     /// Creates an empty index with the given scheme parameters.
     pub fn new(config: ScwConfig) -> Self {
+        Self::with_capacity(config, 0)
+    }
+
+    /// Creates an empty index pre-sized for `entries` clauses.
+    pub fn with_capacity(config: ScwConfig, entries: usize) -> Self {
+        let limbs_per_entry = (config.width_bits() as usize).div_ceil(64);
         IndexFile {
             config,
-            entries: Vec::new(),
+            limbs_per_entry,
+            limbs: Vec::with_capacity(entries * limbs_per_entry),
+            mask_words: Vec::with_capacity(entries),
+            mask_len: Vec::with_capacity(entries),
+            addrs: Vec::with_capacity(entries),
         }
     }
 
@@ -120,27 +184,67 @@ impl IndexFile {
     /// it so retrieval returns clauses in program order.
     pub fn insert(&mut self, head: &Term, addr: ClauseAddr) {
         let signature = encode_clause_signature(head, &self.config);
-        self.entries.push(IndexEntry { signature, addr });
+        self.push_signature(&signature, addr);
+    }
+
+    /// Appends an already-encoded signature (the compile path encodes
+    /// once and reuses the signature elsewhere).
+    pub fn push_signature(&mut self, signature: &ClauseSignature, addr: ClauseAddr) {
+        let limbs = signature.codeword.limbs();
+        debug_assert_eq!(limbs.len(), self.limbs_per_entry);
+        debug_assert!(signature.masks.len() <= 32, "mask word holds 32 positions");
+        self.limbs.extend_from_slice(limbs);
+        let mut word = ALL_VAR;
+        for (i, mask) in signature.masks.iter().enumerate() {
+            let shift = 2 * i as u32;
+            word = (word & !(0b11 << shift)) | (u64::from(mask.to_bits()) << shift);
+        }
+        self.mask_words.push(word);
+        self.mask_len.push(signature.masks.len() as u8);
+        self.addrs.push(addr);
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.addrs.len()
     }
 
     /// True if the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.addrs.is_empty()
     }
 
-    /// The entries in clause order.
-    pub fn entries(&self) -> &[IndexEntry] {
-        &self.entries
+    /// The clause address of entry `i` (clause order).
+    pub fn addr_at(&self, i: usize) -> ClauseAddr {
+        self.addrs[i]
+    }
+
+    /// Reconstructs the signature of entry `i` from the packed columns.
+    pub fn signature_at(&self, i: usize) -> ClauseSignature {
+        let base = i * self.limbs_per_entry;
+        let codeword = Codeword::from_raw(
+            self.config.width_bits(),
+            self.limbs[base..base + self.limbs_per_entry].to_vec(),
+        );
+        let word = self.mask_words[i];
+        let masks = (0..self.mask_len[i] as usize)
+            .map(|p| ArgMask::from_bits(((word >> (2 * p)) & 0b11) as u8))
+            .collect();
+        ClauseSignature { codeword, masks }
+    }
+
+    /// Materializes the entries in clause order (a row view over the
+    /// columnar storage — for inspection and tests, not the scan path).
+    pub fn iter_entries(&self) -> impl Iterator<Item = IndexEntry> + '_ {
+        (0..self.len()).map(|i| IndexEntry {
+            signature: self.signature_at(i),
+            addr: self.addrs[i],
+        })
     }
 
     /// Size of the secondary file in bytes.
     pub fn file_bytes(&self) -> usize {
-        self.entries.len() * self.config.entry_bytes()
+        self.len() * self.config.entry_bytes()
     }
 
     /// Scans the whole index against a query, as the FS1 hardware does:
@@ -149,19 +253,270 @@ impl IndexFile {
     /// FS1 scan rate.
     pub fn scan(&self, query: &Term) -> ScanOutcome {
         let descriptor = encode_query_descriptor(query, &self.config);
-        let matches = self
-            .entries
-            .iter()
-            .filter(|e| descriptor.matches(&e.signature))
-            .map(|e| e.addr)
+        self.scan_with_descriptor(&descriptor)
+    }
+
+    /// Scans against an already-compiled descriptor, using the configured
+    /// parallelism.
+    pub fn scan_with_descriptor(&self, descriptor: &QueryDescriptor) -> ScanOutcome {
+        self.scan_with(descriptor, self.config.parallelism())
+    }
+
+    /// Scans with an explicit worker count (overriding the configured
+    /// parallelism). The match list is identical at every level.
+    pub fn scan_with(&self, descriptor: &QueryDescriptor, parallelism: usize) -> ScanOutcome {
+        let compiled = CompiledQuery::compile(descriptor, self.limbs_per_entry);
+        let matches = self.packed_matches(&compiled, parallelism);
+        self.outcome(matches)
+    }
+
+    /// Reference scalar scan: reconstructs each signature and applies
+    /// [`QueryDescriptor::matches`] per entry. Retained as the semantic
+    /// baseline the packed and parallel paths are property-tested against
+    /// (and as the benchmark's "seed scalar" contender).
+    pub fn scan_reference(&self, descriptor: &QueryDescriptor) -> ScanOutcome {
+        let matches = (0..self.len())
+            .filter(|&i| descriptor.matches(&self.signature_at(i)))
+            .map(|i| self.addrs[i])
             .collect();
+        self.outcome(matches)
+    }
+
+    /// Scans several queries in one pass over the packed columns. Each
+    /// outcome is exactly what [`IndexFile::scan_with_descriptor`] would
+    /// return for that query — including the modelled `fs1_time`, which
+    /// charges every query a full scan of the secondary file (the paper's
+    /// hardware has a single comparator per head; what the batch amortizes
+    /// is the *host's* memory traffic, not the modelled disk sweep).
+    pub fn scan_batch(&self, descriptors: &[QueryDescriptor]) -> Vec<ScanOutcome> {
+        self.scan_batch_with(descriptors, self.config.parallelism())
+    }
+
+    /// [`IndexFile::scan_batch`] with an explicit worker count.
+    pub fn scan_batch_with(
+        &self,
+        descriptors: &[QueryDescriptor],
+        parallelism: usize,
+    ) -> Vec<ScanOutcome> {
+        let compiled: Vec<CompiledQuery> = descriptors
+            .iter()
+            .map(|d| CompiledQuery::compile(d, self.limbs_per_entry))
+            .collect();
+        let per_query = self.packed_matches_batch(&compiled, parallelism);
+        per_query.into_iter().map(|m| self.outcome(m)).collect()
+    }
+
+    fn outcome(&self, matches: Vec<ClauseAddr>) -> ScanOutcome {
         let bytes_scanned = self.file_bytes();
         ScanOutcome {
             matches,
-            entries_scanned: self.entries.len(),
+            entries_scanned: self.len(),
             bytes_scanned,
             fs1_time: self.config.scan_rate().transfer_time(bytes_scanned as u64),
         }
+    }
+
+    /// Match addresses of a single compiled query, sharded across workers.
+    fn packed_matches(&self, query: &CompiledQuery, parallelism: usize) -> Vec<ClauseAddr> {
+        let mut per_query = self.packed_matches_batch(std::slice::from_ref(query), parallelism);
+        per_query.pop().expect("one query in, one hit list out")
+    }
+
+    /// The shared scan driver: one pass over the packed columns per shard,
+    /// testing every query against every entry. Shards are claimed by
+    /// `parallelism` workers; per-shard hit lists are stitched back in
+    /// shard order so each query's matches stay in clause order.
+    fn packed_matches_batch(
+        &self,
+        queries: &[CompiledQuery],
+        parallelism: usize,
+    ) -> Vec<Vec<ClauseAddr>> {
+        let len = self.len();
+        let shard = self.config.shard_entries();
+        let shard_count = len.div_ceil(shard).max(1);
+        let workers = parallelism.clamp(1, shard_count);
+
+        if workers == 1 {
+            return self.scan_shard(queries, 0, len);
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut sharded: Vec<(usize, Vec<Vec<ClauseAddr>>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let s = next.fetch_add(1, Ordering::Relaxed);
+                            if s >= shard_count {
+                                break;
+                            }
+                            let start = s * shard;
+                            let end = (start + shard).min(len);
+                            local.push((s, self.scan_shard(queries, start, end)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        });
+        sharded.sort_unstable_by_key(|(s, _)| *s);
+
+        let mut per_query = vec![Vec::new(); queries.len()];
+        for (_, shard_hits) in sharded {
+            for (q, hits) in shard_hits.into_iter().enumerate() {
+                per_query[q].extend(hits);
+            }
+        }
+        per_query
+    }
+
+    /// Scans entries `[start, end)` for every query. The inner loop reads
+    /// each entry's mask word and codeword limbs once; the bit requirement
+    /// for a mask word is cached per query, so the common case is one
+    /// cache probe plus `limbs_per_entry` AND-NOT tests per entry.
+    fn scan_shard(
+        &self,
+        queries: &[CompiledQuery],
+        start: usize,
+        end: usize,
+    ) -> Vec<Vec<ClauseAddr>> {
+        let stride = self.limbs_per_entry;
+        let mut hits = vec![Vec::new(); queries.len()];
+        let mut caches: Vec<RequirementCache> =
+            queries.iter().map(|_| RequirementCache::new()).collect();
+        for e in start..end {
+            let word = self.mask_words[e];
+            let limbs = &self.limbs[e * stride..(e + 1) * stride];
+            for (q, query) in queries.iter().enumerate() {
+                let required = caches[q].required(query, word);
+                if required.iter().zip(limbs).all(|(r, l)| r & !l == 0) {
+                    hits[q].push(self.addrs[e]);
+                }
+            }
+        }
+        hits
+    }
+}
+
+/// A query compiled for the packed scan: for each constrained position,
+/// the codeword bits required when the entry's mask is `Open` and when it
+/// is `Ground` (`Var` requires nothing).
+struct CompiledQuery {
+    positions: Vec<PositionReq>,
+    /// 0b11 in the 2-bit field of every constrained position: masking an
+    /// entry's mask word with this canonicalizes it for the cache.
+    relevance: u64,
+    limbs_per_entry: usize,
+}
+
+struct PositionReq {
+    /// Bit shift of this position's 2-bit mask field.
+    shift: u32,
+    /// Required limbs when the entry's mask is [`ArgMask::Open`].
+    open: Vec<u64>,
+    /// Required limbs when the entry's mask is [`ArgMask::Ground`].
+    ground: Vec<u64>,
+}
+
+/// Copies a codeword's limbs into the index's per-entry stride. A query
+/// encoded with a wider config than the index contributes only the limbs
+/// the entries actually store — the same zip-truncation semantics as
+/// [`Codeword::subset_of`].
+fn normalize(limbs: &[u64], limbs_per_entry: usize) -> Vec<u64> {
+    let mut out = vec![0u64; limbs_per_entry];
+    for (o, l) in out.iter_mut().zip(limbs) {
+        *o = *l;
+    }
+    out
+}
+
+impl CompiledQuery {
+    fn compile(descriptor: &QueryDescriptor, limbs_per_entry: usize) -> Self {
+        let mut positions = Vec::new();
+        let mut relevance = 0u64;
+        for (i, arg) in descriptor.args.iter().enumerate() {
+            let shift = 2 * i as u32;
+            let (open, ground) = match arg {
+                QueryArg::Any => continue,
+                // A shallow requirement applies whether the clause arg is
+                // open or ground; only Var relaxes it.
+                QueryArg::Shallow(cw) => {
+                    let bits = normalize(cw.limbs(), limbs_per_entry);
+                    (bits.clone(), bits)
+                }
+                // Against an open clause arg only the shallow key applies;
+                // against a ground one, shallow and deep bits both do —
+                // their union is one subset test.
+                QueryArg::Ground { shallow, deep } => {
+                    let open = normalize(shallow.limbs(), limbs_per_entry);
+                    let mut ground = open.clone();
+                    for (g, d) in ground.iter_mut().zip(deep.limbs()) {
+                        *g |= d;
+                    }
+                    (open, ground)
+                }
+            };
+            relevance |= 0b11 << shift;
+            positions.push(PositionReq {
+                shift,
+                open,
+                ground,
+            });
+        }
+        CompiledQuery {
+            positions,
+            relevance,
+            limbs_per_entry,
+        }
+    }
+
+    /// The union of required bits for an entry whose masked mask word is
+    /// `key`.
+    fn required_for(&self, key: u64) -> Vec<u64> {
+        let mut required = vec![0u64; self.limbs_per_entry];
+        for pos in &self.positions {
+            let bits = match (key >> pos.shift) & 0b11 {
+                0 => &pos.ground,
+                1 => &pos.open,
+                // Var (2, or the defensive 3): no requirement.
+                _ => continue,
+            };
+            for (r, b) in required.iter_mut().zip(bits) {
+                *r |= b;
+            }
+        }
+        required
+    }
+}
+
+/// Memoizes [`CompiledQuery::required_for`] per distinct masked mask
+/// word. Predicates exhibit very few distinct mask words (facts are
+/// all-ground; each rule-head shape adds one), so a small linear-probed
+/// list beats a hash map.
+struct RequirementCache {
+    entries: Vec<(u64, Vec<u64>)>,
+}
+
+impl RequirementCache {
+    fn new() -> Self {
+        RequirementCache {
+            entries: Vec::new(),
+        }
+    }
+
+    fn required<'a>(&'a mut self, query: &CompiledQuery, mask_word: u64) -> &'a [u64] {
+        let key = mask_word & query.relevance;
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            return &self.entries[i].1;
+        }
+        self.entries.push((key, query.required_for(key)));
+        &self.entries.last().expect("just pushed").1
     }
 }
 
@@ -172,7 +527,11 @@ mod tests {
     use clare_term::SymbolTable;
 
     fn build_index(clauses: &[&str], sy: &mut SymbolTable) -> IndexFile {
-        let mut index = IndexFile::new(ScwConfig::paper());
+        build_index_with(clauses, sy, ScwConfig::paper())
+    }
+
+    fn build_index_with(clauses: &[&str], sy: &mut SymbolTable, config: ScwConfig) -> IndexFile {
+        let mut index = IndexFile::with_capacity(config, clauses.len());
         for (i, src) in clauses.iter().enumerate() {
             let head = parse_term(src, sy).unwrap();
             index.insert(&head, ClauseAddr::new((i / 4) as u32, (i % 4) as u16));
@@ -261,5 +620,106 @@ mod tests {
         // independent of clause size.
         let config = ScwConfig::paper();
         assert!(config.entry_bytes() <= 24);
+    }
+
+    #[test]
+    fn packed_scan_agrees_with_reference() {
+        let mut sy = SymbolTable::new();
+        let clauses: Vec<String> = (0..200)
+            .map(|i| match i % 4 {
+                0 => format!("s(k{i}, v{})", i % 9),
+                1 => format!("s(k{i}, X)"),
+                2 => "s(Y, Z)".to_owned(),
+                _ => format!("s(g(k{i}), [1, {i}])"),
+            })
+            .collect();
+        let refs: Vec<&str> = clauses.iter().map(String::as_str).collect();
+        let index = build_index(&refs, &mut sy);
+        for q in ["s(k8, X)", "s(A, v3)", "s(g(k7), [1, 7])", "s(Q, R)"] {
+            let query = parse_term(q, &mut sy).unwrap();
+            let descriptor = encode_query_descriptor(&query, index.config());
+            let reference = index.scan_reference(&descriptor);
+            assert_eq!(index.scan(&query), reference, "query {q}");
+            for workers in [1, 2, 3, 7] {
+                assert_eq!(
+                    index.scan_with(&descriptor, workers),
+                    reference,
+                    "query {q}, {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_preserves_clause_order_across_shards() {
+        let mut sy = SymbolTable::new();
+        let clauses: Vec<String> = (0..97).map(|i| format!("t(a, n{i})")).collect();
+        let refs: Vec<&str> = clauses.iter().map(String::as_str).collect();
+        // Tiny shards so every worker owns many of them.
+        let config = ScwConfig::paper().with_shard_entries(5).with_parallelism(4);
+        let index = build_index_with(&refs, &mut sy, config);
+        let outcome = index.scan(&parse_term("t(a, X)", &mut sy).unwrap());
+        assert_eq!(outcome.matches.len(), 97);
+        assert!(
+            outcome.matches.windows(2).all(|w| w[0] < w[1]),
+            "matches must stay in clause order"
+        );
+    }
+
+    #[test]
+    fn batch_scan_matches_individual_scans() {
+        let mut sy = SymbolTable::new();
+        let clauses: Vec<String> = (0..120).map(|i| format!("b(k{i}, v{})", i % 5)).collect();
+        let refs: Vec<&str> = clauses.iter().map(String::as_str).collect();
+        let index = build_index(&refs, &mut sy);
+        let queries: Vec<Term> = ["b(k4, X)", "b(K, v2)", "b(W, Z)", "b(nope, nope)"]
+            .iter()
+            .map(|q| parse_term(q, &mut sy).unwrap())
+            .collect();
+        let descriptors: Vec<QueryDescriptor> = queries
+            .iter()
+            .map(|q| encode_query_descriptor(q, index.config()))
+            .collect();
+        let batch = index.scan_batch(&descriptors);
+        assert_eq!(batch.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batch[i], index.scan(q), "batch outcome {i} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let index = IndexFile::new(ScwConfig::paper());
+        assert!(index.scan_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn iter_entries_roundtrips_signatures() {
+        let mut sy = SymbolTable::new();
+        let sources = ["p(a, 1)", "p(X, g(b))", "p([1 | T], _)"];
+        let index = build_index(&sources, &mut sy);
+        let entries: Vec<IndexEntry> = index.iter_entries().collect();
+        assert_eq!(entries.len(), 3);
+        for (i, src) in sources.iter().enumerate() {
+            let head = parse_term(src, &mut sy).unwrap();
+            let expected = encode_clause_signature(&head, index.config());
+            assert_eq!(entries[i].signature, expected, "entry {i} ({src})");
+            assert_eq!(entries[i].addr, ClauseAddr::new(0, i as u16));
+        }
+    }
+
+    #[test]
+    fn wide_codewords_scan_correctly() {
+        // Multi-limb codewords exercise the strided limb layout.
+        let mut sy = SymbolTable::new();
+        let clauses: Vec<String> = (0..60).map(|i| format!("w(c{i})")).collect();
+        let refs: Vec<&str> = clauses.iter().map(String::as_str).collect();
+        let config = ScwConfig::custom(192, 4, 12);
+        let index = build_index_with(&refs, &mut sy, config);
+        let query = parse_term("w(c31)", &mut sy).unwrap();
+        let descriptor = encode_query_descriptor(&query, index.config());
+        let outcome = index.scan(&query);
+        assert_eq!(outcome, index.scan_reference(&descriptor));
+        assert!(outcome.matches.contains(&ClauseAddr::new(31 / 4, 31 % 4)));
     }
 }

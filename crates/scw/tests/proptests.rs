@@ -3,7 +3,8 @@
 //! of codewords.
 
 use clare_scw::{
-    encode_clause_signature, encode_query_descriptor, ClauseAddr, Codeword, IndexFile, ScwConfig,
+    encode_clause_signature, encode_query_descriptor, ClauseAddr, Codeword, IndexFile,
+    QueryDescriptor, ScwConfig,
 };
 use clare_term::parser::parse_term;
 use clare_term::SymbolTable;
@@ -105,5 +106,49 @@ proptest! {
         prop_assert!(outcome.matches.windows(2).all(|w| w[0] < w[1]));
         // And the self head is among them.
         prop_assert!(outcome.matches.contains(&addrs[0]));
+    }
+
+    /// The packed columnar scan, the sharded parallel scan (at several
+    /// worker counts and shard sizes), and the batch path all return
+    /// byte-identical outcomes to the retained scalar reference scan:
+    /// same addresses, same clause order, same modelled times.
+    #[test]
+    fn packed_and_parallel_scans_equal_reference(
+        heads in prop::collection::vec(head_source(), 1..50),
+        query_picks in prop::collection::vec(0usize..50, 1..5),
+        shard_entries in 1usize..24,
+        parallelism in 1usize..6,
+    ) {
+        let mut symbols = SymbolTable::new();
+        let config = ScwConfig::paper()
+            .with_shard_entries(shard_entries)
+            .with_parallelism(parallelism);
+        let mut index = IndexFile::with_capacity(config, heads.len());
+        for (i, src) in heads.iter().enumerate() {
+            let head = parse_term(src, &mut symbols).unwrap();
+            index.insert(&head, ClauseAddr::new((i / 8) as u32, (i % 8) as u16));
+        }
+        // Query with a mix of existing heads (guaranteed hits) — the
+        // descriptors cover Any/Shallow/Ground argument kinds.
+        let descriptors: Vec<QueryDescriptor> = query_picks
+            .iter()
+            .map(|&pick| {
+                let q = parse_term(&heads[pick % heads.len()], &mut symbols).unwrap();
+                encode_query_descriptor(&q, index.config())
+            })
+            .collect();
+        let references: Vec<_> = descriptors.iter().map(|d| index.scan_reference(d)).collect();
+        for (d, reference) in descriptors.iter().zip(&references) {
+            prop_assert_eq!(&index.scan_with_descriptor(d), reference);
+            for workers in [1, 2, parallelism, parallelism + 3] {
+                prop_assert_eq!(
+                    &index.scan_with(d, workers),
+                    reference,
+                    "diverged at {} workers, shard {}", workers, shard_entries
+                );
+            }
+        }
+        let batch = index.scan_batch(&descriptors);
+        prop_assert_eq!(&batch, &references, "batch diverged from reference");
     }
 }

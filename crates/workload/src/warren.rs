@@ -87,10 +87,9 @@ impl WarrenSpec {
                     }
                 }
                 let fact = t.fact(&pred, args);
-                if (sample_heads.len() < 1000 || i % 997 == 0)
-                    && sample_heads.len() < 2000 {
-                        sample_heads.push(fact.head().clone());
-                    }
+                if (sample_heads.len() < 1000 || i % 997 == 0) && sample_heads.len() < 2000 {
+                    sample_heads.push(fact.head().clone());
+                }
                 clauses.push(fact);
             }
             // Rules: each head `r<i>(X, Y)` with 1–3 body goals over fact

@@ -54,10 +54,17 @@ fn trace_goal(server: &ClauseRetrievalServer, symbols: &SymbolTable, src: &str) 
             "clause {}: {}  ->  {} in {}",
             i,
             TermDisplay::new(clause.head(), kb.symbols()),
-            if verdict.matched { "SATISFIER" } else { "rejected" },
+            if verdict.matched {
+                "SATISFIER"
+            } else {
+                "rejected"
+            },
             verdict.time,
         );
-        print!("{}", render_trace(q_stream.words(), c_stream.words(), &steps));
+        print!(
+            "{}",
+            render_trace(q_stream.words(), c_stream.words(), &steps)
+        );
     }
     if pred.clauses().len() > 4 {
         println!("… ({} more clauses)", pred.clauses().len() - 4);

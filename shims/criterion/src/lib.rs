@@ -1,0 +1,306 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small wall-clock benchmarking harness with the `criterion` API shape its
+//! benches use: [`Criterion`] with `warm_up_time` / `measurement_time` /
+//! `sample_size`, [`BenchmarkGroup`] with `throughput` / `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurements are real: each benchmark warms up, calibrates an
+//! iteration count per sample, collects `sample_size` samples, and
+//! reports the median ns/iteration (plus element throughput when set).
+//! There is no statistical comparison against saved baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how long each benchmark spins before measurement starts.
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets how many timing samples are collected per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_benchmark(self.warm_up, self.measurement, self.sample_size, f);
+        report.print(&id.to_string(), None);
+        self
+    }
+}
+
+/// One element of a benchmark's workload, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples.max(2));
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_benchmark(
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            samples,
+            f,
+        );
+        report.print(&format!("{}/{id}", self.name), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (Reports are emitted as benchmarks run.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    median_ns: f64,
+}
+
+impl Report {
+    fn print(&self, name: &str, throughput: Option<Throughput>) {
+        match throughput {
+            Some(Throughput::Elements(n)) if self.median_ns > 0.0 => {
+                let rate = n as f64 * 1e9 / self.median_ns;
+                println!(
+                    "{name:<40} {:>14.1} ns/iter {rate:>16.0} elem/s",
+                    self.median_ns
+                );
+            }
+            Some(Throughput::Bytes(n)) if self.median_ns > 0.0 => {
+                let rate = n as f64 * 1e9 / self.median_ns;
+                println!(
+                    "{name:<40} {:>14.1} ns/iter {rate:>16.0} B/s",
+                    self.median_ns
+                );
+            }
+            _ => println!("{name:<40} {:>14.1} ns/iter", self.median_ns),
+        }
+    }
+}
+
+fn run_benchmark<F>(warm_up: Duration, measurement: Duration, samples: usize, mut f: F) -> Report
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up, doubling the iteration count until the budget is spent;
+    // this also calibrates the per-iteration cost estimate.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut per_iter_ns = f64::MAX;
+    loop {
+        f(&mut bencher);
+        let observed = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        per_iter_ns = per_iter_ns.min(observed.max(0.1));
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+        bencher.iters = bencher.iters.saturating_mul(2);
+    }
+
+    // Size each sample so the whole measurement fits the budget.
+    let sample_budget_ns = measurement.as_nanos() as f64 / samples as f64;
+    bencher.iters = ((sample_budget_ns / per_iter_ns) as u64).max(1);
+
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            f(&mut bencher);
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = if times.len() % 2 == 1 {
+        times[times.len() / 2]
+    } else {
+        (times[times.len() / 2 - 1] + times[times.len() / 2]) / 2.0
+    };
+    Report { median_ns }
+}
+
+/// Declares a group-runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_reports_plausible_times() {
+        let report = run_benchmark(
+            Duration::from_millis(10),
+            Duration::from_millis(40),
+            5,
+            |b| b.iter(|| black_box((0..100u64).sum::<u64>())),
+        );
+        assert!(report.median_ns > 0.0 && report.median_ns < 1e7);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter(10), &10u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! deterministic, sampling-based property tester exposing the `proptest`
+//! API subset its tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_recursive` / `boxed`, range and regex-class string strategies,
+//! tuples, [`collection::vec`] / [`collection::hash_set`], [`option::of`],
+//! `prop_oneof!`, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! macros.
+//!
+//! Differences from upstream: inputs are sampled from a per-test
+//! deterministic seed (derived from the test name), and failures report
+//! the case number instead of shrinking to a minimal input. Rerunning is
+//! fully reproducible.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, TestRng, Union};
+
+/// Per-test configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s with up to `size.end - 1` elements.
+    #[derive(Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates hash sets of values drawn from `element`. The set may be
+    /// smaller than the drawn target size when the element domain is
+    /// narrow (duplicates are discarded, as upstream does).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.usize_in(self.size.clone());
+            let mut out = HashSet::with_capacity(target);
+            for _ in 0..target.saturating_mul(8).max(8) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Strategies over `Option`.
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy yielding `None` a quarter of the time, else `Some`.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Wraps `inner`'s values in `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::{collection, option};
+    }
+}
+
+/// Runs each property as `cases` deterministic random samples.
+///
+/// Matches the upstream invocation shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_name(concat!(
+                    ::core::module_path!(), "::", ::core::stringify!($name)
+                ));
+                $(let $arg = $strat;)+
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&$arg, &mut __rng);)+
+                    let __outcome: ::core::result::Result<(), ::std::string::String> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(__message) = __outcome {
+                        ::core::panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            ::core::stringify!($name), __case, __config.cases, __message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts within a `proptest!` body; failure reports the sampled case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::core::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion within a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}` ({:?} vs {:?})",
+            ::core::stringify!($left), ::core::stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{} ({:?} vs {:?})",
+            ::std::format!($($fmt)+), __l, __r
+        );
+    }};
+}
