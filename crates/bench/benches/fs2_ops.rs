@@ -1,12 +1,14 @@
 //! Criterion counterpart of E1/E2 (Table 1, Figures 6–12): how fast the
-//! *simulator* executes each of the seven hardware operations, and the
-//! route-derivation cost itself.
+//! *simulator* executes each of the seven hardware operations, the
+//! route-derivation cost itself, and clause filtering throughput across
+//! the three stream-sourcing strategies (re-parse bytes per clause,
+//! pre-decoded with per-clause op vectors, pre-decoded allocation-free).
 
 use clare_fs2::{Fs2Engine, HwOp};
-use clare_pif::{encode_clause_head, encode_query};
-use clare_term::parser::parse_term;
+use clare_pif::{encode_clause_head, encode_query, ClauseRecord, PifStream};
+use clare_term::parser::{parse_clause, parse_term};
 use clare_term::SymbolTable;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 /// Query/clause pairs whose match is dominated by one operation each.
@@ -36,6 +38,77 @@ fn bench_op_matching(c: &mut Criterion) {
     group.finish();
 }
 
+/// Filtering a clause set through the engine, three ways:
+///
+/// * `bytes` — re-parse every record from its on-disk bytes, then match
+///   through the allocation-free path (the pre-arena per-retrieval cost);
+/// * `decoded_alloc` — pre-decoded streams, but the op-vector path that
+///   allocates a `Vec<HwOp>` per clause;
+/// * `decoded_quiet` — pre-decoded streams through the allocation-free
+///   scratch path, as the retrieval pipeline now runs.
+fn bench_clause_filtering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs2_clause_filtering");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut symbols = SymbolTable::new();
+        let query = parse_term("fact(k17, X, T)", &mut symbols).unwrap();
+        let clauses: Vec<clare_term::Clause> = (0..n)
+            .map(|i| {
+                parse_clause(
+                    &format!("fact(k{}, v{}, t{}).", i % 37, i, i % 11),
+                    &mut symbols,
+                )
+                .unwrap()
+            })
+            .collect();
+        let records: Vec<Vec<u8>> = clauses
+            .iter()
+            .map(|cl| ClauseRecord::compile(cl).unwrap().to_bytes())
+            .collect();
+        let streams: Vec<PifStream> = clauses
+            .iter()
+            .map(|cl| encode_clause_head(cl.head()).unwrap())
+            .collect();
+        let mut engine = Fs2Engine::new(&encode_query(&query).unwrap()).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("bytes/{n}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for bytes in &records {
+                    let (record, _) = ClauseRecord::from_bytes(bytes).unwrap();
+                    if engine.match_clause_quiet(record.head_stream()).matched {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_function(format!("decoded_alloc/{n}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for s in &streams {
+                    if engine.match_clause_stream(s).matched {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_function(format!("decoded_quiet/{n}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for s in &streams {
+                    if engine.match_clause_words(s.words()).matched {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_route_derivation(c: &mut Criterion) {
     c.bench_function("table1_derivation", |b| {
         b.iter(|| {
@@ -57,6 +130,6 @@ fn fast() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast();
-    targets = bench_op_matching, bench_route_derivation
+    targets = bench_op_matching, bench_clause_filtering, bench_route_derivation
 }
 criterion_main!(benches);

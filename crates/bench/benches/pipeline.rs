@@ -1,6 +1,7 @@
-//! Criterion counterpart of E5/E8: whole-retrieval throughput per search
-//! mode, and raw FS2 clause-stream filtering speed (simulator clauses per
-//! second).
+//! Criterion counterpart of E5/E8/E15: whole-retrieval throughput per
+//! search mode, raw FS2 clause-stream filtering speed (simulator clauses
+//! per second), and two-stage retrieval scaling across the serial /
+//! pre-decoded arena / parallel FS2 sweep configurations.
 
 use clare_core::{retrieve, CrsOptions, SearchMode};
 use clare_fs2::Fs2Engine;
@@ -38,6 +39,57 @@ fn bench_modes(c: &mut Criterion) {
         group.bench_function(format!("{mode}"), |b| {
             b.iter(|| black_box(retrieve(&kb, black_box(&query), mode, &opts).stats.unified))
         });
+    }
+    group.finish();
+}
+
+/// A `fact/3` knowledge base whose FS1 hits for `fact(k17, X, T)` land on
+/// every track, so the two-stage retrieval sweeps the whole predicate
+/// through FS2 (same shape as experiment E15).
+fn build_fact_kb(n: usize) -> (KnowledgeBase, Term) {
+    let mut builder = KbBuilder::new();
+    let mut source = String::with_capacity(n * 24);
+    for i in 0..n {
+        source.push_str(&format!("fact(k{}, v{}, t{}).\n", i % 37, i, i % 11));
+    }
+    builder.consult("m", &source).unwrap();
+    let query = parse_term("fact(k17, X, T)", builder.symbols_mut()).unwrap();
+    (builder.finish(KbConfig::default()), query)
+}
+
+fn fs2_options(workers: usize, predecoded: bool) -> CrsOptions {
+    let mut opts = CrsOptions::default();
+    opts.fs2 = opts.fs2.with_predecoded(predecoded);
+    opts.fs2_parallelism = Some(workers);
+    opts
+}
+
+fn bench_two_stage_scaling(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let contenders = [
+        ("serial", fs2_options(1, false)),
+        ("arena", fs2_options(1, true)),
+        ("parallel", fs2_options(workers, true)),
+    ];
+    let mut group = c.benchmark_group("two_stage_retrieval");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let (kb, query) = build_fact_kb(n);
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, opts) in &contenders {
+            group.bench_function(format!("{label}/{n}"), |b| {
+                b.iter(|| {
+                    black_box(
+                        retrieve(&kb, black_box(&query), SearchMode::TwoStage, opts)
+                            .stats
+                            .unified,
+                    )
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -85,6 +137,6 @@ fn fast() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast();
-    targets = bench_modes, bench_fs2_stream
+    targets = bench_modes, bench_two_stage_scaling, bench_fs2_stream
 }
 criterion_main!(benches);

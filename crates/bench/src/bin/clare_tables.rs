@@ -1,9 +1,10 @@
 //! `clare-tables` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! clare-tables              # print every experiment
-//! clare-tables table1 fs1   # print selected experiments
-//! clare-tables --list       # list experiment names
+//! clare-tables                  # print every experiment
+//! clare-tables table1 fs1       # print selected experiments
+//! clare-tables --list           # list experiment names
+//! clare-tables fs2bench --quick # small sizes, no BENCH_*.json write
 //! ```
 
 use clare_bench::experiments;
@@ -27,12 +28,16 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "E14: FS1 host scan wall-clock (writes BENCH_fs1.json)",
     ),
     (
+        "fs2bench",
+        "E15: FS2 two-stage host wall-clock (writes BENCH_fs2.json)",
+    ),
+    (
         "microprogram",
         "appendix: the assembled WCS microprogram listing",
     ),
 ];
 
-fn run_one(name: &str) -> bool {
+fn run_one(name: &str, quick: bool) -> bool {
     let divider = "=".repeat(72);
     println!("{divider}");
     match name {
@@ -53,14 +58,43 @@ fn run_one(name: &str) -> bool {
         "suite" => println!("{}", experiments::bench_suite::run(1)),
         "lists" => println!("{}", experiments::lists::run()),
         "fs1bench" => {
-            let report = experiments::fs1_wallclock::run(
-                &[1_000, 10_000, 100_000],
-                std::time::Duration::from_secs(1),
-            );
-            println!("{report}");
-            match std::fs::write("BENCH_fs1.json", report.to_json()) {
-                Ok(()) => println!("wrote BENCH_fs1.json"),
-                Err(e) => eprintln!("could not write BENCH_fs1.json: {e}"),
+            if quick {
+                // CI smoke run: small sizes, tight budget, no file write.
+                let report = experiments::fs1_wallclock::run(
+                    &[1_000, 5_000],
+                    std::time::Duration::from_millis(60),
+                );
+                println!("{report}");
+            } else {
+                let report = experiments::fs1_wallclock::run(
+                    &[1_000, 10_000, 100_000],
+                    std::time::Duration::from_secs(1),
+                );
+                println!("{report}");
+                match std::fs::write("BENCH_fs1.json", report.to_json()) {
+                    Ok(()) => println!("wrote BENCH_fs1.json"),
+                    Err(e) => eprintln!("could not write BENCH_fs1.json: {e}"),
+                }
+            }
+        }
+        "fs2bench" => {
+            if quick {
+                // CI smoke run: small sizes, tight budget, no file write.
+                let report = experiments::fs2_wallclock::run(
+                    &[1_000, 5_000],
+                    std::time::Duration::from_millis(60),
+                );
+                println!("{report}");
+            } else {
+                let report = experiments::fs2_wallclock::run(
+                    &[1_000, 10_000, 100_000],
+                    std::time::Duration::from_secs(1),
+                );
+                println!("{report}");
+                match std::fs::write("BENCH_fs2.json", report.to_json()) {
+                    Ok(()) => println!("wrote BENCH_fs2.json"),
+                    Err(e) => eprintln!("could not write BENCH_fs2.json: {e}"),
+                }
             }
         }
         "microprogram" => println!("{}", clare_fs2::Microprogram::standard()),
@@ -80,14 +114,18 @@ fn main() {
         }
         return;
     }
-    let selected: Vec<&str> = if args.is_empty() {
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let selected: Vec<&str> = if args.iter().all(|a| a.starts_with('-')) {
         EXPERIMENTS.iter().map(|(n, _)| *n).collect()
     } else {
-        args.iter().map(String::as_str).collect()
+        args.iter()
+            .filter(|a| !a.starts_with('-'))
+            .map(String::as_str)
+            .collect()
     };
     let mut ok = true;
     for name in selected {
-        ok &= run_one(name);
+        ok &= run_one(name, quick);
     }
     if !ok {
         std::process::exit(1);

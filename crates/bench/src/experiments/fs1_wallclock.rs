@@ -137,7 +137,8 @@ fn build_index(n: usize, symbols: &mut SymbolTable) -> IndexFile {
 
 /// Times `scan` by calibrated batches and returns the best observed
 /// per-scan time in ns (min over batches rejects scheduler noise).
-fn best_ns(mut scan: impl FnMut() -> usize, budget: std::time::Duration) -> f64 {
+/// Shared with [`super::fs2_wallclock`].
+pub(crate) fn best_ns(mut scan: impl FnMut() -> usize, budget: std::time::Duration) -> f64 {
     // Warm up and calibrate a batch to ~1/8 of the budget.
     let start = Instant::now();
     black_box(scan());

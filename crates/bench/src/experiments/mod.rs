@@ -7,6 +7,7 @@ pub mod fig1;
 pub mod figures;
 pub mod fs1;
 pub mod fs1_wallclock;
+pub mod fs2_wallclock;
 pub mod levels;
 pub mod lists;
 pub mod modes;

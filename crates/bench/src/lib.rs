@@ -22,6 +22,7 @@
 //! | E12 | database benchmark suite | [`experiments::bench_suite`] |
 //! | E13 | unlimited-list matching | [`experiments::lists`] |
 //! | E14 | FS1 host scan wall-clock (BENCH_fs1.json) | [`experiments::fs1_wallclock`] |
+//! | E15 | FS2 two-stage host wall-clock (BENCH_fs2.json) | [`experiments::fs2_wallclock`] |
 
 #![warn(missing_docs)]
 

@@ -18,7 +18,7 @@
 
 use crate::cost::SoftwareCostModel;
 use clare_disk::{DiskProfile, SimNanos};
-use clare_fs2::Fs2Engine;
+use clare_fs2::{Fs2Config, Fs2Engine};
 use clare_kb::{KnowledgeBase, ModuleKind, Predicate};
 use clare_pif::{encode_query, ClauseRecord};
 use clare_scw::{encode_query_descriptor, ClauseAddr};
@@ -27,6 +27,7 @@ use clare_unify::partial::{partial_match, PartialConfig};
 use clare_unify::unify_query_clause;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The four searching modes of §2.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +76,14 @@ pub struct CrsOptions {
     /// overrides it per server. The answer set and all modelled times are
     /// identical at every level — only host wall-clock changes.
     pub fs1_parallelism: Option<usize>,
+    /// FS2 track-pipeline knobs: worker count, shard granularity, and
+    /// whether matching reads the pre-decoded [`clare_kb::ClauseArena`]
+    /// instead of re-parsing record bytes. As with FS1, none of these
+    /// change the answer set or any modelled time.
+    pub fs2: Fs2Config,
+    /// Per-server override for [`Fs2Config::parallelism`]. `None` (the
+    /// default) defers to `fs2.parallelism()`.
+    pub fs2_parallelism: Option<usize>,
 }
 
 impl Default for CrsOptions {
@@ -83,6 +92,8 @@ impl Default for CrsOptions {
             disk: DiskProfile::fujitsu_m2351a(),
             cost: SoftwareCostModel::m68020(),
             fs1_parallelism: None,
+            fs2: Fs2Config::paper(),
+            fs2_parallelism: None,
         }
     }
 }
@@ -168,26 +179,29 @@ pub fn retrieve(
     mode: SearchMode,
     opts: &CrsOptions,
 ) -> Retrieval {
-    retrieve_inner(kb, query, mode, opts, None)
+    retrieve_inner(kb, query, mode, opts, Precomputed::default())
 }
 
-/// Retrieves candidates for several queries, amortizing the FS1 index
-/// sweep: queries against the same predicate are compiled together and
-/// their descriptors tested in one pass over the packed secondary file
-/// ([`clare_scw::IndexFile::scan_batch`]). Results come back in input
-/// order, and each is exactly what [`retrieve`] would return for that
-/// query alone — the batch changes host wall-clock, not semantics or
-/// modelled times.
+/// Retrieves candidates for several queries, amortizing the hardware
+/// passes: queries against the same predicate are compiled together, their
+/// descriptors tested in one pass over the packed secondary file
+/// ([`clare_scw::IndexFile::scan_batch`]), and their FS2 track sweeps run
+/// over the shared pre-decoded arena through one worker pool. Results come
+/// back in input order, and each is exactly what [`retrieve`] would return
+/// for that query alone — the batch changes host wall-clock, not semantics
+/// or modelled times.
 pub fn retrieve_batch(
     kb: &KnowledgeBase,
     queries: &[Term],
     mode: SearchMode,
     opts: &CrsOptions,
 ) -> Vec<Retrieval> {
-    // Group FS1-eligible queries by predicate so each group shares a pass.
+    // Group hardware-eligible queries by predicate so each group shares
+    // the index pass and the FS2 worker pool.
     let wants_fs1 = matches!(mode, SearchMode::Fs1Only | SearchMode::TwoStage);
+    let wants_fs2 = matches!(mode, SearchMode::Fs2Only | SearchMode::TwoStage);
     let mut groups: HashMap<(clare_term::Symbol, usize), Vec<usize>> = HashMap::new();
-    if wants_fs1 {
+    if wants_fs1 || wants_fs2 {
         for (i, query) in queries.iter().enumerate() {
             if let Some(key) = query.functor_arity() {
                 groups.entry(key).or_default().push(i);
@@ -195,28 +209,74 @@ pub fn retrieve_batch(
         }
     }
 
-    let mut fs1_outcomes: Vec<Option<clare_scw::ScanOutcome>> = vec![None; queries.len()];
+    let mut pre: Vec<Precomputed> = queries.iter().map(|_| Precomputed::default()).collect();
     for ((functor, arity), members) in groups {
         let Some((_, pred)) = kb.module_of(functor, arity) else {
             continue;
         };
-        let index = pred.index();
-        let descriptors: Vec<_> = members
-            .iter()
-            .map(|&i| encode_query_descriptor(&queries[i], index.config()))
-            .collect();
-        let workers = opts.fs1_parallelism.unwrap_or(index.config().parallelism());
-        let outcomes = index.scan_batch_with(&descriptors, workers);
-        for (&i, outcome) in members.iter().zip(outcomes) {
-            fs1_outcomes[i] = Some(outcome);
+        if wants_fs1 {
+            let index = pred.index();
+            let descriptors: Vec<_> = members
+                .iter()
+                .map(|&i| encode_query_descriptor(&queries[i], index.config()))
+                .collect();
+            let workers = opts.fs1_parallelism.unwrap_or(index.config().parallelism());
+            let outcomes = index.scan_batch_with(&descriptors, workers);
+            for (&i, outcome) in members.iter().zip(outcomes) {
+                pre[i].fs1 = Some(outcome);
+            }
+        }
+        if wants_fs2 {
+            // One sweep job per encodable query; unencodable ones fall
+            // back to software inside retrieve_inner, exactly as for a
+            // single retrieval.
+            let mut job_of: Vec<usize> = Vec::new();
+            let mut jobs: Vec<(Fs2Engine, Vec<usize>)> = Vec::new();
+            for &i in &members {
+                let Ok(stream) = encode_query(&queries[i]) else {
+                    continue;
+                };
+                let Ok(engine) = Fs2Engine::new(&stream) else {
+                    continue;
+                };
+                let tracks = match mode {
+                    SearchMode::Fs2Only => (0..pred.file().track_count()).collect(),
+                    _ => match &pre[i].fs1 {
+                        Some(outcome) => candidate_tracks(&outcome.matches),
+                        None => continue,
+                    },
+                };
+                job_of.push(i);
+                jobs.push((engine, tracks));
+            }
+            let outcomes = fs2_sweep_jobs(pred, &jobs, opts);
+            for ((i, (_, tracks)), outcomes) in job_of.iter().copied().zip(jobs).zip(outcomes) {
+                pre[i].fs2 = Some(Fs2Sweep { tracks, outcomes });
+            }
         }
     }
 
     queries
         .iter()
-        .zip(fs1_outcomes)
-        .map(|(query, fs1)| retrieve_inner(kb, query, mode, opts, fs1))
+        .zip(pre)
+        .map(|(query, pre)| retrieve_inner(kb, query, mode, opts, pre))
         .collect()
+}
+
+/// Hardware phases a batch has already run for one query: the FS1 scan
+/// outcome and/or the FS2 track sweep. `retrieve_inner` consumes whichever
+/// parts are present and match what it would compute itself.
+#[derive(Default)]
+struct Precomputed {
+    fs1: Option<clare_scw::ScanOutcome>,
+    fs2: Option<Fs2Sweep>,
+}
+
+/// A finished FS2 sweep: per-track match results for exactly `tracks`, in
+/// that order.
+struct Fs2Sweep {
+    tracks: Vec<usize>,
+    outcomes: Vec<TrackMatches>,
 }
 
 fn retrieve_inner(
@@ -224,7 +284,7 @@ fn retrieve_inner(
     query: &Term,
     mode: SearchMode,
     opts: &CrsOptions,
-    fs1_precomputed: Option<clare_scw::ScanOutcome>,
+    mut pre: Precomputed,
 ) -> Retrieval {
     let Some((functor, arity)) = query.functor_arity() else {
         return Retrieval {
@@ -262,7 +322,7 @@ fn retrieve_inner(
     let candidates: Vec<ClauseId> = match effective_mode {
         SearchMode::SoftwareOnly => software_phase(pred, query, opts, disk_resident, &mut stats),
         SearchMode::Fs1Only => {
-            let addrs = fs1_phase(pred, query, opts, fs1_precomputed, &mut stats);
+            let addrs = fs1_phase(pred, query, opts, pre.fs1.take(), &mut stats);
             fetch_candidate_tracks(pred, &addrs, opts, &mut stats);
             stats.after_fs1 = Some(addrs.len());
             addrs_to_ids(pred, &addrs)
@@ -270,21 +330,18 @@ fn retrieve_inner(
         SearchMode::Fs2Only => {
             let mut engine = hw_query.expect("checked above");
             let all_tracks: Vec<usize> = (0..pred.file().track_count()).collect();
-            let satisfiers = fs2_phase(pred, &mut engine, &all_tracks, opts, &mut stats);
+            let sweep = take_sweep(&mut pre, &all_tracks);
+            let satisfiers = fs2_phase(pred, &mut engine, &all_tracks, opts, &mut stats, sweep);
             stats.after_fs2 = Some(satisfiers.len());
             addrs_to_ids(pred, &satisfiers)
         }
         SearchMode::TwoStage => {
             let mut engine = hw_query.expect("checked above");
-            let fs1_addrs = fs1_phase(pred, query, opts, fs1_precomputed, &mut stats);
+            let fs1_addrs = fs1_phase(pred, query, opts, pre.fs1.take(), &mut stats);
             stats.after_fs1 = Some(fs1_addrs.len());
-            let tracks: Vec<usize> = fs1_addrs
-                .iter()
-                .map(|a| a.track() as usize)
-                .collect::<BTreeSet<_>>()
-                .into_iter()
-                .collect();
-            let fs2_addrs = fs2_phase(pred, &mut engine, &tracks, opts, &mut stats);
+            let tracks = candidate_tracks(&fs1_addrs);
+            let sweep = take_sweep(&mut pre, &tracks);
+            let fs2_addrs = fs2_phase(pred, &mut engine, &tracks, opts, &mut stats, sweep);
             // Intersect: only clauses selected by both stages go on.
             let fs1_set: BTreeSet<ClauseAddr> = fs1_addrs.into_iter().collect();
             let joint: Vec<ClauseAddr> = fs2_addrs
@@ -317,18 +374,34 @@ fn retrieve_inner(
 }
 
 fn addrs_to_ids(pred: &Predicate, addrs: &[ClauseAddr]) -> Vec<ClauseId> {
-    let by_addr: HashMap<ClauseAddr, usize> = pred
-        .addrs()
-        .iter()
-        .enumerate()
-        .map(|(i, a)| (*a, i))
-        .collect();
     let mut ids: Vec<ClauseId> = addrs
         .iter()
-        .map(|a| ClauseId::new(by_addr[a] as u32))
+        .map(|a| {
+            pred.clause_id_at(*a)
+                .expect("candidate addresses come from this predicate")
+        })
         .collect();
     ids.sort();
     ids
+}
+
+/// The distinct tracks containing `addrs`, ascending.
+fn candidate_tracks(addrs: &[ClauseAddr]) -> Vec<usize> {
+    addrs
+        .iter()
+        .map(|a| a.track() as usize)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect()
+}
+
+/// Consumes a batch-precomputed FS2 sweep, but only if it covers exactly
+/// the tracks this retrieval is about to visit.
+fn take_sweep(pre: &mut Precomputed, tracks: &[usize]) -> Option<Vec<TrackMatches>> {
+    pre.fs2
+        .take()
+        .filter(|s| s.tracks == tracks)
+        .map(|s| s.outcomes)
 }
 
 /// Mode (a): stream everything (if disk resident) and filter on the host.
@@ -412,50 +485,199 @@ fn fetch_candidate_tracks(
     }
 }
 
+/// One track's FS2 outcome: total modelled matching time plus the slots
+/// of the clauses that satisfied the partial test.
+struct TrackMatches {
+    fs2_time: SimNanos,
+    hits: Vec<u16>,
+}
+
+/// Streams one track's clauses through the engine. With `predecoded` the
+/// head streams come straight out of the predicate's [`ClauseArena`]
+/// (decoded once at build/load time); otherwise each record is re-parsed
+/// from its on-disk bytes — the reference path the arena is property-tested
+/// against.
+///
+/// [`ClauseArena`]: clare_kb::ClauseArena
+fn match_track(
+    pred: &Predicate,
+    engine: &mut Fs2Engine,
+    t: usize,
+    predecoded: bool,
+) -> TrackMatches {
+    let mut fs2_time = SimNanos::ZERO;
+    let mut hits = Vec::new();
+    if predecoded {
+        let arena = pred.arena();
+        let range = arena.track_clauses(t);
+        let start = range.start;
+        for i in range {
+            let verdict = engine.match_clause_words(arena.stream(i));
+            fs2_time += verdict.time;
+            if verdict.matched {
+                hits.push((i - start) as u16);
+            }
+        }
+    } else {
+        for (slot, record_bytes) in pred.file().tracks()[t].records().iter().enumerate() {
+            let (record, _) = ClauseRecord::from_bytes(record_bytes)
+                .expect("knowledge base records are well-formed");
+            let verdict = engine.match_clause_quiet(record.head_stream());
+            fs2_time += verdict.time;
+            if verdict.matched {
+                hits.push(slot as u16);
+            }
+        }
+    }
+    TrackMatches { fs2_time, hits }
+}
+
+/// Runs a set of FS2 sweep jobs — `(engine, tracks)` pairs, typically one
+/// per query of a batch — through one worker pool.
+///
+/// With one worker each job's tracks are matched in order on the calling
+/// thread. With more, every job's track list is split into shards of
+/// [`Fs2Config::shard_tracks`] tracks and workers claim shards off a
+/// shared counter, cloning the owning job's engine on first touch (cheap:
+/// the MAP ROM is a flat 64 KB table). Results are stitched back in track
+/// order per job, so the output — and everything downstream, including all
+/// modelled times — is byte-identical at every worker count.
+fn fs2_sweep_jobs(
+    pred: &Predicate,
+    jobs: &[(Fs2Engine, Vec<usize>)],
+    opts: &CrsOptions,
+) -> Vec<Vec<TrackMatches>> {
+    let workers = fs2_workers(opts);
+    let predecoded = opts.fs2.predecoded();
+    if workers <= 1 || jobs.iter().map(|(_, t)| t.len()).sum::<usize>() <= 1 {
+        return jobs
+            .iter()
+            .map(|(engine, tracks)| {
+                let mut engine = engine.clone();
+                tracks
+                    .iter()
+                    .map(|&t| match_track(pred, &mut engine, t, predecoded))
+                    .collect()
+            })
+            .collect();
+    }
+    // (job, shard offset, shard tracks) work items, claimed off a counter.
+    let shard = opts.fs2.shard_tracks().max(1);
+    let mut items: Vec<(usize, usize, &[usize])> = Vec::new();
+    for (j, (_, tracks)) in jobs.iter().enumerate() {
+        let mut start = 0;
+        while start < tracks.len() {
+            let end = (start + shard).min(tracks.len());
+            items.push((j, start, &tracks[start..end]));
+            start = end;
+        }
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<(usize, usize, Vec<TrackMatches>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(items.len()))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut engines: Vec<Option<Fs2Engine>> = vec![None; jobs.len()];
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(j, start, tracks)) = items.get(i) else {
+                            break;
+                        };
+                        let engine = engines[j].get_or_insert_with(|| jobs[j].0.clone());
+                        let matches = tracks
+                            .iter()
+                            .map(|&t| match_track(pred, engine, t, predecoded))
+                            .collect();
+                        out.push((j, start, matches));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("FS2 sweep worker panicked"));
+        }
+        all
+    });
+    // Stitch shards back per job, in track order.
+    results.sort_by_key(|&(j, start, _)| (j, start));
+    let mut out: Vec<Vec<TrackMatches>> = jobs
+        .iter()
+        .map(|(_, tracks)| Vec::with_capacity(tracks.len()))
+        .collect();
+    for (j, _, matches) in results {
+        out[j].extend(matches);
+    }
+    out
+}
+
+/// Effective FS2 worker count: the per-server override, else the config's.
+fn fs2_workers(opts: &CrsOptions) -> usize {
+    opts.fs2_parallelism
+        .unwrap_or_else(|| opts.fs2.parallelism())
+        .max(1)
+}
+
 /// FS2 phase over the given tracks: each track streams from disk into the
 /// Double Buffer while the previous track's clauses are matched, so the
 /// per-track elapsed time is `max(transfer, matching)`.
+///
+/// The matching sweep may run sharded across worker threads (and a batch
+/// may hand in a `precomputed` sweep), but the timing accounting below
+/// always walks the tracks serially in order — the modelled disk and
+/// filter times are those of the single hardware pipeline of the paper,
+/// identical at every worker count.
 fn fs2_phase(
     pred: &Predicate,
     engine: &mut Fs2Engine,
     tracks: &[usize],
     opts: &CrsOptions,
     stats: &mut RetrievalStats,
+    precomputed: Option<Vec<TrackMatches>>,
 ) -> Vec<ClauseAddr> {
+    let outcomes = match precomputed {
+        Some(outcomes) => outcomes,
+        None if fs2_workers(opts) <= 1 => {
+            // Serial fast path: reuse the caller's engine, no clones.
+            let predecoded = opts.fs2.predecoded();
+            tracks
+                .iter()
+                .map(|&t| match_track(pred, engine, t, predecoded))
+                .collect()
+        }
+        None => {
+            let jobs = [(engine.clone(), tracks.to_vec())];
+            fs2_sweep_jobs(pred, &jobs, opts)
+                .pop()
+                .expect("one job in, one sweep out")
+        }
+    };
+    debug_assert_eq!(outcomes.len(), tracks.len());
     let mut satisfiers = Vec::new();
     let mut prev: Option<usize> = None;
-    for &t in tracks {
-        let track = &pred.file().tracks()[t];
-        let mut track_fs2 = SimNanos::ZERO;
-        let mut track_hits = 0usize;
-        for (slot, record_bytes) in track.records().iter().enumerate() {
-            let (record, _) = ClauseRecord::from_bytes(record_bytes)
-                .expect("knowledge base records are well-formed");
-            let verdict = engine.match_clause_stream(record.head_stream());
-            track_fs2 += verdict.time;
-            if verdict.matched {
-                satisfiers.push(ClauseAddr::new(t as u32, slot as u16));
-                track_hits += 1;
-            }
+    for (&t, tm) in tracks.iter().zip(&outcomes) {
+        for &slot in &tm.hits {
+            satisfiers.push(ClauseAddr::new(t as u32, slot));
         }
-        if track_hits > clare_fs2::result::SATISFIER_SLOTS {
+        if tm.hits.len() > clare_fs2::result::SATISFIER_SLOTS {
             stats.result_memory_overflows += 1;
         }
-        // Adjacent tracks continue the sweep for free; a gap costs a
-        // fresh positioning (seek + rotational latency).
-        let positioning = if prev.is_none() {
-            opts.disk.avg_seek() + opts.disk.avg_rotational_latency()
-        } else if prev == Some(t.wrapping_sub(1)) {
+        // Adjacent tracks continue the sweep for free; the first track and
+        // any gap cost a fresh positioning (seek + rotational latency).
+        let contiguous = prev.is_some_and(|p| t == p + 1);
+        let positioning = if contiguous {
             SimNanos::ZERO
         } else {
             opts.disk.avg_seek() + opts.disk.avg_rotational_latency()
         };
         let transfer = opts.disk.track_transfer_time();
-        stats.fs2_time += track_fs2;
+        stats.fs2_time += tm.fs2_time;
         stats.disk_time += positioning + transfer;
         stats.bytes_from_disk += pred.file().track_bytes() as u64;
         // Double buffering overlaps matching with the next transfer.
-        stats.elapsed += positioning + transfer.max(track_fs2);
+        stats.elapsed += positioning + transfer.max(tm.fs2_time);
         prev = Some(t);
     }
     satisfiers
@@ -675,5 +897,95 @@ mod tests {
     fn empty_source_ignored() {
         let (kb, _) = kb_with("p(a).");
         assert_eq!(kb.clause_count(), 1);
+    }
+
+    #[test]
+    fn fs2_positioning_charged_per_gap_not_per_track() {
+        // Enough facts to span several tracks.
+        let (kb, queries) = build(&big_facts(3000), &["fact(k100, X)"]);
+        let pred = kb.lookup("fact", 2).unwrap();
+        assert!(pred.file().track_count() >= 4, "predicate spans 4+ tracks");
+        let opts = CrsOptions::default();
+        let engine = Fs2Engine::new(&encode_query(&queries[0]).unwrap()).unwrap();
+        let sweep = |tracks: &[usize]| {
+            let mut stats = RetrievalStats::empty(SearchMode::Fs2Only);
+            let mut e = engine.clone();
+            fs2_phase(pred, &mut e, tracks, &opts, &mut stats, None);
+            stats
+        };
+        let contiguous = sweep(&[0, 1, 2]);
+        let gapped = sweep(&[0, 2, 3]);
+        // [0, 1, 2] positions once (at track 0); [0, 2, 3] re-positions
+        // after the 0 -> 2 gap, so it pays exactly one extra positioning.
+        let positioning = opts.disk.avg_seek() + opts.disk.avg_rotational_latency();
+        assert_eq!(gapped.disk_time, contiguous.disk_time + positioning);
+        assert_eq!(gapped.bytes_from_disk, contiguous.bytes_from_disk);
+    }
+
+    #[test]
+    fn parallel_fs2_identical_to_serial_at_every_worker_count() {
+        let (kb, queries) = build(&big_facts(2500), &["fact(k7, X)", "fact(K, v3)"]);
+        let serial = CrsOptions {
+            fs2_parallelism: Some(1),
+            ..CrsOptions::default()
+        };
+        for q in &queries {
+            for mode in [SearchMode::Fs2Only, SearchMode::TwoStage] {
+                let reference = retrieve(&kb, q, mode, &serial);
+                for workers in [2, 4, 7] {
+                    let opts = CrsOptions {
+                        fs2_parallelism: Some(workers),
+                        ..CrsOptions::default()
+                    };
+                    let got = retrieve(&kb, q, mode, &opts);
+                    assert_eq!(got, reference, "workers = {workers}, mode = {mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predecoded_and_byte_decoded_paths_agree() {
+        let (kb, queries) = build(&big_facts(1500), &["fact(k3, X)", "fact(S, S)"]);
+        let bytes = CrsOptions {
+            fs2: Fs2Config::paper().with_predecoded(false),
+            ..CrsOptions::default()
+        };
+        let opts = CrsOptions::default();
+        assert!(opts.fs2.predecoded(), "arena path is the default");
+        for q in &queries {
+            for mode in [SearchMode::Fs2Only, SearchMode::TwoStage] {
+                assert_eq!(
+                    retrieve(&kb, q, mode, &opts),
+                    retrieve(&kb, q, mode, &bytes),
+                    "mode = {mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_fs2_matches_individual_retrievals() {
+        let (kb, queries) = build(
+            &big_facts(2000),
+            &[
+                "fact(k11, X)",
+                "fact(K, v5)",
+                "fact(k11, v1)",
+                "unknown(x)",
+                "fact(S, S)",
+            ],
+        );
+        let opts = CrsOptions {
+            fs2_parallelism: Some(3),
+            ..CrsOptions::default()
+        };
+        for mode in [SearchMode::Fs2Only, SearchMode::TwoStage] {
+            let batch = retrieve_batch(&kb, &queries, mode, &opts);
+            assert_eq!(batch.len(), queries.len());
+            for (q, got) in queries.iter().zip(&batch) {
+                assert_eq!(got, &retrieve(&kb, q, mode, &opts), "mode = {mode}");
+            }
+        }
     }
 }

@@ -48,6 +48,8 @@ pub mod server;
 
 pub use board::ClareBoard;
 pub use cost::SoftwareCostModel;
-pub use crs::{choose_mode, retrieve, CrsOptions, Retrieval, RetrievalStats, SearchMode};
+pub use crs::{
+    choose_mode, retrieve, retrieve_batch, CrsOptions, Retrieval, RetrievalStats, SearchMode,
+};
 pub use resolve::{solve, solve_goals, Solution, SolveOptions, SolveOutcome};
 pub use server::ClauseRetrievalServer;

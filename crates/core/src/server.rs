@@ -83,9 +83,10 @@ impl ClauseRetrievalServer {
 
     /// Serves a batch of retrievals against one consistent snapshot: the
     /// knowledge base is read once, same-predicate queries share a single
-    /// FS1 index sweep ([`crate::crs::retrieve_batch`]), and the service
-    /// statistics are updated under one lock acquisition. Results are in
-    /// query order and identical to issuing each query via
+    /// FS1 index sweep plus one FS2 worker pool over the shared clause
+    /// arena ([`crate::crs::retrieve_batch`]), and the service statistics
+    /// are updated under one lock acquisition. Results are in query order
+    /// and identical to issuing each query via
     /// [`ClauseRetrievalServer::retrieve`].
     pub fn retrieve_batch(&self, queries: &[Term], mode: SearchMode) -> Vec<Retrieval> {
         let kb = self.snapshot();

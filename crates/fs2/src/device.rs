@@ -11,7 +11,6 @@ use crate::components::WCS_INSTRUCTIONS;
 use crate::control::{ControlRegister, FilterSelect, OperationalMode};
 use crate::engine::Fs2Engine;
 use crate::micro::{Microprogram, Wcs};
-use crate::ops::HwOp;
 use crate::result::{ResultMemory, ResultOverflow};
 use clare_disk::{SimNanos, Track};
 use clare_pif::{ClauseRecord, PifStream};
@@ -73,7 +72,8 @@ pub struct SearchStats {
     pub match_time: SimNanos,
     /// PIF head-stream bytes the engine actually walked.
     pub stream_bytes: u64,
-    /// Histogram over [`HwOp::ALL`] of every operation performed.
+    /// Histogram over [`HwOp::ALL`](crate::ops::HwOp::ALL) of every
+    /// operation performed.
     pub op_histogram: [u64; 7],
 }
 
@@ -243,16 +243,12 @@ impl Fs2Device {
             self.buffer.fill(record_bytes);
             let (record, _) =
                 ClauseRecord::from_bytes(self.buffer.output()).map_err(Fs2Error::BadRecord)?;
-            let verdict = engine.match_clause_stream(record.head_stream());
+            let verdict = engine.match_clause_quiet(record.head_stream());
             stats.clauses += 1;
             stats.match_time += verdict.time;
             stats.stream_bytes += record.head_stream().byte_len() as u64;
-            for op in &verdict.ops {
-                let idx = HwOp::ALL
-                    .iter()
-                    .position(|o| o == op)
-                    .expect("ALL covers every op");
-                stats.op_histogram[idx] += 1;
+            for (total, count) in stats.op_histogram.iter_mut().zip(verdict.op_histogram) {
+                *total += count as u64;
             }
             if verdict.matched {
                 self.result

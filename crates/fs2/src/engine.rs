@@ -36,13 +36,29 @@ impl ClauseVerdict {
     pub fn op_histogram(&self) -> [usize; 7] {
         let mut h = [0usize; 7];
         for op in &self.ops {
-            let idx = HwOp::ALL
-                .iter()
-                .position(|o| o == op)
-                .expect("ALL covers every op");
-            h[idx] += 1;
+            h[op.index()] += 1;
         }
         h
+    }
+}
+
+/// Outcome of matching one clause-head stream on the allocation-free path
+/// ([`Fs2Engine::match_clause_words`]): the verdict, the exact Table 1
+/// time, and an operation histogram instead of the per-operation vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamVerdict {
+    /// True if the clause survives the filter (a potential unifier).
+    pub matched: bool,
+    /// Total execution time (sum of Table 1 entries).
+    pub time: SimNanos,
+    /// Count of each operation performed, indexed per [`HwOp::ALL`].
+    pub op_histogram: [usize; 7],
+}
+
+impl StreamVerdict {
+    /// Total operations performed.
+    pub fn op_count(&self) -> usize {
+        self.op_histogram.iter().sum()
     }
 }
 
@@ -104,12 +120,18 @@ enum Resolved {
 /// assert!(!engine.match_clause_stream(&encode_clause_head(&miss)?).matched);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Fs2Engine {
     query: QueryMemory,
     q_cells: CellBank,
     db_cells: CellBank,
-    rom: MapRom,
+    /// Handle to the process-wide Map ROM ([`MapRom::shared`]): the table
+    /// is burned once, so engine construction and cloning never pay the
+    /// 64 K-entry derivation.
+    rom: std::sync::Arc<MapRom>,
+    /// Reusable op buffer for the allocation-free path; cleared per
+    /// clause, its capacity persists across the whole sweep.
+    scratch_ops: Vec<HwOp>,
 }
 
 impl Fs2Engine {
@@ -126,7 +148,8 @@ impl Fs2Engine {
             query,
             q_cells: CellBank::query_vars(n_vars),
             db_cells: CellBank::db_vars(0),
-            rom: MapRom::new(),
+            rom: MapRom::shared(),
+            scratch_ops: Vec::new(),
         })
     }
 
@@ -152,13 +175,45 @@ impl Fs2Engine {
         self.run_match(db_stream, false).0
     }
 
-    fn run_match(
-        &mut self,
-        db_stream: &PifStream,
-        traced: bool,
-    ) -> (ClauseVerdict, Vec<TraceStep>) {
-        let db_vars = db_stream
-            .words()
+    /// Allocation-free variant of [`Self::match_clause_stream`] for tight
+    /// sweep loops: matches a clause-head word slice (e.g. out of a
+    /// pre-decoded arena), reusing the engine's scratch op buffer, and
+    /// returns an op *histogram* plus time instead of the op vector. The
+    /// verdict and time are identical to the vector-returning path.
+    pub fn match_clause_words(&mut self, db_words: &[PifWord]) -> StreamVerdict {
+        self.reset_cells(db_words);
+        let mut scratch = std::mem::take(&mut self.scratch_ops);
+        scratch.clear();
+        let mut run = Run {
+            rom: &self.rom,
+            q_cells: &mut self.q_cells,
+            db_cells: &mut self.db_cells,
+            ops: &mut scratch,
+            op_histogram: [0; 7],
+            time: SimNanos::ZERO,
+            traced: false,
+            trace: Vec::new(),
+        };
+        let q = self.query.stream();
+        let matched = run.run(q, db_words);
+        let verdict = StreamVerdict {
+            matched,
+            time: run.time,
+            op_histogram: run.op_histogram,
+        };
+        self.scratch_ops = scratch;
+        verdict
+    }
+
+    /// [`Self::match_clause_words`] over a [`PifStream`].
+    pub fn match_clause_quiet(&mut self, db_stream: &PifStream) -> StreamVerdict {
+        self.match_clause_words(db_stream.words())
+    }
+
+    /// Per-clause reset: DB Memory sized to the clause's variables, both
+    /// banks "pointing to themselves".
+    fn reset_cells(&mut self, db_words: &[PifWord]) {
+        let db_vars = db_words
             .iter()
             .filter_map(|w| match w.type_tag() {
                 TypeTag::DbVar { .. } => Some(w.content() + 1),
@@ -168,28 +223,33 @@ impl Fs2Engine {
             .unwrap_or(0) as usize;
         self.db_cells.reset(db_vars);
         self.q_cells.reset(self.query.var_count());
+    }
 
+    fn run_match(
+        &mut self,
+        db_stream: &PifStream,
+        traced: bool,
+    ) -> (ClauseVerdict, Vec<TraceStep>) {
+        let d = db_stream.words();
+        self.reset_cells(d);
+
+        let mut ops = Vec::new();
         let mut run = Run {
             rom: &self.rom,
             q_cells: &mut self.q_cells,
             db_cells: &mut self.db_cells,
-            ops: Vec::new(),
+            ops: &mut ops,
+            op_histogram: [0; 7],
             time: SimNanos::ZERO,
             traced,
             trace: Vec::new(),
         };
         // Clone-free view of the two streams.
         let q = self.query.stream();
-        let d = db_stream.words();
         let matched = run.run(q, d);
-        (
-            ClauseVerdict {
-                matched,
-                ops: run.ops,
-                time: run.time,
-            },
-            run.trace,
-        )
+        let time = run.time;
+        let trace = run.trace;
+        (ClauseVerdict { matched, ops, time }, trace)
     }
 }
 
@@ -197,7 +257,8 @@ struct Run<'a> {
     rom: &'a MapRom,
     q_cells: &'a mut CellBank,
     db_cells: &'a mut CellBank,
-    ops: Vec<HwOp>,
+    ops: &'a mut Vec<HwOp>,
+    op_histogram: [usize; 7],
     time: SimNanos,
     traced: bool,
     trace: Vec<TraceStep>,
@@ -273,6 +334,7 @@ fn could_unify_raw(a: u32, b: u32) -> bool {
 impl Run<'_> {
     fn op(&mut self, op: HwOp) {
         self.time += op.execution_time();
+        self.op_histogram[op.index()] += 1;
         self.ops.push(op);
     }
 
@@ -713,6 +775,52 @@ mod tests {
     fn op_histogram_sums() {
         let v = verdict("f(X, X, a)", "f(A, A, a)");
         assert_eq!(v.op_histogram().iter().sum::<usize>(), v.ops.len());
+    }
+
+    #[test]
+    fn quiet_path_agrees_with_vector_path() {
+        let cases = [
+            ("f(a, 1)", "f(a, 1)"),
+            ("f(a)", "f(b)"),
+            ("married_couple(S, S)", "married_couple(sue, sue)"),
+            ("married_couple(S, S)", "married_couple(ann, bob)"),
+            ("f(X, a, b)", "f(A, a, A)"),
+            ("f(X, Y, X, Y)", "f(B, B, c, c)"),
+            ("p(g(a, X))", "p(g(a, b))"),
+            ("p([a, b])", "p([a | T])"),
+            ("halt", "halt"),
+        ];
+        let mut sy = SymbolTable::new();
+        for (qs, cs) in cases {
+            let q = parse_term(qs, &mut sy).unwrap();
+            let c = parse_term(cs, &mut sy).unwrap();
+            let stream = encode_clause_head(&c).unwrap();
+            let mut engine = Fs2Engine::new(&encode_query(&q).unwrap()).unwrap();
+            let full = engine.match_clause_stream(&stream);
+            let quiet = engine.match_clause_quiet(&stream);
+            assert_eq!(quiet.matched, full.matched, "{qs} vs {cs}");
+            assert_eq!(quiet.time, full.time, "{qs} vs {cs}");
+            assert_eq!(quiet.op_histogram, full.op_histogram(), "{qs} vs {cs}");
+            assert_eq!(quiet.op_count(), full.ops.len(), "{qs} vs {cs}");
+        }
+    }
+
+    #[test]
+    fn cloned_engine_matches_independently() {
+        let mut sy = SymbolTable::new();
+        let q = parse_term("f(X, X)", &mut sy).unwrap();
+        let yes = encode_clause_head(&parse_term("f(a, a)", &mut sy).unwrap()).unwrap();
+        let no = encode_clause_head(&parse_term("f(a, b)", &mut sy).unwrap()).unwrap();
+        let mut original = Fs2Engine::new(&encode_query(&q).unwrap()).unwrap();
+        // Clone mid-sweep: per-clause resets make the copy's state fresh.
+        original.match_clause_quiet(&yes);
+        let mut copy = original.clone();
+        assert!(copy.match_clause_quiet(&yes).matched);
+        assert!(!copy.match_clause_quiet(&no).matched);
+        assert_eq!(
+            original.match_clause_quiet(&yes),
+            copy.match_clause_quiet(&yes)
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod buffer;
 pub mod components;
+pub mod config;
 pub mod control;
 pub mod device;
 pub mod engine;
@@ -45,9 +46,10 @@ pub mod result;
 pub mod rtl;
 pub mod trace;
 
+pub use config::{Fs2Config, DEFAULT_SHARD_TRACKS};
 pub use control::{ControlRegister, FilterSelect, OperationalMode};
 pub use device::{Fs2Device, SearchStats};
-pub use engine::{ClauseVerdict, Fs2Engine, TraceStep};
+pub use engine::{ClauseVerdict, Fs2Engine, StreamVerdict, TraceStep};
 pub use micro::{Microprogram, Wcs};
 pub use ops::{HwOp, RouteTrace};
 pub use result::ResultMemory;

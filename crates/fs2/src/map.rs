@@ -14,6 +14,7 @@
 use clare_pif::tags::TagCategory;
 use clare_pif::TypeTag;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A microroutine entry point in the Writable Control Store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,11 +52,25 @@ impl fmt::Display for Routine {
 }
 
 /// The 64 K-entry jump table.
+///
+/// Engines normally hold the process-wide [`MapRom::shared`] handle;
+/// cloning the ROM itself copies the 64 KB table directly (still far
+/// cheaper than re-deriving the category rules).
+#[derive(Clone)]
 pub struct MapRom {
     table: Box<[Routine; 65536]>,
 }
 
 impl MapRom {
+    /// The process-wide shared ROM. The table's contents depend only on
+    /// the fixed §3.1 category rules — like the real mask-programmed part
+    /// it is burned once; every engine holds a handle to the same copy,
+    /// so constructing an engine never re-derives the 64 K entries.
+    pub fn shared() -> Arc<MapRom> {
+        static ROM: OnceLock<Arc<MapRom>> = OnceLock::new();
+        Arc::clone(ROM.get_or_init(|| Arc::new(MapRom::new())))
+    }
+
     /// Builds the ROM from the tag categories.
     pub fn new() -> Self {
         let mut table = vec![Routine::Invalid; 65536];

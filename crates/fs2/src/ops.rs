@@ -85,6 +85,20 @@ impl HwOp {
         HwOp::QueryCrossBoundFetch,
     ];
 
+    /// This operation's position in [`Self::ALL`] (Table 1 order) — the
+    /// slot it occupies in op histograms.
+    pub fn index(self) -> usize {
+        match self {
+            HwOp::Match => 0,
+            HwOp::DbStore => 1,
+            HwOp::QueryStore => 2,
+            HwOp::DbFetch => 3,
+            HwOp::QueryFetch => 4,
+            HwOp::DbCrossBoundFetch => 5,
+            HwOp::QueryCrossBoundFetch => 6,
+        }
+    }
+
     /// The operation's name as printed in Table 1.
     pub fn name(self) -> &'static str {
         match self {
@@ -381,6 +395,13 @@ mod tests {
         assert_eq!(HwOp::QueryStore.terminal(), Terminal::WriteQueryMemory);
         assert_eq!(HwOp::Match.terminal(), Terminal::Compare);
         assert_eq!(HwOp::QueryCrossBoundFetch.terminal(), Terminal::Compare);
+    }
+
+    #[test]
+    fn index_agrees_with_all_order() {
+        for (i, op) in HwOp::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i, "{}", op.name());
+        }
     }
 
     #[test]

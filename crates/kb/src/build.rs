@@ -2,6 +2,7 @@
 //! programmatically, then compile every predicate to its clause file and
 //! secondary index.
 
+use crate::arena::ClauseArena;
 use crate::predicate::{KnowledgeBase, Module, ModuleKind, Predicate};
 use clare_disk::{DiskProfile, FileBuilder};
 use clare_pif::ClauseRecord;
@@ -206,11 +207,13 @@ fn compile_predicate(
     let mut file_builder = FileBuilder::new(config.disk.track_bytes());
     let mut index = IndexFile::with_capacity(config.scw, clauses.len());
     let mut addrs = Vec::with_capacity(clauses.len());
+    let mut arena = ClauseArena::default();
+    let mut id_by_addr = HashMap::with_capacity(clauses.len());
     // Track layout mirrors FileBuilder's first-fit so addresses line up.
     let mut track = 0u32;
     let mut slot = 0u16;
     let mut used = 0usize;
-    for clause in &clauses {
+    for (i, clause) in clauses.iter().enumerate() {
         let record = ClauseRecord::compile(clause)?;
         let bytes = record.to_bytes();
         if used + bytes.len() > config.disk.track_bytes() && used > 0 {
@@ -222,6 +225,10 @@ fn compile_predicate(
         let addr = ClauseAddr::new(track, slot);
         index.insert(clause.head(), addr);
         addrs.push(addr);
+        // The head stream is already decoded here — capture it so
+        // retrievals never re-parse record bytes.
+        arena.push_clause(track as usize, record.head_stream().words());
+        id_by_addr.insert(addr, i);
         used += bytes.len();
         slot += 1;
     }
@@ -232,6 +239,8 @@ fn compile_predicate(
         file: file_builder.finish(format!("pred_{}_{arity}.pdb", functor.offset())),
         index,
         addrs,
+        arena,
+        id_by_addr,
     })
 }
 

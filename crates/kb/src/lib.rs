@@ -40,11 +40,13 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod build;
 pub mod io;
 pub mod predicate;
 pub mod stats;
 
+pub use arena::ClauseArena;
 pub use build::{KbBuilder, KbConfig, KbError};
 pub use io::{load_from_path, save_to_path, KbIoError};
 pub use predicate::{KnowledgeBase, Module, ModuleKind, Predicate};

@@ -1,12 +1,16 @@
 //! Predicates, modules, and the knowledge base proper.
 
+use crate::arena::ClauseArena;
 use clare_disk::{DiskProfile, SimNanos, StoredFile};
 use clare_scw::{ClauseAddr, IndexFile};
 use clare_term::{Clause, ClauseId, Symbol, SymbolTable};
 use std::collections::HashMap;
 
 /// A compiled predicate: the clause list (user order), its compiled clause
-/// file, its secondary index file, and the address of every clause record.
+/// file, its secondary index file, the address of every clause record,
+/// plus two retrieval accelerators built at compile/load time — the
+/// pre-decoded head-stream [`ClauseArena`] and the address → clause-id
+/// map.
 #[derive(Debug, Clone)]
 pub struct Predicate {
     pub(crate) functor: Symbol,
@@ -15,6 +19,8 @@ pub struct Predicate {
     pub(crate) file: StoredFile,
     pub(crate) index: IndexFile,
     pub(crate) addrs: Vec<ClauseAddr>,
+    pub(crate) arena: ClauseArena,
+    pub(crate) id_by_addr: HashMap<ClauseAddr, usize>,
 }
 
 impl Predicate {
@@ -43,18 +49,31 @@ impl Predicate {
         &self.addrs
     }
 
+    /// The pre-decoded clause-head stream arena (built once at
+    /// compile/load time; see [`ClauseArena`]).
+    pub fn arena(&self) -> &ClauseArena {
+        &self.arena
+    }
+
+    /// Clause position (program order) of the record at `addr`, in O(1)
+    /// via the precomputed address map; `None` if the address was not
+    /// produced for this predicate.
+    pub fn clause_id_at(&self, addr: ClauseAddr) -> Option<ClauseId> {
+        self.id_by_addr
+            .get(&addr)
+            .map(|&pos| ClauseId::new(pos as u32))
+    }
+
     /// The clause stored at `addr`.
     ///
     /// # Panics
     ///
     /// Panics if `addr` was not produced for this predicate.
     pub fn clause_at(&self, addr: ClauseAddr) -> (&Clause, ClauseId) {
-        let pos = self
-            .addrs
-            .iter()
-            .position(|a| *a == addr)
+        let id = self
+            .clause_id_at(addr)
             .expect("address belongs to this predicate");
-        (&self.clauses[pos], ClauseId::new(pos as u32))
+        (&self.clauses[id.index() as usize], id)
     }
 
     /// The raw clause record bytes at `addr`.

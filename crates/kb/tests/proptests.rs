@@ -46,6 +46,35 @@ proptest! {
         }
     }
 
+    /// The pre-decoded arena agrees word for word with the persistence
+    /// path: every clause's arena stream equals the head stream re-decoded
+    /// from its on-disk record, and the arena's track ranges mirror the
+    /// record addresses.
+    #[test]
+    fn arena_matches_redecoded_records(source in program_source()) {
+        let mut b = KbBuilder::new();
+        b.consult("m", &source).unwrap();
+        let kb = b.finish(KbConfig::default());
+        for module in kb.modules() {
+            for pred in module.predicates() {
+                let arena = pred.arena();
+                prop_assert_eq!(arena.len(), pred.clauses().len());
+                for (i, addr) in pred.addrs().iter().enumerate() {
+                    let (record, _) =
+                        clare_pif::ClauseRecord::from_bytes(pred.record_at(*addr)).unwrap();
+                    prop_assert_eq!(
+                        arena.stream(i),
+                        record.head_stream().words(),
+                        "clause {} at {}", i, addr
+                    );
+                    let range = arena.track_clauses(addr.track() as usize);
+                    prop_assert_eq!(range.start + addr.slot() as usize, i);
+                    prop_assert_eq!(pred.clause_id_at(*addr).unwrap().index() as usize, i);
+                }
+            }
+        }
+    }
+
     /// Save/load is the identity on clauses, addresses, and statistics.
     #[test]
     fn persistence_roundtrip(source in program_source()) {
@@ -61,6 +90,7 @@ proptest! {
             for (p, lp) in m.predicates().iter().zip(lm.predicates()) {
                 prop_assert_eq!(p.clauses(), lp.clauses());
                 prop_assert_eq!(p.addrs(), lp.addrs());
+                prop_assert_eq!(p.arena(), lp.arena());
             }
         }
     }

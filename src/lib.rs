@@ -53,11 +53,11 @@ pub use clare_workload as workload;
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use clare_core::{
-        choose_mode, retrieve, solve, solve_goals, ClauseRetrievalServer, CrsOptions, SearchMode,
-        SolveOptions,
+        choose_mode, retrieve, retrieve_batch, solve, solve_goals, ClauseRetrievalServer,
+        CrsOptions, SearchMode, SolveOptions,
     };
     pub use clare_disk::{ByteRate, DiskProfile, SimNanos};
-    pub use clare_fs2::{Fs2Device, Fs2Engine, HwOp};
+    pub use clare_fs2::{Fs2Config, Fs2Device, Fs2Engine, HwOp};
     pub use clare_kb::{KbBuilder, KbConfig, KbStats, KnowledgeBase};
     pub use clare_pif::{encode_clause_head, encode_query, ClauseRecord};
     pub use clare_scw::{IndexFile, ScwConfig};

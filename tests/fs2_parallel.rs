@@ -1,0 +1,120 @@
+//! Cross-crate properties of the parallel FS2 track pipeline.
+//!
+//! The sharded sweep is an implementation detail of the host simulator:
+//! at every worker count it must return the same satisfiers, the same
+//! statistics, and the same modelled times as the serial reference —
+//! parallelism may only change host wall-clock. These tests pin that
+//! down over random knowledge bases and queries, for both the
+//! pre-decoded arena path and single-query and batched retrieval.
+
+use clare::prelude::*;
+use clare_workload::{RandomTermSpec, RandomTerms};
+use proptest::prelude::*;
+
+/// A random fact-only knowledge base plus queries drawn from its heads
+/// (so some queries have answers) and one fresh head (so some may not).
+fn random_kb(seed: u64, facts: usize) -> (KnowledgeBase, Vec<Term>) {
+    let mut builder = KbBuilder::new();
+    let mut gen_symbols = SymbolTable::new();
+    let mut gen = RandomTerms::new(RandomTermSpec::default(), &mut gen_symbols, seed);
+    let mut heads = Vec::new();
+    for _ in 0..facts {
+        let head = gen.head();
+        let rendered = format!("{}.", TermDisplay::new(&head, &gen_symbols));
+        builder.consult("m", &rendered).unwrap();
+        heads.push(rendered);
+    }
+    let mut sources: Vec<String> = heads
+        .iter()
+        .step_by(29)
+        .map(|src| src.trim_end_matches('.').to_owned())
+        .collect();
+    let fresh = gen.head();
+    sources.push(TermDisplay::new(&fresh, &gen_symbols).to_string());
+    let queries = sources
+        .iter()
+        .map(|src| parse_term(src, builder.symbols_mut()).unwrap())
+        .collect();
+    (builder.finish(KbConfig::default()), queries)
+}
+
+fn with_workers(workers: usize) -> CrsOptions {
+    CrsOptions {
+        fs2_parallelism: Some(workers),
+        ..CrsOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// At workers ∈ {1, 2, 4, 7} a retrieval is *identical* to the serial
+    /// reference: same candidates, same stats, and therefore the same
+    /// modelled `fs2_time`, `disk_time`, and `elapsed`.
+    #[test]
+    fn parallel_sweep_equals_serial_reference(seed in any::<u64>()) {
+        let (kb, queries) = random_kb(seed, 120);
+        let serial = with_workers(1);
+        for q in &queries {
+            for mode in [SearchMode::Fs2Only, SearchMode::TwoStage] {
+                let reference = retrieve(&kb, q, mode, &serial);
+                for workers in [2usize, 4, 7] {
+                    let got = retrieve(&kb, q, mode, &with_workers(workers));
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "workers = {}, mode = {}", workers, mode
+                    );
+                }
+            }
+        }
+    }
+
+    /// Batched retrieval through the shared worker pool returns exactly
+    /// the per-query results, in input order.
+    #[test]
+    fn batched_sweep_equals_individual_retrievals(seed in any::<u64>()) {
+        let (kb, queries) = random_kb(seed, 100);
+        for workers in [1usize, 4] {
+            let opts = with_workers(workers);
+            for mode in [SearchMode::Fs2Only, SearchMode::TwoStage] {
+                let batch = retrieve_batch(&kb, &queries, mode, &opts);
+                prop_assert_eq!(batch.len(), queries.len());
+                for (q, got) in queries.iter().zip(&batch) {
+                    let alone = retrieve(&kb, q, mode, &opts);
+                    prop_assert_eq!(got, &alone, "workers = {}, mode = {}", workers, mode);
+                }
+            }
+        }
+    }
+
+    /// No false negatives at any worker count: every clause that fully
+    /// unifies with the query is among the parallel sweep's candidates.
+    #[test]
+    fn parallel_sweep_has_no_false_negatives(seed in any::<u64>()) {
+        let (kb, queries) = random_kb(seed, 80);
+        for q in &queries {
+            let Some((f, a)) = q.functor_arity() else { continue };
+            let Some(pred) = kb.predicate(f, a) else { continue };
+            let answers: Vec<u32> = pred
+                .clauses()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| unify_query_clause(q, c.head()).is_some())
+                .map(|(i, _)| i as u32)
+                .collect();
+            for workers in [1usize, 2, 4, 7] {
+                for mode in [SearchMode::Fs2Only, SearchMode::TwoStage] {
+                    let r = retrieve(&kb, q, mode, &with_workers(workers));
+                    let candidates: std::collections::BTreeSet<u32> =
+                        r.candidates.iter().map(|id| id.index()).collect();
+                    for id in &answers {
+                        prop_assert!(
+                            candidates.contains(id),
+                            "clause {} lost at workers = {}, mode = {}", id, workers, mode
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
