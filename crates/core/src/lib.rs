@@ -51,5 +51,7 @@ pub use cost::SoftwareCostModel;
 pub use crs::{
     choose_mode, retrieve, retrieve_batch, CrsOptions, Retrieval, RetrievalStats, SearchMode,
 };
-pub use resolve::{solve, solve_goals, Solution, SolveOptions, SolveOutcome};
-pub use server::ClauseRetrievalServer;
+pub use resolve::{
+    solve, solve_goals, ModeChoice, Solution, SolveOptions, SolveOutcome, SolveStats,
+};
+pub use server::{ClauseRetrievalServer, ServerStats, UpdateTransaction};

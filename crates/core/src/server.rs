@@ -19,12 +19,19 @@ use std::sync::Arc;
 /// Aggregate service statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Retrievals served.
+    /// Retrievals served (batch members count individually).
     pub retrievals: u64,
+    /// Batch retrieval calls served (each also bumps `retrievals` by the
+    /// batch size).
+    pub batches: u64,
     /// Solve calls served.
     pub solves: u64,
     /// Knowledge-base updates committed.
     pub updates: u64,
+    /// Requests refused by admission control (e.g. a network front-end
+    /// shedding load when its queue is full); see
+    /// [`ClauseRetrievalServer::note_rejected`].
+    pub rejected: u64,
     /// Total modelled retrieval time across clients.
     pub total_elapsed: SimNanos,
 }
@@ -71,6 +78,13 @@ impl ClauseRetrievalServer {
         self.kb.read().clone()
     }
 
+    /// The CRS configuration this server retrieves with. Front-ends (e.g.
+    /// the network daemon) use this to build solve options that match the
+    /// server's own retrieval path.
+    pub fn options(&self) -> &CrsOptions {
+        &self.options
+    }
+
     /// Serves one retrieval.
     pub fn retrieve(&self, query: &Term, mode: SearchMode) -> Retrieval {
         let kb = self.snapshot();
@@ -92,6 +106,7 @@ impl ClauseRetrievalServer {
         let kb = self.snapshot();
         let outcomes = crate::crs::retrieve_batch(&kb, queries, mode, &self.options);
         let mut stats = self.stats.lock();
+        stats.batches += 1;
         stats.retrievals += outcomes.len() as u64;
         for outcome in &outcomes {
             stats.total_elapsed += outcome.stats.elapsed;
@@ -143,6 +158,14 @@ impl ClauseRetrievalServer {
             server: self,
             builder: self.snapshot().to_builder(),
         }
+    }
+
+    /// Records one admission-control refusal. Front-ends (such as the
+    /// `clare-net` daemon) call this when they shed a request *before* it
+    /// reaches the retrieval pipeline, so refusals stay observable in one
+    /// place alongside the work that was served.
+    pub fn note_rejected(&self) {
+        self.stats.lock().rejected += 1;
     }
 
     /// Service statistics so far.
@@ -233,6 +256,21 @@ mod tests {
         });
         assert_eq!(server.stats().retrievals, 8 * 2 * 4);
         assert!(server.stats().total_elapsed.as_ns() > 0);
+    }
+
+    #[test]
+    fn batch_and_rejection_counters() {
+        let (server, queries) = server_with("p(a). p(b).", &["p(a)", "p(X)"]);
+        assert_eq!(server.stats(), ServerStats::default());
+        server.retrieve_batch(&queries, SearchMode::TwoStage);
+        server.retrieve(&queries[0], SearchMode::TwoStage);
+        server.note_rejected();
+        server.note_rejected();
+        let stats = server.stats();
+        assert_eq!(stats.batches, 1, "one batch call");
+        assert_eq!(stats.retrievals, 3, "batch members count individually");
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.solves, 0);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Concurrency tests for [`ClauseRetrievalServer`]: snapshot isolation of
+//! in-flight retrievals against `update()` swaps, and the documented
+//! last-writer-wins semantics of overlapping [`UpdateTransaction`]s.
+//!
+//! `crates/core/src/server.rs` documents that "in-flight clients finish
+//! against their snapshot; new calls see the update", but until now only
+//! exercised it single-threaded. These tests hammer the server from many
+//! threads while the knowledge base is swapped underneath them — exactly
+//! what the `clare-net` daemon does when one connection consults new
+//! clauses while others stream retrievals.
+
+use clare_core::{ClauseRetrievalServer, CrsOptions, SearchMode};
+use clare_kb::{KbBuilder, KbConfig, KnowledgeBase};
+use clare_term::parser::parse_term;
+use clare_term::{SymbolTable, Term};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Builds a KB holding `n` `item/2` facts in the given symbol lineage.
+fn item_kb(symbols: Option<SymbolTable>, n: usize) -> (KnowledgeBase, SymbolTable) {
+    let mut b = KbBuilder::new();
+    if let Some(sy) = symbols {
+        *b.symbols_mut() = sy;
+    }
+    let facts: String = (0..n)
+        .map(|i| format!("item(k{}, v{}).", i % 50, i % 7))
+        .collect::<Vec<_>>()
+        .join("\n");
+    b.consult("m", &facts).unwrap();
+    let sy = b.symbols_mut().clone();
+    (b.finish(KbConfig::default()), sy)
+}
+
+/// Retrievals and batches racing `update()` swaps only ever observe one of
+/// the two published knowledge bases — never a torn mix, never a panic —
+/// and a whole batch sees a single snapshot.
+#[test]
+fn updates_race_inflight_retrievals_and_batches() {
+    // Two KBs in one symbol lineage with distinguishable answer counts.
+    let (kb_small, symbols) = item_kb(None, 200); // k13 appears 4 times
+    let (kb_large, symbols) = item_kb(Some(symbols), 400); // k13 appears 8 times
+    let mut symbols = symbols;
+    let single = parse_term("item(k13, X)", &mut symbols).unwrap();
+    let batch: Vec<Term> = ["item(k13, X)", "item(k21, Y)", "item(k13, v0)"]
+        .iter()
+        .map(|q| parse_term(q, &mut symbols).unwrap())
+        .collect();
+
+    let expect = |kb: &KnowledgeBase, q: &Term| {
+        clare_core::retrieve(kb, q, SearchMode::TwoStage, &CrsOptions::default())
+            .stats
+            .unified
+    };
+    let small_single = expect(&kb_small, &single);
+    let large_single = expect(&kb_large, &single);
+    assert_ne!(small_single, large_single, "the two KBs must be tellable");
+    let small_batch: Vec<usize> = batch.iter().map(|q| expect(&kb_small, q)).collect();
+    let large_batch: Vec<usize> = batch.iter().map(|q| expect(&kb_large, q)).collect();
+
+    let server = ClauseRetrievalServer::new(kb_small, CrsOptions::default());
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Writer: swap between the two KBs as fast as possible.
+        scope.spawn(|| {
+            let mut flip = false;
+            while !stop.load(Ordering::Relaxed) {
+                let (kb, sy) = if flip {
+                    item_kb(Some(symbols.clone()), 200)
+                } else {
+                    item_kb(Some(symbols.clone()), 400)
+                };
+                let _ = sy;
+                server.update(kb);
+                flip = !flip;
+            }
+        });
+        // Readers: single retrieves across every mode.
+        for _ in 0..3 {
+            scope.spawn(|| {
+                for i in 0..60 {
+                    let mode = SearchMode::ALL[i % 4];
+                    let unified = server.retrieve(&single, mode).stats.unified;
+                    assert!(
+                        unified == small_single || unified == large_single,
+                        "retrieval saw a torn knowledge base: {unified}"
+                    );
+                }
+            });
+        }
+        // Readers: batches, which must be internally consistent (one
+        // snapshot for all members).
+        for _ in 0..3 {
+            scope.spawn(|| {
+                for i in 0..40 {
+                    let mode = if i % 2 == 0 {
+                        SearchMode::TwoStage
+                    } else {
+                        SearchMode::Fs2Only
+                    };
+                    let got: Vec<usize> = server
+                        .retrieve_batch(&batch, mode)
+                        .iter()
+                        .map(|r| r.stats.unified)
+                        .collect();
+                    assert!(
+                        got == small_batch || got == large_batch,
+                        "batch mixed snapshots: {got:?} (expected {small_batch:?} or {large_batch:?})"
+                    );
+                }
+            });
+        }
+        // Let the readers finish before stopping the writer so swaps keep
+        // happening underneath them for the whole test.
+        scope.spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.retrievals, (3 * 60 + 3 * 40 * 3) as u64);
+    assert_eq!(stats.batches, (3 * 40) as u64);
+    assert!(stats.updates > 0, "the writer committed at least one swap");
+}
+
+/// Overlapping `UpdateTransaction`s are optimistic last-writer-wins: the
+/// second commit recompiles from *its* base snapshot, so the first commit's
+/// clauses vanish. This pins the documented (if blunt) semantics.
+#[test]
+fn update_transactions_are_last_writer_wins() {
+    let mut b = KbBuilder::new();
+    b.consult("m", "p(a).").unwrap();
+    let mut symbols = b.symbols_mut().clone();
+    let server = ClauseRetrievalServer::new(b.finish(KbConfig::default()), CrsOptions::default());
+
+    let mut tx1 = server.begin_update();
+    let mut tx2 = server.begin_update(); // same base snapshot as tx1
+    tx1.consult("m", "p(b).").unwrap();
+    tx2.consult("m", "q(c).").unwrap();
+    tx1.commit(KbConfig::default()).unwrap();
+
+    // tx1's world is visible between the commits…
+    let p_query = parse_term("p(X)", &mut symbols).unwrap();
+    assert_eq!(
+        server
+            .retrieve(&p_query, SearchMode::SoftwareOnly)
+            .stats
+            .unified,
+        2,
+        "tx1 appended p(b)"
+    );
+
+    tx2.commit(KbConfig::default()).unwrap();
+
+    // …but tx2, built from the pre-tx1 snapshot, overwrites it wholesale.
+    assert_eq!(
+        server
+            .retrieve(&p_query, SearchMode::SoftwareOnly)
+            .stats
+            .unified,
+        1,
+        "last writer wins: tx1's p(b) is gone"
+    );
+    assert!(server.snapshot().lookup("q", 1).is_some(), "tx2's q/1 won");
+    assert_eq!(server.stats().updates, 2, "both commits published");
+}

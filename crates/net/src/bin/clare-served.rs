@@ -1,0 +1,199 @@
+//! `clare-served`: the Clause Retrieval Server daemon.
+//!
+//! Loads a knowledge base (a Prolog source file, a generated Warren-style
+//! workload, or a small built-in demo), binds a TCP listener, and serves
+//! the PIF-over-TCP protocol until stdin closes (or forever with
+//! `--no-stdin`).
+//!
+//! ```text
+//! clare-served [OPTIONS] [program.pl]
+//!
+//!   --addr HOST:PORT   listen address        (default 127.0.0.1:7879)
+//!   --workers N        worker threads        (default 4)
+//!   --max-conns N      connection limit      (default 64)
+//!   --queue-depth N    request queue bound   (default 256)
+//!   --module NAME      module to consult into (default "user")
+//!   --warren SCALE     generate a Warren-style KB at this scale
+//!                      instead of reading a program file
+//!   --no-coalesce      disable pipelined-retrieve batching
+//!   --no-stdin         serve forever instead of exiting on stdin EOF
+//! ```
+//!
+//! The daemon prints `listening on ADDR` (with the actual port when 0 was
+//! requested) once ready — harnesses spawn it, parse that line, connect,
+//! and close its stdin for a graceful drain-and-exit.
+
+use clare_core::{ClauseRetrievalServer, CrsOptions};
+use clare_kb::{KbBuilder, KbConfig};
+use clare_net::{NetConfig, NetServer, PROTOCOL_VERSION};
+use clare_workload::WarrenSpec;
+use std::io::BufRead;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    max_conns: usize,
+    queue_depth: usize,
+    module: String,
+    warren: Option<f64>,
+    program: Option<String>,
+    coalesce: bool,
+    wait_stdin: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7879".to_owned(),
+        workers: 4,
+        max_conns: 64,
+        queue_depth: 256,
+        module: "user".to_owned(),
+        warren: None,
+        program: None,
+        coalesce: true,
+        wait_stdin: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?
+            }
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-conns: {e}"))?
+            }
+            "--queue-depth" => {
+                args.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-depth: {e}"))?
+            }
+            "--module" => args.module = value("--module")?,
+            "--warren" => {
+                args.warren = Some(
+                    value("--warren")?
+                        .parse()
+                        .map_err(|e| format!("bad --warren: {e}"))?,
+                )
+            }
+            "--no-coalesce" => args.coalesce = false,
+            "--no-stdin" => args.wait_stdin = false,
+            "--help" | "-h" => {
+                return Err("usage: clare-served [OPTIONS] [program.pl] \
+                            (see crate docs for options)"
+                    .to_owned())
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => args.program = Some(other.to_owned()),
+        }
+    }
+    if args.warren.is_some() && args.program.is_some() {
+        return Err("--warren and a program file are mutually exclusive".to_owned());
+    }
+    Ok(args)
+}
+
+fn build_kb(args: &Args) -> Result<clare_kb::KnowledgeBase, String> {
+    let mut builder = KbBuilder::new();
+    if let Some(scale) = args.warren {
+        let spec = WarrenSpec::scaled(scale);
+        eprintln!(
+            "clare-served: generating Warren-style KB at scale {scale} \
+             ({} predicates, {} rules, {} facts)",
+            spec.predicates, spec.rules, spec.facts
+        );
+        spec.generate(&mut builder, &args.module);
+    } else if let Some(path) = &args.program {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        builder
+            .consult(&args.module, &source)
+            .map_err(|e| format!("cannot consult {path}: {e}"))?;
+    } else {
+        builder
+            .consult(
+                &args.module,
+                "parent(tom, bob). parent(tom, liz).
+                 parent(bob, ann). parent(bob, pat).
+                 grandparent(X, Z) :- parent(X, Y), parent(Y, Z).",
+            )
+            .expect("built-in demo program parses");
+        eprintln!("clare-served: no program given, serving the built-in family demo");
+    }
+    Ok(builder.finish(KbConfig::default()))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("clare-served: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let kb = match build_kb(&args) {
+        Ok(kb) => kb,
+        Err(msg) => {
+            eprintln!("clare-served: {msg}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "clare-served: knowledge base ready ({} atoms in the symbol table)",
+        kb.symbols().atom_count()
+    );
+
+    let crs = Arc::new(ClauseRetrievalServer::new(kb, CrsOptions::default()));
+    let cfg = NetConfig {
+        workers: args.workers,
+        max_connections: args.max_conns,
+        queue_depth: args.queue_depth,
+        coalesce: args.coalesce,
+        ..NetConfig::default()
+    };
+    let server = match NetServer::bind(crs, &args.addr, cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("clare-served: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+
+    // The harness contract: this exact line (on stdout) signals readiness
+    // and carries the resolved port.
+    println!("listening on {}", server.local_addr());
+    eprintln!(
+        "clare-served: protocol v{PROTOCOL_VERSION}, {} workers, {} connections max",
+        args.workers, args.max_conns
+    );
+
+    if args.wait_stdin {
+        // Serve until stdin closes, then drain and exit — the natural
+        // lifecycle under a spawning test harness or a shell pipe.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            if line.is_err() {
+                break;
+            }
+        }
+        eprintln!("clare-served: stdin closed, draining…");
+        let stats = server.crs().stats();
+        server.shutdown();
+        eprintln!(
+            "clare-served: served {} retrievals ({} batches), {} solves, \
+             {} updates, {} rejected",
+            stats.retrievals, stats.batches, stats.solves, stats.updates, stats.rejected
+        );
+    } else {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! A blocking client for the `clare-net` protocol.
+//!
+//! [`NetClient`] mirrors the in-process
+//! [`ClauseRetrievalServer`](clare_core::ClauseRetrievalServer) API call
+//! for call — `retrieve`, `retrieve_batch`, `solve_goals`, `consult`,
+//! `stats` — plus networking extras: pipelining
+//! ([`retrieve_pipelined`](NetClient::retrieve_pipelined)), explicit
+//! reconnection, and deadline propagation. Answers are bit-identical to
+//! direct calls on the server's CRS: the wire carries the same PIF term
+//! bytes and the full [`Retrieval`] (satisfier ids, verdict counts, and
+//! modelled `SimNanos` times) without loss.
+//!
+//! Query terms must be parsed against the *server's* symbol namespace;
+//! fetch it once with [`NetClient::symbols`] and intern queries into the
+//! returned table (exactly like the in-process idiom of cloning
+//! `kb.symbols()` before parsing a query).
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use clare_core::{Retrieval, SearchMode, ServerStats, SolveOptions, SolveOutcome};
+use clare_term::{SymbolTable, Term};
+
+use crate::error::NetError;
+use crate::protocol::{
+    decode_error, decode_retrieval, decode_retrievals, decode_server_hello, decode_server_stats,
+    decode_solve_outcome, decode_symbols, encode_client_hello, encode_consult, encode_retrieve,
+    encode_retrieve_batch, encode_solve, opcode, ConsultReq, Frame, FrameReader, HelloStatus,
+    RetrieveBatchReq, RetrieveReq, SolveReq, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN,
+};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout per candidate address.
+    pub connect_timeout: Duration,
+    /// Socket read timeout while waiting for a reply.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Frame length cap enforced on replies.
+    pub max_frame_len: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame_len: MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// A blocking connection to a [`NetServer`](crate::NetServer).
+pub struct NetClient {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Replies that arrived for a later caller while an earlier id was
+    /// awaited (out-of-order completion under pipelining).
+    stash: Vec<Frame>,
+    next_id: u64,
+    server_version: u16,
+    /// Deadline attached to subsequent requests; `None` = unlimited.
+    deadline: Option<Duration>,
+}
+
+impl NetClient {
+    /// Connects and performs the protocol handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Busy`] when the server is at its connection limit (the
+    /// error carries the server's retry hint),
+    /// [`NetError::VersionMismatch`] when it speaks another protocol
+    /// version, and I/O or protocol errors otherwise.
+    pub fn connect(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self, NetError> {
+        let mut last_err: Option<NetError> = None;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(NetError::Protocol("address resolved to nothing".into()));
+        }
+        for candidate in addrs {
+            match Self::connect_one(candidate, &cfg) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one candidate was tried"))
+    }
+
+    fn connect_one(addr: SocketAddr, cfg: &ClientConfig) -> Result<Self, NetError> {
+        let mut stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        stream.set_write_timeout(Some(cfg.write_timeout))?;
+        stream.set_nodelay(true).ok();
+
+        stream.write_all(&encode_client_hello(PROTOCOL_VERSION))?;
+        let mut hello_raw = [0u8; SERVER_HELLO_LEN];
+        read_exactly(&mut stream, &mut hello_raw)?;
+        let hello = decode_server_hello(&hello_raw)?;
+        match hello.status {
+            HelloStatus::Ok => {}
+            HelloStatus::Busy => {
+                return Err(NetError::Busy {
+                    retry_after_ms: hello.retry_after_ms,
+                })
+            }
+            HelloStatus::VersionMismatch => {
+                return Err(NetError::VersionMismatch {
+                    server: hello.version,
+                })
+            }
+        }
+
+        Ok(NetClient {
+            addr,
+            cfg: cfg.clone(),
+            stream,
+            reader: FrameReader::new(cfg.max_frame_len),
+            stash: Vec::new(),
+            next_id: 1,
+            server_version: hello.version,
+            deadline: None,
+        })
+    }
+
+    /// Drops the current connection and dials the same address again.
+    /// Outstanding pipelined replies are discarded.
+    pub fn reconnect(&mut self) -> Result<(), NetError> {
+        let fresh = Self::connect_one(self.addr, &self.cfg)?;
+        let deadline = self.deadline;
+        *self = fresh;
+        self.deadline = deadline;
+        Ok(())
+    }
+
+    /// The protocol version the server reported in its hello.
+    pub fn server_version(&self) -> u16 {
+        self.server_version
+    }
+
+    /// The address this client dialed.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sets the deadline propagated with subsequent requests: a request
+    /// still queued on the server when its deadline elapses is answered
+    /// with a `DeadlineExpired` error instead of being executed. `None`
+    /// (the default) sends no deadline.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    fn deadline_micros(&self) -> u64 {
+        self.deadline
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one request frame and awaits its reply.
+    fn roundtrip(&mut self, op: u8, payload: Vec<u8>) -> Result<Frame, NetError> {
+        let id = self.fresh_id();
+        self.stream
+            .write_all(&Frame::new(id, op, payload).encoded())?;
+        self.await_reply(id, op)
+    }
+
+    /// Awaits the reply for `id`, stashing interleaved replies to other
+    /// ids (pipelining). Converts error frames into [`NetError::Remote`].
+    fn await_reply(&mut self, id: u64, op: u8) -> Result<Frame, NetError> {
+        loop {
+            if let Some(i) = self.stash.iter().position(|f| f.request_id == id) {
+                return check_reply(self.stash.swap_remove(i), op);
+            }
+            let frame = self.reader.read_frame(&mut self.stream)?;
+            if frame.request_id == id {
+                return check_reply(frame, op);
+            }
+            self.stash.push(frame);
+        }
+    }
+
+    /// Retrieves candidates for one query, exactly like
+    /// [`ClauseRetrievalServer::retrieve`](clare_core::ClauseRetrievalServer::retrieve).
+    pub fn retrieve(&mut self, query: &Term, mode: SearchMode) -> Result<Retrieval, NetError> {
+        let req = RetrieveReq {
+            mode,
+            deadline_micros: self.deadline_micros(),
+            query: query.clone(),
+        };
+        let reply = self.roundtrip(opcode::RETRIEVE, encode_retrieve(&req))?;
+        Ok(decode_retrieval(&reply.payload)?)
+    }
+
+    /// Sends every query before reading any reply (request pipelining):
+    /// one network round trip for the whole set, results in query order.
+    ///
+    /// On the server, pipelined same-predicate retrieves are coalesced
+    /// into one hardware batch pass; the replies are nonetheless
+    /// byte-identical to individual [`NetClient::retrieve`] calls.
+    pub fn retrieve_pipelined(
+        &mut self,
+        queries: &[Term],
+        mode: SearchMode,
+    ) -> Result<Vec<Retrieval>, NetError> {
+        let deadline_micros = self.deadline_micros();
+        let mut wire = Vec::new();
+        let ids: Vec<u64> = queries
+            .iter()
+            .map(|query| {
+                let id = self.fresh_id();
+                let req = RetrieveReq {
+                    mode,
+                    deadline_micros,
+                    query: query.clone(),
+                };
+                Frame::new(id, opcode::RETRIEVE, encode_retrieve(&req)).encode_into(&mut wire);
+                id
+            })
+            .collect();
+        self.stream.write_all(&wire)?;
+        ids.into_iter()
+            .map(|id| {
+                let reply = self.await_reply(id, opcode::RETRIEVE)?;
+                Ok(decode_retrieval(&reply.payload)?)
+            })
+            .collect()
+    }
+
+    /// Retrieves a batch against one knowledge-base snapshot, exactly like
+    /// [`ClauseRetrievalServer::retrieve_batch`](clare_core::ClauseRetrievalServer::retrieve_batch).
+    pub fn retrieve_batch(
+        &mut self,
+        queries: &[Term],
+        mode: SearchMode,
+    ) -> Result<Vec<Retrieval>, NetError> {
+        let req = RetrieveBatchReq {
+            mode,
+            deadline_micros: self.deadline_micros(),
+            queries: queries.to_vec(),
+        };
+        let reply = self.roundtrip(opcode::RETRIEVE_BATCH, encode_retrieve_batch(&req))?;
+        let retrievals = decode_retrievals(&reply.payload)?;
+        if retrievals.len() != queries.len() {
+            return Err(NetError::Protocol(format!(
+                "batch reply has {} members for {} queries",
+                retrievals.len(),
+                queries.len()
+            )));
+        }
+        Ok(retrievals)
+    }
+
+    /// Solves a conjunction of goals, like
+    /// [`ClauseRetrievalServer::solve_goals`](clare_core::ClauseRetrievalServer::solve_goals).
+    /// The server supplies its own CRS options; only the solver policy in
+    /// `options` (mode, limits) crosses the wire.
+    pub fn solve_goals(
+        &mut self,
+        goals: &[Term],
+        var_names: &[String],
+        options: &SolveOptions,
+    ) -> Result<SolveOutcome, NetError> {
+        let req = SolveReq {
+            goals: goals.to_vec(),
+            var_names: var_names.to_vec(),
+            mode: options.mode,
+            max_solutions: u64::try_from(options.max_solutions).unwrap_or(u64::MAX),
+            max_depth: u64::try_from(options.max_depth).unwrap_or(u64::MAX),
+            deadline_micros: self.deadline_micros(),
+        };
+        let reply = self.roundtrip(opcode::SOLVE, encode_solve(&req))?;
+        Ok(decode_solve_outcome(&reply.payload)?)
+    }
+
+    /// Solves a single goal. See [`NetClient::solve_goals`].
+    pub fn solve(
+        &mut self,
+        query: &Term,
+        var_names: &[String],
+        options: &SolveOptions,
+    ) -> Result<SolveOutcome, NetError> {
+        self.solve_goals(std::slice::from_ref(query), var_names, options)
+    }
+
+    /// Consults Prolog source into a module on the server, publishing the
+    /// updated knowledge base atomically for all clients.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] with
+    /// [`ErrorCode::ConsultRejected`](crate::protocol::ErrorCode::ConsultRejected)
+    /// when the source fails to parse or compile; the knowledge base is
+    /// then unchanged.
+    pub fn consult(&mut self, module: &str, source: &str) -> Result<(), NetError> {
+        let req = ConsultReq {
+            module: module.to_owned(),
+            source: source.to_owned(),
+        };
+        self.roundtrip(opcode::CONSULT, encode_consult(&req))?;
+        Ok(())
+    }
+
+    /// Fetches the server's service statistics.
+    pub fn stats(&mut self) -> Result<ServerStats, NetError> {
+        let reply = self.roundtrip(opcode::STATS, Vec::new())?;
+        Ok(decode_server_stats(&reply.payload)?)
+    }
+
+    /// Downloads the server's symbol table. Parse query terms against the
+    /// returned table (offsets are preserved exactly) so their PIF
+    /// encodings mean the same thing on the server.
+    pub fn symbols(&mut self) -> Result<SymbolTable, NetError> {
+        let reply = self.roundtrip(opcode::SYMBOLS, Vec::new())?;
+        Ok(decode_symbols(&reply.payload)?)
+    }
+
+    /// Liveness probe: one empty-payload round trip.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        self.roundtrip(opcode::PING, Vec::new())?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("addr", &self.addr)
+            .field("server_version", &self.server_version)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Validates a reply frame: the expected reply opcode passes through, an
+/// error frame becomes [`NetError::Remote`], anything else is a protocol
+/// violation.
+fn check_reply(frame: Frame, request_op: u8) -> Result<Frame, NetError> {
+    let expected = request_op | opcode::REPLY;
+    if frame.opcode == expected {
+        return Ok(frame);
+    }
+    if frame.opcode == opcode::ERROR {
+        let e = decode_error(&frame.payload)?;
+        return Err(NetError::Remote {
+            code: e.code,
+            retry_after_ms: e.retry_after_ms,
+            message: e.message,
+        });
+    }
+    Err(NetError::Protocol(format!(
+        "expected reply opcode {expected:#04x}, got {:#04x}",
+        frame.opcode
+    )))
+}
+
+/// `read_exact` that maps a clean peer close to a protocol error rather
+/// than a bare `UnexpectedEof` I/O error.
+fn read_exactly(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), NetError> {
+    use std::io::Read;
+    match stream.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(NetError::Protocol(
+            "server closed the connection during the handshake".into(),
+        )),
+        Err(e) => Err(NetError::Io(e)),
+    }
+}

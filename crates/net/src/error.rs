@@ -1,0 +1,113 @@
+//! Client-side error type for networked retrieval.
+
+use crate::protocol::{ErrorCode, FrameError, WireError};
+
+/// Everything that can go wrong talking to a `clare-net` server.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The framing layer gave up (length violation or peer close).
+    Frame(FrameError),
+    /// The peer violated the protocol (bad hello, undecodable payload,
+    /// reply for an unknown request id).
+    Protocol(String),
+    /// The server speaks a different protocol version.
+    VersionMismatch {
+        /// Version advertised by the server.
+        server: u16,
+    },
+    /// The server refused the connection at its connection limit.
+    Busy {
+        /// Suggested reconnect delay in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The server answered the request with an error frame.
+    Remote {
+        /// Error category.
+        code: ErrorCode,
+        /// Suggested retry delay in milliseconds (nonzero for
+        /// [`ErrorCode::Busy`]).
+        retry_after_ms: u32,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl NetError {
+    /// The retry-after hint, when the failure is load shedding
+    /// (connection-level or request-level busy).
+    pub fn retry_after_ms(&self) -> Option<u32> {
+        match self {
+            NetError::Busy { retry_after_ms } => Some(*retry_after_ms),
+            NetError::Remote {
+                code: ErrorCode::Busy,
+                retry_after_ms,
+                ..
+            } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
+
+    /// True when the failure indicates a dead or unusable connection (as
+    /// opposed to a per-request error on a healthy connection).
+    pub fn is_connection_fatal(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(_) | NetError::Frame(_) | NetError::Protocol(_)
+        )
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "network I/O error: {e}"),
+            NetError::Frame(e) => write!(f, "framing error: {e}"),
+            NetError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+            NetError::VersionMismatch { server } => {
+                write!(f, "server speaks protocol version {server}, not ours")
+            }
+            NetError::Busy { retry_after_ms } => {
+                write!(
+                    f,
+                    "server at connection limit; retry after {retry_after_ms} ms"
+                )
+            }
+            NetError::Remote {
+                code,
+                retry_after_ms,
+                message,
+            } => {
+                write!(f, "server error: {code}: {message}")?;
+                if *retry_after_ms > 0 {
+                    write!(f, " (retry after {retry_after_ms} ms)")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => NetError::Io(io),
+            other => NetError::Frame(other),
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Protocol(e.0)
+    }
+}

@@ -1,0 +1,255 @@
+//! Length-prefixed frames: the unit of exchange on a `clare-net` socket.
+//!
+//! Every message after the handshake — in both directions — is one frame:
+//!
+//! ```text
+//! +--------+-------------+--------+----------------------+
+//! | u32 len| u64 req id  | u8 op  | payload (len-9 bytes)|
+//! +--------+-------------+--------+----------------------+
+//! ```
+//!
+//! `len` counts everything after itself (id + opcode + payload), so a
+//! reader can always skip a frame it cannot interpret, and a writer can
+//! concatenate many frames into one `write` — which is what makes client
+//! pipelining (and the server's batch coalescing) possible. All integers
+//! are big-endian. `len` is bounded; a peer announcing an over-long frame
+//! is treated as hostile and the connection torn down after an error
+//! frame, because the stream can no longer be trusted to resynchronise.
+
+use std::io::Read;
+
+/// Hard cap on `len` accepted by [`FrameReader`] (16 MiB). Generous enough
+/// for a full symbol-table reply on a Warren-scale knowledge base, small
+/// enough that a hostile peer cannot make the server buffer unbounded data.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Bytes of the frame counted by `len` besides the payload (id + opcode).
+pub const FRAME_HEADER: u32 = 9;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    /// Id `0` is reserved for connection-level notices from the server.
+    pub request_id: u64,
+    /// Operation, one of [`super::opcode`]'s constants.
+    pub opcode: u8,
+    /// Operation-specific body.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(request_id: u64, opcode: u8, payload: Vec<u8>) -> Self {
+        Frame {
+            request_id,
+            opcode,
+            payload,
+        }
+    }
+
+    /// Appends the wire encoding of this frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(FRAME_HEADER + self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.request_id.to_be_bytes());
+        out.push(self.opcode);
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// The wire encoding of this frame.
+    pub fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + FRAME_HEADER as usize + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Errors surfaced while framing.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed (including read timeouts).
+    Io(std::io::Error),
+    /// A frame announced a length beyond the configured cap, or shorter
+    /// than its own header. The stream cannot be resynchronised.
+    BadLength {
+        /// The announced length.
+        len: u32,
+        /// The reader's cap.
+        max: u32,
+    },
+    /// The peer closed the connection cleanly.
+    Closed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+            FrameError::BadLength { len, max } => {
+                write!(f, "frame length {len} outside [{FRAME_HEADER}, {max}]")
+            }
+            FrameError::Closed => f.write_str("connection closed by peer"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// An incremental frame parser over a byte stream.
+///
+/// Bytes are [`feed`](Self::feed)-ed in (from blocking or non-blocking
+/// reads alike) and complete frames popped with
+/// [`try_frame`](Self::try_frame); [`read_frame`](Self::read_frame) wraps
+/// the blocking loop. Keeping the buffer here — rather than in the socket —
+/// is what lets the server peek at *already-received* pipelined requests
+/// without ever blocking, the basis of batch coalescing.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    pos: usize,
+    max_frame: u32,
+}
+
+impl FrameReader {
+    /// Creates a reader enforcing the given frame-length cap.
+    pub fn new(max_frame: u32) -> Self {
+        FrameReader {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame: max_frame.min(MAX_FRAME_LEN),
+        }
+    }
+
+    /// Appends raw bytes received from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pops one frame if a complete one is buffered. `Ok(None)` means more
+    /// bytes are needed; it never blocks and never reads the socket.
+    pub fn try_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len < FRAME_HEADER || len > self.max_frame {
+            return Err(FrameError::BadLength {
+                len,
+                max: self.max_frame,
+            });
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let mut id_raw = [0u8; 8];
+        id_raw.copy_from_slice(&avail[4..12]);
+        let frame = Frame {
+            request_id: u64::from_be_bytes(id_raw),
+            opcode: avail[12],
+            payload: avail[13..total].to_vec(),
+        };
+        self.pos += total;
+        // Reclaim consumed space once it dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(frame))
+    }
+
+    /// Reads from `r` until one complete frame is available.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (including read timeouts, which surface as
+    /// [`FrameError::Io`] with kind `WouldBlock`/`TimedOut`), length
+    /// violations, and clean closes ([`FrameError::Closed`]).
+    pub fn read_frame<R: Read>(&mut self, r: &mut R) -> Result<Frame, FrameError> {
+        let mut tmp = [0u8; 4096];
+        loop {
+            if let Some(frame) = self.try_frame()? {
+                return Ok(frame);
+            }
+            match r.read(&mut tmp) {
+                Ok(0) => return Err(FrameError::Closed),
+                Ok(n) => self.feed(&tmp[..n]),
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_through_reader() {
+        let frames = [
+            Frame::new(1, 0x02, vec![1, 2, 3]),
+            Frame::new(2, 0x01, Vec::new()),
+            Frame::new(u64::MAX, 0xFF, vec![0; 100]),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire);
+        }
+        let mut reader = FrameReader::new(MAX_FRAME_LEN);
+        // Feed byte-by-byte to exercise partial-frame buffering.
+        let mut got = Vec::new();
+        for b in wire {
+            reader.feed(&[b]);
+            while let Some(f) = reader.try_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut reader = FrameReader::new(1024);
+        reader.feed(&(2048u32).to_be_bytes());
+        assert!(matches!(
+            reader.try_frame(),
+            Err(FrameError::BadLength { len: 2048, .. })
+        ));
+    }
+
+    #[test]
+    fn undersized_length_is_rejected() {
+        let mut reader = FrameReader::new(1024);
+        reader.feed(&(FRAME_HEADER - 1).to_be_bytes());
+        assert!(matches!(
+            reader.try_frame(),
+            Err(FrameError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn read_frame_pulls_from_stream() {
+        let frame = Frame::new(7, 0x06, vec![9, 9]);
+        let wire = frame.encoded();
+        let mut reader = FrameReader::new(MAX_FRAME_LEN);
+        let mut cursor = wire.as_slice();
+        assert_eq!(reader.read_frame(&mut cursor).unwrap(), frame);
+        assert!(matches!(
+            reader.read_frame(&mut cursor),
+            Err(FrameError::Closed)
+        ));
+    }
+}

@@ -1,0 +1,24 @@
+//! The `clare-net` wire protocol: PIF-over-TCP.
+//!
+//! A connection opens with a fixed-size hello exchange (version check and
+//! admission control), then carries length-prefixed [`Frame`]s in both
+//! directions. Request payloads embed query terms in the Pseudo In-line
+//! Format — the same byte-level type-driven encoding the simulated CLARE
+//! hardware scans — so a networked retrieval ships exactly the bytes the
+//! engine would compile locally. See [`frame`] for the framing layer and
+//! [`wire`] for per-operation payload codecs.
+
+pub mod frame;
+pub mod wire;
+
+pub use frame::{Frame, FrameError, FrameReader, FRAME_HEADER, MAX_FRAME_LEN};
+pub use wire::{
+    decode_client_hello, decode_consult, decode_error, decode_retrieval, decode_retrievals,
+    decode_retrieve, decode_retrieve_batch, decode_server_hello, decode_server_stats, decode_solve,
+    decode_solve_outcome, decode_symbols, encode_client_hello, encode_consult, encode_error,
+    encode_retrieval, encode_retrievals, encode_retrieve, encode_retrieve_batch,
+    encode_server_hello, encode_server_stats, encode_solve, encode_solve_outcome, encode_symbols,
+    mode_from_wire, mode_to_wire, opcode, ConsultReq, ErrorCode, ErrorReply, HelloStatus,
+    RetrieveBatchReq, RetrieveReq, ServerHello, SolveReq, WireError, CLIENT_HELLO_LEN,
+    CLIENT_MAGIC, PROTOCOL_VERSION, SERVER_HELLO_LEN, SERVER_MAGIC,
+};

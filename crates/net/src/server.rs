@@ -1,0 +1,774 @@
+//! The threaded serving loop: acceptor, per-connection readers, and a
+//! bounded worker pool over one shared [`ClauseRetrievalServer`].
+//!
+//! ```text
+//!   acceptor ──► reader (per connection) ──► bounded job queue ──► workers
+//!                      │                                             │
+//!                      └────────────── shared ConnWriter ◄───────────┘
+//! ```
+//!
+//! Readers decode frames and enqueue jobs; workers execute them against
+//! the CRS and write replies through the connection's shared writer, so
+//! pipelined requests complete out of order (responses are matched by
+//! request id, not position). A reader that finds several same-predicate
+//! retrievals already buffered coalesces them into one
+//! `retrieve_batch` job — safe because the core pins batch results to be
+//! identical to individual retrievals — and a full queue sheds load with a
+//! `Busy` error frame carrying a retry hint instead of stalling the
+//! socket.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use clare_core::{ClauseRetrievalServer, SolveOptions};
+use clare_kb::KbConfig;
+use clare_term::{Symbol, Term};
+
+use crate::protocol::{
+    decode_client_hello, decode_consult, decode_retrieve, decode_retrieve_batch, decode_solve,
+    encode_error, encode_retrieval, encode_retrievals, encode_server_hello, encode_server_stats,
+    encode_solve_outcome, encode_symbols, opcode, ConsultReq, ErrorCode, ErrorReply, Frame,
+    FrameReader, HelloStatus, RetrieveBatchReq, RetrieveReq, ServerHello, SolveReq,
+    CLIENT_HELLO_LEN, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+
+/// Tuning knobs for [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Worker threads executing retrievals (the service parallelism).
+    pub workers: usize,
+    /// Concurrent connections accepted before new ones are refused with a
+    /// busy hello.
+    pub max_connections: usize,
+    /// Jobs buffered before readers shed load with `Busy` error frames.
+    pub queue_depth: usize,
+    /// Reader poll tick: how long a blocking read waits before re-checking
+    /// the shutdown flag.
+    pub poll_interval: Duration,
+    /// Write timeout on reply sockets.
+    pub write_timeout: Duration,
+    /// Retry hint attached to busy hellos and `Busy` error frames.
+    pub retry_after_ms: u32,
+    /// Frame length cap enforced on incoming frames.
+    pub max_frame_len: u32,
+    /// Coalesce pipelined same-predicate retrieves into one batch job.
+    pub coalesce: bool,
+    /// Knowledge-base compilation config for consult-updates.
+    pub kb_config: KbConfig,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 4,
+            max_connections: 64,
+            queue_depth: 256,
+            poll_interval: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(10),
+            retry_after_ms: 100,
+            max_frame_len: MAX_FRAME_LEN,
+            coalesce: true,
+            kb_config: KbConfig::default(),
+        }
+    }
+}
+
+/// Serialized writer for one connection, shared by every worker holding a
+/// job from it. Workers finish in any order; the lock keeps frames whole.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    dead: AtomicBool,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        ConnWriter {
+            stream: Mutex::new(stream),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Writes one frame; a failed write marks the connection dead and
+    /// later sends become no-ops (the reader will notice the hangup).
+    fn send(&self, frame: &Frame) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let bytes = frame.encoded();
+        let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        if stream.write_all(&bytes).is_err() {
+            self.dead.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn send_error(&self, request_id: u64, code: ErrorCode, retry_after_ms: u32, message: String) {
+        let reply = ErrorReply {
+            code,
+            retry_after_ms,
+            message,
+        };
+        self.send(&Frame::new(request_id, opcode::ERROR, encode_error(&reply)));
+    }
+}
+
+/// One unit of work for the pool.
+enum Work {
+    Retrieve(RetrieveReq),
+    Batch(RetrieveBatchReq),
+    /// Pipelined same-predicate retrieves folded into one batch; each
+    /// member keeps its own request id and is answered as a plain
+    /// `Retrieve` reply.
+    Coalesced {
+        req: RetrieveBatchReq,
+        member_ids: Vec<u64>,
+    },
+    Solve(SolveReq),
+    Consult(ConsultReq),
+    Stats,
+    Symbols,
+}
+
+struct Job {
+    request_id: u64,
+    work: Work,
+    writer: Arc<ConnWriter>,
+    accepted: Instant,
+    deadline_micros: u64,
+}
+
+struct Shared {
+    crs: Arc<ClauseRetrievalServer>,
+    cfg: NetConfig,
+    /// Stops the acceptor and readers (no new work enters the queue).
+    shutdown: AtomicBool,
+    /// Set once readers have drained; lets idle workers exit.
+    drained: AtomicBool,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    connections: AtomicUsize,
+}
+
+impl Shared {
+    /// Enqueues a job unless the queue is full. On refusal the caller
+    /// sheds load; admission control is accounted on the CRS stats.
+    fn try_enqueue(&self, job: Job) -> Result<(), Job> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= self.cfg.queue_depth {
+            return Err(job);
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.queue_cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` means the pool is draining and the
+    /// queue is empty, i.e. the worker should exit.
+    fn dequeue(&self) -> Option<Job> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.drained.load(Ordering::Acquire) {
+                return None;
+            }
+            let (q, _) = self
+                .queue_cv
+                .wait_timeout(queue, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            queue = q;
+        }
+    }
+}
+
+/// A running PIF-over-TCP front-end for a [`ClauseRetrievalServer`].
+///
+/// Bind with [`NetServer::bind`], connect with
+/// [`NetClient`](crate::NetClient), stop with [`NetServer::shutdown`]
+/// (dropping the server also shuts it down). The underlying CRS is shared:
+/// in-process callers and networked clients observe the same knowledge
+/// base, statistics, and update stream.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` and starts serving `crs`.
+    ///
+    /// `addr` may use port 0 to let the OS pick; the bound address is
+    /// reported by [`NetServer::local_addr`].
+    pub fn bind(
+        crs: Arc<ClauseRetrievalServer>,
+        addr: impl ToSocketAddrs,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            crs,
+            cfg: cfg.clone(),
+            shutdown: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            connections: AtomicUsize::new(0),
+        });
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("clare-net-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            std::thread::Builder::new()
+                .name("clare-net-acceptor".to_owned())
+                .spawn(move || acceptor_loop(&listener, &shared, &readers))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(NetServer {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+            readers,
+        })
+    }
+
+    /// The bound listening address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared retrieval service behind this listener.
+    pub fn crs(&self) -> &Arc<ClauseRetrievalServer> {
+        &self.shared.crs
+    }
+
+    /// Gracefully stops the server: the listener closes, connection
+    /// readers stop at the next poll tick, queued requests are drained by
+    /// the workers (their replies still go out), and all threads join.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // After readers join, no new jobs can arrive; only then may idle
+        // workers exit, so nothing queued is dropped on the floor.
+        let readers = std::mem::take(&mut *self.readers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in readers {
+            let _ = h.join();
+        }
+        self.shared.drained.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    readers: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let active = shared.connections.load(Ordering::Relaxed);
+                if active >= shared.cfg.max_connections {
+                    refuse_connection(stream, shared);
+                    continue;
+                }
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("clare-net-conn".to_owned())
+                    .spawn(move || {
+                        connection_loop(stream, &shared2);
+                        shared2.connections.fetch_sub(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn connection thread");
+                readers
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_interval);
+            }
+            Err(_) => std::thread::sleep(shared.cfg.poll_interval),
+        }
+    }
+}
+
+/// Refuses a connection at the limit: still performs the hello exchange so
+/// the client learns *why* (busy + retry hint) instead of seeing a bare
+/// hangup, then closes.
+fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
+    shared.crs.note_rejected();
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = stream.set_read_timeout(Some(
+        shared.cfg.poll_interval.max(Duration::from_millis(100)),
+    ));
+    let mut hello_raw = [0u8; CLIENT_HELLO_LEN];
+    let _ = stream.read_exact(&mut hello_raw); // best-effort: drain their hello
+    let hello = ServerHello {
+        version: PROTOCOL_VERSION,
+        status: HelloStatus::Busy,
+        retry_after_ms: shared.cfg.retry_after_ms,
+    };
+    let _ = stream.write_all(&encode_server_hello(&hello));
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(shared.cfg.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+
+    // Hello exchange: version gate before any frames.
+    let mut hello_raw = [0u8; CLIENT_HELLO_LEN];
+    if stream.read_exact(&mut hello_raw).is_err() {
+        return;
+    }
+    let status = match decode_client_hello(&hello_raw) {
+        Ok(PROTOCOL_VERSION) => HelloStatus::Ok,
+        Ok(_) => HelloStatus::VersionMismatch,
+        Err(_) => HelloStatus::VersionMismatch,
+    };
+    let hello = ServerHello {
+        version: PROTOCOL_VERSION,
+        status,
+        retry_after_ms: 0,
+    };
+    if stream.write_all(&encode_server_hello(&hello)).is_err() || status != HelloStatus::Ok {
+        return;
+    }
+    if stream
+        .set_read_timeout(Some(shared.cfg.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+
+    let writer = Arc::new(ConnWriter::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    }));
+
+    let mut fr = FrameReader::new(shared.cfg.max_frame_len);
+    let mut tmp = [0u8; 16 * 1024];
+    'conn: loop {
+        // Pull every complete frame already buffered.
+        let mut burst = Vec::new();
+        loop {
+            match fr.try_frame() {
+                Ok(Some(frame)) => burst.push(frame),
+                Ok(None) => break,
+                Err(e) => {
+                    // The stream cannot be resynchronised after a length
+                    // violation: report once, then drop the connection.
+                    writer.send_error(0, ErrorCode::Malformed, 0, e.to_string());
+                    break 'conn;
+                }
+            }
+        }
+
+        if burst.is_empty() {
+            if shared.shutdown.load(Ordering::Relaxed) || writer.dead.load(Ordering::Relaxed) {
+                break;
+            }
+            match stream.read(&mut tmp) {
+                Ok(0) => break,
+                Ok(n) => fr.feed(&tmp[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => break,
+            }
+            continue;
+        }
+
+        // A burst is in hand: opportunistically drain whatever else has
+        // already arrived (without blocking) so pipelined requests can be
+        // coalesced below.
+        if shared.cfg.coalesce && stream.set_nonblocking(true).is_ok() {
+            loop {
+                match stream.read(&mut tmp) {
+                    Ok(0) => break,
+                    Ok(n) => fr.feed(&tmp[..n]),
+                    Err(_) => break,
+                }
+            }
+            if stream.set_nonblocking(false).is_err() {
+                break;
+            }
+            // Restore the poll-tick timeout cleared by nonblocking mode.
+            if stream
+                .set_read_timeout(Some(shared.cfg.poll_interval))
+                .is_err()
+            {
+                break;
+            }
+            loop {
+                match fr.try_frame() {
+                    Ok(Some(frame)) => burst.push(frame),
+                    Ok(None) => break,
+                    Err(e) => {
+                        writer.send_error(0, ErrorCode::Malformed, 0, e.to_string());
+                        process_burst(shared, &writer, burst);
+                        break 'conn;
+                    }
+                }
+            }
+        }
+
+        process_burst(shared, &writer, burst);
+    }
+}
+
+/// Decodes a burst of frames into jobs — coalescing runs of same-predicate
+/// retrieves — and enqueues them, shedding load when the queue is full.
+/// Malformed payloads are answered with error frames; the connection
+/// stays up.
+fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burst: Vec<Frame>) {
+    /// A decoded retrieve waiting to be grouped.
+    struct PendingRetrieve {
+        id: u64,
+        req: RetrieveReq,
+        key: Option<(Symbol, usize)>,
+    }
+
+    let mut pending: Vec<PendingRetrieve> = Vec::new();
+    let mut jobs: Vec<Job> = Vec::new();
+
+    let flush_pending = |pending: &mut Vec<PendingRetrieve>, jobs: &mut Vec<Job>| {
+        while !pending.is_empty() {
+            // Take the head's group: the longest prefix sharing its
+            // coalescing key (same predicate, mode, and deadline).
+            let head_key = pending[0].key;
+            let head_mode = pending[0].req.mode;
+            let head_deadline = pending[0].req.deadline_micros;
+            let groupable = head_key.is_some();
+            let mut n = 1;
+            while groupable
+                && n < pending.len()
+                && pending[n].key == head_key
+                && pending[n].req.mode == head_mode
+                && pending[n].req.deadline_micros == head_deadline
+            {
+                n += 1;
+            }
+            let group: Vec<PendingRetrieve> = pending.drain(..n).collect();
+            if group.len() == 1 {
+                let p = group.into_iter().next().expect("nonempty group");
+                jobs.push(Job {
+                    request_id: p.id,
+                    work: Work::Retrieve(p.req),
+                    writer: Arc::clone(writer),
+                    accepted: Instant::now(),
+                    deadline_micros: head_deadline,
+                });
+            } else {
+                let member_ids: Vec<u64> = group.iter().map(|p| p.id).collect();
+                let queries: Vec<Term> = group.into_iter().map(|p| p.req.query).collect();
+                jobs.push(Job {
+                    request_id: member_ids[0],
+                    work: Work::Coalesced {
+                        req: RetrieveBatchReq {
+                            mode: head_mode,
+                            deadline_micros: head_deadline,
+                            queries,
+                        },
+                        member_ids,
+                    },
+                    writer: Arc::clone(writer),
+                    accepted: Instant::now(),
+                    deadline_micros: head_deadline,
+                });
+            }
+        }
+    };
+
+    for frame in burst {
+        let id = frame.request_id;
+        let work = match frame.opcode {
+            opcode::PING => {
+                flush_pending(&mut pending, &mut jobs);
+                writer.send(&Frame::new(id, opcode::PING | opcode::REPLY, Vec::new()));
+                continue;
+            }
+            opcode::RETRIEVE => match decode_retrieve(&frame.payload) {
+                Ok(req) => {
+                    if shared.cfg.coalesce {
+                        let key = req.query.functor_arity();
+                        pending.push(PendingRetrieve { id, req, key });
+                        continue;
+                    }
+                    Work::Retrieve(req)
+                }
+                Err(e) => {
+                    writer.send_error(id, ErrorCode::Malformed, 0, e.to_string());
+                    continue;
+                }
+            },
+            opcode::RETRIEVE_BATCH => match decode_retrieve_batch(&frame.payload) {
+                Ok(req) => Work::Batch(req),
+                Err(e) => {
+                    writer.send_error(id, ErrorCode::Malformed, 0, e.to_string());
+                    continue;
+                }
+            },
+            opcode::SOLVE => match decode_solve(&frame.payload) {
+                Ok(req) => Work::Solve(req),
+                Err(e) => {
+                    writer.send_error(id, ErrorCode::Malformed, 0, e.to_string());
+                    continue;
+                }
+            },
+            opcode::CONSULT => match decode_consult(&frame.payload) {
+                Ok(req) => Work::Consult(req),
+                Err(e) => {
+                    writer.send_error(id, ErrorCode::Malformed, 0, e.to_string());
+                    continue;
+                }
+            },
+            opcode::STATS => Work::Stats,
+            opcode::SYMBOLS => Work::Symbols,
+            other => {
+                writer.send_error(
+                    id,
+                    ErrorCode::Unsupported,
+                    0,
+                    format!("unknown opcode {other:#04x}"),
+                );
+                continue;
+            }
+        };
+        flush_pending(&mut pending, &mut jobs);
+        let deadline_micros = match &work {
+            Work::Retrieve(req) => req.deadline_micros,
+            Work::Solve(req) => req.deadline_micros,
+            Work::Batch(req) => req.deadline_micros,
+            _ => 0,
+        };
+        jobs.push(Job {
+            request_id: id,
+            work,
+            writer: Arc::clone(writer),
+            accepted: Instant::now(),
+            deadline_micros,
+        });
+    }
+    flush_pending(&mut pending, &mut jobs);
+
+    for job in jobs {
+        if let Err(job) = shared.try_enqueue(job) {
+            shed(shared, &job);
+        }
+    }
+}
+
+/// Sheds one refused job: every affected request id gets a `Busy` error
+/// frame with the retry hint, and the rejection is counted on the CRS.
+fn shed(shared: &Shared, job: &Job) {
+    let ids: Vec<u64> = match &job.work {
+        Work::Coalesced { member_ids, .. } => member_ids.clone(),
+        _ => vec![job.request_id],
+    };
+    for id in ids {
+        shared.crs.note_rejected();
+        job.writer.send_error(
+            id,
+            ErrorCode::Busy,
+            shared.cfg.retry_after_ms,
+            "request queue full".to_owned(),
+        );
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.dequeue() {
+        // A panic while serving one request (e.g. on adversarial input)
+        // must not take the worker down or leave the client hanging: the
+        // affected ids get an Internal error and the pool keeps serving.
+        let ids: Vec<u64> = match &job.work {
+            Work::Coalesced { member_ids, .. } => member_ids.clone(),
+            _ => vec![job.request_id],
+        };
+        let writer = Arc::clone(&job.writer);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, job)));
+        if outcome.is_err() {
+            for id in ids {
+                writer.send_error(
+                    id,
+                    ErrorCode::Internal,
+                    0,
+                    "request processing panicked".to_owned(),
+                );
+            }
+        }
+    }
+}
+
+/// True when the job's deadline elapsed while it sat in the queue.
+fn deadline_expired(job: &Job) -> bool {
+    job.deadline_micros > 0 && job.accepted.elapsed() > Duration::from_micros(job.deadline_micros)
+}
+
+fn execute(shared: &Arc<Shared>, job: Job) {
+    if deadline_expired(&job) {
+        let ids: Vec<u64> = match &job.work {
+            Work::Coalesced { member_ids, .. } => member_ids.clone(),
+            _ => vec![job.request_id],
+        };
+        for id in ids {
+            job.writer.send_error(
+                id,
+                ErrorCode::DeadlineExpired,
+                0,
+                "deadline elapsed before execution".to_owned(),
+            );
+        }
+        return;
+    }
+
+    let crs = &shared.crs;
+    match job.work {
+        Work::Retrieve(req) => {
+            let retrieval = crs.retrieve(&req.query, req.mode);
+            job.writer.send(&Frame::new(
+                job.request_id,
+                opcode::RETRIEVE | opcode::REPLY,
+                encode_retrieval(&retrieval),
+            ));
+        }
+        Work::Coalesced { req, member_ids } => {
+            // One hardware pass; each member answered as if it had been a
+            // lone retrieve. Identical bytes are guaranteed by the core's
+            // batch-equals-individual property.
+            let retrievals = crs.retrieve_batch(&req.queries, req.mode);
+            for (id, retrieval) in member_ids.into_iter().zip(&retrievals) {
+                job.writer.send(&Frame::new(
+                    id,
+                    opcode::RETRIEVE | opcode::REPLY,
+                    encode_retrieval(retrieval),
+                ));
+            }
+        }
+        Work::Batch(req) => {
+            let retrievals = crs.retrieve_batch(&req.queries, req.mode);
+            job.writer.send(&Frame::new(
+                job.request_id,
+                opcode::RETRIEVE_BATCH | opcode::REPLY,
+                encode_retrievals(&retrievals),
+            ));
+        }
+        Work::Solve(req) => {
+            let options = SolveOptions {
+                mode: req.mode,
+                max_solutions: usize::try_from(req.max_solutions).unwrap_or(usize::MAX),
+                max_depth: usize::try_from(req.max_depth).unwrap_or(usize::MAX),
+                crs: crs.options().clone(),
+            };
+            let outcome = crs.solve_goals(&req.goals, &req.var_names, &options);
+            job.writer.send(&Frame::new(
+                job.request_id,
+                opcode::SOLVE | opcode::REPLY,
+                encode_solve_outcome(&outcome),
+            ));
+        }
+        Work::Consult(req) => {
+            let mut tx = crs.begin_update();
+            let result = tx
+                .consult(&req.module, &req.source)
+                .map_err(|e| e.to_string())
+                .and_then(|()| {
+                    tx.commit(shared.cfg.kb_config.clone())
+                        .map_err(|e| e.to_string())
+                });
+            match result {
+                Ok(()) => job.writer.send(&Frame::new(
+                    job.request_id,
+                    opcode::CONSULT | opcode::REPLY,
+                    encode_consult_ok(),
+                )),
+                Err(reason) => {
+                    job.writer
+                        .send_error(job.request_id, ErrorCode::ConsultRejected, 0, reason)
+                }
+            }
+        }
+        Work::Stats => {
+            job.writer.send(&Frame::new(
+                job.request_id,
+                opcode::STATS | opcode::REPLY,
+                encode_server_stats(&crs.stats()),
+            ));
+        }
+        Work::Symbols => {
+            let snapshot = crs.snapshot();
+            job.writer.send(&Frame::new(
+                job.request_id,
+                opcode::SYMBOLS | opcode::REPLY,
+                encode_symbols(snapshot.symbols()),
+            ));
+        }
+    }
+}
+
+/// The (empty) payload of a successful consult reply.
+fn encode_consult_ok() -> Vec<u8> {
+    Vec::new()
+}

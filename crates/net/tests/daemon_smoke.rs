@@ -1,0 +1,127 @@
+//! Spawns the real `clare-served` binary and exercises the full client
+//! lifecycle against it: readiness line, handshake, retrieval, consult,
+//! stats, and the stdin-close drain-and-exit contract.
+
+use clare_core::SearchMode;
+use clare_net::{ClientConfig, NetClient};
+use clare_term::parser::parse_term;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra_args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_clare-served"))
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn clare-served");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let ready = lines
+            .next()
+            .expect("daemon printed a readiness line")
+            .expect("readable stdout");
+        let addr = ready
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected readiness line: {ready}"))
+            .to_owned();
+        Daemon { child, addr }
+    }
+
+    /// Closes stdin and asserts a clean exit.
+    fn stop(mut self) {
+        drop(self.child.stdin.take());
+        let status = self.child.wait().expect("daemon exit status");
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn daemon_serves_the_builtin_demo_end_to_end() {
+    let daemon = Daemon::spawn(&["--workers", "2"]);
+    let mut client = NetClient::connect(daemon.addr.as_str(), ClientConfig::default())
+        .expect("connect to daemon");
+    client.ping().unwrap();
+
+    let mut symbols = client.symbols().unwrap();
+    let query = parse_term("parent(tom, X)", &mut symbols).unwrap();
+    let retrieval = client.retrieve(&query, SearchMode::TwoStage).unwrap();
+    assert_eq!(
+        retrieval.stats.unified, 2,
+        "tom has two children in the demo"
+    );
+
+    // Pipelined + batch paths through the real process.
+    let queries: Vec<_> = ["parent(bob, X)", "parent(X, Y)", "grandparent(tom, X)"]
+        .iter()
+        .map(|q| parse_term(q, &mut symbols).unwrap())
+        .collect();
+    let pipelined = client
+        .retrieve_pipelined(&queries, SearchMode::TwoStage)
+        .unwrap();
+    let batched = client
+        .retrieve_batch(&queries, SearchMode::TwoStage)
+        .unwrap();
+    assert_eq!(pipelined, batched, "pipelined and batch answers agree");
+
+    client.consult("user", "parent(ann, sue).").unwrap();
+    let mut symbols = client.symbols().unwrap();
+    let query = parse_term("parent(ann, X)", &mut symbols).unwrap();
+    assert_eq!(
+        client
+            .retrieve(&query, SearchMode::TwoStage)
+            .unwrap()
+            .stats
+            .unified,
+        1
+    );
+
+    let stats = client.stats().unwrap();
+    assert!(stats.retrievals >= 5);
+    assert_eq!(stats.updates, 1);
+
+    drop(client);
+    daemon.stop();
+}
+
+#[test]
+fn daemon_serves_a_program_file() {
+    let dir = std::env::temp_dir().join(format!("clare-served-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("kb.pl");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "fact(one). fact(two). fact(three).").unwrap();
+    drop(f);
+
+    let daemon = Daemon::spawn(&["--module", "facts", path.to_str().unwrap()]);
+    let mut client = NetClient::connect(daemon.addr.as_str(), ClientConfig::default()).unwrap();
+    let mut symbols = client.symbols().unwrap();
+    let query = parse_term("fact(X)", &mut symbols).unwrap();
+    assert_eq!(
+        client
+            .retrieve(&query, SearchMode::TwoStage)
+            .unwrap()
+            .stats
+            .unified,
+        3
+    );
+    drop(client);
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,6 +20,9 @@
 //! * [`record`] — the on-disk clause record: the PIF head stream the FS2
 //!   filter examines, followed by a lossless serialization of the complete
 //!   clause (the "compiled clause" that full unification uses after a hit).
+//! * [`termio`] — the bounded byte codec for whole terms shared by clause
+//!   records and the `clare-net` wire protocol; its decoder treats input as
+//!   untrusted (offset caps, depth limit, no panics).
 //!
 //! # Examples
 //!
@@ -43,10 +46,12 @@ pub mod encode;
 pub mod error;
 pub mod record;
 pub mod tags;
+pub mod termio;
 pub mod word;
 
 pub use encode::{encode_clause_head, encode_query, Side};
 pub use error::PifError;
 pub use record::ClauseRecord;
 pub use tags::{TagCategory, TypeTag};
+pub use termio::{decode_term, encode_term, TermLimits};
 pub use word::{PifStream, PifWord};

@@ -15,9 +15,10 @@
 
 use crate::encode::encode_clause_head;
 use crate::error::PifError;
+use crate::termio::{ensure, read_term, write_term, TermLimits};
 use crate::word::PifStream;
 use bytes::{Buf, BufMut};
-use clare_term::{Clause, Term, VarId};
+use clare_term::Clause;
 
 /// A compiled clause record: PIF head stream plus the full clause.
 ///
@@ -118,113 +119,6 @@ impl ClauseRecord {
     }
 }
 
-fn write_term(term: &Term, buf: &mut impl BufMut) {
-    match term {
-        Term::Atom(s) => {
-            buf.put_u8(0x01);
-            buf.put_u32(s.offset());
-        }
-        Term::Int(v) => {
-            buf.put_u8(0x02);
-            buf.put_i64(*v);
-        }
-        Term::Float(fid) => {
-            buf.put_u8(0x03);
-            buf.put_u32(fid.offset());
-        }
-        Term::Var(v) => {
-            buf.put_u8(0x04);
-            buf.put_u32(v.index());
-        }
-        Term::Anon => buf.put_u8(0x05),
-        Term::Struct { functor, args } => {
-            buf.put_u8(0x06);
-            buf.put_u32(functor.offset());
-            buf.put_u16(args.len() as u16);
-            for a in args {
-                write_term(a, buf);
-            }
-        }
-        Term::List { items, tail } => {
-            buf.put_u8(0x07);
-            buf.put_u16(items.len() as u16);
-            buf.put_u8(tail.is_some() as u8);
-            for i in items {
-                write_term(i, buf);
-            }
-            if let Some(t) = tail {
-                write_term(t, buf);
-            }
-        }
-    }
-}
-
-fn read_term(buf: &mut impl Buf) -> Result<Term, PifError> {
-    let malformed = |reason: &str| PifError::Malformed {
-        offset: 0,
-        reason: reason.to_owned(),
-    };
-    if !buf.has_remaining() {
-        return Err(malformed("truncated term"));
-    }
-    match buf.get_u8() {
-        0x01 => {
-            ensure(buf, 4)?;
-            Ok(Term::Atom(clare_term::Symbol::from_offset(buf.get_u32())))
-        }
-        0x02 => {
-            ensure(buf, 8)?;
-            Ok(Term::Int(buf.get_i64()))
-        }
-        0x03 => {
-            ensure(buf, 4)?;
-            Ok(Term::Float(clare_term::FloatId::from_offset(buf.get_u32())))
-        }
-        0x04 => {
-            ensure(buf, 4)?;
-            Ok(Term::Var(VarId::new(buf.get_u32())))
-        }
-        0x05 => Ok(Term::Anon),
-        0x06 => {
-            ensure(buf, 6)?;
-            let functor = clare_term::Symbol::from_offset(buf.get_u32());
-            let n = buf.get_u16() as usize;
-            let mut args = Vec::with_capacity(n.min(1024));
-            for _ in 0..n {
-                args.push(read_term(buf)?);
-            }
-            Ok(Term::Struct { functor, args })
-        }
-        0x07 => {
-            ensure(buf, 3)?;
-            let n = buf.get_u16() as usize;
-            let has_tail = buf.get_u8() != 0;
-            let mut items = Vec::with_capacity(n.min(1024));
-            for _ in 0..n {
-                items.push(read_term(buf)?);
-            }
-            let tail = if has_tail {
-                Some(Box::new(read_term(buf)?))
-            } else {
-                None
-            };
-            Ok(Term::List { items, tail })
-        }
-        other => Err(malformed(&format!("unknown term marker {other:#04x}"))),
-    }
-}
-
-fn ensure(buf: &impl Buf, n: usize) -> Result<(), PifError> {
-    if buf.remaining() < n {
-        Err(PifError::Malformed {
-            offset: 0,
-            reason: "truncated term payload".to_owned(),
-        })
-    } else {
-        Ok(())
-    }
-}
-
 fn write_clause(clause: &Clause, buf: &mut impl BufMut) {
     write_term(clause.head(), buf);
     buf.put_u16(clause.body().len() as u16);
@@ -243,12 +137,13 @@ fn read_clause(buf: &mut impl Buf) -> Result<Clause, PifError> {
         offset: 0,
         reason: reason.to_owned(),
     };
-    let head = read_term(buf)?;
+    let limits = TermLimits::default();
+    let head = read_term(buf, &limits)?;
     ensure(buf, 2)?;
     let n_body = buf.get_u16() as usize;
     let mut body = Vec::with_capacity(n_body.min(1024));
     for _ in 0..n_body {
-        body.push(read_term(buf)?);
+        body.push(read_term(buf, &limits)?);
     }
     ensure(buf, 2)?;
     let n_vars = buf.get_u16() as usize;

@@ -240,7 +240,15 @@ impl PifStream {
                 return Err(malformed("truncated word"));
             }
             let mut word = PifWord::from_u32(buf.get_u32())?;
-            let has_ext = buf.get_u8() != 0;
+            // The extension flag is strictly 0 or 1: anything else means the
+            // stream is corrupt (or adversarial), not merely sloppy.
+            let has_ext = match buf.get_u8() {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(malformed(&format!("invalid extension flag {other:#04x}")));
+                }
+            };
             if has_ext {
                 if buf.remaining() < 4 {
                     return Err(malformed("truncated extension"));

@@ -1,8 +1,9 @@
 //! Property tests for the PIF word and record encodings.
 
+use clare_pif::termio::{decode_term, encode_term, TermLimits};
 use clare_pif::word::{INT_MAX, INT_MIN};
 use clare_pif::{ClauseRecord, PifStream, PifWord, TypeTag};
-use clare_term::parser::parse_clause;
+use clare_term::parser::{parse_clause, parse_term};
 use clare_term::SymbolTable;
 use proptest::prelude::*;
 
@@ -104,5 +105,58 @@ proptest! {
         let bytes = ClauseRecord::compile(&clause).unwrap().to_bytes();
         let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
         prop_assert!(ClauseRecord::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Arbitrary byte strings never panic any decoder — they either parse
+    /// or yield a typed `PifError`. These byte streams arrive off the
+    /// network in `clare-net`, so this is an attack-surface guarantee, not
+    /// a nicety.
+    #[test]
+    fn arbitrary_bytes_never_panic_decoders(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_term(&bytes, &TermLimits::default());
+        let _ = PifStream::read_from(&mut bytes.as_slice());
+        let _ = ClauseRecord::from_bytes(&bytes);
+    }
+
+    /// Byte strings that *start* valid and trail off into garbage also
+    /// never panic: prefix a genuine encoded term with mutations applied at
+    /// a random position.
+    #[test]
+    fn mutated_term_bytes_never_panic(
+        flip_at in 0usize..64,
+        flip_to in any::<u8>(),
+    ) {
+        let mut symbols = SymbolTable::new();
+        let term = parse_term("f(a, [1, 2 | T], g(h(B)), 3.5)", &mut symbols).unwrap();
+        let mut bytes = encode_term(&term);
+        let i = flip_at % bytes.len();
+        bytes[i] = flip_to;
+        let _ = decode_term(&bytes, &TermLimits::default());
+    }
+
+    /// Terms survive the wire codec bit-for-bit.
+    #[test]
+    fn term_bytes_roundtrip(
+        functor in "[a-z][a-z0-9]{0,5}",
+        args in prop::collection::vec(
+            prop_oneof![
+                "[a-z][a-z0-9]{0,4}".prop_map(|a| a),
+                (-1000i64..1000).prop_map(|v| v.to_string()),
+                "[A-Z]".prop_map(|v| v),
+                Just("_".to_owned()),
+                Just("1.25".to_owned()),
+                Just("[x, y | T]".to_owned()),
+                Just("g(h(deep), [1])".to_owned()),
+            ],
+            1..6,
+        ),
+    ) {
+        let mut symbols = SymbolTable::new();
+        let src = format!("{functor}({})", args.join(", "));
+        let term = parse_term(&src, &mut symbols).unwrap();
+        let bytes = encode_term(&term);
+        let (back, used) = decode_term(&bytes, &TermLimits::default()).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, term);
     }
 }

@@ -8,7 +8,8 @@
 //! compiles it into a disk-resident knowledge base, then answers goals
 //! typed on stdin. Every goal is solved through the Clause Retrieval
 //! Server with automatic search-mode selection; `:stats` after a query
-//! shows what the simulated hardware did.
+//! shows what the simulated hardware did, and `\stats` shows the server's
+//! cumulative service counters.
 
 use clare::fs2::trace::render_trace;
 use clare::prelude::*;
@@ -96,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "CLARE Prolog — {} clauses loaded. Type a goal (no trailing dot needed).",
         server.snapshot().clause_count()
     );
-    println!("Commands: :stats (last query), :trace <goal> (watch FS2 match it), :quit.");
+    println!(
+        "Commands: :stats (last query), \\stats (server counters), \
+         :trace <goal> (watch FS2 match it), :quit."
+    );
     let stdin = std::io::stdin();
     let mut last_stats: Option<String> = None;
     loop {
@@ -112,6 +116,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ":quit" | ":q" | "halt" => break,
             ":stats" => {
                 println!("{}", last_stats.as_deref().unwrap_or("no query yet"));
+                continue;
+            }
+            "\\stats" => {
+                let stats = server.stats();
+                println!(
+                    "server: {} retrievals ({} batched calls), {} solves, \
+                     {} updates, {} rejected, total modelled retrieval time {}",
+                    stats.retrievals,
+                    stats.batches,
+                    stats.solves,
+                    stats.updates,
+                    stats.rejected,
+                    stats.total_elapsed,
+                );
                 continue;
             }
             cmd if cmd.starts_with(":trace ") => {

@@ -19,6 +19,7 @@
 //! | [`kb`] | modules, predicates, compiled clause files |
 //! | [`core`] | Clause Retrieval Server, search modes, resolution |
 //! | [`workload`] | synthetic knowledge bases and query sets |
+//! | [`net`] | PIF-over-TCP wire protocol, serving daemon, client |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use clare_core as core;
 pub use clare_disk as disk;
 pub use clare_fs2 as fs2;
 pub use clare_kb as kb;
+pub use clare_net as net;
 pub use clare_pif as pif;
 pub use clare_scw as scw;
 pub use clare_term as term;
@@ -54,11 +56,12 @@ pub use clare_workload as workload;
 pub mod prelude {
     pub use clare_core::{
         choose_mode, retrieve, retrieve_batch, solve, solve_goals, ClauseRetrievalServer,
-        CrsOptions, SearchMode, SolveOptions,
+        CrsOptions, Retrieval, SearchMode, ServerStats, SolveOptions,
     };
     pub use clare_disk::{ByteRate, DiskProfile, SimNanos};
     pub use clare_fs2::{Fs2Config, Fs2Device, Fs2Engine, HwOp};
     pub use clare_kb::{KbBuilder, KbConfig, KbStats, KnowledgeBase};
+    pub use clare_net::{ClientConfig, NetClient, NetConfig, NetError, NetServer};
     pub use clare_pif::{encode_clause_head, encode_query, ClauseRecord};
     pub use clare_scw::{IndexFile, ScwConfig};
     pub use clare_term::parser::{
