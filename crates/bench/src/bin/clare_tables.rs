@@ -5,6 +5,7 @@
 //! clare-tables table1 fs1       # print selected experiments
 //! clare-tables --list           # list experiment names
 //! clare-tables fs2bench --quick # small sizes, no BENCH_*.json write
+//! clare-tables metrics --json   # dump the metrics registry as JSON
 //! ```
 
 use clare_bench::experiments;
@@ -35,9 +36,13 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "microprogram",
         "appendix: the assembled WCS microprogram listing",
     ),
+    (
+        "metrics",
+        "observability: run a retrieval mix, dump the metrics registry (--json)",
+    ),
 ];
 
-fn run_one(name: &str, quick: bool) -> bool {
+fn run_one(name: &str, quick: bool, json: bool) -> bool {
     let divider = "=".repeat(72);
     println!("{divider}");
     match name {
@@ -98,6 +103,7 @@ fn run_one(name: &str, quick: bool) -> bool {
             }
         }
         "microprogram" => println!("{}", clare_fs2::Microprogram::standard()),
+        "metrics" => print!("{}", experiments::metrics_dump::run(json)),
         other => {
             eprintln!("unknown experiment `{other}`; try --list");
             return false;
@@ -115,6 +121,7 @@ fn main() {
         return;
     }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let json = args.iter().any(|a| a == "--json");
     let selected: Vec<&str> = if args.iter().all(|a| a.starts_with('-')) {
         EXPERIMENTS.iter().map(|(n, _)| *n).collect()
     } else {
@@ -125,7 +132,7 @@ fn main() {
     };
     let mut ok = true;
     for name in selected {
-        ok &= run_one(name, quick);
+        ok &= run_one(name, quick, json);
     }
     if !ok {
         std::process::exit(1);

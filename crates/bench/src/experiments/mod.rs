@@ -10,6 +10,7 @@ pub mod fs1_wallclock;
 pub mod fs2_wallclock;
 pub mod levels;
 pub mod lists;
+pub mod metrics_dump;
 pub mod modes;
 pub mod result_memory;
 pub mod table1;

@@ -28,6 +28,7 @@ use clare_unify::unify_query_clause;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// The four searching modes of §2.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -348,6 +349,11 @@ fn retrieve_inner(
                 .into_iter()
                 .filter(|a| fs1_set.contains(a))
                 .collect();
+            // FS1 candidates the FS2 verdicts rejected: the numerator of
+            // the FS1 false-drop rate (`fs1.false_drops / fs1.candidates_out`).
+            clare_trace::metrics()
+                .fs1_false_drops
+                .add((fs1_set.len() - joint.len()) as u64);
             stats.after_fs2 = Some(joint.len());
             addrs_to_ids(pred, &joint)
         }
@@ -507,6 +513,10 @@ fn match_track(
 ) -> TrackMatches {
     let mut fs2_time = SimNanos::ZERO;
     let mut hits = Vec::new();
+    // Per-clause accounting stays in locals; the shared atomic registry
+    // is touched once per track, keeping the hot loop unperturbed.
+    let mut clauses = 0u64;
+    let mut ops = [0u64; 7];
     if predecoded {
         let arena = pred.arena();
         let range = arena.track_clauses(t);
@@ -514,6 +524,10 @@ fn match_track(
         for i in range {
             let verdict = engine.match_clause_words(arena.stream(i));
             fs2_time += verdict.time;
+            clauses += 1;
+            for (total, n) in ops.iter_mut().zip(verdict.op_histogram) {
+                *total += n as u64;
+            }
             if verdict.matched {
                 hits.push((i - start) as u16);
             }
@@ -524,10 +538,21 @@ fn match_track(
                 .expect("knowledge base records are well-formed");
             let verdict = engine.match_clause_quiet(record.head_stream());
             fs2_time += verdict.time;
+            clauses += 1;
+            for (total, n) in ops.iter_mut().zip(verdict.op_histogram) {
+                *total += n as u64;
+            }
             if verdict.matched {
                 hits.push(slot as u16);
             }
         }
+    }
+    let m = clare_trace::metrics();
+    m.fs2_tracks.inc();
+    m.fs2_clauses.add(clauses);
+    m.fs2_satisfiers.add(hits.len() as u64);
+    for (counter, n) in m.fs2_ops.iter().zip(ops) {
+        counter.add(n);
     }
     TrackMatches { fs2_time, hits }
 }
@@ -550,7 +575,8 @@ fn fs2_sweep_jobs(
     let workers = fs2_workers(opts);
     let predecoded = opts.fs2.predecoded();
     if workers <= 1 || jobs.iter().map(|(_, t)| t.len()).sum::<usize>() <= 1 {
-        return jobs
+        let started = Instant::now();
+        let out: Vec<Vec<TrackMatches>> = jobs
             .iter()
             .map(|(engine, tracks)| {
                 let mut engine = engine.clone();
@@ -560,6 +586,8 @@ fn fs2_sweep_jobs(
                     .collect()
             })
             .collect();
+        record_sweeps(&out, started.elapsed().as_nanos() as u64, 1);
+        return out;
     }
     // (job, shard offset, shard tracks) work items, claimed off a counter.
     let shard = opts.fs2.shard_tracks().max(1);
@@ -572,11 +600,14 @@ fn fs2_sweep_jobs(
             start = end;
         }
     }
+    let started = Instant::now();
+    let pool_workers = workers.min(items.len());
     let next = AtomicUsize::new(0);
     let mut results: Vec<(usize, usize, Vec<TrackMatches>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers.min(items.len()))
+        let handles: Vec<_> = (0..pool_workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let busy = Instant::now();
                     let mut engines: Vec<Option<Fs2Engine>> = vec![None; jobs.len()];
                     let mut out = Vec::new();
                     loop {
@@ -591,13 +622,25 @@ fn fs2_sweep_jobs(
                             .collect();
                         out.push((j, start, matches));
                     }
+                    clare_trace::metrics()
+                        .fs2_worker_busy_ns
+                        .add(busy.elapsed().as_nanos() as u64);
                     out
                 })
             })
             .collect();
         let mut all = Vec::new();
         for h in handles {
-            all.extend(h.join().expect("FS2 sweep worker panicked"));
+            match h.join() {
+                Ok(shards) => all.extend(shards),
+                Err(payload) => {
+                    // The sweep cannot produce a byte-identical result with
+                    // a shard missing, so the panic is re-raised — but it is
+                    // counted first, never silent.
+                    clare_trace::metrics().fs2_worker_panics.inc();
+                    std::panic::resume_unwind(payload);
+                }
+            }
         }
         all
     });
@@ -610,7 +653,25 @@ fn fs2_sweep_jobs(
     for (j, _, matches) in results {
         out[j].extend(matches);
     }
+    record_sweeps(&out, started.elapsed().as_nanos() as u64, pool_workers);
     out
+}
+
+/// Rolls one finished sweep pool into the registry: one `fs2.sweeps`
+/// tick and one modelled-time observation per job, one wall-clock
+/// observation for the pool. On the serial path busy time equals wall
+/// time (the caller's thread was the one worker).
+fn record_sweeps(jobs: &[Vec<TrackMatches>], wall_ns: u64, workers: usize) {
+    let m = clare_trace::metrics();
+    m.fs2_sweeps.add(jobs.len() as u64);
+    for outcomes in jobs {
+        let modelled: SimNanos = outcomes.iter().map(|tm| tm.fs2_time).sum();
+        m.fs2_modelled_ns.record(modelled.as_ns());
+    }
+    m.fs2_wall_ns.record(wall_ns);
+    if workers <= 1 {
+        m.fs2_worker_busy_ns.add(wall_ns);
+    }
 }
 
 /// Effective FS2 worker count: the per-server override, else the config's.
@@ -641,11 +702,18 @@ fn fs2_phase(
         Some(outcomes) => outcomes,
         None if fs2_workers(opts) <= 1 => {
             // Serial fast path: reuse the caller's engine, no clones.
+            let started = Instant::now();
             let predecoded = opts.fs2.predecoded();
-            tracks
+            let outcomes: Vec<TrackMatches> = tracks
                 .iter()
                 .map(|&t| match_track(pred, engine, t, predecoded))
-                .collect()
+                .collect();
+            record_sweeps(
+                std::slice::from_ref(&outcomes),
+                started.elapsed().as_nanos() as u64,
+                1,
+            );
+            outcomes
         }
         None => {
             let jobs = [(engine.clone(), tracks.to_vec())];

@@ -14,7 +14,9 @@ use clare_disk::SimNanos;
 use clare_kb::KnowledgeBase;
 use clare_term::Term;
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Aggregate service statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,6 +36,72 @@ pub struct ServerStats {
     pub rejected: u64,
     /// Total modelled retrieval time across clients.
     pub total_elapsed: SimNanos,
+}
+
+/// Seqlock-style holder of the server statistics: writers serialise on a
+/// mutex and publish every field to an atomic mirror between two version
+/// bumps (odd while a publication is in flight); readers copy the mirror
+/// lock-free and retry if the version was odd or moved. Readers therefore
+/// never block the serving path, and a [`ClauseRetrievalServer::stats`]
+/// snapshot can never tear — e.g. observe a `retrieve_batch`'s `batches`
+/// bump without its `retrievals` bump.
+#[derive(Debug, Default)]
+struct StatsCell {
+    /// Authoritative copy; also the writer lock.
+    write: Mutex<ServerStats>,
+    /// Publication version: odd while the mirror is being rewritten.
+    version: AtomicU64,
+    retrievals: AtomicU64,
+    batches: AtomicU64,
+    solves: AtomicU64,
+    updates: AtomicU64,
+    rejected: AtomicU64,
+    total_elapsed_ns: AtomicU64,
+}
+
+impl StatsCell {
+    /// Applies `f` to the authoritative copy, then publishes it.
+    fn update(&self, f: impl FnOnce(&mut ServerStats)) {
+        let mut guard = self.write.lock();
+        f(&mut guard);
+        let s = *guard;
+        // Enter the write-side critical section: the acquire half keeps
+        // the field stores from hoisting above the bump to odd.
+        self.version.fetch_add(1, Ordering::Acquire);
+        self.retrievals.store(s.retrievals, Ordering::Relaxed);
+        self.batches.store(s.batches, Ordering::Relaxed);
+        self.solves.store(s.solves, Ordering::Relaxed);
+        self.updates.store(s.updates, Ordering::Relaxed);
+        self.rejected.store(s.rejected, Ordering::Relaxed);
+        self.total_elapsed_ns
+            .store(s.total_elapsed.as_ns(), Ordering::Relaxed);
+        // Exit: the release half keeps the stores from sinking below the
+        // bump back to even.
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// A consistent lock-free snapshot.
+    fn snapshot(&self) -> ServerStats {
+        loop {
+            let v1 = self.version.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let s = ServerStats {
+                retrievals: self.retrievals.load(Ordering::Relaxed),
+                batches: self.batches.load(Ordering::Relaxed),
+                solves: self.solves.load(Ordering::Relaxed),
+                updates: self.updates.load(Ordering::Relaxed),
+                rejected: self.rejected.load(Ordering::Relaxed),
+                total_elapsed: SimNanos::from_ns(self.total_elapsed_ns.load(Ordering::Relaxed)),
+            };
+            std::sync::atomic::fence(Ordering::Acquire);
+            if self.version.load(Ordering::Relaxed) == v1 {
+                return s;
+            }
+        }
+    }
 }
 
 /// A shared, thread-safe clause retrieval service.
@@ -59,7 +127,13 @@ pub struct ServerStats {
 pub struct ClauseRetrievalServer {
     kb: RwLock<Arc<KnowledgeBase>>,
     options: CrsOptions,
-    stats: Mutex<ServerStats>,
+    stats: StatsCell,
+}
+
+/// The `functor/arity` metric key of a query, if it has one.
+fn pred_key(kb: &KnowledgeBase, query: &Term) -> Option<String> {
+    let (functor, arity) = query.functor_arity()?;
+    Some(format!("{}/{arity}", kb.symbols().atom_text(functor)))
 }
 
 impl ClauseRetrievalServer {
@@ -68,7 +142,7 @@ impl ClauseRetrievalServer {
         ClauseRetrievalServer {
             kb: RwLock::new(Arc::new(kb)),
             options,
-            stats: Mutex::new(ServerStats::default()),
+            stats: StatsCell::default(),
         }
     }
 
@@ -87,11 +161,19 @@ impl ClauseRetrievalServer {
 
     /// Serves one retrieval.
     pub fn retrieve(&self, query: &Term, mode: SearchMode) -> Retrieval {
+        let started = Instant::now();
         let kb = self.snapshot();
         let outcome = retrieve(&kb, query, mode, &self.options);
-        let mut stats = self.stats.lock();
-        stats.retrievals += 1;
-        stats.total_elapsed += outcome.stats.elapsed;
+        self.stats.update(|stats| {
+            stats.retrievals += 1;
+            stats.total_elapsed += outcome.stats.elapsed;
+        });
+        let m = clare_trace::metrics();
+        m.crs_retrieve_wall_ns
+            .record(started.elapsed().as_nanos() as u64);
+        if let Some(key) = pred_key(&kb, query) {
+            m.crs_predicates.record(&key, outcome.stats.elapsed.as_ns());
+        }
         outcome
     }
 
@@ -103,13 +185,24 @@ impl ClauseRetrievalServer {
     /// and identical to issuing each query via
     /// [`ClauseRetrievalServer::retrieve`].
     pub fn retrieve_batch(&self, queries: &[Term], mode: SearchMode) -> Vec<Retrieval> {
+        let started = Instant::now();
         let kb = self.snapshot();
         let outcomes = crate::crs::retrieve_batch(&kb, queries, mode, &self.options);
-        let mut stats = self.stats.lock();
-        stats.batches += 1;
-        stats.retrievals += outcomes.len() as u64;
-        for outcome in &outcomes {
-            stats.total_elapsed += outcome.stats.elapsed;
+        self.stats.update(|stats| {
+            stats.batches += 1;
+            stats.retrievals += outcomes.len() as u64;
+            for outcome in &outcomes {
+                stats.total_elapsed += outcome.stats.elapsed;
+            }
+        });
+        let m = clare_trace::metrics();
+        m.crs_batch_size.record(queries.len() as u64);
+        m.crs_retrieve_wall_ns
+            .record(started.elapsed().as_nanos() as u64);
+        for (query, outcome) in queries.iter().zip(&outcomes) {
+            if let Some(key) = pred_key(&kb, query) {
+                m.crs_predicates.record(&key, outcome.stats.elapsed.as_ns());
+            }
         }
         outcomes
     }
@@ -131,11 +224,16 @@ impl ClauseRetrievalServer {
         var_names: &[String],
         options: &SolveOptions,
     ) -> SolveOutcome {
+        let started = Instant::now();
         let kb = self.snapshot();
         let outcome = crate::resolve::solve_goals(&kb, goals, var_names, options);
-        let mut stats = self.stats.lock();
-        stats.solves += 1;
-        stats.total_elapsed += outcome.stats.retrieval_elapsed;
+        self.stats.update(|stats| {
+            stats.solves += 1;
+            stats.total_elapsed += outcome.stats.retrieval_elapsed;
+        });
+        clare_trace::metrics()
+            .crs_solve_wall_ns
+            .record(started.elapsed().as_nanos() as u64);
         outcome
     }
 
@@ -143,7 +241,7 @@ impl ClauseRetrievalServer {
     /// finish against their snapshot; new calls see the update.
     pub fn update(&self, kb: KnowledgeBase) {
         *self.kb.write() = Arc::new(kb);
-        self.stats.lock().updates += 1;
+        self.stats.update(|stats| stats.updates += 1);
     }
 
     /// Begins an update transaction against the current knowledge base:
@@ -165,12 +263,14 @@ impl ClauseRetrievalServer {
     /// reaches the retrieval pipeline, so refusals stay observable in one
     /// place alongside the work that was served.
     pub fn note_rejected(&self) {
-        self.stats.lock().rejected += 1;
+        self.stats.update(|stats| stats.rejected += 1);
     }
 
-    /// Service statistics so far.
+    /// Service statistics so far: a consistent snapshot that never tears
+    /// (readers retry instead of observing a half-published update) and
+    /// never blocks the serving path.
     pub fn stats(&self) -> ServerStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 }
 
@@ -271,6 +371,38 @@ mod tests {
         assert_eq!(stats.retrievals, 3, "batch members count individually");
         assert_eq!(stats.rejected, 2);
         assert_eq!(stats.solves, 0);
+    }
+
+    #[test]
+    fn stats_snapshots_never_tear() {
+        // Writers serve only 2-query batches, so `retrievals == 2 * batches`
+        // holds after every update. A snapshot that tore a batch's
+        // `batches += 1` apart from its `retrievals += 2` (or caught the
+        // mirror mid-publication) would break the equality.
+        let (server, queries) = server_with("p(a). p(b).", &["p(a)", "p(X)"]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let server = &server;
+                let queries = &queries;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        server.retrieve_batch(queries, SearchMode::SoftwareOnly);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let server = &server;
+                scope.spawn(move || {
+                    for _ in 0..2000 {
+                        let s = server.stats();
+                        assert_eq!(s.retrievals, 2 * s.batches, "torn stats snapshot: {s:?}");
+                    }
+                });
+            }
+        });
+        let s = server.stats();
+        assert_eq!(s.batches, 4 * 50);
+        assert_eq!(s.retrievals, 2 * 4 * 50);
     }
 
     #[test]

@@ -144,6 +144,7 @@ impl Fs2Engine {
     pub fn new(query_stream: &PifStream) -> Result<Self, QueryTooLargeError> {
         let query = QueryMemory::load(query_stream)?;
         let n_vars = query.var_count();
+        clare_trace::metrics().fs2_queries_loaded.inc();
         Ok(Fs2Engine {
             query,
             q_cells: CellBank::query_vars(n_vars),

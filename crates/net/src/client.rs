@@ -25,10 +25,12 @@ use clare_term::{SymbolTable, Term};
 use crate::error::NetError;
 use crate::protocol::{
     decode_error, decode_retrieval, decode_retrievals, decode_server_hello, decode_server_stats,
-    decode_solve_outcome, decode_symbols, encode_client_hello, encode_consult, encode_retrieve,
-    encode_retrieve_batch, encode_solve, opcode, ConsultReq, Frame, FrameReader, HelloStatus,
-    RetrieveBatchReq, RetrieveReq, SolveReq, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN,
+    decode_server_stats_extended, decode_solve_outcome, decode_symbols, encode_client_hello,
+    encode_consult, encode_retrieve, encode_retrieve_batch, encode_solve, opcode, ConsultReq,
+    ErrorCode, Frame, FrameReader, HelloStatus, RetrieveBatchReq, RetrieveReq, SolveReq,
+    MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN, STATS_REQ_EXTENDED,
 };
+use clare_trace::MetricsSnapshot;
 
 /// Client tuning knobs.
 #[derive(Debug, Clone)]
@@ -41,6 +43,15 @@ pub struct ClientConfig {
     pub write_timeout: Duration,
     /// Frame length cap enforced on replies.
     pub max_frame_len: u32,
+    /// How many times an idempotent request (ping, retrieve, batch,
+    /// stats, symbols) refused with `Busy` is re-sent before the error
+    /// surfaces. A `Busy` reply means the request was shed *before*
+    /// execution, so re-sending never duplicates work. 0 disables.
+    pub busy_retries: u32,
+    /// Upper bound on a single backoff sleep between `Busy` retries. The
+    /// sleep starts from the server's `retry_after_ms` hint and doubles
+    /// per attempt up to this cap.
+    pub busy_retry_cap: Duration,
 }
 
 impl Default for ClientConfig {
@@ -50,6 +61,8 @@ impl Default for ClientConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             max_frame_len: MAX_FRAME_LEN,
+            busy_retries: 5,
+            busy_retry_cap: Duration::from_secs(1),
         }
     }
 }
@@ -177,6 +190,32 @@ impl NetClient {
         self.await_reply(id, op)
     }
 
+    /// [`Self::roundtrip`] for idempotent requests: honors the server's
+    /// `retry_after_ms` hint on a `Busy` refusal with bounded exponential
+    /// backoff (a shed request was never executed, so re-sending it is
+    /// safe). After [`ClientConfig::busy_retries`] refusals the `Busy`
+    /// error surfaces to the caller.
+    fn roundtrip_idempotent(&mut self, op: u8, payload: Vec<u8>) -> Result<Frame, NetError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.roundtrip(op, payload.clone()) {
+                Err(NetError::Remote {
+                    code: ErrorCode::Busy,
+                    retry_after_ms,
+                    ..
+                }) if attempt < self.cfg.busy_retries => {
+                    let hinted = Duration::from_millis(u64::from(retry_after_ms.max(1)));
+                    let backoff = hinted
+                        .saturating_mul(1u32 << attempt.min(10))
+                        .min(self.cfg.busy_retry_cap);
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Awaits the reply for `id`, stashing interleaved replies to other
     /// ids (pipelining). Converts error frames into [`NetError::Remote`].
     fn await_reply(&mut self, id: u64, op: u8) -> Result<Frame, NetError> {
@@ -200,7 +239,7 @@ impl NetClient {
             deadline_micros: self.deadline_micros(),
             query: query.clone(),
         };
-        let reply = self.roundtrip(opcode::RETRIEVE, encode_retrieve(&req))?;
+        let reply = self.roundtrip_idempotent(opcode::RETRIEVE, encode_retrieve(&req))?;
         Ok(decode_retrieval(&reply.payload)?)
     }
 
@@ -251,7 +290,8 @@ impl NetClient {
             deadline_micros: self.deadline_micros(),
             queries: queries.to_vec(),
         };
-        let reply = self.roundtrip(opcode::RETRIEVE_BATCH, encode_retrieve_batch(&req))?;
+        let reply =
+            self.roundtrip_idempotent(opcode::RETRIEVE_BATCH, encode_retrieve_batch(&req))?;
         let retrievals = decode_retrievals(&reply.payload)?;
         if retrievals.len() != queries.len() {
             return Err(NetError::Protocol(format!(
@@ -313,23 +353,34 @@ impl NetClient {
         Ok(())
     }
 
-    /// Fetches the server's service statistics.
+    /// Fetches the server's service statistics (the legacy fixed-size
+    /// struct; see [`NetClient::metrics`] for the per-layer snapshot).
     pub fn stats(&mut self) -> Result<ServerStats, NetError> {
-        let reply = self.roundtrip(opcode::STATS, Vec::new())?;
+        let reply = self.roundtrip_idempotent(opcode::STATS, Vec::new())?;
         Ok(decode_server_stats(&reply.payload)?)
+    }
+
+    /// Fetches the service statistics together with the server's
+    /// per-layer metrics snapshot (FS1/FS2/CRS/net counters, gauges, and
+    /// latency histograms). Sends the versioned extended-stats request;
+    /// servers answer the plain [`NetClient::stats`] form unchanged, so
+    /// old clients keep decoding the legacy struct.
+    pub fn metrics(&mut self) -> Result<(ServerStats, MetricsSnapshot), NetError> {
+        let reply = self.roundtrip_idempotent(opcode::STATS, vec![STATS_REQ_EXTENDED])?;
+        Ok(decode_server_stats_extended(&reply.payload)?)
     }
 
     /// Downloads the server's symbol table. Parse query terms against the
     /// returned table (offsets are preserved exactly) so their PIF
     /// encodings mean the same thing on the server.
     pub fn symbols(&mut self) -> Result<SymbolTable, NetError> {
-        let reply = self.roundtrip(opcode::SYMBOLS, Vec::new())?;
+        let reply = self.roundtrip_idempotent(opcode::SYMBOLS, Vec::new())?;
         Ok(decode_symbols(&reply.payload)?)
     }
 
     /// Liveness probe: one empty-payload round trip.
     pub fn ping(&mut self) -> Result<(), NetError> {
-        self.roundtrip(opcode::PING, Vec::new())?;
+        self.roundtrip_idempotent(opcode::PING, Vec::new())?;
         Ok(())
     }
 }

@@ -19,6 +19,7 @@ use clare_core::{
 use clare_disk::SimNanos;
 use clare_pif::{decode_term, encode_term, TermLimits};
 use clare_term::{ClauseId, FloatId, Symbol, SymbolTable, Term};
+use clare_trace::{HistogramSnapshot, MetricsSnapshot};
 
 /// Protocol version spoken by this build. Bumped on any incompatible frame
 /// or payload change; the handshake rejects mismatched peers outright
@@ -683,16 +684,135 @@ pub fn encode_server_stats(s: &ServerStats) -> Vec<u8> {
 /// Decodes a [`ServerStats`] reply.
 pub fn decode_server_stats(payload: &[u8]) -> Result<ServerStats, WireError> {
     let mut c = Cur::new(payload);
-    let stats = ServerStats {
+    let stats = get_server_stats(&mut c)?;
+    c.finish()?;
+    Ok(stats)
+}
+
+/// The fixed legacy [`ServerStats`] struct off the cursor (48 bytes).
+fn get_server_stats(c: &mut Cur) -> Result<ServerStats, WireError> {
+    Ok(ServerStats {
         retrievals: c.u64()?,
         batches: c.u64()?,
         solves: c.u64()?,
         updates: c.u64()?,
         rejected: c.u64()?,
         total_elapsed: SimNanos::from_ns(c.u64()?),
-    };
+    })
+}
+
+/// Version of the metrics payload appended to an *extended* stats reply.
+/// Bumped only on layout changes; new metric *names* are not a version
+/// bump, because the payload is self-describing and decoders must
+/// tolerate names they do not know.
+pub const METRICS_VERSION: u16 = 1;
+
+/// Request-payload marker a client puts in a `STATS` frame to ask for the
+/// extended reply (legacy struct followed by a [`MetricsSnapshot`]). An
+/// empty request payload selects the legacy 48-byte reply, so clients
+/// that predate metrics — whose strict decoder rejects trailing bytes —
+/// keep working unchanged.
+pub const STATS_REQ_EXTENDED: u8 = 2;
+
+/// Encodes a [`MetricsSnapshot`]: version, then length-prefixed lists of
+/// named counters, gauges, and histograms.
+pub fn encode_metrics_snapshot(m: &MetricsSnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + 24 * (m.counters.len() + m.histograms.len()));
+    out.extend_from_slice(&METRICS_VERSION.to_be_bytes());
+    out.extend_from_slice(&(m.counters.len() as u32).to_be_bytes());
+    for (name, v) in &m.counters {
+        put_string(&mut out, name);
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    out.extend_from_slice(&(m.gauges.len() as u32).to_be_bytes());
+    for (name, v) in &m.gauges {
+        put_string(&mut out, name);
+        out.extend_from_slice(&(*v as u64).to_be_bytes());
+    }
+    out.extend_from_slice(&(m.histograms.len() as u32).to_be_bytes());
+    for (name, h) in &m.histograms {
+        put_string(&mut out, name);
+        out.extend_from_slice(&h.count.to_be_bytes());
+        out.extend_from_slice(&h.sum.to_be_bytes());
+        out.extend_from_slice(&(h.buckets.len() as u32).to_be_bytes());
+        for b in &h.buckets {
+            out.extend_from_slice(&b.to_be_bytes());
+        }
+    }
+    out
+}
+
+fn get_metrics_snapshot(c: &mut Cur) -> Result<MetricsSnapshot, WireError> {
+    let version = c.u16()?;
+    if version != METRICS_VERSION {
+        return Err(err(format!("unknown metrics payload version {version}")));
+    }
+    let n = c.u32()? as usize;
+    let mut counters = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = c.string()?;
+        counters.push((name, c.u64()?));
+    }
+    let n = c.u32()? as usize;
+    let mut gauges = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = c.string()?;
+        gauges.push((name, c.u64()? as i64));
+    }
+    let n = c.u32()? as usize;
+    let mut histograms = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = c.string()?;
+        let count = c.u64()?;
+        let sum = c.u64()?;
+        let n_buckets = c.u32()? as usize;
+        let mut buckets = Vec::with_capacity(n_buckets.min(1024));
+        for _ in 0..n_buckets {
+            buckets.push(c.u64()?);
+        }
+        histograms.push((
+            name,
+            HistogramSnapshot {
+                count,
+                sum,
+                buckets,
+            },
+        ));
+    }
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+/// Decodes a standalone [`MetricsSnapshot`] payload.
+pub fn decode_metrics_snapshot(payload: &[u8]) -> Result<MetricsSnapshot, WireError> {
+    let mut c = Cur::new(payload);
+    let m = get_metrics_snapshot(&mut c)?;
     c.finish()?;
-    Ok(stats)
+    Ok(m)
+}
+
+/// Encodes the *extended* stats reply: the legacy [`ServerStats`] bytes
+/// followed by a versioned [`MetricsSnapshot`]. Sent only when the
+/// request carried [`STATS_REQ_EXTENDED`].
+pub fn encode_server_stats_extended(s: &ServerStats, m: &MetricsSnapshot) -> Vec<u8> {
+    let mut out = encode_server_stats(s);
+    out.extend_from_slice(&encode_metrics_snapshot(m));
+    out
+}
+
+/// Decodes the extended stats reply into the legacy struct plus the
+/// metrics snapshot.
+pub fn decode_server_stats_extended(
+    payload: &[u8],
+) -> Result<(ServerStats, MetricsSnapshot), WireError> {
+    let mut c = Cur::new(payload);
+    let stats = get_server_stats(&mut c)?;
+    let metrics = get_metrics_snapshot(&mut c)?;
+    c.finish()?;
+    Ok((stats, metrics))
 }
 
 /// Encodes a [`SymbolTable`] reply: atom texts in offset order plus float
@@ -947,6 +1067,50 @@ mod tests {
             decode_server_stats(&encode_server_stats(&stats)).unwrap(),
             stats
         );
+    }
+
+    #[test]
+    fn extended_stats_roundtrip_and_version_gate() {
+        let stats = ServerStats {
+            retrievals: 7,
+            batches: 1,
+            solves: 0,
+            updates: 2,
+            rejected: 0,
+            total_elapsed: SimNanos::from_millis(3),
+        };
+        // A live-shaped snapshot: record through the registry so names
+        // and histogram buckets come from the real catalogue.
+        let m = clare_trace::metrics();
+        m.fs1_scans.inc();
+        m.crs_retrieve_wall_ns.record(1234);
+        m.crs_predicates.record("item/2", 9999);
+        let snapshot = m.snapshot();
+
+        let bytes = encode_server_stats_extended(&stats, &snapshot);
+        // The legacy struct occupies the same leading bytes, so a legacy
+        // decoder given only that prefix still works.
+        let legacy = encode_server_stats(&stats);
+        assert_eq!(&bytes[..legacy.len()], &legacy[..]);
+        assert_eq!(decode_server_stats(&legacy).unwrap(), stats);
+
+        let (got_stats, got_snapshot) = decode_server_stats_extended(&bytes).unwrap();
+        assert_eq!(got_stats, stats);
+        assert_eq!(got_snapshot.counters, snapshot.counters);
+        assert_eq!(got_snapshot.gauges, snapshot.gauges);
+        assert_eq!(got_snapshot.histograms.len(), snapshot.histograms.len());
+        let (name, wall) = got_snapshot
+            .histograms
+            .iter()
+            .find(|(name, _)| name == "crs.retrieve_wall_ns")
+            .expect("histogram survived the roundtrip");
+        assert_eq!(name, "crs.retrieve_wall_ns");
+        assert!(wall.count >= 1);
+
+        // An unknown snapshot version is refused, not misread.
+        let mut future = legacy.clone();
+        future.extend_from_slice(&(METRICS_VERSION + 1).to_be_bytes());
+        assert!(decode_server_stats_extended(&future).is_err());
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! `Busy` error frame carrying a retry hint instead of stalling the
 //! socket.
 
+// The serving loop handles untrusted input and must degrade, not abort:
+// fallible results are matched or turned into error frames. CI greps for
+// this gate; do not remove it.
+#![deny(clippy::unwrap_used)]
+
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -31,9 +36,9 @@ use clare_term::{Symbol, Term};
 use crate::protocol::{
     decode_client_hello, decode_consult, decode_retrieve, decode_retrieve_batch, decode_solve,
     encode_error, encode_retrieval, encode_retrievals, encode_server_hello, encode_server_stats,
-    encode_solve_outcome, encode_symbols, opcode, ConsultReq, ErrorCode, ErrorReply, Frame,
-    FrameReader, HelloStatus, RetrieveBatchReq, RetrieveReq, ServerHello, SolveReq,
-    CLIENT_HELLO_LEN, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    encode_server_stats_extended, encode_solve_outcome, encode_symbols, opcode, ConsultReq,
+    ErrorCode, ErrorReply, Frame, FrameReader, HelloStatus, RetrieveBatchReq, RetrieveReq,
+    ServerHello, SolveReq, CLIENT_HELLO_LEN, MAX_FRAME_LEN, PROTOCOL_VERSION, STATS_REQ_EXTENDED,
 };
 
 /// Tuning knobs for [`NetServer`].
@@ -59,6 +64,11 @@ pub struct NetConfig {
     pub coalesce: bool,
     /// Knowledge-base compilation config for consult-updates.
     pub kb_config: KbConfig,
+    /// Fault injection for tests: a worker panics when it picks up a
+    /// `stats` job. Exercises the panic-isolation path (Internal error
+    /// replies + `net.worker_panics`) without any adversarial input.
+    #[doc(hidden)]
+    pub debug_panic_on_stats: bool,
 }
 
 impl Default for NetConfig {
@@ -73,6 +83,7 @@ impl Default for NetConfig {
             max_frame_len: MAX_FRAME_LEN,
             coalesce: true,
             kb_config: KbConfig::default(),
+            debug_panic_on_stats: false,
         }
     }
 }
@@ -102,7 +113,11 @@ impl ConnWriter {
         let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
         if stream.write_all(&bytes).is_err() {
             self.dead.store(true, Ordering::Relaxed);
+            return;
         }
+        let m = clare_trace::metrics();
+        m.net_frames_out.inc();
+        m.net_bytes_out.add(bytes.len() as u64);
     }
 
     fn send_error(&self, request_id: u64, code: ErrorCode, retry_after_ms: u32, message: String) {
@@ -128,7 +143,11 @@ enum Work {
     },
     Solve(SolveReq),
     Consult(ConsultReq),
-    Stats,
+    Stats {
+        /// The request carried [`STATS_REQ_EXTENDED`]: reply with the
+        /// legacy struct plus the versioned metrics snapshot.
+        extended: bool,
+    },
     Symbols,
 }
 
@@ -161,6 +180,9 @@ impl Shared {
             return Err(job);
         }
         queue.push_back(job);
+        clare_trace::metrics()
+            .net_queue_depth
+            .set(queue.len() as i64);
         drop(queue);
         self.queue_cv.notify_one();
         Ok(())
@@ -172,6 +194,10 @@ impl Shared {
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(job) = queue.pop_front() {
+                let m = clare_trace::metrics();
+                m.net_queue_depth.set(queue.len() as i64);
+                m.net_queue_wait_ns
+                    .record(job.accepted.elapsed().as_nanos() as u64);
                 return Some(job);
             }
             if self.drained.load(Ordering::Acquire) {
@@ -322,12 +348,14 @@ fn acceptor_loop(
                     continue;
                 }
                 shared.connections.fetch_add(1, Ordering::Relaxed);
+                clare_trace::metrics().net_connections.add(1);
                 let shared2 = Arc::clone(shared);
                 let handle = std::thread::Builder::new()
                     .name("clare-net-conn".to_owned())
                     .spawn(move || {
                         connection_loop(stream, &shared2);
                         shared2.connections.fetch_sub(1, Ordering::Relaxed);
+                        clare_trace::metrics().net_connections.add(-1);
                     })
                     .expect("spawn connection thread");
                 readers
@@ -348,6 +376,7 @@ fn acceptor_loop(
 /// hangup, then closes.
 fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
     shared.crs.note_rejected();
+    clare_trace::metrics().net_busy_rejections.inc();
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     let _ = stream.set_read_timeout(Some(
         shared.cfg.poll_interval.max(Duration::from_millis(100)),
@@ -520,6 +549,9 @@ fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burst: Vec<Fram
                     deadline_micros: head_deadline,
                 });
             } else {
+                let m = clare_trace::metrics();
+                m.net_coalesced_groups.inc();
+                m.net_coalesced_members.add(group.len() as u64);
                 let member_ids: Vec<u64> = group.iter().map(|p| p.id).collect();
                 let queries: Vec<Term> = group.into_iter().map(|p| p.req.query).collect();
                 jobs.push(Job {
@@ -542,6 +574,11 @@ fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burst: Vec<Fram
 
     for frame in burst {
         let id = frame.request_id;
+        if let op @ opcode::PING..=opcode::SYMBOLS = frame.opcode {
+            let m = clare_trace::metrics();
+            m.net_frames_in[(op - opcode::PING) as usize].inc();
+            m.net_bytes_in.add(frame.payload.len() as u64);
+        }
         let work = match frame.opcode {
             opcode::PING => {
                 flush_pending(&mut pending, &mut jobs);
@@ -583,7 +620,12 @@ fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burst: Vec<Fram
                     continue;
                 }
             },
-            opcode::STATS => Work::Stats,
+            // The request payload selects the reply shape: empty keeps the
+            // legacy 48-byte struct; a leading STATS_REQ_EXTENDED byte
+            // asks for the versioned metrics snapshot appended to it.
+            opcode::STATS => Work::Stats {
+                extended: frame.payload.first() == Some(&STATS_REQ_EXTENDED),
+            },
             opcode::SYMBOLS => Work::Symbols,
             other => {
                 writer.send_error(
@@ -628,6 +670,7 @@ fn shed(shared: &Shared, job: &Job) {
     };
     for id in ids {
         shared.crs.note_rejected();
+        clare_trace::metrics().net_busy_rejections.inc();
         job.writer.send_error(
             id,
             ErrorCode::Busy,
@@ -650,6 +693,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, job)));
         if outcome.is_err() {
+            clare_trace::metrics().net_worker_panics.inc();
             for id in ids {
                 writer.send_error(
                     id,
@@ -750,11 +794,19 @@ fn execute(shared: &Arc<Shared>, job: Job) {
                 }
             }
         }
-        Work::Stats => {
+        Work::Stats { extended } => {
+            if shared.cfg.debug_panic_on_stats {
+                panic!("debug_panic_on_stats fault injection");
+            }
+            let payload = if extended {
+                encode_server_stats_extended(&crs.stats(), &clare_trace::metrics().snapshot())
+            } else {
+                encode_server_stats(&crs.stats())
+            };
             job.writer.send(&Frame::new(
                 job.request_id,
                 opcode::STATS | opcode::REPLY,
-                encode_server_stats(&crs.stats()),
+                payload,
             ));
         }
         Work::Symbols => {

@@ -6,9 +6,10 @@
 use clare_core::{ClauseRetrievalServer, CrsOptions, SearchMode};
 use clare_kb::{KbBuilder, KbConfig};
 use clare_net::protocol::{
-    decode_consult, decode_error, decode_retrievals, decode_retrieve, decode_retrieve_batch,
-    decode_server_stats, decode_solve, decode_solve_outcome, decode_symbols, encode_client_hello,
-    opcode, Frame, FrameReader, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN,
+    decode_consult, decode_error, decode_metrics_snapshot, decode_retrieval, decode_retrievals,
+    decode_retrieve, decode_retrieve_batch, decode_server_stats, decode_server_stats_extended,
+    decode_solve, decode_solve_outcome, decode_symbols, encode_client_hello, encode_retrieve,
+    opcode, Frame, FrameReader, RetrieveReq, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN,
 };
 use clare_net::{ClientConfig, NetClient, NetConfig, NetServer};
 use clare_term::parser::parse_term;
@@ -33,6 +34,8 @@ proptest! {
         let _ = decode_server_stats(&bytes);
         let _ = decode_symbols(&bytes);
         let _ = decode_error(&bytes);
+        let _ = decode_metrics_snapshot(&bytes);
+        let _ = decode_server_stats_extended(&bytes);
     }
 }
 
@@ -98,6 +101,96 @@ proptest! {
         let query = parse_term("p(X)", &mut symbols).unwrap();
         let got = client.retrieve(&query, SearchMode::TwoStage).unwrap();
         prop_assert_eq!(got.stats.unified, 2);
+        server.shutdown();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pipelined bursts the server may coalesce — runs of same-predicate
+    /// retrieves interleaved with other predicates, pings, and stats, on
+    /// deliberately non-sequential request ids — map every reply back to
+    /// the id of the request it answers: each retrieve reply is
+    /// byte-identical to a direct call for *that id's* query.
+    #[test]
+    fn coalesced_pipelines_map_replies_to_request_ids(
+        ops in prop::collection::vec(0u8..6, 1..24),
+        workers in 1usize..3,
+    ) {
+        let mut b = KbBuilder::new();
+        b.consult("m", "p(a). p(b). p(f(a)). q(c, d). q(c, e).").unwrap();
+        let mut symbols = b.symbols_mut().clone();
+        let crs = Arc::new(ClauseRetrievalServer::new(
+            b.finish(KbConfig::default()),
+            CrsOptions::default(),
+        ));
+        let server = NetServer::bind(
+            Arc::clone(&crs),
+            "127.0.0.1:0",
+            NetConfig { workers, coalesce: true, ..NetConfig::default() },
+        )
+        .unwrap();
+
+        let queries = [
+            parse_term("p(a)", &mut symbols).unwrap(),
+            parse_term("p(X)", &mut symbols).unwrap(),
+            parse_term("p(f(Y))", &mut symbols).unwrap(),
+            parse_term("q(c, X)", &mut symbols).unwrap(),
+        ];
+
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.write_all(&encode_client_hello(PROTOCOL_VERSION)).unwrap();
+        let mut hello = [0u8; SERVER_HELLO_LEN];
+        stream.read_exact(&mut hello).unwrap();
+
+        // One write so whole bursts reach the coalescer together.
+        let mut burst = Vec::new();
+        let mut expected: Vec<(u64, Option<&clare_term::Term>)> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let id = 1_000 + (i as u64) * 37 % 501; // distinct, non-monotone
+            match op {
+                0..=3 => {
+                    let query = &queries[*op as usize];
+                    burst.extend_from_slice(&Frame::new(id, opcode::RETRIEVE, encode_retrieve(&RetrieveReq {
+                        query: query.clone(),
+                        mode: SearchMode::TwoStage,
+                        deadline_micros: 0,
+                    })).encoded());
+                    expected.push((id, Some(query)));
+                }
+                4 => {
+                    burst.extend_from_slice(&Frame::new(id, opcode::PING, Vec::new()).encoded());
+                    expected.push((id, None));
+                }
+                _ => {
+                    burst.extend_from_slice(&Frame::new(id, opcode::STATS, Vec::new()).encoded());
+                    expected.push((id, None));
+                }
+            }
+        }
+        stream.write_all(&burst).unwrap();
+
+        // Replies may arrive in any order across workers; collect by id.
+        let mut reader = FrameReader::new(MAX_FRAME_LEN);
+        let mut replies = std::collections::HashMap::new();
+        for _ in 0..expected.len() {
+            let frame = reader.read_frame(&mut stream).unwrap();
+            prop_assert!(replies.insert(frame.request_id, frame).is_none(), "duplicate reply id");
+        }
+        for (id, query) in &expected {
+            let frame = replies.get(id).expect("request id never answered");
+            match query {
+                Some(query) => {
+                    prop_assert_eq!(frame.opcode, opcode::RETRIEVE | opcode::REPLY);
+                    let got = decode_retrieval(&frame.payload).unwrap();
+                    let direct = crs.retrieve(query, SearchMode::TwoStage);
+                    prop_assert_eq!(&got, &direct, "reply for id {} answers a different query", id);
+                }
+                None => prop_assert!(frame.opcode & opcode::REPLY != 0),
+            }
+        }
         server.shutdown();
     }
 }

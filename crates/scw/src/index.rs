@@ -45,6 +45,7 @@ use clare_disk::SimNanos;
 use clare_term::Term;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Address of a clause in its compiled clause file: track plus slot within
 /// the track. What FS1 hands to FS2 (or the CRS) after an index hit.
@@ -265,9 +266,17 @@ impl IndexFile {
     /// Scans with an explicit worker count (overriding the configured
     /// parallelism). The match list is identical at every level.
     pub fn scan_with(&self, descriptor: &QueryDescriptor, parallelism: usize) -> ScanOutcome {
+        let started = Instant::now();
         let compiled = CompiledQuery::compile(descriptor, self.limbs_per_entry);
         let matches = self.packed_matches(&compiled, parallelism);
-        self.outcome(matches)
+        let outcome = self.outcome(matches);
+        let m = clare_trace::metrics();
+        m.fs1_scans.inc();
+        m.fs1_entries_scanned.add(outcome.entries_scanned as u64);
+        m.fs1_candidates_out.add(outcome.matches.len() as u64);
+        m.fs1_scan_wall_ns
+            .record(started.elapsed().as_nanos() as u64);
+        outcome
     }
 
     /// Reference scalar scan: reconstructs each signature and applies
@@ -298,12 +307,23 @@ impl IndexFile {
         descriptors: &[QueryDescriptor],
         parallelism: usize,
     ) -> Vec<ScanOutcome> {
+        let started = Instant::now();
         let compiled: Vec<CompiledQuery> = descriptors
             .iter()
             .map(|d| CompiledQuery::compile(d, self.limbs_per_entry))
             .collect();
         let per_query = self.packed_matches_batch(&compiled, parallelism);
-        per_query.into_iter().map(|m| self.outcome(m)).collect()
+        let outcomes: Vec<ScanOutcome> = per_query.into_iter().map(|m| self.outcome(m)).collect();
+        let m = clare_trace::metrics();
+        m.fs1_batch_scans.inc();
+        m.fs1_scans.add(outcomes.len() as u64);
+        for o in &outcomes {
+            m.fs1_entries_scanned.add(o.entries_scanned as u64);
+            m.fs1_candidates_out.add(o.matches.len() as u64);
+        }
+        m.fs1_scan_wall_ns
+            .record(started.elapsed().as_nanos() as u64);
+        outcomes
     }
 
     fn outcome(&self, matches: Vec<ClauseAddr>) -> ScanOutcome {

@@ -1,0 +1,271 @@
+//! The metric primitives: counters, gauges, and fixed-bucket histograms.
+//!
+//! Everything here is built on plain atomics with `Relaxed` ordering —
+//! recording a value is a handful of uncontended `fetch_add`s, cheap
+//! enough to leave permanently enabled on the hot paths it observes.
+//! Snapshots are monotone but not cross-metric consistent: a reader may
+//! see counter A after an event and counter B before it. That is the
+//! usual contract for service metrics; anything needing a torn-proof
+//! snapshot (like `ServerStats`) keeps its own synchronisation.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous measurement (queue depth, connection
+/// count). Unlike [`Counter`] it can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Buckets per histogram: power-of-two boundaries cover `[1, 2^40)` —
+/// for nanosecond values that is 1 ns up to ~18 minutes, plenty for any
+/// latency this workspace models or measures.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-bucket log2 histogram: bucket `i` counts values in
+/// `[2^i, 2^(i+1))` (zero lands in bucket 0, values past the last
+/// boundary clamp into the final bucket). Recording is two relaxed
+/// `fetch_add`s plus one for the bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        // An array-repeat seed: each bucket gets its own fresh atomic
+        // (interior mutability in a `const` is exactly the intent here).
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (63 - (value | 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The lower bound of bucket `i` (`2^i`, with bucket 0 covering 0–1).
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1 << i
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the whole histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`], ready for wire encoding,
+/// rendering, or percentile estimation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket counts (log2 buckets, see [`Histogram::bucket_of`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations, or 0 with none.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the buckets: finds
+    /// the bucket holding the `q`-th observation and returns its
+    /// geometric midpoint (`1.5 * floor`). Log2 buckets bound the error
+    /// to a factor of two, which is the resolution the catalogue
+    /// advertises.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let floor = Histogram::bucket_floor(i);
+                return floor + floor / 2;
+            }
+        }
+        Histogram::bucket_floor(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Shorthand for the median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Shorthand for the 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(10), 1024);
+    }
+
+    #[test]
+    fn histogram_records_and_estimates() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1 + 2 + 4 + 8 + 100 + 1000 + 1_000_000);
+        assert_eq!(s.mean(), s.sum / 7);
+        // The median observation is 8, which lives in bucket 3 (8..16);
+        // the estimate is that bucket's midpoint.
+        assert_eq!(s.p50(), 12);
+        // p99 lands in the 1_000_000 bucket (2^19 = 524288).
+        assert_eq!(s.quantile(0.99), 524_288 + 262_144);
+        // Quantiles of an empty histogram are 0.
+        assert_eq!(HistogramSnapshot::default().p50(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let c = Counter::new();
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for i in 0..1000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 8000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 8000);
+    }
+}

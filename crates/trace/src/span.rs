@@ -1,0 +1,260 @@
+//! A lightweight span API with a pluggable sink.
+//!
+//! A [`span`] guard measures the wall-clock time of a scope and, on
+//! drop, hands a [`SpanEvent`] to the installed [`Sink`]. With no sink
+//! installed (the default) opening a span costs one relaxed atomic load
+//! and skips the clock reads entirely, so instrumentation can stay in
+//! the hot paths permanently. [`RingSink`] keeps the last N events in
+//! memory for the repl; [`JsonlSink`] appends one JSON object per event
+//! to any writer (a file, a pipe).
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One finished span: a static name and the wall-clock duration of the
+/// scope it guarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The name passed to [`span`].
+    pub name: &'static str,
+    /// Scope duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Where finished spans go. Implementations must be cheap and must not
+/// panic — sinks run inside the instrumented hot paths.
+pub trait Sink: Send + Sync {
+    /// Receives one finished span.
+    fn record(&self, event: &SpanEvent);
+}
+
+static SINK_ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Installs a sink; spans recorded from now on are delivered to it.
+pub fn set_sink(sink: Arc<dyn Sink>) {
+    *SINK.write() = Some(sink);
+    SINK_ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the installed sink, returning span recording to the free
+/// no-op default.
+pub fn clear_sink() {
+    SINK_ENABLED.store(false, Ordering::Release);
+    *SINK.write() = None;
+}
+
+/// Whether a sink is currently installed.
+#[inline]
+pub fn sink_enabled() -> bool {
+    SINK_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Guard returned by [`span`]; reports the elapsed time to the sink on
+/// drop. Holds no clock state when no sink was installed at creation.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Nanoseconds since the span opened (0 when disabled).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start
+            .map(|s| s.elapsed().as_nanos() as u64)
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let event = SpanEvent {
+            name: self.name,
+            dur_ns: start.elapsed().as_nanos() as u64,
+        };
+        if let Some(sink) = SINK.read().as_ref() {
+            sink.record(&event);
+        }
+    }
+}
+
+/// Opens a span named `name`. When no sink is installed this is one
+/// relaxed load — no clock read, nothing recorded on drop.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    let start = if sink_enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    Span { name, start }
+}
+
+/// Keeps the most recent `capacity` span events in a ring buffer.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<SpanEvent>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            capacity,
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        self.events.lock().drain(..).collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &SpanEvent) {
+        let mut events = self.events.lock();
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// Appends one JSON object per span event to a writer, e.g.
+/// `{"span": "fs2.sweep", "dur_ns": 48211}`. Write errors are counted,
+/// not raised — sinks must not disturb the instrumented path.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+    errors: crate::metric::Counter,
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("errors", &self.errors.get())
+            .finish()
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer. Each event becomes one `\n`-terminated line.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+            errors: crate::metric::Counter::new(),
+        }
+    }
+
+    /// Write errors swallowed so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.get()
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner();
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: &SpanEvent) {
+        let line = format!(
+            "{{\"span\": \"{}\", \"dur_ns\": {}}}\n",
+            event.name, event.dur_ns
+        );
+        if self.writer.lock().write_all(line.as_bytes()).is_err() {
+            self.errors.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink registry is process-wide; these tests serialise on one
+    // lock so parallel test threads don't steal each other's sink.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_span_records_nothing_and_reads_no_clock() {
+        let _g = TEST_GUARD.lock();
+        clear_sink();
+        let s = span("test.noop");
+        assert_eq!(s.elapsed_ns(), 0);
+        drop(s);
+    }
+
+    #[test]
+    fn ring_sink_keeps_last_n() {
+        let _g = TEST_GUARD.lock();
+        let ring = Arc::new(RingSink::new(2));
+        set_sink(ring.clone());
+        for _ in 0..3 {
+            drop(span("test.ring"));
+        }
+        clear_sink();
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.name == "test.ring"));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_span() {
+        let _g = TEST_GUARD.lock();
+        let sink = Arc::new(JsonlSink::new(Vec::new()));
+        set_sink(sink.clone());
+        drop(span("test.jsonl"));
+        drop(span("test.jsonl"));
+        clear_sink();
+        let sink = Arc::try_unwrap(sink).expect("sink uniquely owned after clear");
+        assert_eq!(sink.errors(), 0);
+        let buf = sink.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"span\": \"test.jsonl\", \"dur_ns\": "));
+    }
+
+    #[test]
+    fn span_measures_elapsed_when_enabled() {
+        let _g = TEST_GUARD.lock();
+        let ring = Arc::new(RingSink::new(8));
+        set_sink(ring.clone());
+        {
+            let s = span("test.timed");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(s.elapsed_ns() > 0);
+        }
+        clear_sink();
+        let events = ring.drain();
+        assert_eq!(events.len(), 1);
+        assert!(
+            events[0].dur_ns >= 1_000_000,
+            "slept 2ms, got {}",
+            events[0].dur_ns
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Pins the registry's FS2 op-counter names to the engine's own
+//! micro-op names (Table 1 order), so `fs2.op.*` metrics always label
+//! the op they count. A dev-dependency cycle (clare-fs2 depends on
+//! clare-trace) is fine: Cargo permits cycles through dev-dependencies.
+
+use clare_fs2::HwOp;
+
+#[test]
+fn fs2_op_names_match_the_engine() {
+    assert_eq!(HwOp::ALL.len(), clare_trace::FS2_OPS);
+    for (i, op) in HwOp::ALL.iter().enumerate() {
+        assert_eq!(clare_trace::fs2_op_name(i), op.name());
+    }
+}

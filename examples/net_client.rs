@@ -130,6 +130,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          ({} batched calls on the server, {} rejected)",
         sent, stats.batches, stats.rejected
     );
+
+    // The extended stats opcode carries the per-layer metrics registry
+    // alongside the same legacy struct; after the run above every layer
+    // must show activity. CI's metrics-smoke step relies on this failing
+    // nonzero.
+    let (extended_stats, metrics) = client.metrics()?;
+    assert_eq!(
+        extended_stats, stats,
+        "legacy struct inside the extended reply must match the legacy opcode"
+    );
+    for counter in [
+        "fs1.scans",
+        "fs2.tracks",
+        "fs2.clauses",
+        "net.frames_in.retrieve",
+        "net.frames_out",
+        "net.bytes_in",
+    ] {
+        let value = metrics
+            .counter(counter)
+            .ok_or_else(|| format!("{counter} missing from the wire metrics snapshot"))?;
+        if value == 0 {
+            return Err(format!("{counter} stayed zero over a full networked run").into());
+        }
+    }
+    let latency = metrics
+        .histogram("crs.retrieve_wall_ns")
+        .ok_or("retrieval latency histogram missing")?;
+    println!(
+        "wire metrics: fs1.scans={} fs2.clauses={} net.frames_in.retrieve={} \
+         retrieval p50={}ns p99={}ns",
+        metrics.counter("fs1.scans").unwrap_or(0),
+        metrics.counter("fs2.clauses").unwrap_or(0),
+        metrics.counter("net.frames_in.retrieve").unwrap_or(0),
+        latency.p50(),
+        latency.p99(),
+    );
     server.shutdown();
 
     if mismatches > 0 {

@@ -8,8 +8,9 @@
 //! compiles it into a disk-resident knowledge base, then answers goals
 //! typed on stdin. Every goal is solved through the Clause Retrieval
 //! Server with automatic search-mode selection; `:stats` after a query
-//! shows what the simulated hardware did, and `\stats` shows the server's
-//! cumulative service counters.
+//! shows what the simulated hardware did, `\stats` shows the server's
+//! cumulative service counters, and `\metrics` dumps the process-wide
+//! per-layer metrics registry (FS1, FS2, CRS, net).
 
 use clare::fs2::trace::render_trace;
 use clare::prelude::*;
@@ -99,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "Commands: :stats (last query), \\stats (server counters), \
-         :trace <goal> (watch FS2 match it), :quit."
+         \\metrics (per-layer metrics), :trace <goal> (watch FS2 match it), :quit."
     );
     let stdin = std::io::stdin();
     let mut last_stats: Option<String> = None;
@@ -130,6 +131,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     stats.rejected,
                     stats.total_elapsed,
                 );
+                continue;
+            }
+            "\\metrics" => {
+                print!("{}", clare::trace::metrics().snapshot().render_text());
                 continue;
             }
             cmd if cmd.starts_with(":trace ") => {

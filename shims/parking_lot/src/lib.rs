@@ -14,8 +14,8 @@ use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
 
 impl<T> Mutex<T> {
-    /// Creates a lock around `value`.
-    pub fn new(value: T) -> Self {
+    /// Creates a lock around `value` (const, as in upstream `parking_lot`).
+    pub const fn new(value: T) -> Self {
         Mutex(sync::Mutex::new(value))
     }
 
@@ -42,8 +42,8 @@ impl<T: ?Sized> Mutex<T> {
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
 
 impl<T> RwLock<T> {
-    /// Creates a lock around `value`.
-    pub fn new(value: T) -> Self {
+    /// Creates a lock around `value` (const, as in upstream `parking_lot`).
+    pub const fn new(value: T) -> Self {
         RwLock(sync::RwLock::new(value))
     }
 

@@ -20,6 +20,7 @@
 //! | [`core`] | Clause Retrieval Server, search modes, resolution |
 //! | [`workload`] | synthetic knowledge bases and query sets |
 //! | [`net`] | PIF-over-TCP wire protocol, serving daemon, client |
+//! | [`trace`] | process-wide metrics registry, spans, sinks |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub use clare_net as net;
 pub use clare_pif as pif;
 pub use clare_scw as scw;
 pub use clare_term as term;
+pub use clare_trace as trace;
 pub use clare_unify as unify;
 pub use clare_workload as workload;
 
