@@ -17,7 +17,7 @@
 //! unifier.
 
 use crate::cost::SoftwareCostModel;
-use clare_disk::{DiskProfile, SimNanos};
+use clare_disk::{DiskProfile, SimNanos, Track};
 use clare_fs2::{Fs2Config, Fs2Engine};
 use clare_kb::{KnowledgeBase, ModuleKind, Predicate};
 use clare_pif::{encode_query, ClauseRecord};
@@ -25,7 +25,7 @@ use clare_scw::{encode_query_descriptor, ClauseAddr};
 use clare_term::{term_size, ClauseId, Term};
 use clare_unify::partial::{partial_match, PartialConfig};
 use clare_unify::unify_query_clause;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -134,6 +134,15 @@ pub struct RetrievalStats {
     /// Tracks whose satisfier count exceeded the 64-slot Result Memory
     /// (each would force a re-read on the real hardware).
     pub result_memory_overflows: usize,
+    /// Tracks whose CRC failed on read (or whose records would not parse):
+    /// their FS2 pass was skipped and every clause re-served to the host
+    /// unifier instead. A skipped filter passes a *superset*, so the answer
+    /// set is unchanged — only `candidates`/`false_drops` grow.
+    pub quarantined_tracks: usize,
+    /// Whether any fault degraded this retrieval (quarantined tracks).
+    /// Degraded answers are still *correct* — the filters are complete and
+    /// full unification finishes every mode — but they cost more host work.
+    pub degraded: bool,
 }
 
 impl RetrievalStats {
@@ -154,6 +163,8 @@ impl RetrievalStats {
             elapsed: SimNanos::ZERO,
             bytes_from_disk: 0,
             result_memory_overflows: 0,
+            quarantined_tracks: 0,
+            degraded: false,
         }
     }
 }
@@ -375,6 +386,9 @@ fn retrieve_inner(
     stats.unified = unified;
     stats.false_drops = candidates.len() - unified;
     stats.elapsed += stats.full_unify_time;
+    if stats.degraded {
+        clare_trace::metrics().crs_degraded_answers.inc();
+    }
 
     Retrieval { candidates, stats }
 }
@@ -492,10 +506,29 @@ fn fetch_candidate_tracks(
 }
 
 /// One track's FS2 outcome: total modelled matching time plus the slots
-/// of the clauses that satisfied the partial test.
+/// of the clauses that satisfied the partial test. A `degraded` track was
+/// quarantined — its FS2 pass was skipped and every clause passes.
 struct TrackMatches {
     fs2_time: SimNanos,
     hits: Vec<u16>,
+    degraded: bool,
+}
+
+/// Quarantines track `t`: the hardware filter is skipped and every clause
+/// on the track becomes a hit, so the filter's completeness contract (no
+/// false negatives) holds even over data it could not trust. Downstream
+/// full unification weeds the extra false drops; the answer set is exactly
+/// the fault-free one. No FS2 time is charged — the hardware did not run.
+fn quarantine_track(pred: &Predicate, t: usize) -> TrackMatches {
+    let slots = pred.file().tracks().get(t).map_or(0, Track::record_count);
+    let m = clare_trace::metrics();
+    m.fs2_quarantined_tracks.inc();
+    m.disk_track_crc_failures.inc();
+    TrackMatches {
+        fs2_time: SimNanos::ZERO,
+        hits: (0..slots as u16).collect(),
+        degraded: true,
+    }
 }
 
 /// Streams one track's clauses through the engine. With `predecoded` the
@@ -511,6 +544,16 @@ fn match_track(
     t: usize,
     predecoded: bool,
 ) -> TrackMatches {
+    // Integrity gate *before* the arena-vs-byte choice, so both paths make
+    // the same quarantine decision and stay byte-identical downstream. The
+    // CRC verdict is memoized per track inside the stored file, so the
+    // fault-free fast path pays the checksum exactly once per track.
+    let Some(read) = pred.file().read_track(t) else {
+        return quarantine_track(pred, t);
+    };
+    if !read.intact() {
+        return quarantine_track(pred, t);
+    }
     let mut fs2_time = SimNanos::ZERO;
     let mut hits = Vec::new();
     // Per-clause accounting stays in locals; the shared atomic registry
@@ -533,9 +576,14 @@ fn match_track(
             }
         }
     } else {
-        for (slot, record_bytes) in pred.file().tracks()[t].records().iter().enumerate() {
-            let (record, _) = ClauseRecord::from_bytes(record_bytes)
-                .expect("knowledge base records are well-formed");
+        for (slot, record_bytes) in read.track().records().iter().enumerate() {
+            // A record that fails to parse despite a good CRC means the
+            // stored bytes themselves are bad: quarantine the whole track
+            // rather than trust a partial sweep (or panic, as this path
+            // once did).
+            let Ok((record, _)) = ClauseRecord::from_bytes(record_bytes) else {
+                return quarantine_track(pred, t);
+            };
             let verdict = engine.match_clause_quiet(record.head_stream());
             fs2_time += verdict.time;
             clauses += 1;
@@ -554,7 +602,11 @@ fn match_track(
     for (counter, n) in m.fs2_ops.iter().zip(ops) {
         counter.add(n);
     }
-    TrackMatches { fs2_time, hits }
+    TrackMatches {
+        fs2_time,
+        hits,
+        degraded: false,
+    }
 }
 
 /// Runs a set of FS2 sweep jobs — `(engine, tracks)` pairs, typically one
@@ -603,7 +655,8 @@ fn fs2_sweep_jobs(
     let started = Instant::now();
     let pool_workers = workers.min(items.len());
     let next = AtomicUsize::new(0);
-    let mut results: Vec<(usize, usize, Vec<TrackMatches>)> = std::thread::scope(|scope| {
+    type Shards = Vec<(usize, usize, Vec<TrackMatches>)>;
+    let (mut results, panicked): (Shards, usize) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..pool_workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -615,6 +668,24 @@ fn fs2_sweep_jobs(
                         let Some(&(j, start, tracks)) = items.get(i) else {
                             break;
                         };
+                        // Fault injection: a worker may stall or die at a
+                        // shard boundary. The decision keys on (job, shard)
+                        // — not on claim order — so a chaos schedule replays
+                        // identically at every thread interleaving.
+                        if clare_fault::active() {
+                            let ctx = ((j as u64) << 32) | start as u64;
+                            match clare_fault::decide(clare_fault::FaultSite::Fs2Worker, ctx) {
+                                clare_fault::FaultAction::Delay { micros } => {
+                                    std::thread::sleep(std::time::Duration::from_micros(micros));
+                                }
+                                clare_fault::FaultAction::Panic => {
+                                    panic!(
+                                        "injected fault: FS2 worker died on shard ({j}, {start})"
+                                    );
+                                }
+                                _ => {}
+                            }
+                        }
                         let engine = engines[j].get_or_insert_with(|| jobs[j].0.clone());
                         let matches = tracks
                             .iter()
@@ -630,20 +701,44 @@ fn fs2_sweep_jobs(
             })
             .collect();
         let mut all = Vec::new();
+        let mut panicked = 0usize;
         for h in handles {
             match h.join() {
                 Ok(shards) => all.extend(shards),
-                Err(payload) => {
-                    // The sweep cannot produce a byte-identical result with
-                    // a shard missing, so the panic is re-raised — but it is
-                    // counted first, never silent.
+                Err(_payload) => {
+                    // A dead worker takes every shard it had finished with
+                    // it. Count the death and fall through: the missing
+                    // shards are recomputed serially below, so the sweep
+                    // degrades to slower — never to wrong, never to a
+                    // re-raised panic on the serving thread.
                     clare_trace::metrics().fs2_worker_panics.inc();
-                    std::panic::resume_unwind(payload);
+                    panicked += 1;
                 }
             }
         }
-        all
+        (all, panicked)
     });
+    if panicked > 0 {
+        // Serial recovery of the lost shards. `match_track` still consults
+        // the disk-fault site (its decisions key on the track, so recovery
+        // sees the same corruption the worker would have), but the
+        // Fs2Worker site is only consulted at pool claim time — recovery
+        // cannot re-panic and always terminates.
+        let done: HashSet<(usize, usize)> = results.iter().map(|&(j, s, _)| (j, s)).collect();
+        let mut engines: Vec<Option<Fs2Engine>> = vec![None; jobs.len()];
+        for &(j, start, tracks) in &items {
+            if done.contains(&(j, start)) {
+                continue;
+            }
+            let engine = engines[j].get_or_insert_with(|| jobs[j].0.clone());
+            let matches = tracks
+                .iter()
+                .map(|&t| match_track(pred, engine, t, predecoded))
+                .collect();
+            clare_trace::metrics().fs2_worker_recoveries.inc();
+            results.push((j, start, matches));
+        }
+    }
     // Stitch shards back per job, in track order.
     results.sort_by_key(|&(j, start, _)| (j, start));
     let mut out: Vec<Vec<TrackMatches>> = jobs
@@ -731,6 +826,10 @@ fn fs2_phase(
         }
         if tm.hits.len() > clare_fs2::result::SATISFIER_SLOTS {
             stats.result_memory_overflows += 1;
+        }
+        if tm.degraded {
+            stats.quarantined_tracks += 1;
+            stats.degraded = true;
         }
         // Adjacent tracks continue the sweep for free; the first track and
         // any gap cost a fresh positioning (seek + rotational latency).
@@ -1030,6 +1129,95 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Runs `f` with panics silenced (worker-death tests would otherwise
+    /// spray backtraces into the test log), restoring the previous hook.
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn disk_faults_degrade_but_never_change_the_answer_set() {
+        use clare_fault::{DeterministicInjector, FaultPlan, FaultSite};
+        let (kb, queries) = build(&big_facts(3000), &["fact(k100, X)", "fact(K, v3)"]);
+        let opts = CrsOptions::default();
+        // Fault-free references first (the injector is not installed yet).
+        let reference: Vec<Retrieval> = queries
+            .iter()
+            .flat_map(|q| {
+                [SearchMode::Fs2Only, SearchMode::TwoStage]
+                    .into_iter()
+                    .map(|m| retrieve(&kb, q, m, &opts))
+            })
+            .collect();
+        for seed in 0..8u64 {
+            let plan = FaultPlan::none().with(FaultSite::DiskTrackRead, 600);
+            let _guard =
+                clare_fault::install(std::sync::Arc::new(DeterministicInjector::new(seed, plan)));
+            let mut degraded_seen = false;
+            for (q, want) in queries
+                .iter()
+                .flat_map(|q| {
+                    [SearchMode::Fs2Only, SearchMode::TwoStage]
+                        .into_iter()
+                        .map(move |m| (q, m))
+                })
+                .zip(&reference)
+            {
+                let (query, mode) = q;
+                let got = retrieve(&kb, query, mode, &opts);
+                // Correct or flagged: the answer set never moves, and any
+                // quarantine must be visible in the stats.
+                assert_eq!(got.stats.unified, want.stats.unified, "seed {seed}");
+                assert!(got.stats.candidates >= want.stats.unified);
+                if got.stats.quarantined_tracks > 0 {
+                    assert!(got.stats.degraded, "quarantine must flag the answer");
+                    degraded_seen = true;
+                }
+            }
+            assert!(
+                degraded_seen,
+                "60% per-track fault rate should quarantine something (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn fs2_worker_deaths_are_recovered_without_changing_the_sweep() {
+        use clare_fault::{DeterministicInjector, FaultPlan, FaultSite};
+        let (kb, queries) = build(&big_facts(2500), &["fact(k7, X)", "fact(K, v3)"]);
+        let opts = CrsOptions {
+            fs2_parallelism: Some(4),
+            ..CrsOptions::default()
+        };
+        let reference: Vec<Retrieval> = queries
+            .iter()
+            .map(|q| retrieve(&kb, q, SearchMode::Fs2Only, &opts))
+            .collect();
+        let recoveries_before = clare_trace::metrics().fs2_worker_recoveries.get();
+        quiet_panics(|| {
+            for seed in 0..12u64 {
+                let plan = FaultPlan::none().with(FaultSite::Fs2Worker, 700);
+                let _guard = clare_fault::install(std::sync::Arc::new(DeterministicInjector::new(
+                    seed, plan,
+                )));
+                for (q, want) in queries.iter().zip(&reference) {
+                    let got = retrieve(&kb, q, SearchMode::Fs2Only, &opts);
+                    // Worker faults never reach the answer: lost shards are
+                    // recomputed serially, and no panic crosses the API.
+                    assert_eq!(&got, want, "seed {seed}");
+                }
+            }
+        });
+        assert!(
+            clare_trace::metrics().fs2_worker_recoveries.get() > recoveries_before,
+            "a 70% shard fault rate across 12 seeds should kill at least one worker"
+        );
     }
 
     #[test]

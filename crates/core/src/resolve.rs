@@ -73,6 +73,10 @@ pub struct SolveStats {
     pub retrieval_elapsed: SimNanos,
     /// Depth limit hits (search was cut).
     pub depth_cuts: usize,
+    /// Whether any retrieval along the way ran degraded (quarantined
+    /// tracks served by software unification instead of the hardware
+    /// filter). The solutions are still exactly the fault-free ones.
+    pub degraded: bool,
 }
 
 impl SolveStats {
@@ -81,6 +85,7 @@ impl SolveStats {
         self.clauses_unified += stats.unified;
         self.candidates += stats.candidates;
         self.retrieval_elapsed += stats.elapsed;
+        self.degraded |= stats.degraded;
     }
 }
 

@@ -34,6 +34,12 @@ pub struct ServerStats {
     /// shedding load when its queue is full); see
     /// [`ClauseRetrievalServer::note_rejected`].
     pub rejected: u64,
+    /// Answers (retrievals or solves) served degraded: a storage fault
+    /// quarantined at least one track, so the hardware filter was skipped
+    /// there and the clauses re-served via software unification. Degraded
+    /// answers are still correct — the count is a health signal, not an
+    /// error count.
+    pub degraded: u64,
     /// Total modelled retrieval time across clients.
     pub total_elapsed: SimNanos,
 }
@@ -56,6 +62,7 @@ struct StatsCell {
     solves: AtomicU64,
     updates: AtomicU64,
     rejected: AtomicU64,
+    degraded: AtomicU64,
     total_elapsed_ns: AtomicU64,
 }
 
@@ -73,6 +80,7 @@ impl StatsCell {
         self.solves.store(s.solves, Ordering::Relaxed);
         self.updates.store(s.updates, Ordering::Relaxed);
         self.rejected.store(s.rejected, Ordering::Relaxed);
+        self.degraded.store(s.degraded, Ordering::Relaxed);
         self.total_elapsed_ns
             .store(s.total_elapsed.as_ns(), Ordering::Relaxed);
         // Exit: the release half keeps the stores from sinking below the
@@ -94,6 +102,7 @@ impl StatsCell {
                 solves: self.solves.load(Ordering::Relaxed),
                 updates: self.updates.load(Ordering::Relaxed),
                 rejected: self.rejected.load(Ordering::Relaxed),
+                degraded: self.degraded.load(Ordering::Relaxed),
                 total_elapsed: SimNanos::from_ns(self.total_elapsed_ns.load(Ordering::Relaxed)),
             };
             std::sync::atomic::fence(Ordering::Acquire);
@@ -166,6 +175,7 @@ impl ClauseRetrievalServer {
         let outcome = retrieve(&kb, query, mode, &self.options);
         self.stats.update(|stats| {
             stats.retrievals += 1;
+            stats.degraded += u64::from(outcome.stats.degraded);
             stats.total_elapsed += outcome.stats.elapsed;
         });
         let m = clare_trace::metrics();
@@ -192,6 +202,7 @@ impl ClauseRetrievalServer {
             stats.batches += 1;
             stats.retrievals += outcomes.len() as u64;
             for outcome in &outcomes {
+                stats.degraded += u64::from(outcome.stats.degraded);
                 stats.total_elapsed += outcome.stats.elapsed;
             }
         });
@@ -229,6 +240,7 @@ impl ClauseRetrievalServer {
         let outcome = crate::resolve::solve_goals(&kb, goals, var_names, options);
         self.stats.update(|stats| {
             stats.solves += 1;
+            stats.degraded += u64::from(outcome.stats.degraded);
             stats.total_elapsed += outcome.stats.retrieval_elapsed;
         });
         clare_trace::metrics()

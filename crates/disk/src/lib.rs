@@ -35,11 +35,15 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod profile;
 pub mod time;
 pub mod volume;
 
 pub use profile::DiskProfile;
-pub use time::{ByteRate, SimNanos};
-pub use volume::{FileBuilder, RecordTooLargeError, StoredFile, Track, TrackStream, TransferStats};
+pub use time::{ByteRate, SimNanos, TimeError};
+pub use volume::{
+    FileBuilder, InvalidTrackSizeError, RecordTooLargeError, StoredFile, Track, TrackRead,
+    TrackStream, TransferStats,
+};

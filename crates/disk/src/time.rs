@@ -4,6 +4,39 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
+/// A rejected time or rate value, carrying the offending input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeError {
+    /// A duration that is negative, NaN, or infinite.
+    InvalidDuration {
+        /// The rejected seconds value.
+        secs: f64,
+    },
+    /// A byte rate that is not finite and positive.
+    InvalidRate {
+        /// The rejected bytes-per-second value.
+        bytes_per_sec: f64,
+    },
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::InvalidDuration { secs } => {
+                write!(f, "duration must be finite and non-negative, got {secs}")
+            }
+            TimeError::InvalidRate { bytes_per_sec } => {
+                write!(
+                    f,
+                    "rate must be positive and finite, got {bytes_per_sec} B/s"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}
+
 /// A span of simulated time in nanoseconds.
 ///
 /// Nanoseconds are the paper's native unit (every Table 1 entry is in ns);
@@ -41,12 +74,31 @@ impl SimNanos {
     }
 
     /// Constructs from seconds (fractional), rounding to the nearest ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite input; use
+    /// [`Self::try_from_secs_f64`] to handle untrusted values.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(
-            secs >= 0.0 && secs.is_finite(),
-            "duration must be finite and non-negative"
-        );
-        SimNanos((secs * 1e9).round() as u64)
+        match Self::try_from_secs_f64(secs) {
+            Ok(ns) => ns,
+            Err(e) => panic!("duration must be finite and non-negative: {e}"),
+        }
+    }
+
+    /// Fallible [`Self::from_secs_f64`]: rejects negative and non-finite
+    /// inputs with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidDuration`] when `secs` is negative,
+    /// NaN, or infinite.
+    pub fn try_from_secs_f64(secs: f64) -> Result<Self, TimeError> {
+        if secs >= 0.0 && secs.is_finite() {
+            Ok(SimNanos((secs * 1e9).round() as u64))
+        } else {
+            Err(TimeError::InvalidDuration { secs })
+        }
     }
 
     /// The raw nanosecond count.
@@ -74,6 +126,13 @@ impl SimNanos {
         SimNanos(self.0.saturating_sub(other.0))
     }
 
+    /// Checked subtraction: `None` when `other` exceeds `self`. The `-`
+    /// operator saturates to zero; call this where a negative duration
+    /// indicates a logic error the caller wants to detect.
+    pub fn checked_sub(self, other: SimNanos) -> Option<SimNanos> {
+        self.0.checked_sub(other.0).map(SimNanos)
+    }
+
     /// The larger of two durations (e.g. two parallel datapath routes — the
     /// paper always takes "the longest routing time of the two").
     pub fn max(self, other: SimNanos) -> SimNanos {
@@ -96,8 +155,12 @@ impl AddAssign for SimNanos {
 
 impl Sub for SimNanos {
     type Output = SimNanos;
+    /// Saturating: a negative difference clamps to zero. Simulated clocks
+    /// only move forward, so an underflow means the caller mixed up its
+    /// operands — use [`SimNanos::checked_sub`] to detect that instead of
+    /// crashing a serving daemon over an accounting slip.
     fn sub(self, rhs: SimNanos) -> SimNanos {
-        SimNanos(self.0.checked_sub(rhs.0).expect("negative duration"))
+        SimNanos(self.0.saturating_sub(rhs.0))
     }
 }
 
@@ -147,10 +210,27 @@ impl ByteRate {
     ///
     /// # Panics
     ///
-    /// Panics if the rate is not finite and positive.
+    /// Panics if the rate is not finite and positive; use
+    /// [`Self::try_from_bytes_per_sec`] to handle untrusted values.
     pub fn from_bytes_per_sec(bps: f64) -> Self {
-        assert!(bps.is_finite() && bps > 0.0, "rate must be positive");
-        ByteRate(bps)
+        match Self::try_from_bytes_per_sec(bps) {
+            Ok(rate) => rate,
+            Err(e) => panic!("rate must be positive: {e}"),
+        }
+    }
+
+    /// Fallible [`Self::from_bytes_per_sec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidRate`] when `bps` is zero, negative,
+    /// NaN, or infinite.
+    pub fn try_from_bytes_per_sec(bps: f64) -> Result<Self, TimeError> {
+        if bps.is_finite() && bps > 0.0 {
+            Ok(ByteRate(bps))
+        } else {
+            Err(TimeError::InvalidRate { bytes_per_sec: bps })
+        }
     }
 
     /// Constructs from megabytes per second (decimal MB, as the paper
@@ -181,14 +261,13 @@ impl ByteRate {
 
     /// The rate implied by moving `bytes` in `elapsed`.
     ///
-    /// Returns `None` for a zero duration.
+    /// Returns `None` for a zero duration or zero bytes (no meaningful
+    /// rate exists; previously zero bytes panicked).
     pub fn observed(bytes: u64, elapsed: SimNanos) -> Option<Self> {
         if elapsed == SimNanos::ZERO {
             None
         } else {
-            Some(Self::from_bytes_per_sec(
-                bytes as f64 / elapsed.as_secs_f64(),
-            ))
+            Self::try_from_bytes_per_sec(bytes as f64 / elapsed.as_secs_f64()).ok()
         }
     }
 }
@@ -225,9 +304,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "negative duration")]
-    fn underflow_panics() {
-        let _ = SimNanos::from_ns(1) - SimNanos::from_ns(2);
+    fn underflow_saturates_and_checked_sub_detects() {
+        assert_eq!(SimNanos::from_ns(1) - SimNanos::from_ns(2), SimNanos::ZERO);
+        assert_eq!(SimNanos::from_ns(1).checked_sub(SimNanos::from_ns(2)), None);
+        assert_eq!(
+            SimNanos::from_ns(5).checked_sub(SimNanos::from_ns(2)),
+            Some(SimNanos::from_ns(3))
+        );
+        assert!(SimNanos::try_from_secs_f64(-1.0).is_err());
+        assert!(SimNanos::try_from_secs_f64(f64::NAN).is_err());
+        assert_eq!(
+            SimNanos::try_from_secs_f64(1.5),
+            Ok(SimNanos::from_ns(1_500_000_000))
+        );
     }
 
     #[test]
@@ -263,5 +352,15 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
         ByteRate::from_bytes_per_sec(0.0);
+    }
+
+    #[test]
+    fn try_rate_rejects_without_panicking() {
+        assert!(ByteRate::try_from_bytes_per_sec(0.0).is_err());
+        assert!(ByteRate::try_from_bytes_per_sec(-2.0).is_err());
+        assert!(ByteRate::try_from_bytes_per_sec(f64::INFINITY).is_err());
+        assert!(ByteRate::try_from_bytes_per_sec(1e6).is_ok());
+        // Zero bytes over nonzero time is "no rate", not a crash.
+        assert!(ByteRate::observed(0, SimNanos::from_ns(10)).is_none());
     }
 }

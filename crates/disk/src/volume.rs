@@ -5,10 +5,21 @@
 //! FS2's Result Memory to hold "all clause satisfiers of one disk track —
 //! the worst case of a single FS2 search call", which presumes track-aligned
 //! records.
+//!
+//! Every track carries a CRC32C over its record stream, maintained
+//! incrementally by [`FileBuilder`]. Readers that must not trust the
+//! medium go through [`StoredFile::read_track`], which verifies the
+//! checksum (memoized, so the clean path pays it once per track per
+//! file), applies any installed [fault injector](clare_fault) first, and
+//! reports whether the delivered bytes are intact.
 
 use crate::profile::DiskProfile;
 use crate::time::{ByteRate, SimNanos};
+use clare_fault::{crc32c_append, FaultAction, FaultSite};
+use std::borrow::Cow;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Error from [`FileBuilder::append_record`]: the record exceeds one track.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,11 +42,24 @@ impl fmt::Display for RecordTooLargeError {
 
 impl std::error::Error for RecordTooLargeError {}
 
+/// Error from [`FileBuilder::try_new`]: a zero track capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTrackSizeError;
+
+impl fmt::Display for InvalidTrackSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "track size must be positive")
+    }
+}
+
+impl std::error::Error for InvalidTrackSizeError {}
+
 /// One disk track's worth of records.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Track {
     records: Vec<Vec<u8>>,
     used_bytes: usize,
+    crc: u32,
 }
 
 impl Track {
@@ -53,6 +77,31 @@ impl Track {
     pub fn record_count(&self) -> usize {
         self.records.len()
     }
+
+    /// The CRC32C stored when the track was laid out (over each record's
+    /// big-endian `u32` length followed by its bytes, so record boundary
+    /// shifts are detected too).
+    pub fn stored_crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// Recomputes the record-stream CRC32C from the bytes actually
+    /// present. Equal to [`Self::stored_crc`] iff the track is intact.
+    pub fn compute_crc(&self) -> u32 {
+        let mut crc = 0u32;
+        for record in &self.records {
+            crc = crc32c_append(crc, &(record.len() as u32).to_be_bytes());
+            crc = crc32c_append(crc, record);
+        }
+        crc
+    }
+
+    fn push_record(&mut self, record: &[u8]) {
+        self.crc = crc32c_append(self.crc, &(record.len() as u32).to_be_bytes());
+        self.crc = crc32c_append(self.crc, record);
+        self.records.push(record.to_vec());
+        self.used_bytes += record.len();
+    }
 }
 
 /// Builds a [`StoredFile`] by appending records first-fit onto tracks.
@@ -67,13 +116,28 @@ impl FileBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `track_bytes` is zero.
+    /// Panics if `track_bytes` is zero; use [`Self::try_new`] to handle
+    /// untrusted geometry.
     pub fn new(track_bytes: usize) -> Self {
-        assert!(track_bytes > 0, "track size must be positive");
-        FileBuilder {
+        match Self::try_new(track_bytes) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTrackSizeError`] when `track_bytes` is zero.
+    pub fn try_new(track_bytes: usize) -> Result<Self, InvalidTrackSizeError> {
+        if track_bytes == 0 {
+            return Err(InvalidTrackSizeError);
+        }
+        Ok(FileBuilder {
             track_bytes,
             tracks: vec![Track::default()],
-        }
+        })
     }
 
     /// Appends a record, starting a new track when the current one is full.
@@ -88,16 +152,15 @@ impl FileBuilder {
                 track_bytes: self.track_bytes,
             });
         }
-        let current = self
-            .tracks
-            .last_mut()
-            .expect("builder keeps one open track");
-        if current.used_bytes + record.len() > self.track_bytes {
+        let needs_new_track = match self.tracks.last() {
+            Some(open) => open.used_bytes + record.len() > self.track_bytes,
+            None => true,
+        };
+        if needs_new_track {
             self.tracks.push(Track::default());
         }
-        let current = self.tracks.last_mut().expect("just ensured");
-        current.records.push(record.to_vec());
-        current.used_bytes += record.len();
+        let last = self.tracks.len() - 1;
+        self.tracks[last].push_record(record);
         Ok(())
     }
 
@@ -110,10 +173,43 @@ impl FileBuilder {
         {
             self.tracks.pop();
         }
+        let verified = Arc::new(VerifyCache::new(self.tracks.len()));
         StoredFile {
             name: name.into(),
             track_bytes: self.track_bytes,
             tracks: self.tracks,
+            verified,
+        }
+    }
+}
+
+/// Memoizes per-track checksum verification: an atomic bitset marking
+/// tracks whose stored and recomputed CRCs were seen to agree, so the
+/// clean read path pays the CRC once per track per file lifetime.
+#[derive(Debug, Default)]
+struct VerifyCache {
+    bits: Vec<AtomicU64>,
+}
+
+impl VerifyCache {
+    fn new(tracks: usize) -> Self {
+        VerifyCache {
+            bits: (0..tracks.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    fn get(&self, i: usize) -> bool {
+        match self.bits.get(i / 64) {
+            Some(word) => word.load(Ordering::Relaxed) >> (i % 64) & 1 == 1,
+            None => false,
+        }
+    }
+
+    fn set(&self, i: usize) {
+        if let Some(word) = self.bits.get(i / 64) {
+            word.fetch_or(1 << (i % 64), Ordering::Relaxed);
         }
     }
 }
@@ -140,11 +236,24 @@ impl FileBuilder {
 /// assert!(stream.stats().elapsed.as_ns() > 0);
 /// # Ok::<(), clare_disk::RecordTooLargeError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct StoredFile {
     name: String,
     track_bytes: usize,
     tracks: Vec<Track>,
+    /// Shared across clones: verification is a property of the stored
+    /// bytes, which clones share.
+    verified: Arc<VerifyCache>,
+}
+
+impl PartialEq for StoredFile {
+    /// The verification memo is a cache, not content — two files compare
+    /// equal iff their layout and bytes do.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.track_bytes == other.track_bytes
+            && self.tracks == other.tracks
+    }
 }
 
 impl StoredFile {
@@ -197,6 +306,100 @@ impl StoredFile {
     /// Time for one exhaustive sequential scan on `profile`.
     pub fn scan_time(&self, profile: &DiskProfile) -> SimNanos {
         profile.sequential_read_time(self.tracks.len() as u64)
+    }
+
+    /// Delivers track `t` as a reader must see it: through the installed
+    /// [fault injector](clare_fault) (which may flip bits or cut the read
+    /// short) and through CRC32C verification of whatever arrives.
+    ///
+    /// The clean path borrows the track and memoizes the checksum, so
+    /// repeated reads cost one atomic load. A faulted read clones the
+    /// track, corrupts the clone, and reports `intact() == false` when
+    /// verification catches it.
+    pub fn read_track(&self, t: usize) -> Option<TrackRead<'_>> {
+        let track = self.tracks.get(t)?;
+        if clare_fault::active() {
+            let ctx = (t as u64) ^ (fnv1a(self.name.as_bytes()) << 24);
+            match clare_fault::decide(FaultSite::DiskTrackRead, ctx) {
+                FaultAction::FlipBit { bit } if track.record_count() > 0 => {
+                    let mut dirty = track.clone();
+                    let n_records = dirty.records.len() as u64;
+                    let r = (bit % n_records) as usize;
+                    let record = &mut dirty.records[r];
+                    if !record.is_empty() {
+                        let i = ((bit / n_records) % (record.len() as u64 * 8)) as usize;
+                        record[i / 8] ^= 1 << (i % 8);
+                    }
+                    let intact = dirty.compute_crc() == dirty.stored_crc();
+                    return Some(TrackRead {
+                        track: Cow::Owned(dirty),
+                        intact,
+                    });
+                }
+                FaultAction::Truncate { keep } if track.record_count() > 0 => {
+                    // A short read: only a prefix of the records arrives.
+                    let mut dirty = track.clone();
+                    let keep = (keep % dirty.records.len() as u64) as usize;
+                    dirty.records.truncate(keep);
+                    dirty.used_bytes = dirty.records.iter().map(Vec::len).sum();
+                    let intact = dirty.compute_crc() == dirty.stored_crc();
+                    return Some(TrackRead {
+                        track: Cow::Owned(dirty),
+                        intact,
+                    });
+                }
+                _ => {}
+            }
+        }
+        let intact = self.verify_track(t, track);
+        Some(TrackRead {
+            track: Cow::Borrowed(track),
+            intact,
+        })
+    }
+
+    /// Verifies a track's checksum, memoizing successes.
+    fn verify_track(&self, t: usize, track: &Track) -> bool {
+        if self.verified.get(t) {
+            return true;
+        }
+        let ok = track.compute_crc() == track.stored_crc();
+        if ok {
+            self.verified.set(t);
+        }
+        ok
+    }
+}
+
+/// FNV-1a over the file name, to spread fault contexts across files.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One track as delivered by [`StoredFile::read_track`]: the (possibly
+/// corrupted) bytes plus the integrity verdict.
+#[derive(Debug)]
+pub struct TrackRead<'a> {
+    track: Cow<'a, Track>,
+    intact: bool,
+}
+
+impl TrackRead<'_> {
+    /// The delivered track contents.
+    pub fn track(&self) -> &Track {
+        &self.track
+    }
+
+    /// True when the delivered bytes passed CRC verification. A `false`
+    /// here means the track must be quarantined: its records cannot be
+    /// trusted by hardware filters and the caller should degrade to a
+    /// path that re-checks every candidate.
+    pub fn intact(&self) -> bool {
+        self.intact
     }
 }
 
@@ -360,6 +563,91 @@ mod tests {
             s.stats().elapsed,
             p.avg_seek() + p.avg_rotational_latency() + p.track_transfer_time()
         );
+    }
+
+    #[test]
+    fn tracks_carry_matching_crcs_from_the_builder() {
+        let mut b = FileBuilder::new(100);
+        for i in 0..9u8 {
+            b.append_record(&[i; 33]).unwrap();
+        }
+        let f = b.finish("t");
+        for (i, track) in f.tracks().iter().enumerate() {
+            assert_eq!(track.compute_crc(), track.stored_crc(), "track {i}");
+            let read = f.read_track(i).unwrap();
+            assert!(read.intact());
+            assert_eq!(read.track(), track);
+        }
+        assert!(f.read_track(f.track_count()).is_none());
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_caught_by_the_track_crc() {
+        // Exhaustive over a small track: flip every bit of every record
+        // (and every bit of a record length via boundary shifts below).
+        let mut b = FileBuilder::new(64);
+        b.append_record(&[0xA5; 11]).unwrap();
+        b.append_record(&[0x3C; 7]).unwrap();
+        b.append_record(&[0x00; 13]).unwrap();
+        let f = b.finish("flips");
+        let clean = &f.tracks()[0];
+        for r in 0..clean.record_count() {
+            for bit in 0..clean.records()[r].len() * 8 {
+                let mut dirty = clean.clone();
+                dirty.records[r][bit / 8] ^= 1 << (bit % 8);
+                assert_ne!(
+                    dirty.compute_crc(),
+                    dirty.stored_crc(),
+                    "flip of record {r} bit {bit} went undetected"
+                );
+            }
+        }
+        // Boundary shifts: moving a byte across a record boundary keeps
+        // the concatenated payload identical but must still be caught.
+        let mut shifted = clean.clone();
+        let moved = shifted.records[0].pop().unwrap();
+        shifted.records[1].insert(0, moved);
+        assert_ne!(shifted.compute_crc(), shifted.stored_crc());
+        // Dropped trailing record (a short read) is caught too.
+        let mut short = clean.clone();
+        short.records.pop();
+        assert_ne!(short.compute_crc(), short.stored_crc());
+    }
+
+    #[test]
+    fn builder_never_panics_on_degenerate_inputs() {
+        assert!(FileBuilder::try_new(0).is_err());
+        let mut b = FileBuilder::try_new(1).unwrap();
+        b.append_record(&[]).unwrap(); // zero-length records are legal
+        b.append_record(&[9]).unwrap();
+        assert!(b.append_record(&[0; 2]).is_err());
+        let f = b.finish("tiny");
+        assert_eq!(f.record_count(), 2);
+        let read = f.read_track(0).unwrap();
+        assert!(read.intact());
+    }
+
+    #[test]
+    fn injected_disk_faults_are_flagged_not_trusted() {
+        use clare_fault::{DeterministicInjector, FaultPlan, FaultSite};
+        let mut b = FileBuilder::new(64);
+        for i in 0..12u8 {
+            b.append_record(&[i; 15]).unwrap();
+        }
+        let f = b.finish("faulted");
+        let plan = FaultPlan::none().with(FaultSite::DiskTrackRead, 1000);
+        let _guard =
+            clare_fault::install(std::sync::Arc::new(DeterministicInjector::new(11, plan)));
+        let mut flagged = 0;
+        for t in 0..f.track_count() {
+            let read = f.read_track(t).unwrap();
+            if !read.intact() {
+                flagged += 1;
+                // The corruption never silently matches the stored CRC.
+                assert_ne!(read.track().compute_crc(), read.track().stored_crc());
+            }
+        }
+        assert!(flagged > 0, "a 100% fault plan corrupted nothing");
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! CRC32C (Castagnoli) — the checksum guarding disk tracks, `.ckb`
+//! sections, and wire frames.
+//!
+//! Hand-rolled because the workspace vendors no checksum crate: the
+//! reflected polynomial `0x82F63B78` with slicing-by-8 over const-built
+//! tables. The digest is resumable ([`crc32c_append`]) so callers can
+//! checksum scattered byte runs (a track's records, a section written in
+//! chunks) without gathering them into one buffer.
+
+/// The reflected CRC32C (Castagnoli) polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Eight 256-entry tables for slicing-by-8.
+static TABLES: [[u32; 256]; 8] = build_tables();
+
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+/// CRC32C of `bytes` in one call.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    crc32c_append(0, bytes)
+}
+
+/// Folds `bytes` into a running CRC32C digest. `crc32c_append(0, all)`
+/// equals `crc32c_append(crc32c_append(0, head), tail)` for any split.
+pub fn crc32c_append(crc: u32, bytes: &[u8]) -> u32 {
+    let mut state = !crc;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ state;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        state = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        state = (state >> 8) ^ TABLES[0][((state ^ b as u32) & 0xFF) as usize];
+    }
+    !state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 B.4 test vectors for CRC32C.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn append_is_split_invariant() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i * 31 % 251) as u8).collect();
+        let whole = crc32c(&data);
+        for split in [0, 1, 7, 8, 9, 100, data.len()] {
+            let (head, tail) = data.split_at(split);
+            assert_eq!(crc32c_append(crc32c_append(0, head), tail), whole);
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let data = [0x5Au8; 64];
+        let clean = crc32c(&data);
+        for bit in [0usize, 1, 63, 64 * 8 - 1] {
+            let mut flipped = data;
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32c(&flipped), clean, "bit {bit} went undetected");
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Deterministic fault injection for the CLARE storage and network path.
+//!
+//! The paper's engine streams clauses off a disk, filters them in
+//! hardware, and (in our reproduction) serves them over TCP — three
+//! places where bytes can rot, reads can come up short, and workers can
+//! die. This crate is the one switchboard every layer consults before
+//! trusting its inputs:
+//!
+//! * [`crc32c`] — the Castagnoli checksum guarding disk tracks, `.ckb`
+//!   sections, and wire frames (hand-rolled, resumable, slicing-by-8).
+//! * [`FaultInjector`] — a trait deciding, per *site* and *context*,
+//!   whether to corrupt the operation in flight. The default is a no-op;
+//!   production code pays one relaxed atomic load per injection point.
+//! * [`DeterministicInjector`] — a seeded injector whose every decision
+//!   is a pure hash of `(seed, site, context)`. No sequence counters, no
+//!   shared state: the same seed produces the same faults regardless of
+//!   thread interleaving, which is what lets the chaos harness replay
+//!   10,000 schedules and diff answers against a fault-free run.
+//! * [`install`] — swaps an injector into the process-wide registry and
+//!   returns an RAII guard. The guard also holds a global lock, so chaos
+//!   tests in one binary serialize instead of corrupting each other.
+//!
+//! Injection *sites* are coarse, stable names ([`FaultSite`]); the
+//! *context* is a site-specific 64-bit key (track index, byte offset,
+//! request id) so faults land on addressable units that tests can reason
+//! about.
+
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+
+pub mod crc32c;
+
+pub use crc32c::{crc32c, crc32c_append};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Where in the pipeline a fault decision is being made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A disk [`Track`](../clare_disk/volume/struct.Track.html) being
+    /// delivered to a reader. Context: track index mixed with a hash of
+    /// the file name. Menu: bit flips, short reads.
+    DiskTrackRead,
+    /// A chunk read while loading a `.ckb` knowledge-base image.
+    /// Context: byte offset of the chunk. Menu: bit flips, short reads.
+    KbRead,
+    /// A chunk written while saving a `.ckb` image. Context: byte offset.
+    /// Menu: torn write (the file ends here, as if power was lost).
+    CkbWrite,
+    /// An FS2 sweep worker claiming a shard. Context: the shard's first
+    /// track index. Menu: delays, panics.
+    Fs2Worker,
+    /// The server writing a reply frame. Context: request id. Menu:
+    /// dropped frame, half-written frame, bit flip in the payload.
+    NetServerSend,
+    /// The client writing a request frame. Context: request id. Menu:
+    /// dropped frame, half-written frame.
+    NetClientSend,
+}
+
+/// Number of distinct [`FaultSite`]s (sizes the counter arrays).
+pub const SITE_COUNT: usize = 6;
+
+impl FaultSite {
+    /// All sites, in counter index order.
+    pub const ALL: [FaultSite; SITE_COUNT] = [
+        FaultSite::DiskTrackRead,
+        FaultSite::KbRead,
+        FaultSite::CkbWrite,
+        FaultSite::Fs2Worker,
+        FaultSite::NetServerSend,
+        FaultSite::NetClientSend,
+    ];
+
+    /// Index of this site in [`Self::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::DiskTrackRead => 0,
+            FaultSite::KbRead => 1,
+            FaultSite::CkbWrite => 2,
+            FaultSite::Fs2Worker => 3,
+            FaultSite::NetServerSend => 4,
+            FaultSite::NetClientSend => 5,
+        }
+    }
+
+    /// Stable display name (used in chaos reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::DiskTrackRead => "disk_track_read",
+            FaultSite::KbRead => "kb_read",
+            FaultSite::CkbWrite => "ckb_write",
+            FaultSite::Fs2Worker => "fs2_worker",
+            FaultSite::NetServerSend => "net_server_send",
+            FaultSite::NetClientSend => "net_client_send",
+        }
+    }
+}
+
+/// What the injector asks the call site to do to the operation in
+/// flight. Offsets and lengths are raw 64-bit values; the call site
+/// reduces them modulo its buffer size, so one action shape serves every
+/// site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Proceed untouched (the default, and the only answer the no-op
+    /// injector ever gives).
+    None,
+    /// Flip one bit of the payload. The call site takes
+    /// `bit % (len * 8)`.
+    FlipBit {
+        /// Raw bit selector, reduced modulo the payload bit length.
+        bit: u64,
+    },
+    /// Deliver or persist only a prefix. The call site keeps
+    /// `keep % len` bytes (possibly zero).
+    Truncate {
+        /// Raw length selector, reduced modulo the payload length.
+        keep: u64,
+    },
+    /// Drop the operation entirely (a frame that never hits the wire).
+    Drop,
+    /// Stall for roughly this long before proceeding (worker sites).
+    Delay {
+        /// Stall duration in microseconds.
+        micros: u64,
+    },
+    /// Panic at the injection point (worker sites).
+    Panic,
+}
+
+/// A fault decision source. Implementations must be cheap and pure:
+/// `decide` is called on hot paths and must give the same answer for the
+/// same `(site, context)` pair for the lifetime of the injector.
+pub trait FaultInjector: Send + Sync {
+    /// The fault (if any) to apply at `site` for the unit identified by
+    /// `context`.
+    fn decide(&self, site: FaultSite, context: u64) -> FaultAction;
+}
+
+/// Per-site fault probabilities, in permille (0..=1000).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    permille: [u32; SITE_COUNT],
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing anywhere.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan injecting at every site with the same probability.
+    pub fn uniform(permille: u32) -> Self {
+        FaultPlan {
+            permille: [permille.min(1000); SITE_COUNT],
+        }
+    }
+
+    /// Sets one site's fault probability (builder style).
+    pub fn with(mut self, site: FaultSite, permille: u32) -> Self {
+        self.permille[site.index()] = permille.min(1000);
+        self
+    }
+
+    /// This site's fault probability in permille.
+    pub fn permille(&self, site: FaultSite) -> u32 {
+        self.permille[site.index()]
+    }
+}
+
+/// SplitMix64 finalizer — a strong 64-bit mix.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A seeded injector whose decisions are pure functions of
+/// `(seed, site, context)` — deterministic under any thread
+/// interleaving, which is what makes chaos schedules replayable.
+#[derive(Debug, Clone)]
+pub struct DeterministicInjector {
+    seed: u64,
+    plan: FaultPlan,
+}
+
+impl DeterministicInjector {
+    /// An injector driven by `seed` with per-site rates from `plan`.
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        DeterministicInjector { seed, plan }
+    }
+}
+
+impl FaultInjector for DeterministicInjector {
+    fn decide(&self, site: FaultSite, context: u64) -> FaultAction {
+        let p = self.plan.permille(site);
+        if p == 0 {
+            return FaultAction::None;
+        }
+        let h = mix64(self.seed ^ mix64((site.index() as u64 + 1) ^ context.rotate_left(17)));
+        if (h % 1000) as u32 >= p {
+            return FaultAction::None;
+        }
+        // More independent bits pick the action and its parameter.
+        let choice = mix64(h);
+        let param = mix64(choice);
+        match site {
+            FaultSite::DiskTrackRead | FaultSite::KbRead => {
+                if choice.is_multiple_of(2) {
+                    FaultAction::FlipBit { bit: param }
+                } else {
+                    FaultAction::Truncate { keep: param }
+                }
+            }
+            FaultSite::CkbWrite => FaultAction::Truncate { keep: param },
+            FaultSite::Fs2Worker => {
+                if choice.is_multiple_of(4) {
+                    FaultAction::Panic
+                } else {
+                    FaultAction::Delay {
+                        micros: param % 500,
+                    }
+                }
+            }
+            FaultSite::NetServerSend => match choice % 3 {
+                0 => FaultAction::Drop,
+                1 => FaultAction::Truncate { keep: param },
+                _ => FaultAction::FlipBit { bit: param },
+            },
+            FaultSite::NetClientSend => {
+                if choice.is_multiple_of(2) {
+                    FaultAction::Drop
+                } else {
+                    FaultAction::Truncate { keep: param }
+                }
+            }
+        }
+    }
+}
+
+/// The always-clean injector the registry falls back to.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopInjector;
+
+impl FaultInjector for NoopInjector {
+    fn decide(&self, _site: FaultSite, _context: u64) -> FaultAction {
+        FaultAction::None
+    }
+}
+
+// --- process-wide registry ----------------------------------------------
+
+/// Fast-path flag: injection points pay one relaxed load when no
+/// injector is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static INJECTOR: RwLock<Option<Arc<dyn FaultInjector>>> = RwLock::new(None);
+/// Serializes chaos tests within one binary: [`install`] holds this for
+/// the guard's lifetime.
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+/// Faults actually handed out, per site (for chaos assertions).
+static INJECTED: [AtomicU64; SITE_COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+fn read_injector() -> Option<Arc<dyn FaultInjector>> {
+    match INJECTOR.read() {
+        Ok(slot) => slot.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    }
+}
+
+/// The fault decision for `site`/`context`. This is the call every
+/// injection point makes; with no injector installed it is one relaxed
+/// atomic load.
+pub fn decide(site: FaultSite, context: u64) -> FaultAction {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return FaultAction::None;
+    }
+    let Some(injector) = read_injector() else {
+        return FaultAction::None;
+    };
+    let action = injector.decide(site, context);
+    if action != FaultAction::None {
+        INJECTED[site.index()].fetch_add(1, Ordering::Relaxed);
+    }
+    action
+}
+
+/// True when an injector is installed (cheap; used to skip building
+/// fault-only context values on hot paths).
+pub fn active() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Faults handed out so far, indexed like [`FaultSite::ALL`].
+pub fn injected_counts() -> [u64; SITE_COUNT] {
+    let mut out = [0u64; SITE_COUNT];
+    for (slot, counter) in out.iter_mut().zip(INJECTED.iter()) {
+        *slot = counter.load(Ordering::Relaxed);
+    }
+    out
+}
+
+/// Total faults handed out so far across all sites.
+pub fn injected_total() -> u64 {
+    injected_counts().iter().sum()
+}
+
+/// Keeps an injector installed; uninstalls on drop. Holding the guard
+/// also holds a process-wide lock, so concurrent `install` calls (e.g.
+/// chaos tests running in one binary) serialize.
+pub struct InstallGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl std::fmt::Debug for InstallGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("InstallGuard")
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        match INJECTOR.write() {
+            Ok(mut slot) => *slot = None,
+            Err(poisoned) => *poisoned.into_inner() = None,
+        }
+    }
+}
+
+/// Installs `injector` as the process-wide fault source until the
+/// returned guard drops. Blocks while another guard is alive.
+pub fn install(injector: Arc<dyn FaultInjector>) -> InstallGuard {
+    let lock = match INSTALL_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    match INJECTOR.write() {
+        Ok(mut slot) => *slot = Some(injector),
+        Err(poisoned) => *poisoned.into_inner() = Some(injector),
+    }
+    ENABLED.store(true, Ordering::SeqCst);
+    InstallGuard { _lock: lock }
+}
+
+/// Applies a [`FaultAction`] to a byte buffer in place, returning `true`
+/// when the buffer was changed. `Drop`/`Delay`/`Panic` are call-site
+/// behaviors and leave the buffer alone.
+pub fn corrupt_in_place(action: FaultAction, bytes: &mut Vec<u8>) -> bool {
+    match action {
+        FaultAction::FlipBit { bit } if !bytes.is_empty() => {
+            let i = (bit % (bytes.len() as u64 * 8)) as usize;
+            bytes[i / 8] ^= 1 << (i % 8);
+            true
+        }
+        FaultAction::Truncate { keep } if !bytes.is_empty() => {
+            let keep = (keep % bytes.len() as u64) as usize;
+            bytes.truncate(keep);
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_injector_never_faults() {
+        let inj = NoopInjector;
+        for site in FaultSite::ALL {
+            for ctx in 0..100 {
+                assert_eq!(inj.decide(site, ctx), FaultAction::None);
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_and_seed_sensitive() {
+        let plan = FaultPlan::uniform(500);
+        let a = DeterministicInjector::new(42, plan);
+        let b = DeterministicInjector::new(42, plan);
+        let c = DeterministicInjector::new(43, plan);
+        let mut diverged = false;
+        for site in FaultSite::ALL {
+            for ctx in 0..200u64 {
+                assert_eq!(a.decide(site, ctx), b.decide(site, ctx), "not pure");
+                if a.decide(site, ctx) != c.decide(site, ctx) {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(diverged, "seeds 42 and 43 gave identical schedules");
+    }
+
+    #[test]
+    fn rates_roughly_track_the_plan() {
+        let inj = DeterministicInjector::new(7, FaultPlan::uniform(250));
+        let hits = (0..4000u64)
+            .filter(|&ctx| inj.decide(FaultSite::DiskTrackRead, ctx) != FaultAction::None)
+            .count();
+        // 25% nominal; accept a generous band.
+        assert!((600..1400).contains(&hits), "hit rate {hits}/4000");
+    }
+
+    #[test]
+    fn site_menus_are_respected() {
+        let inj = DeterministicInjector::new(9, FaultPlan::uniform(1000));
+        for ctx in 0..500u64 {
+            match inj.decide(FaultSite::CkbWrite, ctx) {
+                FaultAction::Truncate { .. } => {}
+                other => panic!("CkbWrite produced {other:?}"),
+            }
+            match inj.decide(FaultSite::Fs2Worker, ctx) {
+                FaultAction::Delay { micros } => assert!(micros < 500),
+                FaultAction::Panic => {}
+                other => panic!("Fs2Worker produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn registry_roundtrip_and_counters() {
+        assert_eq!(decide(FaultSite::KbRead, 1), FaultAction::None);
+        let before = injected_total();
+        {
+            let _guard = install(Arc::new(DeterministicInjector::new(
+                3,
+                FaultPlan::uniform(1000),
+            )));
+            assert!(active());
+            let mut any = false;
+            for ctx in 0..32 {
+                if decide(FaultSite::KbRead, ctx) != FaultAction::None {
+                    any = true;
+                }
+            }
+            assert!(any, "a 100% plan never fired");
+            assert!(injected_total() > before);
+        }
+        assert!(!active());
+        assert_eq!(decide(FaultSite::KbRead, 1), FaultAction::None);
+    }
+
+    #[test]
+    fn corrupt_in_place_flips_and_truncates() {
+        let mut buf = vec![0u8; 16];
+        assert!(corrupt_in_place(
+            FaultAction::FlipBit { bit: 130 },
+            &mut buf
+        ));
+        assert_eq!(buf.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+        let mut buf = vec![1u8; 16];
+        assert!(corrupt_in_place(
+            FaultAction::Truncate { keep: 21 },
+            &mut buf
+        ));
+        assert_eq!(buf.len(), 5);
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(!corrupt_in_place(
+            FaultAction::FlipBit { bit: 3 },
+            &mut empty
+        ));
+    }
+}

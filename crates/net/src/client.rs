@@ -25,10 +25,10 @@ use clare_term::{SymbolTable, Term};
 use crate::error::NetError;
 use crate::protocol::{
     decode_error, decode_retrieval, decode_retrievals, decode_server_hello, decode_server_stats,
-    decode_server_stats_extended, decode_solve_outcome, decode_symbols, encode_client_hello,
+    decode_server_stats_extended, decode_solve_outcome, decode_symbols, encode_client_hello_caps,
     encode_consult, encode_retrieve, encode_retrieve_batch, encode_solve, opcode, ConsultReq,
     ErrorCode, Frame, FrameReader, HelloStatus, RetrieveBatchReq, RetrieveReq, SolveReq,
-    MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN, STATS_REQ_EXTENDED,
+    CAP_FRAME_CRC, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN, STATS_REQ_EXTENDED,
 };
 use clare_trace::MetricsSnapshot;
 
@@ -52,6 +52,16 @@ pub struct ClientConfig {
     /// sleep starts from the server's `retry_after_ms` hint and doubles
     /// per attempt up to this cap.
     pub busy_retry_cap: Duration,
+    /// Request the [`CAP_FRAME_CRC`] capability in the hello: CRC32C
+    /// trailers on every frame in both directions. Effective only when
+    /// the server accepts; against an old server the connection simply
+    /// runs without checksums.
+    pub frame_checksums: bool,
+    /// How many times an *idempotent* request that died with a
+    /// connection-fatal error (I/O failure, framing corruption) is
+    /// replayed over a fresh connection before the error surfaces.
+    /// Non-idempotent requests (solve, consult) never replay. 0 disables.
+    pub reconnect_retries: u32,
 }
 
 impl Default for ClientConfig {
@@ -63,6 +73,8 @@ impl Default for ClientConfig {
             max_frame_len: MAX_FRAME_LEN,
             busy_retries: 5,
             busy_retry_cap: Duration::from_secs(1),
+            frame_checksums: true,
+            reconnect_retries: 2,
         }
     }
 }
@@ -78,6 +90,8 @@ pub struct NetClient {
     stash: Vec<Frame>,
     next_id: u64,
     server_version: u16,
+    /// Negotiated on the handshake: CRC32C trailers on frames both ways.
+    checksums: bool,
     /// Deadline attached to subsequent requests; `None` = unlimited.
     deadline: Option<Duration>,
 }
@@ -112,7 +126,12 @@ impl NetClient {
         stream.set_write_timeout(Some(cfg.write_timeout))?;
         stream.set_nodelay(true).ok();
 
-        stream.write_all(&encode_client_hello(PROTOCOL_VERSION))?;
+        let requested = if cfg.frame_checksums {
+            CAP_FRAME_CRC
+        } else {
+            0
+        };
+        stream.write_all(&encode_client_hello_caps(PROTOCOL_VERSION, requested))?;
         let mut hello_raw = [0u8; SERVER_HELLO_LEN];
         read_exactly(&mut stream, &mut hello_raw)?;
         let hello = decode_server_hello(&hello_raw)?;
@@ -130,25 +149,35 @@ impl NetClient {
             }
         }
 
+        // Only what the server accepted is in effect; an accepted bit the
+        // client never requested would be a server bug, so mask again.
+        let checksums = hello.caps & requested & CAP_FRAME_CRC != 0;
+        let mut reader = FrameReader::new(cfg.max_frame_len);
+        reader.set_checksums(checksums);
         Ok(NetClient {
             addr,
             cfg: cfg.clone(),
             stream,
-            reader: FrameReader::new(cfg.max_frame_len),
+            reader,
             stash: Vec::new(),
             next_id: 1,
             server_version: hello.version,
+            checksums,
             deadline: None,
         })
     }
 
     /// Drops the current connection and dials the same address again.
-    /// Outstanding pipelined replies are discarded.
+    /// Outstanding pipelined replies are discarded. Request-id allocation
+    /// continues where it left off, so replies to requests sent on the
+    /// old connection can never be confused with new ones.
     pub fn reconnect(&mut self) -> Result<(), NetError> {
         let fresh = Self::connect_one(self.addr, &self.cfg)?;
         let deadline = self.deadline;
+        let next_id = self.next_id;
         *self = fresh;
         self.deadline = deadline;
+        self.next_id = next_id;
         Ok(())
     }
 
@@ -182,21 +211,49 @@ impl NetClient {
         id
     }
 
+    /// Writes one request frame. All request bytes leave through here:
+    /// the frame picks up the negotiated CRC trailer, and this is the
+    /// client-side network fault-injection point
+    /// ([`clare_fault::FaultSite::NetClientSend`], keyed by request id
+    /// and opcode) — a request can vanish before the wire, be cut short,
+    /// or be bit-flipped in flight.
+    fn send_frame(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let mut bytes = frame.encoded_with(self.checksums);
+        if clare_fault::active() {
+            let ctx = frame.request_id ^ (u64::from(frame.opcode) << 56);
+            match clare_fault::decide(clare_fault::FaultSite::NetClientSend, ctx) {
+                clare_fault::FaultAction::Drop => return Ok(()),
+                action @ (clare_fault::FaultAction::Truncate { .. }
+                | clare_fault::FaultAction::FlipBit { .. }) => {
+                    clare_fault::corrupt_in_place(action, &mut bytes);
+                }
+                _ => {}
+            }
+        }
+        self.stream.write_all(&bytes)?;
+        Ok(())
+    }
+
     /// Sends one request frame and awaits its reply.
     fn roundtrip(&mut self, op: u8, payload: Vec<u8>) -> Result<Frame, NetError> {
         let id = self.fresh_id();
-        self.stream
-            .write_all(&Frame::new(id, op, payload).encoded())?;
+        self.send_frame(&Frame::new(id, op, payload))?;
         self.await_reply(id, op)
     }
 
     /// [`Self::roundtrip`] for idempotent requests: honors the server's
     /// `retry_after_ms` hint on a `Busy` refusal with bounded exponential
     /// backoff (a shed request was never executed, so re-sending it is
-    /// safe). After [`ClientConfig::busy_retries`] refusals the `Busy`
-    /// error surfaces to the caller.
+    /// safe), and replays over a fresh connection when the transport dies
+    /// (lost or corrupted frame, server reap, mid-stream hangup). The
+    /// replay carries a *fresh* request id, so a stale reply from the old
+    /// connection can never satisfy it. After
+    /// [`ClientConfig::busy_retries`] refusals or
+    /// [`ClientConfig::reconnect_retries`] transport failures the error
+    /// surfaces to the caller.
     fn roundtrip_idempotent(&mut self, op: u8, payload: Vec<u8>) -> Result<Frame, NetError> {
         let mut attempt = 0u32;
+        let mut reconnects = 0u32;
         loop {
             match self.roundtrip(op, payload.clone()) {
                 Err(NetError::Remote {
@@ -210,6 +267,11 @@ impl NetClient {
                         .min(self.cfg.busy_retry_cap);
                     std::thread::sleep(backoff);
                     attempt += 1;
+                }
+                Err(e) if e.is_connection_fatal() && reconnects < self.cfg.reconnect_retries => {
+                    clare_trace::metrics().net_client_reconnects.inc();
+                    self.reconnect()?;
+                    reconnects += 1;
                 }
                 other => return other,
             }
@@ -255,21 +317,17 @@ impl NetClient {
         mode: SearchMode,
     ) -> Result<Vec<Retrieval>, NetError> {
         let deadline_micros = self.deadline_micros();
-        let mut wire = Vec::new();
-        let ids: Vec<u64> = queries
-            .iter()
-            .map(|query| {
-                let id = self.fresh_id();
-                let req = RetrieveReq {
-                    mode,
-                    deadline_micros,
-                    query: query.clone(),
-                };
-                Frame::new(id, opcode::RETRIEVE, encode_retrieve(&req)).encode_into(&mut wire);
-                id
-            })
-            .collect();
-        self.stream.write_all(&wire)?;
+        let mut ids = Vec::with_capacity(queries.len());
+        for query in queries {
+            let id = self.fresh_id();
+            let req = RetrieveReq {
+                mode,
+                deadline_micros,
+                query: query.clone(),
+            };
+            self.send_frame(&Frame::new(id, opcode::RETRIEVE, encode_retrieve(&req)))?;
+            ids.push(id);
+        }
         ids.into_iter()
             .map(|id| {
                 let reply = self.await_reply(id, opcode::RETRIEVE)?;

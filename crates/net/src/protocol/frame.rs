@@ -26,6 +26,12 @@ pub const MAX_FRAME_LEN: u32 = 16 << 20;
 /// Bytes of the frame counted by `len` besides the payload (id + opcode).
 pub const FRAME_HEADER: u32 = 9;
 
+/// Bytes of the optional CRC32C trailer. When the connection negotiated
+/// frame checksums (hello capability [`super::wire::CAP_FRAME_CRC`]), every
+/// frame's `len` additionally counts a trailing CRC32C over the id, opcode,
+/// and payload bytes — everything after `len` except the trailer itself.
+pub const FRAME_CRC_TRAILER: u32 = 4;
+
 /// One decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
@@ -56,11 +62,33 @@ impl Frame {
         out.extend_from_slice(&self.payload);
     }
 
-    /// The wire encoding of this frame.
-    pub fn encoded(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + FRAME_HEADER as usize + self.payload.len());
-        self.encode_into(&mut out);
+    /// Appends the checksummed wire encoding: `len` counts the extra
+    /// 4-byte CRC32C trailer computed over everything after `len`.
+    pub fn encode_into_checksummed(&self, out: &mut Vec<u8>) {
+        let len = FRAME_HEADER + self.payload.len() as u32 + FRAME_CRC_TRAILER;
+        out.extend_from_slice(&len.to_be_bytes());
+        let body_start = out.len();
+        out.extend_from_slice(&self.request_id.to_be_bytes());
+        out.push(self.opcode);
+        out.extend_from_slice(&self.payload);
+        let crc = clare_fault::crc32c(&out[body_start..]);
+        out.extend_from_slice(&crc.to_be_bytes());
+    }
+
+    /// The wire encoding of this frame, checksummed when `checksums`.
+    pub fn encoded_with(&self, checksums: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + FRAME_HEADER as usize + self.payload.len());
+        if checksums {
+            self.encode_into_checksummed(&mut out);
+        } else {
+            self.encode_into(&mut out);
+        }
         out
+    }
+
+    /// The plain (unchecksummed) wire encoding of this frame.
+    pub fn encoded(&self) -> Vec<u8> {
+        self.encoded_with(false)
     }
 }
 
@@ -77,6 +105,15 @@ pub enum FrameError {
         /// The reader's cap.
         max: u32,
     },
+    /// A checksummed frame's CRC32C trailer did not match its bytes: the
+    /// frame was corrupted in flight. The connection is no longer
+    /// trustworthy and should be torn down.
+    Corrupt {
+        /// CRC carried by the trailer.
+        expected: u32,
+        /// CRC computed over the received bytes.
+        got: u32,
+    },
     /// The peer closed the connection cleanly.
     Closed,
 }
@@ -87,6 +124,12 @@ impl std::fmt::Display for FrameError {
             FrameError::Io(e) => write!(f, "socket error: {e}"),
             FrameError::BadLength { len, max } => {
                 write!(f, "frame length {len} outside [{FRAME_HEADER}, {max}]")
+            }
+            FrameError::Corrupt { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: trailer {expected:#010x}, computed {got:#010x}"
+                )
             }
             FrameError::Closed => f.write_str("connection closed by peer"),
         }
@@ -114,6 +157,7 @@ pub struct FrameReader {
     buf: Vec<u8>,
     pos: usize,
     max_frame: u32,
+    checksums: bool,
 }
 
 impl FrameReader {
@@ -123,7 +167,15 @@ impl FrameReader {
             buf: Vec::new(),
             pos: 0,
             max_frame: max_frame.min(MAX_FRAME_LEN),
+            checksums: false,
         }
+    }
+
+    /// Switches the reader to checksummed frames (every frame must carry a
+    /// valid CRC32C trailer). Set right after the hello negotiates
+    /// [`super::wire::CAP_FRAME_CRC`], before any frame bytes arrive.
+    pub fn set_checksums(&mut self, on: bool) {
+        self.checksums = on;
     }
 
     /// Appends raw bytes received from the socket.
@@ -144,7 +196,8 @@ impl FrameReader {
             return Ok(None);
         }
         let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]);
-        if len < FRAME_HEADER || len > self.max_frame {
+        let min_len = FRAME_HEADER + if self.checksums { FRAME_CRC_TRAILER } else { 0 };
+        if len < min_len || len > self.max_frame {
             return Err(FrameError::BadLength {
                 len,
                 max: self.max_frame,
@@ -154,12 +207,29 @@ impl FrameReader {
         if avail.len() < total {
             return Ok(None);
         }
+        let body_end = if self.checksums {
+            let body_end = total - FRAME_CRC_TRAILER as usize;
+            let expected = u32::from_be_bytes([
+                avail[body_end],
+                avail[body_end + 1],
+                avail[body_end + 2],
+                avail[body_end + 3],
+            ]);
+            let got = clare_fault::crc32c(&avail[4..body_end]);
+            if got != expected {
+                clare_trace::metrics().net_frame_crc_failures.inc();
+                return Err(FrameError::Corrupt { expected, got });
+            }
+            body_end
+        } else {
+            total
+        };
         let mut id_raw = [0u8; 8];
         id_raw.copy_from_slice(&avail[4..12]);
         let frame = Frame {
             request_id: u64::from_be_bytes(id_raw),
             opcode: avail[12],
-            payload: avail[13..total].to_vec(),
+            payload: avail[13..body_end].to_vec(),
         };
         self.pos += total;
         // Reclaim consumed space once it dominates the buffer.
@@ -234,6 +304,46 @@ mod tests {
     fn undersized_length_is_rejected() {
         let mut reader = FrameReader::new(1024);
         reader.feed(&(FRAME_HEADER - 1).to_be_bytes());
+        assert!(matches!(
+            reader.try_frame(),
+            Err(FrameError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn checksummed_frames_roundtrip_and_catch_every_bit_flip() {
+        let frame = Frame::new(42, 0x02, vec![1, 2, 3, 4, 5]);
+        let wire = frame.encoded_with(true);
+        assert_eq!(
+            wire.len(),
+            4 + FRAME_HEADER as usize + 5 + FRAME_CRC_TRAILER as usize
+        );
+        let mut reader = FrameReader::new(MAX_FRAME_LEN);
+        reader.set_checksums(true);
+        reader.feed(&wire);
+        assert_eq!(reader.try_frame().unwrap().unwrap(), frame);
+        assert_eq!(reader.buffered(), 0);
+        // Every single-bit flip past the length prefix is caught.
+        for bit in 0..(wire.len() - 4) * 8 {
+            let mut dirty = wire.clone();
+            dirty[4 + bit / 8] ^= 1 << (bit % 8);
+            let mut reader = FrameReader::new(MAX_FRAME_LEN);
+            reader.set_checksums(true);
+            reader.feed(&dirty);
+            assert!(
+                matches!(reader.try_frame(), Err(FrameError::Corrupt { .. })),
+                "flip of bit {bit} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn checksummed_reader_rejects_trailerless_length() {
+        // A bare header-only length is legal without checksums but too
+        // short to carry the mandatory trailer with them.
+        let mut reader = FrameReader::new(MAX_FRAME_LEN);
+        reader.set_checksums(true);
+        reader.feed(&FRAME_HEADER.to_be_bytes());
         assert!(matches!(
             reader.try_frame(),
             Err(FrameError::BadLength { .. })

@@ -24,7 +24,16 @@ use clare_trace::{HistogramSnapshot, MetricsSnapshot};
 /// Protocol version spoken by this build. Bumped on any incompatible frame
 /// or payload change; the handshake rejects mismatched peers outright
 /// (status [`HelloStatus::VersionMismatch`]) rather than guessing.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added the degradation fields to the retrieval / solve / stats
+/// payloads and the capability byte to both hellos.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Hello capability bit: the peer wants CRC32C trailers on every frame
+/// ([`super::frame::FRAME_CRC_TRAILER`]). Effective only when requested by
+/// the client *and* accepted by the server; both hellos carry a capability
+/// byte (client byte 6 = requested, server byte 7 = accepted).
+pub const CAP_FRAME_CRC: u8 = 1;
 
 /// Client hello magic: `"CLRE"`.
 pub const CLIENT_MAGIC: [u8; 4] = *b"CLRE";
@@ -266,20 +275,34 @@ impl HelloStatus {
     }
 }
 
-/// Encodes the fixed-size client hello.
+/// Encodes the fixed-size client hello with no capabilities requested.
 pub fn encode_client_hello(version: u16) -> [u8; CLIENT_HELLO_LEN] {
+    encode_client_hello_caps(version, 0)
+}
+
+/// Encodes the fixed-size client hello: magic, version, and the requested
+/// capability bits (byte 6; [`CAP_FRAME_CRC`]). Byte 7 stays reserved.
+pub fn encode_client_hello_caps(version: u16, caps: u8) -> [u8; CLIENT_HELLO_LEN] {
     let mut out = [0u8; CLIENT_HELLO_LEN];
     out[..4].copy_from_slice(&CLIENT_MAGIC);
     out[4..6].copy_from_slice(&version.to_be_bytes());
+    out[6] = caps;
     out
 }
 
 /// Decodes a client hello, returning the client's protocol version.
 pub fn decode_client_hello(raw: &[u8; CLIENT_HELLO_LEN]) -> Result<u16, WireError> {
+    Ok(decode_client_hello_caps(raw)?.0)
+}
+
+/// Decodes a client hello, returning `(version, requested capabilities)`.
+/// Version-1 clients always sent zero in the capability byte, so this
+/// reads their hellos correctly too.
+pub fn decode_client_hello_caps(raw: &[u8; CLIENT_HELLO_LEN]) -> Result<(u16, u8), WireError> {
     if raw[..4] != CLIENT_MAGIC {
         return Err(err("bad client magic"));
     }
-    Ok(u16::from_be_bytes([raw[4], raw[5]]))
+    Ok((u16::from_be_bytes([raw[4], raw[5]]), raw[6]))
 }
 
 /// The server's reply to a client hello.
@@ -292,6 +315,10 @@ pub struct ServerHello {
     /// For [`HelloStatus::Busy`]: suggested reconnect delay in
     /// milliseconds. Zero otherwise.
     pub retry_after_ms: u32,
+    /// Capability bits the server *accepted* (byte 7; a subset of what
+    /// the client requested). Version-1 servers left this byte zero, so
+    /// their hellos decode as "no capabilities".
+    pub caps: u8,
 }
 
 /// Encodes the fixed-size server hello.
@@ -300,6 +327,7 @@ pub fn encode_server_hello(hello: &ServerHello) -> [u8; SERVER_HELLO_LEN] {
     out[..4].copy_from_slice(&SERVER_MAGIC);
     out[4..6].copy_from_slice(&hello.version.to_be_bytes());
     out[6] = hello.status.to_wire();
+    out[7] = hello.caps;
     out[8..12].copy_from_slice(&hello.retry_after_ms.to_be_bytes());
     out
 }
@@ -313,6 +341,7 @@ pub fn decode_server_hello(raw: &[u8; SERVER_HELLO_LEN]) -> Result<ServerHello, 
         version: u16::from_be_bytes([raw[4], raw[5]]),
         status: HelloStatus::from_wire(raw[6])?,
         retry_after_ms: u32::from_be_bytes([raw[8], raw[9], raw[10], raw[11]]),
+        caps: raw[7],
     })
 }
 
@@ -543,6 +572,8 @@ fn put_retrieval(out: &mut Vec<u8>, r: &Retrieval) {
     }
     out.extend_from_slice(&s.bytes_from_disk.to_be_bytes());
     out.extend_from_slice(&(s.result_memory_overflows as u64).to_be_bytes());
+    out.extend_from_slice(&(s.quarantined_tracks as u64).to_be_bytes());
+    out.push(u8::from(s.degraded));
 }
 
 fn get_retrieval(c: &mut Cur<'_>) -> Result<Retrieval, WireError> {
@@ -564,6 +595,12 @@ fn get_retrieval(c: &mut Cur<'_>) -> Result<Retrieval, WireError> {
     }
     let bytes_from_disk = c.u64()?;
     let result_memory_overflows = c.u64()? as usize;
+    let quarantined_tracks = c.u64()? as usize;
+    let degraded = match c.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(err(format!("bad degraded flag {other}"))),
+    };
     Ok(Retrieval {
         candidates,
         stats: RetrievalStats {
@@ -582,6 +619,8 @@ fn get_retrieval(c: &mut Cur<'_>) -> Result<Retrieval, WireError> {
             elapsed: times[5],
             bytes_from_disk,
             result_memory_overflows,
+            quarantined_tracks,
+            degraded,
         },
     })
 }
@@ -641,6 +680,7 @@ pub fn encode_solve_outcome(o: &SolveOutcome) -> Vec<u8> {
     out.extend_from_slice(&(o.stats.candidates as u64).to_be_bytes());
     out.extend_from_slice(&o.stats.retrieval_elapsed.as_ns().to_be_bytes());
     out.extend_from_slice(&(o.stats.depth_cuts as u64).to_be_bytes());
+    out.push(u8::from(o.stats.degraded));
     out
 }
 
@@ -666,6 +706,11 @@ pub fn decode_solve_outcome(payload: &[u8]) -> Result<SolveOutcome, WireError> {
         candidates: c.u64()? as usize,
         retrieval_elapsed: SimNanos::from_ns(c.u64()?),
         depth_cuts: c.u64()? as usize,
+        degraded: match c.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(err(format!("bad degraded flag {other}"))),
+        },
     };
     c.finish()?;
     Ok(SolveOutcome { solutions, stats })
@@ -673,8 +718,15 @@ pub fn decode_solve_outcome(payload: &[u8]) -> Result<SolveOutcome, WireError> {
 
 /// Encodes a [`ServerStats`] reply.
 pub fn encode_server_stats(s: &ServerStats) -> Vec<u8> {
-    let mut out = Vec::with_capacity(48);
-    for v in [s.retrievals, s.batches, s.solves, s.updates, s.rejected] {
+    let mut out = Vec::with_capacity(56);
+    for v in [
+        s.retrievals,
+        s.batches,
+        s.solves,
+        s.updates,
+        s.rejected,
+        s.degraded,
+    ] {
         out.extend_from_slice(&v.to_be_bytes());
     }
     out.extend_from_slice(&s.total_elapsed.as_ns().to_be_bytes());
@@ -689,7 +741,7 @@ pub fn decode_server_stats(payload: &[u8]) -> Result<ServerStats, WireError> {
     Ok(stats)
 }
 
-/// The fixed legacy [`ServerStats`] struct off the cursor (48 bytes).
+/// The fixed leading [`ServerStats`] struct off the cursor (56 bytes).
 fn get_server_stats(c: &mut Cur) -> Result<ServerStats, WireError> {
     Ok(ServerStats {
         retrievals: c.u64()?,
@@ -697,6 +749,7 @@ fn get_server_stats(c: &mut Cur) -> Result<ServerStats, WireError> {
         solves: c.u64()?,
         updates: c.u64()?,
         rejected: c.u64()?,
+        degraded: c.u64()?,
         total_elapsed: SimNanos::from_ns(c.u64()?),
     })
 }
@@ -709,7 +762,7 @@ pub const METRICS_VERSION: u16 = 1;
 
 /// Request-payload marker a client puts in a `STATS` frame to ask for the
 /// extended reply (legacy struct followed by a [`MetricsSnapshot`]). An
-/// empty request payload selects the legacy 48-byte reply, so clients
+/// empty request payload selects the plain 56-byte reply, so clients
 /// that predate metrics — whose strict decoder rejects trailing bytes —
 /// keep working unchanged.
 pub const STATS_REQ_EXTENDED: u8 = 2;
@@ -923,21 +976,34 @@ mod tests {
     fn hello_roundtrip() {
         let raw = encode_client_hello(PROTOCOL_VERSION);
         assert_eq!(decode_client_hello(&raw).unwrap(), PROTOCOL_VERSION);
+        assert_eq!(
+            decode_client_hello_caps(&raw).unwrap(),
+            (PROTOCOL_VERSION, 0)
+        );
+
+        let raw = encode_client_hello_caps(PROTOCOL_VERSION, CAP_FRAME_CRC);
+        assert_eq!(
+            decode_client_hello_caps(&raw).unwrap(),
+            (PROTOCOL_VERSION, CAP_FRAME_CRC)
+        );
 
         for status in [
             HelloStatus::Ok,
             HelloStatus::Busy,
             HelloStatus::VersionMismatch,
         ] {
-            let hello = ServerHello {
-                version: PROTOCOL_VERSION,
-                status,
-                retry_after_ms: 250,
-            };
-            assert_eq!(
-                decode_server_hello(&encode_server_hello(&hello)).unwrap(),
-                hello
-            );
+            for caps in [0, CAP_FRAME_CRC] {
+                let hello = ServerHello {
+                    version: PROTOCOL_VERSION,
+                    status,
+                    retry_after_ms: 250,
+                    caps,
+                };
+                assert_eq!(
+                    decode_server_hello(&encode_server_hello(&hello)).unwrap(),
+                    hello
+                );
+            }
         }
 
         let mut bad = encode_client_hello(1);
@@ -1023,6 +1089,8 @@ mod tests {
                 elapsed: SimNanos::from_ns(1369),
                 bytes_from_disk: 4096,
                 result_memory_overflows: 1,
+                quarantined_tracks: 2,
+                degraded: true,
             },
         };
         assert_eq!(decode_retrieval(&encode_retrieval(&r)).unwrap(), r);
@@ -1045,6 +1113,7 @@ mod tests {
                 candidates: 11,
                 retrieval_elapsed: SimNanos::from_micros(9),
                 depth_cuts: 1,
+                degraded: true,
             },
         };
         assert_eq!(
@@ -1061,6 +1130,7 @@ mod tests {
             solves: 3,
             updates: 1,
             rejected: 4,
+            degraded: 2,
             total_elapsed: SimNanos::from_millis(6),
         };
         assert_eq!(
@@ -1077,6 +1147,7 @@ mod tests {
             solves: 0,
             updates: 2,
             rejected: 0,
+            degraded: 1,
             total_elapsed: SimNanos::from_millis(3),
         };
         // A live-shaped snapshot: record through the registry so names

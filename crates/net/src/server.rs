@@ -34,11 +34,12 @@ use clare_kb::KbConfig;
 use clare_term::{Symbol, Term};
 
 use crate::protocol::{
-    decode_client_hello, decode_consult, decode_retrieve, decode_retrieve_batch, decode_solve,
+    decode_client_hello_caps, decode_consult, decode_retrieve, decode_retrieve_batch, decode_solve,
     encode_error, encode_retrieval, encode_retrievals, encode_server_hello, encode_server_stats,
     encode_server_stats_extended, encode_solve_outcome, encode_symbols, opcode, ConsultReq,
     ErrorCode, ErrorReply, Frame, FrameReader, HelloStatus, RetrieveBatchReq, RetrieveReq,
-    ServerHello, SolveReq, CLIENT_HELLO_LEN, MAX_FRAME_LEN, PROTOCOL_VERSION, STATS_REQ_EXTENDED,
+    ServerHello, SolveReq, CAP_FRAME_CRC, CLIENT_HELLO_LEN, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    STATS_REQ_EXTENDED,
 };
 
 /// Tuning knobs for [`NetServer`].
@@ -64,6 +65,14 @@ pub struct NetConfig {
     pub coalesce: bool,
     /// Knowledge-base compilation config for consult-updates.
     pub kb_config: KbConfig,
+    /// Drop a connection after this long without a byte from the client
+    /// (half-open peers otherwise pin a reader thread and a connection
+    /// slot forever). `None` disables the reap.
+    pub idle_timeout: Option<Duration>,
+    /// Accept the [`CAP_FRAME_CRC`] capability when a client requests it.
+    /// Checksums only apply on connections where the client asked for
+    /// them, so old clients are unaffected either way.
+    pub frame_checksums: bool,
     /// Fault injection for tests: a worker panics when it picks up a
     /// `stats` job. Exercises the panic-isolation path (Internal error
     /// replies + `net.worker_panics`) without any adversarial input.
@@ -83,6 +92,8 @@ impl Default for NetConfig {
             max_frame_len: MAX_FRAME_LEN,
             coalesce: true,
             kb_config: KbConfig::default(),
+            idle_timeout: Some(Duration::from_secs(300)),
+            frame_checksums: true,
             debug_panic_on_stats: false,
         }
     }
@@ -93,23 +104,50 @@ impl Default for NetConfig {
 struct ConnWriter {
     stream: Mutex<TcpStream>,
     dead: AtomicBool,
+    /// Negotiated on this connection's handshake: append a CRC32C
+    /// trailer to every outgoing frame.
+    checksums: bool,
 }
 
 impl ConnWriter {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, checksums: bool) -> Self {
         ConnWriter {
             stream: Mutex::new(stream),
             dead: AtomicBool::new(false),
+            checksums,
         }
     }
 
     /// Writes one frame; a failed write marks the connection dead and
     /// later sends become no-ops (the reader will notice the hangup).
+    ///
+    /// This is the server-side network fault-injection point
+    /// ([`clare_fault::FaultSite::NetServerSend`], keyed by request id and
+    /// opcode): a reply frame can be silently dropped, cut short (after
+    /// which the byte stream is unrecoverable, so the connection is marked
+    /// dead), or bit-flipped in flight.
     fn send(&self, frame: &Frame) {
         if self.dead.load(Ordering::Relaxed) {
             return;
         }
-        let bytes = frame.encoded();
+        let mut bytes = frame.encoded_with(self.checksums);
+        if clare_fault::active() {
+            let ctx = frame.request_id ^ (u64::from(frame.opcode) << 56);
+            match clare_fault::decide(clare_fault::FaultSite::NetServerSend, ctx) {
+                clare_fault::FaultAction::Drop => return,
+                action @ clare_fault::FaultAction::Truncate { .. } => {
+                    clare_fault::corrupt_in_place(action, &mut bytes);
+                    let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+                    let _ = stream.write_all(&bytes);
+                    self.dead.store(true, Ordering::Relaxed);
+                    return;
+                }
+                action @ clare_fault::FaultAction::FlipBit { .. } => {
+                    clare_fault::corrupt_in_place(action, &mut bytes);
+                }
+                _ => {}
+            }
+        }
         let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
         if stream.write_all(&bytes).is_err() {
             self.dead.store(true, Ordering::Relaxed);
@@ -387,6 +425,7 @@ fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
         version: PROTOCOL_VERSION,
         status: HelloStatus::Busy,
         retry_after_ms: shared.cfg.retry_after_ms,
+        caps: 0,
     };
     let _ = stream.write_all(&encode_server_hello(&hello));
 }
@@ -407,15 +446,23 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     if stream.read_exact(&mut hello_raw).is_err() {
         return;
     }
-    let status = match decode_client_hello(&hello_raw) {
-        Ok(PROTOCOL_VERSION) => HelloStatus::Ok,
-        Ok(_) => HelloStatus::VersionMismatch,
-        Err(_) => HelloStatus::VersionMismatch,
+    let (status, requested_caps) = match decode_client_hello_caps(&hello_raw) {
+        Ok((PROTOCOL_VERSION, caps)) => (HelloStatus::Ok, caps),
+        Ok(_) | Err(_) => (HelloStatus::VersionMismatch, 0),
     };
+    // Capabilities are the intersection of what the client asked for and
+    // what this server's config allows.
+    let caps = requested_caps
+        & if shared.cfg.frame_checksums {
+            CAP_FRAME_CRC
+        } else {
+            0
+        };
     let hello = ServerHello {
         version: PROTOCOL_VERSION,
         status,
         retry_after_ms: 0,
+        caps,
     };
     if stream.write_all(&encode_server_hello(&hello)).is_err() || status != HelloStatus::Ok {
         return;
@@ -427,13 +474,19 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         return;
     }
 
-    let writer = Arc::new(ConnWriter::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    }));
+    let checksums = caps & CAP_FRAME_CRC != 0;
+    let writer = Arc::new(ConnWriter::new(
+        match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        },
+        checksums,
+    ));
 
     let mut fr = FrameReader::new(shared.cfg.max_frame_len);
+    fr.set_checksums(checksums);
     let mut tmp = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
     'conn: loop {
         // Pull every complete frame already buffered.
         let mut burst = Vec::new();
@@ -456,11 +509,23 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
             match stream.read(&mut tmp) {
                 Ok(0) => break,
-                Ok(n) => fr.feed(&tmp[..n]),
+                Ok(n) => {
+                    fr.feed(&tmp[..n]);
+                    last_activity = Instant::now();
+                }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
+                    // A half-open peer never sends another byte; reap it
+                    // rather than pinning this thread and a connection
+                    // slot forever.
+                    if let Some(limit) = shared.cfg.idle_timeout {
+                        if last_activity.elapsed() >= limit {
+                            clare_trace::metrics().net_idle_reaps.inc();
+                            break;
+                        }
+                    }
                     continue;
                 }
                 Err(_) => break,
@@ -621,7 +686,7 @@ fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burst: Vec<Fram
                 }
             },
             // The request payload selects the reply shape: empty keeps the
-            // legacy 48-byte struct; a leading STATS_REQ_EXTENDED byte
+            // plain 56-byte struct; a leading STATS_REQ_EXTENDED byte
             // asks for the versioned metrics snapshot appended to it.
             opcode::STATS => Work::Stats {
                 extended: frame.payload.first() == Some(&STATS_REQ_EXTENDED),

@@ -60,6 +60,9 @@ pub fn net_op_name(i: usize) -> &'static str {
 /// the README's "Observability" section for the full catalogue.
 #[derive(Debug, Default)]
 pub struct Metrics {
+    // --- disk: the simulated volume -------------------------------------
+    /// Tracks whose delivered bytes failed CRC32C verification.
+    pub disk_track_crc_failures: Counter,
     // --- FS1: superimposed-codeword index scans -------------------------
     /// Index scan calls (each batch member counts once).
     pub fs1_scans: Counter,
@@ -97,10 +100,20 @@ pub struct Metrics {
     /// Total busy time across sweep workers, ns. Occupancy of a parallel
     /// sweep is `busy / (wall * workers)`.
     pub fs2_worker_busy_ns: Counter,
-    /// Sweep worker threads that died by panic (the sweep re-raises, but
-    /// never silently).
+    /// Sweep worker threads that died by panic. The sweep recomputes the
+    /// dead worker's shards serially — never silently, never by
+    /// re-raising into the serving thread.
     pub fs2_worker_panics: Counter,
+    /// Shards recomputed serially after a sweep worker died.
+    pub fs2_worker_recoveries: Counter,
+    /// Tracks quarantined during FS2 sweeps: checksum-failed bytes whose
+    /// clauses were re-served through the software fallback instead of
+    /// being trusted to the hardware filter.
+    pub fs2_quarantined_tracks: Counter,
     // --- CRS: the clause retrieval server -------------------------------
+    /// Retrieval/solve answers flagged degraded (some input failed
+    /// integrity checks and a software fallback covered for it).
+    pub crs_degraded_answers: Counter,
     /// Host wall-clock per served retrieval call, ns.
     pub crs_retrieve_wall_ns: Histogram,
     /// Host wall-clock per served solve call, ns.
@@ -136,6 +149,14 @@ pub struct Metrics {
     /// affected request ids are answered with `Internal` errors — the
     /// job is never silently lost — and the pool keeps serving.
     pub net_worker_panics: Counter,
+    /// Frames rejected because their negotiated CRC32C trailer did not
+    /// match the received bytes.
+    pub net_frame_crc_failures: Counter,
+    /// Connections reaped after sitting idle past the configured limit.
+    pub net_idle_reaps: Counter,
+    /// Client-side reconnect-and-replay recoveries on idempotent
+    /// requests.
+    pub net_client_reconnects: Counter,
 }
 
 /// The dynamic per-predicate latency histograms. Lookup takes a read
@@ -178,6 +199,7 @@ impl PredicateLatencies {
 }
 
 static METRICS: Metrics = Metrics {
+    disk_track_crc_failures: Counter::new(),
     fs1_scans: Counter::new(),
     fs1_batch_scans: Counter::new(),
     fs1_entries_scanned: Counter::new(),
@@ -202,6 +224,9 @@ static METRICS: Metrics = Metrics {
     fs2_wall_ns: Histogram::new(),
     fs2_worker_busy_ns: Counter::new(),
     fs2_worker_panics: Counter::new(),
+    fs2_worker_recoveries: Counter::new(),
+    fs2_quarantined_tracks: Counter::new(),
+    crs_degraded_answers: Counter::new(),
     crs_retrieve_wall_ns: Histogram::new(),
     crs_solve_wall_ns: Histogram::new(),
     crs_batch_size: Histogram::new(),
@@ -225,6 +250,9 @@ static METRICS: Metrics = Metrics {
     net_coalesced_members: Counter::new(),
     net_coalesced_groups: Counter::new(),
     net_worker_panics: Counter::new(),
+    net_frame_crc_failures: Counter::new(),
+    net_idle_reaps: Counter::new(),
+    net_client_reconnects: Counter::new(),
 };
 
 /// The process-wide registry every layer records into.
@@ -236,6 +264,10 @@ impl Metrics {
     /// A plain-data, name-keyed copy of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut counters: Vec<(String, u64)> = vec![
+            (
+                "disk.track_crc_failures".into(),
+                self.disk_track_crc_failures.get(),
+            ),
             ("fs1.scans".into(), self.fs1_scans.get()),
             ("fs1.batch_scans".into(), self.fs1_batch_scans.get()),
             ("fs1.entries_scanned".into(), self.fs1_entries_scanned.get()),
@@ -248,6 +280,18 @@ impl Metrics {
             ("fs2.satisfiers".into(), self.fs2_satisfiers.get()),
             ("fs2.worker_busy_ns".into(), self.fs2_worker_busy_ns.get()),
             ("fs2.worker_panics".into(), self.fs2_worker_panics.get()),
+            (
+                "fs2.worker_recoveries".into(),
+                self.fs2_worker_recoveries.get(),
+            ),
+            (
+                "fs2.quarantined_tracks".into(),
+                self.fs2_quarantined_tracks.get(),
+            ),
+            (
+                "crs.degraded_answers".into(),
+                self.crs_degraded_answers.get(),
+            ),
             ("net.busy_rejections".into(), self.net_busy_rejections.get()),
             ("net.bytes_in".into(), self.net_bytes_in.get()),
             ("net.frames_out".into(), self.net_frames_out.get()),
@@ -261,6 +305,15 @@ impl Metrics {
                 self.net_coalesced_groups.get(),
             ),
             ("net.worker_panics".into(), self.net_worker_panics.get()),
+            (
+                "net.frame_crc_failures".into(),
+                self.net_frame_crc_failures.get(),
+            ),
+            ("net.idle_reaps".into(), self.net_idle_reaps.get()),
+            (
+                "net.client_reconnects".into(),
+                self.net_client_reconnects.get(),
+            ),
         ];
         for (i, c) in self.fs2_ops.iter().enumerate() {
             counters.push((format!("fs2.op.{}", fs2_op_name(i)), c.get()));

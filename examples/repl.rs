@@ -131,6 +131,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     stats.rejected,
                     stats.total_elapsed,
                 );
+                // Storage-integrity health: answers stay correct in
+                // degraded mode, but quarantined tracks mean the disk (or
+                // its checksums) needs attention.
+                let m = clare::trace::metrics();
+                println!(
+                    "health: {} degraded answers, {} quarantined tracks \
+                     ({} track CRC failures), {} FS2 worker recoveries",
+                    stats.degraded,
+                    m.fs2_quarantined_tracks.get(),
+                    m.disk_track_crc_failures.get(),
+                    m.fs2_worker_recoveries.get(),
+                );
                 continue;
             }
             "\\metrics" => {
@@ -184,11 +196,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         last_stats = Some(format!(
-            "{} solutions, {} retrievals, {} candidates, retrieval time {} (simulated 1989 hardware)",
+            "{} solutions, {} retrievals, {} candidates, retrieval time {} (simulated 1989 hardware){}",
             outcome.solutions.len(),
             outcome.stats.retrievals,
             outcome.stats.candidates,
             outcome.stats.retrieval_elapsed,
+            if outcome.stats.degraded {
+                " [degraded: served past quarantined tracks]"
+            } else {
+                ""
+            },
         ));
     }
     Ok(())

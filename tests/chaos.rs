@@ -1,0 +1,271 @@
+//! Seeded chaos harness: deterministic fault schedules driven through the
+//! full disk → FS2 → net stack.
+//!
+//! Every schedule is one `(seed, fault plan)` pair installed as a
+//! [`DeterministicInjector`]; a failing seed reproduces exactly by
+//! re-running with the same number. The invariant under *any* schedule is
+//! **correct or flagged**: a request either returns the fault-free answer
+//! set (possibly marked `degraded` with quarantined tracks), or it
+//! surfaces a typed error — never a panic, never a silently wrong answer.
+//!
+//! The schedule count scales with the `CLARE_CHAOS_SCHEDULES` environment
+//! variable (CI runs 10 000; the local default keeps `cargo test` quick).
+//! Set `CLARE_CHAOS_REPORT=1` to dump the end-of-run metrics counters to
+//! `target/chaos-metrics.json`.
+
+use clare::prelude::*;
+use clare_fault::{DeterministicInjector, FaultPlan, FaultSite};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Total seeded schedules to run, split across the harness's tests.
+fn schedules() -> u64 {
+    std::env::var("CLARE_CHAOS_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300)
+        .max(30)
+}
+
+/// Runs `f` with panic messages silenced: injected worker deaths are part
+/// of the experiment, and their backtraces would drown real failures.
+fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// A knowledge base big enough that its main predicate spans several
+/// disk tracks — quarantining one track must not take the others along.
+fn chaos_kb() -> (KnowledgeBase, Vec<Term>) {
+    let mut b = KbBuilder::new();
+    let facts: String = (0..3000)
+        .map(|i| format!("fact(k{}, v{}).", i % 120, i % 7))
+        .collect::<Vec<_>>()
+        .join("\n");
+    b.consult("chaos", &facts).unwrap();
+    let kb = b.finish(KbConfig::default());
+
+    let functor = kb.symbols().lookup_atom("fact").unwrap();
+    let tracks = kb.predicate(functor, 2).unwrap().file().tracks().len();
+    assert!(tracks >= 4, "chaos KB spans only {tracks} tracks");
+
+    let mut symbols = kb.symbols().clone();
+    let queries = ["fact(k100, X)", "fact(K, v3)", "fact(k7, v0)"]
+        .iter()
+        .map(|q| parse_term(q, &mut symbols).unwrap())
+        .collect();
+    (kb, queries)
+}
+
+fn install(seed: u64, plan: FaultPlan) -> clare_fault::InstallGuard {
+    clare_fault::install(Arc::new(DeterministicInjector::new(seed, plan)))
+}
+
+/// Writes the global metrics counters as JSON when `CLARE_CHAOS_REPORT`
+/// is set, so the CI chaos-smoke job can archive what actually happened.
+fn maybe_report() {
+    if std::env::var("CLARE_CHAOS_REPORT").is_err() {
+        return;
+    }
+    let snapshot = clare_trace::metrics().snapshot();
+    let mut json = String::from("{\n");
+    for (i, (name, v)) in snapshot.counters.iter().enumerate() {
+        let sep = if i + 1 == snapshot.counters.len() {
+            ""
+        } else {
+            ","
+        };
+        json.push_str(&format!("  \"{name}\": {v}{sep}\n"));
+    }
+    json.push_str("}\n");
+    let _ = std::fs::create_dir_all("target");
+    let _ = std::fs::write("target/chaos-metrics.json", json);
+}
+
+/// Disk corruption and FS2 worker deaths, together and separately, across
+/// the full schedule budget: the unified answer count never moves, any
+/// quarantine is flagged `degraded`, and nothing escapes as a panic.
+#[test]
+fn storage_and_sweep_chaos_is_correct_or_flagged() {
+    let (kb, queries) = chaos_kb();
+    let opts = CrsOptions {
+        fs2_parallelism: Some(4),
+        ..CrsOptions::default()
+    };
+    let modes = [SearchMode::Fs2Only, SearchMode::TwoStage];
+    let reference: Vec<Retrieval> = queries
+        .iter()
+        .flat_map(|q| modes.iter().map(|&m| retrieve(&kb, q, m, &opts)))
+        .collect();
+
+    let total = schedules();
+    let mut quarantines = 0u64;
+    quiet_panics(|| {
+        for seed in 0..total {
+            // Rotate the fault surface: disk only, workers only, both;
+            // sweep the intensity so light and heavy storms both run.
+            let permille = 100 + (seed % 8) as u32 * 100;
+            let plan = match seed % 3 {
+                0 => FaultPlan::none().with(FaultSite::DiskTrackRead, permille),
+                1 => FaultPlan::none().with(FaultSite::Fs2Worker, permille),
+                _ => FaultPlan::none()
+                    .with(FaultSite::DiskTrackRead, permille)
+                    .with(FaultSite::Fs2Worker, permille),
+            };
+            let _guard = install(seed, plan);
+            for (pair, want) in queries
+                .iter()
+                .flat_map(|q| modes.iter().map(move |&m| (q, m)))
+                .zip(&reference)
+            {
+                let (query, mode) = pair;
+                let got = retrieve(&kb, query, mode, &opts);
+                assert_eq!(
+                    got.stats.unified, want.stats.unified,
+                    "seed {seed}: the answer set moved under faults"
+                );
+                assert!(
+                    got.stats.candidates >= want.stats.unified,
+                    "seed {seed}: the filter dropped a true answer"
+                );
+                if got.stats.quarantined_tracks > 0 {
+                    assert!(got.stats.degraded, "seed {seed}: unflagged quarantine");
+                    quarantines += 1;
+                }
+            }
+        }
+    });
+    assert!(
+        quarantines > 0,
+        "no schedule ever quarantined a track — the harness is not biting"
+    );
+    maybe_report();
+}
+
+/// Torn `.ckb` writes and corrupted reads across the schedule budget:
+/// `save`/`load` round-trips either reproduce the exact knowledge base or
+/// fail with a typed error — no panic, no silently different KB.
+#[test]
+fn kb_io_chaos_never_loads_a_corrupt_kb() {
+    let (kb, queries) = chaos_kb();
+    let opts = CrsOptions::default();
+    let reference: Vec<usize> = queries
+        .iter()
+        .map(|q| retrieve(&kb, q, SearchMode::TwoStage, &opts).stats.unified)
+        .collect();
+
+    let total = schedules();
+    let mut survived = 0u64;
+    let mut refused = 0u64;
+    for seed in 0..total {
+        let permille = 1 + (seed % 40) as u32; // subtle, not saturating
+        let plan = match seed % 3 {
+            0 => FaultPlan::none().with(FaultSite::KbRead, permille),
+            1 => FaultPlan::none().with(FaultSite::CkbWrite, permille),
+            _ => FaultPlan::none()
+                .with(FaultSite::KbRead, permille)
+                .with(FaultSite::CkbWrite, permille),
+        };
+        let _guard = install(seed, plan);
+        let mut bytes = Vec::new();
+        let saved = clare_kb::io::save(&kb, &mut bytes);
+        if saved.is_err() {
+            refused += 1; // a torn write was caught at save time
+            continue;
+        }
+        match clare_kb::io::load(&mut bytes.as_slice(), KbConfig::default()) {
+            Ok(loaded) => {
+                let got: Vec<usize> = queries
+                    .iter()
+                    .map(|q| {
+                        retrieve(&loaded, q, SearchMode::TwoStage, &opts)
+                            .stats
+                            .unified
+                    })
+                    .collect();
+                assert_eq!(got, reference, "seed {seed}: a corrupt KB slipped through");
+                survived += 1;
+            }
+            Err(_) => refused += 1,
+        }
+    }
+    assert_eq!(survived + refused, total);
+    assert!(survived > 0, "every schedule failed — checksums too eager?");
+    assert!(refused > 0, "no schedule ever corrupted the stream");
+    maybe_report();
+}
+
+/// Network chaos over a live loopback daemon: dropped, truncated, and
+/// bit-flipped frames in both directions, with frame checksums
+/// negotiated. Every retrieval either matches the direct in-process
+/// answer exactly or fails with a typed error after bounded retries; the
+/// daemon itself never wedges and keeps serving clean clients afterwards.
+#[test]
+fn net_chaos_over_loopback_is_correct_or_flagged() {
+    let (kb, queries) = chaos_kb();
+    let crs = Arc::new(ClauseRetrievalServer::new(kb, CrsOptions::default()));
+    let server = NetServer::bind(Arc::clone(&crs), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let reference: Vec<Retrieval> = queries
+        .iter()
+        .map(|q| crs.retrieve(q, SearchMode::TwoStage))
+        .collect();
+
+    // TCP round-trips dominate here, so the net share of the budget is
+    // scaled down; dropped frames each cost one client read timeout.
+    let total = (schedules() / 25).max(20);
+    let cfg = ClientConfig {
+        read_timeout: Duration::from_millis(300),
+        reconnect_retries: 4,
+        busy_retries: 2,
+        ..ClientConfig::default()
+    };
+    let mut flagged = 0u64;
+    let injected_before = clare_fault::injected_total();
+    let reconnects_before = clare_trace::metrics().net_client_reconnects.get();
+    for seed in 0..total {
+        let permille = 50 + (seed % 6) as u32 * 50;
+        let plan = match seed % 3 {
+            0 => FaultPlan::none().with(FaultSite::NetServerSend, permille),
+            1 => FaultPlan::none().with(FaultSite::NetClientSend, permille),
+            _ => FaultPlan::none()
+                .with(FaultSite::NetServerSend, permille)
+                .with(FaultSite::NetClientSend, permille),
+        };
+        let _guard = install(seed, plan);
+        let Ok(mut client) = NetClient::connect(server.local_addr(), cfg.clone()) else {
+            flagged += 1; // the handshake itself may eat a fault
+            continue;
+        };
+        for (query, want) in queries.iter().zip(&reference) {
+            match client.retrieve(query, SearchMode::TwoStage) {
+                Ok(got) => assert_eq!(
+                    &got, want,
+                    "seed {seed}: a faulted connection returned a different answer"
+                ),
+                Err(_) => flagged += 1, // flagged, never silently wrong
+            }
+        }
+    }
+    // Recovery (reconnect-and-replay) is the *desired* outcome, so a zero
+    // `flagged` count is fine — but the storm must demonstrably have hit,
+    // and hits must have been either recovered or flagged.
+    let injected = clare_fault::injected_total() - injected_before;
+    let reconnects = clare_trace::metrics().net_client_reconnects.get() - reconnects_before;
+    assert!(injected > 0, "no net fault was ever injected");
+    assert!(
+        reconnects > 0 || flagged > 0,
+        "{injected} faults injected yet none was ever observed by the client"
+    );
+
+    // With the injector gone the same daemon serves a clean client
+    // perfectly: nothing wedged, nothing leaked into later connections.
+    let mut client = NetClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+    for (query, want) in queries.iter().zip(&reference) {
+        assert_eq!(&client.retrieve(query, SearchMode::TwoStage).unwrap(), want);
+    }
+    server.shutdown();
+    maybe_report();
+}
