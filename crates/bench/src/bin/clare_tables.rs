@@ -33,6 +33,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "E15: FS2 two-stage host wall-clock (writes BENCH_fs2.json)",
     ),
     (
+        "cachebench",
+        "E16: retrieval cache wall-clock (writes BENCH_cache.json)",
+    ),
+    (
         "microprogram",
         "appendix: the assembled WCS microprogram listing",
     ),
@@ -99,6 +103,30 @@ fn run_one(name: &str, quick: bool, json: bool) -> bool {
                 match std::fs::write("BENCH_fs2.json", report.to_json()) {
                     Ok(()) => println!("wrote BENCH_fs2.json"),
                     Err(e) => eprintln!("could not write BENCH_fs2.json: {e}"),
+                }
+            }
+        }
+        "cachebench" => {
+            if quick {
+                // CI smoke run: small sizes, tight budget, no file write.
+                let report = experiments::cache_wallclock::run(
+                    &[0.0, 0.9],
+                    2_000,
+                    64,
+                    std::time::Duration::from_millis(60),
+                );
+                println!("{report}");
+            } else {
+                let report = experiments::cache_wallclock::run(
+                    &[0.0, 0.5, 0.9, 0.99],
+                    20_000,
+                    256,
+                    std::time::Duration::from_secs(1),
+                );
+                println!("{report}");
+                match std::fs::write("BENCH_cache.json", report.to_json()) {
+                    Ok(()) => println!("wrote BENCH_cache.json"),
+                    Err(e) => eprintln!("could not write BENCH_cache.json: {e}"),
                 }
             }
         }

@@ -1,0 +1,288 @@
+//! E16 — host wall-clock effect of the epoch-invalidated retrieval cache.
+//!
+//! The server-side cache ([`clare_core::CacheConfig`]) turns a repeated
+//! query into a hash lookup instead of an FS1 scan + FS2 sweep. Its win
+//! therefore depends on the *repeat ratio* of the workload: the fraction
+//! of queries drawn from a small hot set rather than from the long tail.
+//! This experiment sweeps that ratio, measures ns/query against one
+//! cache-enabled and one cache-disabled [`ClauseRetrievalServer`] over
+//! the identical query sequence, reports the observed hit rate, and
+//! emits a machine-readable `BENCH_cache.json`.
+//!
+//! Between timed passes the cache is invalidated with a full
+//! `server.update` (a global epoch bump), so every pass starts cold and
+//! the measured hit rate stays tied to the repeat ratio instead of
+//! accumulating across passes.
+
+use clare_core::{CacheConfig, ClauseRetrievalServer, CrsOptions, SearchMode};
+use clare_kb::{KbBuilder, KbConfig, KnowledgeBase};
+use clare_term::parser::parse_term;
+use clare_term::{SymbolTable, Term};
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured repeat ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheWallclockRow {
+    /// Fraction of the sequence drawn from the hot query set.
+    pub repeat_ratio: f64,
+    /// Observed cache hit rate over the cached pass (hits / queries).
+    pub hit_rate: f64,
+    /// Best observed ns/query with the cache disabled.
+    pub uncached_ns: f64,
+    /// Best observed ns/query with the cache enabled.
+    pub cached_ns: f64,
+}
+
+impl CacheWallclockRow {
+    /// Cached speedup over the uncached server on the same sequence.
+    pub fn speedup(&self) -> f64 {
+        self.uncached_ns / self.cached_ns
+    }
+}
+
+/// The wall-clock report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheWallclockReport {
+    /// Facts in the knowledge base the servers answer against.
+    pub facts: usize,
+    /// Queries per timed pass.
+    pub sequence_len: usize,
+    /// One row per repeat ratio, ascending.
+    pub rows: Vec<CacheWallclockRow>,
+}
+
+impl CacheWallclockReport {
+    /// Renders the report as a small JSON document (hand-written — the
+    /// workspace deliberately carries no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"cache_wallclock\",\n");
+        out.push_str("  \"unit\": \"ns_per_query\",\n");
+        out.push_str(&format!("  \"facts\": {},\n", self.facts));
+        out.push_str(&format!("  \"sequence_len\": {},\n", self.sequence_len));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"repeat_ratio\": {:.2},\n",
+                row.repeat_ratio
+            ));
+            out.push_str(&format!("      \"hit_rate\": {:.3},\n", row.hit_rate));
+            out.push_str(&format!(
+                "      \"uncached_ns_per_query\": {:.0},\n",
+                row.uncached_ns
+            ));
+            out.push_str(&format!(
+                "      \"cached_ns_per_query\": {:.0},\n",
+                row.cached_ns
+            ));
+            out.push_str(&format!("      \"cached_speedup\": {:.2}\n", row.speedup()));
+            out.push_str(if i + 1 == self.rows.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+const KEYS: usize = 2_000;
+const HOT: usize = 8;
+
+/// `n` facts `p(k{i % KEYS}, v{i % 97})`: each key selects ~n/KEYS
+/// clauses, so a miss pays a real FS1 + FS2 pass.
+fn build_kb(n: usize, symbols: Option<&SymbolTable>) -> KnowledgeBase {
+    let mut b = KbBuilder::new();
+    if let Some(sy) = symbols {
+        *b.symbols_mut() = sy.clone();
+    }
+    let facts: String = (0..n)
+        .map(|i| format!("p(k{}, v{}).", i % KEYS, i % 97))
+        .collect::<Vec<_>>()
+        .join("\n");
+    b.consult("bench", &facts).unwrap();
+    b.finish(KbConfig::default())
+}
+
+/// A query sequence in which a `ratio` fraction is drawn from the `HOT`
+/// hottest keys and the rest walks the full key space.
+fn sequence(len: usize, ratio: f64, symbols: &mut SymbolTable, rng: &mut Rng) -> Vec<Term> {
+    (0..len)
+        .map(|_| {
+            let key = if ((rng.next() % 1_000) as f64) < ratio * 1_000.0 {
+                rng.next() as usize % HOT
+            } else {
+                rng.next() as usize % KEYS
+            };
+            parse_term(&format!("p(k{key}, X)"), symbols).unwrap()
+        })
+        .collect()
+}
+
+/// Best observed ns/query for `sequence` against `server`, invalidating
+/// the cache (full update) before every timed pass so passes are
+/// independent.
+fn best_pass_ns(
+    server: &ClauseRetrievalServer,
+    symbols: &SymbolTable,
+    facts: usize,
+    sequence: &[Term],
+    budget: Duration,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    let deadline = Instant::now() + budget;
+    loop {
+        server.update(build_kb(facts, Some(symbols)));
+        let t = Instant::now();
+        for query in sequence {
+            black_box(server.retrieve(query, SearchMode::TwoStage));
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e9 / sequence.len() as f64);
+        if Instant::now() >= deadline {
+            return best;
+        }
+    }
+}
+
+/// Runs the experiment at the given repeat ratios. The checked-in
+/// `BENCH_cache.json` uses `&[0.0, 0.5, 0.9, 0.99]`, 20 000 facts, a
+/// 256-query sequence, and a 1 s budget per measurement.
+pub fn run(
+    ratios: &[f64],
+    facts: usize,
+    sequence_len: usize,
+    budget: Duration,
+) -> CacheWallclockReport {
+    let kb = build_kb(facts, None);
+    let mut symbols = kb.symbols().clone();
+    let cached = ClauseRetrievalServer::new(build_kb(facts, Some(&symbols)), CrsOptions::default());
+    let uncached = ClauseRetrievalServer::new(
+        kb,
+        CrsOptions {
+            cache: CacheConfig::off(),
+            ..CrsOptions::default()
+        },
+    );
+    let mut rows = Vec::with_capacity(ratios.len());
+    for &ratio in ratios {
+        let mut rng = Rng(0xC0FFEE ^ (ratio * 1e6) as u64);
+        let seq = sequence(sequence_len, ratio, &mut symbols, &mut rng);
+        let uncached_ns = best_pass_ns(&uncached, &symbols, facts, &seq, budget);
+        // Hit rate from one dedicated cold-start pass, outside the timing.
+        cached.update(build_kb(facts, Some(&symbols)));
+        let m = clare_trace::metrics();
+        let (hits, misses) = (m.cache_hits.get(), m.cache_misses.get());
+        for query in &seq {
+            black_box(cached.retrieve(query, SearchMode::TwoStage));
+        }
+        let d_hits = (m.cache_hits.get() - hits) as f64;
+        let d_misses = (m.cache_misses.get() - misses) as f64;
+        let hit_rate = d_hits / (d_hits + d_misses).max(1.0);
+        let cached_ns = best_pass_ns(&cached, &symbols, facts, &seq, budget);
+        rows.push(CacheWallclockRow {
+            repeat_ratio: ratio,
+            hit_rate,
+            uncached_ns,
+            cached_ns,
+        });
+    }
+    CacheWallclockReport {
+        facts,
+        sequence_len,
+        rows,
+    }
+}
+
+impl fmt::Display for CacheWallclockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E16: retrieval-cache wall-clock — hit rate and ns/query vs workload \
+             repeat ratio ({} facts, {}-query sequences)\n",
+            self.facts, self.sequence_len
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.2}", r.repeat_ratio),
+                    format!("{:.1}%", r.hit_rate * 100.0),
+                    format!("{:.0}", r.uncached_ns),
+                    format!("{:.0}", r.cached_ns),
+                    format!("{:.2}x", r.speedup()),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            crate::render_table(
+                &[
+                    "repeat ratio",
+                    "hit rate",
+                    "uncached ns/q",
+                    "cached ns/q",
+                    "speedup",
+                ],
+                &rows,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_json() {
+        let r = run(&[0.0, 0.9], 2_000, 64, Duration::from_millis(40));
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            assert!(row.uncached_ns > 0.0);
+            assert!(row.cached_ns > 0.0);
+            assert!((0.0..=1.0).contains(&row.hit_rate));
+        }
+        // A 90%-repeat workload must observe a materially higher hit
+        // rate than an all-unique one.
+        assert!(r.rows[1].hit_rate > r.rows[0].hit_rate);
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"cache_wallclock\""));
+        assert!(json.contains("\"cached_speedup\""));
+        assert!(format!("{r}").contains("repeat ratio"));
+    }
+
+    #[test]
+    fn hot_workload_is_faster_cached() {
+        // Perf assertions are deliberately loose for noisy CI hosts: at a
+        // 90% repeat ratio the cache must at minimum not lose to the
+        // uncached pipeline.
+        let r = run(&[0.9], 4_000, 128, Duration::from_millis(150));
+        assert!(
+            r.rows[0].speedup() > 1.0,
+            "cache slower than the pipeline on a hot workload: {:.2}x",
+            r.rows[0].speedup()
+        );
+    }
+}

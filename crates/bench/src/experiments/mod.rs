@@ -2,6 +2,7 @@
 //! experiment index.
 
 pub mod bench_suite;
+pub mod cache_wallclock;
 pub mod false_drops;
 pub mod fig1;
 pub mod figures;

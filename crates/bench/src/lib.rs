@@ -23,6 +23,7 @@
 //! | E13 | unlimited-list matching | [`experiments::lists`] |
 //! | E14 | FS1 host scan wall-clock (BENCH_fs1.json) | [`experiments::fs1_wallclock`] |
 //! | E15 | FS2 two-stage host wall-clock (BENCH_fs2.json) | [`experiments::fs2_wallclock`] |
+//! | E16 | retrieval cache wall-clock (BENCH_cache.json) | [`experiments::cache_wallclock`] |
 
 #![warn(missing_docs)]
 

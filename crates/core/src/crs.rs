@@ -16,6 +16,7 @@
 //! modes differ in elapsed time and in how many false drops reach the full
 //! unifier.
 
+use crate::cache::{CacheConfig, Fs1Cache};
 use crate::cost::SoftwareCostModel;
 use clare_disk::{DiskProfile, SimNanos, Track};
 use clare_fs2::{Fs2Config, Fs2Engine};
@@ -85,6 +86,10 @@ pub struct CrsOptions {
     /// Per-server override for [`Fs2Config::parallelism`]. `None` (the
     /// default) defers to `fs2.parallelism()`.
     pub fs2_parallelism: Option<usize>,
+    /// Epoch-invalidated retrieval cache served by
+    /// [`crate::ClauseRetrievalServer`]. Hits are byte-identical to the
+    /// uncached pipeline; the free [`retrieve`] function never caches.
+    pub cache: CacheConfig,
 }
 
 impl Default for CrsOptions {
@@ -95,6 +100,7 @@ impl Default for CrsOptions {
             fs1_parallelism: None,
             fs2: Fs2Config::paper(),
             fs2_parallelism: None,
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -146,7 +152,7 @@ pub struct RetrievalStats {
 }
 
 impl RetrievalStats {
-    fn empty(mode: SearchMode) -> Self {
+    pub(crate) fn empty(mode: SearchMode) -> Self {
         RetrievalStats {
             mode,
             clauses_total: 0,
@@ -191,7 +197,21 @@ pub fn retrieve(
     mode: SearchMode,
     opts: &CrsOptions,
 ) -> Retrieval {
-    retrieve_inner(kb, query, mode, opts, Precomputed::default())
+    retrieve_inner(kb, query, mode, opts, Precomputed::default(), None)
+}
+
+/// [`retrieve`] with an FS1 cache seam: the scan phase consults `fs1`
+/// before sweeping the index and offers freshly computed outcomes back.
+/// The answer — and every modelled stat — is identical to [`retrieve`];
+/// only the host work changes. Used by the server's retrieval cache.
+pub(crate) fn retrieve_cached(
+    kb: &KnowledgeBase,
+    query: &Term,
+    mode: SearchMode,
+    opts: &CrsOptions,
+    fs1: Option<&dyn Fs1Cache>,
+) -> Retrieval {
+    retrieve_inner(kb, query, mode, opts, Precomputed::default(), fs1)
 }
 
 /// Retrieves candidates for several queries, amortizing the hardware
@@ -208,6 +228,22 @@ pub fn retrieve_batch(
     mode: SearchMode,
     opts: &CrsOptions,
 ) -> Vec<Retrieval> {
+    retrieve_batch_cached(kb, queries, mode, opts, &vec![None; queries.len()])
+}
+
+/// [`retrieve_batch`] with a per-query FS1 cache seam (parallel to
+/// [`retrieve_cached`]): before the grouped index pass, each member's
+/// cache is consulted; only the misses are scanned, and their fresh
+/// outcomes are offered back. Results are identical to [`retrieve_batch`].
+pub(crate) fn retrieve_batch_cached(
+    kb: &KnowledgeBase,
+    queries: &[Term],
+    mode: SearchMode,
+    opts: &CrsOptions,
+    caches: &[Option<&dyn Fs1Cache>],
+) -> Vec<Retrieval> {
+    debug_assert_eq!(caches.len(), queries.len());
+    let cache_of = |i: usize| caches.get(i).copied().flatten();
     // Group hardware-eligible queries by predicate so each group shares
     // the index pass and the FS2 worker pool.
     let wants_fs1 = matches!(mode, SearchMode::Fs1Only | SearchMode::TwoStage);
@@ -228,14 +264,27 @@ pub fn retrieve_batch(
         };
         if wants_fs1 {
             let index = pred.index();
-            let descriptors: Vec<_> = members
-                .iter()
-                .map(|&i| encode_query_descriptor(&queries[i], index.config()))
-                .collect();
-            let workers = opts.fs1_parallelism.unwrap_or(index.config().parallelism());
-            let outcomes = index.scan_batch_with(&descriptors, workers);
-            for (&i, outcome) in members.iter().zip(outcomes) {
-                pre[i].fs1 = Some(outcome);
+            // Cached outcomes first; only the misses join the shared pass.
+            let mut need: Vec<usize> = Vec::new();
+            for &i in &members {
+                match cache_of(i).and_then(Fs1Cache::get) {
+                    Some(outcome) => pre[i].fs1 = Some(outcome),
+                    None => need.push(i),
+                }
+            }
+            if !need.is_empty() {
+                let descriptors: Vec<_> = need
+                    .iter()
+                    .map(|&i| encode_query_descriptor(&queries[i], index.config()))
+                    .collect();
+                let workers = opts.fs1_parallelism.unwrap_or(index.config().parallelism());
+                let outcomes = index.scan_batch_with(&descriptors, workers);
+                for (&i, outcome) in need.iter().zip(outcomes) {
+                    if let Some(cache) = cache_of(i) {
+                        cache.put(&outcome);
+                    }
+                    pre[i].fs1 = Some(outcome);
+                }
             }
         }
         if wants_fs2 {
@@ -271,7 +320,8 @@ pub fn retrieve_batch(
     queries
         .iter()
         .zip(pre)
-        .map(|(query, pre)| retrieve_inner(kb, query, mode, opts, pre))
+        .enumerate()
+        .map(|(i, (query, pre))| retrieve_inner(kb, query, mode, opts, pre, cache_of(i)))
         .collect()
 }
 
@@ -297,6 +347,7 @@ fn retrieve_inner(
     mode: SearchMode,
     opts: &CrsOptions,
     mut pre: Precomputed,
+    fs1_cache: Option<&dyn Fs1Cache>,
 ) -> Retrieval {
     let Some((functor, arity)) = query.functor_arity() else {
         return Retrieval {
@@ -334,7 +385,7 @@ fn retrieve_inner(
     let candidates: Vec<ClauseId> = match effective_mode {
         SearchMode::SoftwareOnly => software_phase(pred, query, opts, disk_resident, &mut stats),
         SearchMode::Fs1Only => {
-            let addrs = fs1_phase(pred, query, opts, pre.fs1.take(), &mut stats);
+            let addrs = fs1_phase(pred, query, opts, pre.fs1.take(), fs1_cache, &mut stats);
             fetch_candidate_tracks(pred, &addrs, opts, &mut stats);
             stats.after_fs1 = Some(addrs.len());
             addrs_to_ids(pred, &addrs)
@@ -349,7 +400,7 @@ fn retrieve_inner(
         }
         SearchMode::TwoStage => {
             let mut engine = hw_query.expect("checked above");
-            let fs1_addrs = fs1_phase(pred, query, opts, pre.fs1.take(), &mut stats);
+            let fs1_addrs = fs1_phase(pred, query, opts, pre.fs1.take(), fs1_cache, &mut stats);
             stats.after_fs1 = Some(fs1_addrs.len());
             let tracks = candidate_tracks(&fs1_addrs);
             let sweep = take_sweep(&mut pre, &tracks);
@@ -451,24 +502,35 @@ fn software_phase(
 
 /// FS1 phase: stream the secondary file, scan codewords at 4.5 MB/s.
 /// `precomputed` carries a batch scan's outcome so grouped queries do not
-/// sweep the index again.
+/// sweep the index again; `fs1_cache` is the server cache's seam — tried
+/// after `precomputed`, and offered any freshly computed outcome. Either
+/// short-circuit yields exactly the outcome the scan would produce, so
+/// every downstream stat is unchanged.
 fn fs1_phase(
     pred: &Predicate,
     query: &Term,
     opts: &CrsOptions,
     precomputed: Option<clare_scw::ScanOutcome>,
+    fs1_cache: Option<&dyn Fs1Cache>,
     stats: &mut RetrievalStats,
 ) -> Vec<ClauseAddr> {
-    let outcome = precomputed.unwrap_or_else(|| {
-        let index = pred.index();
-        match opts.fs1_parallelism {
-            Some(workers) => {
-                let descriptor = encode_query_descriptor(query, index.config());
-                index.scan_with(&descriptor, workers)
+    let outcome = match precomputed.or_else(|| fs1_cache.and_then(Fs1Cache::get)) {
+        Some(outcome) => outcome,
+        None => {
+            let index = pred.index();
+            let outcome = match opts.fs1_parallelism {
+                Some(workers) => {
+                    let descriptor = encode_query_descriptor(query, index.config());
+                    index.scan_with(&descriptor, workers)
+                }
+                None => index.scan(query),
+            };
+            if let Some(cache) = fs1_cache {
+                cache.put(&outcome);
             }
-            None => index.scan(query),
+            outcome
         }
-    });
+    };
     let index_bytes = outcome.bytes_scanned as u64;
     let disk_transfer = opts.disk.sustained_rate().transfer_time(index_bytes);
     let positioning = opts.disk.avg_seek() + opts.disk.avg_rotational_latency();

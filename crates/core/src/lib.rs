@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod board;
+pub mod cache;
 pub mod cost;
 pub mod crs;
 pub mod resolve;
 pub mod server;
 
 pub use board::ClareBoard;
+pub use cache::CacheConfig;
 pub use cost::SoftwareCostModel;
 pub use crs::{
     choose_mode, retrieve, retrieve_batch, CrsOptions, Retrieval, RetrievalStats, SearchMode,
@@ -55,3 +57,5 @@ pub use resolve::{
     solve, solve_goals, ModeChoice, Solution, SolveOptions, SolveOutcome, SolveStats,
 };
 pub use server::{ClauseRetrievalServer, ServerStats, UpdateTransaction};
+
+pub use clare_simd::SimdLevel;

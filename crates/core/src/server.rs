@@ -8,10 +8,12 @@
 //! per call, as a time-sliced CRS would do), while updates swap in a new
 //! compiled knowledge base atomically.
 
+use crate::cache::{Fs1Cache, QueryKey, RetrievalCache, Stamp};
 use crate::crs::{retrieve, CrsOptions, Retrieval, SearchMode};
 use crate::resolve::{SolveOptions, SolveOutcome};
 use clare_disk::SimNanos;
 use clare_kb::KnowledgeBase;
+use clare_scw::ScanOutcome;
 use clare_term::Term;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -137,6 +139,30 @@ pub struct ClauseRetrievalServer {
     kb: RwLock<Arc<KnowledgeBase>>,
     options: CrsOptions,
     stats: StatsCell,
+    /// Epoch-invalidated answer/FS1 cache ([`crate::cache`]). Epoch
+    /// stamps are read under the same `kb` read lock the snapshot comes
+    /// from, and updates bump epochs under the write lock, so a stamp and
+    /// its snapshot are always mutually consistent.
+    cache: RetrievalCache,
+}
+
+/// The server's [`Fs1Cache`] seam: key and stamp are captured here so the
+/// retrieval pipeline stays ignorant of epochs.
+struct ServerFs1Cache<'a> {
+    cache: &'a RetrievalCache,
+    key: &'a QueryKey,
+    stamp: Stamp,
+}
+
+impl Fs1Cache for ServerFs1Cache<'_> {
+    fn get(&self) -> Option<ScanOutcome> {
+        self.cache.get_fs1(self.key, self.stamp)
+    }
+
+    fn put(&self, outcome: &ScanOutcome) {
+        self.cache
+            .put_fs1(self.key.clone(), self.stamp, outcome.clone());
+    }
 }
 
 /// The `functor/arity` metric key of a query, if it has one.
@@ -148,10 +174,12 @@ fn pred_key(kb: &KnowledgeBase, query: &Term) -> Option<String> {
 impl ClauseRetrievalServer {
     /// Wraps a compiled knowledge base.
     pub fn new(kb: KnowledgeBase, options: CrsOptions) -> Self {
+        let cache = RetrievalCache::new(&options.cache);
         ClauseRetrievalServer {
             kb: RwLock::new(Arc::new(kb)),
             options,
             stats: StatsCell::default(),
+            cache,
         }
     }
 
@@ -168,11 +196,14 @@ impl ClauseRetrievalServer {
         &self.options
     }
 
-    /// Serves one retrieval.
+    /// Serves one retrieval. With the cache enabled (the default), a
+    /// repeat of a recently served query skips the filter pipeline
+    /// entirely and returns the byte-identical cached [`Retrieval`];
+    /// degraded answers are never cached, and any knowledge-base update
+    /// or track quarantine invalidates the affected entries.
     pub fn retrieve(&self, query: &Term, mode: SearchMode) -> Retrieval {
         let started = Instant::now();
-        let kb = self.snapshot();
-        let outcome = retrieve(&kb, query, mode, &self.options);
+        let (kb, outcome) = self.retrieve_through_cache(query, mode);
         self.stats.update(|stats| {
             stats.retrievals += 1;
             stats.degraded += u64::from(outcome.stats.degraded);
@@ -187,6 +218,66 @@ impl ClauseRetrievalServer {
         outcome
     }
 
+    /// One retrieval through the cache: answer-layer hit, else the filter
+    /// pipeline with the FS1 layer as a seam, then insertion of clean
+    /// (non-degraded, mode-as-requested) answers.
+    fn retrieve_through_cache(
+        &self,
+        query: &Term,
+        mode: SearchMode,
+    ) -> (Arc<KnowledgeBase>, Retrieval) {
+        let key = if self.cache.enabled() {
+            QueryKey::new(query)
+        } else {
+            None
+        };
+        let Some(key) = key else {
+            // No canonical encoding (or cache off): the uncached pipeline.
+            let kb = self.snapshot();
+            let outcome = retrieve(&kb, query, mode, &self.options);
+            return (kb, outcome);
+        };
+        let (kb, stamp) = self.snapshot_with_stamp(key.pred());
+        if let Some(hit) = self.cache.get_answer(&key, mode, stamp) {
+            return (kb, hit);
+        }
+        let fs1 = ServerFs1Cache {
+            cache: &self.cache,
+            key: &key,
+            stamp,
+        };
+        let outcome = crate::crs::retrieve_cached(&kb, query, mode, &self.options, Some(&fs1));
+        self.note_outcome(&key, mode, stamp, &outcome);
+        (kb, outcome)
+    }
+
+    /// A knowledge-base snapshot plus the epoch stamp for `pred`, read
+    /// under one read-lock acquisition. Updates bump epochs while holding
+    /// the write lock, so the pair can never mix an old base with a new
+    /// stamp or vice versa — the soundness core of the cache.
+    fn snapshot_with_stamp(
+        &self,
+        pred: (clare_term::Symbol, usize),
+    ) -> (Arc<KnowledgeBase>, Stamp) {
+        let guard = self.kb.read();
+        let stamp = self.cache.stamp(pred);
+        (Arc::clone(&guard), stamp)
+    }
+
+    /// Post-retrieval cache bookkeeping: a quarantine invalidates the
+    /// predicate (the stored file memoizes CRC verdicts, so later runs
+    /// may legitimately differ); clean answers in the requested mode are
+    /// inserted.
+    fn note_outcome(&self, key: &QueryKey, mode: SearchMode, stamp: Stamp, outcome: &Retrieval) {
+        if outcome.stats.quarantined_tracks > 0 {
+            self.cache.bump_predicate(key.pred());
+        }
+        if !outcome.stats.degraded && outcome.stats.mode == mode {
+            self.cache
+                .put_answer(key.clone(), mode, stamp, outcome.clone());
+        }
+    }
+
     /// Serves a batch of retrievals against one consistent snapshot: the
     /// knowledge base is read once, same-predicate queries share a single
     /// FS1 index sweep plus one FS2 worker pool over the shared clause
@@ -196,8 +287,7 @@ impl ClauseRetrievalServer {
     /// [`ClauseRetrievalServer::retrieve`].
     pub fn retrieve_batch(&self, queries: &[Term], mode: SearchMode) -> Vec<Retrieval> {
         let started = Instant::now();
-        let kb = self.snapshot();
-        let outcomes = crate::crs::retrieve_batch(&kb, queries, mode, &self.options);
+        let (kb, outcomes) = self.retrieve_batch_through_cache(queries, mode);
         self.stats.update(|stats| {
             stats.batches += 1;
             stats.retrievals += outcomes.len() as u64;
@@ -216,6 +306,78 @@ impl ClauseRetrievalServer {
             }
         }
         outcomes
+    }
+
+    /// Batch variant of [`retrieve_through_cache`]: answer-layer hits are
+    /// taken per query, and only the misses flow through the shared
+    /// batched pipeline (each with its own FS1-layer seam), preserving
+    /// both query order and the coalescing wins for the cold subset.
+    fn retrieve_batch_through_cache(
+        &self,
+        queries: &[Term],
+        mode: SearchMode,
+    ) -> (Arc<KnowledgeBase>, Vec<Retrieval>) {
+        let keys: Vec<Option<QueryKey>> = if self.cache.enabled() {
+            queries.iter().map(QueryKey::new).collect()
+        } else {
+            vec![None; queries.len()]
+        };
+        // One read-lock acquisition covers the snapshot and every stamp
+        // (see snapshot_with_stamp for why that pairing matters).
+        let (kb, stamps) = {
+            let guard = self.kb.read();
+            let stamps: Vec<Option<Stamp>> = keys
+                .iter()
+                .map(|key| key.as_ref().map(|key| self.cache.stamp(key.pred())))
+                .collect();
+            (Arc::clone(&guard), stamps)
+        };
+        let mut outcomes: Vec<Option<Retrieval>> = keys
+            .iter()
+            .zip(&stamps)
+            .map(|(key, stamp)| match (key, stamp) {
+                (Some(key), Some(stamp)) => self.cache.get_answer(key, mode, *stamp),
+                _ => None,
+            })
+            .collect();
+        let miss_idx: Vec<usize> = (0..queries.len())
+            .filter(|&i| outcomes[i].is_none())
+            .collect();
+        if !miss_idx.is_empty() {
+            let miss_queries: Vec<Term> = miss_idx.iter().map(|&i| queries[i].clone()).collect();
+            let handles: Vec<Option<ServerFs1Cache<'_>>> = miss_idx
+                .iter()
+                .map(|&i| {
+                    keys[i].as_ref().map(|key| ServerFs1Cache {
+                        cache: &self.cache,
+                        key,
+                        stamp: stamps[i].unwrap_or_default(),
+                    })
+                })
+                .collect();
+            let handle_refs: Vec<Option<&dyn Fs1Cache>> = handles
+                .iter()
+                .map(|handle| handle.as_ref().map(|handle| handle as &dyn Fs1Cache))
+                .collect();
+            let computed = crate::crs::retrieve_batch_cached(
+                &kb,
+                &miss_queries,
+                mode,
+                &self.options,
+                &handle_refs,
+            );
+            for (&i, outcome) in miss_idx.iter().zip(computed) {
+                if let (Some(key), Some(stamp)) = (&keys[i], stamps[i]) {
+                    self.note_outcome(key, mode, stamp, &outcome);
+                }
+                outcomes[i] = Some(outcome);
+            }
+        }
+        let outcomes = outcomes
+            .into_iter()
+            .map(|outcome| outcome.unwrap_or_else(|| unreachable!("every slot filled above")))
+            .collect();
+        (kb, outcomes)
     }
 
     /// Serves one solve call.
@@ -252,7 +414,13 @@ impl ClauseRetrievalServer {
     /// Commits a new compiled knowledge base atomically. In-flight clients
     /// finish against their snapshot; new calls see the update.
     pub fn update(&self, kb: KnowledgeBase) {
-        *self.kb.write() = Arc::new(kb);
+        let mut guard = self.kb.write();
+        // Bump cache epochs *while holding the write lock*: readers take
+        // (snapshot, stamp) under the read lock, so they can never pair
+        // the outgoing base with the incoming stamp or vice versa.
+        self.cache.bump_for_update(&guard, &kb);
+        *guard = Arc::new(kb);
+        drop(guard);
         self.stats.update(|stats| stats.updates += 1);
     }
 

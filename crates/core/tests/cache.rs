@@ -1,0 +1,148 @@
+//! Cached-equals-uncached equivalence: a [`ClauseRetrievalServer`] with
+//! the cache enabled must return, for every query, the byte-identical
+//! [`Retrieval`] a fresh uncached pipeline run produces on the current
+//! snapshot — across random interleavings of retrievals, incremental
+//! update transactions, full knowledge-base swaps, and mode changes.
+//!
+//! The reference is `clare_core::retrieve` on `server.snapshot()`, which
+//! never consults the server cache. Any unsound cache entry — stale
+//! epoch, module-layout shift, mode mix-up, renaming collision — shows
+//! up as an equality failure here.
+
+use clare_core::{retrieve, ClauseRetrievalServer, CrsOptions, Retrieval, SearchMode};
+use clare_kb::{KbBuilder, KbConfig};
+use clare_term::parser::parse_term;
+use clare_term::Term;
+
+/// Deterministic xorshift64* stream, seeded per test for reproducibility.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Shadow state: the clause text of each module, from which both the
+/// server's updates and the from-scratch rebuilds are derived.
+struct Shadow {
+    modules: Vec<(&'static str, Vec<String>)>,
+}
+
+impl Shadow {
+    fn rebuild(&self, symbols: &clare_term::SymbolTable) -> clare_kb::KnowledgeBase {
+        let mut b = KbBuilder::new();
+        *b.symbols_mut() = symbols.clone();
+        for (name, facts) in &self.modules {
+            b.consult(name, &facts.join("\n")).unwrap();
+        }
+        b.finish(KbConfig::default())
+    }
+}
+
+#[test]
+fn cached_retrievals_match_uncached_across_interleavings() {
+    let mut shadow = Shadow {
+        modules: vec![
+            // p/2 and r/1 share module "ma": module-granular invalidation
+            // must catch cross-predicate effects of consulting either.
+            (
+                "ma",
+                (0..200)
+                    .map(|i| format!("p(k{}, v{}).", i % 30, i % 5))
+                    .chain((0..60).map(|i| format!("r(k{}).", i % 20)))
+                    .collect(),
+            ),
+            (
+                "mb",
+                (0..200)
+                    .map(|i| format!("q(k{}, v{}).", i % 30, i % 5))
+                    .collect(),
+            ),
+        ],
+    };
+
+    let mut b = KbBuilder::new();
+    for (name, facts) in &shadow.modules {
+        b.consult(name, &facts.join("\n")).unwrap();
+    }
+    let mut symbols = b.symbols_mut().clone();
+    let queries: Vec<Term> = [
+        "p(k7, X)",
+        "p(k7, v2)",
+        "p(K, v3)",
+        "q(k7, X)",
+        "q(K, v1)",
+        "r(k11)",
+        "r(X)",
+        "p(X, Y)",
+    ]
+    .iter()
+    .map(|q| parse_term(q, &mut symbols).unwrap())
+    .collect();
+
+    let server = ClauseRetrievalServer::new(b.finish(KbConfig::default()), CrsOptions::default());
+    let mut rng = Rng(0x9E3779B97F4A7C15);
+    let mut fresh = 0u32; // uniquifier for consulted facts
+
+    for step in 0..400 {
+        match rng.below(10) {
+            // Mostly retrievals, repeating from a small query pool so the
+            // cache gets real hits to prove equal.
+            0..=6 => {
+                let query = &queries[rng.below(queries.len() as u64) as usize];
+                let mode = SearchMode::ALL[rng.below(4) as usize];
+                let got = server.retrieve(query, mode);
+                let want = reference(&server, query, mode);
+                assert_eq!(got, want, "step {step}: cached != uncached");
+            }
+            // Batches exercise the coalesced path and its per-member cache.
+            7 => {
+                let batch: Vec<Term> = (0..3)
+                    .map(|_| queries[rng.below(queries.len() as u64) as usize].clone())
+                    .collect();
+                let mode = SearchMode::ALL[rng.below(4) as usize];
+                let got = server.retrieve_batch(&batch, mode);
+                for (i, (query, outcome)) in batch.iter().zip(&got).enumerate() {
+                    let want = reference(&server, query, mode);
+                    assert_eq!(*outcome, want, "step {step} member {i}");
+                }
+            }
+            // Incremental assert: consult one new fact through a
+            // transaction (bumps only the touched module's predicates).
+            8 => {
+                let (module, fact) = if rng.below(2) == 0 {
+                    ("ma", format!("p(new{fresh}, v0)."))
+                } else {
+                    ("mb", format!("q(new{fresh}, v0)."))
+                };
+                fresh += 1;
+                let slot = shadow.modules.iter_mut().find(|(n, _)| *n == module);
+                slot.unwrap().1.push(fact.clone());
+                let mut tx = server.begin_update();
+                tx.consult(module, &fact).unwrap();
+                symbols = tx.symbols_mut().clone();
+                tx.commit(KbConfig::default()).unwrap();
+            }
+            // Full swap: rebuild everything from the shadow (a
+            // non-incremental update, which must invalidate globally).
+            _ => {
+                server.update(shadow.rebuild(&symbols));
+            }
+        }
+    }
+}
+
+/// The uncached answer for `query` on the server's current snapshot.
+fn reference(server: &ClauseRetrievalServer, query: &Term, mode: SearchMode) -> Retrieval {
+    retrieve(&server.snapshot(), query, mode, &CrsOptions::default())
+}

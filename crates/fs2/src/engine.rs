@@ -18,7 +18,7 @@ use crate::map::{MapRom, Routine};
 use crate::memory::{CellBank, QueryMemory, QueryTooLargeError};
 use crate::ops::HwOp;
 use clare_disk::SimNanos;
-use clare_pif::{PifStream, PifWord, TypeTag};
+use clare_pif::{PifStream, PifWord, TagCategory, TypeTag};
 
 /// Outcome of matching one clause-head stream against the loaded query.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +132,13 @@ pub struct Fs2Engine {
     /// Reusable op buffer for the allocation-free path; cleared per
     /// clause, its capacity persists across the whole sweep.
     scratch_ops: Vec<HwOp>,
+    /// The query stream's raw words when every word is a simple value
+    /// (atom/float/int pointer or in-line integer) — the precondition for
+    /// the all-simple fast path of [`Self::match_clause_words`].
+    simple_query: Option<Vec<u32>>,
+    /// Reusable raw-word buffer for the fast path's view of the clause
+    /// stream.
+    scratch_raw: Vec<u32>,
 }
 
 impl Fs2Engine {
@@ -145,12 +152,19 @@ impl Fs2Engine {
         let query = QueryMemory::load(query_stream)?;
         let n_vars = query.var_count();
         clare_trace::metrics().fs2_queries_loaded.inc();
+        let simple_query = query
+            .stream()
+            .iter()
+            .all(|w| w.type_tag().category() == TagCategory::Simple)
+            .then(|| query.stream().iter().map(|w| w.to_u32()).collect());
         Ok(Fs2Engine {
             query,
             q_cells: CellBank::query_vars(n_vars),
             db_cells: CellBank::db_vars(0),
             rom: MapRom::shared(),
             scratch_ops: Vec::new(),
+            simple_query,
+            scratch_raw: Vec::new(),
         })
     }
 
@@ -182,6 +196,9 @@ impl Fs2Engine {
     /// returns an op *histogram* plus time instead of the op vector. The
     /// verdict and time are identical to the vector-returning path.
     pub fn match_clause_words(&mut self, db_words: &[PifWord]) -> StreamVerdict {
+        if let Some(verdict) = self.match_simple_fast(db_words) {
+            return verdict;
+        }
         self.reset_cells(db_words);
         let mut scratch = std::mem::take(&mut self.scratch_ops);
         scratch.clear();
@@ -209,6 +226,42 @@ impl Fs2Engine {
     /// [`Self::match_clause_words`] over a [`PifStream`].
     pub fn match_clause_quiet(&mut self, db_stream: &PifStream) -> StreamVerdict {
         self.match_clause_words(db_stream.words())
+    }
+
+    /// The all-simple fast path: when every query word and every clause
+    /// word is a simple value, the Map ROM routes every pair to
+    /// `SimpleMatch`, so the sweep collapses to a raw-word comparison —
+    /// one MATCH op per pair up to and including the first mismatch, with
+    /// no cell-bank resets and no per-op dispatch. The comparison runs
+    /// through [`clare_simd::first_mismatch_u32`]. Returns `None` (and
+    /// leaves no state behind) when either stream has a variable or
+    /// complex word, falling back to the full Map ROM walk.
+    ///
+    /// The verdict is bit-identical to the scalar path: the lockstep loop
+    /// advances one word per side, charges MATCH before comparing, stops
+    /// at the first mismatch, and accepts only when both streams end
+    /// together.
+    fn match_simple_fast(&mut self, db_words: &[PifWord]) -> Option<StreamVerdict> {
+        let q = self.simple_query.as_deref()?;
+        self.scratch_raw.clear();
+        for w in db_words {
+            if w.type_tag().category() != TagCategory::Simple {
+                return None;
+            }
+            self.scratch_raw.push(w.to_u32());
+        }
+        let d = self.scratch_raw.as_slice();
+        let (matched, match_ops) = match clare_simd::first_mismatch_u32(clare_simd::level(), q, d) {
+            Some(k) => (false, k + 1),
+            None => (q.len() == d.len(), q.len().min(d.len())),
+        };
+        let mut op_histogram = [0usize; 7];
+        op_histogram[HwOp::Match.index()] = match_ops;
+        Some(StreamVerdict {
+            matched,
+            time: HwOp::Match.execution_time() * match_ops as u64,
+            op_histogram,
+        })
     }
 
     /// Per-clause reset: DB Memory sized to the clause's variables, both
@@ -804,6 +857,77 @@ mod tests {
             assert_eq!(quiet.op_histogram, full.op_histogram(), "{qs} vs {cs}");
             assert_eq!(quiet.op_count(), full.ops.len(), "{qs} vs {cs}");
         }
+    }
+
+    #[test]
+    fn simple_fast_path_agrees_with_map_rom_walk() {
+        // Random all-simple streams (the fast path) and mixed streams
+        // (the fallback) must both agree with the vector path verdict,
+        // time, and histogram — including around the 8-lane SIMD width.
+        let mut state = 0x5EED_F52Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let simple_word = |r: u64| match r % 3 {
+            0 => PifWord::new(TypeTag::AtomPtr, (r / 3 % 5) as u32),
+            1 => PifWord::new(
+                TypeTag::IntInline {
+                    high_nibble: (r / 3 % 3) as u8,
+                },
+                (r / 9 % 4) as u32,
+            ),
+            _ => PifWord::new(TypeTag::FloatPtr, (r / 3 % 3) as u32),
+        };
+        for _ in 0..300 {
+            let q_len = (next() % 20) as usize;
+            let d_len = if next() % 2 == 0 {
+                q_len
+            } else {
+                (next() % 20) as usize
+            };
+            let mut q_stream = PifStream::new();
+            for _ in 0..q_len {
+                q_stream.push(simple_word(next()));
+            }
+            let mut d_stream = PifStream::new();
+            for _ in 0..d_len {
+                d_stream.push(simple_word(next()));
+            }
+            // Half the time, poison the clause stream with a variable so
+            // the fallback path is exercised against the same oracle.
+            if next() % 2 == 0 && d_len > 0 {
+                let mut words: Vec<PifWord> = d_stream.words().to_vec();
+                words[(next() as usize) % d_len] = PifWord::new(TypeTag::Anon, 0);
+                d_stream = PifStream::new();
+                for w in words {
+                    d_stream.push(w);
+                }
+            }
+            let mut engine = Fs2Engine::new(&q_stream).unwrap();
+            let full = engine.match_clause_stream(&d_stream);
+            let quiet = engine.match_clause_quiet(&d_stream);
+            assert_eq!(quiet.matched, full.matched);
+            assert_eq!(quiet.time, full.time);
+            assert_eq!(quiet.op_histogram, full.op_histogram());
+        }
+    }
+
+    #[test]
+    fn fast_path_mismatch_charges_the_failing_pair() {
+        // f(a, b) vs f(a, c): MATCH for the hit, MATCH for the miss.
+        let quiet = {
+            let mut sy = SymbolTable::new();
+            let q = parse_term("f(a, b)", &mut sy).unwrap();
+            let c = parse_term("f(a, c)", &mut sy).unwrap();
+            let mut engine = Fs2Engine::new(&encode_query(&q).unwrap()).unwrap();
+            engine.match_clause_quiet(&encode_clause_head(&c).unwrap())
+        };
+        assert!(!quiet.matched);
+        assert_eq!(quiet.op_histogram[HwOp::Match.index()], 2);
+        assert_eq!(quiet.time.as_ns(), 210);
     }
 
     #[test]

@@ -35,6 +35,37 @@ impl Default for KbConfig {
     }
 }
 
+impl KbConfig {
+    /// Fingerprint of every parameter that affects compiled retrieval
+    /// results (index bits, modelled scan rate, track layout). Two
+    /// compilations of the same clauses agree byte-for-byte iff their
+    /// fingerprints agree — the guard that lets
+    /// [`KnowledgeBase::touched_predicates`] justify per-predicate cache
+    /// invalidation. Worker parallelism is deliberately excluded: it
+    /// changes wall-clock only, never results.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in [
+            u64::from(self.scw.width_bits()),
+            u64::from(self.scw.bits_per_key()),
+            self.scw.encoded_args() as u64,
+            self.scw.scan_rate().as_bytes_per_sec().to_bits(),
+            self.disk.track_bytes() as u64,
+            self.large_module_threshold as u64,
+        ] {
+            h = (h ^ v).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Mints process-unique knowledge-base generations.
+fn next_generation() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Errors while building a knowledge base.
 #[derive(Debug)]
 pub enum KbError {
@@ -102,6 +133,15 @@ pub struct KbBuilder {
     symbols: SymbolTable,
     modules: Vec<(String, Vec<Clause>)>,
     module_index: HashMap<String, usize>,
+    /// Generation of the base this builder was decompiled from, if any.
+    parent_generation: Option<u64>,
+    /// Module slots that gained clauses since [`Self::set_baseline`] (or
+    /// since creation, for a from-scratch builder). Dirtiness is tracked
+    /// per *module*, not per predicate: appending clauses anywhere in a
+    /// module can flip its [`ModuleKind`] across the large-module
+    /// threshold, which changes the retrieval timing of every sibling
+    /// predicate — so they must all count as touched.
+    dirty_modules: std::collections::HashSet<usize>,
 }
 
 impl KbBuilder {
@@ -125,6 +165,9 @@ impl KbBuilder {
     pub fn consult(&mut self, module: &str, source: &str) -> Result<(), KbError> {
         let clauses = parse_program(source, &mut self.symbols)?;
         let slot = self.module_slot(module);
+        if !clauses.is_empty() {
+            self.dirty_modules.insert(slot);
+        }
         self.modules[slot].1.extend(clauses);
         Ok(())
     }
@@ -132,7 +175,17 @@ impl KbBuilder {
     /// Adds one already-built clause to `module`.
     pub fn add_clause(&mut self, module: &str, clause: Clause) {
         let slot = self.module_slot(module);
+        self.dirty_modules.insert(slot);
         self.modules[slot].1.push(clause);
+    }
+
+    /// Declares the clauses added so far to be the verbatim content of the
+    /// base with generation `parent`: the dirty set restarts empty, so the
+    /// finished base's [`KnowledgeBase::touched_predicates`] lists only
+    /// predicates modified *after* this point.
+    pub(crate) fn set_baseline(&mut self, parent: u64) {
+        self.parent_generation = Some(parent);
+        self.dirty_modules.clear();
     }
 
     fn module_slot(&mut self, module: &str) -> usize {
@@ -163,6 +216,7 @@ impl KbBuilder {
     pub fn try_finish(self, config: KbConfig) -> Result<KnowledgeBase, KbError> {
         let mut modules = Vec::new();
         let mut by_indicator = HashMap::new();
+        let mut touched: Vec<(Symbol, usize)> = Vec::new();
         for (mi, (name, clauses)) in self.modules.into_iter().enumerate() {
             // Group into predicates, preserving first-seen order.
             let mut order: Vec<(Symbol, usize)> = Vec::new();
@@ -173,6 +227,12 @@ impl KbBuilder {
                     order.push(key);
                 }
                 grouped.entry(key).or_default().push(clause);
+            }
+            if self.dirty_modules.contains(&mi) {
+                // Every predicate of a dirty module counts as touched: new
+                // clauses elsewhere in the module can flip its ModuleKind,
+                // which changes sibling predicates' retrieval timing.
+                touched.extend(order.iter().copied());
             }
             let mut predicates = Vec::new();
             for (pi, key) in order.iter().enumerate() {
@@ -191,10 +251,15 @@ impl KbBuilder {
             }
             modules.push(module);
         }
+        touched.sort_unstable_by_key(|(s, a)| (s.offset(), *a));
         Ok(KnowledgeBase {
             symbols: self.symbols,
             modules,
             by_indicator,
+            generation: next_generation(),
+            parent_generation: self.parent_generation,
+            touched,
+            build_fingerprint: config.fingerprint(),
         })
     }
 }
@@ -304,6 +369,52 @@ mod tests {
             b.try_finish(KbConfig::default()),
             Err(KbError::Pif(_))
         ));
+    }
+
+    #[test]
+    fn incremental_builders_track_touched_predicates() {
+        let mut b = KbBuilder::new();
+        b.consult("m", "p(a). q(b).").unwrap();
+        b.consult("other", "r(z).").unwrap();
+        let kb = b.finish(KbConfig::default());
+        assert!(kb.parent_generation().is_none());
+        assert_eq!(kb.touched_predicates().len(), 3);
+
+        let mut inc = kb.to_builder();
+        inc.consult("m", "p(c).").unwrap();
+        let kb2 = inc.finish(KbConfig::default());
+        assert_eq!(kb2.parent_generation(), Some(kb.generation()));
+        assert_ne!(kb2.generation(), kb.generation());
+        // Touching p/1 touches its whole module (the module's kind could
+        // have flipped), but not the untouched `other` module.
+        let p = kb2.symbols().lookup_atom("p").unwrap();
+        let q = kb2.symbols().lookup_atom("q").unwrap();
+        let mut want = vec![(p, 1), (q, 1)];
+        want.sort_unstable_by_key(|(s, a)| (s.offset(), *a));
+        assert_eq!(kb2.touched_predicates(), want.as_slice());
+        assert_eq!(kb.build_fingerprint(), kb2.build_fingerprint());
+
+        // An untouched incremental rebuild touches nothing.
+        let kb3 = kb2.to_builder().finish(KbConfig::default());
+        assert!(kb3.touched_predicates().is_empty());
+        assert_eq!(kb3.parent_generation(), Some(kb2.generation()));
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_affecting_parameters() {
+        let base = KbConfig::default();
+        assert_eq!(base.fingerprint(), KbConfig::default().fingerprint());
+        let wider = KbConfig {
+            scw: ScwConfig::custom(128, 3, 12),
+            ..KbConfig::default()
+        };
+        assert_ne!(base.fingerprint(), wider.fingerprint());
+        // Parallelism is wall-clock only: same fingerprint.
+        let parallel = KbConfig {
+            scw: ScwConfig::paper().with_parallelism(8),
+            ..KbConfig::default()
+        };
+        assert_eq!(base.fingerprint(), parallel.fingerprint());
     }
 
     #[test]

@@ -159,12 +159,56 @@ pub struct KnowledgeBase {
     pub(crate) symbols: SymbolTable,
     pub(crate) modules: Vec<Module>,
     pub(crate) by_indicator: HashMap<(Symbol, usize), (usize, usize)>,
+    /// Process-unique build generation (see [`Self::generation`]).
+    pub(crate) generation: u64,
+    /// Generation of the knowledge base this one was derived from via
+    /// [`Self::to_builder`], if any.
+    pub(crate) parent_generation: Option<u64>,
+    /// Predicates whose clause lists changed relative to the parent.
+    pub(crate) touched: Vec<(Symbol, usize)>,
+    /// Fingerprint of the [`KbConfig`](crate::build::KbConfig) the base
+    /// was compiled under.
+    pub(crate) build_fingerprint: u64,
 }
 
 impl KnowledgeBase {
     /// The shared symbol table.
     pub fn symbols(&self) -> &SymbolTable {
         &self.symbols
+    }
+
+    /// Process-unique identifier of this compiled knowledge base: every
+    /// [`KbBuilder`](crate::build::KbBuilder) finish mints a fresh one.
+    /// Retrieval caches use it to tell "the same base" from "a different
+    /// base with the same shape".
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The generation of the base this one was derived from through
+    /// [`Self::to_builder`], or `None` for a base built from scratch.
+    pub fn parent_generation(&self) -> Option<u64> {
+        self.parent_generation
+    }
+
+    /// The predicates possibly affected by changes relative to the parent
+    /// base (meaningful only when [`Self::parent_generation`] is set).
+    /// Granularity is the *module*: every predicate of a module that
+    /// gained clauses is listed, because new clauses anywhere in a module
+    /// can flip its [`ModuleKind`] and with it the retrieval timing of
+    /// sibling predicates. Predicates outside touched modules compile
+    /// bit-identically under the same
+    /// [`KbConfig`](crate::build::KbConfig), which is what lets a
+    /// retrieval cache invalidate per predicate instead of globally.
+    pub fn touched_predicates(&self) -> &[(Symbol, usize)] {
+        &self.touched
+    }
+
+    /// Fingerprint of the result-affecting compilation parameters (SCW
+    /// scheme, scan rate, track size). Two bases with equal fingerprints
+    /// and equal clause lists produce byte-identical retrievals.
+    pub fn build_fingerprint(&self) -> u64 {
+        self.build_fingerprint
     }
 
     /// The modules in creation order.
@@ -223,6 +267,9 @@ impl KnowledgeBase {
                 }
             }
         }
+        // Clauses added so far are the parent's own; only additions from
+        // here on count as touched.
+        builder.set_baseline(self.generation);
         builder
     }
 

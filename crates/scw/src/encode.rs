@@ -145,6 +145,25 @@ pub struct QueryDescriptor {
     pub args: Vec<QueryArg>,
 }
 
+impl QueryArg {
+    /// The codewords a clause argument with mask state `mask` must be a
+    /// superset of for this query argument to pass FS1.
+    ///
+    /// This is the single statement of the SCW+MB relaxation rules —
+    /// `Var` relaxes everything, `Open` drops the deep key — consumed by
+    /// both the reference matcher ([`QueryDescriptor::matches`]) and the
+    /// packed-scan compiler, so the two paths cannot drift apart.
+    pub fn required_codewords(&self, mask: ArgMask) -> impl Iterator<Item = &Codeword> {
+        let (first, second): (Option<&Codeword>, Option<&Codeword>) = match (self, mask) {
+            (QueryArg::Any, _) | (_, ArgMask::Var) => (None, None),
+            (QueryArg::Shallow(cw), _) => (Some(cw), None),
+            (QueryArg::Ground { shallow, .. }, ArgMask::Open) => (Some(shallow), None),
+            (QueryArg::Ground { shallow, deep }, ArgMask::Ground) => (Some(shallow), Some(deep)),
+        };
+        first.into_iter().chain(second)
+    }
+}
+
 impl QueryDescriptor {
     /// True if no position constrains anything — FS1 degenerates to
     /// retrieving the entire predicate (e.g. `married_couple(S, S)`).
@@ -154,27 +173,13 @@ impl QueryDescriptor {
 
     /// Tests this query against a clause signature.
     pub fn matches(&self, signature: &ClauseSignature) -> bool {
-        for (i, req) in self.args.iter().enumerate() {
+        self.args.iter().enumerate().all(|(i, req)| {
             // A clause position beyond the signature means the clause had
             // fewer encoded args (arity mismatch is caught before FS1).
             let mask = signature.masks.get(i).copied().unwrap_or(ArgMask::Var);
-            let ok = match req {
-                QueryArg::Any => true,
-                QueryArg::Shallow(cw) => mask == ArgMask::Var || cw.subset_of(&signature.codeword),
-                QueryArg::Ground { shallow, deep } => match mask {
-                    ArgMask::Var => true,
-                    ArgMask::Open => shallow.subset_of(&signature.codeword),
-                    ArgMask::Ground => {
-                        shallow.subset_of(&signature.codeword)
-                            && deep.subset_of(&signature.codeword)
-                    }
-                },
-            };
-            if !ok {
-                return false;
-            }
-        }
-        true
+            req.required_codewords(mask)
+                .all(|cw| cw.subset_of(&signature.codeword))
+        })
     }
 }
 

@@ -396,10 +396,16 @@ impl IndexFile {
         per_query
     }
 
-    /// Scans entries `[start, end)` for every query. The inner loop reads
-    /// each entry's mask word and codeword limbs once; the bit requirement
-    /// for a mask word is cached per query, so the common case is one
-    /// cache probe plus `limbs_per_entry` AND-NOT tests per entry.
+    /// Scans entries `[start, end)` for every query.
+    ///
+    /// The bit requirement of an entry depends only on its mask word, so
+    /// the shard is walked as maximal runs of entries sharing a raw mask
+    /// word (facts are all-ground, so a predicate typically has one long
+    /// run per rule-head shape). Within a run every query's requirement is
+    /// a constant vector, and the subset test over the run's contiguous
+    /// limbs is handed to the [`clare_simd::fs1_subset_hits`] kernel — the
+    /// AVX2/NEON path when the host has it, the identical scalar loop
+    /// otherwise.
     fn scan_shard(
         &self,
         queries: &[CompiledQuery],
@@ -407,18 +413,26 @@ impl IndexFile {
         end: usize,
     ) -> Vec<Vec<ClauseAddr>> {
         let stride = self.limbs_per_entry;
+        let level = clare_simd::level();
         let mut hits = vec![Vec::new(); queries.len()];
         let mut caches: Vec<RequirementCache> =
             queries.iter().map(|_| RequirementCache::new()).collect();
-        for e in start..end {
-            let word = self.mask_words[e];
-            let limbs = &self.limbs[e * stride..(e + 1) * stride];
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut run = start;
+        while run < end {
+            let word = self.mask_words[run];
+            let mut run_end = run + 1;
+            while run_end < end && self.mask_words[run_end] == word {
+                run_end += 1;
+            }
+            let limbs = &self.limbs[run * stride..run_end * stride];
             for (q, query) in queries.iter().enumerate() {
                 let required = caches[q].required(query, word);
-                if required.iter().zip(limbs).all(|(r, l)| r & !l == 0) {
-                    hits[q].push(self.addrs[e]);
-                }
+                scratch.clear();
+                clare_simd::fs1_subset_hits(level, required, limbs, &mut scratch);
+                hits[q].extend(scratch.iter().map(|&rel| self.addrs[run + rel as usize]));
             }
+            run = run_end;
         }
         hits
     }
@@ -444,49 +458,36 @@ struct PositionReq {
     ground: Vec<u64>,
 }
 
-/// Copies a codeword's limbs into the index's per-entry stride. A query
-/// encoded with a wider config than the index contributes only the limbs
-/// the entries actually store — the same zip-truncation semantics as
-/// [`Codeword::subset_of`].
-fn normalize(limbs: &[u64], limbs_per_entry: usize) -> Vec<u64> {
-    let mut out = vec![0u64; limbs_per_entry];
-    for (o, l) in out.iter_mut().zip(limbs) {
-        *o = *l;
-    }
-    out
-}
-
 impl CompiledQuery {
     fn compile(descriptor: &QueryDescriptor, limbs_per_entry: usize) -> Self {
         let mut positions = Vec::new();
         let mut relevance = 0u64;
         for (i, arg) in descriptor.args.iter().enumerate() {
+            if matches!(arg, QueryArg::Any) {
+                continue;
+            }
             let shift = 2 * i as u32;
-            let (open, ground) = match arg {
-                QueryArg::Any => continue,
-                // A shallow requirement applies whether the clause arg is
-                // open or ground; only Var relaxes it.
-                QueryArg::Shallow(cw) => {
-                    let bits = normalize(cw.limbs(), limbs_per_entry);
-                    (bits.clone(), bits)
-                }
-                // Against an open clause arg only the shallow key applies;
-                // against a ground one, shallow and deep bits both do —
-                // their union is one subset test.
-                QueryArg::Ground { shallow, deep } => {
-                    let open = normalize(shallow.limbs(), limbs_per_entry);
-                    let mut ground = open.clone();
-                    for (g, d) in ground.iter_mut().zip(deep.limbs()) {
-                        *g |= d;
+            // The per-mask-state requirements come from the same
+            // `required_codewords` rules the reference matcher applies;
+            // per position the subset tests AND together, so the union of
+            // the required bits is one test. A query encoded with a wider
+            // config than the index contributes only the limbs the entries
+            // actually store — the same zip-truncation semantics as
+            // [`Codeword::subset_of`].
+            let union_for = |mask: ArgMask| {
+                let mut bits = vec![0u64; limbs_per_entry];
+                for cw in arg.required_codewords(mask) {
+                    for (b, l) in bits.iter_mut().zip(cw.limbs()) {
+                        *b |= l;
                     }
-                    (open, ground)
                 }
+                bits
             };
             relevance |= 0b11 << shift;
             positions.push(PositionReq {
                 shift,
-                open,
-                ground,
+                open: union_for(ArgMask::Open),
+                ground: union_for(ArgMask::Ground),
             });
         }
         CompiledQuery {

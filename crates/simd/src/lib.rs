@@ -1,0 +1,468 @@
+//! Runtime-dispatched SIMD kernels for the two retrieval hot loops.
+//!
+//! The FS1 filter tests `required & !entry == 0` against every index entry
+//! of a shard; the FS2 fast path compares canonical 32-bit word streams for
+//! their first mismatch. Both are pure data-parallel inner loops, so this
+//! crate vectorizes them with `std::arch` intrinsics (AVX2 on x86-64, NEON
+//! on aarch64) behind a [`SimdLevel`] value chosen once per process by
+//! runtime feature detection. The scalar path is always compiled and is the
+//! semantic reference: every vector path must produce bit-identical output,
+//! including on non-lane-multiple tails, and the property tests at the
+//! bottom of this file enforce that on random inputs.
+//!
+//! Set `CLARE_SIMD=off` (or `scalar`) to force the scalar path; `avx2` /
+//! `neon` request a specific level and silently fall back to scalar when
+//! the host cannot deliver it.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// The instruction-set tier the kernels run at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar loops — the reference semantics.
+    Scalar,
+    /// 128-bit NEON (aarch64).
+    Neon,
+    /// 256-bit AVX2 (x86-64).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Detects the best level the host supports, ignoring the environment
+    /// override.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            // NEON is architecturally mandatory on aarch64.
+            return SimdLevel::Neon;
+        }
+        #[allow(unreachable_code)]
+        SimdLevel::Scalar
+    }
+
+    /// Numeric encoding for the `simd.level` metrics gauge:
+    /// 0 = scalar, 1 = NEON, 2 = AVX2.
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            SimdLevel::Scalar => 0,
+            SimdLevel::Neon => 1,
+            SimdLevel::Avx2 => 2,
+        }
+    }
+
+    /// Parses a `CLARE_SIMD` override value. `off`/`scalar` force scalar;
+    /// `avx2`/`neon` request that level (granted only if the host has it);
+    /// anything else means "auto".
+    fn from_env(value: &str, detected: SimdLevel) -> SimdLevel {
+        match value.to_ascii_lowercase().as_str() {
+            "off" | "scalar" | "0" | "none" => SimdLevel::Scalar,
+            "avx2" if detected == SimdLevel::Avx2 => SimdLevel::Avx2,
+            "neon" if detected == SimdLevel::Neon => SimdLevel::Neon,
+            "avx2" | "neon" => SimdLevel::Scalar,
+            _ => detected,
+        }
+    }
+}
+
+impl fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimdLevel::Scalar => f.write_str("scalar"),
+            SimdLevel::Neon => f.write_str("neon"),
+            SimdLevel::Avx2 => f.write_str("avx2"),
+        }
+    }
+}
+
+/// The level the process runs at: runtime detection combined with the
+/// `CLARE_SIMD` environment override, computed once and cached.
+pub fn level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let detected = SimdLevel::detect();
+        match std::env::var("CLARE_SIMD") {
+            Ok(v) => SimdLevel::from_env(&v, detected),
+            Err(_) => detected,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// FS1 kernel: subset test over a run of packed index entries
+// ---------------------------------------------------------------------------
+
+/// Appends to `out` the index (counting from 0) of every entry in `limbs`
+/// whose codeword is a superset of `required`, i.e. where
+/// `required[k] & !entry[k] == 0` for every limb `k`.
+///
+/// `limbs` holds `limbs.len() / required.len()` consecutive entries of
+/// `required.len()` limbs each (the packed columnar layout); its length
+/// must be a multiple of `required.len()`. The same `required` vector
+/// applies to every entry — callers batch entries into runs that share a
+/// requirement before invoking the kernel.
+///
+/// Every level produces identical output; `level` only selects how the
+/// loop is executed.
+///
+/// # Panics
+///
+/// Panics if `required` is empty or `limbs.len()` is not a multiple of
+/// `required.len()`.
+pub fn fs1_subset_hits(level: SimdLevel, required: &[u64], limbs: &[u64], out: &mut Vec<u32>) {
+    let stride = required.len();
+    assert!(stride > 0, "requirement must have at least one limb");
+    assert_eq!(limbs.len() % stride, 0, "limbs must be whole entries");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => match stride {
+            // SAFETY: `Avx2` is only produced by `detect()` when the host
+            // reports the feature (the env override cannot grant it).
+            1 => unsafe { fs1_subset_hits_avx2_s1(required[0], limbs, out) },
+            2 => unsafe { fs1_subset_hits_avx2_s2(required, limbs, out) },
+            _ => fs1_subset_hits_scalar(required, limbs, out),
+        },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => match stride {
+            1 => unsafe { fs1_subset_hits_neon_s1(required[0], limbs, out) },
+            _ => fs1_subset_hits_scalar(required, limbs, out),
+        },
+        _ => fs1_subset_hits_scalar(required, limbs, out),
+    }
+}
+
+/// The scalar reference loop for [`fs1_subset_hits`].
+fn fs1_subset_hits_scalar(required: &[u64], limbs: &[u64], out: &mut Vec<u32>) {
+    let stride = required.len();
+    if stride == 1 {
+        let required = required[0];
+        for (i, &entry) in limbs.iter().enumerate() {
+            if required & !entry == 0 {
+                out.push(i as u32);
+            }
+        }
+        return;
+    }
+    for (i, entry) in limbs.chunks_exact(stride).enumerate() {
+        if required.iter().zip(entry).all(|(r, l)| r & !l == 0) {
+            out.push(i as u32);
+        }
+    }
+}
+
+/// AVX2, one limb per entry: four entries per 256-bit vector.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fs1_subset_hits_avx2_s1(required: u64, limbs: &[u64], out: &mut Vec<u32>) {
+    use std::arch::x86_64::*;
+    let req = _mm256_set1_epi64x(required as i64);
+    let zero = _mm256_setzero_si256();
+    let chunks = limbs.len() / 4;
+    for c in 0..chunks {
+        // SAFETY: `c * 4 + 3 < limbs.len()`; unaligned load is permitted.
+        let entries = _mm256_loadu_si256(limbs.as_ptr().add(c * 4) as *const __m256i);
+        // andnot(entries, req) = !entries & req — the leftover required bits.
+        let leftover = _mm256_andnot_si256(entries, req);
+        let hit = _mm256_cmpeq_epi64(leftover, zero);
+        let mut mask = _mm256_movemask_pd(_mm256_castsi256_pd(hit)) as u32;
+        while mask != 0 {
+            let lane = mask.trailing_zeros();
+            out.push((c * 4) as u32 + lane);
+            mask &= mask - 1;
+        }
+    }
+    for (i, &limb) in limbs.iter().enumerate().skip(chunks * 4) {
+        if required & !limb == 0 {
+            out.push(i as u32);
+        }
+    }
+}
+
+/// AVX2, two limbs per entry: two entries per 256-bit vector.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fs1_subset_hits_avx2_s2(required: &[u64], limbs: &[u64], out: &mut Vec<u32>) {
+    use std::arch::x86_64::*;
+    let req = _mm256_set_epi64x(
+        required[1] as i64,
+        required[0] as i64,
+        required[1] as i64,
+        required[0] as i64,
+    );
+    let zero = _mm256_setzero_si256();
+    let entries_total = limbs.len() / 2;
+    let pairs = entries_total / 2;
+    for p in 0..pairs {
+        // SAFETY: `p * 4 + 3 < limbs.len()`.
+        let entries = _mm256_loadu_si256(limbs.as_ptr().add(p * 4) as *const __m256i);
+        let leftover = _mm256_andnot_si256(entries, req);
+        let hit = _mm256_cmpeq_epi64(leftover, zero);
+        let mask = _mm256_movemask_pd(_mm256_castsi256_pd(hit)) as u32;
+        // Both limb lanes of an entry must be zero-leftover.
+        if mask & 0b0011 == 0b0011 {
+            out.push((p * 2) as u32);
+        }
+        if mask & 0b1100 == 0b1100 {
+            out.push((p * 2) as u32 + 1);
+        }
+    }
+    for e in pairs * 2..entries_total {
+        let base = e * 2;
+        if required[0] & !limbs[base] == 0 && required[1] & !limbs[base + 1] == 0 {
+            out.push(e as u32);
+        }
+    }
+}
+
+/// NEON, one limb per entry: two entries per 128-bit vector.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn fs1_subset_hits_neon_s1(required: u64, limbs: &[u64], out: &mut Vec<u32>) {
+    use std::arch::aarch64::*;
+    let req = vdupq_n_u64(required);
+    let chunks = limbs.len() / 2;
+    for c in 0..chunks {
+        // SAFETY: `c * 2 + 1 < limbs.len()`.
+        let entries = vld1q_u64(limbs.as_ptr().add(c * 2));
+        let leftover = vbicq_u64(req, entries); // req & !entries
+        if vgetq_lane_u64(leftover, 0) == 0 {
+            out.push((c * 2) as u32);
+        }
+        if vgetq_lane_u64(leftover, 1) == 0 {
+            out.push((c * 2) as u32 + 1);
+        }
+    }
+    for i in chunks * 2..limbs.len() {
+        if required & !limbs[i] == 0 {
+            out.push(i as u32);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FS2 kernel: first mismatch between two 32-bit word streams
+// ---------------------------------------------------------------------------
+
+/// Returns the index of the first position where `a` and `b` differ,
+/// comparing up to the shorter length, or `None` if the shared prefix is
+/// identical. Every level produces identical output.
+pub fn first_mismatch_u32(level: SimdLevel, a: &[u32], b: &[u32]) -> Option<usize> {
+    let n = a.len().min(b.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` is only produced when the host reports the feature.
+        SimdLevel::Avx2 => unsafe { first_mismatch_u32_avx2(&a[..n], &b[..n]) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { first_mismatch_u32_neon(&a[..n], &b[..n]) },
+        _ => first_mismatch_u32_scalar(&a[..n], &b[..n]),
+    }
+}
+
+/// The scalar reference loop for [`first_mismatch_u32`].
+fn first_mismatch_u32_scalar(a: &[u32], b: &[u32]) -> Option<usize> {
+    a.iter().zip(b).position(|(x, y)| x != y)
+}
+
+/// AVX2: eight 32-bit words per vector.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn first_mismatch_u32_avx2(a: &[u32], b: &[u32]) -> Option<usize> {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        // SAFETY: `c * 8 + 7 < a.len() == b.len()`.
+        let va = _mm256_loadu_si256(a.as_ptr().add(c * 8) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(c * 8) as *const __m256i);
+        let eq = _mm256_cmpeq_epi32(va, vb);
+        let mask = _mm256_movemask_epi8(eq) as u32;
+        if mask != u32::MAX {
+            // Four mask bits per 32-bit lane; the first zero bit's lane is
+            // the first mismatching word.
+            return Some(c * 8 + (mask.trailing_ones() / 4) as usize);
+        }
+    }
+    (chunks * 8..a.len()).find(|&i| a[i] != b[i])
+}
+
+/// NEON: four 32-bit words per vector.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn first_mismatch_u32_neon(a: &[u32], b: &[u32]) -> Option<usize> {
+    use std::arch::aarch64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        // SAFETY: `c * 4 + 3 < a.len() == b.len()`.
+        let va = vld1q_u32(a.as_ptr().add(c * 4));
+        let vb = vld1q_u32(b.as_ptr().add(c * 4));
+        let eq = vceqq_u32(va, vb);
+        // All-equal vectors min-reduce to u32::MAX.
+        if vminvq_u32(eq) != u32::MAX {
+            for lane in 0..4 {
+                if a[c * 4 + lane] != b[c * 4 + lane] {
+                    return Some(c * 4 + lane);
+                }
+            }
+        }
+    }
+    (chunks * 4..a.len()).find(|&i| a[i] != b[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn active_vector_level() -> Option<SimdLevel> {
+        match SimdLevel::detect() {
+            SimdLevel::Scalar => None,
+            l => Some(l),
+        }
+    }
+
+    #[test]
+    fn gauge_values_are_stable() {
+        assert_eq!(SimdLevel::Scalar.as_gauge(), 0);
+        assert_eq!(SimdLevel::Neon.as_gauge(), 1);
+        assert_eq!(SimdLevel::Avx2.as_gauge(), 2);
+        assert_eq!(SimdLevel::Avx2.to_string(), "avx2");
+    }
+
+    #[test]
+    fn env_override_parsing() {
+        let detected = SimdLevel::detect();
+        assert_eq!(SimdLevel::from_env("off", detected), SimdLevel::Scalar);
+        assert_eq!(SimdLevel::from_env("scalar", detected), SimdLevel::Scalar);
+        assert_eq!(SimdLevel::from_env("SCALAR", detected), SimdLevel::Scalar);
+        assert_eq!(SimdLevel::from_env("auto", detected), detected);
+        assert_eq!(SimdLevel::from_env("", detected), detected);
+        // A requested level is granted only when detected.
+        assert_eq!(
+            SimdLevel::from_env("avx2", SimdLevel::Avx2),
+            SimdLevel::Avx2
+        );
+        assert_eq!(
+            SimdLevel::from_env("avx2", SimdLevel::Scalar),
+            SimdLevel::Scalar
+        );
+        assert_eq!(
+            SimdLevel::from_env("neon", SimdLevel::Avx2),
+            SimdLevel::Scalar
+        );
+    }
+
+    #[test]
+    fn subset_kernel_matches_scalar_on_random_runs() {
+        let Some(level) = active_vector_level() else {
+            return;
+        };
+        let mut rng = StdRng::seed_from_u64(0x51D_0001);
+        for stride in [1usize, 2, 3] {
+            for _ in 0..200 {
+                let entries = rng.gen_range(0..40usize);
+                // Sparse requirements and dense entries so both outcomes
+                // occur often.
+                let required: Vec<u64> = (0..stride)
+                    .map(|_| rng.gen::<u64>() & rng.gen::<u64>() & rng.gen::<u64>())
+                    .collect();
+                let limbs: Vec<u64> = (0..entries * stride)
+                    .map(|_| rng.gen::<u64>() | rng.gen::<u64>())
+                    .collect();
+                let mut scalar = Vec::new();
+                let mut vector = Vec::new();
+                fs1_subset_hits(SimdLevel::Scalar, &required, &limbs, &mut scalar);
+                fs1_subset_hits(level, &required, &limbs, &mut vector);
+                assert_eq!(scalar, vector, "stride {stride}, {entries} entries");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_kernel_tail_lengths_are_exact() {
+        let Some(level) = active_vector_level() else {
+            return;
+        };
+        // Every length around the lane width, with an all-pass requirement
+        // and an all-fail requirement.
+        for stride in [1usize, 2] {
+            for entries in 0..=17usize {
+                let limbs = vec![0u64; entries * stride];
+                let mut hits = Vec::new();
+                fs1_subset_hits(level, &vec![0u64; stride], &limbs, &mut hits);
+                assert_eq!(hits.len(), entries, "all-pass, stride {stride}");
+                hits.clear();
+                fs1_subset_hits(level, &vec![u64::MAX; stride], &limbs, &mut hits);
+                assert!(hits.is_empty(), "all-fail, stride {stride}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_kernel_appends_without_clearing() {
+        let mut out = vec![7u32];
+        fs1_subset_hits(SimdLevel::Scalar, &[0], &[0, u64::MAX], &mut out);
+        assert_eq!(out, vec![7, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole entries")]
+    fn subset_kernel_rejects_ragged_input() {
+        let mut out = Vec::new();
+        fs1_subset_hits(SimdLevel::Scalar, &[0, 0], &[1, 2, 3], &mut out);
+    }
+
+    #[test]
+    fn mismatch_kernel_matches_scalar_on_random_streams() {
+        let Some(level) = active_vector_level() else {
+            return;
+        };
+        let mut rng = StdRng::seed_from_u64(0x51D_0002);
+        for _ in 0..500 {
+            let len_a = rng.gen_range(0..40usize);
+            let len_b = rng.gen_range(0..40usize);
+            // Mostly-equal streams with occasional point differences.
+            let a: Vec<u32> = (0..len_a).map(|_| rng.gen_range(0..4u32)).collect();
+            let mut b: Vec<u32> = a.iter().take(len_b).copied().collect();
+            b.resize_with(len_b, || rng.gen());
+            if !b.is_empty() && rng.gen_bool(0.5) {
+                let i = rng.gen_range(0..b.len());
+                b[i] ^= 1 + rng.gen_range(0..7u32);
+            }
+            assert_eq!(
+                first_mismatch_u32(SimdLevel::Scalar, &a, &b),
+                first_mismatch_u32(level, &a, &b),
+            );
+        }
+    }
+
+    #[test]
+    fn mismatch_kernel_edge_positions() {
+        let Some(level) = active_vector_level() else {
+            return;
+        };
+        for len in 0..=19usize {
+            let a: Vec<u32> = (0..len as u32).collect();
+            assert_eq!(first_mismatch_u32(level, &a, &a), None, "equal len {len}");
+            for diff_at in 0..len {
+                let mut b = a.clone();
+                b[diff_at] = u32::MAX;
+                assert_eq!(
+                    first_mismatch_u32(level, &a, &b),
+                    Some(diff_at),
+                    "len {len} diff {diff_at}"
+                );
+            }
+        }
+        // Unequal lengths compare only the shared prefix.
+        assert_eq!(first_mismatch_u32(level, &[1, 2, 3], &[1, 2]), None);
+        assert_eq!(first_mismatch_u32(level, &[], &[9]), None);
+    }
+}

@@ -114,6 +114,17 @@ pub struct Metrics {
     /// Retrieval/solve answers flagged degraded (some input failed
     /// integrity checks and a software fallback covered for it).
     pub crs_degraded_answers: Counter,
+    /// Retrieval-cache lookups answered from the cache (either layer:
+    /// full answers or FS1 candidate sets).
+    pub cache_hits: Counter,
+    /// Retrieval-cache lookups that found no live entry.
+    pub cache_misses: Counter,
+    /// Cache entries dropped by capacity-bound FIFO eviction.
+    pub cache_evictions: Counter,
+    /// Cache entries dropped because their epoch stamp no longer matched
+    /// (a knowledge-base update or track quarantine intervened). Each
+    /// also counts as a miss.
+    pub cache_epoch_invalidations: Counter,
     /// Host wall-clock per served retrieval call, ns.
     pub crs_retrieve_wall_ns: Histogram,
     /// Host wall-clock per served solve call, ns.
@@ -227,6 +238,10 @@ static METRICS: Metrics = Metrics {
     fs2_worker_recoveries: Counter::new(),
     fs2_quarantined_tracks: Counter::new(),
     crs_degraded_answers: Counter::new(),
+    cache_hits: Counter::new(),
+    cache_misses: Counter::new(),
+    cache_evictions: Counter::new(),
+    cache_epoch_invalidations: Counter::new(),
     crs_retrieve_wall_ns: Histogram::new(),
     crs_solve_wall_ns: Histogram::new(),
     crs_batch_size: Histogram::new(),
@@ -292,6 +307,13 @@ impl Metrics {
                 "crs.degraded_answers".into(),
                 self.crs_degraded_answers.get(),
             ),
+            ("cache.hits".into(), self.cache_hits.get()),
+            ("cache.misses".into(), self.cache_misses.get()),
+            ("cache.evictions".into(), self.cache_evictions.get()),
+            (
+                "cache.epoch_invalidations".into(),
+                self.cache_epoch_invalidations.get(),
+            ),
             ("net.busy_rejections".into(), self.net_busy_rejections.get()),
             ("net.bytes_in".into(), self.net_bytes_in.get()),
             ("net.frames_out".into(), self.net_frames_out.get()),
@@ -322,6 +344,10 @@ impl Metrics {
             counters.push((format!("net.frames_in.{}", net_op_name(i)), c.get()));
         }
         let gauges = vec![
+            // The active SIMD dispatch tier (0 scalar, 1 NEON, 2 AVX2):
+            // environment state rather than a recorded metric, sampled at
+            // snapshot time so every transport reports it for free.
+            ("simd.level".into(), clare_simd::level().as_gauge() as i64),
             ("net.connections".into(), self.net_connections.get()),
             ("net.queue_depth".into(), self.net_queue_depth.get()),
         ];

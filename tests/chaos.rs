@@ -198,6 +198,89 @@ fn kb_io_chaos_never_loads_a_corrupt_kb() {
     maybe_report();
 }
 
+/// Cache-poisoning schedules: a cache-enabled [`ClauseRetrievalServer`]
+/// under disk-corruption and worker-death storms. The invariant is that
+/// the cache can never launder a faulted answer into a later fault-free
+/// request: only non-degraded answers are cacheable, a non-degraded
+/// answer must be byte-identical to the fault-free serial reference, and
+/// every track quarantine bumps the predicate epoch so entries cached
+/// *before* the quarantine verdict was memoized cannot survive it.
+#[test]
+fn cache_hits_never_serve_poisoned_answers_under_chaos() {
+    let (kb, queries) = chaos_kb();
+    let opts = CrsOptions {
+        fs2_parallelism: Some(4),
+        ..CrsOptions::default()
+    };
+    // Fault-free serial reference, computed before any injector installs.
+    let reference: Vec<Retrieval> = queries
+        .iter()
+        .map(|q| retrieve(&kb, q, SearchMode::TwoStage, &opts))
+        .collect();
+    let server = ClauseRetrievalServer::new(kb, opts.clone());
+
+    let total = schedules();
+    let mut quarantines = 0u64;
+    let hits_before = clare_trace::metrics().cache_hits.get();
+    quiet_panics(|| {
+        for seed in 0..total {
+            let permille = 100 + (seed % 8) as u32 * 100;
+            let plan = match seed % 3 {
+                0 => FaultPlan::none().with(FaultSite::DiskTrackRead, permille),
+                1 => FaultPlan::none().with(FaultSite::Fs2Worker, permille),
+                _ => FaultPlan::none()
+                    .with(FaultSite::DiskTrackRead, permille)
+                    .with(FaultSite::Fs2Worker, permille),
+            };
+            let guard = install(seed, plan);
+            for (query, want) in queries.iter().zip(&reference) {
+                let got = server.retrieve(query, SearchMode::TwoStage);
+                assert_eq!(
+                    got.stats.unified, want.stats.unified,
+                    "seed {seed}: the answer set moved under faults"
+                );
+                quarantines += got.stats.quarantined_tracks as u64;
+                if !got.stats.degraded {
+                    // The cacheable subset: anything here may be served
+                    // verbatim to a later request, so it must already BE
+                    // the fault-free answer, byte for byte.
+                    assert_eq!(
+                        got, *want,
+                        "seed {seed}: a non-degraded (cacheable) answer diverged"
+                    );
+                }
+            }
+            // Calm after the storm: with the injector gone, the cached
+            // server must agree byte-for-byte with a fresh uncached
+            // pipeline run on its current snapshot. A storm-era entry
+            // outliving the quarantine verdicts it predates would show
+            // up right here.
+            drop(guard);
+            for query in &queries {
+                let got = server.retrieve(query, SearchMode::TwoStage);
+                let fresh = retrieve(&server.snapshot(), query, SearchMode::TwoStage, &opts);
+                assert_eq!(
+                    got, fresh,
+                    "seed {seed}: post-storm cache state diverged from the pipeline"
+                );
+            }
+        }
+    });
+    assert!(
+        quarantines > 0,
+        "no schedule ever quarantined a track — the harness is not biting"
+    );
+    // Liveness: repeats against one server across {total} schedules must
+    // have produced cache hits. Sibling tests in this binary can only
+    // inflate the process-wide counter; the precise hit/skip accounting
+    // lives in crates/core/tests/cache_counters.rs.
+    assert!(
+        clare_trace::metrics().cache_hits.get() > hits_before,
+        "the cache never once served a hit"
+    );
+    maybe_report();
+}
+
 /// Network chaos over a live loopback daemon: dropped, truncated, and
 /// bit-flipped frames in both directions, with frame checksums
 /// negotiated. Every retrieval either matches the direct in-process
