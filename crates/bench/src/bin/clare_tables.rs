@@ -37,6 +37,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "E16: retrieval cache wall-clock (writes BENCH_cache.json)",
     ),
     (
+        "netbench",
+        "E17: serving-core wall-clock, reactor vs threaded (writes BENCH_net.json)",
+    ),
+    (
         "microprogram",
         "appendix: the assembled WCS microprogram listing",
     ),
@@ -127,6 +131,58 @@ fn run_one(name: &str, quick: bool, json: bool) -> bool {
                 match std::fs::write("BENCH_cache.json", report.to_json()) {
                     Ok(()) => println!("wrote BENCH_cache.json"),
                     Err(e) => eprintln!("could not write BENCH_cache.json: {e}"),
+                }
+            }
+        }
+        "netbench" => {
+            use clare_net::ServerMode::{Reactor, Threaded};
+            use experiments::net_wallclock::NetCase;
+            let case = |mode, connections, depth| NetCase {
+                mode,
+                connections,
+                depth,
+            };
+            if quick {
+                // CI smoke run: 64/256 connections x depth 1/8 on both
+                // intake cores. The report file IS written in quick mode —
+                // CI uploads it as the net-bench-smoke artifact.
+                let cases = [
+                    case(Threaded, 64, 1),
+                    case(Threaded, 64, 8),
+                    case(Threaded, 256, 1),
+                    case(Threaded, 256, 8),
+                    case(Reactor, 64, 1),
+                    case(Reactor, 64, 8),
+                    case(Reactor, 256, 1),
+                    case(Reactor, 256, 8),
+                ];
+                let report = experiments::net_wallclock::run(&cases, 2_000, 2);
+                println!("{report}");
+                match std::fs::write("BENCH_net.json", report.to_json()) {
+                    Ok(()) => println!("wrote BENCH_net.json"),
+                    Err(e) => eprintln!("could not write BENCH_net.json: {e}"),
+                }
+            } else {
+                // The full matrix adds the C10K-scale point the threaded
+                // core is never asked to serve: the reactor at 1024
+                // concurrent connections.
+                let cases = [
+                    case(Threaded, 64, 1),
+                    case(Threaded, 64, 8),
+                    case(Threaded, 256, 1),
+                    case(Threaded, 256, 8),
+                    case(Reactor, 64, 1),
+                    case(Reactor, 64, 8),
+                    case(Reactor, 256, 1),
+                    case(Reactor, 256, 8),
+                    case(Reactor, 1024, 1),
+                    case(Reactor, 1024, 8),
+                ];
+                let report = experiments::net_wallclock::run(&cases, 5_000, 4);
+                println!("{report}");
+                match std::fs::write("BENCH_net.json", report.to_json()) {
+                    Ok(()) => println!("wrote BENCH_net.json"),
+                    Err(e) => eprintln!("could not write BENCH_net.json: {e}"),
                 }
             }
         }

@@ -13,6 +13,7 @@ pub mod levels;
 pub mod lists;
 pub mod metrics_dump;
 pub mod modes;
+pub mod net_wallclock;
 pub mod result_memory;
 pub mod table1;
 pub mod table_a1;

@@ -1,0 +1,340 @@
+//! E17 — serving-core wall-clock: connections × pipelining depth against
+//! a live loopback `NetServer`, for both intake cores.
+//!
+//! The C10K question in numbers: the threaded core spends one OS thread
+//! per connection, so its cost grows with the connection count whether or
+//! not those connections are busy; the epoll reactor multiplexes every
+//! connection over a fixed shard thread. This experiment drives an
+//! identical phased workload — every connection pipelines `depth`
+//! retrieves, then all replies are collected — across a (mode,
+//! connections, depth) matrix and reports sustained throughput plus
+//! client-observed completion latency percentiles. The checked-in
+//! `BENCH_net.json` includes the reactor at 1024 concurrent connections,
+//! a point the per-thread model is never asked to serve.
+//!
+//! Clients speak the raw wire protocol over plain sockets (no reader
+//! threads of their own), so the measured differences come from the
+//! server's intake core, not the harness.
+
+use clare_core::{ClauseRetrievalServer, CrsOptions, SearchMode};
+use clare_kb::{KbBuilder, KbConfig};
+use clare_net::protocol::{
+    decode_server_hello, encode_client_hello_caps, encode_retrieve, opcode, Frame, FrameReader,
+    HelloStatus, RetrieveReq, PROTOCOL_VERSION, SERVER_HELLO_LEN,
+};
+use clare_net::{NetConfig, NetServer, ServerMode};
+use clare_term::parser::parse_term;
+use clare_term::Term;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One point of the measurement matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetCase {
+    /// Which intake core serves this case.
+    pub mode: ServerMode,
+    /// Concurrent connections held open for the whole case.
+    pub connections: usize,
+    /// Pipelined retrieves in flight per connection per round.
+    pub depth: usize,
+}
+
+/// One measured case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetWallclockRow {
+    /// Intake core name (`"reactor"` / `"threaded"`).
+    pub mode: &'static str,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Pipelining depth per connection.
+    pub depth: usize,
+    /// Total requests served across the timed rounds.
+    pub requests: usize,
+    /// Wall-clock for the timed rounds, milliseconds.
+    pub elapsed_ms: f64,
+    /// Sustained requests per second.
+    pub throughput_rps: f64,
+    /// Median client-observed completion latency per connection-round,
+    /// microseconds (round start → that connection's replies all read).
+    pub p50_us: f64,
+    /// 99th-percentile completion latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// The wall-clock report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetWallclockReport {
+    /// Facts in the knowledge base every request retrieves against.
+    pub facts: usize,
+    /// Timed rounds per case.
+    pub rounds: usize,
+    /// One row per matrix point, in input order.
+    pub rows: Vec<NetWallclockRow>,
+}
+
+impl NetWallclockReport {
+    /// Renders the report as a small JSON document (hand-written — the
+    /// workspace deliberately carries no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"net_wallclock\",\n");
+        out.push_str("  \"unit\": \"requests_per_second\",\n");
+        out.push_str(&format!("  \"facts\": {},\n", self.facts));
+        out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"mode\": \"{}\",\n", row.mode));
+            out.push_str(&format!("      \"connections\": {},\n", row.connections));
+            out.push_str(&format!("      \"depth\": {},\n", row.depth));
+            out.push_str(&format!("      \"requests\": {},\n", row.requests));
+            out.push_str(&format!("      \"elapsed_ms\": {:.1},\n", row.elapsed_ms));
+            out.push_str(&format!(
+                "      \"throughput_rps\": {:.0},\n",
+                row.throughput_rps
+            ));
+            out.push_str(&format!("      \"p50_us\": {:.0},\n", row.p50_us));
+            out.push_str(&format!("      \"p99_us\": {:.0}\n", row.p99_us));
+            out.push_str(if i + 1 == self.rows.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+const KEYS: usize = 120;
+
+fn mode_name(mode: ServerMode) -> &'static str {
+    match mode {
+        ServerMode::Reactor => "reactor",
+        ServerMode::Threaded => "threaded",
+    }
+}
+
+/// Runs the matrix. Every case serves the same knowledge base and the
+/// same per-connection query mix; `rounds` timed rounds follow one
+/// untimed warmup round.
+pub fn run(cases: &[NetCase], facts: usize, rounds: usize) -> NetWallclockReport {
+    let mut b = KbBuilder::new();
+    let source: String = (0..facts)
+        .map(|i| format!("item(k{}, v{}).", i % KEYS, i % 7))
+        .collect::<Vec<_>>()
+        .join("\n");
+    b.consult("bench", &source).unwrap();
+    let kb = b.finish(KbConfig::default());
+    let mut symbols = kb.symbols().clone();
+    let queries: Vec<Term> = (0..KEYS)
+        .map(|k| parse_term(&format!("item(k{k}, X)"), &mut symbols).unwrap())
+        .collect();
+    let crs = Arc::new(ClauseRetrievalServer::new(kb, CrsOptions::default()));
+
+    let rows = cases
+        .iter()
+        .map(|&case| run_case(&crs, &queries, case, rounds))
+        .collect();
+    NetWallclockReport {
+        facts,
+        rounds,
+        rows,
+    }
+}
+
+fn run_case(
+    crs: &Arc<ClauseRetrievalServer>,
+    queries: &[Term],
+    case: NetCase,
+    rounds: usize,
+) -> NetWallclockRow {
+    let cfg = NetConfig {
+        server_mode: case.mode,
+        max_connections: case.connections + 16,
+        queue_depth: (case.connections * case.depth * 2).max(1024),
+        workers: 4,
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind(Arc::clone(crs), "127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+
+    // Open the whole connection population and complete hellos.
+    let mut conns: Vec<TcpStream> = Vec::with_capacity(case.connections);
+    for i in 0..case.connections {
+        let mut stream = connect_with_retry(addr);
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream
+            .write_all(&encode_client_hello_caps(PROTOCOL_VERSION, 0))
+            .unwrap();
+        conns.push(stream);
+        let _ = i;
+    }
+    for stream in conns.iter_mut() {
+        let mut hello = [0u8; SERVER_HELLO_LEN];
+        stream.read_exact(&mut hello).unwrap();
+        assert_eq!(
+            decode_server_hello(&hello).unwrap().status,
+            HelloStatus::Ok,
+            "bench connection refused — raise max_connections"
+        );
+    }
+
+    // Pre-encode each connection's request batch once; ids are reassigned
+    // per round, but the payload bytes are identical, so reuse them.
+    let payloads: Vec<Vec<u8>> = (0..case.connections)
+        .map(|i| {
+            let req = RetrieveReq {
+                mode: SearchMode::TwoStage,
+                deadline_micros: 0,
+                query: queries[i % queries.len()].clone(),
+            };
+            encode_retrieve(&req)
+        })
+        .collect();
+
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(case.connections * rounds);
+    let mut next_id: u64 = 1;
+    let mut elapsed = Duration::ZERO;
+    for round in 0..=rounds {
+        let timed = round > 0; // round 0 is warmup
+        let t0 = Instant::now();
+        // Phase 1: every connection pipelines `depth` requests.
+        for (i, stream) in conns.iter_mut().enumerate() {
+            let mut batch = Vec::new();
+            for _ in 0..case.depth {
+                batch.extend_from_slice(
+                    &Frame::new(next_id, opcode::RETRIEVE, payloads[i].clone()).encoded(),
+                );
+                next_id += 1;
+            }
+            stream.write_all(&batch).unwrap();
+        }
+        // Phase 2: collect every reply, recording per-connection
+        // completion latency.
+        for stream in conns.iter_mut() {
+            let mut fr = FrameReader::new(16 << 20);
+            let mut got = 0usize;
+            while got < case.depth {
+                let frame = fr.read_frame(stream).expect("bench reply stream died");
+                assert_eq!(frame.opcode, opcode::RETRIEVE | opcode::REPLY);
+                got += 1;
+            }
+            if timed {
+                latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+        if timed {
+            elapsed += t0.elapsed();
+        }
+    }
+    drop(conns);
+    server.shutdown();
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pct = |p: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        latencies_us[idx]
+    };
+    let requests = case.connections * case.depth * rounds;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    NetWallclockRow {
+        mode: mode_name(case.mode),
+        connections: case.connections,
+        depth: case.depth,
+        requests,
+        elapsed_ms: secs * 1e3,
+        throughput_rps: requests as f64 / secs,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    }
+}
+
+fn connect_with_retry(addr: std::net::SocketAddr) -> TcpStream {
+    for _ in 0..500 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    panic!("bench client could not connect");
+}
+
+impl fmt::Display for NetWallclockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E17: serving-core wall-clock — throughput and completion latency vs \
+             connections x pipelining depth ({} facts, {} timed rounds)\n",
+            self.facts, self.rounds
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.to_owned(),
+                    format!("{}", r.connections),
+                    format!("{}", r.depth),
+                    format!("{}", r.requests),
+                    format!("{:.0}", r.throughput_rps),
+                    format!("{:.0}", r.p50_us),
+                    format!("{:.0}", r.p99_us),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            crate::render_table(
+                &["mode", "conns", "depth", "requests", "req/s", "p50 us", "p99 us",],
+                &rows,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_json() {
+        let cases = [
+            NetCase {
+                mode: ServerMode::Reactor,
+                connections: 8,
+                depth: 2,
+            },
+            NetCase {
+                mode: ServerMode::Threaded,
+                connections: 8,
+                depth: 2,
+            },
+        ];
+        let r = run(&cases, 600, 2);
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            assert_eq!(row.requests, 8 * 2 * 2);
+            assert!(row.throughput_rps > 0.0);
+            assert!(row.p50_us > 0.0);
+            assert!(row.p99_us >= row.p50_us);
+        }
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"net_wallclock\""));
+        assert!(json.contains("\"mode\": \"reactor\""));
+        assert!(json.contains("\"mode\": \"threaded\""));
+        assert!(format!("{r}").contains("req/s"));
+    }
+}

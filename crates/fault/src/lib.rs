@@ -57,10 +57,24 @@ pub enum FaultSite {
     /// The client writing a request frame. Context: request id. Menu:
     /// dropped frame, half-written frame.
     NetClientSend,
+    /// The epoll reactor pulling bytes off a ready socket. Context: the
+    /// connection token mixed with the read round. Menu: short read
+    /// (deliver only a prefix of what the kernel had — the frame
+    /// reassembler must pick up mid-frame), spurious wakeup (an EAGAIN
+    /// storm: the readiness notification yields no bytes this round).
+    /// Both are *transparent* faults: answers must stay byte-identical.
+    NetReactorRead,
+    /// The epoll reactor flushing a connection's outbound queue.
+    /// Context: the connection token mixed with the flush round. Menu:
+    /// torn write (only a prefix of the pending bytes — possibly
+    /// splitting a frame's length prefix — leaves this round; the rest
+    /// must follow on a later `EPOLLOUT`). Transparent: replies must
+    /// still arrive byte-identical.
+    NetReactorWrite,
 }
 
 /// Number of distinct [`FaultSite`]s (sizes the counter arrays).
-pub const SITE_COUNT: usize = 6;
+pub const SITE_COUNT: usize = 8;
 
 impl FaultSite {
     /// All sites, in counter index order.
@@ -71,6 +85,8 @@ impl FaultSite {
         FaultSite::Fs2Worker,
         FaultSite::NetServerSend,
         FaultSite::NetClientSend,
+        FaultSite::NetReactorRead,
+        FaultSite::NetReactorWrite,
     ];
 
     /// Index of this site in [`Self::ALL`].
@@ -82,6 +98,8 @@ impl FaultSite {
             FaultSite::Fs2Worker => 3,
             FaultSite::NetServerSend => 4,
             FaultSite::NetClientSend => 5,
+            FaultSite::NetReactorRead => 6,
+            FaultSite::NetReactorWrite => 7,
         }
     }
 
@@ -94,6 +112,8 @@ impl FaultSite {
             FaultSite::Fs2Worker => "fs2_worker",
             FaultSite::NetServerSend => "net_server_send",
             FaultSite::NetClientSend => "net_client_send",
+            FaultSite::NetReactorRead => "net_reactor_read",
+            FaultSite::NetReactorWrite => "net_reactor_write",
         }
     }
 }
@@ -237,6 +257,18 @@ impl FaultInjector for DeterministicInjector {
                     FaultAction::Truncate { keep: param }
                 }
             }
+            FaultSite::NetReactorRead => {
+                if choice.is_multiple_of(2) {
+                    // Short read: the reactor caps how much it pulls off
+                    // the socket this round.
+                    FaultAction::Truncate { keep: param }
+                } else {
+                    // Spurious wakeup: zero bytes this round, as if the
+                    // readiness notification raced a draining peer.
+                    FaultAction::Drop
+                }
+            }
+            FaultSite::NetReactorWrite => FaultAction::Truncate { keep: param },
         }
     }
 }
@@ -262,6 +294,8 @@ static INJECTOR: RwLock<Option<Arc<dyn FaultInjector>>> = RwLock::new(None);
 static INSTALL_LOCK: Mutex<()> = Mutex::new(());
 /// Faults actually handed out, per site (for chaos assertions).
 static INJECTED: [AtomicU64; SITE_COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

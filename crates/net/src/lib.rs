@@ -13,11 +13,13 @@
 //!   payloads are Pseudo In-line Format term bytes: the network speaks the
 //!   hardware's own encoding. Every decoder is hardened against untrusted
 //!   input (bounds-checked, depth-limited, never panics).
-//! - [`NetServer`] — acceptor + per-connection readers + a bounded worker
-//!   pool. Supports request pipelining with out-of-order completion,
-//!   coalesces pipelined same-predicate retrieves into single hardware
-//!   batch passes, sheds load with retry-after hints when the queue or
-//!   connection limit is hit, and drains in-flight requests on shutdown.
+//! - [`NetServer`] — connection intake (an epoll [`reactor`] by default,
+//!   or classic per-connection reader threads via
+//!   [`ServerMode::Threaded`]) feeding a bounded worker pool. Supports
+//!   request pipelining with out-of-order completion, coalesces pipelined
+//!   same-predicate retrieves into single hardware batch passes, sheds
+//!   load with retry-after hints when the queue or connection limit is
+//!   hit, and drains in-flight requests on shutdown.
 //! - [`NetClient`] — mirrors the in-process server API call for call;
 //!   answers (satisfier sets, verdict counts, modelled `SimNanos` times)
 //!   are byte-identical to direct calls on the same CRS.
@@ -55,9 +57,10 @@
 pub mod client;
 pub mod error;
 pub mod protocol;
+pub(crate) mod reactor;
 pub mod server;
 
 pub use client::{ClientConfig, NetClient};
 pub use error::NetError;
 pub use protocol::{ErrorCode, PROTOCOL_VERSION};
-pub use server::{NetConfig, NetServer};
+pub use server::{NetConfig, NetServer, ServerMode};

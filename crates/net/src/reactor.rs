@@ -1,0 +1,966 @@
+//! The epoll serving core: event-driven connection handling for
+//! thousands of concurrent clients on a handful of threads.
+//!
+//! ```text
+//!             ┌────────────── reactor shard (one thread) ──────────────┐
+//!   listener ─► nonblocking accept ─► Conn { FrameReader, Outbound }   │
+//!             │        epoll_wait ─► readable: read → reassemble →     │
+//!             │                       process_burst → bounded queue ───┼─► workers
+//!             │                      writable: flush Outbound ◄────────┼── replies
+//!             └────────────────────────▲───────────────────────────────┘
+//!                                      │ eventfd kick (reply queued)
+//! ```
+//!
+//! The threaded core (`server.rs`) spends one OS thread per connection
+//! blocked in `read`; this module replaces those threads with a
+//! level-triggered epoll loop over nonblocking sockets. Frames are
+//! reassembled incrementally per connection (the [`FrameReader`] carries
+//! partial frames across readiness events, under the same 16 MiB bound
+//! and CRC trailer capability), decoded bursts flow into the *same*
+//! bounded worker pool, and replies come back through per-connection
+//! bounded [`Outbound`] queues: workers enqueue encoded frames and kick
+//! the owning shard's eventfd; the shard writes as much as the kernel
+//! accepts and parks the remainder against `EPOLLOUT`. A worker that
+//! finds a queue at capacity blocks — bounded by the write timeout —
+//! which is how a slow client exerts backpressure on the service instead
+//! of ballooning memory.
+//!
+//! Invariants shared with the threaded core (property-tested against it):
+//! the v2 wire protocol is byte-identical, pipelined requests complete
+//! out of order, consecutive same-predicate retrieves coalesce into one
+//! hardware batch pass, and shutdown drains queued jobs without dropping
+//! queued replies.
+
+// Identical contract to server.rs: untrusted input must degrade, never
+// abort. CI greps for this gate; do not remove it.
+#![deny(clippy::unwrap_used)]
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{
+    decode_client_hello_caps, encode_server_hello, FrameReader, HelloStatus, ServerHello,
+    CAP_FRAME_CRC, CLIENT_HELLO_LEN, PROTOCOL_VERSION,
+};
+use crate::server::{process_burst, ConnWriter, Shared};
+
+/// Epoll token of the listening socket (shard 0 only).
+const TOKEN_LISTENER: u64 = 0;
+/// Epoll token of a shard's eventfd wakeup.
+const TOKEN_WAKE: u64 = 1;
+/// First token handed to a connection.
+pub(crate) const TOKEN_FIRST_CONN: u64 = 2;
+
+thread_local! {
+    /// True inside a reactor shard thread. [`Outbound::enqueue`] consults
+    /// this to skip backpressure parking: the reactor must never block on
+    /// a queue only it can drain.
+    static IN_REACTOR: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+// --- thin epoll / eventfd wrappers --------------------------------------
+
+/// An owned `epoll` instance.
+struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    fn new() -> std::io::Result<Epoll> {
+        let fd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: libc::c_int, fd: RawFd, events: u32, token: u64) -> std::io::Result<()> {
+        let mut ev = libc::epoll_event { events, u64: token };
+        let rc = unsafe { libc::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, events: u32, token: u64) -> std::io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    fn modify(&self, fd: RawFd, events: u32, token: u64) -> std::io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    fn del(&self, fd: RawFd) {
+        let _ = self.ctl(libc::EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Waits up to `timeout` for readiness; `EINTR` surfaces as an empty
+    /// event set rather than an error.
+    fn wait(&self, events: &mut [libc::epoll_event], timeout: Duration) -> usize {
+        let ms = libc::c_int::try_from(timeout.as_millis()).unwrap_or(libc::c_int::MAX);
+        let n = unsafe {
+            libc::epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as libc::c_int,
+                ms,
+            )
+        };
+        if n <= 0 {
+            return 0;
+        }
+        n as usize
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            libc::close(self.fd);
+        }
+    }
+}
+
+/// An `eventfd`-backed wakeup: any thread bumps the counter to pull a
+/// shard out of `epoll_wait`.
+struct WakeFd {
+    fd: RawFd,
+}
+
+impl WakeFd {
+    fn new() -> std::io::Result<WakeFd> {
+        let fd = unsafe { libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(WakeFd { fd })
+    }
+
+    fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            libc::write(self.fd, (&one as *const u64).cast(), 8);
+        }
+    }
+
+    fn drain(&self) {
+        let mut buf: u64 = 0;
+        unsafe {
+            libc::read(self.fd, (&mut buf as *mut u64).cast(), 8);
+        }
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        unsafe {
+            libc::close(self.fd);
+        }
+    }
+}
+
+// --- cross-thread mailboxes ----------------------------------------------
+
+/// One shard's cross-thread mailbox: workers (and the shutdown path) talk
+/// to a running shard exclusively through this — token kicks for fresh
+/// outbound bytes, and connection handoffs from the accepting shard.
+pub(crate) struct ShardQueue {
+    wake: WakeFd,
+    /// Tokens whose [`Outbound`] gained bytes since the last drain.
+    kicked: Mutex<Vec<u64>>,
+    /// Connections accepted by shard 0 but owned by this shard.
+    handoff: Mutex<Vec<(u64, TcpStream, bool)>>,
+}
+
+impl ShardQueue {
+    pub(crate) fn new() -> std::io::Result<Arc<ShardQueue>> {
+        Ok(Arc::new(ShardQueue {
+            wake: WakeFd::new()?,
+            kicked: Mutex::new(Vec::new()),
+            handoff: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// Wakes the shard with no associated token (shutdown, handoff).
+    pub(crate) fn kick(&self) {
+        self.wake.wake();
+    }
+
+    fn kick_token(&self, token: u64) {
+        self.kicked
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(token);
+        self.wake.wake();
+    }
+
+    fn take_kicked(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.kicked.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn take_handoff(&self) -> Vec<(u64, TcpStream, bool)> {
+        std::mem::take(&mut *self.handoff.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Outcome of one flush attempt against a connection's socket.
+enum FlushOutcome {
+    /// Everything queued left; no `EPOLLOUT` interest needed.
+    Drained,
+    /// The kernel buffer filled (or a torn-write fault cut the round
+    /// short); the remainder parks against `EPOLLOUT`.
+    Parked,
+    /// The socket failed or the queue was condemned; close the
+    /// connection.
+    Dead,
+}
+
+/// A connection's bounded outbound reply queue, shared between the
+/// workers that serve its requests and the shard that owns its socket.
+///
+/// Workers [`enqueue`](Outbound::enqueue) encoded frames; when the queue
+/// is at capacity they park on the condvar — bounded by the stall
+/// timeout — until the shard's flushing makes room (write-side
+/// backpressure). The shard drains the queue from its event loop,
+/// resuming partial writes where they stopped.
+pub(crate) struct Outbound {
+    shard: Arc<ShardQueue>,
+    token: u64,
+    /// Queue capacity in bytes; enqueues past it park the caller.
+    cap: usize,
+    /// How long an enqueue may stay parked before the connection is
+    /// condemned as a non-consuming peer.
+    stall_timeout: Duration,
+    inner: Mutex<OutboundInner>,
+    room: Condvar,
+}
+
+struct OutboundInner {
+    /// Encoded frames awaiting the wire, oldest first.
+    segments: std::collections::VecDeque<Vec<u8>>,
+    /// Bytes of the front segment already written.
+    front_written: usize,
+    /// Total unwritten bytes across all segments.
+    queued: usize,
+    /// The stream is condemned: flushes stop and the conn closes.
+    dead: bool,
+    /// The reactor dropped the connection; enqueues are no-ops.
+    closed: bool,
+    /// Flush rounds performed (fault-injection context).
+    flush_rounds: u64,
+}
+
+impl Outbound {
+    fn new(shard: Arc<ShardQueue>, token: u64, cap: usize, stall_timeout: Duration) -> Arc<Self> {
+        Arc::new(Outbound {
+            shard,
+            token,
+            cap: cap.max(1),
+            stall_timeout,
+            inner: Mutex::new(OutboundInner {
+                segments: std::collections::VecDeque::new(),
+                front_written: 0,
+                queued: 0,
+                dead: false,
+                closed: false,
+                flush_rounds: 0,
+            }),
+            room: Condvar::new(),
+        })
+    }
+
+    /// Queues encoded bytes for the wire and kicks the owning shard.
+    /// Blocks (bounded by the stall timeout) while the queue is at
+    /// capacity — unless called from the shard thread itself, which must
+    /// never park on a queue only it can drain. Returns `false` when the
+    /// connection is gone or was condemned while waiting.
+    pub(crate) fn enqueue(&self, bytes: Vec<u8>) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.dead || inner.closed {
+            return false;
+        }
+        if !IN_REACTOR.with(|f| f.get()) {
+            let deadline = Instant::now() + self.stall_timeout;
+            while inner.queued >= self.cap {
+                clare_trace::metrics().net_reactor_backpressure_stalls.inc();
+                let now = Instant::now();
+                if now >= deadline {
+                    // A peer that never drains its replies is condemned
+                    // rather than allowed to wedge the worker pool.
+                    inner.dead = true;
+                    drop(inner);
+                    self.shard.kick_token(self.token);
+                    return false;
+                }
+                let (guard, _) = self
+                    .room
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+                if inner.dead || inner.closed {
+                    return false;
+                }
+            }
+        }
+        clare_trace::metrics()
+            .net_reactor_outbound_bytes
+            .add(bytes.len() as i64);
+        inner.queued += bytes.len();
+        inner.segments.push_back(bytes);
+        drop(inner);
+        self.shard.kick_token(self.token);
+        true
+    }
+
+    /// Condemns the stream: pending bytes are flushed best-effort once,
+    /// then the connection closes.
+    pub(crate) fn mark_dead(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.dead = true;
+        drop(inner);
+        self.room.notify_all();
+        self.shard.kick_token(self.token);
+    }
+
+    /// Unwritten bytes currently queued.
+    fn pending(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).queued
+    }
+
+    /// Reactor-side: the connection is gone. Unparks waiting workers and
+    /// returns the bytes discarded (for gauge accounting).
+    fn close(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        inner.dead = true;
+        let dropped = inner.queued;
+        inner.segments.clear();
+        inner.queued = 0;
+        inner.front_written = 0;
+        drop(inner);
+        self.room.notify_all();
+        dropped
+    }
+
+    /// Reactor-side: writes queued bytes to `stream` until the queue
+    /// drains or the kernel pushes back. This is the
+    /// [`clare_fault::FaultSite::NetReactorWrite`] injection point: a
+    /// torn write delivers only a prefix this round (possibly splitting a
+    /// frame's length prefix across `EPOLLOUT` wakeups) — transparent to
+    /// the peer, which sees the same byte stream reassembled.
+    fn flush(&self, stream: &mut TcpStream) -> FlushOutcome {
+        let m = clare_trace::metrics();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let was_dead = inner.dead;
+        loop {
+            if inner.segments.is_empty() {
+                drop(inner);
+                self.room.notify_all();
+                return if was_dead {
+                    FlushOutcome::Dead
+                } else {
+                    FlushOutcome::Drained
+                };
+            }
+            let front_len;
+            let slice_len;
+            let mut cap;
+            let write_result = {
+                let front = &inner.segments[0];
+                front_len = front.len();
+                let slice = &front[inner.front_written..];
+                slice_len = slice.len();
+                cap = slice_len;
+                if clare_fault::active() {
+                    let ctx = self.token.rotate_left(32) ^ inner.flush_rounds;
+                    if let clare_fault::FaultAction::Truncate { keep } =
+                        clare_fault::decide(clare_fault::FaultSite::NetReactorWrite, ctx)
+                    {
+                        cap = ((keep as usize) % cap.max(1)).max(1);
+                    }
+                }
+                stream.write(&slice[..cap])
+            };
+            inner.flush_rounds += 1;
+            match write_result {
+                Ok(0) => {
+                    inner.dead = true;
+                    drop(inner);
+                    self.room.notify_all();
+                    return FlushOutcome::Dead;
+                }
+                Ok(n) => {
+                    m.net_reactor_outbound_bytes.add(-(n as i64));
+                    inner.queued -= n;
+                    inner.front_written += n;
+                    if inner.front_written == front_len {
+                        inner.segments.pop_front();
+                        inner.front_written = 0;
+                    } else if cap < slice_len {
+                        // An injected torn write: yield the round so the
+                        // remainder demonstrably crosses a readiness
+                        // boundary.
+                        m.net_reactor_partial_writes.inc();
+                        drop(inner);
+                        self.room.notify_all();
+                        return FlushOutcome::Parked;
+                    }
+                    if inner.queued < self.cap / 2 {
+                        self.room.notify_all();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    m.net_reactor_partial_writes.inc();
+                    drop(inner);
+                    self.room.notify_all();
+                    return FlushOutcome::Parked;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    inner.dead = true;
+                    drop(inner);
+                    self.room.notify_all();
+                    return FlushOutcome::Dead;
+                }
+            }
+        }
+    }
+}
+
+// --- per-connection state ------------------------------------------------
+
+enum ConnState {
+    /// Awaiting the fixed-size client hello. `refuse` marks a connection
+    /// over the admission limit: it still gets the busy hello (so the
+    /// client learns *why*) before closing.
+    Hello { got: usize, refuse: bool },
+    /// Handshake complete; frames flow.
+    Active,
+}
+
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    state: ConnState,
+    hello: [u8; CLIENT_HELLO_LEN],
+    fr: FrameReader,
+    outbound: Arc<Outbound>,
+    /// Created at handshake completion and shared with every job decoded
+    /// from this connection.
+    writer: Option<Arc<ConnWriter>>,
+    last_activity: Instant,
+    /// `EPOLLOUT` currently registered.
+    want_write: bool,
+    /// No further input is processed; close once the outbound drains.
+    closing: bool,
+    /// Counted against the connection limit (refused conns are not).
+    admitted: bool,
+    /// Read rounds performed (fault-injection context).
+    read_rounds: u64,
+}
+
+/// What a readiness round decided about a connection's fate.
+enum ConnVerdict {
+    Keep,
+    Close,
+}
+
+// --- the shard loop ------------------------------------------------------
+
+/// Runs one reactor shard until shutdown completes. Shard 0 owns the
+/// listener; connections are distributed across shards by token.
+pub(crate) fn run_shard(
+    shard_idx: usize,
+    listener: Option<TcpListener>,
+    shards: Vec<Arc<ShardQueue>>,
+    shared: Arc<Shared>,
+) {
+    IN_REACTOR.with(|f| f.set(true));
+    let me = Arc::clone(&shards[shard_idx]);
+    let Ok(epoll) = Epoll::new() else {
+        // Without an epoll instance this shard cannot serve; quiesce so
+        // shutdown never hangs waiting for it.
+        shared.quiesced_shards.fetch_add(1, Ordering::SeqCst);
+        return;
+    };
+    if epoll.add(me.wake.fd, libc::EPOLLIN, TOKEN_WAKE).is_err() {
+        shared.quiesced_shards.fetch_add(1, Ordering::SeqCst);
+        return;
+    }
+    let mut listener = listener;
+    if let Some(l) = &listener {
+        if epoll
+            .add(l.as_raw_fd(), libc::EPOLLIN, TOKEN_LISTENER)
+            .is_err()
+        {
+            shared.quiesced_shards.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+    }
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut events = vec![libc::epoll_event { events: 0, u64: 0 }; 256];
+    let mut draining = false;
+    let mut last_idle_scan = Instant::now();
+    let m = clare_trace::metrics();
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) && !draining {
+            // Stop the intake: close the listener and stop decoding
+            // input, but keep the loop alive to flush replies the
+            // workers are still producing.
+            draining = true;
+            if let Some(l) = listener.take() {
+                epoll.del(l.as_raw_fd());
+            }
+            shared.quiesced_shards.fetch_add(1, Ordering::SeqCst);
+        }
+        if shared.reactor_exit.load(Ordering::SeqCst) {
+            break;
+        }
+
+        let n = epoll.wait(&mut events, shared.cfg.poll_interval);
+        if n > 0 {
+            m.net_reactor_wakeups.inc();
+            m.net_reactor_events.add(n as u64);
+        }
+        for ev in events.iter().take(n) {
+            let token = ev.u64;
+            let bits = ev.events;
+            match token {
+                TOKEN_LISTENER => {
+                    if !draining {
+                        accept_ready(
+                            &epoll,
+                            listener.as_ref(),
+                            &shards,
+                            shard_idx,
+                            &shared,
+                            &mut conns,
+                        );
+                    }
+                }
+                TOKEN_WAKE => {
+                    me.wake.drain();
+                    for (token, stream, admitted) in me.take_handoff() {
+                        register_conn(&epoll, &mut conns, &shared, &me, token, stream, admitted);
+                    }
+                    for token in me.take_kicked() {
+                        if let Some(conn) = conns.get_mut(&token) {
+                            if matches!(service_write(&epoll, conn), ConnVerdict::Close) {
+                                close_conn(&epoll, &mut conns, &shared, token);
+                            }
+                        }
+                    }
+                }
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let mut verdict = ConnVerdict::Keep;
+                    if bits & (libc::EPOLLERR | libc::EPOLLHUP) != 0 {
+                        verdict = ConnVerdict::Close;
+                    } else {
+                        if bits & (libc::EPOLLIN | libc::EPOLLRDHUP) != 0
+                            && !draining
+                            && !conn.closing
+                        {
+                            verdict = service_read(&epoll, conn, &shared);
+                        }
+                        if matches!(verdict, ConnVerdict::Keep) && bits & libc::EPOLLOUT != 0 {
+                            verdict = service_write(&epoll, conn);
+                        }
+                    }
+                    if matches!(verdict, ConnVerdict::Close) {
+                        close_conn(&epoll, &mut conns, &shared, token);
+                    }
+                }
+            }
+        }
+
+        // Deadline scan: reap half-open peers so they stop pinning
+        // connection slots. One pass per poll tick is O(connections) and
+        // runs a few dozen times a second — no timer wheel needed at the
+        // scale one shard carries.
+        if let Some(limit) = shared.cfg.idle_timeout {
+            if !draining && last_idle_scan.elapsed() >= shared.cfg.poll_interval {
+                last_idle_scan = Instant::now();
+                let reap: Vec<u64> = conns
+                    .iter()
+                    .filter(|(_, c)| c.last_activity.elapsed() >= limit && !c.closing)
+                    .map(|(t, _)| *t)
+                    .collect();
+                for token in reap {
+                    m.net_idle_reaps.inc();
+                    close_conn(&epoll, &mut conns, &shared, token);
+                }
+            }
+        }
+    }
+
+    // Final drain: the workers have exited (their last replies are in
+    // the outbound queues); flush what the peers will accept, bounded by
+    // the write timeout, then release everything. Dropping `epoll` (and
+    // the per-conn streams) closes every fd this shard owns.
+    let deadline = Instant::now() + shared.cfg.write_timeout;
+    while conns.values().any(|c| c.outbound.pending() > 0) && Instant::now() < deadline {
+        let stalled: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| c.outbound.pending() > 0)
+            .map(|(t, _)| *t)
+            .collect();
+        let mut progressed = false;
+        for token in stalled {
+            if let Some(conn) = conns.get_mut(&token) {
+                let before = conn.outbound.pending();
+                if matches!(conn.outbound.flush(&mut conn.stream), FlushOutcome::Dead) {
+                    close_conn(&epoll, &mut conns, &shared, token);
+                    progressed = true;
+                } else if let Some(conn) = conns.get(&token) {
+                    progressed |= conn.outbound.pending() < before;
+                }
+            }
+        }
+        if !progressed {
+            // Nothing moved this round: wait for kernel buffers to open
+            // up rather than spinning.
+            epoll.wait(&mut events, Duration::from_millis(20));
+        }
+    }
+    let tokens: Vec<u64> = conns.keys().copied().collect();
+    for token in tokens {
+        close_conn(&epoll, &mut conns, &shared, token);
+    }
+}
+
+/// Accepts every pending connection on the listener, distributing them
+/// across shards round-robin by token.
+fn accept_ready(
+    epoll: &Epoll,
+    listener: Option<&TcpListener>,
+    shards: &[Arc<ShardQueue>],
+    shard_idx: usize,
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, Conn>,
+) {
+    let Some(listener) = listener else { return };
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                stream.set_nodelay(true).ok();
+                let active = shared.connections.load(Ordering::Relaxed);
+                let admitted = active < shared.cfg.max_connections;
+                if admitted {
+                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    clare_trace::metrics().net_connections.add(1);
+                } else {
+                    shared.crs.note_rejected();
+                    clare_trace::metrics().net_busy_rejections.inc();
+                }
+                let token = shared.next_token.fetch_add(1, Ordering::Relaxed);
+                let target = (token % shards.len() as u64) as usize;
+                if target == shard_idx {
+                    register_conn(
+                        epoll,
+                        conns,
+                        shared,
+                        &shards[shard_idx],
+                        token,
+                        stream,
+                        admitted,
+                    );
+                } else {
+                    shards[target]
+                        .handoff
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((token, stream, admitted));
+                    shards[target].kick();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn register_conn(
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    shared: &Arc<Shared>,
+    shard: &Arc<ShardQueue>,
+    token: u64,
+    stream: TcpStream,
+    admitted: bool,
+) {
+    let outbound = Outbound::new(
+        Arc::clone(shard),
+        token,
+        shared.cfg.outbound_queue_bytes,
+        shared.cfg.write_timeout,
+    );
+    let mut fr = FrameReader::new(shared.cfg.max_frame_len);
+    fr.set_checksums(false);
+    let conn = Conn {
+        stream,
+        token,
+        state: ConnState::Hello {
+            got: 0,
+            refuse: !admitted,
+        },
+        hello: [0u8; CLIENT_HELLO_LEN],
+        fr,
+        outbound,
+        writer: None,
+        last_activity: Instant::now(),
+        want_write: false,
+        closing: false,
+        admitted,
+        read_rounds: 0,
+    };
+    if epoll
+        .add(
+            conn.stream.as_raw_fd(),
+            libc::EPOLLIN | libc::EPOLLRDHUP,
+            token,
+        )
+        .is_err()
+    {
+        release_accounting(shared, &conn);
+        return;
+    }
+    clare_trace::metrics().net_reactor_connections.add(1);
+    conns.insert(token, conn);
+}
+
+fn release_accounting(shared: &Arc<Shared>, conn: &Conn) {
+    if conn.admitted {
+        shared.connections.fetch_sub(1, Ordering::Relaxed);
+        clare_trace::metrics().net_connections.add(-1);
+    }
+}
+
+fn close_conn(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, shared: &Arc<Shared>, token: u64) {
+    let Some(conn) = conns.remove(&token) else {
+        return;
+    };
+    epoll.del(conn.stream.as_raw_fd());
+    let dropped = conn.outbound.close();
+    let m = clare_trace::metrics();
+    if dropped > 0 {
+        m.net_reactor_outbound_bytes.add(-(dropped as i64));
+    }
+    m.net_reactor_connections.add(-1);
+    if let Some(writer) = &conn.writer {
+        writer.dead.store(true, Ordering::Relaxed);
+    }
+    release_accounting(shared, &conn);
+    drop(conn); // closes the socket
+}
+
+/// Pulls every byte the kernel has for `conn`, advancing the handshake
+/// and reassembling frames. This is the
+/// [`clare_fault::FaultSite::NetReactorRead`] injection point: a short
+/// read caps how much leaves the kernel this round (the frame must be
+/// reassembled across rounds), a spurious wakeup delivers nothing (the
+/// level-triggered loop simply re-reports readiness).
+fn service_read(epoll: &Epoll, conn: &mut Conn, shared: &Arc<Shared>) -> ConnVerdict {
+    let mut tmp = [0u8; 16 * 1024];
+    let mut saw_eof = false;
+    loop {
+        let mut cap = tmp.len();
+        if clare_fault::active() {
+            let ctx = conn.token.rotate_left(32) ^ conn.read_rounds;
+            match clare_fault::decide(clare_fault::FaultSite::NetReactorRead, ctx) {
+                clare_fault::FaultAction::Truncate { keep } => {
+                    cap = ((keep as usize) % tmp.len()).max(1);
+                }
+                clare_fault::FaultAction::Drop => {
+                    // EAGAIN storm: pretend the readiness was spurious.
+                    conn.read_rounds += 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        conn.read_rounds += 1;
+        match conn.stream.read(&mut tmp[..cap]) {
+            Ok(0) => {
+                saw_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                if let ConnVerdict::Close = ingest(conn, &tmp[..n], shared) {
+                    return ConnVerdict::Close;
+                }
+                if n < cap {
+                    // The kernel gave less than asked: nothing more is
+                    // buffered, and level-triggered epoll re-reports if
+                    // more arrives before the next wait.
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ConnVerdict::Close,
+        }
+    }
+
+    // Decode whatever completed this round in one burst — everything
+    // already buffered coalesces, exactly like the threaded reader.
+    if let ConnVerdict::Close = drain_frames(conn, shared) {
+        return ConnVerdict::Close;
+    }
+
+    if saw_eof {
+        // Half-close: the peer is done sending but may still be reading.
+        // Serve what was decoded, then flush-and-close.
+        conn.closing = true;
+        if conn.outbound.pending() == 0 {
+            return ConnVerdict::Close;
+        }
+        ensure_write_interest(epoll, conn);
+    }
+    ConnVerdict::Keep
+}
+
+/// Feeds raw bytes through the handshake state machine into the frame
+/// reassembler.
+fn ingest(conn: &mut Conn, mut bytes: &[u8], shared: &Arc<Shared>) -> ConnVerdict {
+    if let ConnState::Hello { got, refuse } = &mut conn.state {
+        let need = CLIENT_HELLO_LEN - *got;
+        let take = need.min(bytes.len());
+        conn.hello[*got..*got + take].copy_from_slice(&bytes[..take]);
+        *got += take;
+        bytes = &bytes[take..];
+        if *got < CLIENT_HELLO_LEN {
+            return ConnVerdict::Keep;
+        }
+        let refuse = *refuse;
+        if refuse {
+            let hello = ServerHello {
+                version: PROTOCOL_VERSION,
+                status: HelloStatus::Busy,
+                retry_after_ms: shared.cfg.retry_after_ms,
+                caps: 0,
+            };
+            conn.outbound.enqueue(encode_server_hello(&hello).to_vec());
+            conn.closing = true;
+            return ConnVerdict::Keep;
+        }
+        let (status, requested_caps) = match decode_client_hello_caps(&conn.hello) {
+            Ok((PROTOCOL_VERSION, caps)) => (HelloStatus::Ok, caps),
+            Ok(_) | Err(_) => (HelloStatus::VersionMismatch, 0),
+        };
+        let caps = requested_caps
+            & if shared.cfg.frame_checksums {
+                CAP_FRAME_CRC
+            } else {
+                0
+            };
+        let hello = ServerHello {
+            version: PROTOCOL_VERSION,
+            status,
+            retry_after_ms: 0,
+            caps,
+        };
+        conn.outbound.enqueue(encode_server_hello(&hello).to_vec());
+        if status != HelloStatus::Ok {
+            conn.closing = true;
+            return ConnVerdict::Keep;
+        }
+        let checksums = caps & CAP_FRAME_CRC != 0;
+        conn.fr.set_checksums(checksums);
+        conn.writer = Some(Arc::new(ConnWriter::queued(
+            Arc::clone(&conn.outbound),
+            checksums,
+        )));
+        conn.state = ConnState::Active;
+    }
+    if !bytes.is_empty() {
+        conn.fr.feed(bytes);
+    }
+    ConnVerdict::Keep
+}
+
+/// Pops every complete frame and hands the burst to the shared
+/// decode/coalesce/enqueue path.
+fn drain_frames(conn: &mut Conn, shared: &Arc<Shared>) -> ConnVerdict {
+    if !matches!(conn.state, ConnState::Active) {
+        return ConnVerdict::Keep;
+    }
+    let Some(writer) = conn.writer.as_ref().map(Arc::clone) else {
+        return ConnVerdict::Keep;
+    };
+    let mut burst = Vec::new();
+    let mut fatal = false;
+    loop {
+        match conn.fr.try_frame() {
+            Ok(Some(frame)) => burst.push(frame),
+            Ok(None) => break,
+            Err(e) => {
+                // The stream cannot be resynchronised after a length or
+                // checksum violation: report once, serve what decoded,
+                // then flush-and-close.
+                writer.send_error(0, crate::protocol::ErrorCode::Malformed, 0, e.to_string());
+                fatal = true;
+                break;
+            }
+        }
+    }
+    if !burst.is_empty() {
+        process_burst(shared, &writer, burst);
+    }
+    if fatal {
+        conn.closing = true;
+    }
+    ConnVerdict::Keep
+}
+
+/// Flushes a connection's outbound queue, parking against `EPOLLOUT`
+/// when the kernel pushes back.
+fn service_write(epoll: &Epoll, conn: &mut Conn) -> ConnVerdict {
+    match conn.outbound.flush(&mut conn.stream) {
+        FlushOutcome::Drained => {
+            if conn.closing {
+                return ConnVerdict::Close;
+            }
+            if conn.want_write {
+                conn.want_write = false;
+                let _ = epoll.modify(
+                    conn.stream.as_raw_fd(),
+                    libc::EPOLLIN | libc::EPOLLRDHUP,
+                    conn.token,
+                );
+            }
+            ConnVerdict::Keep
+        }
+        FlushOutcome::Parked => {
+            ensure_write_interest(epoll, conn);
+            ConnVerdict::Keep
+        }
+        FlushOutcome::Dead => ConnVerdict::Close,
+    }
+}
+
+fn ensure_write_interest(epoll: &Epoll, conn: &mut Conn) {
+    if !conn.want_write {
+        conn.want_write = true;
+        let _ = epoll.modify(
+            conn.stream.as_raw_fd(),
+            libc::EPOLLIN | libc::EPOLLRDHUP | libc::EPOLLOUT,
+            conn.token,
+        );
+    }
+}

@@ -1,5 +1,16 @@
-//! The threaded serving loop: acceptor, per-connection readers, and a
-//! bounded worker pool over one shared [`ClauseRetrievalServer`].
+//! The serving front-ends: connection intake feeding a bounded worker
+//! pool over one shared [`ClauseRetrievalServer`].
+//!
+//! Two interchangeable intake cores implement the same wire contract
+//! (selected by [`NetConfig::server_mode`]):
+//!
+//! - [`ServerMode::Reactor`] (default): the epoll event loop in
+//!   [`crate::reactor`] — a fixed number of shard threads multiplexing
+//!   every connection over nonblocking sockets, scaling to thousands of
+//!   concurrent clients.
+//! - [`ServerMode::Threaded`]: the original acceptor + one blocking
+//!   reader thread per connection, kept as the portable fallback and as
+//!   the differential-testing baseline for the reactor.
 //!
 //! ```text
 //!   acceptor ──► reader (per connection) ──► bounded job queue ──► workers
@@ -15,7 +26,8 @@
 //! `retrieve_batch` job — safe because the core pins batch results to be
 //! identical to individual retrievals — and a full queue sheds load with a
 //! `Busy` error frame carrying a retry hint instead of stalling the
-//! socket.
+//! socket. Both cores share `process_burst`, the worker pool, and the
+//! shedding path, so replies are byte-identical between them.
 
 // The serving loop handles untrusted input and must degrade, not abort:
 // fallible results are matched or turned into error frames. CI greps for
@@ -25,7 +37,7 @@
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -42,9 +54,33 @@ use crate::protocol::{
     STATS_REQ_EXTENDED,
 };
 
+/// Which connection-intake core a [`NetServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Acceptor plus one blocking reader thread per connection. Portable
+    /// baseline; thread count grows with the connection count.
+    Threaded,
+    /// Epoll event loop: a fixed number of shard threads multiplex every
+    /// connection (see [`crate::reactor`]). Linux-only; on other targets
+    /// [`NetServer::bind`] silently falls back to [`ServerMode::Threaded`].
+    Reactor,
+}
+
 /// Tuning knobs for [`NetServer`].
 #[derive(Debug, Clone)]
 pub struct NetConfig {
+    /// Connection-intake core (see [`ServerMode`]).
+    pub server_mode: ServerMode,
+    /// Reactor shard threads (ignored in threaded mode). Each shard owns
+    /// an epoll instance and a subset of the connections; shard 0 also
+    /// owns the listener. More than one shard only helps once a single
+    /// event loop saturates a core.
+    pub reactor_shards: usize,
+    /// Per-connection outbound reply queue capacity in bytes (reactor
+    /// mode). A worker finding the queue at capacity parks until the
+    /// event loop flushes room — bounded by `write_timeout`, after which
+    /// the non-consuming peer is dropped.
+    pub outbound_queue_bytes: usize,
     /// Worker threads executing retrievals (the service parallelism).
     pub workers: usize,
     /// Concurrent connections accepted before new ones are refused with a
@@ -78,11 +114,19 @@ pub struct NetConfig {
     /// replies + `net.worker_panics`) without any adversarial input.
     #[doc(hidden)]
     pub debug_panic_on_stats: bool,
+    /// Test-only throttle: every worker sleeps this long before executing
+    /// a job, so shutdown-drain tests can reliably catch replies still in
+    /// flight.
+    #[doc(hidden)]
+    pub debug_worker_delay: Option<Duration>,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
         NetConfig {
+            server_mode: ServerMode::Reactor,
+            reactor_shards: 1,
+            outbound_queue_bytes: 1 << 20,
             workers: 4,
             max_connections: 64,
             queue_depth: 256,
@@ -95,15 +139,26 @@ impl Default for NetConfig {
             idle_timeout: Some(Duration::from_secs(300)),
             frame_checksums: true,
             debug_panic_on_stats: false,
+            debug_worker_delay: None,
         }
     }
 }
 
+/// How a [`ConnWriter`] delivers encoded bytes to its socket.
+enum WriterBackend {
+    /// Threaded core: exclusive blocking writes through a cloned stream
+    /// handle. Workers finish in any order; the lock keeps frames whole.
+    Direct(Mutex<TcpStream>),
+    /// Reactor core: bytes go onto the connection's bounded outbound
+    /// queue; the owning shard flushes them from its event loop.
+    Queued(Arc<crate::reactor::Outbound>),
+}
+
 /// Serialized writer for one connection, shared by every worker holding a
-/// job from it. Workers finish in any order; the lock keeps frames whole.
-struct ConnWriter {
-    stream: Mutex<TcpStream>,
-    dead: AtomicBool,
+/// job from it.
+pub(crate) struct ConnWriter {
+    backend: WriterBackend,
+    pub(crate) dead: AtomicBool,
     /// Negotiated on this connection's handshake: append a CRC32C
     /// trailer to every outgoing frame.
     checksums: bool,
@@ -112,21 +167,42 @@ struct ConnWriter {
 impl ConnWriter {
     fn new(stream: TcpStream, checksums: bool) -> Self {
         ConnWriter {
-            stream: Mutex::new(stream),
+            backend: WriterBackend::Direct(Mutex::new(stream)),
             dead: AtomicBool::new(false),
             checksums,
         }
     }
 
+    /// A writer delivering through a reactor outbound queue.
+    pub(crate) fn queued(outbound: Arc<crate::reactor::Outbound>, checksums: bool) -> Self {
+        ConnWriter {
+            backend: WriterBackend::Queued(outbound),
+            dead: AtomicBool::new(false),
+            checksums,
+        }
+    }
+
+    /// Backend dispatch: `true` when the bytes were accepted for the wire.
+    fn deliver(&self, bytes: &[u8]) -> bool {
+        match &self.backend {
+            WriterBackend::Direct(stream) => {
+                let mut stream = stream.lock().unwrap_or_else(|e| e.into_inner());
+                stream.write_all(bytes).is_ok()
+            }
+            WriterBackend::Queued(outbound) => outbound.enqueue(bytes.to_vec()),
+        }
+    }
+
     /// Writes one frame; a failed write marks the connection dead and
-    /// later sends become no-ops (the reader will notice the hangup).
+    /// later sends become no-ops (the intake core will notice the hangup
+    /// or the condemned queue and drop the connection).
     ///
     /// This is the server-side network fault-injection point
     /// ([`clare_fault::FaultSite::NetServerSend`], keyed by request id and
     /// opcode): a reply frame can be silently dropped, cut short (after
     /// which the byte stream is unrecoverable, so the connection is marked
     /// dead), or bit-flipped in flight.
-    fn send(&self, frame: &Frame) {
+    pub(crate) fn send(&self, frame: &Frame) {
         if self.dead.load(Ordering::Relaxed) {
             return;
         }
@@ -137,9 +213,11 @@ impl ConnWriter {
                 clare_fault::FaultAction::Drop => return,
                 action @ clare_fault::FaultAction::Truncate { .. } => {
                     clare_fault::corrupt_in_place(action, &mut bytes);
-                    let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-                    let _ = stream.write_all(&bytes);
+                    let _ = self.deliver(&bytes);
                     self.dead.store(true, Ordering::Relaxed);
+                    if let WriterBackend::Queued(outbound) = &self.backend {
+                        outbound.mark_dead();
+                    }
                     return;
                 }
                 action @ clare_fault::FaultAction::FlipBit { .. } => {
@@ -148,8 +226,7 @@ impl ConnWriter {
                 _ => {}
             }
         }
-        let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-        if stream.write_all(&bytes).is_err() {
+        if !self.deliver(&bytes) {
             self.dead.store(true, Ordering::Relaxed);
             return;
         }
@@ -158,7 +235,13 @@ impl ConnWriter {
         m.net_bytes_out.add(bytes.len() as u64);
     }
 
-    fn send_error(&self, request_id: u64, code: ErrorCode, retry_after_ms: u32, message: String) {
+    pub(crate) fn send_error(
+        &self,
+        request_id: u64,
+        code: ErrorCode,
+        retry_after_ms: u32,
+        message: String,
+    ) {
         let reply = ErrorReply {
             code,
             retry_after_ms,
@@ -197,16 +280,26 @@ struct Job {
     deadline_micros: u64,
 }
 
-struct Shared {
-    crs: Arc<ClauseRetrievalServer>,
-    cfg: NetConfig,
-    /// Stops the acceptor and readers (no new work enters the queue).
-    shutdown: AtomicBool,
-    /// Set once readers have drained; lets idle workers exit.
+pub(crate) struct Shared {
+    pub(crate) crs: Arc<ClauseRetrievalServer>,
+    pub(crate) cfg: NetConfig,
+    /// Stops the intake (acceptor/readers or reactor input processing);
+    /// no new work enters the queue.
+    pub(crate) shutdown: AtomicBool,
+    /// Set once the intake has drained; lets idle workers exit.
     drained: AtomicBool,
+    /// Tells reactor shards the workers are gone: final-flush outbound
+    /// queues, close every fd, and exit.
+    pub(crate) reactor_exit: AtomicBool,
+    /// Shards that have acknowledged `shutdown` (stopped producing jobs).
+    /// Workers may only drain once every shard has quiesced, or a job
+    /// enqueued late would be dropped with its reply unsent.
+    pub(crate) quiesced_shards: AtomicUsize,
+    /// Epoll token allocator (reactor mode).
+    pub(crate) next_token: AtomicU64,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
-    connections: AtomicUsize,
+    pub(crate) connections: AtomicUsize,
 }
 
 impl Shared {
@@ -263,6 +356,10 @@ pub struct NetServer {
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    /// Reactor shard threads (empty in threaded mode).
+    reactors: Vec<std::thread::JoinHandle<()>>,
+    /// Shard mailboxes, kept to kick shards awake during shutdown.
+    shards: Vec<Arc<crate::reactor::ShardQueue>>,
 }
 
 impl NetServer {
@@ -279,11 +376,22 @@ impl NetServer {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
+        // The reactor needs epoll; everywhere else falls back to the
+        // portable threaded core.
+        let mode = if cfg!(target_os = "linux") {
+            cfg.server_mode
+        } else {
+            ServerMode::Threaded
+        };
+
         let shared = Arc::new(Shared {
             crs,
             cfg: cfg.clone(),
             shutdown: AtomicBool::new(false),
             drained: AtomicBool::new(false),
+            reactor_exit: AtomicBool::new(false),
+            quiesced_shards: AtomicUsize::new(0),
+            next_token: AtomicU64::new(crate::reactor::TOKEN_FIRST_CONN),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             connections: AtomicUsize::new(0),
@@ -301,21 +409,48 @@ impl NetServer {
 
         let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let readers = Arc::clone(&readers);
-            std::thread::Builder::new()
-                .name("clare-net-acceptor".to_owned())
-                .spawn(move || acceptor_loop(&listener, &shared, &readers))
-                .expect("spawn acceptor thread")
-        };
+        let mut acceptor = None;
+        let mut reactors = Vec::new();
+        let mut shards = Vec::new();
+        match mode {
+            ServerMode::Threaded => {
+                let shared = Arc::clone(&shared);
+                let readers = Arc::clone(&readers);
+                acceptor = Some(
+                    std::thread::Builder::new()
+                        .name("clare-net-acceptor".to_owned())
+                        .spawn(move || acceptor_loop(&listener, &shared, &readers))
+                        .expect("spawn acceptor thread"),
+                );
+            }
+            ServerMode::Reactor => {
+                let nshards = cfg.reactor_shards.max(1);
+                for _ in 0..nshards {
+                    shards.push(crate::reactor::ShardQueue::new()?);
+                }
+                let mut listener = Some(listener);
+                for i in 0..nshards {
+                    let shards_all = shards.clone();
+                    let shared = Arc::clone(&shared);
+                    let l = listener.take(); // shard 0 owns the listener
+                    reactors.push(
+                        std::thread::Builder::new()
+                            .name(format!("clare-net-reactor-{i}"))
+                            .spawn(move || crate::reactor::run_shard(i, l, shards_all, shared))
+                            .expect("spawn reactor shard"),
+                    );
+                }
+            }
+        }
 
         Ok(NetServer {
             shared,
             local_addr,
-            acceptor: Some(acceptor),
+            acceptor,
             workers,
             readers,
+            reactors,
+            shards,
         })
     }
 
@@ -329,9 +464,11 @@ impl NetServer {
         &self.shared.crs
     }
 
-    /// Gracefully stops the server: the listener closes, connection
-    /// readers stop at the next poll tick, queued requests are drained by
-    /// the workers (their replies still go out), and all threads join.
+    /// Gracefully stops the server: the listener closes, the intake stops
+    /// at the next poll tick, queued requests are drained by the workers,
+    /// their replies are flushed to the peers (the reactor keeps its
+    /// event loop alive until every outbound queue is empty or the write
+    /// timeout passes), and all threads join.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -349,10 +486,34 @@ impl NetServer {
         for h in readers {
             let _ = h.join();
         }
+        if !self.reactors.is_empty() {
+            // Reactor intake quiesce: wake every shard, then wait for each
+            // to acknowledge it has stopped turning input into jobs. The
+            // shards keep running — they still have replies to flush.
+            for shard in &self.shards {
+                shard.kick();
+            }
+            let nshards = self.reactors.len();
+            while self.shared.quiesced_shards.load(Ordering::SeqCst) < nshards {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
         self.shared.drained.store(true, Ordering::Release);
         self.shared.queue_cv.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        if !self.reactors.is_empty() {
+            // The workers are gone, so every reply that will ever exist is
+            // now queued: tell the shards to final-flush and release their
+            // fds (connections, listener, epoll, eventfd).
+            self.shared.reactor_exit.store(true, Ordering::SeqCst);
+            for shard in &self.shards {
+                shard.kick();
+            }
+            for h in self.reactors.drain(..) {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -575,7 +736,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
 /// retrieves — and enqueues them, shedding load when the queue is full.
 /// Malformed payloads are answered with error frames; the connection
 /// stays up.
-fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burst: Vec<Frame>) {
+pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burst: Vec<Frame>) {
     /// A decoded retrieve waiting to be grouped.
     struct PendingRetrieve {
         id: u64,
@@ -777,6 +938,9 @@ fn deadline_expired(job: &Job) -> bool {
 }
 
 fn execute(shared: &Arc<Shared>, job: Job) {
+    if let Some(delay) = shared.cfg.debug_worker_delay {
+        std::thread::sleep(delay);
+    }
     if deadline_expired(&job) {
         let ids: Vec<u64> = match &job.work {
             Work::Coalesced { member_ids, .. } => member_ids.clone(),

@@ -1,11 +1,15 @@
 //! Network hardening tests: half-open connection reaping, client
-//! reconnect-and-replay after a mid-stream hangup, and end-to-end frame
-//! checksum protection under injected corruption.
+//! reconnect-and-replay after a mid-stream hangup, end-to-end frame
+//! checksum protection under injected corruption, and shutdown draining
+//! queued replies. The reaping, replay, and drain scenarios run against
+//! *both* intake cores — the epoll reactor and the threaded baseline —
+//! since they exercise intake-owned machinery (idle deadline scanning,
+//! hangup detection, outbound flush on shutdown).
 
 use clare_core::{ClauseRetrievalServer, CrsOptions, SearchMode};
 use clare_fault::{DeterministicInjector, FaultPlan, FaultSite};
 use clare_kb::{KbBuilder, KbConfig, KnowledgeBase};
-use clare_net::{ClientConfig, NetClient, NetConfig, NetServer};
+use clare_net::{ClientConfig, NetClient, NetConfig, NetServer, ServerMode};
 use clare_term::parser::parse_term;
 use clare_term::Term;
 use std::io::{Read, Write};
@@ -35,7 +39,20 @@ fn serve(cfg: NetConfig) -> (NetServer, Arc<ClauseRetrievalServer>) {
 /// the reap, and releases the connection slot for new clients.
 #[test]
 fn idle_connections_are_reaped_and_slots_released() {
+    idle_reap_scenario(ServerMode::Reactor);
+}
+
+/// Same reap scenario against the threaded baseline (its reap lives in
+/// the per-connection reader's poll loop, not the reactor's deadline
+/// scan).
+#[test]
+fn idle_connections_are_reaped_threaded() {
+    idle_reap_scenario(ServerMode::Threaded);
+}
+
+fn idle_reap_scenario(server_mode: ServerMode) {
     let cfg = NetConfig {
+        server_mode,
         workers: 1,
         max_connections: 1,
         idle_timeout: Some(Duration::from_millis(200)),
@@ -150,7 +167,18 @@ fn pipe_all(from: &mut TcpStream, to: &mut TcpStream) -> std::io::Result<()> {
 /// working, proving request-id accounting survived the reconnect.
 #[test]
 fn client_reconnects_and_replays_after_mid_stream_eof() {
+    reconnect_replay_scenario(ServerMode::Reactor);
+}
+
+/// Same reconnect-and-replay scenario against the threaded baseline.
+#[test]
+fn client_reconnects_and_replays_threaded() {
+    reconnect_replay_scenario(ServerMode::Threaded);
+}
+
+fn reconnect_replay_scenario(server_mode: ServerMode) {
     let (server, crs) = serve(NetConfig {
+        server_mode,
         workers: 2,
         ..NetConfig::default()
     });
@@ -243,4 +271,66 @@ fn frame_crc_catches_injected_reply_corruption() {
         "faults at 35% must have been observed somewhere"
     );
     server.shutdown();
+}
+
+/// Shutdown racing a pipeline of queued requests must not drop replies:
+/// a single slow worker has five jobs still queued when `shutdown()`
+/// lands, and the client nonetheless receives every reply, byte-identical
+/// to direct calls. This is the drain guarantee: the intake quiesces
+/// first, workers finish the queue, and (in reactor mode) the event loop
+/// stays alive to flush every outbound queue before releasing its fds.
+#[test]
+fn shutdown_drains_queued_replies() {
+    shutdown_drain_scenario(ServerMode::Reactor);
+}
+
+/// Same drain-under-shutdown scenario against the threaded baseline.
+#[test]
+fn shutdown_drains_queued_replies_threaded() {
+    shutdown_drain_scenario(ServerMode::Threaded);
+}
+
+fn shutdown_drain_scenario(server_mode: ServerMode) {
+    let (server, crs) = serve(NetConfig {
+        server_mode,
+        workers: 1,
+        // No coalescing: six distinct jobs must sit in the queue.
+        coalesce: false,
+        debug_worker_delay: Some(Duration::from_millis(40)),
+        ..NetConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let crs2 = Arc::clone(&crs);
+    let client_thread = std::thread::spawn(move || {
+        let cfg = ClientConfig {
+            read_timeout: Duration::from_secs(10),
+            ..ClientConfig::default()
+        };
+        let mut client = NetClient::connect(addr, cfg).unwrap();
+        let mut symbols = client.symbols().unwrap();
+        let queries: Vec<Term> = (0..6)
+            .map(|i| parse_term(&format!("item(k{i}, X)"), &mut symbols).unwrap())
+            .collect();
+        let replies = client
+            .retrieve_pipelined(&queries, SearchMode::TwoStage)
+            .expect("every queued reply must be delivered across shutdown");
+        for (query, got) in queries.iter().zip(&replies) {
+            assert_eq!(got, &crs2.retrieve(query, SearchMode::TwoStage));
+        }
+    });
+
+    // Wait until the slow worker has started on the pipeline (first
+    // retrieval underway or done), guaranteeing jobs are still queued…
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while crs.stats().retrievals == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pipeline never reached the worker"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // …then yank the server out from under it.
+    server.shutdown();
+    client_thread.join().expect("client thread panicked");
 }

@@ -168,6 +168,26 @@ pub struct Metrics {
     /// Client-side reconnect-and-replay recoveries on idempotent
     /// requests.
     pub net_client_reconnects: Counter,
+    // --- net.reactor: the epoll serving core ----------------------------
+    /// Connections currently registered with a reactor shard (accepted,
+    /// past admission, not yet closed).
+    pub net_reactor_connections: Gauge,
+    /// `epoll_wait` returns that reported at least one ready fd (the
+    /// reactor's readiness wakeup count; timeouts are not counted).
+    pub net_reactor_wakeups: Counter,
+    /// Readiness events dispatched across all wakeups (sockets, the
+    /// listener, and cross-thread kicks via the eventfd).
+    pub net_reactor_events: Counter,
+    /// Bytes sitting in per-connection outbound reply queues, summed
+    /// across connections (enqueued by workers, not yet on the wire).
+    pub net_reactor_outbound_bytes: Gauge,
+    /// Times a worker blocked because a connection's outbound queue was
+    /// at capacity (write-side backpressure from a slow client).
+    pub net_reactor_backpressure_stalls: Counter,
+    /// Flush rounds that moved only part of a connection's pending bytes
+    /// (kernel buffer full or an injected torn write); the remainder
+    /// waits parked against `EPOLLOUT`.
+    pub net_reactor_partial_writes: Counter,
 }
 
 /// The dynamic per-predicate latency histograms. Lookup takes a read
@@ -268,6 +288,12 @@ static METRICS: Metrics = Metrics {
     net_frame_crc_failures: Counter::new(),
     net_idle_reaps: Counter::new(),
     net_client_reconnects: Counter::new(),
+    net_reactor_connections: Gauge::new(),
+    net_reactor_wakeups: Counter::new(),
+    net_reactor_events: Counter::new(),
+    net_reactor_outbound_bytes: Gauge::new(),
+    net_reactor_backpressure_stalls: Counter::new(),
+    net_reactor_partial_writes: Counter::new(),
 };
 
 /// The process-wide registry every layer records into.
@@ -336,6 +362,16 @@ impl Metrics {
                 "net.client_reconnects".into(),
                 self.net_client_reconnects.get(),
             ),
+            ("net.reactor.wakeups".into(), self.net_reactor_wakeups.get()),
+            ("net.reactor.events".into(), self.net_reactor_events.get()),
+            (
+                "net.reactor.backpressure_stalls".into(),
+                self.net_reactor_backpressure_stalls.get(),
+            ),
+            (
+                "net.reactor.partial_writes".into(),
+                self.net_reactor_partial_writes.get(),
+            ),
         ];
         for (i, c) in self.fs2_ops.iter().enumerate() {
             counters.push((format!("fs2.op.{}", fs2_op_name(i)), c.get()));
@@ -350,6 +386,14 @@ impl Metrics {
             ("simd.level".into(), clare_simd::level().as_gauge() as i64),
             ("net.connections".into(), self.net_connections.get()),
             ("net.queue_depth".into(), self.net_queue_depth.get()),
+            (
+                "net.reactor.connections".into(),
+                self.net_reactor_connections.get(),
+            ),
+            (
+                "net.reactor.outbound_bytes".into(),
+                self.net_reactor_outbound_bytes.get(),
+            ),
         ];
         let mut histograms = vec![
             ("fs1.scan_wall_ns".into(), self.fs1_scan_wall_ns.snapshot()),

@@ -1,0 +1,179 @@
+//! Offline shim for the `libc` crate: exactly the epoll/eventfd surface
+//! `clare-net`'s reactor uses, declared directly against the system C
+//! library (the build environment links glibc anyway — only the *crate*
+//! is unavailable offline).
+//!
+//! Everything here is the stable Linux kernel ABI: `epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `eventfd`, and the raw `read`/`write`/
+//! `close` calls the event loop needs for its wakeup fd. Constants are
+//! transcribed from the kernel uapi headers. Non-Linux targets get the
+//! type definitions but no functions; `clare-net` falls back to its
+//! threaded serving core there.
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `void` (only ever used behind a pointer).
+pub type c_void = core::ffi::c_void;
+/// `size_t`.
+pub type size_t = usize;
+/// `ssize_t`.
+pub type ssize_t = isize;
+
+/// One epoll readiness record. On x86-64 the kernel packs this struct to
+/// 12 bytes (4-byte aligned `u64` data); other architectures use natural
+/// alignment — mirroring the real `libc` crate's definition.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy, Debug)]
+pub struct epoll_event {
+    /// Readiness bit set (`EPOLLIN` | `EPOLLOUT` | ...).
+    pub events: u32,
+    /// Caller-chosen token, echoed back verbatim.
+    pub u64: u64,
+}
+
+/// Readable (or a peer hangup on a listening socket: pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup: the peer closed its end.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down the writing half (half-close detection).
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered readiness (the reactor runs level-triggered; kept for
+/// completeness and tests).
+pub const EPOLLET: u32 = 1 << 31;
+
+/// `epoll_ctl` op: register a new fd.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// `epoll_ctl` op: deregister an fd.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// `epoll_ctl` op: change an fd's interest set.
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+/// `epoll_create1` flag: close-on-exec.
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+/// `eventfd` flag: close-on-exec.
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+/// `eventfd` flag: nonblocking reads/writes.
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Creates an epoll instance; returns its fd or -1.
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    /// Adds/modifies/removes `fd` on epoll instance `epfd`.
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    /// Blocks up to `timeout` ms for readiness; returns the event count,
+    /// 0 on timeout, or -1 (with `EINTR` among the expected errnos).
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    /// Creates an eventfd counter (the reactor's cross-thread wakeup).
+    pub fn eventfd(initval: u32, flags: c_int) -> c_int;
+    /// Raw read (drains the eventfd counter).
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    /// Raw write (bumps the eventfd counter).
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    /// Closes a raw fd the shim handed out (epoll fd, eventfd).
+    pub fn close(fd: c_int) -> c_int;
+}
+
+/// Non-Linux stubs: every call fails (-1), so `clare-net` detects the
+/// missing reactor support at `Epoll::new` and serves threaded instead.
+/// Declared `unsafe fn` to keep call sites identical across targets.
+#[cfg(not(target_os = "linux"))]
+mod stubs {
+    #![allow(clippy::missing_safety_doc, unused_variables)]
+    use super::*;
+    pub unsafe fn epoll_create1(flags: c_int) -> c_int {
+        -1
+    }
+    pub unsafe fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int {
+        -1
+    }
+    pub unsafe fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int {
+        -1
+    }
+    pub unsafe fn eventfd(initval: u32, flags: c_int) -> c_int {
+        -1
+    }
+    pub unsafe fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t {
+        -1
+    }
+    pub unsafe fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t {
+        -1
+    }
+    pub unsafe fn close(fd: c_int) -> c_int {
+        -1
+    }
+}
+#[cfg(not(target_os = "linux"))]
+pub use stubs::*;
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_layout_matches_kernel_abi() {
+        // x86-64 packs to 12 bytes; everywhere else natural alignment.
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(core::mem::size_of::<epoll_event>(), 12);
+        }
+    }
+
+    #[test]
+    fn eventfd_roundtrip_through_epoll() {
+        unsafe {
+            let ep = epoll_create1(EPOLL_CLOEXEC);
+            assert!(ep >= 0, "epoll_create1 failed");
+            let ev = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(ev >= 0, "eventfd failed");
+
+            let mut reg = epoll_event {
+                events: EPOLLIN,
+                u64: 42,
+            };
+            assert_eq!(epoll_ctl(ep, EPOLL_CTL_ADD, ev, &mut reg), 0);
+
+            // Nothing pending: a zero-timeout wait reports no events.
+            let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            // Bump the counter; the wait must report token 42 readable.
+            let one: u64 = 1;
+            assert_eq!(
+                write(ev, (&one as *const u64).cast(), 8),
+                8,
+                "eventfd write"
+            );
+            let n = epoll_wait(ep, out.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1);
+            let token = out[0].u64;
+            assert_eq!(token, 42);
+            assert_ne!(out[0].events & EPOLLIN, 0);
+
+            // Drain and confirm it goes quiet again.
+            let mut got: u64 = 0;
+            assert_eq!(read(ev, (&mut got as *mut u64).cast(), 8), 8);
+            assert_eq!(got, 1);
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            assert_eq!(close(ev), 0);
+            assert_eq!(close(ep), 0);
+        }
+    }
+}

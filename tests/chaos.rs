@@ -352,3 +352,88 @@ fn net_chaos_over_loopback_is_correct_or_flagged() {
     server.shutdown();
     maybe_report();
 }
+
+/// Reactor event-loop chaos: short reads that split frames (and their
+/// length prefixes) across readiness events, spurious `EAGAIN`-style
+/// wakeups that deliver nothing, and torn writes that cut a flush short
+/// mid-frame. Unlike `NetServerSend` faults these perturb *scheduling*,
+/// not bytes — the reassembly and resumed-write paths must make them
+/// invisible: every answer byte-identical, no CRC failures, the client
+/// never even reconnects. A bounded number of timeouts under the heaviest
+/// storms is the acceptable *flagged* outcome.
+#[test]
+fn reactor_read_write_chaos_is_transparent() {
+    let (kb, queries) = chaos_kb();
+    let crs = Arc::new(ClauseRetrievalServer::new(kb, CrsOptions::default()));
+    let cfg = NetConfig {
+        server_mode: clare_net::ServerMode::Reactor,
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind(Arc::clone(&crs), "127.0.0.1:0", cfg).unwrap();
+    let reference: Vec<Retrieval> = queries
+        .iter()
+        .map(|q| crs.retrieve(q, SearchMode::TwoStage))
+        .collect();
+
+    let total = (schedules() / 25).max(20);
+    let client_cfg = ClientConfig {
+        read_timeout: Duration::from_secs(2),
+        reconnect_retries: 2,
+        ..ClientConfig::default()
+    };
+    let counts_before = clare_fault::injected_counts();
+    let crc_before = clare_trace::metrics().net_frame_crc_failures.get();
+    let mut served = 0u64;
+    let mut flagged = 0u64;
+    for seed in 0..total {
+        let permille = 100 + (seed % 8) as u32 * 100;
+        let plan = match seed % 3 {
+            0 => FaultPlan::none().with(FaultSite::NetReactorRead, permille),
+            1 => FaultPlan::none().with(FaultSite::NetReactorWrite, permille),
+            _ => FaultPlan::none()
+                .with(FaultSite::NetReactorRead, permille)
+                .with(FaultSite::NetReactorWrite, permille),
+        };
+        let _guard = install(seed, plan);
+        let Ok(mut client) = NetClient::connect(server.local_addr(), client_cfg.clone()) else {
+            flagged += 1;
+            continue;
+        };
+        for (query, want) in queries.iter().zip(&reference) {
+            match client.retrieve(query, SearchMode::TwoStage) {
+                Ok(got) => {
+                    assert_eq!(
+                        &got, want,
+                        "seed {seed}: a scheduling fault changed answer bytes"
+                    );
+                    served += 1;
+                }
+                Err(_) => flagged += 1,
+            }
+        }
+    }
+    let counts = clare_fault::injected_counts();
+    let read_faults = counts[FaultSite::NetReactorRead.index()]
+        - counts_before[FaultSite::NetReactorRead.index()];
+    let write_faults = counts[FaultSite::NetReactorWrite.index()]
+        - counts_before[FaultSite::NetReactorWrite.index()];
+    assert!(read_faults > 0, "no reactor read fault was ever injected");
+    assert!(write_faults > 0, "no reactor write fault was ever injected");
+    assert!(
+        served > flagged * 10,
+        "transparent faults should rarely be visible: {served} served vs {flagged} flagged"
+    );
+    assert_eq!(
+        clare_trace::metrics().net_frame_crc_failures.get(),
+        crc_before,
+        "a reactor scheduling fault corrupted frame bytes"
+    );
+
+    // Clean client after the storm: nothing wedged in the event loop.
+    let mut client = NetClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+    for (query, want) in queries.iter().zip(&reference) {
+        assert_eq!(&client.retrieve(query, SearchMode::TwoStage).unwrap(), want);
+    }
+    server.shutdown();
+    maybe_report();
+}
