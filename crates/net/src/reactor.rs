@@ -29,7 +29,10 @@
 //! the v2 wire protocol is byte-identical, pipelined requests complete
 //! out of order, consecutive same-predicate retrieves coalesce into one
 //! hardware batch pass, and shutdown drains queued jobs without dropping
-//! queued replies.
+//! queued replies. A half-closed peer (pipeline, then `shutdown(WR)`,
+//! then read) is owed a reply for everything it decoded: the connection
+//! tracks in-flight jobs via its [`ConnWriter`] and is released only when
+//! the count hits zero *and* the outbound queue has flushed.
 
 // Identical contract to server.rs: untrusted input must degrade, never
 // abort. CI greps for this gate; do not remove it.
@@ -55,6 +58,16 @@ const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKE: u64 = 1;
 /// First token handed to a connection.
 pub(crate) const TOKEN_FIRST_CONN: u64 = 2;
+
+/// How many over-limit connections may be held awaiting their hello so
+/// they can be told *why* they were refused (busy + retry hint). Accepts
+/// beyond this courtesy budget are dropped outright — the fd cost of
+/// politeness stays bounded no matter how hard the intake is hammered.
+const REFUSED_BUDGET: usize = 32;
+
+/// How long a refused connection may wait for its client hello before
+/// the busy reply is abandoned and the socket released.
+const REFUSED_DEADLINE: Duration = Duration::from_secs(2);
 
 thread_local! {
     /// True inside a reactor shard thread. [`Outbound::enqueue`] consults
@@ -100,9 +113,10 @@ impl Epoll {
         let _ = self.ctl(libc::EPOLL_CTL_DEL, fd, 0, 0);
     }
 
-    /// Waits up to `timeout` for readiness; `EINTR` surfaces as an empty
-    /// event set rather than an error.
-    fn wait(&self, events: &mut [libc::epoll_event], timeout: Duration) -> usize {
+    /// Waits up to `timeout` for readiness. `EINTR` surfaces as an empty
+    /// event set; any other failure is returned so the shard can quiesce
+    /// instead of busy-spinning on a broken epoll fd.
+    fn wait(&self, events: &mut [libc::epoll_event], timeout: Duration) -> std::io::Result<usize> {
         let ms = libc::c_int::try_from(timeout.as_millis()).unwrap_or(libc::c_int::MAX);
         let n = unsafe {
             libc::epoll_wait(
@@ -112,10 +126,15 @@ impl Epoll {
                 ms,
             )
         };
-        if n <= 0 {
-            return 0;
+        if n < 0 {
+            let err = std::io::Error::last_os_error();
+            return if err.kind() == std::io::ErrorKind::Interrupted {
+                Ok(0)
+            } else {
+                Err(err)
+            };
         }
-        n as usize
+        Ok(n as usize)
     }
 }
 
@@ -333,6 +352,13 @@ impl Outbound {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).queued
     }
 
+    /// Wakes the owning shard to re-examine this connection — used by the
+    /// last in-flight job's completion so a half-closed connection parked
+    /// on outstanding replies proceeds to its flush-and-close.
+    pub(crate) fn kick(&self) {
+        self.shard.kick_token(self.token);
+    }
+
     /// Reactor-side: the connection is gone. Unparks waiting workers and
     /// returns the bytes discarded (for gauge accounting).
     fn close(&self) -> usize {
@@ -442,6 +468,12 @@ enum ConnState {
     Hello { got: usize, refuse: bool },
     /// Handshake complete; frames flow.
     Active,
+    /// Handshake refused (busy or version mismatch): the reply hello is
+    /// queued exactly once, all further input is discarded, and the
+    /// connection closes when the flush completes. Terminal — without
+    /// this state, extra client bytes arriving after the refusal would
+    /// re-enter the hello completion branch and duplicate the reply.
+    Rejected,
 }
 
 struct Conn {
@@ -455,14 +487,21 @@ struct Conn {
     /// from this connection.
     writer: Option<Arc<ConnWriter>>,
     last_activity: Instant,
-    /// `EPOLLOUT` currently registered.
-    want_write: bool,
-    /// No further input is processed; close once the outbound drains.
+    /// Event mask currently registered with epoll for this socket.
+    interest: u32,
+    /// No further input is processed; close once the in-flight jobs
+    /// finish and the outbound drains.
     closing: bool,
     /// Counted against the connection limit (refused conns are not).
     admitted: bool,
     /// Read rounds performed (fault-injection context).
     read_rounds: u64,
+}
+
+/// No decoded jobs from this connection are still queued or executing —
+/// every reply it is owed has at least been handed to its outbound queue.
+fn conn_idle(conn: &Conn) -> bool {
+    conn.writer.as_ref().is_none_or(|w| w.idle())
 }
 
 /// What a readiness round decided about a connection's fate.
@@ -525,7 +564,20 @@ pub(crate) fn run_shard(
             break;
         }
 
-        let n = epoll.wait(&mut events, shared.cfg.poll_interval);
+        let n = match epoll.wait(&mut events, shared.cfg.poll_interval) {
+            Ok(n) => n,
+            Err(_) => {
+                // A fatal epoll failure (EBADF and friends) cannot be
+                // served around: acknowledge quiesce so shutdown never
+                // hangs on this shard, then fall through to the final
+                // drain (best-effort flush, release every fd) instead of
+                // spinning on a broken fd.
+                if !draining {
+                    shared.quiesced_shards.fetch_add(1, Ordering::SeqCst);
+                }
+                break;
+            }
+        };
         if n > 0 {
             m.net_reactor_wakeups.inc();
             m.net_reactor_events.add(n as u64);
@@ -584,22 +636,41 @@ pub(crate) fn run_shard(
             }
         }
 
-        // Deadline scan: reap half-open peers so they stop pinning
-        // connection slots. One pass per poll tick is O(connections) and
-        // runs a few dozen times a second — no timer wheel needed at the
-        // scale one shard carries.
-        if let Some(limit) = shared.cfg.idle_timeout {
-            if !draining && last_idle_scan.elapsed() >= shared.cfg.poll_interval {
-                last_idle_scan = Instant::now();
-                let reap: Vec<u64> = conns
-                    .iter()
-                    .filter(|(_, c)| c.last_activity.elapsed() >= limit && !c.closing)
-                    .map(|(t, _)| *t)
-                    .collect();
-                for token in reap {
-                    m.net_idle_reaps.inc();
-                    close_conn(&epoll, &mut conns, &shared, token);
-                }
+        // Deadline scan: reap peers that stopped making progress so they
+        // stop pinning connection slots and fds. One pass per poll tick
+        // is O(connections) and runs a few dozen times a second — no
+        // timer wheel needed at the scale one shard carries.
+        // `last_activity` advances on *either* direction of progress
+        // (bytes read, or flush draining queued replies), so a healthy
+        // slow reader working through a large backlog is never reaped
+        // mid-stream.
+        if !draining && last_idle_scan.elapsed() >= shared.cfg.poll_interval {
+            last_idle_scan = Instant::now();
+            let reap: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| {
+                    let stalled_for = c.last_activity.elapsed();
+                    if !c.admitted {
+                        // Refused conns get a short dedicated deadline to
+                        // collect their busy hello, not the idle timeout.
+                        stalled_for >= REFUSED_DEADLINE
+                    } else if c.closing {
+                        // Flush-and-close is bounded: once nothing is in
+                        // flight and the flush makes no progress for a
+                        // write timeout, the peer has stopped consuming.
+                        conn_idle(c) && stalled_for >= shared.cfg.write_timeout
+                    } else {
+                        shared
+                            .cfg
+                            .idle_timeout
+                            .is_some_and(|limit| stalled_for >= limit)
+                    }
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            for token in reap {
+                m.net_idle_reaps.inc();
+                close_conn(&epoll, &mut conns, &shared, token);
             }
         }
     }
@@ -629,8 +700,11 @@ pub(crate) fn run_shard(
         }
         if !progressed {
             // Nothing moved this round: wait for kernel buffers to open
-            // up rather than spinning.
-            epoll.wait(&mut events, Duration::from_millis(20));
+            // up rather than spinning. A broken epoll fd degrades to a
+            // plain sleep so the bounded drain still terminates.
+            if epoll.wait(&mut events, Duration::from_millis(20)).is_err() {
+                std::thread::sleep(Duration::from_millis(20));
+            }
         }
     }
     let tokens: Vec<u64> = conns.keys().copied().collect();
@@ -665,6 +739,13 @@ fn accept_ready(
                 } else {
                     shared.crs.note_rejected();
                     clare_trace::metrics().net_busy_rejections.inc();
+                    if shared.refused.load(Ordering::Relaxed) >= REFUSED_BUDGET {
+                        // The courtesy budget is spent: drop the accept
+                        // without the busy hello rather than let refused
+                        // fds grow without bound.
+                        continue;
+                    }
+                    shared.refused.fetch_add(1, Ordering::Relaxed);
                 }
                 let token = shared.next_token.fetch_add(1, Ordering::Relaxed);
                 let target = (token % shards.len() as u64) as usize;
@@ -723,7 +804,7 @@ fn register_conn(
         outbound,
         writer: None,
         last_activity: Instant::now(),
-        want_write: false,
+        interest: libc::EPOLLIN | libc::EPOLLRDHUP,
         closing: false,
         admitted,
         read_rounds: 0,
@@ -747,6 +828,8 @@ fn release_accounting(shared: &Arc<Shared>, conn: &Conn) {
     if conn.admitted {
         shared.connections.fetch_sub(1, Ordering::Relaxed);
         clare_trace::metrics().net_connections.add(-1);
+    } else {
+        shared.refused.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -804,6 +887,11 @@ fn service_read(epoll: &Epoll, conn: &mut Conn, shared: &Arc<Shared>) -> ConnVer
                 if let ConnVerdict::Close = ingest(conn, &tmp[..n], shared) {
                     return ConnVerdict::Close;
                 }
+                if conn.closing {
+                    // The handshake was refused mid-round: stop pulling
+                    // input; what remains buffered is discarded.
+                    break;
+                }
                 if n < cap {
                     // The kernel gave less than asked: nothing more is
                     // buffered, and level-triggered epoll re-reports if
@@ -825,12 +913,18 @@ fn service_read(epoll: &Epoll, conn: &mut Conn, shared: &Arc<Shared>) -> ConnVer
 
     if saw_eof {
         // Half-close: the peer is done sending but may still be reading.
-        // Serve what was decoded, then flush-and-close.
+        // Serve what was decoded — including the burst just handed to the
+        // workers, whose replies do not exist yet — then flush-and-close.
         conn.closing = true;
-        if conn.outbound.pending() == 0 {
+    }
+    if conn.closing {
+        if conn_idle(conn) && conn.outbound.pending() == 0 {
             return ConnVerdict::Close;
         }
-        ensure_write_interest(epoll, conn);
+        // Drop read interest (a half-closed peer would otherwise report
+        // EPOLLRDHUP on every wait, spinning the shard until the last
+        // reply lands) and wait on worker completions + flushes.
+        sync_interest(epoll, conn, conn.outbound.pending() > 0);
     }
     ConnVerdict::Keep
 }
@@ -838,6 +932,11 @@ fn service_read(epoll: &Epoll, conn: &mut Conn, shared: &Arc<Shared>) -> ConnVer
 /// Feeds raw bytes through the handshake state machine into the frame
 /// reassembler.
 fn ingest(conn: &mut Conn, mut bytes: &[u8], shared: &Arc<Shared>) -> ConnVerdict {
+    if matches!(conn.state, ConnState::Rejected) {
+        // Terminal: the refusal hello is already queued; anything else
+        // the peer sends is discarded.
+        return ConnVerdict::Keep;
+    }
     if let ConnState::Hello { got, refuse } = &mut conn.state {
         let need = CLIENT_HELLO_LEN - *got;
         let take = need.min(bytes.len());
@@ -856,6 +955,7 @@ fn ingest(conn: &mut Conn, mut bytes: &[u8], shared: &Arc<Shared>) -> ConnVerdic
                 caps: 0,
             };
             conn.outbound.enqueue(encode_server_hello(&hello).to_vec());
+            conn.state = ConnState::Rejected;
             conn.closing = true;
             return ConnVerdict::Keep;
         }
@@ -877,6 +977,7 @@ fn ingest(conn: &mut Conn, mut bytes: &[u8], shared: &Arc<Shared>) -> ConnVerdic
         };
         conn.outbound.enqueue(encode_server_hello(&hello).to_vec());
         if status != HelloStatus::Ok {
+            conn.state = ConnState::Rejected;
             conn.closing = true;
             return ConnVerdict::Keep;
         }
@@ -929,38 +1030,44 @@ fn drain_frames(conn: &mut Conn, shared: &Arc<Shared>) -> ConnVerdict {
 }
 
 /// Flushes a connection's outbound queue, parking against `EPOLLOUT`
-/// when the kernel pushes back.
+/// when the kernel pushes back. Flush progress counts as activity, so a
+/// healthy slow reader draining a large reply backlog is never mistaken
+/// for an idle peer by the deadline scan.
 fn service_write(epoll: &Epoll, conn: &mut Conn) -> ConnVerdict {
-    match conn.outbound.flush(&mut conn.stream) {
+    let before = conn.outbound.pending();
+    let outcome = conn.outbound.flush(&mut conn.stream);
+    if conn.outbound.pending() < before {
+        conn.last_activity = Instant::now();
+    }
+    match outcome {
         FlushOutcome::Drained => {
-            if conn.closing {
+            if conn.closing && conn_idle(conn) {
                 return ConnVerdict::Close;
             }
-            if conn.want_write {
-                conn.want_write = false;
-                let _ = epoll.modify(
-                    conn.stream.as_raw_fd(),
-                    libc::EPOLLIN | libc::EPOLLRDHUP,
-                    conn.token,
-                );
-            }
+            sync_interest(epoll, conn, false);
             ConnVerdict::Keep
         }
         FlushOutcome::Parked => {
-            ensure_write_interest(epoll, conn);
+            sync_interest(epoll, conn, true);
             ConnVerdict::Keep
         }
         FlushOutcome::Dead => ConnVerdict::Close,
     }
 }
 
-fn ensure_write_interest(epoll: &Epoll, conn: &mut Conn) {
-    if !conn.want_write {
-        conn.want_write = true;
-        let _ = epoll.modify(
-            conn.stream.as_raw_fd(),
-            libc::EPOLLIN | libc::EPOLLRDHUP | libc::EPOLLOUT,
-            conn.token,
-        );
+/// Re-registers the socket's epoll interest to match what the connection
+/// can still make progress on: read bits while input is processed (never
+/// once closing), `EPOLLOUT` while a flush is parked.
+fn sync_interest(epoll: &Epoll, conn: &mut Conn, want_write: bool) {
+    let mut mask = 0;
+    if !conn.closing {
+        mask |= libc::EPOLLIN | libc::EPOLLRDHUP;
+    }
+    if want_write {
+        mask |= libc::EPOLLOUT;
+    }
+    if mask != conn.interest {
+        conn.interest = mask;
+        let _ = epoll.modify(conn.stream.as_raw_fd(), mask, conn.token);
     }
 }

@@ -159,6 +159,10 @@ enum WriterBackend {
 pub(crate) struct ConnWriter {
     backend: WriterBackend,
     pub(crate) dead: AtomicBool,
+    /// Jobs decoded from this connection still queued or executing. A
+    /// half-closed connection owes a reply per in-flight job, so the
+    /// reactor may not release it while this is nonzero.
+    in_flight: AtomicUsize,
     /// Negotiated on this connection's handshake: append a CRC32C
     /// trailer to every outgoing frame.
     checksums: bool,
@@ -169,6 +173,7 @@ impl ConnWriter {
         ConnWriter {
             backend: WriterBackend::Direct(Mutex::new(stream)),
             dead: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
             checksums,
         }
     }
@@ -178,8 +183,33 @@ impl ConnWriter {
         ConnWriter {
             backend: WriterBackend::Queued(outbound),
             dead: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
             checksums,
         }
+    }
+
+    /// Accounts one decoded job headed for the worker pool. Must happen
+    /// before the job becomes visible to workers, or the job could finish
+    /// (and the connection close) before it was ever counted.
+    pub(crate) fn job_started(&self) {
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The job is done — reply sent, shed, or panicked. The last
+    /// decrement kicks the owning shard (reactor mode) so a half-closed
+    /// connection parked on outstanding replies proceeds to its final
+    /// flush-and-close.
+    pub(crate) fn job_finished(&self) {
+        if self.in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let WriterBackend::Queued(outbound) = &self.backend {
+                outbound.kick();
+            }
+        }
+    }
+
+    /// No decoded jobs are outstanding on this connection.
+    pub(crate) fn idle(&self) -> bool {
+        self.in_flight.load(Ordering::Acquire) == 0
     }
 
     /// Backend dispatch: `true` when the bytes were accepted for the wire.
@@ -300,6 +330,10 @@ pub(crate) struct Shared {
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     pub(crate) connections: AtomicUsize,
+    /// Over-limit connections currently held for a polite busy hello
+    /// (reactor mode). Bounds the fd cost of refusal: accepts beyond the
+    /// courtesy budget are dropped outright.
+    pub(crate) refused: AtomicUsize,
 }
 
 impl Shared {
@@ -395,6 +429,7 @@ impl NetServer {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             connections: AtomicUsize::new(0),
+            refused: AtomicUsize::new(0),
         });
 
         let workers = (0..cfg.workers.max(1))
@@ -881,8 +916,10 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
     flush_pending(&mut pending, &mut jobs);
 
     for job in jobs {
+        job.writer.job_started();
         if let Err(job) = shared.try_enqueue(job) {
             shed(shared, &job);
+            job.writer.job_finished();
         }
     }
 }
@@ -929,6 +966,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 );
             }
         }
+        writer.job_finished();
     }
 }
 

@@ -334,3 +334,200 @@ fn shutdown_drain_scenario(server_mode: ServerMode) {
     server.shutdown();
     client_thread.join().expect("client thread panicked");
 }
+
+/// The legal pipeline-then-half-close client pattern: hello, a burst of
+/// retrieves, `shutdown(WR)`, then read. Replies for jobs still in
+/// flight when the EOF is observed must not be dropped — the connection
+/// is owed a reply per decoded request and may only be released once the
+/// in-flight count reaches zero *and* the outbound queue has flushed.
+#[test]
+fn half_close_delivers_in_flight_replies() {
+    half_close_scenario(ServerMode::Reactor);
+}
+
+/// Same half-close scenario against the threaded baseline (its replies
+/// flow through the cloned stream held by each queued job).
+#[test]
+fn half_close_delivers_in_flight_replies_threaded() {
+    half_close_scenario(ServerMode::Threaded);
+}
+
+fn half_close_scenario(server_mode: ServerMode) {
+    use clare_net::protocol::{
+        decode_server_hello, encode_client_hello, encode_retrieval, encode_retrieve, opcode, Frame,
+        FrameReader, HelloStatus, RetrieveReq, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN,
+    };
+    let (server, crs) = serve(NetConfig {
+        server_mode,
+        workers: 1,
+        // Six distinct jobs, one slow worker: the EOF overtakes the
+        // queue, so most replies are produced *after* the half-close.
+        coalesce: false,
+        debug_worker_delay: Some(Duration::from_millis(30)),
+        ..NetConfig::default()
+    });
+
+    let mut symbols = {
+        let mut c = NetClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+        c.symbols().unwrap()
+    };
+    let queries: Vec<Term> = (0..6)
+        .map(|i| parse_term(&format!("item(k{i}, X)"), &mut symbols).unwrap())
+        .collect();
+
+    // A raw client, so the write side can be shut down independently.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .write_all(&encode_client_hello(PROTOCOL_VERSION))
+        .unwrap();
+    let mut hello_raw = [0u8; SERVER_HELLO_LEN];
+    stream.read_exact(&mut hello_raw).unwrap();
+    assert_eq!(
+        decode_server_hello(&hello_raw).unwrap().status,
+        HelloStatus::Ok
+    );
+    for (i, query) in queries.iter().enumerate() {
+        let req = RetrieveReq {
+            mode: SearchMode::TwoStage,
+            deadline_micros: 0,
+            query: query.clone(),
+        };
+        let frame = Frame::new(
+            i as u64 + 1,
+            clare_net::protocol::opcode::RETRIEVE,
+            encode_retrieve(&req),
+        );
+        stream.write_all(&frame.encoded()).unwrap();
+    }
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+    // Every reply must still arrive before the EOF.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let mut fr = FrameReader::new(MAX_FRAME_LEN);
+    let mut replies = std::collections::HashMap::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                fr.feed(&buf[..n]);
+                while let Some(frame) = fr.try_frame().unwrap() {
+                    replies.insert(frame.request_id, frame);
+                }
+            }
+            Err(e) => panic!("reply stream failed before EOF: {e}"),
+        }
+    }
+    assert_eq!(
+        replies.len(),
+        queries.len(),
+        "replies in flight at half-close were dropped"
+    );
+    for (i, query) in queries.iter().enumerate() {
+        let frame = &replies[&(i as u64 + 1)];
+        assert_eq!(frame.opcode, opcode::RETRIEVE | opcode::REPLY);
+        assert_eq!(
+            frame.payload,
+            encode_retrieval(&crs.retrieve(query, SearchMode::TwoStage)),
+            "reply {i} must be byte-identical to the direct call"
+        );
+    }
+    server.shutdown();
+}
+
+/// A version-mismatch handshake followed by a flood of junk elicits at
+/// most one server hello: the refusal state is terminal, so extra input
+/// arriving in the same readiness round never re-enters the hello
+/// completion branch to duplicate the reply.
+#[test]
+fn rejected_handshake_never_duplicates_the_hello() {
+    use clare_net::protocol::{
+        decode_server_hello, encode_client_hello, HelloStatus, SERVER_HELLO_LEN,
+    };
+    let (server, _crs) = serve(NetConfig {
+        workers: 1,
+        ..NetConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Bad version, then several read-buffers' worth of junk so multiple
+    // 16 KiB read rounds follow the refusal.
+    stream.write_all(&encode_client_hello(0xDEAD)).unwrap();
+    let _ = stream.write_all(&vec![0u8; 64 * 1024]); // may hit the close: fine
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut got = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => got.extend_from_slice(&buf[..n]),
+            // A reset after the server discards the unread junk is an
+            // acceptable end of stream.
+            Err(_) => break,
+        }
+    }
+    assert!(
+        got.len() <= SERVER_HELLO_LEN,
+        "{} bytes received: the refusal hello was duplicated",
+        got.len()
+    );
+    if got.len() == SERVER_HELLO_LEN {
+        let mut raw = [0u8; SERVER_HELLO_LEN];
+        raw.copy_from_slice(&got);
+        assert_eq!(
+            decode_server_hello(&raw).unwrap().status,
+            HelloStatus::VersionMismatch
+        );
+    }
+    server.shutdown();
+}
+
+/// Over-limit connections cannot pin fds without bound: past a small
+/// courtesy budget accepts are dropped at the door, and the ones held
+/// for a polite busy hello are released on a short dedicated deadline —
+/// not the (here 60 s) idle timeout. A flood of silent over-limit
+/// sockets must all observe a close within a few seconds, while the
+/// admitted client keeps working.
+#[test]
+fn refused_connections_are_bounded_and_reaped() {
+    let (server, _crs) = serve(NetConfig {
+        workers: 1,
+        max_connections: 1,
+        idle_timeout: Some(Duration::from_secs(60)),
+        ..NetConfig::default()
+    });
+    let mut occupant = NetClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+    occupant.ping().unwrap(); // the only slot is taken
+
+    let mut silent: Vec<TcpStream> = (0..40)
+        .map(|_| {
+            let s = TcpStream::connect(server.local_addr()).unwrap();
+            s.set_nonblocking(true).unwrap();
+            s
+        })
+        .collect();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    let mut buf = [0u8; 16];
+    while !silent.is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{} refused connections still open: unbounded fd hold",
+            silent.len()
+        );
+        silent.retain_mut(|s| match s.read(&mut buf) {
+            // Open and silent — the server has sent nothing and not
+            // hung up yet.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => true,
+            // EOF, reset, or (unexpectedly) bytes: the hold ended.
+            _ => false,
+        });
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    occupant.ping().unwrap(); // the admitted client was never disturbed
+    server.shutdown();
+}
