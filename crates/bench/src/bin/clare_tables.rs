@@ -41,6 +41,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "E17: serving-core wall-clock, reactor vs threaded (writes BENCH_net.json)",
     ),
     (
+        "walbench",
+        "E18: mutable-KB write path + compaction wall-clock (writes BENCH_wal.json)",
+    ),
+    (
         "microprogram",
         "appendix: the assembled WCS microprogram listing",
     ),
@@ -183,6 +187,38 @@ fn run_one(name: &str, quick: bool, json: bool) -> bool {
                 match std::fs::write("BENCH_net.json", report.to_json()) {
                     Ok(()) => println!("wrote BENCH_net.json"),
                     Err(e) => eprintln!("could not write BENCH_net.json: {e}"),
+                }
+            }
+        }
+        "walbench" => {
+            if quick {
+                // CI smoke run: small base, tight budget. The report file
+                // IS written in quick mode — CI uploads it as the
+                // wal-bench-smoke artifact.
+                let report = experiments::wal_wallclock::run(
+                    2_000,
+                    16,
+                    &[1, 8],
+                    500,
+                    std::time::Duration::from_millis(60),
+                );
+                println!("{report}");
+                match std::fs::write("BENCH_wal.json", report.to_json()) {
+                    Ok(()) => println!("wrote BENCH_wal.json"),
+                    Err(e) => eprintln!("could not write BENCH_wal.json: {e}"),
+                }
+            } else {
+                let report = experiments::wal_wallclock::run(
+                    20_000,
+                    32,
+                    &[1, 8, 64],
+                    2_000,
+                    std::time::Duration::from_secs(1),
+                );
+                println!("{report}");
+                match std::fs::write("BENCH_wal.json", report.to_json()) {
+                    Ok(()) => println!("wrote BENCH_wal.json"),
+                    Err(e) => eprintln!("could not write BENCH_wal.json: {e}"),
                 }
             }
         }

@@ -18,4 +18,5 @@ pub mod result_memory;
 pub mod table1;
 pub mod table_a1;
 pub mod throughput;
+pub mod wal_wallclock;
 pub mod warren_scale;

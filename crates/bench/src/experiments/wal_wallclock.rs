@@ -1,0 +1,423 @@
+//! E18 — host wall-clock of the mutable-KB write path and compaction.
+//!
+//! Two questions the WAL subsystem must answer with numbers:
+//!
+//! 1. **Write path** — what does an assert cost through the memtable
+//!    overlay (volatile), through the overlay with a WAL attached
+//!    (durable: every commit fsyncs), and through the pre-WAL baseline
+//!    of rebuilding the whole knowledge base and swapping it in? The
+//!    overlay turns an `O(knowledge base)` rebuild into an `O(clause)`
+//!    commit, so the gap should widen with the base size.
+//! 2. **Compaction concurrency** — does folding the overlay into a new
+//!    base ever block readers? The experiment keeps retrieving while
+//!    background compactions run, reports idle vs during-compaction
+//!    latency percentiles, and carries the
+//!    `compaction.concurrent_retrievals` counter as the proof that the
+//!    busy samples really overlapped a live compaction.
+//!
+//! Emits a machine-readable `BENCH_wal.json`.
+
+use clare_core::{ClauseRetrievalServer, CompactionOutcome, CrsOptions, SearchMode, WalOp};
+use clare_kb::{KbBuilder, KbConfig, KnowledgeBase};
+use clare_term::parser::parse_term;
+use clare_term::SymbolTable;
+use std::fmt;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One measured commit batch size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalWriteRow {
+    /// Clauses per commit.
+    pub batch: usize,
+    /// ns per asserted clause through the volatile overlay (no WAL).
+    pub overlay_ns: f64,
+    /// ns per asserted clause with a WAL attached (fsync per commit).
+    pub durable_ns: f64,
+    /// ns per asserted clause through the pre-WAL rebuild-and-swap path.
+    pub rebuild_ns: f64,
+}
+
+impl WalWriteRow {
+    /// Overlay-commit speedup over the rebuild baseline.
+    pub fn speedup(&self) -> f64 {
+        self.rebuild_ns / self.overlay_ns
+    }
+}
+
+/// The compaction-concurrency measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalCompactionRow {
+    /// Retrieval p50 with no compaction in flight, ns.
+    pub idle_p50_ns: f64,
+    /// Retrieval p99 with no compaction in flight, ns.
+    pub idle_p99_ns: f64,
+    /// Retrieval p50 while a background compaction runs, ns.
+    pub busy_p50_ns: f64,
+    /// Retrieval p99 while a background compaction runs, ns.
+    pub busy_p99_ns: f64,
+    /// Retrievals the trace registry saw overlap a live compaction.
+    pub concurrent_retrievals: u64,
+    /// Logged operations folded into new bases across all rounds.
+    pub folded: usize,
+    /// Background compaction rounds driven.
+    pub rounds: usize,
+}
+
+/// The wall-clock report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalWallclockReport {
+    /// Facts in the base knowledge base.
+    pub facts: usize,
+    /// Commits per write-path measurement.
+    pub commits: usize,
+    /// One row per commit batch size, ascending.
+    pub write_rows: Vec<WalWriteRow>,
+    /// The compaction-concurrency measurement.
+    pub compaction: WalCompactionRow,
+}
+
+impl WalWallclockReport {
+    /// Renders the report as a small JSON document (hand-written — the
+    /// workspace deliberately carries no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"wal_wallclock\",\n");
+        out.push_str("  \"unit\": \"ns_per_clause\",\n");
+        out.push_str(&format!("  \"facts\": {},\n", self.facts));
+        out.push_str(&format!("  \"commits\": {},\n", self.commits));
+        out.push_str("  \"write_path\": [\n");
+        for (i, row) in self.write_rows.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"batch\": {},\n", row.batch));
+            out.push_str(&format!("      \"overlay_ns\": {:.0},\n", row.overlay_ns));
+            out.push_str(&format!("      \"durable_ns\": {:.0},\n", row.durable_ns));
+            out.push_str(&format!("      \"rebuild_ns\": {:.0},\n", row.rebuild_ns));
+            out.push_str(&format!(
+                "      \"overlay_speedup\": {:.1}\n",
+                row.speedup()
+            ));
+            out.push_str(if i + 1 == self.write_rows.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+        let c = &self.compaction;
+        out.push_str("  \"compaction\": {\n");
+        out.push_str(&format!("    \"idle_p50_ns\": {:.0},\n", c.idle_p50_ns));
+        out.push_str(&format!("    \"idle_p99_ns\": {:.0},\n", c.idle_p99_ns));
+        out.push_str(&format!("    \"busy_p50_ns\": {:.0},\n", c.busy_p50_ns));
+        out.push_str(&format!("    \"busy_p99_ns\": {:.0},\n", c.busy_p99_ns));
+        out.push_str(&format!(
+            "    \"concurrent_retrievals\": {},\n",
+            c.concurrent_retrievals
+        ));
+        out.push_str(&format!("    \"folded\": {},\n", c.folded));
+        out.push_str(&format!("    \"rounds\": {}\n", c.rounds));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+const KEYS: usize = 500;
+
+/// `n` facts `p(k{i % KEYS}, v{i % 97})` in the given symbol lineage.
+fn build_kb(n: usize, extra: &[String], symbols: Option<&SymbolTable>) -> KnowledgeBase {
+    let mut b = KbBuilder::new();
+    if let Some(sy) = symbols {
+        *b.symbols_mut() = sy.clone();
+    }
+    let mut facts: String = (0..n)
+        .map(|i| format!("p(k{}, v{}).", i % KEYS, i % 97))
+        .collect::<Vec<_>>()
+        .join("\n");
+    for clause in extra {
+        facts.push('\n');
+        facts.push_str(clause);
+    }
+    b.consult("bench", &facts).unwrap();
+    b.finish(KbConfig::default())
+}
+
+/// The clause committed as write `i` of a pass.
+fn grown_clause(i: usize) -> String {
+    format!("grew(g{}, n{}).", i % 64, i % 7)
+}
+
+fn ops(start: usize, batch: usize) -> Vec<WalOp> {
+    (start..start + batch)
+        .map(|i| WalOp::Assert {
+            module: "bench".into(),
+            source: grown_clause(i),
+        })
+        .collect()
+}
+
+/// Best observed ns/clause committing `commits` batches of `batch`
+/// asserts through the overlay path, with or without a WAL attached.
+/// Every pass starts from a fresh server (and a fresh log file) so
+/// overlay growth does not accumulate across passes.
+fn best_commit_ns(
+    facts: usize,
+    symbols: &SymbolTable,
+    commits: usize,
+    batch: usize,
+    durable: bool,
+    budget: Duration,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    let deadline = Instant::now() + budget;
+    let mut pass = 0u64;
+    loop {
+        let server =
+            ClauseRetrievalServer::new(build_kb(facts, &[], Some(symbols)), CrsOptions::default());
+        let path = std::env::temp_dir().join(format!(
+            "clare-walbench-{}-{batch}-{durable}-{pass}.wal",
+            std::process::id()
+        ));
+        pass += 1;
+        if durable {
+            let _ = std::fs::remove_file(&path);
+            server.attach_wal(&path).unwrap();
+        }
+        let t = Instant::now();
+        for c in 0..commits {
+            black_box(server.apply_ops(ops(c * batch, batch)).unwrap());
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e9 / (commits * batch) as f64);
+        if durable {
+            drop(server);
+            let _ = std::fs::remove_file(&path);
+        }
+        if Instant::now() >= deadline {
+            return best;
+        }
+    }
+}
+
+/// Best observed ns/clause for the pre-WAL baseline: every batch
+/// recompiles the whole knowledge base (base facts plus everything
+/// committed so far) and swaps it in with `server.update`.
+fn best_rebuild_ns(
+    facts: usize,
+    symbols: &SymbolTable,
+    commits: usize,
+    batch: usize,
+    budget: Duration,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    let deadline = Instant::now() + budget;
+    loop {
+        let server =
+            ClauseRetrievalServer::new(build_kb(facts, &[], Some(symbols)), CrsOptions::default());
+        let mut grown: Vec<String> = Vec::with_capacity(commits * batch);
+        let t = Instant::now();
+        for c in 0..commits {
+            for i in c * batch..(c + 1) * batch {
+                grown.push(grown_clause(i));
+            }
+            server.update(build_kb(facts, &grown, Some(symbols)));
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e9 / (commits * batch) as f64);
+        if Instant::now() >= deadline {
+            return best;
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Retrieval latency with background compactions in flight: grows the
+/// overlay, spawns a compaction, and hammers retrievals until it
+/// finishes — repeatedly, until `samples` busy-side latencies exist.
+fn measure_compaction(facts: usize, symbols: &SymbolTable, samples: usize) -> WalCompactionRow {
+    let server = Arc::new(ClauseRetrievalServer::new(
+        build_kb(facts, &[], Some(symbols)),
+        CrsOptions::default(),
+    ));
+    let mut sy = symbols.clone();
+    let query = parse_term("p(k3, X)", &mut sy).unwrap();
+    let want = server.retrieve(&query, SearchMode::TwoStage).stats.unified;
+
+    // Idle baseline: no compaction anywhere near the read path.
+    let mut idle: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(server.retrieve(&query, SearchMode::TwoStage));
+            t.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+
+    let m = clare_trace::metrics();
+    let concurrent_before = m.compaction_concurrent_retrievals.get();
+    let mut busy: Vec<f64> = Vec::with_capacity(samples);
+    let mut folded = 0usize;
+    let mut rounds = 0usize;
+    let mut next = 0usize;
+    while busy.len() < samples && rounds < 64 {
+        // Grow the overlay so the rebuild has real work to do, then
+        // retrieve flat-out until the background fold completes.
+        server.apply_ops(ops(next, 400)).unwrap();
+        next += 400;
+        let handle = server.spawn_compaction();
+        loop {
+            let t = Instant::now();
+            let got = server.retrieve(&query, SearchMode::TwoStage);
+            busy.push(t.elapsed().as_secs_f64() * 1e9);
+            assert_eq!(got.stats.unified, want, "compaction moved an answer");
+            if handle.is_finished() {
+                break;
+            }
+        }
+        match handle.join().expect("compaction thread panicked") {
+            CompactionOutcome::Swapped { folded: n } => folded += n,
+            CompactionOutcome::Clean | CompactionOutcome::AlreadyRunning => {}
+            other => panic!("background compaction failed: {other:?}"),
+        }
+        rounds += 1;
+    }
+    let concurrent = m.compaction_concurrent_retrievals.get() - concurrent_before;
+
+    idle.sort_by(f64::total_cmp);
+    busy.sort_by(f64::total_cmp);
+    WalCompactionRow {
+        idle_p50_ns: percentile(&idle, 0.50),
+        idle_p99_ns: percentile(&idle, 0.99),
+        busy_p50_ns: percentile(&busy, 0.50),
+        busy_p99_ns: percentile(&busy, 0.99),
+        concurrent_retrievals: concurrent,
+        folded,
+        rounds,
+    }
+}
+
+/// Runs the experiment. The checked-in `BENCH_wal.json` uses 20 000
+/// facts, 32 commits per measurement, batches of 1/8/64, and a 1 s
+/// budget per measurement.
+pub fn run(
+    facts: usize,
+    commits: usize,
+    batches: &[usize],
+    samples: usize,
+    budget: Duration,
+) -> WalWallclockReport {
+    let symbols = build_kb(64, &[grown_clause(0)], None).symbols().clone();
+    let write_rows = batches
+        .iter()
+        .map(|&batch| WalWriteRow {
+            batch,
+            overlay_ns: best_commit_ns(facts, &symbols, commits, batch, false, budget),
+            durable_ns: best_commit_ns(facts, &symbols, commits, batch, true, budget),
+            rebuild_ns: best_rebuild_ns(facts, &symbols, commits, batch, budget),
+        })
+        .collect();
+    WalWallclockReport {
+        facts,
+        commits,
+        write_rows,
+        compaction: measure_compaction(facts, &symbols, samples),
+    }
+}
+
+impl fmt::Display for WalWallclockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E18: mutable-KB wall-clock — overlay/WAL commit vs rebuild-and-swap, \
+             and retrieval latency under background compaction ({} facts, {} \
+             commits per measurement)\n",
+            self.facts, self.commits
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .write_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}", r.batch),
+                    format!("{:.0}", r.overlay_ns),
+                    format!("{:.0}", r.durable_ns),
+                    format!("{:.0}", r.rebuild_ns),
+                    format!("{:.1}x", r.speedup()),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            crate::render_table(
+                &[
+                    "batch",
+                    "overlay ns/clause",
+                    "durable ns/clause",
+                    "rebuild ns/clause",
+                    "overlay speedup",
+                ],
+                &rows,
+            )
+        )?;
+        let c = &self.compaction;
+        writeln!(
+            f,
+            "retrieval latency: idle p50 {:.0} ns / p99 {:.0} ns, during compaction \
+             p50 {:.0} ns / p99 {:.0} ns",
+            c.idle_p50_ns, c.idle_p99_ns, c.busy_p50_ns, c.busy_p99_ns
+        )?;
+        writeln!(
+            f,
+            "compaction: {} rounds folded {} ops; {} retrievals overlapped a live \
+             compaction (compaction.concurrent_retrievals)",
+            c.rounds, c.folded, c.concurrent_retrievals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_json() {
+        let r = run(1_000, 8, &[1, 8], 200, Duration::from_millis(40));
+        assert_eq!(r.write_rows.len(), 2);
+        for row in &r.write_rows {
+            assert!(row.overlay_ns > 0.0);
+            assert!(row.durable_ns > 0.0);
+            assert!(row.rebuild_ns > 0.0);
+        }
+        assert!(r.compaction.rounds > 0);
+        assert!(r.compaction.folded > 0, "no compaction ever swapped");
+        assert!(
+            r.compaction.concurrent_retrievals > 0,
+            "no retrieval ever overlapped a compaction — the overlap proof is gone"
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"wal_wallclock\""));
+        assert!(json.contains("\"overlay_speedup\""));
+        assert!(json.contains("\"concurrent_retrievals\""));
+        assert!(format!("{r}").contains("overlay ns/clause"));
+    }
+
+    #[test]
+    fn overlay_commit_beats_rebuild() {
+        // Perf assertions are deliberately loose for noisy CI hosts: the
+        // O(clause) overlay commit must at minimum not lose to an
+        // O(knowledge base) recompile at a real base size.
+        let r = run(4_000, 8, &[8], 100, Duration::from_millis(150));
+        assert!(
+            r.write_rows[0].speedup() > 1.0,
+            "overlay commit slower than full rebuild: {:.2}x",
+            r.write_rows[0].speedup()
+        );
+    }
+}

@@ -26,6 +26,7 @@ use clare_scw::{encode_query_descriptor, ClauseAddr};
 use clare_term::{term_size, ClauseId, Term};
 use clare_unify::partial::{partial_match, PartialConfig};
 use clare_unify::unify_query_clause;
+use clare_wal::{Overlay, PredDelta};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -112,9 +113,12 @@ pub struct RetrievalStats {
     pub mode: SearchMode,
     /// Clauses in the predicate.
     pub clauses_total: usize,
-    /// Candidates surviving FS1, when it ran.
+    /// Candidates surviving FS1, when it ran. Counts base-file clauses
+    /// only: memtable-overlay additions have no codewords yet and join
+    /// the candidate set after the hardware phases.
     pub after_fs1: Option<usize>,
-    /// Candidates surviving FS2, when it ran.
+    /// Candidates surviving FS2, when it ran. Base-file clauses only,
+    /// as for `after_fs1`.
     pub after_fs2: Option<usize>,
     /// Candidates handed to full unification.
     pub candidates: usize,
@@ -197,21 +201,51 @@ pub fn retrieve(
     mode: SearchMode,
     opts: &CrsOptions,
 ) -> Retrieval {
-    retrieve_inner(kb, query, mode, opts, Precomputed::default(), None)
+    retrieve_inner(kb, None, query, mode, opts, Precomputed::default(), None)
 }
 
-/// [`retrieve`] with an FS1 cache seam: the scan phase consults `fs1`
-/// before sweeping the index and offers freshly computed outcomes back.
-/// The answer — and every modelled stat — is identical to [`retrieve`];
-/// only the host work changes. Used by the server's retrieval cache.
+/// [`retrieve`] over the base snapshot *merged with* a memtable overlay
+/// (see [`clare_wal::Overlay`]): retracted base clauses leave the
+/// candidate set and overlay additions join it unconditionally, so the
+/// answer is byte-identical to retrieving over a knowledge base rebuilt
+/// from scratch with the overlay folded in. An empty overlay (or one
+/// with no delta for the query's predicate) is byte-identical to
+/// [`retrieve`]. Overlay additions carry synthetic [`ClauseId`]s
+/// `base_len..base_len + added`, in assert order.
+pub fn retrieve_merged(
+    kb: &KnowledgeBase,
+    overlay: &Overlay,
+    query: &Term,
+    mode: SearchMode,
+    opts: &CrsOptions,
+) -> Retrieval {
+    retrieve_inner(
+        kb,
+        Some(overlay),
+        query,
+        mode,
+        opts,
+        Precomputed::default(),
+        None,
+    )
+}
+
+/// [`retrieve_merged`] with an FS1 cache seam: the scan phase consults
+/// `fs1` before sweeping the index and offers freshly computed outcomes
+/// back. The answer — and every modelled stat — is identical to
+/// [`retrieve_merged`]; only the host work changes. Used by the server's
+/// retrieval cache. (An FS1 outcome depends only on the base index, so
+/// it stays valid across overlay commits; the server's epoch bumps
+/// invalidate it conservatively anyway.)
 pub(crate) fn retrieve_cached(
     kb: &KnowledgeBase,
+    overlay: Option<&Overlay>,
     query: &Term,
     mode: SearchMode,
     opts: &CrsOptions,
     fs1: Option<&dyn Fs1Cache>,
 ) -> Retrieval {
-    retrieve_inner(kb, query, mode, opts, Precomputed::default(), fs1)
+    retrieve_inner(kb, overlay, query, mode, opts, Precomputed::default(), fs1)
 }
 
 /// Retrieves candidates for several queries, amortizing the hardware
@@ -228,7 +262,29 @@ pub fn retrieve_batch(
     mode: SearchMode,
     opts: &CrsOptions,
 ) -> Vec<Retrieval> {
-    retrieve_batch_cached(kb, queries, mode, opts, &vec![None; queries.len()])
+    retrieve_batch_cached(kb, None, queries, mode, opts, &vec![None; queries.len()])
+}
+
+/// [`retrieve_batch`] over the base snapshot merged with a memtable
+/// overlay. The grouped hardware passes run over the base file exactly as
+/// in [`retrieve_batch`] — the delta merge happens after per-query
+/// candidates are computed — so each result is exactly what
+/// [`retrieve_merged`] would return for that query alone.
+pub fn retrieve_batch_merged(
+    kb: &KnowledgeBase,
+    overlay: &Overlay,
+    queries: &[Term],
+    mode: SearchMode,
+    opts: &CrsOptions,
+) -> Vec<Retrieval> {
+    retrieve_batch_cached(
+        kb,
+        Some(overlay),
+        queries,
+        mode,
+        opts,
+        &vec![None; queries.len()],
+    )
 }
 
 /// [`retrieve_batch`] with a per-query FS1 cache seam (parallel to
@@ -237,6 +293,7 @@ pub fn retrieve_batch(
 /// outcomes are offered back. Results are identical to [`retrieve_batch`].
 pub(crate) fn retrieve_batch_cached(
     kb: &KnowledgeBase,
+    overlay: Option<&Overlay>,
     queries: &[Term],
     mode: SearchMode,
     opts: &CrsOptions,
@@ -321,7 +378,7 @@ pub(crate) fn retrieve_batch_cached(
         .iter()
         .zip(pre)
         .enumerate()
-        .map(|(i, (query, pre))| retrieve_inner(kb, query, mode, opts, pre, cache_of(i)))
+        .map(|(i, (query, pre))| retrieve_inner(kb, overlay, query, mode, opts, pre, cache_of(i)))
         .collect()
 }
 
@@ -343,6 +400,7 @@ struct Fs2Sweep {
 
 fn retrieve_inner(
     kb: &KnowledgeBase,
+    overlay: Option<&Overlay>,
     query: &Term,
     mode: SearchMode,
     opts: &CrsOptions,
@@ -355,7 +413,17 @@ fn retrieve_inner(
             stats: RetrievalStats::empty(mode),
         };
     };
+    let delta = overlay
+        .and_then(|o| o.delta(functor, arity))
+        .filter(|d| !d.is_empty());
     let Some((module, pred)) = kb.module_of(functor, arity) else {
+        // A predicate that exists only in the overlay: no base file, no
+        // codeword index, no track segment — nothing for the hardware to
+        // filter. Every overlay clause is a candidate (the superset
+        // invariant holds trivially) and full unification weeds them.
+        if let Some(delta) = delta {
+            return retrieve_overlay_only(delta, query, mode, opts);
+        }
         return Retrieval {
             candidates: Vec::new(),
             stats: RetrievalStats::empty(mode),
@@ -382,7 +450,7 @@ fn retrieve_inner(
     let mut stats = RetrievalStats::empty(effective_mode);
     stats.clauses_total = pred.clauses().len();
 
-    let candidates: Vec<ClauseId> = match effective_mode {
+    let mut candidates: Vec<ClauseId> = match effective_mode {
         SearchMode::SoftwareOnly => software_phase(pred, query, opts, disk_resident, &mut stats),
         SearchMode::Fs1Only => {
             let addrs = fs1_phase(pred, query, opts, pre.fs1.take(), fs1_cache, &mut stats);
@@ -421,11 +489,30 @@ fn retrieve_inner(
         }
     };
 
+    // Merge the memtable delta: retracted base clauses leave the
+    // candidate set, and overlay additions join it unconditionally —
+    // they have no codewords yet, so every filter must pass them (a
+    // superset filter can only over-approximate, never drop an answer).
+    // Synthetic ids `base_len + j` index the delta's added clauses; they
+    // sort after every base id, so the candidate list stays in clause
+    // order.
+    let base_len = pred.clauses().len();
+    if let Some(delta) = delta {
+        candidates.retain(|id| !delta.is_retracted(id.index() as usize));
+        let adds = delta.added().len();
+        candidates.extend((0..adds).map(|j| ClauseId::new((base_len + j) as u32)));
+        stats.clauses_total = base_len - delta.retracted_base().len() + adds;
+    }
+
     // Full unification of the survivors — the answer set.
     let query_nodes = term_size(query);
     let mut unified = 0usize;
     for id in &candidates {
-        let clause = &pred.clauses()[id.index() as usize];
+        let idx = id.index() as usize;
+        let clause = match delta {
+            Some(d) if idx >= base_len => &d.added()[idx - base_len].clause,
+            _ => &pred.clauses()[idx],
+        };
         stats.full_unify_time += opts
             .cost
             .full_unify_cost(query_nodes, term_size(clause.head()));
@@ -441,6 +528,37 @@ fn retrieve_inner(
         clare_trace::metrics().crs_degraded_answers.inc();
     }
 
+    Retrieval { candidates, stats }
+}
+
+/// Retrieval for a predicate that lives only in the memtable overlay.
+/// Candidate ids are `0..added` (the base length is zero), matching the
+/// synthetic-id convention of the merged path.
+fn retrieve_overlay_only(
+    delta: &PredDelta,
+    query: &Term,
+    mode: SearchMode,
+    opts: &CrsOptions,
+) -> Retrieval {
+    let mut stats = RetrievalStats::empty(mode);
+    stats.clauses_total = delta.added().len();
+    let candidates: Vec<ClauseId> = (0..delta.added().len())
+        .map(|j| ClauseId::new(j as u32))
+        .collect();
+    let query_nodes = term_size(query);
+    let mut unified = 0usize;
+    for oc in delta.added() {
+        stats.full_unify_time += opts
+            .cost
+            .full_unify_cost(query_nodes, term_size(oc.clause.head()));
+        if unify_query_clause(query, oc.clause.head()).is_some() {
+            unified += 1;
+        }
+    }
+    stats.candidates = candidates.len();
+    stats.unified = unified;
+    stats.false_drops = candidates.len() - unified;
+    stats.elapsed += stats.full_unify_time;
     Retrieval { candidates, stats }
 }
 

@@ -51,11 +51,19 @@ pub use board::ClareBoard;
 pub use cache::CacheConfig;
 pub use cost::SoftwareCostModel;
 pub use crs::{
-    choose_mode, retrieve, retrieve_batch, CrsOptions, Retrieval, RetrievalStats, SearchMode,
+    choose_mode, retrieve, retrieve_batch, retrieve_batch_merged, retrieve_merged, CrsOptions,
+    Retrieval, RetrievalStats, SearchMode,
 };
 pub use resolve::{
-    solve, solve_goals, ModeChoice, Solution, SolveOptions, SolveOutcome, SolveStats,
+    solve, solve_goals, solve_goals_merged, solve_merged, ModeChoice, Solution, SolveOptions,
+    SolveOutcome, SolveStats,
 };
-pub use server::{ClauseRetrievalServer, ServerStats, UpdateTransaction};
+pub use server::{
+    ClauseRetrievalServer, CommitError, CommitReceipt, CompactionOutcome, ServerStats,
+    UpdateTransaction,
+};
 
 pub use clare_simd::SimdLevel;
+// The mutable-KB substrate (write-ahead log + memtable overlay) the server
+// builds on, re-exported so front-ends can speak its vocabulary directly.
+pub use clare_wal::{Overlay, OverlayError, ReplayReport, Wal, WalError, WalOp, WalRecord};

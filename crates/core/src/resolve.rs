@@ -9,12 +9,13 @@
 //! Prolog semantics, including the user-significant clause ordering the
 //! paper insists a general-purpose knowledge base must preserve.
 
-use crate::crs::{choose_mode, retrieve, CrsOptions, RetrievalStats, SearchMode};
+use crate::crs::{choose_mode, retrieve, retrieve_merged, CrsOptions, RetrievalStats, SearchMode};
 use clare_disk::SimNanos;
 use clare_kb::KnowledgeBase;
 use clare_term::{Term, VarId};
 use clare_unify::full::{unify, UnifyOptions};
 use clare_unify::store::{shift_vars, var_span, BindingStore};
+use clare_wal::Overlay;
 use std::collections::HashMap;
 
 /// How the solver picks a search mode per goal.
@@ -134,6 +135,21 @@ pub fn solve(
     solve_goals(kb, std::slice::from_ref(query), var_names, options)
 }
 
+/// [`solve`] over the base snapshot merged with a memtable overlay: every
+/// goal's clause lookup goes through
+/// [`retrieve_merged`](crate::crs::retrieve_merged()), so asserted
+/// clauses resolve and retracted ones don't — with answers identical to
+/// solving over a knowledge base rebuilt from scratch.
+pub fn solve_merged(
+    kb: &KnowledgeBase,
+    overlay: &Overlay,
+    query: &Term,
+    var_names: &[String],
+    options: &SolveOptions,
+) -> SolveOutcome {
+    solve_goals_merged(kb, overlay, std::slice::from_ref(query), var_names, options)
+}
+
 /// Solves a conjunction of goals sharing one variable scope (the shape
 /// [`parse_goals`](clare_term::parser::parse_goals) produces).
 ///
@@ -162,6 +178,27 @@ pub fn solve_goals(
     var_names: &[String],
     options: &SolveOptions,
 ) -> SolveOutcome {
+    solve_goals_inner(kb, None, goals, var_names, options)
+}
+
+/// [`solve_goals`] merged with a memtable overlay (see [`solve_merged`]).
+pub fn solve_goals_merged(
+    kb: &KnowledgeBase,
+    overlay: &Overlay,
+    goals: &[Term],
+    var_names: &[String],
+    options: &SolveOptions,
+) -> SolveOutcome {
+    solve_goals_inner(kb, Some(overlay), goals, var_names, options)
+}
+
+fn solve_goals_inner(
+    kb: &KnowledgeBase,
+    overlay: Option<&Overlay>,
+    goals: &[Term],
+    var_names: &[String],
+    options: &SolveOptions,
+) -> SolveOutcome {
     let span = goals.iter().map(var_span).max().unwrap_or(0) as usize;
     let query = if goals.len() == 1 {
         goals[0].clone()
@@ -174,6 +211,7 @@ pub fn solve_goals(
     let mut store = BindingStore::with_capacity(span);
     let mut ctx = Solver {
         kb,
+        overlay,
         options,
         store: &mut store,
         solutions: Vec::new(),
@@ -190,6 +228,7 @@ pub fn solve_goals(
 
 struct Solver<'a> {
     kb: &'a KnowledgeBase,
+    overlay: Option<&'a Overlay>,
     options: &'a SolveOptions,
     store: &'a mut BindingStore,
     solutions: Vec<Solution>,
@@ -223,19 +262,32 @@ impl Solver<'_> {
             ModeChoice::Fixed(m) => m,
             ModeChoice::Auto => choose_mode(self.kb, &compact),
         };
-        let retrieval = retrieve(self.kb, &compact, mode, &self.options.crs);
+        let retrieval = match self.overlay {
+            Some(overlay) => retrieve_merged(self.kb, overlay, &compact, mode, &self.options.crs),
+            None => retrieve(self.kb, &compact, mode, &self.options.crs),
+        };
         self.stats.absorb(&retrieval.stats);
         let Some((functor, arity)) = compact.functor_arity() else {
             return;
         };
-        let Some(pred) = self.kb.predicate(functor, arity) else {
+        // Base clauses index the predicate's clause list; synthetic ids
+        // beyond it index the overlay delta's added clauses.
+        let pred = self.kb.predicate(functor, arity);
+        let delta = self.overlay.and_then(|o| o.delta(functor, arity));
+        let base_len = pred.map_or(0, |p| p.clauses().len());
+        if pred.is_none() && delta.is_none() {
             return;
-        };
+        }
         for id in retrieval.candidates {
             if self.done() {
                 return;
             }
-            let clause = &pred.clauses()[id.index() as usize];
+            let idx = id.index() as usize;
+            let clause = if idx < base_len {
+                &pred.expect("base_len > 0 implies a predicate").clauses()[idx]
+            } else {
+                &delta.expect("synthetic ids come from a delta").added()[idx - base_len].clause
+            };
             // Rename the clause apart: its variables move past every slot
             // allocated so far.
             let base = self.store.len() as u32;

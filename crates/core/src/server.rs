@@ -2,21 +2,52 @@
 //!
 //! "The CRS will also support simultaneous access by multiple clients
 //! which involves procedures for concurrency control and transaction
-//! handling." (§2.2.) The server holds the knowledge base behind a
+//! handling." (§2.2.) The server holds the published state behind a
 //! read/write lock: retrievals and solves run concurrently (each client
 //! gets its own FS2 engine state — the simulated hardware is virtualised
-//! per call, as a time-sliced CRS would do), while updates swap in a new
-//! compiled knowledge base atomically.
+//! per call, as a time-sliced CRS would do), while writers publish
+//! atomically.
+//!
+//! # The mutable knowledge base
+//!
+//! The published state is a pair: an **immutable base snapshot**
+//! ([`KnowledgeBase`]) plus a **memtable overlay**
+//! ([`clare_wal::Overlay`]) holding every `assert`/`retract` since the
+//! base was built. The write path is LevelDB-shaped:
+//!
+//! 1. every commit serializes on one commit lock, applies its ops to a
+//!    *clone* of the overlay (copy-on-write — readers never see a
+//!    partial commit), and — when a write-ahead log is attached via
+//!    [`ClauseRetrievalServer::attach_wal`] — appends the batch to the
+//!    WAL. **The fsynced append is the acknowledgement point**: an error
+//!    anywhere publishes nothing;
+//! 2. the new overlay is swapped in under the write lock, bumping the
+//!    retrieval-cache epoch of every touched predicate;
+//! 3. a background **compaction** ([`ClauseRetrievalServer::compact_now`]
+//!    / [`spawn_compaction`](ClauseRetrievalServer::spawn_compaction))
+//!    folds the overlay into a fresh base — track segments and FS1
+//!    codeword indexes rewritten off the write path — and swaps it in
+//!    atomically, re-applying any ops that committed while it ran.
+//!    In-flight retrievals keep their snapshot pair; nothing blocks.
+//!
+//! Retrievals merge the overlay at lookup time
+//! ([`crate::crs::retrieve_merged`]): overlay clauses have no codewords
+//! yet, so the filters pass them unconditionally — the superset
+//! (no-false-negative) invariant is preserved, and the merged answer is
+//! byte-identical to a from-scratch rebuild.
 
 use crate::cache::{Fs1Cache, QueryKey, RetrievalCache, Stamp};
-use crate::crs::{retrieve, CrsOptions, Retrieval, SearchMode};
+use crate::crs::{retrieve_merged, CrsOptions, Retrieval, SearchMode};
 use crate::resolve::{SolveOptions, SolveOutcome};
 use clare_disk::SimNanos;
-use clare_kb::KnowledgeBase;
+use clare_kb::{KbConfig, KnowledgeBase};
 use clare_scw::ScanOutcome;
-use clare_term::Term;
+use clare_term::{ClauseDisplay, SymbolTable, Term};
+use clare_wal::{Overlay, OverlayError, ReplayReport, Wal, WalError, WalOp, WalRecord};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,7 +61,8 @@ pub struct ServerStats {
     pub batches: u64,
     /// Solve calls served.
     pub solves: u64,
-    /// Knowledge-base updates committed.
+    /// Knowledge-base updates committed (wholesale swaps and overlay
+    /// commits both count; no-op commits do not).
     pub updates: u64,
     /// Requests refused by admission control (e.g. a network front-end
     /// shedding load when its queue is full); see
@@ -115,6 +147,126 @@ impl StatsCell {
     }
 }
 
+/// The atomically published serving state: an immutable base snapshot
+/// plus the memtable overlay of everything asserted/retracted since it
+/// was built. Readers clone both `Arc`s under one read-lock acquisition
+/// and keep a consistent pair for the whole call.
+#[derive(Debug, Clone)]
+struct Published {
+    base: Arc<KnowledgeBase>,
+    overlay: Arc<Overlay>,
+}
+
+/// Writer-side state, all behind the commit lock: holding it is what
+/// serializes every publisher (overlay commits, wholesale updates, WAL
+/// attachment, and the compaction swap), so the published base can never
+/// move under a writer between its read and its write.
+#[derive(Debug)]
+struct CommitState {
+    /// The attached write-ahead log, if any. Appends happen under the
+    /// commit lock; the fsynced batch is the acknowledgement point.
+    wal: Option<Wal>,
+    /// Compilation parameters used to validate overlay clauses (track
+    /// fit) and to rebuild the base at compaction. Refreshed by every
+    /// transaction commit that carries one.
+    config: KbConfig,
+    /// Next sequence number when no WAL is attached (the overlay still
+    /// orders its ops by seq; durability simply isn't promised).
+    mem_seq: u64,
+}
+
+/// What a successful commit did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// The WAL sequence numbers this commit occupies (`start == end` for
+    /// a no-op commit, which skips the log entirely).
+    pub seqs: std::ops::Range<u64>,
+    /// Clauses added to the overlay.
+    pub asserted: usize,
+    /// Clauses removed (retracted out of the base view or out of the
+    /// overlay).
+    pub retracted: usize,
+    /// Whether the commit was durably logged (a WAL is attached and the
+    /// batch was fsynced before this receipt was produced).
+    pub durable: bool,
+}
+
+impl CommitReceipt {
+    fn noop() -> Self {
+        CommitReceipt {
+            seqs: 0..0,
+            asserted: 0,
+            retracted: 0,
+            durable: false,
+        }
+    }
+}
+
+/// Errors from committing mutations. In every case **nothing was
+/// published**: the overlay clone is discarded and readers keep the old
+/// state.
+#[derive(Debug)]
+pub enum CommitError {
+    /// A clause failed validation (parse, PIF compile, or track fit).
+    Overlay(OverlayError),
+    /// The write-ahead log refused or failed the append, so the commit
+    /// was never acknowledged.
+    Wal(WalError),
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::Overlay(e) => write!(f, "commit rejected: {e}"),
+            CommitError::Wal(e) => write!(f, "commit not acknowledged: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommitError::Overlay(e) => Some(e),
+            CommitError::Wal(e) => Some(e),
+        }
+    }
+}
+
+impl From<OverlayError> for CommitError {
+    fn from(e: OverlayError) -> Self {
+        CommitError::Overlay(e)
+    }
+}
+
+impl From<WalError> for CommitError {
+    fn from(e: WalError) -> Self {
+        CommitError::Wal(e)
+    }
+}
+
+/// What one [`ClauseRetrievalServer::compact_now`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionOutcome {
+    /// Another compaction was already in flight; this call did nothing.
+    AlreadyRunning,
+    /// The overlay was empty; there was nothing to fold.
+    Clean,
+    /// The rebuilt base was swapped in; `folded` logged operations left
+    /// the overlay (ops that committed during the rebuild were re-applied
+    /// on top of the new base).
+    Swapped {
+        /// Operations folded into the new base.
+        folded: usize,
+    },
+    /// The published base moved while the rebuild ran (a wholesale
+    /// [`update`](ClauseRetrievalServer::update) swapped it); the rebuilt
+    /// base was discarded. Run compaction again against the new state.
+    Aborted,
+    /// The rebuild failed to compile; the overlay is kept as-is. (Commit
+    /// validation makes this unreachable for ordinary clause traffic.)
+    Failed,
+}
+
 /// A shared, thread-safe clause retrieval service.
 ///
 /// # Examples
@@ -136,7 +288,13 @@ impl StatsCell {
 /// ```
 #[derive(Debug)]
 pub struct ClauseRetrievalServer {
-    kb: RwLock<Arc<KnowledgeBase>>,
+    kb: RwLock<Published>,
+    /// Lock order: `commit` strictly before `kb` — every writer takes the
+    /// commit lock first and the `kb` write lock only for the final swap.
+    commit: Mutex<CommitState>,
+    /// Single-flight guard for compaction; also lets the serving path
+    /// count retrievals that overlap a compaction window.
+    compacting: AtomicBool,
     options: CrsOptions,
     stats: StatsCell,
     /// Epoch-invalidated answer/FS1 cache ([`crate::cache`]). Epoch
@@ -165,28 +323,58 @@ impl Fs1Cache for ServerFs1Cache<'_> {
     }
 }
 
-/// The `functor/arity` metric key of a query, if it has one.
-fn pred_key(kb: &KnowledgeBase, query: &Term) -> Option<String> {
+/// The `functor/arity` metric key of a query, if it has one. Resolved
+/// against the overlay's symbol table — a superset of the base's, so
+/// predicates that exist only in the overlay still report. A functor the
+/// server has never interned (a query minted in some newer lineage) has
+/// no name here and no clauses either; it gets no key.
+fn pred_key(symbols: &SymbolTable, query: &Term) -> Option<String> {
     let (functor, arity) = query.functor_arity()?;
-    Some(format!("{}/{arity}", kb.symbols().atom_text(functor)))
+    Some(format!("{}/{arity}", symbols.try_atom_text(functor)?))
 }
 
 impl ClauseRetrievalServer {
-    /// Wraps a compiled knowledge base.
+    /// Wraps a compiled knowledge base (with an initially empty overlay).
     pub fn new(kb: KnowledgeBase, options: CrsOptions) -> Self {
         let cache = RetrievalCache::new(&options.cache);
+        let overlay = Overlay::new(kb.symbols().clone());
         ClauseRetrievalServer {
-            kb: RwLock::new(Arc::new(kb)),
+            kb: RwLock::new(Published {
+                base: Arc::new(kb),
+                overlay: Arc::new(overlay),
+            }),
+            commit: Mutex::new(CommitState {
+                wal: None,
+                config: KbConfig::default(),
+                mem_seq: 1,
+            }),
+            compacting: AtomicBool::new(false),
             options,
             stats: StatsCell::default(),
             cache,
         }
     }
 
-    /// A snapshot of the current knowledge base (clients keep a consistent
-    /// view even across a concurrent update).
+    /// A snapshot of the current immutable base (clients keep a
+    /// consistent view even across a concurrent update). Note this is the
+    /// *base only* — [`snapshot_merged`](Self::snapshot_merged) also
+    /// returns the overlay the serving path merges in.
     pub fn snapshot(&self) -> Arc<KnowledgeBase> {
-        self.kb.read().clone()
+        self.kb.read().base.clone()
+    }
+
+    /// The full serving state: base snapshot plus memtable overlay, read
+    /// under one lock acquisition so the pair is consistent.
+    pub fn snapshot_merged(&self) -> (Arc<KnowledgeBase>, Arc<Overlay>) {
+        let guard = self.kb.read();
+        (guard.base.clone(), guard.overlay.clone())
+    }
+
+    /// A clone of the serving symbol table: the base's, extended by every
+    /// atom the overlay has interned since. Parse queries against this to
+    /// reach overlay-only predicates.
+    pub fn symbols(&self) -> SymbolTable {
+        self.kb.read().overlay.symbols().clone()
     }
 
     /// The CRS configuration this server retrieves with. Front-ends (e.g.
@@ -196,23 +384,27 @@ impl ClauseRetrievalServer {
         &self.options
     }
 
-    /// Serves one retrieval. With the cache enabled (the default), a
-    /// repeat of a recently served query skips the filter pipeline
-    /// entirely and returns the byte-identical cached [`Retrieval`];
-    /// degraded answers are never cached, and any knowledge-base update
-    /// or track quarantine invalidates the affected entries.
+    /// Serves one retrieval over the merged (base + overlay) view. With
+    /// the cache enabled (the default), a repeat of a recently served
+    /// query skips the filter pipeline entirely and returns the
+    /// byte-identical cached [`Retrieval`]; degraded answers are never
+    /// cached, and any commit or track quarantine invalidates the
+    /// affected entries.
     pub fn retrieve(&self, query: &Term, mode: SearchMode) -> Retrieval {
         let started = Instant::now();
-        let (kb, outcome) = self.retrieve_through_cache(query, mode);
+        let (published, outcome) = self.retrieve_through_cache(query, mode);
         self.stats.update(|stats| {
             stats.retrievals += 1;
             stats.degraded += u64::from(outcome.stats.degraded);
             stats.total_elapsed += outcome.stats.elapsed;
         });
         let m = clare_trace::metrics();
+        if self.compacting.load(Ordering::Relaxed) {
+            m.compaction_concurrent_retrievals.inc();
+        }
         m.crs_retrieve_wall_ns
             .record(started.elapsed().as_nanos() as u64);
-        if let Some(key) = pred_key(&kb, query) {
+        if let Some(key) = pred_key(published.overlay.symbols(), query) {
             m.crs_predicates.record(&key, outcome.stats.elapsed.as_ns());
         }
         outcome
@@ -221,11 +413,7 @@ impl ClauseRetrievalServer {
     /// One retrieval through the cache: answer-layer hit, else the filter
     /// pipeline with the FS1 layer as a seam, then insertion of clean
     /// (non-degraded, mode-as-requested) answers.
-    fn retrieve_through_cache(
-        &self,
-        query: &Term,
-        mode: SearchMode,
-    ) -> (Arc<KnowledgeBase>, Retrieval) {
+    fn retrieve_through_cache(&self, query: &Term, mode: SearchMode) -> (Published, Retrieval) {
         let key = if self.cache.enabled() {
             QueryKey::new(query)
         } else {
@@ -233,35 +421,45 @@ impl ClauseRetrievalServer {
         };
         let Some(key) = key else {
             // No canonical encoding (or cache off): the uncached pipeline.
-            let kb = self.snapshot();
-            let outcome = retrieve(&kb, query, mode, &self.options);
-            return (kb, outcome);
+            let published = self.kb.read().clone();
+            let outcome = retrieve_merged(
+                &published.base,
+                &published.overlay,
+                query,
+                mode,
+                &self.options,
+            );
+            return (published, outcome);
         };
-        let (kb, stamp) = self.snapshot_with_stamp(key.pred());
+        let (published, stamp) = self.snapshot_with_stamp(key.pred());
         if let Some(hit) = self.cache.get_answer(&key, mode, stamp) {
-            return (kb, hit);
+            return (published, hit);
         }
         let fs1 = ServerFs1Cache {
             cache: &self.cache,
             key: &key,
             stamp,
         };
-        let outcome = crate::crs::retrieve_cached(&kb, query, mode, &self.options, Some(&fs1));
+        let outcome = crate::crs::retrieve_cached(
+            &published.base,
+            Some(&published.overlay),
+            query,
+            mode,
+            &self.options,
+            Some(&fs1),
+        );
         self.note_outcome(&key, mode, stamp, &outcome);
-        (kb, outcome)
+        (published, outcome)
     }
 
-    /// A knowledge-base snapshot plus the epoch stamp for `pred`, read
-    /// under one read-lock acquisition. Updates bump epochs while holding
-    /// the write lock, so the pair can never mix an old base with a new
+    /// The published state plus the epoch stamp for `pred`, read under
+    /// one read-lock acquisition. Commits bump epochs while holding the
+    /// write lock, so the pair can never mix an old state with a new
     /// stamp or vice versa — the soundness core of the cache.
-    fn snapshot_with_stamp(
-        &self,
-        pred: (clare_term::Symbol, usize),
-    ) -> (Arc<KnowledgeBase>, Stamp) {
+    fn snapshot_with_stamp(&self, pred: (clare_term::Symbol, usize)) -> (Published, Stamp) {
         let guard = self.kb.read();
         let stamp = self.cache.stamp(pred);
-        (Arc::clone(&guard), stamp)
+        (guard.clone(), stamp)
     }
 
     /// Post-retrieval cache bookkeeping: a quarantine invalidates the
@@ -278,16 +476,16 @@ impl ClauseRetrievalServer {
         }
     }
 
-    /// Serves a batch of retrievals against one consistent snapshot: the
-    /// knowledge base is read once, same-predicate queries share a single
-    /// FS1 index sweep plus one FS2 worker pool over the shared clause
-    /// arena ([`crate::crs::retrieve_batch`]), and the service statistics
-    /// are updated under one lock acquisition. Results are in query order
-    /// and identical to issuing each query via
+    /// Serves a batch of retrievals against one consistent snapshot pair:
+    /// the state is read once, same-predicate queries share a single FS1
+    /// index sweep plus one FS2 worker pool over the shared clause arena
+    /// ([`crate::crs::retrieve_batch`]), and the service statistics are
+    /// updated under one lock acquisition. Results are in query order and
+    /// identical to issuing each query via
     /// [`ClauseRetrievalServer::retrieve`].
     pub fn retrieve_batch(&self, queries: &[Term], mode: SearchMode) -> Vec<Retrieval> {
         let started = Instant::now();
-        let (kb, outcomes) = self.retrieve_batch_through_cache(queries, mode);
+        let (published, outcomes) = self.retrieve_batch_through_cache(queries, mode);
         self.stats.update(|stats| {
             stats.batches += 1;
             stats.retrievals += outcomes.len() as u64;
@@ -297,11 +495,14 @@ impl ClauseRetrievalServer {
             }
         });
         let m = clare_trace::metrics();
+        if self.compacting.load(Ordering::Relaxed) {
+            m.compaction_concurrent_retrievals.inc();
+        }
         m.crs_batch_size.record(queries.len() as u64);
         m.crs_retrieve_wall_ns
             .record(started.elapsed().as_nanos() as u64);
         for (query, outcome) in queries.iter().zip(&outcomes) {
-            if let Some(key) = pred_key(&kb, query) {
+            if let Some(key) = pred_key(published.overlay.symbols(), query) {
                 m.crs_predicates.record(&key, outcome.stats.elapsed.as_ns());
             }
         }
@@ -316,7 +517,7 @@ impl ClauseRetrievalServer {
         &self,
         queries: &[Term],
         mode: SearchMode,
-    ) -> (Arc<KnowledgeBase>, Vec<Retrieval>) {
+    ) -> (Published, Vec<Retrieval>) {
         let keys: Vec<Option<QueryKey>> = if self.cache.enabled() {
             queries.iter().map(QueryKey::new).collect()
         } else {
@@ -324,13 +525,13 @@ impl ClauseRetrievalServer {
         };
         // One read-lock acquisition covers the snapshot and every stamp
         // (see snapshot_with_stamp for why that pairing matters).
-        let (kb, stamps) = {
+        let (published, stamps) = {
             let guard = self.kb.read();
             let stamps: Vec<Option<Stamp>> = keys
                 .iter()
                 .map(|key| key.as_ref().map(|key| self.cache.stamp(key.pred())))
                 .collect();
-            (Arc::clone(&guard), stamps)
+            (guard.clone(), stamps)
         };
         let mut outcomes: Vec<Option<Retrieval>> = keys
             .iter()
@@ -360,7 +561,8 @@ impl ClauseRetrievalServer {
                 .map(|handle| handle.as_ref().map(|handle| handle as &dyn Fs1Cache))
                 .collect();
             let computed = crate::crs::retrieve_batch_cached(
-                &kb,
+                &published.base,
+                Some(&published.overlay),
                 &miss_queries,
                 mode,
                 &self.options,
@@ -377,10 +579,10 @@ impl ClauseRetrievalServer {
             .into_iter()
             .map(|outcome| outcome.unwrap_or_else(|| unreachable!("every slot filled above")))
             .collect();
-        (kb, outcomes)
+        (published, outcomes)
     }
 
-    /// Serves one solve call.
+    /// Serves one solve call over the merged view.
     pub fn solve(
         &self,
         query: &Term,
@@ -398,43 +600,290 @@ impl ClauseRetrievalServer {
         options: &SolveOptions,
     ) -> SolveOutcome {
         let started = Instant::now();
-        let kb = self.snapshot();
-        let outcome = crate::resolve::solve_goals(&kb, goals, var_names, options);
+        let (base, overlay) = self.snapshot_merged();
+        let outcome =
+            crate::resolve::solve_goals_merged(&base, &overlay, goals, var_names, options);
         self.stats.update(|stats| {
             stats.solves += 1;
             stats.degraded += u64::from(outcome.stats.degraded);
             stats.total_elapsed += outcome.stats.retrieval_elapsed;
         });
-        clare_trace::metrics()
-            .crs_solve_wall_ns
+        let m = clare_trace::metrics();
+        if self.compacting.load(Ordering::Relaxed) {
+            m.compaction_concurrent_retrievals.inc();
+        }
+        m.crs_solve_wall_ns
             .record(started.elapsed().as_nanos() as u64);
         outcome
     }
 
-    /// Commits a new compiled knowledge base atomically. In-flight clients
-    /// finish against their snapshot; new calls see the update.
+    /// Commits a new compiled knowledge base atomically, **discarding the
+    /// overlay**: the new base is taken as the complete state (callers
+    /// rebuilding via [`KnowledgeBase::to_builder`] have already folded
+    /// whatever they wanted to keep). In-flight clients finish against
+    /// their snapshot pair; new calls see the update.
+    ///
+    /// A wholesale update is an in-memory operation: it is *not* logged
+    /// to an attached WAL, and prior WAL records replay against the base
+    /// that was live when they were logged. Servers that own a WAL should
+    /// mutate through transactions ([`begin_update`](Self::begin_update))
+    /// and fold with [`compact_now`](Self::compact_now) instead.
     pub fn update(&self, kb: KnowledgeBase) {
+        let commit = self.commit.lock();
+        let overlay = Overlay::new(kb.symbols().clone());
         let mut guard = self.kb.write();
         // Bump cache epochs *while holding the write lock*: readers take
         // (snapshot, stamp) under the read lock, so they can never pair
-        // the outgoing base with the incoming stamp or vice versa.
-        self.cache.bump_for_update(&guard, &kb);
-        *guard = Arc::new(kb);
+        // the outgoing state with the incoming stamp or vice versa.
+        self.cache.bump_for_update(&guard.base, &kb);
+        *guard = Published {
+            base: Arc::new(kb),
+            overlay: Arc::new(overlay),
+        };
         drop(guard);
+        drop(commit);
         self.stats.update(|stats| stats.updates += 1);
     }
 
-    /// Begins an update transaction against the current knowledge base:
-    /// the returned [`UpdateTransaction`] accumulates new clauses and
-    /// recompiles + swaps atomically on [`commit`](UpdateTransaction::commit).
-    /// Readers are never blocked; concurrent transactions are
-    /// last-writer-wins (the paper's CRS promises "procedures for
-    /// concurrency control and transaction handling" — this is the
-    /// optimistic variant).
+    /// Attaches (creating if absent) a write-ahead log and replays it:
+    /// every intact record is re-applied to a fresh overlay over the
+    /// current base, any torn tail a crash left is truncated, and from
+    /// here on every commit is fsynced into the log before it is
+    /// acknowledged. Call this right after construction, before serving
+    /// writes — any uncommitted overlay state is replaced by the replay.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or real corruption (CRC-valid garbage, sequence gaps —
+    /// not a torn tail, which is recovered silently).
+    pub fn attach_wal<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+    ) -> Result<ReplayReport, CommitError> {
+        let (wal, records, report) = Wal::open(path)?;
+        let mut commit = self.commit.lock();
+        let base = self.kb.read().base.clone();
+        let (overlay, _skipped) = Overlay::rebuild(&base, &records, &commit.config);
+        let mut guard = self.kb.write();
+        // Replay can resurrect anything; invalidate wholesale.
+        self.cache.bump_global();
+        guard.overlay = Arc::new(overlay);
+        drop(guard);
+        commit.wal = Some(wal);
+        Ok(report)
+    }
+
+    /// Applies a batch of assert/retract operations as one atomic,
+    /// serialized commit: every clause is validated against a clone of
+    /// the overlay, the batch is group-committed to the WAL (when
+    /// attached — the fsync is the acknowledgement point), and only then
+    /// is the new overlay published. Concurrent callers serialize on the
+    /// commit lock, so **no committed operation is ever lost** — unlike
+    /// the old last-writer-wins rebuild-and-swap transactions.
+    ///
+    /// An empty batch is a no-op: nothing is logged, published, or
+    /// invalidated (`wal.noop_commits` counts them).
+    ///
+    /// # Errors
+    ///
+    /// Validation or WAL failure; nothing is published.
+    pub fn apply_ops(&self, ops: Vec<WalOp>) -> Result<CommitReceipt, CommitError> {
+        self.commit_ops(ops, None)
+    }
+
+    /// One-op convenience for [`apply_ops`](Self::apply_ops): asserts
+    /// every clause in `source` (in order) to `module`.
+    pub fn assert_source(&self, module: &str, source: &str) -> Result<CommitReceipt, CommitError> {
+        self.apply_ops(vec![WalOp::Assert {
+            module: module.to_string(),
+            source: source.to_string(),
+        }])
+    }
+
+    /// One-op convenience for [`apply_ops`](Self::apply_ops): retracts
+    /// the first live clause structurally equal to the single clause in
+    /// `source` (a quiet no-op if none matches, mirroring Prolog's
+    /// `retract/1` failure being harmless to the store).
+    pub fn retract_source(&self, module: &str, source: &str) -> Result<CommitReceipt, CommitError> {
+        self.apply_ops(vec![WalOp::Retract {
+            module: module.to_string(),
+            source: source.to_string(),
+        }])
+    }
+
+    fn commit_ops(
+        &self,
+        ops: Vec<WalOp>,
+        config: Option<KbConfig>,
+    ) -> Result<CommitReceipt, CommitError> {
+        if ops.is_empty() {
+            // The whole point of the skip: no recompile, no swap, no
+            // epoch bumps flushing hot cache entries.
+            clare_trace::metrics().wal_noop_commits.inc();
+            return Ok(CommitReceipt::noop());
+        }
+        let mut commit = self.commit.lock();
+        if let Some(config) = config {
+            commit.config = config;
+        }
+        // Holding the commit lock pins the published pair: every other
+        // publisher (commits, wholesale updates, the compaction swap)
+        // also takes it.
+        let published = self.kb.read().clone();
+        let mut overlay = (*published.overlay).clone();
+        let first_seq = commit
+            .wal
+            .as_ref()
+            .map_or(commit.mem_seq, |wal| wal.next_seq());
+        let mut asserted = 0usize;
+        let mut retracted = 0usize;
+        let mut touched: BTreeSet<(clare_term::Symbol, usize)> = BTreeSet::new();
+        for (k, op) in ops.iter().enumerate() {
+            let outcome =
+                overlay.apply(first_seq + k as u64, op, &published.base, &commit.config)?;
+            asserted += outcome.clauses_added;
+            retracted += outcome.clauses_removed;
+            touched.extend(outcome.touched);
+        }
+        // Durability point: the batch goes down in one buffered write and
+        // one fsync; an error acknowledges nothing (the clone above is
+        // simply dropped, and the WAL handle poisons itself until the
+        // file is reopened and its torn tail truncated).
+        let durable = match commit.wal.as_mut() {
+            Some(wal) => {
+                wal.append_batch(&ops)?;
+                true
+            }
+            None => {
+                commit.mem_seq = first_seq + ops.len() as u64;
+                false
+            }
+        };
+        let mut guard = self.kb.write();
+        debug_assert!(
+            Arc::ptr_eq(&guard.base, &published.base),
+            "commit lock pins the base"
+        );
+        for &pred in &touched {
+            self.cache.bump_predicate(pred);
+        }
+        guard.overlay = Arc::new(overlay);
+        drop(guard);
+        drop(commit);
+        let m = clare_trace::metrics();
+        m.wal_overlay_asserts.add(asserted as u64);
+        m.wal_overlay_retracts.add(retracted as u64);
+        self.stats.update(|stats| stats.updates += 1);
+        Ok(CommitReceipt {
+            seqs: first_seq..first_seq + ops.len() as u64,
+            asserted,
+            retracted,
+            durable,
+        })
+    }
+
+    /// Folds the overlay into a fresh immutable base — track segments and
+    /// FS1 codeword indexes rebuilt for exactly the affected modules, off
+    /// the write path — and swaps it in atomically. Operations that
+    /// commit while the rebuild runs are re-applied on top of the new
+    /// base, so no commit is ever lost to a compaction. Retrievals are
+    /// never blocked: in-flight calls keep their snapshot pair, and the
+    /// swap holds the write lock only for the pointer exchange.
+    ///
+    /// The rebuild reads in-memory clause terms — never the simulated
+    /// disk — so degraded (quarantined-track) data can never be compacted
+    /// into the new segments.
+    pub fn compact_now(&self) -> CompactionOutcome {
+        if self.compacting.swap(true, Ordering::Acquire) {
+            return CompactionOutcome::AlreadyRunning;
+        }
+        let outcome = self.compact_inner();
+        self.compacting.store(false, Ordering::Release);
+        outcome
+    }
+
+    fn compact_inner(&self) -> CompactionOutcome {
+        let started = Instant::now();
+        let sealed = self.kb.read().clone();
+        if sealed.overlay.is_empty() {
+            return CompactionOutcome::Clean;
+        }
+        let m = clare_trace::metrics();
+        m.compaction_runs.inc();
+        let config = self.commit.lock().config.clone();
+        // The expensive part — recompiling clauses, rewriting track
+        // segments, rebuilding codeword indexes — runs with no lock held.
+        let rebuilt = match sealed.overlay.compacted_kb(&sealed.base, &config) {
+            Ok(kb) => kb,
+            Err(_) => {
+                m.compaction_aborts.inc();
+                return CompactionOutcome::Failed;
+            }
+        };
+        let folded = sealed.overlay.len();
+        let sealed_max = sealed.overlay.max_seq();
+        // Swap: serialize with publishers; if the base moved under the
+        // rebuild (a wholesale update), the result no longer applies.
+        let commit = self.commit.lock();
+        let mut guard = self.kb.write();
+        if !Arc::ptr_eq(&guard.base, &sealed.base) {
+            m.compaction_aborts.inc();
+            return CompactionOutcome::Aborted;
+        }
+        // Ops that committed during the rebuild (the current overlay is a
+        // successor of the sealed one): replay just the tail on top of
+        // the new base. Base modules those ops touch were not rewritten
+        // by this compaction, so the replay reproduces their delta
+        // exactly.
+        let residue: Vec<WalRecord> = guard
+            .overlay
+            .ops()
+            .iter()
+            .filter(|r| r.seq > sealed_max)
+            .cloned()
+            .collect();
+        let (overlay, _skipped) = Overlay::rebuild(&rebuilt, &residue, &config);
+        // The rebuilt base is an incremental successor (same lineage and
+        // fingerprint), so only the folded predicates' epochs bump —
+        // cached answers for untouched predicates stay valid.
+        self.cache.bump_for_update(&guard.base, &rebuilt);
+        *guard = Published {
+            base: Arc::new(rebuilt),
+            overlay: Arc::new(overlay),
+        };
+        drop(guard);
+        drop(commit);
+        m.compaction_swaps.inc();
+        m.compaction_clauses.add(folded as u64);
+        m.compaction_wall_ns
+            .record(started.elapsed().as_nanos() as u64);
+        CompactionOutcome::Swapped { folded }
+    }
+
+    /// Runs [`compact_now`](Self::compact_now) on a detached background
+    /// thread and returns its handle. The serving path is never blocked;
+    /// join the handle to observe the outcome.
+    pub fn spawn_compaction(self: &Arc<Self>) -> std::thread::JoinHandle<CompactionOutcome> {
+        let server = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("clare-compact".into())
+            .spawn(move || server.compact_now())
+            .expect("spawning the compaction thread")
+    }
+
+    /// Begins an update transaction: the returned [`UpdateTransaction`]
+    /// accumulates assert/retract operations and commits them as one
+    /// atomic, WAL-serialized batch via
+    /// [`commit`](UpdateTransaction::commit). Readers are never blocked;
+    /// concurrent transactions serialize on the commit lock, so none of
+    /// their operations are lost (the paper's CRS promises "procedures
+    /// for concurrency control and transaction handling" — this replaces
+    /// the old optimistic last-writer-wins variant).
     pub fn begin_update(&self) -> UpdateTransaction<'_> {
         UpdateTransaction {
             server: self,
-            builder: self.snapshot().to_builder(),
+            symbols: self.symbols(),
+            ops: Vec::new(),
         }
     }
 
@@ -454,43 +903,92 @@ impl ClauseRetrievalServer {
     }
 }
 
-/// An in-progress knowledge-base update. Dropping it without
+/// An in-progress update: a batch of assert/retract operations validated
+/// eagerly for parseability and committed as one atomic, serialized,
+/// durably logged batch. Dropping it without
 /// [`commit`](Self::commit) discards every change.
 #[derive(Debug)]
 pub struct UpdateTransaction<'a> {
     server: &'a ClauseRetrievalServer,
-    builder: clare_kb::KbBuilder,
+    /// Transaction-local symbol table (a clone of the serving one) so
+    /// queries and clauses can be parsed in the right namespace before
+    /// the commit publishes anything.
+    symbols: SymbolTable,
+    ops: Vec<WalOp>,
 }
 
 impl UpdateTransaction<'_> {
-    /// Parses and appends clauses to `module` (created on first use).
+    /// Records an assert of every clause in `source` (in order) to
+    /// `module` (created on first use). A source with zero clauses
+    /// records nothing — committing a transaction of only such calls is
+    /// a no-op commit and skips the recompile/swap entirely.
     ///
     /// # Errors
     ///
     /// Returns the parse error; the transaction stays usable.
-    pub fn consult(&mut self, module: &str, source: &str) -> Result<(), clare_kb::KbError> {
-        self.builder.consult(module, source)
+    pub fn consult(&mut self, module: &str, source: &str) -> Result<(), CommitError> {
+        let clauses = clare_term::parser::parse_program(source, &mut self.symbols)
+            .map_err(|e| CommitError::Overlay(OverlayError::Parse(e)))?;
+        if clauses.is_empty() {
+            return Ok(());
+        }
+        self.ops.push(WalOp::Assert {
+            module: module.to_string(),
+            source: source.to_string(),
+        });
+        Ok(())
     }
 
-    /// Appends one clause to `module`.
+    /// Records an assert of one clause to `module`.
     pub fn add_clause(&mut self, module: &str, clause: clare_term::Clause) {
-        self.builder.add_clause(module, clause);
+        let source = format!("{}.", ClauseDisplay::new(&clause, &self.symbols));
+        self.ops.push(WalOp::Assert {
+            module: module.to_string(),
+            source,
+        });
     }
 
-    /// The transaction's symbol table (parse queries/terms against it).
-    pub fn symbols_mut(&mut self) -> &mut clare_term::SymbolTable {
-        self.builder.symbols_mut()
-    }
-
-    /// Recompiles and atomically publishes the updated knowledge base.
+    /// Records a retract of the first live clause structurally equal to
+    /// the single clause in `source`.
     ///
     /// # Errors
     ///
-    /// Returns the compilation error; nothing is published on failure.
-    pub fn commit(self, config: clare_kb::KbConfig) -> Result<(), clare_kb::KbError> {
-        let kb = self.builder.try_finish(config)?;
-        self.server.update(kb);
+    /// Parse failure, or a source holding zero or several clauses.
+    pub fn retract(&mut self, module: &str, source: &str) -> Result<(), CommitError> {
+        let clauses = clare_term::parser::parse_program(source, &mut self.symbols)
+            .map_err(|e| CommitError::Overlay(OverlayError::Parse(e)))?;
+        if clauses.len() != 1 {
+            return Err(CommitError::Overlay(OverlayError::RetractNotSingle(
+                clauses.len(),
+            )));
+        }
+        self.ops.push(WalOp::Retract {
+            module: module.to_string(),
+            source: source.to_string(),
+        });
         Ok(())
+    }
+
+    /// The transaction's symbol table (parse queries/terms against it).
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// The operations recorded so far.
+    pub fn ops(&self) -> &[WalOp] {
+        &self.ops
+    }
+
+    /// Commits the batch atomically: validation against a clone, WAL
+    /// group-commit (the fsync is the acknowledgement), then publication.
+    /// An empty transaction is a no-op — nothing is recompiled, swapped,
+    /// or invalidated.
+    ///
+    /// # Errors
+    ///
+    /// Validation or WAL failure; nothing is published.
+    pub fn commit(self, config: KbConfig) -> Result<CommitReceipt, CommitError> {
+        self.server.commit_ops(self.ops, Some(config))
     }
 }
 
@@ -617,7 +1115,9 @@ mod tests {
         let (server, queries) = server_with("p(a).", &["p(a)"]);
         let mut tx = server.begin_update();
         tx.consult("m", "p(a). q(new_thing).").unwrap();
-        tx.commit(KbConfig::default()).unwrap();
+        let receipt = tx.commit(KbConfig::default()).unwrap();
+        assert_eq!(receipt.asserted, 2);
+        assert!(!receipt.durable, "no WAL attached");
         // The old clause survived, the new ones joined.
         assert_eq!(
             server
@@ -626,13 +1126,61 @@ mod tests {
                 .unified,
             2
         );
-        assert!(server.snapshot().lookup("q", 1).is_some());
+        // q/1 lives in the overlay until a compaction folds it down.
+        let q = parse_term("q(new_thing)", &mut server.symbols()).unwrap();
+        assert_eq!(server.retrieve(&q, SearchMode::TwoStage).stats.unified, 1);
         assert_eq!(server.stats().updates, 1);
         // Symbol offsets stayed stable across the transaction: the old
         // query term still resolves.
         assert_eq!(
             server
                 .retrieve(&queries[0], SearchMode::TwoStage)
+                .stats
+                .unified,
+            2
+        );
+    }
+
+    #[test]
+    fn empty_transaction_commit_is_a_noop() {
+        let (server, queries) = server_with("p(a).", &["p(a)"]);
+        server.retrieve(&queries[0], SearchMode::TwoStage); // warm the cache
+        let hits_before = clare_trace::metrics().cache_hits.get();
+        let noops_before = clare_trace::metrics().wal_noop_commits.get();
+        let mut tx = server.begin_update();
+        tx.consult("m", "  % only whitespace and nothing else\n")
+            .unwrap();
+        let receipt = tx.commit(KbConfig::default()).unwrap();
+        assert_eq!(receipt, CommitReceipt::noop());
+        assert_eq!(
+            clare_trace::metrics().wal_noop_commits.get(),
+            noops_before + 1
+        );
+        assert_eq!(server.stats().updates, 0, "no-op commits don't count");
+        // The hot cache entry survived: the repeat is a hit, proving no
+        // epoch was bumped.
+        server.retrieve(&queries[0], SearchMode::TwoStage);
+        assert!(clare_trace::metrics().cache_hits.get() > hits_before);
+    }
+
+    #[test]
+    fn retract_removes_first_structural_match() {
+        let (server, queries) = server_with("p(a). p(a). p(b).", &["p(a)", "p(X)"]);
+        let mut tx = server.begin_update();
+        tx.retract("m", "p(a).").unwrap();
+        let receipt = tx.commit(KbConfig::default()).unwrap();
+        assert_eq!(receipt.retracted, 1);
+        assert_eq!(
+            server
+                .retrieve(&queries[0], SearchMode::TwoStage)
+                .stats
+                .unified,
+            1,
+            "one of the two p(a) clauses is gone"
+        );
+        assert_eq!(
+            server
+                .retrieve(&queries[1], SearchMode::SoftwareOnly)
                 .stats
                 .unified,
             2
@@ -670,31 +1218,68 @@ mod tests {
                 .unified,
             1
         );
+        assert_eq!(server.stats().updates, 0);
     }
 
     #[test]
-    fn snapshot_isolated_from_update() {
-        let (server, queries) = server_with("p(a).", &["p(a)"]);
-        let before = server.snapshot();
-        let mut b = KbBuilder::new();
-        *b.symbols_mut() = before.symbols().clone();
-        b.consult("m", "q(z).").unwrap();
-        server.update(b.finish(KbConfig::default()));
-        // The old snapshot still answers the old query.
-        let r = crate::crs::retrieve(
-            &before,
-            &queries[0],
-            SearchMode::SoftwareOnly,
-            &CrsOptions::default(),
+    fn compaction_folds_overlay_and_preserves_answers() {
+        let (server, queries) = server_with("p(a). p(b).", &["p(X)"]);
+        let mut tx = server.begin_update();
+        tx.consult("m", "p(c). p(d).").unwrap();
+        tx.retract("m", "p(a).").unwrap();
+        tx.commit(KbConfig::default()).unwrap();
+        let before: Vec<_> = SearchMode::ALL
+            .map(|mode| server.retrieve(&queries[0], mode).stats.unified)
+            .to_vec();
+        assert_eq!(before, vec![3, 3, 3, 3]);
+
+        let outcome = server.compact_now();
+        assert!(matches!(outcome, CompactionOutcome::Swapped { folded: 2 }));
+        let (_, overlay) = server.snapshot_merged();
+        assert!(overlay.is_empty(), "overlay folded into the base");
+        assert!(
+            server.snapshot().lookup("p", 1).is_some(),
+            "clauses now live in the base"
         );
-        assert_eq!(r.stats.unified, 1);
-        // The server's new view does not.
+        for mode in SearchMode::ALL {
+            assert_eq!(
+                server.retrieve(&queries[0], mode).stats.unified,
+                3,
+                "answers unchanged after compaction in {mode}"
+            );
+        }
+        // Nothing left to do: the next run is clean.
+        assert_eq!(server.compact_now(), CompactionOutcome::Clean);
+    }
+
+    #[test]
+    fn wal_round_trip_recovers_committed_ops() {
+        let path = std::env::temp_dir().join(format!(
+            "clare-server-wal-{}-{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let (server, queries) = server_with("p(a).", &["p(X)"]);
+        server.attach_wal(&path).unwrap();
+        let mut tx = server.begin_update();
+        tx.consult("m", "p(b). p(c).").unwrap();
+        let receipt = tx.commit(KbConfig::default()).unwrap();
+        assert!(receipt.durable);
+        assert_eq!(receipt.seqs, 1..2, "one op logged");
+
+        // A second server over the same base recovers the commit.
+        let (reborn, _) = server_with("p(a).", &[]);
+        let report = reborn.attach_wal(&path).unwrap();
+        assert_eq!(report.records, 1);
+        assert_eq!(report.truncated_tail_bytes, 0);
         assert_eq!(
-            server
-                .retrieve(&queries[0], SearchMode::SoftwareOnly)
+            reborn
+                .retrieve(&queries[0], SearchMode::TwoStage)
                 .stats
                 .unified,
-            0
+            3
         );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -9,9 +9,12 @@
 //! epoch, module-layout shift, mode mix-up, renaming collision — shows
 //! up as an equality failure here.
 
-use clare_core::{retrieve, ClauseRetrievalServer, CrsOptions, Retrieval, SearchMode};
+use clare_core::{
+    retrieve_merged, solve, ClauseRetrievalServer, CompactionOutcome, CrsOptions, Retrieval,
+    SearchMode, SolveOptions,
+};
 use clare_kb::{KbBuilder, KbConfig};
-use clare_term::parser::parse_term;
+use clare_term::parser::{parse_term, parse_term_with_vars};
 use clare_term::Term;
 
 /// Deterministic xorshift64* stream, seeded per test for reproducibility.
@@ -142,7 +145,142 @@ fn cached_retrievals_match_uncached_across_interleavings() {
     }
 }
 
-/// The uncached answer for `query` on the server's current snapshot.
+/// The uncached answer for `query` on the server's current snapshot
+/// pair: the same base-plus-overlay merge the serving path performs, but
+/// run fresh through the pipeline, never through the server cache.
 fn reference(server: &ClauseRetrievalServer, query: &Term, mode: SearchMode) -> Retrieval {
-    retrieve(&server.snapshot(), query, mode, &CrsOptions::default())
+    let (base, overlay) = server.snapshot_merged();
+    retrieve_merged(&base, &overlay, query, mode, &CrsOptions::default())
+}
+
+/// Overlay soundness, property-tested: across random interleavings of
+/// incremental asserts, retracts, compactions, wholesale swaps, and
+/// retrievals, the *merged* (base + memtable overlay) answers must be
+/// identical to those of a knowledge base rebuilt from scratch out of a
+/// shadow text state — same unified counts in every search mode, and
+/// byte-identical solve solutions. This is the no-false-negative
+/// invariant end to end: overlay clauses have no codewords, so the
+/// filters must pass them unconditionally, and retracted base clauses
+/// must never resurface (not even right after a compaction folds the
+/// overlay down).
+#[test]
+fn overlay_merged_answers_match_from_scratch_rebuild() {
+    let fact_pool: Vec<(&'static str, String)> = (0..24)
+        .map(|i| ("ma", format!("p(k{}, v{}).", i % 8, i % 3)))
+        .chain((0..16).map(|i| ("mb", format!("q(k{}).", i % 6))))
+        .collect();
+
+    let mut shadow = Shadow {
+        modules: vec![
+            (
+                "ma",
+                (0..60)
+                    .map(|i| format!("p(k{}, v{}).", i % 8, i % 3))
+                    .collect(),
+            ),
+            ("mb", (0..40).map(|i| format!("q(k{}).", i % 6)).collect()),
+        ],
+    };
+
+    let mut b = KbBuilder::new();
+    for (name, facts) in &shadow.modules {
+        b.consult(name, &facts.join("\n")).unwrap();
+    }
+    let mut symbols = b.symbols_mut().clone();
+    let queries: Vec<(Term, Vec<String>)> = [
+        "p(k3, X)",
+        "p(K, v1)",
+        "p(X, Y)",
+        "p(k5, v2)",
+        "q(k2)",
+        "q(X)",
+    ]
+    .iter()
+    .map(|q| parse_term_with_vars(q, &mut symbols).unwrap())
+    .collect();
+
+    let server = ClauseRetrievalServer::new(b.finish(KbConfig::default()), CrsOptions::default());
+    let mut rng = Rng(0xD1B54A32D192ED03);
+
+    for step in 0..250 {
+        match rng.below(12) {
+            // Retrieval equivalence: every mode's unified count matches a
+            // from-scratch rebuild of the shadow state.
+            0..=5 => {
+                let (query, _) = &queries[rng.below(queries.len() as u64) as usize];
+                let mode = SearchMode::ALL[rng.below(4) as usize];
+                let rebuilt = shadow.rebuild(&symbols);
+                let want = clare_core::retrieve(&rebuilt, query, mode, &CrsOptions::default());
+                let got = server.retrieve(query, mode);
+                assert_eq!(
+                    got.stats.unified, want.stats.unified,
+                    "step {step}: merged answer set diverged from rebuild in {mode}"
+                );
+            }
+            // Solve equivalence: the solutions — terms and named bindings
+            // — are byte-identical against the rebuild, in order.
+            6 => {
+                let (query, names) = &queries[rng.below(queries.len() as u64) as usize];
+                let rebuilt = shadow.rebuild(&symbols);
+                let want = solve(&rebuilt, query, names, &SolveOptions::default());
+                let got = server.solve(query, names, &SolveOptions::default());
+                assert_eq!(
+                    got.solutions, want.solutions,
+                    "step {step}: merged solutions diverged from rebuild"
+                );
+            }
+            // Assert one pool fact through a transaction.
+            7 | 8 => {
+                let (module, fact) = &fact_pool[rng.below(fact_pool.len() as u64) as usize];
+                let slot = shadow.modules.iter_mut().find(|(n, _)| n == module);
+                slot.unwrap().1.push(fact.clone());
+                let mut tx = server.begin_update();
+                tx.consult(module, fact).unwrap();
+                tx.commit(KbConfig::default()).unwrap();
+            }
+            // Retract the first structural match of a pool fact (a quiet
+            // no-op on both sides when none is live).
+            9 | 10 => {
+                let (module, fact) = &fact_pool[rng.below(fact_pool.len() as u64) as usize];
+                let slot = shadow.modules.iter_mut().find(|(n, _)| n == module);
+                let facts = &mut slot.unwrap().1;
+                if let Some(pos) = facts.iter().position(|f| f == fact) {
+                    facts.remove(pos);
+                }
+                let mut tx = server.begin_update();
+                tx.retract(module, fact).unwrap();
+                tx.commit(KbConfig::default()).unwrap();
+            }
+            // Fold the overlay into a fresh base; the shadow doesn't
+            // change, so subsequent comparisons prove the fold lossless.
+            _ => {
+                let outcome = server.compact_now();
+                assert!(
+                    !matches!(outcome, CompactionOutcome::Failed),
+                    "step {step}: compaction must not fail"
+                );
+            }
+        }
+    }
+    // Final fold, then one more full sweep: post-compaction state is the
+    // shadow state exactly.
+    server.compact_now();
+    let rebuilt = shadow.rebuild(&symbols);
+    for (query, names) in &queries {
+        for mode in SearchMode::ALL {
+            assert_eq!(
+                server.retrieve(query, mode).stats.unified,
+                clare_core::retrieve(&rebuilt, query, mode, &CrsOptions::default())
+                    .stats
+                    .unified,
+                "post-compaction divergence in {mode}"
+            );
+        }
+        assert_eq!(
+            server
+                .solve(query, names, &SolveOptions::default())
+                .solutions,
+            solve(&rebuilt, query, names, &SolveOptions::default()).solutions,
+        );
+    }
 }

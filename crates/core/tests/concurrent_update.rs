@@ -1,6 +1,6 @@
 //! Concurrency tests for [`ClauseRetrievalServer`]: snapshot isolation of
-//! in-flight retrievals against `update()` swaps, and the documented
-//! last-writer-wins semantics of overlapping [`UpdateTransaction`]s.
+//! in-flight retrievals against `update()` swaps, and the serialized
+//! commit semantics of overlapping [`UpdateTransaction`]s.
 //!
 //! `crates/core/src/server.rs` documents that "in-flight clients finish
 //! against their snapshot; new calls see the update", but until now only
@@ -8,6 +8,13 @@
 //! threads while the knowledge base is swapped underneath them — exactly
 //! what the `clare-net` daemon does when one connection consults new
 //! clauses while others stream retrievals.
+//!
+//! Historical note: update transactions used to be optimistic
+//! rebuild-and-swap, and a test here pinned their last-writer-wins data
+//! loss as documented behaviour. Transactions now commit assert/retract
+//! batches through the write-ahead-log path, serialized on one commit
+//! lock — the tests below pin the *replacement* guarantee: overlapping
+//! commits both land, and no writer's clauses are ever lost.
 
 use clare_core::{ClauseRetrievalServer, CrsOptions, SearchMode};
 use clare_kb::{KbBuilder, KbConfig, KnowledgeBase};
@@ -122,18 +129,20 @@ fn updates_race_inflight_retrievals_and_batches() {
     assert!(stats.updates > 0, "the writer committed at least one swap");
 }
 
-/// Overlapping `UpdateTransaction`s are optimistic last-writer-wins: the
-/// second commit recompiles from *its* base snapshot, so the first commit's
-/// clauses vanish. This pins the documented (if blunt) semantics.
+/// Overlapping `UpdateTransaction`s both land: commits serialize through
+/// the WAL path instead of the old optimistic rebuild-and-swap, so a
+/// transaction begun before another's commit can no longer erase it.
+/// (This supersedes the `update_transactions_are_last_writer_wins` test
+/// that used to pin the data-losing behaviour.)
 #[test]
-fn update_transactions_are_last_writer_wins() {
+fn overlapping_update_transactions_lose_neither_writer() {
     let mut b = KbBuilder::new();
     b.consult("m", "p(a).").unwrap();
     let mut symbols = b.symbols_mut().clone();
     let server = ClauseRetrievalServer::new(b.finish(KbConfig::default()), CrsOptions::default());
 
     let mut tx1 = server.begin_update();
-    let mut tx2 = server.begin_update(); // same base snapshot as tx1
+    let mut tx2 = server.begin_update(); // overlaps tx1 from the same state
     tx1.consult("m", "p(b).").unwrap();
     tx2.consult("m", "q(c).").unwrap();
     tx1.commit(KbConfig::default()).unwrap();
@@ -151,15 +160,63 @@ fn update_transactions_are_last_writer_wins() {
 
     tx2.commit(KbConfig::default()).unwrap();
 
-    // …but tx2, built from the pre-tx1 snapshot, overwrites it wholesale.
+    // …and stays visible after tx2: the overlapping commit appended to
+    // the shared overlay instead of overwriting from its own snapshot.
     assert_eq!(
         server
             .retrieve(&p_query, SearchMode::SoftwareOnly)
             .stats
             .unified,
-        1,
-        "last writer wins: tx1's p(b) is gone"
+        2,
+        "tx1's p(b) survived tx2's commit"
     );
-    assert!(server.snapshot().lookup("q", 1).is_some(), "tx2's q/1 won");
+    let q_query = parse_term("q(X)", &mut server.symbols()).unwrap();
+    assert_eq!(
+        server
+            .retrieve(&q_query, SearchMode::SoftwareOnly)
+            .stats
+            .unified,
+        1,
+        "tx2's q(c) landed too"
+    );
     assert_eq!(server.stats().updates, 2, "both commits published");
+}
+
+/// Many threads committing transactions at once: every writer's clause
+/// survives, and the final answer count is exactly the sum of all
+/// commits — the commit lock serializes publication, so no interleaving
+/// can drop an acknowledged write.
+#[test]
+fn racing_transaction_commits_preserve_every_write() {
+    const WRITERS: usize = 8;
+    const PER_WRITER: usize = 10;
+
+    let mut b = KbBuilder::new();
+    b.consult("m", "w(seed, c0).").unwrap();
+    let mut symbols = b.symbols_mut().clone();
+    let server = ClauseRetrievalServer::new(b.finish(KbConfig::default()), CrsOptions::default());
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let server = &server;
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    let mut tx = server.begin_update();
+                    tx.consult("m", &format!("w(t{w}, c{i}).")).unwrap();
+                    tx.commit(KbConfig::default()).unwrap();
+                }
+            });
+        }
+    });
+
+    let query = parse_term("w(X, Y)", &mut symbols).unwrap();
+    assert_eq!(
+        server
+            .retrieve(&query, SearchMode::SoftwareOnly)
+            .stats
+            .unified,
+        1 + WRITERS * PER_WRITER,
+        "an acknowledged commit was lost"
+    );
+    assert_eq!(server.stats().updates, (WRITERS * PER_WRITER) as u64);
 }

@@ -71,10 +71,16 @@ pub enum FaultSite {
     /// must follow on a later `EPOLLOUT`). Transparent: replies must
     /// still arrive byte-identical.
     NetReactorWrite,
+    /// The write-ahead log appending a commit batch. Context: the first
+    /// sequence number of the batch. Menu: torn append (a prefix of the
+    /// batch's frames reaches the file and the append reports failure, as
+    /// if power was lost mid-write — the batch is never acknowledged, and
+    /// replay-on-open must truncate the torn tail).
+    WalAppend,
 }
 
 /// Number of distinct [`FaultSite`]s (sizes the counter arrays).
-pub const SITE_COUNT: usize = 8;
+pub const SITE_COUNT: usize = 9;
 
 impl FaultSite {
     /// All sites, in counter index order.
@@ -87,6 +93,7 @@ impl FaultSite {
         FaultSite::NetClientSend,
         FaultSite::NetReactorRead,
         FaultSite::NetReactorWrite,
+        FaultSite::WalAppend,
     ];
 
     /// Index of this site in [`Self::ALL`].
@@ -100,6 +107,7 @@ impl FaultSite {
             FaultSite::NetClientSend => 5,
             FaultSite::NetReactorRead => 6,
             FaultSite::NetReactorWrite => 7,
+            FaultSite::WalAppend => 8,
         }
     }
 
@@ -114,6 +122,7 @@ impl FaultSite {
             FaultSite::NetClientSend => "net_client_send",
             FaultSite::NetReactorRead => "net_reactor_read",
             FaultSite::NetReactorWrite => "net_reactor_write",
+            FaultSite::WalAppend => "wal_append",
         }
     }
 }
@@ -269,6 +278,7 @@ impl FaultInjector for DeterministicInjector {
                 }
             }
             FaultSite::NetReactorWrite => FaultAction::Truncate { keep: param },
+            FaultSite::WalAppend => FaultAction::Truncate { keep: param },
         }
     }
 }
@@ -294,6 +304,7 @@ static INJECTOR: RwLock<Option<Arc<dyn FaultInjector>>> = RwLock::new(None);
 static INSTALL_LOCK: Mutex<()> = Mutex::new(());
 /// Faults actually handed out, per site (for chaos assertions).
 static INJECTED: [AtomicU64; SITE_COUNT] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -459,6 +470,10 @@ mod tests {
                 FaultAction::Delay { micros } => assert!(micros < 500),
                 FaultAction::Panic => {}
                 other => panic!("Fs2Worker produced {other:?}"),
+            }
+            match inj.decide(FaultSite::WalAppend, ctx) {
+                FaultAction::Truncate { .. } => {}
+                other => panic!("WalAppend produced {other:?}"),
             }
         }
     }

@@ -179,6 +179,24 @@ impl KbBuilder {
         self.modules[slot].1.push(clause);
     }
 
+    /// The clauses currently staged for `module`, if it exists.
+    pub fn module_clauses(&self, module: &str) -> Option<&[Clause]> {
+        self.module_index
+            .get(module)
+            .map(|&i| self.modules[i].1.as_slice())
+    }
+
+    /// Replaces `module`'s staged clauses wholesale (the module is
+    /// created on first use) and marks it dirty, so `try_finish` records
+    /// every one of its predicates as touched. Compaction uses this to
+    /// fold the memtable overlay into rebuilt track segments while the
+    /// epoch scheme invalidates only the affected predicates.
+    pub fn set_module_clauses(&mut self, module: &str, clauses: Vec<Clause>) {
+        let slot = self.module_slot(module);
+        self.dirty_modules.insert(slot);
+        self.modules[slot].1 = clauses;
+    }
+
     /// Declares the clauses added so far to be the verbatim content of the
     /// base with generation `parent`: the dirty set restarts empty, so the
     /// finished base's [`KnowledgeBase::touched_predicates`] lists only

@@ -17,6 +17,9 @@
 //!   --max-conns N      connection limit      (default 64)
 //!   --queue-depth N    request queue bound   (default 256)
 //!   --module NAME      module to consult into (default "user")
+//!   --wal PATH         attach a write-ahead log: replay it on startup,
+//!                      then make every networked assert/retract durable
+//!                      (fsynced before the commit receipt goes out)
 //!   --warren SCALE     generate a Warren-style KB at this scale
 //!                      instead of reading a program file
 //!   --no-coalesce      disable pipelined-retrieve batching
@@ -42,6 +45,7 @@ struct Args {
     max_conns: usize,
     queue_depth: usize,
     module: String,
+    wal: Option<String>,
     warren: Option<f64>,
     program: Option<String>,
     coalesce: bool,
@@ -57,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         max_conns: 64,
         queue_depth: 256,
         module: "user".to_owned(),
+        wal: None,
         warren: None,
         program: None,
         coalesce: true,
@@ -99,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --queue-depth: {e}"))?
             }
             "--module" => args.module = value("--module")?,
+            "--wal" => args.wal = Some(value("--wal")?),
             "--warren" => {
                 args.warren = Some(
                     value("--warren")?
@@ -175,6 +181,19 @@ fn main() {
     );
 
     let crs = Arc::new(ClauseRetrievalServer::new(kb, CrsOptions::default()));
+    if let Some(path) = &args.wal {
+        match crs.attach_wal(path) {
+            Ok(report) => eprintln!(
+                "clare-served: WAL {path} attached ({} records replayed, \
+                 {} torn tail bytes truncated, next seq {})",
+                report.records, report.truncated_tail_bytes, report.next_seq
+            ),
+            Err(e) => {
+                eprintln!("clare-served: cannot attach WAL {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let cfg = NetConfig {
         server_mode: args.server_mode,
         reactor_shards: args.shards,

@@ -3,7 +3,7 @@
 //! [`NetClient`] mirrors the in-process
 //! [`ClauseRetrievalServer`](clare_core::ClauseRetrievalServer) API call
 //! for call — `retrieve`, `retrieve_batch`, `solve_goals`, `consult`,
-//! `stats` — plus networking extras: pipelining
+//! `assert`, `retract`, `stats` — plus networking extras: pipelining
 //! ([`retrieve_pipelined`](NetClient::retrieve_pipelined)), explicit
 //! reconnection, and deadline propagation. Answers are bit-identical to
 //! direct calls on the server's CRS: the wire carries the same PIF term
@@ -19,16 +19,16 @@ use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use clare_core::{Retrieval, SearchMode, ServerStats, SolveOptions, SolveOutcome};
+use clare_core::{CommitReceipt, Retrieval, SearchMode, ServerStats, SolveOptions, SolveOutcome};
 use clare_term::{SymbolTable, Term};
 
 use crate::error::NetError;
 use crate::protocol::{
-    decode_error, decode_retrieval, decode_retrievals, decode_server_hello, decode_server_stats,
-    decode_server_stats_extended, decode_solve_outcome, decode_symbols, encode_client_hello_caps,
-    encode_consult, encode_retrieve, encode_retrieve_batch, encode_solve, opcode, ConsultReq,
-    ErrorCode, Frame, FrameReader, HelloStatus, RetrieveBatchReq, RetrieveReq, SolveReq,
-    CAP_FRAME_CRC, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN, STATS_REQ_EXTENDED,
+    decode_commit_receipt, decode_error, decode_retrieval, decode_retrievals, decode_server_hello,
+    decode_server_stats, decode_server_stats_extended, decode_solve_outcome, decode_symbols,
+    encode_client_hello_caps, encode_consult, encode_retrieve, encode_retrieve_batch, encode_solve,
+    opcode, ConsultReq, ErrorCode, Frame, FrameReader, HelloStatus, RetrieveBatchReq, RetrieveReq,
+    SolveReq, CAP_FRAME_CRC, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN, STATS_REQ_EXTENDED,
 };
 use clare_trace::MetricsSnapshot;
 
@@ -409,6 +409,44 @@ impl NetClient {
         };
         self.roundtrip(opcode::CONSULT, encode_consult(&req))?;
         Ok(())
+    }
+
+    /// Asserts every clause in `source` (in order) to `module` through
+    /// the server's WAL-serialized commit path, like
+    /// [`ClauseRetrievalServer::assert_source`](clare_core::ClauseRetrievalServer::assert_source).
+    /// Unlike [`NetClient::consult`], the change lands in the memtable
+    /// overlay — no wholesale rebuild — and when the server has a
+    /// write-ahead log attached the returned receipt reports `durable:
+    /// true` only after the batch was fsynced.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] with `ConsultRejected` when a clause fails to
+    /// parse, compile, or fit a track; the knowledge base is unchanged.
+    pub fn assert(&mut self, module: &str, source: &str) -> Result<CommitReceipt, NetError> {
+        let req = ConsultReq {
+            module: module.to_owned(),
+            source: source.to_owned(),
+        };
+        let reply = self.roundtrip(opcode::ASSERT, encode_consult(&req))?;
+        Ok(decode_commit_receipt(&reply.payload)?)
+    }
+
+    /// Retracts the first live clause structurally equal to the single
+    /// clause in `source` (a quiet no-op receipt when none matches), like
+    /// [`ClauseRetrievalServer::retract_source`](clare_core::ClauseRetrievalServer::retract_source).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] with `ConsultRejected` when the source does
+    /// not hold exactly one parseable clause.
+    pub fn retract(&mut self, module: &str, source: &str) -> Result<CommitReceipt, NetError> {
+        let req = ConsultReq {
+            module: module.to_owned(),
+            source: source.to_owned(),
+        };
+        let reply = self.roundtrip(opcode::RETRACT, encode_consult(&req))?;
+        Ok(decode_commit_receipt(&reply.payload)?)
     }
 
     /// Fetches the server's service statistics (the legacy fixed-size

@@ -13,8 +13,8 @@
 //! [`clare_pif::TermLimits`].
 
 use clare_core::{
-    ModeChoice, Retrieval, RetrievalStats, SearchMode, ServerStats, Solution, SolveOutcome,
-    SolveStats,
+    CommitReceipt, ModeChoice, Retrieval, RetrievalStats, SearchMode, ServerStats, Solution,
+    SolveOutcome, SolveStats,
 };
 use clare_disk::SimNanos;
 use clare_pif::{decode_term, encode_term, TermLimits};
@@ -45,7 +45,7 @@ pub const CLIENT_HELLO_LEN: usize = 8;
 /// retry-after).
 pub const SERVER_HELLO_LEN: usize = 12;
 
-/// Frame opcodes. Requests are `0x01..=0x07`; the matching reply is the
+/// Frame opcodes. Requests are `0x01..=0x09`; the matching reply is the
 /// request opcode with the high bit set; `0xFF` is an error reply.
 pub mod opcode {
     /// Liveness probe; empty payload both ways.
@@ -62,6 +62,14 @@ pub mod opcode {
     pub const STATS: u8 = 0x06;
     /// Symbol-table download (empty → [`super::SymbolTable`]).
     pub const SYMBOLS: u8 = 0x07;
+    /// Durable assert ([`super::ConsultReq`] → [`super::CommitReceipt`]):
+    /// adds every clause in the source through the WAL-serialized commit
+    /// path instead of a wholesale rebuild.
+    pub const ASSERT: u8 = 0x08;
+    /// Durable retract ([`super::ConsultReq`] → [`super::CommitReceipt`]):
+    /// removes the first live clause structurally equal to the source's
+    /// single clause.
+    pub const RETRACT: u8 = 0x09;
     /// Reply bit: `reply opcode = request opcode | REPLY`.
     pub const REPLY: u8 = 0x80;
     /// Error reply ([`super::ErrorReply`]), sent in place of any reply.
@@ -910,6 +918,44 @@ pub fn decode_symbols(payload: &[u8]) -> Result<SymbolTable, WireError> {
     Ok(table)
 }
 
+/// Encodes a [`CommitReceipt`] reply (for [`opcode::ASSERT`] /
+/// [`opcode::RETRACT`]): the WAL sequence range the commit occupies, the
+/// clause counts, and whether the commit was fsynced into a write-ahead
+/// log before being acknowledged.
+pub fn encode_commit_receipt(r: &CommitReceipt) -> Vec<u8> {
+    let mut out = Vec::with_capacity(33);
+    out.extend_from_slice(&r.seqs.start.to_be_bytes());
+    out.extend_from_slice(&r.seqs.end.to_be_bytes());
+    out.extend_from_slice(&(r.asserted as u64).to_be_bytes());
+    out.extend_from_slice(&(r.retracted as u64).to_be_bytes());
+    out.push(u8::from(r.durable));
+    out
+}
+
+/// Decodes a [`CommitReceipt`] reply.
+pub fn decode_commit_receipt(payload: &[u8]) -> Result<CommitReceipt, WireError> {
+    let mut c = Cur::new(payload);
+    let start = c.u64()?;
+    let end = c.u64()?;
+    if end < start {
+        return Err(err(format!("inverted seq range {start}..{end}")));
+    }
+    let asserted = c.u64()? as usize;
+    let retracted = c.u64()? as usize;
+    let durable = match c.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(err(format!("bad durable flag {other}"))),
+    };
+    c.finish()?;
+    Ok(CommitReceipt {
+        seqs: start..end,
+        asserted,
+        retracted,
+        durable,
+    })
+}
+
 /// An error reply, sent with opcode [`opcode::ERROR`] in place of the
 /// normal reply for the echoed request id.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -1199,6 +1245,46 @@ mod tests {
         assert_eq!(decoded.lookup_float(3.25), Some(pi));
         assert_eq!(decoded.float_count(), 2);
         assert_eq!(decoded.float_value(nan).to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn commit_receipt_roundtrip() {
+        for receipt in [
+            CommitReceipt {
+                seqs: 7..10,
+                asserted: 2,
+                retracted: 1,
+                durable: true,
+            },
+            CommitReceipt {
+                seqs: 0..0,
+                asserted: 0,
+                retracted: 0,
+                durable: false,
+            },
+        ] {
+            assert_eq!(
+                decode_commit_receipt(&encode_commit_receipt(&receipt)).unwrap(),
+                receipt
+            );
+        }
+        // Inverted ranges and bad flags are refused.
+        let mut bad = encode_commit_receipt(&CommitReceipt {
+            seqs: 3..5,
+            asserted: 1,
+            retracted: 0,
+            durable: true,
+        });
+        bad[7] = 9; // start becomes 9, past end = 5
+        assert!(decode_commit_receipt(&bad).is_err());
+        let mut flag = encode_commit_receipt(&CommitReceipt {
+            seqs: 1..2,
+            asserted: 1,
+            retracted: 0,
+            durable: false,
+        });
+        *flag.last_mut().unwrap() = 7;
+        assert!(decode_commit_receipt(&flag).is_err());
     }
 
     #[test]

@@ -47,11 +47,11 @@ use clare_term::{Symbol, Term};
 
 use crate::protocol::{
     decode_client_hello_caps, decode_consult, decode_retrieve, decode_retrieve_batch, decode_solve,
-    encode_error, encode_retrieval, encode_retrievals, encode_server_hello, encode_server_stats,
-    encode_server_stats_extended, encode_solve_outcome, encode_symbols, opcode, ConsultReq,
-    ErrorCode, ErrorReply, Frame, FrameReader, HelloStatus, RetrieveBatchReq, RetrieveReq,
-    ServerHello, SolveReq, CAP_FRAME_CRC, CLIENT_HELLO_LEN, MAX_FRAME_LEN, PROTOCOL_VERSION,
-    STATS_REQ_EXTENDED,
+    encode_commit_receipt, encode_error, encode_retrieval, encode_retrievals, encode_server_hello,
+    encode_server_stats, encode_server_stats_extended, encode_solve_outcome, encode_symbols,
+    opcode, ConsultReq, ErrorCode, ErrorReply, Frame, FrameReader, HelloStatus, RetrieveBatchReq,
+    RetrieveReq, ServerHello, SolveReq, CAP_FRAME_CRC, CLIENT_HELLO_LEN, MAX_FRAME_LEN,
+    PROTOCOL_VERSION, STATS_REQ_EXTENDED,
 };
 
 /// Which connection-intake core a [`NetServer`] runs.
@@ -294,6 +294,12 @@ enum Work {
     },
     Solve(SolveReq),
     Consult(ConsultReq),
+    /// Durable assert through the WAL-serialized commit path; answered
+    /// with a commit receipt.
+    Assert(ConsultReq),
+    /// Durable retract of one structurally matching clause; answered with
+    /// a commit receipt.
+    Retract(ConsultReq),
     Stats {
         /// The request carried [`STATS_REQ_EXTENDED`]: reply with the
         /// legacy struct plus the versioned metrics snapshot.
@@ -835,7 +841,7 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
 
     for frame in burst {
         let id = frame.request_id;
-        if let op @ opcode::PING..=opcode::SYMBOLS = frame.opcode {
+        if let op @ opcode::PING..=opcode::RETRACT = frame.opcode {
             let m = clare_trace::metrics();
             m.net_frames_in[(op - opcode::PING) as usize].inc();
             m.net_bytes_in.add(frame.payload.len() as u64);
@@ -876,6 +882,22 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
             },
             opcode::CONSULT => match decode_consult(&frame.payload) {
                 Ok(req) => Work::Consult(req),
+                Err(e) => {
+                    writer.send_error(id, ErrorCode::Malformed, 0, e.to_string());
+                    continue;
+                }
+            },
+            // Assert/retract reuse the consult payload shape (module +
+            // source text); they differ only in which commit op runs.
+            opcode::ASSERT => match decode_consult(&frame.payload) {
+                Ok(req) => Work::Assert(req),
+                Err(e) => {
+                    writer.send_error(id, ErrorCode::Malformed, 0, e.to_string());
+                    continue;
+                }
+            },
+            opcode::RETRACT => match decode_consult(&frame.payload) {
+                Ok(req) => Work::Retract(req),
                 Err(e) => {
                     writer.send_error(id, ErrorCode::Malformed, 0, e.to_string());
                     continue;
@@ -1047,6 +1069,7 @@ fn execute(shared: &Arc<Shared>, job: Job) {
                 .map_err(|e| e.to_string())
                 .and_then(|()| {
                     tx.commit(shared.cfg.kb_config.clone())
+                        .map(|_| ())
                         .map_err(|e| e.to_string())
                 });
             match result {
@@ -1061,6 +1084,28 @@ fn execute(shared: &Arc<Shared>, job: Job) {
                 }
             }
         }
+        Work::Assert(req) => match crs.assert_source(&req.module, &req.source) {
+            Ok(receipt) => job.writer.send(&Frame::new(
+                job.request_id,
+                opcode::ASSERT | opcode::REPLY,
+                encode_commit_receipt(&receipt),
+            )),
+            Err(e) => {
+                job.writer
+                    .send_error(job.request_id, ErrorCode::ConsultRejected, 0, e.to_string())
+            }
+        },
+        Work::Retract(req) => match crs.retract_source(&req.module, &req.source) {
+            Ok(receipt) => job.writer.send(&Frame::new(
+                job.request_id,
+                opcode::RETRACT | opcode::REPLY,
+                encode_commit_receipt(&receipt),
+            )),
+            Err(e) => {
+                job.writer
+                    .send_error(job.request_id, ErrorCode::ConsultRejected, 0, e.to_string())
+            }
+        },
         Work::Stats { extended } => {
             if shared.cfg.debug_panic_on_stats {
                 panic!("debug_panic_on_stats fault injection");
@@ -1077,11 +1122,13 @@ fn execute(shared: &Arc<Shared>, job: Job) {
             ));
         }
         Work::Symbols => {
-            let snapshot = crs.snapshot();
+            // The overlay symbols are a strict superset of the base's, so
+            // clients can parse queries against overlay-only predicates.
+            let symbols = crs.symbols();
             job.writer.send(&Frame::new(
                 job.request_id,
                 opcode::SYMBOLS | opcode::REPLY,
-                encode_symbols(snapshot.symbols()),
+                encode_symbols(&symbols),
             ));
         }
     }

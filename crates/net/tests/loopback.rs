@@ -213,6 +213,61 @@ fn consult_updates_and_rejections() {
     server.shutdown();
 }
 
+/// Assert and retract over the wire: the receipt reports what landed,
+/// the merged view serves the new clause immediately, retract removes it
+/// again, and malformed or multi-clause payloads are rejected without
+/// publishing anything.
+#[test]
+fn assert_and_retract_over_the_wire() {
+    let (server, crs) = serve(2, false);
+    let mut client = connect(&server);
+
+    let receipt = client.assert("m", "item(wired_in, v9).").unwrap();
+    assert_eq!(receipt.asserted, 1);
+    assert_eq!(receipt.retracted, 0);
+    assert!(
+        !receipt.durable,
+        "no WAL is attached, so the commit must not claim durability"
+    );
+    assert_eq!(receipt.seqs.end - receipt.seqs.start, 1);
+
+    // The overlay-interned atom is visible through the symbols opcode.
+    let mut symbols = client.symbols().unwrap();
+    let query = parse_term("item(wired_in, X)", &mut symbols).unwrap();
+    let networked = client.retrieve(&query, SearchMode::TwoStage).unwrap();
+    assert_eq!(networked.stats.unified, 1, "asserted fact must be served");
+    assert_eq!(networked, crs.retrieve(&query, SearchMode::TwoStage));
+
+    let receipt = client.retract("m", "item(wired_in, v9).").unwrap();
+    assert_eq!(receipt.asserted, 0);
+    assert_eq!(receipt.retracted, 1);
+    let gone = client.retrieve(&query, SearchMode::TwoStage).unwrap();
+    assert_eq!(gone.stats.unified, 0, "retracted fact must disappear");
+
+    // Retracting an absent clause is standard retract/1: a quiet no-op,
+    // acknowledged with a zero-effect receipt.
+    let absent = client.retract("m", "item(never_was, v0).").unwrap();
+    assert_eq!((absent.asserted, absent.retracted), (0, 0));
+
+    // Garbage or multi-clause payloads are typed rejections that publish
+    // nothing.
+    let before = crs.stats().updates;
+    match client.assert("m", "this is ( not prolog") {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::ConsultRejected),
+        other => panic!("expected ConsultRejected, got {other:?}"),
+    }
+    match client.retract("m", "item(a, b). item(c, d).") {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::ConsultRejected),
+        other => panic!("expected ConsultRejected, got {other:?}"),
+    }
+    assert_eq!(
+        crs.stats().updates,
+        before,
+        "rejected mutations must not publish"
+    );
+    server.shutdown();
+}
+
 /// Networked stats report the shared CRS counters, including the new
 /// batch and rejection counts.
 #[test]

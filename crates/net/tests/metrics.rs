@@ -256,6 +256,8 @@ fn net_op_names_align_with_wire_opcodes() {
         (opcode::CONSULT, "consult"),
         (opcode::STATS, "stats"),
         (opcode::SYMBOLS, "symbols"),
+        (opcode::ASSERT, "assert"),
+        (opcode::RETRACT, "retract"),
     ];
     assert_eq!(expected.len(), clare_trace::NET_OPS);
     for (op, name) in expected {

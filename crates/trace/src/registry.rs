@@ -40,8 +40,8 @@ pub fn fs2_op_name(i: usize) -> &'static str {
 
 /// Wire opcodes tracked by the per-opcode frame counters, in counter
 /// index order. Mirrors `clare_net::protocol::opcode` request opcodes
-/// `0x01..=0x07` (index = opcode - 1).
-pub const NET_OPS: usize = 7;
+/// `0x01..=0x09` (index = opcode - 1).
+pub const NET_OPS: usize = 9;
 
 /// Display name of net opcode counter `i`.
 pub fn net_op_name(i: usize) -> &'static str {
@@ -53,6 +53,8 @@ pub fn net_op_name(i: usize) -> &'static str {
         "consult",
         "stats",
         "symbols",
+        "assert",
+        "retract",
     ][i]
 }
 
@@ -125,6 +127,45 @@ pub struct Metrics {
     /// (a knowledge-base update or track quarantine intervened). Each
     /// also counts as a miss.
     pub cache_epoch_invalidations: Counter,
+    // --- wal: the write-ahead log and memtable overlay -------------------
+    /// Batches appended to the write-ahead log (one fsync each — the
+    /// group-commit unit).
+    pub wal_appends: Counter,
+    /// Individual assert/retract records appended to the log.
+    pub wal_records: Counter,
+    /// `fdatasync` calls issued by the log (equals `wal.appends` unless
+    /// an append failed before reaching the sync).
+    pub wal_fsyncs: Counter,
+    /// Bytes appended to the log, frames included.
+    pub wal_bytes: Counter,
+    /// Records recovered by replay when a log was opened.
+    pub wal_replayed_records: Counter,
+    /// Torn tails truncated at open: bytes after the last intact frame
+    /// (an append that crashed mid-write and was never acknowledged).
+    pub wal_truncated_tails: Counter,
+    /// Transaction commits skipped because they carried zero operations
+    /// (nothing published, no epoch bumped, no cache flushed).
+    pub wal_noop_commits: Counter,
+    /// Live clauses added to the memtable overlay by asserts.
+    pub wal_overlay_asserts: Counter,
+    /// Clauses removed (from the base or the overlay) by retracts.
+    pub wal_overlay_retracts: Counter,
+    // --- compaction: folding the overlay into the base segments ----------
+    /// Compaction passes started.
+    pub compaction_runs: Counter,
+    /// Compaction passes whose rebuilt base was swapped in.
+    pub compaction_swaps: Counter,
+    /// Compaction passes abandoned at the swap gate because the base
+    /// moved (a wholesale `update` won the race); the overlay is left
+    /// for the next pass.
+    pub compaction_aborts: Counter,
+    /// Overlay clauses folded into rebuilt track segments.
+    pub compaction_clauses: Counter,
+    /// Retrievals served while a compaction pass was in flight — the
+    /// walbench liveness check that compaction never blocks readers.
+    pub compaction_concurrent_retrievals: Counter,
+    /// Host wall-clock per compaction pass, ns (rebuild plus swap).
+    pub compaction_wall_ns: Histogram,
     /// Host wall-clock per served retrieval call, ns.
     pub crs_retrieve_wall_ns: Histogram,
     /// Host wall-clock per served solve call, ns.
@@ -262,6 +303,21 @@ static METRICS: Metrics = Metrics {
     cache_misses: Counter::new(),
     cache_evictions: Counter::new(),
     cache_epoch_invalidations: Counter::new(),
+    wal_appends: Counter::new(),
+    wal_records: Counter::new(),
+    wal_fsyncs: Counter::new(),
+    wal_bytes: Counter::new(),
+    wal_replayed_records: Counter::new(),
+    wal_truncated_tails: Counter::new(),
+    wal_noop_commits: Counter::new(),
+    wal_overlay_asserts: Counter::new(),
+    wal_overlay_retracts: Counter::new(),
+    compaction_runs: Counter::new(),
+    compaction_swaps: Counter::new(),
+    compaction_aborts: Counter::new(),
+    compaction_clauses: Counter::new(),
+    compaction_concurrent_retrievals: Counter::new(),
+    compaction_wall_ns: Histogram::new(),
     crs_retrieve_wall_ns: Histogram::new(),
     crs_solve_wall_ns: Histogram::new(),
     crs_batch_size: Histogram::new(),
@@ -271,6 +327,8 @@ static METRICS: Metrics = Metrics {
     net_queue_wait_ns: Histogram::new(),
     net_busy_rejections: Counter::new(),
     net_frames_in: [
+        Counter::new(),
+        Counter::new(),
         Counter::new(),
         Counter::new(),
         Counter::new(),
@@ -340,6 +398,29 @@ impl Metrics {
                 "cache.epoch_invalidations".into(),
                 self.cache_epoch_invalidations.get(),
             ),
+            ("wal.appends".into(), self.wal_appends.get()),
+            ("wal.records".into(), self.wal_records.get()),
+            ("wal.fsyncs".into(), self.wal_fsyncs.get()),
+            ("wal.bytes".into(), self.wal_bytes.get()),
+            (
+                "wal.replayed_records".into(),
+                self.wal_replayed_records.get(),
+            ),
+            ("wal.truncated_tails".into(), self.wal_truncated_tails.get()),
+            ("wal.noop_commits".into(), self.wal_noop_commits.get()),
+            ("wal.overlay_asserts".into(), self.wal_overlay_asserts.get()),
+            (
+                "wal.overlay_retracts".into(),
+                self.wal_overlay_retracts.get(),
+            ),
+            ("compaction.runs".into(), self.compaction_runs.get()),
+            ("compaction.swaps".into(), self.compaction_swaps.get()),
+            ("compaction.aborts".into(), self.compaction_aborts.get()),
+            ("compaction.clauses".into(), self.compaction_clauses.get()),
+            (
+                "compaction.concurrent_retrievals".into(),
+                self.compaction_concurrent_retrievals.get(),
+            ),
             ("net.busy_rejections".into(), self.net_busy_rejections.get()),
             ("net.bytes_in".into(), self.net_bytes_in.get()),
             ("net.frames_out".into(), self.net_frames_out.get()),
@@ -397,6 +478,10 @@ impl Metrics {
         ];
         let mut histograms = vec![
             ("fs1.scan_wall_ns".into(), self.fs1_scan_wall_ns.snapshot()),
+            (
+                "compaction.wall_ns".into(),
+                self.compaction_wall_ns.snapshot(),
+            ),
             ("fs2.modelled_ns".into(), self.fs2_modelled_ns.snapshot()),
             ("fs2.wall_ns".into(), self.fs2_wall_ns.snapshot()),
             (

@@ -17,6 +17,7 @@
 //! | [`disk`] | disk geometry/timing, track-organised files |
 //! | [`fs2`] | FS2 simulator: datapath, Map ROM, engine, result memory |
 //! | [`kb`] | modules, predicates, compiled clause files |
+//! | [`wal`] | write-ahead log, memtable overlay, compaction support |
 //! | [`core`] | Clause Retrieval Server, search modes, resolution |
 //! | [`workload`] | synthetic knowledge bases and query sets |
 //! | [`net`] | PIF-over-TCP wire protocol, serving daemon, client |
@@ -52,13 +53,15 @@ pub use clare_scw as scw;
 pub use clare_term as term;
 pub use clare_trace as trace;
 pub use clare_unify as unify;
+pub use clare_wal as wal;
 pub use clare_workload as workload;
 
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use clare_core::{
         choose_mode, retrieve, retrieve_batch, solve, solve_goals, ClauseRetrievalServer,
-        CrsOptions, Retrieval, SearchMode, ServerStats, SolveOptions,
+        CommitError, CommitReceipt, CompactionOutcome, CrsOptions, ReplayReport, Retrieval,
+        SearchMode, ServerStats, SolveOptions, UpdateTransaction, WalError, WalOp,
     };
     pub use clare_disk::{ByteRate, DiskProfile, SimNanos};
     pub use clare_fs2::{Fs2Config, Fs2Device, Fs2Engine, HwOp};

@@ -353,6 +353,195 @@ fn net_chaos_over_loopback_is_correct_or_flagged() {
     maybe_report();
 }
 
+/// WAL kill-and-recover chaos: a mutable server takes a seeded stream of
+/// assert/retract commits (with compactions mixed in) while torn-append
+/// faults cut the power mid-batch. After every "crash" the log is
+/// reopened — sometimes with extra garbage scribbled on the tail — and
+/// the recovered server must (a) hold every acknowledged write, (b) never
+/// resurrect more than was attempted, and (c) answer byte-identically to
+/// a reference server that applied the recovered prefix from scratch.
+#[test]
+fn wal_kill_and_recover_loses_no_acked_write() {
+    /// Deterministic per-seed stream: xorshift64*.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// A small deterministic base; rebuilt identically for the crashed
+    /// server, the recovered server, and the from-scratch reference, so
+    /// all three share one symbol lineage.
+    fn base_kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let facts: String = (0..120)
+            .map(|i| format!("item(k{}, v{}).", i % 12, i % 5))
+            .collect::<Vec<_>>()
+            .join("\n");
+        b.consult("chaos", &facts).unwrap();
+        b.finish(KbConfig::default())
+    }
+
+    let total = (schedules() / 10).max(20);
+    let wal_faults_before = clare_fault::injected_counts()[FaultSite::WalAppend.index()];
+    let mut crashed = 0u64;
+    let mut survived = 0u64;
+    for seed in 0..total {
+        let path =
+            std::env::temp_dir().join(format!("clare-chaos-wal-{}-{seed}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Phase 1: a server with the WAL attached takes commits under a
+        // torn-append storm until it finishes or "loses power".
+        let server = ClauseRetrievalServer::new(base_kb(), CrsOptions::default());
+        server.attach_wal(&path).unwrap();
+        let permille = 30 + (seed % 8) as u32 * 30;
+        let guard = install(seed, FaultPlan::none().with(FaultSite::WalAppend, permille));
+        let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let mut attempted: Vec<WalOp> = Vec::new();
+        let mut acked = 0usize;
+        let mut did_crash = false;
+        for step in 0..30 {
+            let batch: Vec<WalOp> = (0..1 + rng.below(3))
+                .map(|_| {
+                    if rng.below(4) == 0 && !attempted.is_empty() {
+                        // Retract something attempted earlier (possibly
+                        // already gone: quiet retract/1 no-op).
+                        let i = rng.below(attempted.len() as u64) as usize;
+                        let (WalOp::Assert { module, source } | WalOp::Retract { module, source }) =
+                            &attempted[i];
+                        WalOp::Retract {
+                            module: module.clone(),
+                            source: source.clone(),
+                        }
+                    } else {
+                        WalOp::Assert {
+                            module: "chaos".into(),
+                            source: format!("grew(s{step}, n{}).", rng.below(6)),
+                        }
+                    }
+                })
+                .collect();
+            match server.apply_ops(batch.clone()) {
+                Ok(receipt) => {
+                    assert!(receipt.durable, "seed {seed}: WAL attached but not durable");
+                    attempted.extend(batch);
+                    acked = attempted.len();
+                }
+                Err(CommitError::Wal(_)) => {
+                    // Power loss mid-append: some prefix of the batch may
+                    // have reached the platter, but nothing was acked.
+                    attempted.extend(batch);
+                    did_crash = true;
+                    break;
+                }
+                Err(e) => panic!("seed {seed}: well-formed op rejected: {e}"),
+            }
+            if rng.below(6) == 0 {
+                let outcome = server.compact_now();
+                assert!(
+                    outcome != CompactionOutcome::Failed,
+                    "seed {seed}: compaction failed mid-stream"
+                );
+            }
+        }
+        drop(guard);
+        drop(server); // the crash: only the WAL file survives
+
+        // Some crashes also rot the tail: scribble garbage after the
+        // last intact frame and let recovery truncate it away.
+        if seed % 4 == 0 {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&[0xAB; 13]).unwrap();
+        }
+
+        // Phase 2: recovery. Replay must hand back every acked write (a
+        // durable prefix at least `acked` long) and nothing invented.
+        let recovered = ClauseRetrievalServer::new(base_kb(), CrsOptions::default());
+        let report = recovered.attach_wal(&path).unwrap();
+        assert!(
+            report.records >= acked,
+            "seed {seed}: replay lost acked writes ({} < {acked})",
+            report.records
+        );
+        assert!(
+            report.records <= attempted.len(),
+            "seed {seed}: replay invented records ({} > {})",
+            report.records,
+            attempted.len()
+        );
+        if did_crash {
+            crashed += 1;
+        } else {
+            survived += 1;
+            assert_eq!(
+                report.records, acked,
+                "seed {seed}: clean run replay mismatch"
+            );
+        }
+
+        // Phase 3: byte-identity. A reference server applies the same
+        // recovered prefix from scratch (no WAL); every mode must agree
+        // exactly, before and after compacting the recovered state.
+        let reference = ClauseRetrievalServer::new(base_kb(), CrsOptions::default());
+        if report.records > 0 {
+            reference
+                .apply_ops(attempted[..report.records].to_vec())
+                .unwrap();
+        }
+        let mut symbols = recovered.symbols();
+        let queries: Vec<Term> = ["item(k3, X)", "grew(A, B)", "grew(s7, n2)", "item(K, v1)"]
+            .iter()
+            .map(|q| parse_term(q, &mut symbols).unwrap())
+            .collect();
+        for query in &queries {
+            for &mode in &SearchMode::ALL {
+                assert_eq!(
+                    recovered.retrieve(query, mode),
+                    reference.retrieve(query, mode),
+                    "seed {seed}: recovered answers diverged ({mode:?})"
+                );
+            }
+        }
+        let outcome = recovered.compact_now();
+        assert!(outcome != CompactionOutcome::Failed, "seed {seed}");
+        for query in &queries {
+            for &mode in &SearchMode::ALL {
+                assert_eq!(
+                    recovered.retrieve(query, mode).stats.unified,
+                    reference.retrieve(query, mode).stats.unified,
+                    "seed {seed}: compacting the recovered state moved answers"
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    let wal_faults =
+        clare_fault::injected_counts()[FaultSite::WalAppend.index()] - wal_faults_before;
+    assert!(wal_faults > 0, "no torn append was ever injected");
+    assert!(
+        crashed > 0,
+        "no schedule ever crashed — the harness is not biting"
+    );
+    assert!(
+        survived > 0,
+        "every schedule crashed — nothing tested clean recovery"
+    );
+    maybe_report();
+}
+
 /// Reactor event-loop chaos: short reads that split frames (and their
 /// length prefixes) across readiness events, spurious `EAGAIN`-style
 /// wakeups that deliver nothing, and torn writes that cut a flush short
