@@ -45,6 +45,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "E18: mutable-KB write path + compaction wall-clock (writes BENCH_wal.json)",
     ),
     (
+        "clusterbench",
+        "E19: sharded-cluster wall-clock, 1/2/4 shards (writes BENCH_cluster.json)",
+    ),
+    (
         "microprogram",
         "appendix: the assembled WCS microprogram listing",
     ),
@@ -219,6 +223,26 @@ fn run_one(name: &str, quick: bool, json: bool) -> bool {
                 match std::fs::write("BENCH_wal.json", report.to_json()) {
                     Ok(()) => println!("wrote BENCH_wal.json"),
                     Err(e) => eprintln!("could not write BENCH_wal.json: {e}"),
+                }
+            }
+        }
+        "clusterbench" => {
+            if quick {
+                // CI smoke run: 1 and 2 shards, small base. The report
+                // file IS written in quick mode — CI uploads it as the
+                // cluster-bench-smoke artifact.
+                let report = experiments::cluster_wallclock::run(&[1, 2], 200, 8, 2_000);
+                println!("{report}");
+                match std::fs::write("BENCH_cluster.json", report.to_json()) {
+                    Ok(()) => println!("wrote BENCH_cluster.json"),
+                    Err(e) => eprintln!("could not write BENCH_cluster.json: {e}"),
+                }
+            } else {
+                let report = experiments::cluster_wallclock::run(&[1, 2, 4], 2_400, 16, 8_000);
+                println!("{report}");
+                match std::fs::write("BENCH_cluster.json", report.to_json()) {
+                    Ok(()) => println!("wrote BENCH_cluster.json"),
+                    Err(e) => eprintln!("could not write BENCH_cluster.json: {e}"),
                 }
             }
         }

@@ -1,0 +1,325 @@
+//! E19 — cluster wall-clock: aggregate retrieval throughput through the
+//! predicate-sharded router at 1, 2, and 4 shards.
+//!
+//! The fixed-size-node question: one `clare-served` backend with a
+//! single worker models a machine of fixed capacity. Sharding the
+//! predicate space over N such machines multiplies aggregate capacity —
+//! and this experiment reports that in the repository's native
+//! currency, **modeled engine time**: every retrieval carries the
+//! simulated wall-clock of its disk/FS1/FS2/unify pipeline
+//! (`RetrievalStats::elapsed`), each shard's busy time is the sum over
+//! the requests routed to it, and the cluster's modeled makespan is the
+//! busiest shard (shards run concurrently). The retrieval cache is off
+//! so every request exercises the full pipeline.
+//!
+//! Host wall-clock is reported alongside for transparency, but it
+//! measures the bench host (all backends share this machine's cores —
+//! on a single-core host it cannot scale), not the modeled cluster;
+//! `speedup_vs_single` is over modeled throughput.
+//!
+//! Every case drives the same total request count from the same client
+//! population over the same query mix; only the shard count changes.
+//! The single-shard row is the speedup baseline. The predicate
+//! population hashes evenly over 2 and 4 shards, so the balance term of
+//! the speedup is 1; a skewed namespace degrades exactly by its
+//! busiest-shard share.
+
+use clare_cluster::{Router, RouterConfig, ShardMap, ShardSpec};
+use clare_core::{CacheConfig, ClauseRetrievalServer, CrsOptions, SearchMode};
+use clare_kb::{KbBuilder, KbConfig, KnowledgeBase};
+use clare_net::{NetConfig, NetServer};
+use clare_term::parser::parse_term;
+use clare_term::Term;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Distinct predicates in the workload; the FNV placement spreads them
+/// 8/8 over two shards and 4/4/4/4 over four.
+const PREDS: usize = 16;
+/// Few distinct keys → large per-query answer sets, so the modeled
+/// pipeline does real work per request (FS1 scan, FS2, unification)
+/// instead of measuring protocol overhead.
+const KEYS: usize = 12;
+
+/// One measured case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterWallclockRow {
+    /// Shards (backends) serving the case.
+    pub shards: usize,
+    /// Client threads driving the router concurrently.
+    pub clients: usize,
+    /// Total requests served.
+    pub requests: usize,
+    /// Host wall-clock, milliseconds (bench-host bound; see module docs).
+    pub wall_ms: f64,
+    /// Host requests per second.
+    pub wall_rps: f64,
+    /// Modeled makespan: the busiest shard's summed engine time, ms.
+    pub modeled_makespan_ms: f64,
+    /// Modeled aggregate requests per second (requests / makespan).
+    pub modeled_rps: f64,
+    /// Modeled throughput relative to the single-shard row.
+    pub speedup_vs_single: f64,
+}
+
+/// The report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterWallclockReport {
+    /// Facts per predicate in the shared base knowledge base.
+    pub facts_per_pred: usize,
+    /// Distinct predicates in the query mix.
+    pub preds: usize,
+    /// One row per shard count, in input order.
+    pub rows: Vec<ClusterWallclockRow>,
+}
+
+impl ClusterWallclockReport {
+    /// Renders the report as a small JSON document (hand-written — the
+    /// workspace deliberately carries no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"cluster_wallclock\",\n");
+        out.push_str("  \"unit\": \"requests_per_second\",\n");
+        out.push_str(&format!("  \"facts_per_pred\": {},\n", self.facts_per_pred));
+        out.push_str(&format!("  \"preds\": {},\n", self.preds));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"shards\": {},\n", row.shards));
+            out.push_str(&format!("      \"clients\": {},\n", row.clients));
+            out.push_str(&format!("      \"requests\": {},\n", row.requests));
+            out.push_str(&format!("      \"wall_ms\": {:.1},\n", row.wall_ms));
+            out.push_str(&format!("      \"wall_rps\": {:.0},\n", row.wall_rps));
+            out.push_str(&format!(
+                "      \"modeled_makespan_ms\": {:.1},\n",
+                row.modeled_makespan_ms
+            ));
+            out.push_str(&format!("      \"modeled_rps\": {:.0},\n", row.modeled_rps));
+            out.push_str(&format!(
+                "      \"speedup_vs_single\": {:.2}\n",
+                row.speedup_vs_single
+            ));
+            out.push_str(if i + 1 == self.rows.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The shared base: every backend compiles the identical build (the
+/// router checks the hello fingerprints agree).
+fn base_kb(facts_per_pred: usize) -> KnowledgeBase {
+    let mut b = KbBuilder::new();
+    let mut source = String::new();
+    for p in 0..PREDS {
+        for i in 0..facts_per_pred {
+            source.push_str(&format!("pred{p}(k{}, v{}).\n", i % KEYS, i % 7));
+        }
+    }
+    b.consult("bench", &source).unwrap();
+    b.finish(KbConfig::default())
+}
+
+/// Runs one row: `shards` single-worker backends behind one router,
+/// `clients` threads splitting `requests` retrieves round-robin over
+/// the query mix. Each thread accumulates the modeled engine time of
+/// its requests per shard; the case's makespan is the busiest shard.
+fn run_case(
+    facts_per_pred: usize,
+    shards: usize,
+    clients: usize,
+    requests: usize,
+) -> ClusterWallclockRow {
+    let net_cfg = NetConfig {
+        workers: 1,
+        ..NetConfig::default()
+    };
+    let crs_opts = CrsOptions {
+        cache: CacheConfig::off(),
+        ..CrsOptions::default()
+    };
+    let backends: Vec<NetServer> = (0..shards)
+        .map(|_| {
+            let crs = ClauseRetrievalServer::shared(base_kb(facts_per_pred), crs_opts.clone());
+            NetServer::bind(crs, "127.0.0.1:0", net_cfg.clone()).unwrap()
+        })
+        .collect();
+    let map = ShardMap {
+        shards: backends
+            .iter()
+            .map(|s| ShardSpec {
+                primary: s.local_addr().to_string(),
+                backup: None,
+            })
+            .collect(),
+        hot: Vec::new(),
+        fingerprint: None,
+    };
+    let placements = map.clone();
+    let router = Arc::new(Router::connect(map, RouterConfig::default()).unwrap());
+
+    // Pre-parse the query mix, each tagged with its owning shard so the
+    // client threads can bill modeled time per shard.
+    let mut symbols = router.symbols();
+    let queries: Arc<Vec<(Term, usize)>> = Arc::new(
+        (0..PREDS * 4)
+            .map(|i| {
+                let p = i % PREDS;
+                let k = (i * 7) % KEYS;
+                let term = parse_term(&format!("pred{p}(k{k}, X)"), &mut symbols).unwrap();
+                (term, placements.route(&format!("pred{p}"), 2))
+            })
+            .collect(),
+    );
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let router = Arc::clone(&router);
+            let queries = Arc::clone(&queries);
+            let share = requests / clients + usize::from(c < requests % clients);
+            std::thread::spawn(move || {
+                let mut busy_ns = vec![0u64; shards];
+                for i in 0..share {
+                    let (q, shard) = &queries[(c + i * clients) % queries.len()];
+                    let r = router
+                        .retrieve(q, SearchMode::TwoStage)
+                        .expect("bench retrieval failed");
+                    busy_ns[*shard] += r.stats.elapsed.as_ns();
+                }
+                busy_ns
+            })
+        })
+        .collect();
+    let mut busy_ns = vec![0u64; shards];
+    for h in handles {
+        for (total, part) in busy_ns.iter_mut().zip(h.join().expect("client died")) {
+            *total += part;
+        }
+    }
+    let wall_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    drop(router);
+    for b in backends {
+        b.shutdown();
+    }
+
+    let makespan_ns = busy_ns.iter().copied().max().unwrap_or(0).max(1);
+    let makespan_secs = makespan_ns as f64 / 1e9;
+    ClusterWallclockRow {
+        shards,
+        clients,
+        requests,
+        wall_ms: wall_secs * 1e3,
+        wall_rps: requests as f64 / wall_secs,
+        modeled_makespan_ms: makespan_secs * 1e3,
+        modeled_rps: requests as f64 / makespan_secs,
+        speedup_vs_single: 0.0, // filled by the caller against row 0
+    }
+}
+
+/// Runs the shard-count sweep. The first entry of `shard_counts` is the
+/// speedup baseline (pass 1 first).
+pub fn run(
+    shard_counts: &[usize],
+    facts_per_pred: usize,
+    clients: usize,
+    requests: usize,
+) -> ClusterWallclockReport {
+    let mut rows: Vec<ClusterWallclockRow> = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        rows.push(run_case(facts_per_pred, shards, clients, requests));
+    }
+    let baseline = rows.first().map(|r| r.modeled_rps).unwrap_or(0.0);
+    for row in &mut rows {
+        row.speedup_vs_single = if baseline > 0.0 {
+            row.modeled_rps / baseline
+        } else {
+            0.0
+        };
+    }
+    ClusterWallclockReport {
+        facts_per_pred,
+        preds: PREDS,
+        rows,
+    }
+}
+
+impl fmt::Display for ClusterWallclockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E19: cluster throughput — modeled engine makespan vs shard count \
+             ({} predicates x {} facts, single-worker backends, cache off)\n",
+            self.preds, self.facts_per_pred
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}", r.shards),
+                    format!("{}", r.clients),
+                    format!("{}", r.requests),
+                    format!("{:.1}", r.wall_ms),
+                    format!("{:.1}", r.modeled_makespan_ms),
+                    format!("{:.0}", r.modeled_rps),
+                    format!("{:.2}x", r.speedup_vs_single),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            crate::render_table(
+                &[
+                    "shards",
+                    "clients",
+                    "requests",
+                    "wall ms",
+                    "model ms",
+                    "model req/s",
+                    "speedup",
+                ],
+                &rows,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_json() {
+        let r = run(&[1, 2], 60, 4, 240);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].shards, 1);
+        assert!((r.rows[0].speedup_vs_single - 1.0).abs() < 1e-9);
+        for row in &r.rows {
+            assert_eq!(row.requests, 240);
+            assert!(row.wall_rps > 0.0);
+            assert!(row.modeled_rps > 0.0);
+        }
+        // The predicate population hashes 8/8 over two shards and every
+        // request does identical modeled work, so the two-shard modeled
+        // speedup is ~2 by construction; anything under 1.7 means the
+        // router stopped spreading the load.
+        assert!(
+            r.rows[1].speedup_vs_single > 1.7,
+            "two-shard modeled speedup {:.2} < 1.7",
+            r.rows[1].speedup_vs_single
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"cluster_wallclock\""));
+        assert!(json.contains("\"speedup_vs_single\""));
+        assert!(format!("{r}").contains("model req/s"));
+    }
+}

@@ -3,6 +3,7 @@
 
 pub mod bench_suite;
 pub mod cache_wallclock;
+pub mod cluster_wallclock;
 pub mod false_drops;
 pub mod fig1;
 pub mod figures;

@@ -91,6 +91,20 @@ pub struct CrsOptions {
     /// [`crate::ClauseRetrievalServer`]. Hits are byte-identical to the
     /// uncached pipeline; the free [`retrieve`] function never caches.
     pub cache: CacheConfig,
+    /// Auto-compaction size threshold: when a commit leaves the overlay
+    /// holding at least this many logged operations, the server triggers
+    /// a compaction pass on its own (`compaction.auto_triggers` counts
+    /// them). Overlay clauses bypass the FS1 filter, so an unbounded
+    /// overlay pays software-side filtering on every retrieval — this
+    /// bound keeps that cost finite without any manual `compact_now`
+    /// call. `None` disables the size trigger.
+    pub overlay_auto_compact_ops: Option<usize>,
+    /// Auto-compaction age threshold: when a commit finds the oldest
+    /// uncompacted operation at least this old, a pass is triggered. The
+    /// age is only examined at commit time (there is no timer thread), so
+    /// a write-idle server keeps its overlay until the next commit.
+    /// `None` (the default) disables the age trigger.
+    pub overlay_auto_compact_age: Option<std::time::Duration>,
 }
 
 impl Default for CrsOptions {
@@ -102,6 +116,8 @@ impl Default for CrsOptions {
             fs2: Fs2Config::paper(),
             fs2_parallelism: None,
             cache: CacheConfig::default(),
+            overlay_auto_compact_ops: Some(8192),
+            overlay_auto_compact_age: None,
         }
     }
 }
@@ -187,6 +203,19 @@ pub struct Retrieval {
     pub candidates: Vec<ClauseId>,
     /// Timing and selectivity.
     pub stats: RetrievalStats,
+}
+
+impl Retrieval {
+    /// Flags this answer degraded after the fact. The retrieval pipeline
+    /// sets [`RetrievalStats::degraded`] itself for storage faults; this
+    /// hook is for serving layers that learn of degradation elsewhere —
+    /// e.g. a cluster router that had to serve the answer from a stale
+    /// backup after a failover. A degraded answer is delivered, never
+    /// dropped; the flag is the client's signal to treat it as possibly
+    /// behind the acknowledged write frontier.
+    pub fn mark_degraded(&mut self) {
+        self.stats.degraded = true;
+    }
 }
 
 /// Retrieves all candidate clauses for `query` using `mode`.

@@ -59,8 +59,8 @@ pub use resolve::{
     SolveOutcome, SolveStats,
 };
 pub use server::{
-    ClauseRetrievalServer, CommitError, CommitReceipt, CompactionOutcome, ServerStats,
-    UpdateTransaction,
+    ClauseRetrievalServer, CommitError, CommitReceipt, CompactionOutcome, LogWatcher, ServerStats,
+    SubscribeError, UpdateTransaction,
 };
 
 pub use clare_simd::SimdLevel;

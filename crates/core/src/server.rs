@@ -48,7 +48,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 /// Aggregate service statistics.
@@ -173,6 +173,15 @@ struct CommitState {
     /// Next sequence number when no WAL is attached (the overlay still
     /// orders its ops by seq; durability simply isn't promised).
     mem_seq: u64,
+    /// Highest sequence number whose record has been folded out of the
+    /// overlay (by compaction or a wholesale update). A replication
+    /// subscriber asking to catch up from below this point cannot be
+    /// served from the overlay — [`SubscribeError::Gap`].
+    folded_through: u64,
+    /// When the overlay last went from empty to holding operations; the
+    /// age reference for the auto-compaction age trigger. Cleared when a
+    /// compaction or wholesale update empties the overlay.
+    overlay_born: Option<Instant>,
 }
 
 /// What a successful commit did.
@@ -212,6 +221,14 @@ pub enum CommitError {
     /// The write-ahead log refused or failed the append, so the commit
     /// was never acknowledged.
     Wal(WalError),
+    /// A replicated record arrived out of order
+    /// ([`ClauseRetrievalServer::apply_replicated`]): its sequence number
+    /// skips past what this replica has applied. The shipper must resend
+    /// from `expected`.
+    ReplicaGap {
+        /// The sequence number this replica will accept next.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for CommitError {
@@ -219,6 +236,9 @@ impl fmt::Display for CommitError {
         match self {
             CommitError::Overlay(e) => write!(f, "commit rejected: {e}"),
             CommitError::Wal(e) => write!(f, "commit not acknowledged: {e}"),
+            CommitError::ReplicaGap { expected } => {
+                write!(f, "replication gap: expected seq {expected}")
+            }
         }
     }
 }
@@ -228,7 +248,67 @@ impl std::error::Error for CommitError {
         match self {
             CommitError::Overlay(e) => Some(e),
             CommitError::Wal(e) => Some(e),
+            CommitError::ReplicaGap { .. } => None,
         }
+    }
+}
+
+/// Errors from [`ClauseRetrievalServer::subscribe_ops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscribeError {
+    /// Catch-up from the requested point is impossible: every record
+    /// through `folded_through` has been folded into the base (by
+    /// compaction or a wholesale update), so the overlay no longer holds
+    /// it. The subscriber must resynchronise some other way (e.g. restart
+    /// from a fresh copy of the base).
+    Gap {
+        /// Records at or below this sequence are gone from the overlay.
+        folded_through: u64,
+    },
+}
+
+impl fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubscribeError::Gap { folded_through } => write!(
+                f,
+                "cannot catch up: records through seq {folded_through} were compacted away"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubscribeError {}
+
+/// A replication subscriber's delivery callback: called under the commit
+/// lock with each committed batch's records, in sequence order, with no
+/// gaps from the subscription point. Return `false` to cancel the
+/// subscription (e.g. the peer hung up).
+pub type LogWatcher = Box<dyn FnMut(&[WalRecord]) -> bool + Send>;
+
+/// The registered replication subscribers. Deliveries happen under the
+/// commit lock (commit order **is** delivery order); this inner mutex
+/// only protects the vector against concurrent registration.
+#[derive(Default)]
+struct WatcherSet {
+    inner: Mutex<Vec<LogWatcher>>,
+}
+
+impl WatcherSet {
+    /// Delivers `records` to every live watcher, dropping the ones that
+    /// decline. Caller must hold the commit lock.
+    fn notify(&self, records: &[WalRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let mut watchers = self.inner.lock();
+        watchers.retain_mut(|w| w(records));
+    }
+}
+
+impl fmt::Debug for WatcherSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WatcherSet({})", self.inner.lock().len())
     }
 }
 
@@ -302,6 +382,13 @@ pub struct ClauseRetrievalServer {
     /// from, and updates bump epochs under the write lock, so a stamp and
     /// its snapshot are always mutually consistent.
     cache: RetrievalCache,
+    /// Replication subscribers ([`Self::subscribe_ops`]); notified under
+    /// the commit lock after every publish.
+    watchers: WatcherSet,
+    /// Back-reference populated by [`Self::shared`]: lets auto-compaction
+    /// spawn a detached background pass. Dangling for plain [`Self::new`]
+    /// servers, which compact synchronously instead.
+    self_weak: Weak<ClauseRetrievalServer>,
 }
 
 /// The server's [`Fs1Cache`] seam: key and stamp are captured here so the
@@ -347,12 +434,29 @@ impl ClauseRetrievalServer {
                 wal: None,
                 config: KbConfig::default(),
                 mem_seq: 1,
+                folded_through: 0,
+                overlay_born: None,
             }),
             compacting: AtomicBool::new(false),
             options,
             stats: StatsCell::default(),
             cache,
+            watchers: WatcherSet::default(),
+            self_weak: Weak::new(),
         }
+    }
+
+    /// Like [`new`](Self::new), but shared from birth: the server holds a
+    /// weak back-reference to its own `Arc`, which lets threshold-
+    /// triggered auto-compaction run on a detached background thread
+    /// (exactly like [`spawn_compaction`](Self::spawn_compaction))
+    /// instead of synchronously inside the committing call.
+    pub fn shared(kb: KnowledgeBase, options: CrsOptions) -> Arc<Self> {
+        Arc::new_cyclic(|weak| {
+            let mut server = Self::new(kb, options);
+            server.self_weak = weak.clone();
+            server
+        })
     }
 
     /// A snapshot of the current immutable base (clients keep a
@@ -629,7 +733,15 @@ impl ClauseRetrievalServer {
     /// mutate through transactions ([`begin_update`](Self::begin_update))
     /// and fold with [`compact_now`](Self::compact_now) instead.
     pub fn update(&self, kb: KnowledgeBase) {
-        let commit = self.commit.lock();
+        let mut commit = self.commit.lock();
+        // The overlay is discarded wholesale: subscribers can no longer
+        // catch up from below the current frontier.
+        commit.folded_through = commit
+            .wal
+            .as_ref()
+            .map_or(commit.mem_seq, |wal| wal.next_seq())
+            - 1;
+        commit.overlay_born = None;
         let overlay = Overlay::new(kb.symbols().clone());
         let mut guard = self.kb.write();
         // Bump cache epochs *while holding the write lock*: readers take
@@ -726,10 +838,33 @@ impl ClauseRetrievalServer {
         if let Some(config) = config {
             commit.config = config;
         }
+        let receipt = self.commit_under_lock(&mut commit, &ops)?;
+        drop(commit);
+        self.stats.update(|stats| stats.updates += 1);
+        self.maybe_auto_compact();
+        Ok(receipt)
+    }
+
+    /// The shared commit body: validate → apply to an overlay clone →
+    /// WAL append (the acknowledgement point) → publish → notify
+    /// replication subscribers. Caller holds the commit lock.
+    fn commit_under_lock(
+        &self,
+        commit: &mut CommitState,
+        ops: &[WalOp],
+    ) -> Result<CommitReceipt, CommitError> {
+        // Refuse structurally unencodable ops up front — before any of
+        // them mutates the overlay clone and regardless of whether a WAL
+        // is attached (the memory-only and replica paths must refuse the
+        // same ops the durable path would).
+        for op in ops {
+            op.validate()?;
+        }
         // Holding the commit lock pins the published pair: every other
         // publisher (commits, wholesale updates, the compaction swap)
         // also takes it.
         let published = self.kb.read().clone();
+        let was_empty = published.overlay.is_empty();
         let mut overlay = (*published.overlay).clone();
         let first_seq = commit
             .wal
@@ -751,7 +886,7 @@ impl ClauseRetrievalServer {
         // file is reopened and its torn tail truncated).
         let durable = match commit.wal.as_mut() {
             Some(wal) => {
-                wal.append_batch(&ops)?;
+                wal.append_batch(ops)?;
                 true
             }
             None => {
@@ -759,6 +894,9 @@ impl ClauseRetrievalServer {
                 false
             }
         };
+        if was_empty {
+            commit.overlay_born = Some(Instant::now());
+        }
         let mut guard = self.kb.write();
         debug_assert!(
             Arc::ptr_eq(&guard.base, &published.base),
@@ -769,17 +907,152 @@ impl ClauseRetrievalServer {
         }
         guard.overlay = Arc::new(overlay);
         drop(guard);
-        drop(commit);
+        // Ship to subscribers while still holding the commit lock: the
+        // delivery order across commits is exactly the commit order, and
+        // a subscriber registered in between sees each record exactly
+        // once (either in its catch-up or here).
+        let records: Vec<WalRecord> = ops
+            .iter()
+            .enumerate()
+            .map(|(k, op)| WalRecord {
+                seq: first_seq + k as u64,
+                op: op.clone(),
+            })
+            .collect();
+        self.watchers.notify(&records);
         let m = clare_trace::metrics();
         m.wal_overlay_asserts.add(asserted as u64);
         m.wal_overlay_retracts.add(retracted as u64);
-        self.stats.update(|stats| stats.updates += 1);
         Ok(CommitReceipt {
             seqs: first_seq..first_seq + ops.len() as u64,
             asserted,
             retracted,
             durable,
         })
+    }
+
+    /// Applies one record shipped from a replication stream, enforcing
+    /// gapless in-order delivery. Returns the sequence number this
+    /// replica has applied through:
+    ///
+    /// * `record.seq` is exactly the next expected sequence — the record
+    ///   commits through the ordinary (WAL-backed, if attached) path;
+    /// * `record.seq` is below the frontier — an idempotent duplicate
+    ///   (the shipper resent something already applied): skipped;
+    /// * `record.seq` skips ahead — [`CommitError::ReplicaGap`], and the
+    ///   shipper must resend from the reported `expected`.
+    pub fn apply_replicated(&self, record: &WalRecord) -> Result<u64, CommitError> {
+        let mut commit = self.commit.lock();
+        let expected = commit
+            .wal
+            .as_ref()
+            .map_or(commit.mem_seq, |wal| wal.next_seq());
+        if record.seq < expected {
+            return Ok(expected - 1);
+        }
+        if record.seq > expected {
+            return Err(CommitError::ReplicaGap { expected });
+        }
+        let ops = std::slice::from_ref(&record.op);
+        self.commit_under_lock(&mut commit, ops)?;
+        drop(commit);
+        self.stats.update(|stats| stats.updates += 1);
+        self.maybe_auto_compact();
+        Ok(record.seq)
+    }
+
+    /// The highest committed sequence number (0 before the first
+    /// commit). On a primary this is the replication frontier its
+    /// backups chase.
+    pub fn current_seq(&self) -> u64 {
+        let commit = self.commit.lock();
+        commit
+            .wal
+            .as_ref()
+            .map_or(commit.mem_seq, |wal| wal.next_seq())
+            - 1
+    }
+
+    /// Subscribes to the committed-operation stream: `watcher` is first
+    /// called (under the commit lock, before this returns) with every
+    /// overlay record past `from_seq` — the catch-up — and thereafter
+    /// with each committed batch, in commit order, gapless. Returns the
+    /// sequence the stream is current through. The watcher stays
+    /// registered until it returns `false`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubscribeError::Gap`] when records past `from_seq` have already
+    /// been folded out of the overlay (compaction or wholesale update):
+    /// catch-up through this stream is impossible.
+    pub fn subscribe_ops(
+        &self,
+        from_seq: u64,
+        mut watcher: LogWatcher,
+    ) -> Result<u64, SubscribeError> {
+        let commit = self.commit.lock();
+        if from_seq < commit.folded_through {
+            return Err(SubscribeError::Gap {
+                folded_through: commit.folded_through,
+            });
+        }
+        let current = commit
+            .wal
+            .as_ref()
+            .map_or(commit.mem_seq, |wal| wal.next_seq())
+            - 1;
+        let overlay = self.kb.read().overlay.clone();
+        let catch_up: Vec<WalRecord> = overlay
+            .ops()
+            .iter()
+            .filter(|r| r.seq > from_seq)
+            .cloned()
+            .collect();
+        if !catch_up.is_empty() && !watcher(&catch_up) {
+            return Ok(current);
+        }
+        self.watchers.inner.lock().push(watcher);
+        Ok(current)
+    }
+
+    /// Triggers a compaction pass when the just-committed overlay
+    /// crosses a configured size/age threshold. Called after every
+    /// commit, outside all locks. Shared servers ([`Self::shared`]) get a
+    /// detached background pass; plain ones compact synchronously (the
+    /// committing caller pays the rebuild, keeping the bound honest
+    /// without a handle to spawn through).
+    fn maybe_auto_compact(&self) {
+        let size = self.options.overlay_auto_compact_ops;
+        let age = self.options.overlay_auto_compact_age;
+        if size.is_none() && age.is_none() {
+            return;
+        }
+        let len = self.kb.read().overlay.len();
+        if len == 0 {
+            return;
+        }
+        let over_size = size.is_some_and(|t| len >= t);
+        let over_age = age.is_some_and(|t| {
+            self.commit
+                .lock()
+                .overlay_born
+                .is_some_and(|born| born.elapsed() >= t)
+        });
+        if !over_size && !over_age {
+            return;
+        }
+        if self.compacting.load(Ordering::Relaxed) {
+            // A pass is already folding; it will pick this state up.
+            return;
+        }
+        clare_trace::metrics().compaction_auto_triggers.inc();
+        if let Some(server) = self.self_weak.upgrade() {
+            let _ = std::thread::Builder::new()
+                .name("clare-compact".into())
+                .spawn(move || server.compact_now());
+        } else {
+            let _ = self.compact_now();
+        }
     }
 
     /// Folds the overlay into a fresh immutable base — track segments and
@@ -797,6 +1070,12 @@ impl ClauseRetrievalServer {
         if self.compacting.swap(true, Ordering::Acquire) {
             return CompactionOutcome::AlreadyRunning;
         }
+        self.compact_claimed()
+    }
+
+    /// Runs the fold with the `compacting` flag already claimed by the
+    /// caller, releasing it on the way out.
+    fn compact_claimed(&self) -> CompactionOutcome {
         let outcome = self.compact_inner();
         self.compacting.store(false, Ordering::Release);
         outcome
@@ -824,7 +1103,7 @@ impl ClauseRetrievalServer {
         let sealed_max = sealed.overlay.max_seq();
         // Swap: serialize with publishers; if the base moved under the
         // rebuild (a wholesale update), the result no longer applies.
-        let commit = self.commit.lock();
+        let mut commit = self.commit.lock();
         let mut guard = self.kb.write();
         if !Arc::ptr_eq(&guard.base, &sealed.base) {
             m.compaction_aborts.inc();
@@ -842,6 +1121,14 @@ impl ClauseRetrievalServer {
             .filter(|r| r.seq > sealed_max)
             .cloned()
             .collect();
+        // Everything at or below the sealed frontier leaves the overlay:
+        // new replication subscribers must start past it.
+        commit.folded_through = commit.folded_through.max(sealed_max);
+        commit.overlay_born = if residue.is_empty() {
+            None
+        } else {
+            Some(Instant::now())
+        };
         let (overlay, _skipped) = Overlay::rebuild(&rebuilt, &residue, &config);
         // The rebuilt base is an incremental successor (same lineage and
         // fingerprint), so only the folded predicates' epochs bump —
@@ -863,11 +1150,24 @@ impl ClauseRetrievalServer {
     /// Runs [`compact_now`](Self::compact_now) on a detached background
     /// thread and returns its handle. The serving path is never blocked;
     /// join the handle to observe the outcome.
+    ///
+    /// The pass is claimed *before* the thread spawns, so the
+    /// in-compaction window (and the `compaction.concurrent_retrievals`
+    /// counter) opens at the call — a retrieval racing the spawn counts
+    /// as concurrent even if the scheduler runs the whole fold before
+    /// the caller's next instruction.
     pub fn spawn_compaction(self: &Arc<Self>) -> std::thread::JoinHandle<CompactionOutcome> {
+        let claimed = !self.compacting.swap(true, Ordering::Acquire);
         let server = Arc::clone(self);
         std::thread::Builder::new()
             .name("clare-compact".into())
-            .spawn(move || server.compact_now())
+            .spawn(move || {
+                if claimed {
+                    server.compact_claimed()
+                } else {
+                    CompactionOutcome::AlreadyRunning
+                }
+            })
             .expect("spawning the compaction thread")
     }
 

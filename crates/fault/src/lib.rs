@@ -77,10 +77,23 @@ pub enum FaultSite {
     /// if power was lost mid-write — the batch is never acknowledged, and
     /// replay-on-open must truncate the torn tail).
     WalAppend,
+    /// The cluster router forwarding a shipped WAL frame to a shard's
+    /// backup. Context: the record's sequence number. Menu: `Drop` (the
+    /// frame never leaves — the resend window must recover it),
+    /// `Delay` (the call site holds the frame one slot and swaps it with
+    /// its successor — a reorder), `Truncate` (the call site forwards
+    /// the frame twice — a duplicate). The last two are site-interpreted
+    /// shapes, the established pattern for worker-style sites.
+    ReplSend,
+    /// A backup applying a shipped WAL frame. Context: the record's
+    /// sequence number. Menu: `Drop` (refuse the frame with an error
+    /// reply, forcing the router to retry), `Delay` (stall before
+    /// applying).
+    ReplApply,
 }
 
 /// Number of distinct [`FaultSite`]s (sizes the counter arrays).
-pub const SITE_COUNT: usize = 9;
+pub const SITE_COUNT: usize = 11;
 
 impl FaultSite {
     /// All sites, in counter index order.
@@ -94,6 +107,8 @@ impl FaultSite {
         FaultSite::NetReactorRead,
         FaultSite::NetReactorWrite,
         FaultSite::WalAppend,
+        FaultSite::ReplSend,
+        FaultSite::ReplApply,
     ];
 
     /// Index of this site in [`Self::ALL`].
@@ -108,6 +123,8 @@ impl FaultSite {
             FaultSite::NetReactorRead => 6,
             FaultSite::NetReactorWrite => 7,
             FaultSite::WalAppend => 8,
+            FaultSite::ReplSend => 9,
+            FaultSite::ReplApply => 10,
         }
     }
 
@@ -123,6 +140,8 @@ impl FaultSite {
             FaultSite::NetReactorRead => "net_reactor_read",
             FaultSite::NetReactorWrite => "net_reactor_write",
             FaultSite::WalAppend => "wal_append",
+            FaultSite::ReplSend => "repl_send",
+            FaultSite::ReplApply => "repl_apply",
         }
     }
 }
@@ -279,6 +298,22 @@ impl FaultInjector for DeterministicInjector {
             }
             FaultSite::NetReactorWrite => FaultAction::Truncate { keep: param },
             FaultSite::WalAppend => FaultAction::Truncate { keep: param },
+            FaultSite::ReplSend => match choice % 3 {
+                0 => FaultAction::Drop,
+                1 => FaultAction::Delay {
+                    micros: param % 500,
+                },
+                _ => FaultAction::Truncate { keep: param },
+            },
+            FaultSite::ReplApply => {
+                if choice.is_multiple_of(2) {
+                    FaultAction::Drop
+                } else {
+                    FaultAction::Delay {
+                        micros: param % 500,
+                    }
+                }
+            }
         }
     }
 }
@@ -304,6 +339,8 @@ static INJECTOR: RwLock<Option<Arc<dyn FaultInjector>>> = RwLock::new(None);
 static INSTALL_LOCK: Mutex<()> = Mutex::new(());
 /// Faults actually handed out, per site (for chaos assertions).
 static INJECTED: [AtomicU64; SITE_COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

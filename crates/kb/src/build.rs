@@ -270,7 +270,7 @@ impl KbBuilder {
             modules.push(module);
         }
         touched.sort_unstable_by_key(|(s, a)| (s.offset(), *a));
-        Ok(KnowledgeBase {
+        let mut kb = KnowledgeBase {
             symbols: self.symbols,
             modules,
             by_indicator,
@@ -278,7 +278,10 @@ impl KbBuilder {
             parent_generation: self.parent_generation,
             touched,
             build_fingerprint: config.fingerprint(),
-        })
+            content_fingerprint: 0,
+        };
+        kb.content_fingerprint = kb.compute_content_fingerprint();
+        Ok(kb)
     }
 }
 

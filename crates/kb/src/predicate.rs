@@ -169,6 +169,9 @@ pub struct KnowledgeBase {
     /// Fingerprint of the [`KbConfig`](crate::build::KbConfig) the base
     /// was compiled under.
     pub(crate) build_fingerprint: u64,
+    /// Fingerprint of the compiled *contents* (see
+    /// [`Self::content_fingerprint`]); computed once at build time.
+    pub(crate) content_fingerprint: u64,
 }
 
 impl KnowledgeBase {
@@ -209,6 +212,41 @@ impl KnowledgeBase {
     /// and equal clause lists produce byte-identical retrievals.
     pub fn build_fingerprint(&self) -> u64 {
         self.build_fingerprint
+    }
+
+    /// Fingerprint of the compiled contents: the build parameters plus,
+    /// per module and predicate, the functor text, arity, clause count,
+    /// and every track's record-stream CRC. Two bases with equal content
+    /// fingerprints serve byte-identical retrievals over their base
+    /// clauses. The serving hello carries this value, and a cluster
+    /// router refuses a backend whose fingerprint disagrees — a
+    /// wrong-base backend would silently serve wrong answers.
+    pub fn content_fingerprint(&self) -> u64 {
+        self.content_fingerprint
+    }
+
+    pub(crate) fn compute_content_fingerprint(&self) -> u64 {
+        let mut h = self.build_fingerprint ^ 0x9e37_79b9_7f4a_7c15;
+        let mut mix = |v: u64| h = (h ^ v).wrapping_mul(0x0000_0100_0000_01B3);
+        for module in &self.modules {
+            for &b in module.name.as_bytes() {
+                mix(u64::from(b));
+            }
+            for pred in &module.predicates {
+                if let Some(text) = self.symbols.try_atom_text(pred.functor) {
+                    for &b in text.as_bytes() {
+                        mix(u64::from(b));
+                    }
+                }
+                mix(pred.arity as u64);
+                mix(pred.clauses.len() as u64);
+                for track in pred.file.tracks() {
+                    mix(u64::from(track.stored_crc()));
+                    mix(track.used_bytes() as u64);
+                }
+            }
+        }
+        h
     }
 
     /// The modules in creation order.

@@ -24,11 +24,13 @@ use clare_term::{SymbolTable, Term};
 
 use crate::error::NetError;
 use crate::protocol::{
-    decode_commit_receipt, decode_error, decode_retrieval, decode_retrievals, decode_server_hello,
-    decode_server_stats, decode_server_stats_extended, decode_solve_outcome, decode_symbols,
-    encode_client_hello_caps, encode_consult, encode_retrieve, encode_retrieve_batch, encode_solve,
-    opcode, ConsultReq, ErrorCode, Frame, FrameReader, HelloStatus, RetrieveBatchReq, RetrieveReq,
-    SolveReq, CAP_FRAME_CRC, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN, STATS_REQ_EXTENDED,
+    decode_commit_receipt, decode_error, decode_retrieval, decode_retrievals, decode_seq_reply,
+    decode_server_hello, decode_server_stats, decode_server_stats_extended, decode_solve_outcome,
+    decode_symbols, encode_client_hello_caps, encode_consult, encode_repl_ack, encode_retrieve,
+    encode_retrieve_batch, encode_solve, encode_subscribe_log, opcode, ConsultReq, ErrorCode,
+    Frame, FrameReader, HelloStatus, ReplAck, RetrieveBatchReq, RetrieveReq, SolveReq,
+    SubscribeLogReq, CAP_FRAME_CRC, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN,
+    STATS_REQ_EXTENDED,
 };
 use clare_trace::MetricsSnapshot;
 
@@ -90,6 +92,9 @@ pub struct NetClient {
     stash: Vec<Frame>,
     next_id: u64,
     server_version: u16,
+    /// Knowledge-base build fingerprint the server reported in its hello;
+    /// the cluster layer refuses to pair backends with differing bases.
+    kb_fingerprint: u64,
     /// Negotiated on the handshake: CRC32C trailers on frames both ways.
     checksums: bool,
     /// Deadline attached to subsequent requests; `None` = unlimited.
@@ -162,6 +167,7 @@ impl NetClient {
             stash: Vec::new(),
             next_id: 1,
             server_version: hello.version,
+            kb_fingerprint: hello.fingerprint,
             checksums,
             deadline: None,
         })
@@ -184,6 +190,14 @@ impl NetClient {
     /// The protocol version the server reported in its hello.
     pub fn server_version(&self) -> u16 {
         self.server_version
+    }
+
+    /// The knowledge-base build fingerprint the server reported in its
+    /// hello. Two servers with equal fingerprints hold byte-identical
+    /// base KBs (and thus identical symbol namespaces), which is what
+    /// makes shipped WAL records meaningful across them.
+    pub fn kb_fingerprint(&self) -> u64 {
+        self.kb_fingerprint
     }
 
     /// The address this client dialed.
@@ -477,6 +491,72 @@ impl NetClient {
     /// Liveness probe: one empty-payload round trip.
     pub fn ping(&mut self) -> Result<(), NetError> {
         self.roundtrip_idempotent(opcode::PING, Vec::new())?;
+        Ok(())
+    }
+
+    /// Subscribes this connection to the server's commit log from
+    /// `from_seq` (exclusive): the server first replays every already
+    /// committed op past that point, then pushes each new commit, all as
+    /// request-id-0 `LOG_FRAME` frames read with
+    /// [`NetClient::next_log_frame`]. Returns the server's current
+    /// sequence frontier at subscription time.
+    ///
+    /// A [`NetClient::reconnect`] drops the subscription; re-subscribe
+    /// from the last sequence applied downstream.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] with [`ErrorCode::ReplGap`] when `from_seq`
+    /// predates the server's compaction frontier — the overlay ops before
+    /// it are folded and can no longer be replayed.
+    pub fn subscribe_log(&mut self, from_seq: u64) -> Result<u64, NetError> {
+        let reply = self.roundtrip(
+            opcode::SUBSCRIBE_LOG,
+            encode_subscribe_log(&SubscribeLogReq { from_seq }),
+        )?;
+        Ok(decode_seq_reply(&reply.payload)?)
+    }
+
+    /// Blocks for the next `LOG_FRAME` pushed on this subscribed
+    /// connection and returns its raw ship-record payload (decode with
+    /// [`clare_wal::decode_ship_record`]). Pushes that arrived while a
+    /// reply was being awaited are drained first, in arrival order.
+    pub fn next_log_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        if let Some(i) = self
+            .stash
+            .iter()
+            .position(|f| f.request_id == 0 && f.opcode == opcode::LOG_FRAME)
+        {
+            return Ok(self.stash.remove(i).payload);
+        }
+        loop {
+            let frame = self.reader.read_frame(&mut self.stream)?;
+            if frame.request_id == 0 && frame.opcode == opcode::LOG_FRAME {
+                return Ok(frame.payload);
+            }
+            self.stash.push(frame);
+        }
+    }
+
+    /// Ships one WAL record (the bytes of `clare_wal::encode_ship_record`)
+    /// to this server for replicated apply; returns the server's
+    /// applied-through sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] with [`ErrorCode::ReplGap`] when the record
+    /// skips ahead of the sequence the server expects next (the message
+    /// names it); re-ship from there.
+    pub fn ship_log_frame(&mut self, ship_record: Vec<u8>) -> Result<u64, NetError> {
+        let reply = self.roundtrip(opcode::LOG_FRAME, ship_record)?;
+        Ok(decode_seq_reply(&reply.payload)?)
+    }
+
+    /// Reports to a subscribed-to primary that the downstream backup has
+    /// applied through `seq`; the primary updates its replication-lag
+    /// gauge.
+    pub fn repl_ack(&mut self, seq: u64) -> Result<(), NetError> {
+        self.roundtrip(opcode::REPL_ACK, encode_repl_ack(&ReplAck { seq }))?;
         Ok(())
     }
 }

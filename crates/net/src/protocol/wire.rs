@@ -27,7 +27,12 @@ use clare_trace::{HistogramSnapshot, MetricsSnapshot};
 ///
 /// Version 2 added the degradation fields to the retrieval / solve / stats
 /// payloads and the capability byte to both hellos.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// Version 3 added the replication stream opcodes (`SUBSCRIBE_LOG` /
+/// `LOG_FRAME` / `REPL_ACK`), the KB build fingerprint to the server
+/// hello (widening it from 12 to 20 bytes), and the `ReplGap` error
+/// code.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Hello capability bit: the peer wants CRC32C trailers on every frame
 /// ([`super::frame::FRAME_CRC_TRAILER`]). Effective only when requested by
@@ -41,12 +46,14 @@ pub const CLIENT_MAGIC: [u8; 4] = *b"CLRE";
 pub const SERVER_MAGIC: [u8; 4] = *b"CLRS";
 /// Byte length of the client hello (magic + version + reserved).
 pub const CLIENT_HELLO_LEN: usize = 8;
-/// Byte length of the server hello (magic + version + status + reserved +
-/// retry-after).
-pub const SERVER_HELLO_LEN: usize = 12;
+/// Byte length of the server hello (magic + version + status + caps +
+/// retry-after + KB build fingerprint).
+pub const SERVER_HELLO_LEN: usize = 20;
 
-/// Frame opcodes. Requests are `0x01..=0x09`; the matching reply is the
+/// Frame opcodes. Requests are `0x01..=0x0C`; the matching reply is the
 /// request opcode with the high bit set; `0xFF` is an error reply.
+/// `LOG_FRAME` doubles as a server push (request id 0) on a replication
+/// subscription.
 pub mod opcode {
     /// Liveness probe; empty payload both ways.
     pub const PING: u8 = 0x01;
@@ -70,6 +77,20 @@ pub mod opcode {
     /// removes the first live clause structurally equal to the source's
     /// single clause.
     pub const RETRACT: u8 = 0x09;
+    /// Replication subscription ([`super::SubscribeLogReq`] → current
+    /// sequence number): the server first pushes catch-up `LOG_FRAME`s
+    /// for every overlay op past `from_seq`, then streams each commit as
+    /// it lands. Pushed frames carry request id 0.
+    pub const SUBSCRIBE_LOG: u8 = 0x0A;
+    /// A shipped WAL record (`clare_wal::encode_ship_record` bytes). As a
+    /// server push (request id 0) it carries a freshly committed record
+    /// to a subscriber; as a request it asks a backup to apply the record
+    /// and reply with its applied-through sequence.
+    pub const LOG_FRAME: u8 = 0x0B;
+    /// Replication acknowledgement ([`super::ReplAck`] → empty reply):
+    /// tells a primary its backup has applied through a sequence number
+    /// (feeds the `cluster.repl_lag_frames` gauge).
+    pub const REPL_ACK: u8 = 0x0C;
     /// Reply bit: `reply opcode = request opcode | REPLY`.
     pub const REPLY: u8 = 0x80;
     /// Error reply ([`super::ErrorReply`]), sent in place of any reply.
@@ -94,6 +115,10 @@ pub enum ErrorCode {
     ConsultRejected,
     /// The server failed internally (e.g. a worker panicked).
     Internal,
+    /// A shipped `LOG_FRAME` arrived out of order: its sequence number
+    /// skips past what the backup has applied. The message carries the
+    /// expected sequence; the router resends from there.
+    ReplGap,
 }
 
 impl ErrorCode {
@@ -106,6 +131,7 @@ impl ErrorCode {
             ErrorCode::DeadlineExpired => 4,
             ErrorCode::ConsultRejected => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::ReplGap => 7,
         }
     }
 
@@ -118,6 +144,7 @@ impl ErrorCode {
             4 => ErrorCode::DeadlineExpired,
             5 => ErrorCode::ConsultRejected,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::ReplGap,
             _ => return None,
         })
     }
@@ -132,6 +159,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::DeadlineExpired => "deadline expired",
             ErrorCode::ConsultRejected => "consult rejected",
             ErrorCode::Internal => "internal server error",
+            ErrorCode::ReplGap => "replication sequence gap",
         })
     }
 }
@@ -327,6 +355,12 @@ pub struct ServerHello {
     /// the client requested). Version-1 servers left this byte zero, so
     /// their hellos decode as "no capabilities".
     pub caps: u8,
+    /// The serving knowledge base's build fingerprint
+    /// (`KnowledgeBase::content_fingerprint`, bytes 12..20). A cluster
+    /// router refuses a backend whose fingerprint disagrees with its
+    /// shard map — a wrong-KB backend would silently serve wrong-shard
+    /// answers. Zero on refusal paths where no KB is consulted.
+    pub fingerprint: u64,
 }
 
 /// Encodes the fixed-size server hello.
@@ -337,6 +371,7 @@ pub fn encode_server_hello(hello: &ServerHello) -> [u8; SERVER_HELLO_LEN] {
     out[6] = hello.status.to_wire();
     out[7] = hello.caps;
     out[8..12].copy_from_slice(&hello.retry_after_ms.to_be_bytes());
+    out[12..20].copy_from_slice(&hello.fingerprint.to_be_bytes());
     out
 }
 
@@ -345,12 +380,76 @@ pub fn decode_server_hello(raw: &[u8; SERVER_HELLO_LEN]) -> Result<ServerHello, 
     if raw[..4] != SERVER_MAGIC {
         return Err(err("bad server magic"));
     }
+    let mut fp = [0u8; 8];
+    fp.copy_from_slice(&raw[12..20]);
     Ok(ServerHello {
         version: u16::from_be_bytes([raw[4], raw[5]]),
         status: HelloStatus::from_wire(raw[6])?,
         retry_after_ms: u32::from_be_bytes([raw[8], raw[9], raw[10], raw[11]]),
         caps: raw[7],
+        fingerprint: u64::from_be_bytes(fp),
     })
+}
+
+// ---------------------------------------------------------------------------
+// Replication stream
+// ---------------------------------------------------------------------------
+
+/// A replication subscription request: stream every committed op with a
+/// sequence number greater than `from_seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscribeLogReq {
+    /// The subscriber has (or pretends to have) everything through this
+    /// sequence. `0` asks for the full overlay.
+    pub from_seq: u64,
+}
+
+/// Encodes a [`SubscribeLogReq`].
+pub fn encode_subscribe_log(req: &SubscribeLogReq) -> Vec<u8> {
+    req.from_seq.to_be_bytes().to_vec()
+}
+
+/// Decodes a [`SubscribeLogReq`].
+pub fn decode_subscribe_log(payload: &[u8]) -> Result<SubscribeLogReq, WireError> {
+    let mut c = Cur::new(payload);
+    let from_seq = c.u64()?;
+    c.finish()?;
+    Ok(SubscribeLogReq { from_seq })
+}
+
+/// Encodes the `SUBSCRIBE_LOG` reply and the `LOG_FRAME` request reply:
+/// one big-endian sequence number (the server's current / applied-through
+/// sequence).
+pub fn encode_seq_reply(seq: u64) -> Vec<u8> {
+    seq.to_be_bytes().to_vec()
+}
+
+/// Decodes a bare sequence-number reply.
+pub fn decode_seq_reply(payload: &[u8]) -> Result<u64, WireError> {
+    let mut c = Cur::new(payload);
+    let seq = c.u64()?;
+    c.finish()?;
+    Ok(seq)
+}
+
+/// A replication acknowledgement: the backup has applied through `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplAck {
+    /// Highest sequence number applied by the backup.
+    pub seq: u64,
+}
+
+/// Encodes a [`ReplAck`].
+pub fn encode_repl_ack(ack: &ReplAck) -> Vec<u8> {
+    ack.seq.to_be_bytes().to_vec()
+}
+
+/// Decodes a [`ReplAck`].
+pub fn decode_repl_ack(payload: &[u8]) -> Result<ReplAck, WireError> {
+    let mut c = Cur::new(payload);
+    let seq = c.u64()?;
+    c.finish()?;
+    Ok(ReplAck { seq })
 }
 
 // ---------------------------------------------------------------------------
@@ -1044,6 +1143,7 @@ mod tests {
                     status,
                     retry_after_ms: 250,
                     caps,
+                    fingerprint: 0x1234_5678_9ABC_DEF0,
                 };
                 assert_eq!(
                     decode_server_hello(&encode_server_hello(&hello)).unwrap(),

@@ -953,6 +953,7 @@ fn ingest(conn: &mut Conn, mut bytes: &[u8], shared: &Arc<Shared>) -> ConnVerdic
                 status: HelloStatus::Busy,
                 retry_after_ms: shared.cfg.retry_after_ms,
                 caps: 0,
+                fingerprint: shared.crs.snapshot().content_fingerprint(),
             };
             conn.outbound.enqueue(encode_server_hello(&hello).to_vec());
             conn.state = ConnState::Rejected;
@@ -974,6 +975,7 @@ fn ingest(conn: &mut Conn, mut bytes: &[u8], shared: &Arc<Shared>) -> ConnVerdic
             status,
             retry_after_ms: 0,
             caps,
+            fingerprint: shared.crs.snapshot().content_fingerprint(),
         };
         conn.outbound.enqueue(encode_server_hello(&hello).to_vec());
         if status != HelloStatus::Ok {

@@ -46,8 +46,9 @@ use clare_kb::KbConfig;
 use clare_term::{Symbol, Term};
 
 use crate::protocol::{
-    decode_client_hello_caps, decode_consult, decode_retrieve, decode_retrieve_batch, decode_solve,
-    encode_commit_receipt, encode_error, encode_retrieval, encode_retrievals, encode_server_hello,
+    decode_client_hello_caps, decode_consult, decode_repl_ack, decode_retrieve,
+    decode_retrieve_batch, decode_solve, decode_subscribe_log, encode_commit_receipt, encode_error,
+    encode_retrieval, encode_retrievals, encode_seq_reply, encode_server_hello,
     encode_server_stats, encode_server_stats_extended, encode_solve_outcome, encode_symbols,
     opcode, ConsultReq, ErrorCode, ErrorReply, Frame, FrameReader, HelloStatus, RetrieveBatchReq,
     RetrieveReq, ServerHello, SolveReq, CAP_FRAME_CRC, CLIENT_HELLO_LEN, MAX_FRAME_LEN,
@@ -306,6 +307,22 @@ enum Work {
         extended: bool,
     },
     Symbols,
+    /// Replication: register this connection as a log subscriber from the
+    /// given frontier; every commit is then pushed to it as a
+    /// request-id-0 `LOG_FRAME`.
+    SubscribeLog {
+        /// Resume point — the subscriber already holds ops `1..=from_seq`.
+        from_seq: u64,
+    },
+    /// Replication: one shipped WAL record to apply to this (backup)
+    /// server's overlay; answered with the applied-through sequence.
+    LogFrame(clare_wal::WalRecord),
+    /// Replication: the downstream backup has durably applied through
+    /// `seq`; updates the primary's lag gauge.
+    ReplAck {
+        /// Highest sequence the backup reports applied.
+        seq: u64,
+    },
 }
 
 struct Job {
@@ -628,6 +645,7 @@ fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
         status: HelloStatus::Busy,
         retry_after_ms: shared.cfg.retry_after_ms,
         caps: 0,
+        fingerprint: shared.crs.snapshot().content_fingerprint(),
     };
     let _ = stream.write_all(&encode_server_hello(&hello));
 }
@@ -665,6 +683,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         status,
         retry_after_ms: 0,
         caps,
+        fingerprint: shared.crs.snapshot().content_fingerprint(),
     };
     if stream.write_all(&encode_server_hello(&hello)).is_err() || status != HelloStatus::Ok {
         return;
@@ -841,7 +860,7 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
 
     for frame in burst {
         let id = frame.request_id;
-        if let op @ opcode::PING..=opcode::RETRACT = frame.opcode {
+        if let op @ opcode::PING..=opcode::REPL_ACK = frame.opcode {
             let m = clare_trace::metrics();
             m.net_frames_in[(op - opcode::PING) as usize].inc();
             m.net_bytes_in.add(frame.payload.len() as u64);
@@ -910,6 +929,36 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
                 extended: frame.payload.first() == Some(&STATS_REQ_EXTENDED),
             },
             opcode::SYMBOLS => Work::Symbols,
+            opcode::SUBSCRIBE_LOG => match decode_subscribe_log(&frame.payload) {
+                Ok(req) => Work::SubscribeLog {
+                    from_seq: req.from_seq,
+                },
+                Err(e) => {
+                    writer.send_error(id, ErrorCode::Malformed, 0, e.to_string());
+                    continue;
+                }
+            },
+            // The payload is one WAL ship record (`encode_ship_record`),
+            // exactly the bytes a subscriber push carries.
+            opcode::LOG_FRAME => match clare_wal::decode_ship_record(&frame.payload) {
+                Some(record) => Work::LogFrame(record),
+                None => {
+                    writer.send_error(
+                        id,
+                        ErrorCode::Malformed,
+                        0,
+                        "malformed WAL ship record".to_owned(),
+                    );
+                    continue;
+                }
+            },
+            opcode::REPL_ACK => match decode_repl_ack(&frame.payload) {
+                Ok(ack) => Work::ReplAck { seq: ack.seq },
+                Err(e) => {
+                    writer.send_error(id, ErrorCode::Malformed, 0, e.to_string());
+                    continue;
+                }
+            },
             other => {
                 writer.send_error(
                     id,
@@ -1129,6 +1178,97 @@ fn execute(shared: &Arc<Shared>, job: Job) {
                 job.request_id,
                 opcode::SYMBOLS | opcode::REPLY,
                 encode_symbols(&symbols),
+            ));
+        }
+        Work::SubscribeLog { from_seq } => {
+            // Catch-up and live pushes both ride the connection's writer
+            // as request-id-0 LOG_FRAMEs; the watcher unregisters itself
+            // (returns false) once the connection dies.
+            let writer = Arc::clone(&job.writer);
+            let watcher: clare_core::LogWatcher = Box::new(move |records| {
+                for record in records {
+                    if writer.dead.load(Ordering::Relaxed) {
+                        return false;
+                    }
+                    writer.send(&Frame::new(
+                        0,
+                        opcode::LOG_FRAME,
+                        clare_wal::encode_ship_record(record.seq, &record.op),
+                    ));
+                }
+                !writer.dead.load(Ordering::Relaxed)
+            });
+            match crs.subscribe_ops(from_seq, watcher) {
+                Ok(current) => job.writer.send(&Frame::new(
+                    job.request_id,
+                    opcode::SUBSCRIBE_LOG | opcode::REPLY,
+                    encode_seq_reply(current),
+                )),
+                Err(clare_core::SubscribeError::Gap { folded_through }) => {
+                    job.writer.send_error(
+                        job.request_id,
+                        ErrorCode::ReplGap,
+                        0,
+                        format!("log folded through seq {folded_through}; resync from a snapshot"),
+                    );
+                }
+            }
+        }
+        Work::LogFrame(record) => {
+            // Backup-side apply fault point: a chaos schedule can refuse
+            // the frame (the router must retry/resend) or stall it.
+            if clare_fault::active() {
+                match clare_fault::decide(clare_fault::FaultSite::ReplApply, record.seq) {
+                    clare_fault::FaultAction::Drop => {
+                        job.writer.send_error(
+                            job.request_id,
+                            ErrorCode::Busy,
+                            1,
+                            "replication apply refused (injected)".to_owned(),
+                        );
+                        return;
+                    }
+                    clare_fault::FaultAction::Delay { micros } => {
+                        std::thread::sleep(Duration::from_micros(micros));
+                    }
+                    _ => {}
+                }
+            }
+            match crs.apply_replicated(&record) {
+                Ok(applied) => job.writer.send(&Frame::new(
+                    job.request_id,
+                    opcode::LOG_FRAME | opcode::REPLY,
+                    encode_seq_reply(applied),
+                )),
+                Err(clare_core::CommitError::ReplicaGap { expected }) => {
+                    job.writer.send_error(
+                        job.request_id,
+                        ErrorCode::ReplGap,
+                        0,
+                        format!("expected seq {expected}, got {}", record.seq),
+                    );
+                }
+                Err(e) => {
+                    job.writer.send_error(
+                        job.request_id,
+                        ErrorCode::ConsultRejected,
+                        0,
+                        e.to_string(),
+                    );
+                }
+            }
+        }
+        Work::ReplAck { seq } => {
+            // The primary's view of how far its backup trails; reads can
+            // consult this to judge failover staleness.
+            let lag = crs.current_seq().saturating_sub(seq);
+            clare_trace::metrics()
+                .cluster_repl_lag_frames
+                .set(i64::try_from(lag).unwrap_or(i64::MAX));
+            job.writer.send(&Frame::new(
+                job.request_id,
+                opcode::REPL_ACK | opcode::REPLY,
+                Vec::new(),
             ));
         }
     }

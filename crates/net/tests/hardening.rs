@@ -116,10 +116,10 @@ fn hangup_once_proxy(upstream: SocketAddr) -> SocketAddr {
                     return;
                 };
                 // Forward the fixed-size hello exchange verbatim.
-                if pipe_exact(&mut down, &mut up, 8).is_err() {
+                if pipe_exact(&mut down, &mut up, clare_net::protocol::CLIENT_HELLO_LEN).is_err() {
                     return;
                 }
-                if pipe_exact(&mut up, &mut down, 12).is_err() {
+                if pipe_exact(&mut up, &mut down, clare_net::protocol::SERVER_HELLO_LEN).is_err() {
                     return;
                 }
                 if n == 0 {

@@ -258,6 +258,9 @@ fn net_op_names_align_with_wire_opcodes() {
         (opcode::SYMBOLS, "symbols"),
         (opcode::ASSERT, "assert"),
         (opcode::RETRACT, "retract"),
+        (opcode::SUBSCRIBE_LOG, "subscribe_log"),
+        (opcode::LOG_FRAME, "log_frame"),
+        (opcode::REPL_ACK, "repl_ack"),
     ];
     assert_eq!(expected.len(), clare_trace::NET_OPS);
     for (op, name) in expected {

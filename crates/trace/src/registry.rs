@@ -40,8 +40,8 @@ pub fn fs2_op_name(i: usize) -> &'static str {
 
 /// Wire opcodes tracked by the per-opcode frame counters, in counter
 /// index order. Mirrors `clare_net::protocol::opcode` request opcodes
-/// `0x01..=0x09` (index = opcode - 1).
-pub const NET_OPS: usize = 9;
+/// `0x01..=0x0C` (index = opcode - 1).
+pub const NET_OPS: usize = 12;
 
 /// Display name of net opcode counter `i`.
 pub fn net_op_name(i: usize) -> &'static str {
@@ -55,6 +55,9 @@ pub fn net_op_name(i: usize) -> &'static str {
         "symbols",
         "assert",
         "retract",
+        "subscribe_log",
+        "log_frame",
+        "repl_ack",
     ][i]
 }
 
@@ -153,6 +156,10 @@ pub struct Metrics {
     // --- compaction: folding the overlay into the base segments ----------
     /// Compaction passes started.
     pub compaction_runs: Counter,
+    /// Compaction passes started automatically because a commit pushed
+    /// the overlay past a configured size/age threshold (no manual
+    /// `compact_now`/`spawn_compaction` call involved).
+    pub compaction_auto_triggers: Counter,
     /// Compaction passes whose rebuilt base was swapped in.
     pub compaction_swaps: Counter,
     /// Compaction passes abandoned at the swap gate because the base
@@ -229,6 +236,23 @@ pub struct Metrics {
     /// (kernel buffer full or an injected torn write); the remainder
     /// waits parked against `EPOLLOUT`.
     pub net_reactor_partial_writes: Counter,
+    // --- cluster: the predicate-sharded router ---------------------------
+    /// Requests routed to a shard backend (every retrieve / assert /
+    /// retract the router forwarded, broadcast fan-out counted per
+    /// shard).
+    pub cluster_routed: Counter,
+    /// Shards failed over from primary to backup (manual promotions and
+    /// heartbeat-triggered automatic ones).
+    pub cluster_failovers: Counter,
+    /// WAL records shipped through the replication stream (primary →
+    /// router → backup forwards; resends count again).
+    pub cluster_repl_frames: Counter,
+    /// Answers the router flagged degraded because they were served by a
+    /// stale backup after failover.
+    pub cluster_degraded_answers: Counter,
+    /// Replication lag of the worst shard: records committed on the
+    /// primary but not yet acknowledged as applied by its backup.
+    pub cluster_repl_lag_frames: Gauge,
 }
 
 /// The dynamic per-predicate latency histograms. Lookup takes a read
@@ -313,6 +337,7 @@ static METRICS: Metrics = Metrics {
     wal_overlay_asserts: Counter::new(),
     wal_overlay_retracts: Counter::new(),
     compaction_runs: Counter::new(),
+    compaction_auto_triggers: Counter::new(),
     compaction_swaps: Counter::new(),
     compaction_aborts: Counter::new(),
     compaction_clauses: Counter::new(),
@@ -327,6 +352,9 @@ static METRICS: Metrics = Metrics {
     net_queue_wait_ns: Histogram::new(),
     net_busy_rejections: Counter::new(),
     net_frames_in: [
+        Counter::new(),
+        Counter::new(),
+        Counter::new(),
         Counter::new(),
         Counter::new(),
         Counter::new(),
@@ -352,6 +380,11 @@ static METRICS: Metrics = Metrics {
     net_reactor_outbound_bytes: Gauge::new(),
     net_reactor_backpressure_stalls: Counter::new(),
     net_reactor_partial_writes: Counter::new(),
+    cluster_routed: Counter::new(),
+    cluster_failovers: Counter::new(),
+    cluster_repl_frames: Counter::new(),
+    cluster_degraded_answers: Counter::new(),
+    cluster_repl_lag_frames: Gauge::new(),
 };
 
 /// The process-wide registry every layer records into.
@@ -414,6 +447,10 @@ impl Metrics {
                 self.wal_overlay_retracts.get(),
             ),
             ("compaction.runs".into(), self.compaction_runs.get()),
+            (
+                "compaction.auto_triggers".into(),
+                self.compaction_auto_triggers.get(),
+            ),
             ("compaction.swaps".into(), self.compaction_swaps.get()),
             ("compaction.aborts".into(), self.compaction_aborts.get()),
             ("compaction.clauses".into(), self.compaction_clauses.get()),
@@ -453,6 +490,13 @@ impl Metrics {
                 "net.reactor.partial_writes".into(),
                 self.net_reactor_partial_writes.get(),
             ),
+            ("cluster.routed".into(), self.cluster_routed.get()),
+            ("cluster.failovers".into(), self.cluster_failovers.get()),
+            ("cluster.repl_frames".into(), self.cluster_repl_frames.get()),
+            (
+                "cluster.degraded_answers".into(),
+                self.cluster_degraded_answers.get(),
+            ),
         ];
         for (i, c) in self.fs2_ops.iter().enumerate() {
             counters.push((format!("fs2.op.{}", fs2_op_name(i)), c.get()));
@@ -474,6 +518,10 @@ impl Metrics {
             (
                 "net.reactor.outbound_bytes".into(),
                 self.net_reactor_outbound_bytes.get(),
+            ),
+            (
+                "cluster.repl_lag_frames".into(),
+                self.cluster_repl_lag_frames.get(),
             ),
         ];
         let mut histograms = vec![

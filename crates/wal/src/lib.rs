@@ -30,5 +30,8 @@
 pub mod log;
 pub mod overlay;
 
-pub use log::{ReplayReport, Wal, WalError, WalOp, WalRecord};
+pub use log::{
+    decode_ship_record, encode_ship_record, ReplayReport, Wal, WalError, WalOp, WalRecord,
+    MAX_PAYLOAD,
+};
 pub use overlay::{ApplyOutcome, Overlay, OverlayClause, OverlayError, PredDelta};

@@ -69,6 +69,31 @@ impl WalOp {
             WalOp::Assert { source, .. } | WalOp::Retract { source, .. } => source,
         }
     }
+
+    /// Checks that this op fits the frame encoding: the module name must
+    /// fit its `u16` length prefix and the whole payload must stay under
+    /// [`MAX_PAYLOAD`]. Without this gate, `module.len() as u16` would
+    /// silently truncate the length prefix and write a structurally
+    /// corrupt frame that poisons replay.
+    pub fn validate(&self) -> Result<(), WalError> {
+        let module = self.module();
+        if module.len() > u16::MAX as usize {
+            return Err(WalError::OpTooLarge {
+                what: "module name",
+                len: module.len(),
+                max: u16::MAX as usize,
+            });
+        }
+        let payload = 15 + module.len() + self.source().len();
+        if payload > MAX_PAYLOAD as usize {
+            return Err(WalError::OpTooLarge {
+                what: "frame payload",
+                len: payload,
+                max: MAX_PAYLOAD as usize,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// A [`WalOp`] with the sequence number the log assigned it.
@@ -97,6 +122,17 @@ pub enum WalError {
     /// handle refuses further appends (reopening the file recovers by
     /// truncating the torn tail).
     Poisoned,
+    /// An operation does not fit the frame encoding (module name beyond
+    /// its `u16` length prefix, or payload beyond [`MAX_PAYLOAD`]).
+    /// Refused before any byte reaches the file.
+    OpTooLarge {
+        /// Which part overflowed (`"module name"` / `"frame payload"`).
+        what: &'static str,
+        /// The offending length in bytes.
+        len: usize,
+        /// The encoding's limit for that part.
+        max: usize,
+    },
 }
 
 impl fmt::Display for WalError {
@@ -110,6 +146,9 @@ impl fmt::Display for WalError {
                 f,
                 "wal poisoned by an earlier failed append; reopen the file to recover"
             ),
+            WalError::OpTooLarge { what, len, max } => {
+                write!(f, "wal op {what} is {len} bytes (limit {max})")
+            }
         }
     }
 }
@@ -142,13 +181,23 @@ pub struct ReplayReport {
 
 const FRAME_HEADER: usize = 8;
 /// Upper bound on one frame's payload — a sanity gate that turns a
-/// garbage length prefix (torn header) into a clean end-of-log.
-const MAX_PAYLOAD: u32 = 1 << 24;
+/// garbage length prefix (torn header) into a clean end-of-log, and the
+/// size limit [`WalOp::validate`] enforces before encoding.
+pub const MAX_PAYLOAD: u32 = 1 << 24;
 
 const OP_ASSERT: u8 = 1;
 const OP_RETRACT: u8 = 2;
 
-fn encode_frame(out: &mut Vec<u8>, seq: u64, op: &WalOp) {
+/// Encodes one `(seq, op)` pair exactly the way a WAL frame payload
+/// carries it (the bytes after the `len`/`crc` header). This is the unit
+/// the cluster's replication stream ships: a backup decodes it with
+/// [`decode_ship_record`] and applies it through `Overlay::apply` with
+/// the primary's sequence number, so a shipped op is byte-identical to
+/// the op the primary logged.
+///
+/// The op must satisfy [`WalOp::validate`]; an oversized op would encode
+/// a truncated length prefix.
+pub fn encode_ship_record(seq: u64, op: &WalOp) -> Vec<u8> {
     let (code, module, source) = match op {
         WalOp::Assert { module, source } => (OP_ASSERT, module, source),
         WalOp::Retract { module, source } => (OP_RETRACT, module, source),
@@ -160,6 +209,19 @@ fn encode_frame(out: &mut Vec<u8>, seq: u64, op: &WalOp) {
     payload.extend_from_slice(module.as_bytes());
     payload.extend_from_slice(&(source.len() as u32).to_le_bytes());
     payload.extend_from_slice(source.as_bytes());
+    payload
+}
+
+/// Decodes a shipped record produced by [`encode_ship_record`] (a WAL
+/// frame payload without its `len`/`crc` header). `None` on any
+/// structural violation — the replication layer treats that as a
+/// corrupt frame, never a partial record.
+pub fn decode_ship_record(bytes: &[u8]) -> Option<WalRecord> {
+    decode_payload(bytes)
+}
+
+fn encode_frame(out: &mut Vec<u8>, seq: u64, op: &WalOp) {
+    let payload = encode_ship_record(seq, op);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&clare_fault::crc32c(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
@@ -311,6 +373,13 @@ impl Wal {
         let first = self.next_seq;
         if ops.is_empty() {
             return Ok(first..first);
+        }
+        // Size-gate every op before any byte is encoded: an oversized
+        // module name would truncate its u16 length prefix and write a
+        // structurally corrupt frame. Refusal leaves the handle clean —
+        // nothing was written, so nothing is poisoned.
+        for op in ops {
+            op.validate()?;
         }
         let mut buf = Vec::new();
         for (i, op) in ops.iter().enumerate() {
@@ -489,6 +558,75 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(wal.append_batch(&[op(1)]).unwrap(), 2..3);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversized_module_is_refused_not_corrupted() {
+        // Regression: `module.len() as u16` used to truncate silently,
+        // writing a frame whose length prefix disagreed with its bytes.
+        let path = temp_path("oversized");
+        let (mut wal, _, _) = Wal::open(&path).unwrap();
+        wal.append_batch(&[op(0)]).unwrap();
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+
+        let big = WalOp::Assert {
+            module: "m".repeat(70_000), // > 64 KiB: overflows the u16 prefix
+            source: "p(a).".into(),
+        };
+        match wal.append_batch(&[big]) {
+            Err(WalError::OpTooLarge { what, len, max }) => {
+                assert_eq!(what, "module name");
+                assert_eq!(len, 70_000);
+                assert_eq!(max, u16::MAX as usize);
+            }
+            other => panic!("expected OpTooLarge, got {other:?}"),
+        }
+        // A refusal is not a failure: no bytes written, handle not
+        // poisoned, and the file still replays cleanly.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        assert_eq!(wal.append_batch(&[op(1)]).unwrap(), 2..3);
+        drop(wal);
+        let (_, records, report) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(report.truncated_tail_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversized_payload_is_refused() {
+        let big = WalOp::Assert {
+            module: "m".into(),
+            source: "x".repeat(MAX_PAYLOAD as usize),
+        };
+        assert!(matches!(
+            big.validate(),
+            Err(WalError::OpTooLarge {
+                what: "frame payload",
+                ..
+            })
+        ));
+        // The boundary itself fits: payload == MAX_PAYLOAD exactly.
+        let fits = WalOp::Assert {
+            module: "m".into(),
+            source: "x".repeat(MAX_PAYLOAD as usize - 16),
+        };
+        fits.validate().unwrap();
+    }
+
+    #[test]
+    fn ship_record_round_trips() {
+        for i in 0..6 {
+            let rec = WalRecord {
+                seq: i as u64 + 1,
+                op: op(i),
+            };
+            let bytes = encode_ship_record(rec.seq, &rec.op);
+            assert_eq!(decode_ship_record(&bytes).unwrap(), rec);
+            // Every truncation is refused, never mis-decoded.
+            for cut in 0..bytes.len() {
+                assert!(decode_ship_record(&bytes[..cut]).is_none());
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`core`] | Clause Retrieval Server, search modes, resolution |
 //! | [`workload`] | synthetic knowledge bases and query sets |
 //! | [`net`] | PIF-over-TCP wire protocol, serving daemon, client |
+//! | [`cluster`] | predicate-sharded router, log-shipping replication |
 //! | [`trace`] | process-wide metrics registry, spans, sinks |
 //!
 //! # Quickstart
@@ -43,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub use clare_cluster as cluster;
 pub use clare_core as core;
 pub use clare_disk as disk;
 pub use clare_fs2 as fs2;
