@@ -30,6 +30,16 @@ pub enum ClusterError {
     /// The shard index is out of range or the shard cannot serve the
     /// request (e.g. promoting a shard that has no backup).
     NoBackup(usize),
+    /// The shard's circuit breaker is open: its backend failed (or was
+    /// overloaded) enough times in a row that the router fast-fails
+    /// requests instead of queueing more work behind a sick node. The
+    /// breaker admits a half-open probe after `retry_after`.
+    ShardUnavailable {
+        /// The shard whose breaker is open.
+        shard: usize,
+        /// How long until the breaker admits a probe request.
+        retry_after: std::time::Duration,
+    },
     /// A backend conversation failed.
     Net(NetError),
     /// The source text failed to parse on the router (routing needs the
@@ -57,6 +67,10 @@ impl std::fmt::Display for ClusterError {
             ClusterError::NoBackup(shard) => {
                 write!(f, "shard {shard} has no backup to promote")
             }
+            ClusterError::ShardUnavailable { shard, retry_after } => write!(
+                f,
+                "shard {shard} circuit breaker is open; retry in {retry_after:?}"
+            ),
             ClusterError::Net(e) => write!(f, "backend error: {e}"),
             ClusterError::Parse(e) => write!(f, "router-side parse failed: {e}"),
         }

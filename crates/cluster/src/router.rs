@@ -47,6 +47,15 @@ pub struct RouterConfig {
     pub auto_failover: bool,
     /// Connect/read timeout for one health probe.
     pub health_timeout: Duration,
+    /// Consecutive breaker-relevant failures (`Busy` refusals, I/O or
+    /// protocol failures, timeouts) on one shard before its circuit
+    /// breaker opens and requests fast-fail with
+    /// [`ClusterError::ShardUnavailable`] instead of piling onto a sick
+    /// backend. 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker holds requests off before admitting a
+    /// single half-open probe; the probe's outcome closes or re-opens it.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for RouterConfig {
@@ -57,6 +66,36 @@ impl Default for RouterConfig {
             heartbeat_misses: 3,
             auto_failover: true,
             health_timeout: Duration::from_millis(250),
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Circuit-breaker state machine for one shard.
+///
+/// `Closed` (healthy) —K consecutive failures→ `Open` (fast-fail every
+/// request) —cooldown elapses→ `HalfOpen` (exactly one probe request
+/// admitted; everyone else still fast-fails) —probe succeeds→ `Closed`,
+/// —probe fails→ `Open` again with a fresh cooldown.
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    Closed,
+    Open { since: Instant },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    consecutive: u32,
+    state: BreakerState,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            consecutive: 0,
+            state: BreakerState::Closed,
         }
     }
 }
@@ -109,6 +148,8 @@ struct Shard {
     last_acked: AtomicU64,
     /// Consecutive failed health probes.
     misses: AtomicU64,
+    /// Serving-path circuit breaker (see [`BreakerState`]).
+    breaker: Mutex<Breaker>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -181,6 +222,7 @@ impl Router {
                 lagging: AtomicBool::new(false),
                 last_acked: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                breaker: Mutex::new(Breaker::new()),
             }));
         }
 
@@ -291,6 +333,99 @@ impl Router {
     }
 
     // ------------------------------------------------------------------
+    // Circuit breaker
+    // ------------------------------------------------------------------
+
+    /// Whether this failure says something about the *shard's* health
+    /// (overload refusals, dead or garbled transport, timeouts) rather
+    /// than about the one request (parse rejections, budget trips, a
+    /// replication gap). Only health failures feed the breaker —
+    /// otherwise a stream of malformed writes would take a healthy
+    /// shard out of rotation.
+    fn breaker_relevant(e: &ClusterError) -> bool {
+        match e {
+            ClusterError::Net(net) => match net {
+                NetError::Busy { .. } => true,
+                NetError::Remote { code, .. } => *code == ErrorCode::Busy,
+                // Io, framing, protocol: the transport itself died or
+                // desynced — the connection-fatal set.
+                other => other.is_connection_fatal(),
+            },
+            _ => false,
+        }
+    }
+
+    /// Admission check before touching a shard's backend. `Ok(())`
+    /// means proceed (and, in half-open, that this request *is* the
+    /// probe); `Err` is the typed fast-fail.
+    fn breaker_admit(&self, shard: &Shard) -> Result<(), ClusterError> {
+        if self.cfg.breaker_threshold == 0 {
+            return Ok(());
+        }
+        let mut breaker = lock(&shard.breaker);
+        match breaker.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open { since } => {
+                let elapsed = since.elapsed();
+                if elapsed >= self.cfg.breaker_cooldown {
+                    // Cooldown over: this request becomes the probe.
+                    breaker.state = BreakerState::HalfOpen;
+                    clare_trace::metrics().router_breaker_half_open_probes.inc();
+                    Ok(())
+                } else {
+                    clare_trace::metrics().router_breaker_rejections.inc();
+                    Err(ClusterError::ShardUnavailable {
+                        shard: shard.index,
+                        retry_after: self.cfg.breaker_cooldown - elapsed,
+                    })
+                }
+            }
+            BreakerState::HalfOpen => {
+                // A probe is already in flight; keep everyone else out
+                // until it resolves.
+                clare_trace::metrics().router_breaker_rejections.inc();
+                Err(ClusterError::ShardUnavailable {
+                    shard: shard.index,
+                    retry_after: self.cfg.breaker_cooldown,
+                })
+            }
+        }
+    }
+
+    /// Feeds one backend conversation's outcome into the shard's
+    /// breaker. Success closes it from any state; a health-relevant
+    /// failure opens it after [`RouterConfig::breaker_threshold`]
+    /// consecutive misses — or immediately when it was the half-open
+    /// probe that failed.
+    fn breaker_record(&self, shard: &Shard, outcome: Result<(), &ClusterError>) {
+        if self.cfg.breaker_threshold == 0 {
+            return;
+        }
+        let mut breaker = lock(&shard.breaker);
+        match outcome {
+            Ok(()) => {
+                breaker.consecutive = 0;
+                breaker.state = BreakerState::Closed;
+            }
+            Err(e) if Self::breaker_relevant(e) => {
+                breaker.consecutive = breaker.consecutive.saturating_add(1);
+                let probe_failed = matches!(breaker.state, BreakerState::HalfOpen);
+                if probe_failed || breaker.consecutive >= self.cfg.breaker_threshold {
+                    if !matches!(breaker.state, BreakerState::Open { .. }) {
+                        clare_trace::metrics().router_breaker_opens.inc();
+                    }
+                    breaker.state = BreakerState::Open {
+                        since: Instant::now(),
+                    };
+                }
+            }
+            // Request-specific failures neither trip nor reset: they say
+            // nothing about shard health either way.
+            Err(_) => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Reads
     // ------------------------------------------------------------------
 
@@ -320,7 +455,12 @@ impl Router {
         mode: SearchMode,
     ) -> Result<Retrieval, ClusterError> {
         let shard = &self.shards[shard];
-        let mut retrieval = lock(&shard.serving).retrieve(query, mode)?;
+        self.breaker_admit(shard)?;
+        let result = lock(&shard.serving)
+            .retrieve(query, mode)
+            .map_err(ClusterError::from);
+        self.breaker_record(shard, result.as_ref().map(|_| ()));
+        let mut retrieval = result?;
         if shard.failed_over.load(Ordering::Relaxed) && shard.stale.load(Ordering::Relaxed) {
             retrieval.mark_degraded();
             clare_trace::metrics().cluster_degraded_answers.inc();
@@ -388,14 +528,18 @@ impl Router {
 
         clare_trace::metrics().cluster_routed.inc();
         let shard = &self.shards[target];
-        let receipt = {
+        self.breaker_admit(shard)?;
+        let result = {
             let mut serving = lock(&shard.serving);
             if is_assert {
-                serving.assert(module, source)?
+                serving.assert(module, source)
             } else {
-                serving.retract(module, source)?
+                serving.retract(module, source)
             }
-        };
+        }
+        .map_err(ClusterError::from);
+        self.breaker_record(shard, result.as_ref().map(|_| ()));
+        let receipt = result?;
 
         let replicated = if receipt.seqs.end > receipt.seqs.start {
             let last = receipt.seqs.end - 1;

@@ -16,6 +16,7 @@
 //! modes differ in elapsed time and in how many false drops reach the full
 //! unifier.
 
+use crate::budget::{BudgetExceeded, BudgetReason, CancelToken};
 use crate::cache::{CacheConfig, Fs1Cache};
 use crate::cost::SoftwareCostModel;
 use clare_disk::{DiskProfile, SimNanos, Track};
@@ -230,7 +231,70 @@ pub fn retrieve(
     mode: SearchMode,
     opts: &CrsOptions,
 ) -> Retrieval {
-    retrieve_inner(kb, None, query, mode, opts, Precomputed::default(), None)
+    unlimited(retrieve_inner(
+        kb,
+        None,
+        query,
+        mode,
+        opts,
+        Precomputed::default(),
+        None,
+        &CancelToken::unlimited(),
+    ))
+}
+
+/// Unwraps a pipeline result produced under the unlimited token, which
+/// cannot trip.
+fn unlimited<T>(result: Result<T, BudgetExceeded>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(_) => unreachable!("the unlimited budget cannot trip"),
+    }
+}
+
+/// [`retrieve`] under a request budget: the token's deadline and
+/// candidate limit are checked at cooperative checkpoints (every FS1
+/// shard claim, every FS2 track, every ~64 candidates of the full
+/// unifier), and a tripped budget returns a typed [`BudgetExceeded`]
+/// carrying the partial statistics — never a truncated candidate list.
+pub fn retrieve_budgeted(
+    kb: &KnowledgeBase,
+    query: &Term,
+    mode: SearchMode,
+    opts: &CrsOptions,
+    cancel: &CancelToken,
+) -> Result<Retrieval, BudgetExceeded> {
+    retrieve_inner(
+        kb,
+        None,
+        query,
+        mode,
+        opts,
+        Precomputed::default(),
+        None,
+        cancel,
+    )
+}
+
+/// [`retrieve_merged`] under a request budget (see [`retrieve_budgeted`]).
+pub fn retrieve_merged_budgeted(
+    kb: &KnowledgeBase,
+    overlay: &Overlay,
+    query: &Term,
+    mode: SearchMode,
+    opts: &CrsOptions,
+    cancel: &CancelToken,
+) -> Result<Retrieval, BudgetExceeded> {
+    retrieve_inner(
+        kb,
+        Some(overlay),
+        query,
+        mode,
+        opts,
+        Precomputed::default(),
+        None,
+        cancel,
+    )
 }
 
 /// [`retrieve`] over the base snapshot *merged with* a memtable overlay
@@ -248,7 +312,7 @@ pub fn retrieve_merged(
     mode: SearchMode,
     opts: &CrsOptions,
 ) -> Retrieval {
-    retrieve_inner(
+    unlimited(retrieve_inner(
         kb,
         Some(overlay),
         query,
@@ -256,7 +320,8 @@ pub fn retrieve_merged(
         opts,
         Precomputed::default(),
         None,
-    )
+        &CancelToken::unlimited(),
+    ))
 }
 
 /// [`retrieve_merged`] with an FS1 cache seam: the scan phase consults
@@ -273,8 +338,18 @@ pub(crate) fn retrieve_cached(
     mode: SearchMode,
     opts: &CrsOptions,
     fs1: Option<&dyn Fs1Cache>,
-) -> Retrieval {
-    retrieve_inner(kb, overlay, query, mode, opts, Precomputed::default(), fs1)
+    cancel: &CancelToken,
+) -> Result<Retrieval, BudgetExceeded> {
+    retrieve_inner(
+        kb,
+        overlay,
+        query,
+        mode,
+        opts,
+        Precomputed::default(),
+        fs1,
+        cancel,
+    )
 }
 
 /// Retrieves candidates for several queries, amortizing the hardware
@@ -291,7 +366,37 @@ pub fn retrieve_batch(
     mode: SearchMode,
     opts: &CrsOptions,
 ) -> Vec<Retrieval> {
-    retrieve_batch_cached(kb, None, queries, mode, opts, &vec![None; queries.len()])
+    unlimited(retrieve_batch_cached(
+        kb,
+        None,
+        queries,
+        mode,
+        opts,
+        &vec![None; queries.len()],
+        &CancelToken::unlimited(),
+    ))
+}
+
+/// [`retrieve_batch`] under one shared request budget: the whole batch
+/// counts against the same deadline and candidate ceiling, and a tripped
+/// budget abandons the batch with a typed [`BudgetExceeded`] — no member
+/// gets a partial answer.
+pub fn retrieve_batch_budgeted(
+    kb: &KnowledgeBase,
+    queries: &[Term],
+    mode: SearchMode,
+    opts: &CrsOptions,
+    cancel: &CancelToken,
+) -> Result<Vec<Retrieval>, BudgetExceeded> {
+    retrieve_batch_cached(
+        kb,
+        None,
+        queries,
+        mode,
+        opts,
+        &vec![None; queries.len()],
+        cancel,
+    )
 }
 
 /// [`retrieve_batch`] over the base snapshot merged with a memtable
@@ -306,14 +411,15 @@ pub fn retrieve_batch_merged(
     mode: SearchMode,
     opts: &CrsOptions,
 ) -> Vec<Retrieval> {
-    retrieve_batch_cached(
+    unlimited(retrieve_batch_cached(
         kb,
         Some(overlay),
         queries,
         mode,
         opts,
         &vec![None; queries.len()],
-    )
+        &CancelToken::unlimited(),
+    ))
 }
 
 /// [`retrieve_batch`] with a per-query FS1 cache seam (parallel to
@@ -327,7 +433,8 @@ pub(crate) fn retrieve_batch_cached(
     mode: SearchMode,
     opts: &CrsOptions,
     caches: &[Option<&dyn Fs1Cache>],
-) -> Vec<Retrieval> {
+    cancel: &CancelToken,
+) -> Result<Vec<Retrieval>, BudgetExceeded> {
     debug_assert_eq!(caches.len(), queries.len());
     let cache_of = |i: usize| caches.get(i).copied().flatten();
     // Group hardware-eligible queries by predicate so each group shares
@@ -364,7 +471,16 @@ pub(crate) fn retrieve_batch_cached(
                     .map(|&i| encode_query_descriptor(&queries[i], index.config()))
                     .collect();
                 let workers = opts.fs1_parallelism.unwrap_or(index.config().parallelism());
-                let outcomes = index.scan_batch_with(&descriptors, workers);
+                let outcomes = if cancel.is_unlimited() {
+                    index.scan_batch_with(&descriptors, workers)
+                } else {
+                    match index.scan_batch_with_cancel(&descriptors, workers, &|| {
+                        cancel.checkpoint().is_err()
+                    }) {
+                        Some(outcomes) => outcomes,
+                        None => return Err(exceeded(tripped_reason(cancel), None)),
+                    }
+                };
                 for (&i, outcome) in need.iter().zip(outcomes) {
                     if let Some(cache) = cache_of(i) {
                         cache.put(&outcome);
@@ -396,7 +512,10 @@ pub(crate) fn retrieve_batch_cached(
                 job_of.push(i);
                 jobs.push((engine, tracks));
             }
-            let outcomes = fs2_sweep_jobs(pred, &jobs, opts);
+            let outcomes = match fs2_sweep_jobs(pred, &jobs, opts, cancel) {
+                Ok(outcomes) => outcomes,
+                Err(reason) => return Err(exceeded(reason, None)),
+            };
             for ((i, (_, tracks)), outcomes) in job_of.iter().copied().zip(jobs).zip(outcomes) {
                 pre[i].fs2 = Some(Fs2Sweep { tracks, outcomes });
             }
@@ -407,8 +526,26 @@ pub(crate) fn retrieve_batch_cached(
         .iter()
         .zip(pre)
         .enumerate()
-        .map(|(i, (query, pre))| retrieve_inner(kb, overlay, query, mode, opts, pre, cache_of(i)))
+        .map(|(i, (query, pre))| {
+            retrieve_inner(kb, overlay, query, mode, opts, pre, cache_of(i), cancel)
+        })
         .collect()
+}
+
+/// The reason stored in a tripped token (the caller just observed a
+/// cancelled scan, so the token must be tripped; deadline is the
+/// conservative fallback if a race hid the reason).
+fn tripped_reason(cancel: &CancelToken) -> BudgetReason {
+    cancel.checkpoint().err().unwrap_or(BudgetReason::Deadline)
+}
+
+/// Packages a tripped budget as the typed retrieval outcome.
+fn exceeded(reason: BudgetReason, stats: Option<RetrievalStats>) -> BudgetExceeded {
+    BudgetExceeded {
+        reason: Some(reason),
+        retrieval_stats: stats.map(Box::new),
+        solve_stats: None,
+    }
 }
 
 /// Hardware phases a batch has already run for one query: the FS1 scan
@@ -427,20 +564,22 @@ struct Fs2Sweep {
     outcomes: Vec<TrackMatches>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn retrieve_inner(
     kb: &KnowledgeBase,
     overlay: Option<&Overlay>,
     query: &Term,
     mode: SearchMode,
     opts: &CrsOptions,
-    mut pre: Precomputed,
+    pre: Precomputed,
     fs1_cache: Option<&dyn Fs1Cache>,
-) -> Retrieval {
+    cancel: &CancelToken,
+) -> Result<Retrieval, BudgetExceeded> {
     let Some((functor, arity)) = query.functor_arity() else {
-        return Retrieval {
+        return Ok(Retrieval {
             candidates: Vec::new(),
             stats: RetrievalStats::empty(mode),
-        };
+        });
     };
     let delta = overlay
         .and_then(|o| o.delta(functor, arity))
@@ -451,12 +590,12 @@ fn retrieve_inner(
         // filter. Every overlay clause is a candidate (the superset
         // invariant holds trivially) and full unification weeds them.
         if let Some(delta) = delta {
-            return retrieve_overlay_only(delta, query, mode, opts);
+            return retrieve_overlay_only(delta, query, mode, opts, cancel);
         }
-        return Retrieval {
+        return Ok(Retrieval {
             candidates: Vec::new(),
             stats: RetrievalStats::empty(mode),
-        };
+        });
     };
     let disk_resident = module.kind() == ModuleKind::Large;
 
@@ -479,43 +618,23 @@ fn retrieve_inner(
     let mut stats = RetrievalStats::empty(effective_mode);
     stats.clauses_total = pred.clauses().len();
 
-    let mut candidates: Vec<ClauseId> = match effective_mode {
-        SearchMode::SoftwareOnly => software_phase(pred, query, opts, disk_resident, &mut stats),
-        SearchMode::Fs1Only => {
-            let addrs = fs1_phase(pred, query, opts, pre.fs1.take(), fs1_cache, &mut stats);
-            fetch_candidate_tracks(pred, &addrs, opts, &mut stats);
-            stats.after_fs1 = Some(addrs.len());
-            addrs_to_ids(pred, &addrs)
-        }
-        SearchMode::Fs2Only => {
-            let mut engine = hw_query.expect("checked above");
-            let all_tracks: Vec<usize> = (0..pred.file().track_count()).collect();
-            let sweep = take_sweep(&mut pre, &all_tracks);
-            let satisfiers = fs2_phase(pred, &mut engine, &all_tracks, opts, &mut stats, sweep);
-            stats.after_fs2 = Some(satisfiers.len());
-            addrs_to_ids(pred, &satisfiers)
-        }
-        SearchMode::TwoStage => {
-            let mut engine = hw_query.expect("checked above");
-            let fs1_addrs = fs1_phase(pred, query, opts, pre.fs1.take(), fs1_cache, &mut stats);
-            stats.after_fs1 = Some(fs1_addrs.len());
-            let tracks = candidate_tracks(&fs1_addrs);
-            let sweep = take_sweep(&mut pre, &tracks);
-            let fs2_addrs = fs2_phase(pred, &mut engine, &tracks, opts, &mut stats, sweep);
-            // Intersect: only clauses selected by both stages go on.
-            let fs1_set: BTreeSet<ClauseAddr> = fs1_addrs.into_iter().collect();
-            let joint: Vec<ClauseAddr> = fs2_addrs
-                .into_iter()
-                .filter(|a| fs1_set.contains(a))
-                .collect();
-            // FS1 candidates the FS2 verdicts rejected: the numerator of
-            // the FS1 false-drop rate (`fs1.false_drops / fs1.candidates_out`).
-            clare_trace::metrics()
-                .fs1_false_drops
-                .add((fs1_set.len() - joint.len()) as u64);
-            stats.after_fs2 = Some(joint.len());
-            addrs_to_ids(pred, &joint)
-        }
+    let mut candidates = match phase_candidates(
+        pred,
+        query,
+        effective_mode,
+        hw_query,
+        disk_resident,
+        opts,
+        pre,
+        fs1_cache,
+        &mut stats,
+        cancel,
+    ) {
+        Ok(candidates) => candidates,
+        // A tripped budget surfaces the partial stats, never a partial
+        // candidate list — and (structurally) never reaches any cache:
+        // the Err path returns before the caller's note_outcome hook.
+        Err(reason) => return Err(exceeded(reason, Some(stats))),
     };
 
     // Merge the memtable delta: retracted base clauses leave the
@@ -533,10 +652,21 @@ fn retrieve_inner(
         stats.clauses_total = base_len - delta.retracted_base().len() + adds;
     }
 
+    // The candidate ceiling is charged on the final merged set, before
+    // any full-unification work is spent on it.
+    if let Err(reason) = cancel.note_candidates(candidates.len() as u64) {
+        return Err(exceeded(reason, Some(stats)));
+    }
+
     // Full unification of the survivors — the answer set.
     let query_nodes = term_size(query);
     let mut unified = 0usize;
-    for id in &candidates {
+    for (i, id) in candidates.iter().enumerate() {
+        if i % 64 == 0 {
+            if let Err(reason) = cancel.checkpoint() {
+                return Err(exceeded(reason, Some(stats)));
+            }
+        }
         let idx = id.index() as usize;
         let clause = match delta {
             Some(d) if idx >= base_len => &d.added()[idx - base_len].clause,
@@ -557,7 +687,65 @@ fn retrieve_inner(
         clare_trace::metrics().crs_degraded_answers.inc();
     }
 
-    Retrieval { candidates, stats }
+    Ok(Retrieval { candidates, stats })
+}
+
+/// Runs the mode-selected filter phases, producing the base-file
+/// candidate ids. Split out of [`retrieve_inner`] so a tripped budget can
+/// return through one seam with the partial stats still in hand.
+#[allow(clippy::too_many_arguments)]
+fn phase_candidates(
+    pred: &Predicate,
+    query: &Term,
+    effective_mode: SearchMode,
+    hw_query: Option<Fs2Engine>,
+    disk_resident: bool,
+    opts: &CrsOptions,
+    mut pre: Precomputed,
+    fs1_cache: Option<&dyn Fs1Cache>,
+    stats: &mut RetrievalStats,
+    cancel: &CancelToken,
+) -> Result<Vec<ClauseId>, BudgetReason> {
+    Ok(match effective_mode {
+        SearchMode::SoftwareOnly => {
+            software_phase(pred, query, opts, disk_resident, stats, cancel)?
+        }
+        SearchMode::Fs1Only => {
+            let addrs = fs1_phase(pred, query, opts, pre.fs1.take(), fs1_cache, stats, cancel)?;
+            fetch_candidate_tracks(pred, &addrs, opts, stats);
+            stats.after_fs1 = Some(addrs.len());
+            addrs_to_ids(pred, &addrs)
+        }
+        SearchMode::Fs2Only => {
+            let mut engine = hw_query.expect("checked above");
+            let all_tracks: Vec<usize> = (0..pred.file().track_count()).collect();
+            let sweep = take_sweep(&mut pre, &all_tracks);
+            let satisfiers = fs2_phase(pred, &mut engine, &all_tracks, opts, stats, sweep, cancel)?;
+            stats.after_fs2 = Some(satisfiers.len());
+            addrs_to_ids(pred, &satisfiers)
+        }
+        SearchMode::TwoStage => {
+            let mut engine = hw_query.expect("checked above");
+            let fs1_addrs = fs1_phase(pred, query, opts, pre.fs1.take(), fs1_cache, stats, cancel)?;
+            stats.after_fs1 = Some(fs1_addrs.len());
+            let tracks = candidate_tracks(&fs1_addrs);
+            let sweep = take_sweep(&mut pre, &tracks);
+            let fs2_addrs = fs2_phase(pred, &mut engine, &tracks, opts, stats, sweep, cancel)?;
+            // Intersect: only clauses selected by both stages go on.
+            let fs1_set: BTreeSet<ClauseAddr> = fs1_addrs.into_iter().collect();
+            let joint: Vec<ClauseAddr> = fs2_addrs
+                .into_iter()
+                .filter(|a| fs1_set.contains(a))
+                .collect();
+            // FS1 candidates the FS2 verdicts rejected: the numerator of
+            // the FS1 false-drop rate (`fs1.false_drops / fs1.candidates_out`).
+            clare_trace::metrics()
+                .fs1_false_drops
+                .add((fs1_set.len() - joint.len()) as u64);
+            stats.after_fs2 = Some(joint.len());
+            addrs_to_ids(pred, &joint)
+        }
+    })
 }
 
 /// Retrieval for a predicate that lives only in the memtable overlay.
@@ -568,15 +756,24 @@ fn retrieve_overlay_only(
     query: &Term,
     mode: SearchMode,
     opts: &CrsOptions,
-) -> Retrieval {
+    cancel: &CancelToken,
+) -> Result<Retrieval, BudgetExceeded> {
     let mut stats = RetrievalStats::empty(mode);
     stats.clauses_total = delta.added().len();
     let candidates: Vec<ClauseId> = (0..delta.added().len())
         .map(|j| ClauseId::new(j as u32))
         .collect();
+    if let Err(reason) = cancel.note_candidates(candidates.len() as u64) {
+        return Err(exceeded(reason, Some(stats)));
+    }
     let query_nodes = term_size(query);
     let mut unified = 0usize;
-    for oc in delta.added() {
+    for (i, oc) in delta.added().iter().enumerate() {
+        if i % 64 == 0 {
+            if let Err(reason) = cancel.checkpoint() {
+                return Err(exceeded(reason, Some(stats)));
+            }
+        }
         stats.full_unify_time += opts
             .cost
             .full_unify_cost(query_nodes, term_size(oc.clause.head()));
@@ -588,7 +785,7 @@ fn retrieve_overlay_only(
     stats.unified = unified;
     stats.false_drops = candidates.len() - unified;
     stats.elapsed += stats.full_unify_time;
-    Retrieval { candidates, stats }
+    Ok(Retrieval { candidates, stats })
 }
 
 fn addrs_to_ids(pred: &Predicate, addrs: &[ClauseAddr]) -> Vec<ClauseId> {
@@ -629,13 +826,17 @@ fn software_phase(
     opts: &CrsOptions,
     disk_resident: bool,
     stats: &mut RetrievalStats,
-) -> Vec<ClauseId> {
+    cancel: &CancelToken,
+) -> Result<Vec<ClauseId>, BudgetReason> {
     if disk_resident {
         stats.disk_time = pred.file().scan_time(&opts.disk);
         stats.bytes_from_disk = pred.file().occupied_bytes() as u64;
     }
     let mut out = Vec::new();
     for (i, clause) in pred.clauses().iter().enumerate() {
+        if i % 64 == 0 {
+            cancel.checkpoint()?;
+        }
         let report = partial_match(query, clause.head(), PartialConfig::fs2());
         stats.software_filter_time += opts.cost.partial_match_cost(report.ops.len().max(1));
         if report.matched {
@@ -644,7 +845,7 @@ fn software_phase(
     }
     // The host cannot overlap its own filtering with much else.
     stats.elapsed = stats.disk_time + stats.software_filter_time;
-    out
+    Ok(out)
 }
 
 /// FS1 phase: stream the secondary file, scan codewords at 4.5 MB/s.
@@ -660,17 +861,31 @@ fn fs1_phase(
     precomputed: Option<clare_scw::ScanOutcome>,
     fs1_cache: Option<&dyn Fs1Cache>,
     stats: &mut RetrievalStats,
-) -> Vec<ClauseAddr> {
+    cancel: &CancelToken,
+) -> Result<Vec<ClauseAddr>, BudgetReason> {
     let outcome = match precomputed.or_else(|| fs1_cache.and_then(Fs1Cache::get)) {
         Some(outcome) => outcome,
         None => {
             let index = pred.index();
-            let outcome = match opts.fs1_parallelism {
-                Some(workers) => {
-                    let descriptor = encode_query_descriptor(query, index.config());
-                    index.scan_with(&descriptor, workers)
+            let outcome = if cancel.is_unlimited() {
+                match opts.fs1_parallelism {
+                    Some(workers) => {
+                        let descriptor = encode_query_descriptor(query, index.config());
+                        index.scan_with(&descriptor, workers)
+                    }
+                    None => index.scan(query),
                 }
-                None => index.scan(query),
+            } else {
+                // Budgeted scans go through the cancel-aware driver: the
+                // token is polled at every shard claim, and a cancelled
+                // scan yields no partial match list.
+                let descriptor = encode_query_descriptor(query, index.config());
+                let workers = opts.fs1_parallelism.unwrap_or(index.config().parallelism());
+                match index.scan_with_cancel(&descriptor, workers, &|| cancel.checkpoint().is_err())
+                {
+                    Some(outcome) => outcome,
+                    None => return Err(tripped_reason(cancel)),
+                }
             };
             if let Some(cache) = fs1_cache {
                 cache.put(&outcome);
@@ -686,7 +901,7 @@ fn fs1_phase(
     stats.bytes_from_disk += index_bytes;
     // FS1 filters on the fly: the scan overlaps the transfer.
     stats.elapsed += positioning + disk_transfer.max(outcome.fs1_time);
-    outcome.matches
+    Ok(outcome.matches)
 }
 
 /// Disk time to fetch the tracks containing `addrs` (mode (b): the host
@@ -832,23 +1047,24 @@ fn fs2_sweep_jobs(
     pred: &Predicate,
     jobs: &[(Fs2Engine, Vec<usize>)],
     opts: &CrsOptions,
-) -> Vec<Vec<TrackMatches>> {
+    cancel: &CancelToken,
+) -> Result<Vec<Vec<TrackMatches>>, BudgetReason> {
     let workers = fs2_workers(opts);
     let predecoded = opts.fs2.predecoded();
     if workers <= 1 || jobs.iter().map(|(_, t)| t.len()).sum::<usize>() <= 1 {
         let started = Instant::now();
-        let out: Vec<Vec<TrackMatches>> = jobs
-            .iter()
-            .map(|(engine, tracks)| {
-                let mut engine = engine.clone();
-                tracks
-                    .iter()
-                    .map(|&t| match_track(pred, &mut engine, t, predecoded))
-                    .collect()
-            })
-            .collect();
+        let mut out: Vec<Vec<TrackMatches>> = Vec::with_capacity(jobs.len());
+        for (engine, tracks) in jobs {
+            let mut engine = engine.clone();
+            let mut matches = Vec::with_capacity(tracks.len());
+            for &t in tracks {
+                cancel.checkpoint()?;
+                matches.push(match_track(pred, &mut engine, t, predecoded));
+            }
+            out.push(matches);
+        }
         record_sweeps(&out, started.elapsed().as_nanos() as u64, 1);
-        return out;
+        return Ok(out);
     }
     // (job, shard offset, shard tracks) work items, claimed off a counter.
     let shard = opts.fs2.shard_tracks().max(1);
@@ -873,6 +1089,12 @@ fn fs2_sweep_jobs(
                     let mut engines: Vec<Option<Fs2Engine>> = vec![None; jobs.len()];
                     let mut out = Vec::new();
                     loop {
+                        // Cooperative cancellation at every shard claim:
+                        // the token is sticky, so once any checkpoint
+                        // trips, every worker bails at its next claim.
+                        if cancel.checkpoint().is_err() {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&(j, start, tracks)) = items.get(i) else {
                             break;
@@ -927,6 +1149,9 @@ fn fs2_sweep_jobs(
         }
         (all, panicked)
     });
+    // A tripped budget abandons the sweep before any serial recovery —
+    // no partial results leave this function.
+    cancel.checkpoint()?;
     if panicked > 0 {
         // Serial recovery of the lost shards. `match_track` still consults
         // the disk-fault site (its decisions key on the track, so recovery
@@ -958,7 +1183,7 @@ fn fs2_sweep_jobs(
         out[j].extend(matches);
     }
     record_sweeps(&out, started.elapsed().as_nanos() as u64, pool_workers);
-    out
+    Ok(out)
 }
 
 /// Rolls one finished sweep pool into the registry: one `fs2.sweeps`
@@ -1001,17 +1226,21 @@ fn fs2_phase(
     opts: &CrsOptions,
     stats: &mut RetrievalStats,
     precomputed: Option<Vec<TrackMatches>>,
-) -> Vec<ClauseAddr> {
+    cancel: &CancelToken,
+) -> Result<Vec<ClauseAddr>, BudgetReason> {
     let outcomes = match precomputed {
         Some(outcomes) => outcomes,
         None if fs2_workers(opts) <= 1 => {
             // Serial fast path: reuse the caller's engine, no clones.
+            // The token is polled once per track, so cancellation
+            // latency is one track sweep.
             let started = Instant::now();
             let predecoded = opts.fs2.predecoded();
-            let outcomes: Vec<TrackMatches> = tracks
-                .iter()
-                .map(|&t| match_track(pred, engine, t, predecoded))
-                .collect();
+            let mut outcomes: Vec<TrackMatches> = Vec::with_capacity(tracks.len());
+            for &t in tracks {
+                cancel.checkpoint()?;
+                outcomes.push(match_track(pred, engine, t, predecoded));
+            }
             record_sweeps(
                 std::slice::from_ref(&outcomes),
                 started.elapsed().as_nanos() as u64,
@@ -1021,7 +1250,7 @@ fn fs2_phase(
         }
         None => {
             let jobs = [(engine.clone(), tracks.to_vec())];
-            fs2_sweep_jobs(pred, &jobs, opts)
+            fs2_sweep_jobs(pred, &jobs, opts, cancel)?
                 .pop()
                 .expect("one job in, one sweep out")
         }
@@ -1056,7 +1285,7 @@ fn fs2_phase(
         stats.elapsed += positioning + transfer.max(tm.fs2_time);
         prev = Some(t);
     }
-    satisfiers
+    Ok(satisfiers)
 }
 
 /// The mode-selection heuristic the paper sketches: "depending on the
@@ -1286,7 +1515,16 @@ mod tests {
         let sweep = |tracks: &[usize]| {
             let mut stats = RetrievalStats::empty(SearchMode::Fs2Only);
             let mut e = engine.clone();
-            fs2_phase(pred, &mut e, tracks, &opts, &mut stats, None);
+            fs2_phase(
+                pred,
+                &mut e,
+                tracks,
+                &opts,
+                &mut stats,
+                None,
+                &CancelToken::unlimited(),
+            )
+            .unwrap();
             stats
         };
         let contiguous = sweep(&[0, 1, 2]);

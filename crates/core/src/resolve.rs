@@ -9,7 +9,11 @@
 //! Prolog semantics, including the user-significant clause ordering the
 //! paper insists a general-purpose knowledge base must preserve.
 
-use crate::crs::{choose_mode, retrieve, retrieve_merged, CrsOptions, RetrievalStats, SearchMode};
+use crate::budget::{BudgetExceeded, BudgetReason, CancelToken};
+use crate::crs::{
+    choose_mode, retrieve_budgeted, retrieve_merged_budgeted, CrsOptions, RetrievalStats,
+    SearchMode,
+};
 use clare_disk::SimNanos;
 use clare_kb::KnowledgeBase;
 use clare_term::{Term, VarId};
@@ -99,6 +103,16 @@ pub struct SolveOutcome {
     pub stats: SolveStats,
 }
 
+impl SolveOutcome {
+    /// True when the search hit [`SolveOptions::max_depth`] somewhere:
+    /// the solution list is complete only up to the depth cap (deeper
+    /// derivations were cut, not proven absent). Each capped solve also
+    /// bumps the `solve.depth_cap_hits` trace counter once.
+    pub fn depth_capped(&self) -> bool {
+        self.stats.depth_cuts > 0
+    }
+}
+
 /// Solves `query` (a single goal) against the knowledge base.
 ///
 /// `var_names` supplies the query's variable names for the bindings
@@ -178,7 +192,17 @@ pub fn solve_goals(
     var_names: &[String],
     options: &SolveOptions,
 ) -> SolveOutcome {
-    solve_goals_inner(kb, None, goals, var_names, options)
+    match solve_goals_inner(
+        kb,
+        None,
+        goals,
+        var_names,
+        options,
+        &CancelToken::unlimited(),
+    ) {
+        Ok(outcome) => outcome,
+        Err(_) => unreachable!("the unlimited budget cannot trip"),
+    }
 }
 
 /// [`solve_goals`] merged with a memtable overlay (see [`solve_merged`]).
@@ -189,7 +213,45 @@ pub fn solve_goals_merged(
     var_names: &[String],
     options: &SolveOptions,
 ) -> SolveOutcome {
-    solve_goals_inner(kb, Some(overlay), goals, var_names, options)
+    match solve_goals_inner(
+        kb,
+        Some(overlay),
+        goals,
+        var_names,
+        options,
+        &CancelToken::unlimited(),
+    ) {
+        Ok(outcome) => outcome,
+        Err(_) => unreachable!("the unlimited budget cannot trip"),
+    }
+}
+
+/// [`solve_goals`] under a request budget: the token is polled at every
+/// resolution step (each goal expansion charges [`CancelToken::note_step`])
+/// and inside every retrieval's own checkpoints, so a runaway recursive
+/// query dies within one checkpoint interval of its deadline. A tripped
+/// budget returns a typed [`BudgetExceeded`] carrying the partial
+/// [`SolveStats`] — never a truncated solution list.
+pub fn solve_goals_budgeted(
+    kb: &KnowledgeBase,
+    goals: &[Term],
+    var_names: &[String],
+    options: &SolveOptions,
+    cancel: &CancelToken,
+) -> Result<SolveOutcome, BudgetExceeded> {
+    solve_goals_inner(kb, None, goals, var_names, options, cancel)
+}
+
+/// [`solve_goals_budgeted`] merged with a memtable overlay.
+pub fn solve_goals_merged_budgeted(
+    kb: &KnowledgeBase,
+    overlay: &Overlay,
+    goals: &[Term],
+    var_names: &[String],
+    options: &SolveOptions,
+    cancel: &CancelToken,
+) -> Result<SolveOutcome, BudgetExceeded> {
+    solve_goals_inner(kb, Some(overlay), goals, var_names, options, cancel)
 }
 
 fn solve_goals_inner(
@@ -198,7 +260,8 @@ fn solve_goals_inner(
     goals: &[Term],
     var_names: &[String],
     options: &SolveOptions,
-) -> SolveOutcome {
+    cancel: &CancelToken,
+) -> Result<SolveOutcome, BudgetExceeded> {
     let span = goals.iter().map(var_span).max().unwrap_or(0) as usize;
     let query = if goals.len() == 1 {
         goals[0].clone()
@@ -218,11 +281,25 @@ fn solve_goals_inner(
         stats: SolveStats::default(),
         query,
         var_names,
+        cancel,
     };
-    ctx.dfs(goals, 0);
-    SolveOutcome {
-        solutions: ctx.solutions,
-        stats: ctx.stats,
+    let result = ctx.dfs(goals, 0);
+    let stats = ctx.stats;
+    if stats.depth_cuts > 0 {
+        // Once per capped solve, not per cut: the counter tracks how
+        // many answers were silently bounded, not how bushy the tree was.
+        clare_trace::metrics().solve_depth_cap_hits.inc();
+    }
+    match result {
+        Ok(()) => Ok(SolveOutcome {
+            solutions: ctx.solutions,
+            stats,
+        }),
+        Err(reason) => Err(BudgetExceeded {
+            reason: Some(reason),
+            retrieval_stats: None,
+            solve_stats: Some(Box::new(stats)),
+        }),
     }
 }
 
@@ -235,6 +312,7 @@ struct Solver<'a> {
     stats: SolveStats,
     query: Term,
     var_names: &'a [String],
+    cancel: &'a CancelToken,
 }
 
 impl Solver<'_> {
@@ -242,17 +320,21 @@ impl Solver<'_> {
         self.solutions.len() >= self.options.max_solutions
     }
 
-    fn dfs(&mut self, goals: &[Term], depth: usize) {
+    fn dfs(&mut self, goals: &[Term], depth: usize) -> Result<(), BudgetReason> {
+        // Every expansion is one resolution step against the budget; the
+        // same call doubles as the deadline checkpoint, so a runaway
+        // recursion dies within one expansion of its deadline.
+        self.cancel.note_step()?;
         if self.done() {
-            return;
+            return Ok(());
         }
         let Some((goal, rest)) = goals.split_first() else {
             self.record_solution();
-            return;
+            return Ok(());
         };
         if depth >= self.options.max_depth {
             self.stats.depth_cuts += 1;
-            return;
+            return Ok(());
         }
         // Instantiate the goal under current bindings, then renumber its
         // variables densely so the hardware query encoding stays compact.
@@ -263,12 +345,31 @@ impl Solver<'_> {
             ModeChoice::Auto => choose_mode(self.kb, &compact),
         };
         let retrieval = match self.overlay {
-            Some(overlay) => retrieve_merged(self.kb, overlay, &compact, mode, &self.options.crs),
-            None => retrieve(self.kb, &compact, mode, &self.options.crs),
+            Some(overlay) => retrieve_merged_budgeted(
+                self.kb,
+                overlay,
+                &compact,
+                mode,
+                &self.options.crs,
+                self.cancel,
+            ),
+            None => retrieve_budgeted(self.kb, &compact, mode, &self.options.crs, self.cancel),
+        };
+        let retrieval = match retrieval {
+            Ok(retrieval) => retrieval,
+            Err(exceeded) => {
+                // Fold the cancelled retrieval's partial stats in before
+                // propagating, so the reported SolveStats cover the work
+                // actually done.
+                if let Some(stats) = &exceeded.retrieval_stats {
+                    self.stats.absorb(stats);
+                }
+                return Err(exceeded.reason.unwrap_or(BudgetReason::Deadline));
+            }
         };
         self.stats.absorb(&retrieval.stats);
         let Some((functor, arity)) = compact.functor_arity() else {
-            return;
+            return Ok(());
         };
         // Base clauses index the predicate's clause list; synthetic ids
         // beyond it index the overlay delta's added clauses.
@@ -276,11 +377,11 @@ impl Solver<'_> {
         let delta = self.overlay.and_then(|o| o.delta(functor, arity));
         let base_len = pred.map_or(0, |p| p.clauses().len());
         if pred.is_none() && delta.is_none() {
-            return;
+            return Ok(());
         }
         for id in retrieval.candidates {
             if self.done() {
-                return;
+                return Ok(());
             }
             let idx = id.index() as usize;
             let clause = if idx < base_len {
@@ -298,15 +399,21 @@ impl Solver<'_> {
             // Unify against the *original* goal (under the store), not the
             // compacted copy, so bindings propagate to the caller's terms.
             // Occurs check on: keeps the solver total (see the oracle).
-            if unify(goal, &head, self.store, UnifyOptions { occurs_check: true }) {
+            let descend = if unify(goal, &head, self.store, UnifyOptions { occurs_check: true }) {
                 let mut next: Vec<Term> =
                     clause.body().iter().map(|g| shift_vars(g, base)).collect();
                 next.extend(rest.iter().cloned());
-                self.dfs(&next, depth + 1);
-            }
+                self.dfs(&next, depth + 1)
+            } else {
+                Ok(())
+            };
+            // Bindings are rolled back even when the budget tripped
+            // mid-descent — the store stays consistent for the caller.
             self.store.undo(mark);
+            descend?;
             let _ = reverse; // reverse map only needed for diagnostics
         }
+        Ok(())
     }
 
     fn record_solution(&mut self) {
@@ -538,5 +645,85 @@ mod tests {
         let kb = b.finish(KbConfig::default());
         let outcome = solve(&kb, &q, &names, &SolveOptions::default());
         assert_eq!(outcome.solutions.len(), 2);
+    }
+
+    #[test]
+    fn depth_cap_marks_outcome_and_bumps_counter() {
+        // A deep-recursion KB: descent bottoms out only at the depth cap.
+        let mut b = KbBuilder::new();
+        b.consult("m", "down(X) :- down(X). down(X) :- up(X).")
+            .unwrap();
+        let (q, names) = parse_term_with_vars("down(a)", b.symbols_mut()).unwrap();
+        let kb = b.finish(KbConfig::default());
+        let before = clare_trace::metrics().solve_depth_cap_hits.get();
+        let outcome = solve(
+            &kb,
+            &q,
+            &names,
+            &SolveOptions {
+                max_depth: 16,
+                ..SolveOptions::default()
+            },
+        );
+        assert!(
+            outcome.depth_capped(),
+            "exhausting max_depth marks the outcome"
+        );
+        assert!(
+            clare_trace::metrics().solve_depth_cap_hits.get() > before,
+            "depth-cap exhaustion bumps solve.depth_cap_hits"
+        );
+        // A shallow query on the same KB does not cap and does not mark.
+        let mut b = KbBuilder::new();
+        b.consult("m", "flat(a).").unwrap();
+        let (q2, names2) = parse_term_with_vars("flat(a)", b.symbols_mut()).unwrap();
+        let kb2 = b.finish(KbConfig::default());
+        let clean = solve(&kb2, &q2, &names2, &SolveOptions::default());
+        assert!(!clean.depth_capped());
+    }
+
+    #[test]
+    fn step_limited_solve_returns_typed_budget_error() {
+        let mut b = KbBuilder::new();
+        b.consult("m", "loop(X) :- loop(X).").unwrap();
+        let (q, names) = parse_term_with_vars("loop(a)", b.symbols_mut()).unwrap();
+        let kb = b.finish(KbConfig::default());
+        let budget = crate::budget::QueryBudget {
+            solve_step_limit: 8,
+            ..crate::budget::QueryBudget::UNLIMITED
+        };
+        let cancel = CancelToken::new(&budget);
+        let err = solve_goals_budgeted(&kb, &[q], &names, &SolveOptions::default(), &cancel)
+            .expect_err("a runaway recursion must trip the step limit");
+        assert_eq!(err.reason, Some(BudgetReason::SolveSteps));
+        let stats = err
+            .solve_stats
+            .expect("partial stats travel with the error");
+        assert!(
+            stats.retrievals > 0,
+            "work done before the trip is reported"
+        );
+    }
+
+    #[test]
+    fn unlimited_budgeted_solve_matches_plain_solve() {
+        let (kb, sy) = family_kb();
+        let mut local = sy.clone();
+        let (q, names) = parse_term_with_vars("ancestor(tom, W)", &mut local).unwrap();
+        let plain = solve_goals(
+            &kb,
+            std::slice::from_ref(&q),
+            &names,
+            &SolveOptions::default(),
+        );
+        let budgeted = solve_goals_budgeted(
+            &kb,
+            &[q],
+            &names,
+            &SolveOptions::default(),
+            &CancelToken::unlimited(),
+        )
+        .expect("unlimited budget never trips");
+        assert_eq!(plain.solutions, budgeted.solutions);
     }
 }

@@ -36,8 +36,9 @@
 //! (no-false-negative) invariant is preserved, and the merged answer is
 //! byte-identical to a from-scratch rebuild.
 
+use crate::budget::{BudgetExceeded, CancelToken};
 use crate::cache::{Fs1Cache, QueryKey, RetrievalCache, Stamp};
-use crate::crs::{retrieve_merged, CrsOptions, Retrieval, SearchMode};
+use crate::crs::{retrieve_merged_budgeted, CrsOptions, Retrieval, SearchMode};
 use crate::resolve::{SolveOptions, SolveOutcome};
 use clare_disk::SimNanos;
 use clare_kb::{KbConfig, KnowledgeBase};
@@ -495,8 +496,27 @@ impl ClauseRetrievalServer {
     /// cached, and any commit or track quarantine invalidates the
     /// affected entries.
     pub fn retrieve(&self, query: &Term, mode: SearchMode) -> Retrieval {
+        match self.retrieve_budgeted(query, mode, &CancelToken::unlimited()) {
+            Ok(outcome) => outcome,
+            Err(_) => unreachable!("the unlimited budget cannot trip"),
+        }
+    }
+
+    /// [`retrieve`](Self::retrieve) under a query budget: the scan
+    /// checkpoints the token between shards/tracks/candidates and aborts
+    /// with a typed [`BudgetExceeded`] (carrying the partial stats) the
+    /// moment it trips. Cache *hits* are always served — a hit costs
+    /// nothing, so a budget can never refuse it — while a tripped miss
+    /// returns an error and **never** populates the cache (the error
+    /// path returns before [`note_outcome`](Self::note_outcome)).
+    pub fn retrieve_budgeted(
+        &self,
+        query: &Term,
+        mode: SearchMode,
+        cancel: &CancelToken,
+    ) -> Result<Retrieval, BudgetExceeded> {
         let started = Instant::now();
-        let (published, outcome) = self.retrieve_through_cache(query, mode);
+        let (published, outcome) = self.retrieve_through_cache(query, mode, cancel)?;
         self.stats.update(|stats| {
             stats.retrievals += 1;
             stats.degraded += u64::from(outcome.stats.degraded);
@@ -511,13 +531,20 @@ impl ClauseRetrievalServer {
         if let Some(key) = pred_key(published.overlay.symbols(), query) {
             m.crs_predicates.record(&key, outcome.stats.elapsed.as_ns());
         }
-        outcome
+        Ok(outcome)
     }
 
     /// One retrieval through the cache: answer-layer hit, else the filter
     /// pipeline with the FS1 layer as a seam, then insertion of clean
-    /// (non-degraded, mode-as-requested) answers.
-    fn retrieve_through_cache(&self, query: &Term, mode: SearchMode) -> (Published, Retrieval) {
+    /// (non-degraded, mode-as-requested) answers. A budget trip exits
+    /// with `?` *before* the insertion, so a cancelled partial answer is
+    /// structurally unreachable from the cache.
+    fn retrieve_through_cache(
+        &self,
+        query: &Term,
+        mode: SearchMode,
+        cancel: &CancelToken,
+    ) -> Result<(Published, Retrieval), BudgetExceeded> {
         let key = if self.cache.enabled() {
             QueryKey::new(query)
         } else {
@@ -526,18 +553,19 @@ impl ClauseRetrievalServer {
         let Some(key) = key else {
             // No canonical encoding (or cache off): the uncached pipeline.
             let published = self.kb.read().clone();
-            let outcome = retrieve_merged(
+            let outcome = retrieve_merged_budgeted(
                 &published.base,
                 &published.overlay,
                 query,
                 mode,
                 &self.options,
-            );
-            return (published, outcome);
+                cancel,
+            )?;
+            return Ok((published, outcome));
         };
         let (published, stamp) = self.snapshot_with_stamp(key.pred());
         if let Some(hit) = self.cache.get_answer(&key, mode, stamp) {
-            return (published, hit);
+            return Ok((published, hit));
         }
         let fs1 = ServerFs1Cache {
             cache: &self.cache,
@@ -551,9 +579,10 @@ impl ClauseRetrievalServer {
             mode,
             &self.options,
             Some(&fs1),
-        );
+            cancel,
+        )?;
         self.note_outcome(&key, mode, stamp, &outcome);
-        (published, outcome)
+        Ok((published, outcome))
     }
 
     /// The published state plus the epoch stamp for `pred`, read under
@@ -588,8 +617,24 @@ impl ClauseRetrievalServer {
     /// identical to issuing each query via
     /// [`ClauseRetrievalServer::retrieve`].
     pub fn retrieve_batch(&self, queries: &[Term], mode: SearchMode) -> Vec<Retrieval> {
+        match self.retrieve_batch_budgeted(queries, mode, &CancelToken::unlimited()) {
+            Ok(outcomes) => outcomes,
+            Err(_) => unreachable!("the unlimited budget cannot trip"),
+        }
+    }
+
+    /// [`retrieve_batch`](Self::retrieve_batch) under a query budget. The
+    /// budget covers the batch as a whole: one trip anywhere abandons the
+    /// remaining members and returns the typed error — never a partial
+    /// result vector — and nothing from the cancelled pass is cached.
+    pub fn retrieve_batch_budgeted(
+        &self,
+        queries: &[Term],
+        mode: SearchMode,
+        cancel: &CancelToken,
+    ) -> Result<Vec<Retrieval>, BudgetExceeded> {
         let started = Instant::now();
-        let (published, outcomes) = self.retrieve_batch_through_cache(queries, mode);
+        let (published, outcomes) = self.retrieve_batch_through_cache(queries, mode, cancel)?;
         self.stats.update(|stats| {
             stats.batches += 1;
             stats.retrievals += outcomes.len() as u64;
@@ -610,7 +655,7 @@ impl ClauseRetrievalServer {
                 m.crs_predicates.record(&key, outcome.stats.elapsed.as_ns());
             }
         }
-        outcomes
+        Ok(outcomes)
     }
 
     /// Batch variant of [`retrieve_through_cache`]: answer-layer hits are
@@ -621,7 +666,8 @@ impl ClauseRetrievalServer {
         &self,
         queries: &[Term],
         mode: SearchMode,
-    ) -> (Published, Vec<Retrieval>) {
+        cancel: &CancelToken,
+    ) -> Result<(Published, Vec<Retrieval>), BudgetExceeded> {
         let keys: Vec<Option<QueryKey>> = if self.cache.enabled() {
             queries.iter().map(QueryKey::new).collect()
         } else {
@@ -671,7 +717,8 @@ impl ClauseRetrievalServer {
                 mode,
                 &self.options,
                 &handle_refs,
-            );
+                cancel,
+            )?;
             for (&i, outcome) in miss_idx.iter().zip(computed) {
                 if let (Some(key), Some(stamp)) = (&keys[i], stamps[i]) {
                     self.note_outcome(key, mode, stamp, &outcome);
@@ -683,7 +730,7 @@ impl ClauseRetrievalServer {
             .into_iter()
             .map(|outcome| outcome.unwrap_or_else(|| unreachable!("every slot filled above")))
             .collect();
-        (published, outcomes)
+        Ok((published, outcomes))
     }
 
     /// Serves one solve call over the merged view.
@@ -703,10 +750,30 @@ impl ClauseRetrievalServer {
         var_names: &[String],
         options: &SolveOptions,
     ) -> SolveOutcome {
+        match self.solve_goals_budgeted(goals, var_names, options, &CancelToken::unlimited()) {
+            Ok(outcome) => outcome,
+            Err(_) => unreachable!("the unlimited budget cannot trip"),
+        }
+    }
+
+    /// [`solve_goals`](Self::solve_goals) under a query budget: every
+    /// resolution step checkpoints the token (which also covers the
+    /// deadline), so a runaway recursion releases its worker within one
+    /// expansion of the budget tripping. The typed [`BudgetExceeded`]
+    /// carries the partial [`crate::resolve::SolveStats`]; the partial
+    /// solution set is dropped, never returned, never cached.
+    pub fn solve_goals_budgeted(
+        &self,
+        goals: &[Term],
+        var_names: &[String],
+        options: &SolveOptions,
+        cancel: &CancelToken,
+    ) -> Result<SolveOutcome, BudgetExceeded> {
         let started = Instant::now();
         let (base, overlay) = self.snapshot_merged();
-        let outcome =
-            crate::resolve::solve_goals_merged(&base, &overlay, goals, var_names, options);
+        let outcome = crate::resolve::solve_goals_merged_budgeted(
+            &base, &overlay, goals, var_names, options, cancel,
+        )?;
         self.stats.update(|stats| {
             stats.solves += 1;
             stats.degraded += u64::from(outcome.stats.degraded);
@@ -718,7 +785,7 @@ impl ClauseRetrievalServer {
         }
         m.crs_solve_wall_ns
             .record(started.elapsed().as_nanos() as u64);
-        outcome
+        Ok(outcome)
     }
 
     /// Commits a new compiled knowledge base atomically, **discarding the

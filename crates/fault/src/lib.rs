@@ -90,10 +90,16 @@ pub enum FaultSite {
     /// reply, forcing the router to retry), `Delay` (stall before
     /// applying).
     ReplApply,
+    /// A serving worker beginning to execute a dequeued job. Context:
+    /// the request id. Menu: `Delay` only — the worker stalls before
+    /// touching the engine, so chaos schedules can pin workers long
+    /// enough that queued jobs outlive their deadlines and must be shed
+    /// (never executed, never cached).
+    WorkerStall,
 }
 
 /// Number of distinct [`FaultSite`]s (sizes the counter arrays).
-pub const SITE_COUNT: usize = 11;
+pub const SITE_COUNT: usize = 12;
 
 impl FaultSite {
     /// All sites, in counter index order.
@@ -109,6 +115,7 @@ impl FaultSite {
         FaultSite::WalAppend,
         FaultSite::ReplSend,
         FaultSite::ReplApply,
+        FaultSite::WorkerStall,
     ];
 
     /// Index of this site in [`Self::ALL`].
@@ -125,6 +132,7 @@ impl FaultSite {
             FaultSite::WalAppend => 8,
             FaultSite::ReplSend => 9,
             FaultSite::ReplApply => 10,
+            FaultSite::WorkerStall => 11,
         }
     }
 
@@ -142,6 +150,7 @@ impl FaultSite {
             FaultSite::WalAppend => "wal_append",
             FaultSite::ReplSend => "repl_send",
             FaultSite::ReplApply => "repl_apply",
+            FaultSite::WorkerStall => "worker_stall",
         }
     }
 }
@@ -314,6 +323,12 @@ impl FaultInjector for DeterministicInjector {
                     }
                 }
             }
+            // Worker stalls reach up to 100 ms — long enough to push a
+            // queued job past a 50 ms deadline, short enough that chaos
+            // schedules stay fast.
+            FaultSite::WorkerStall => FaultAction::Delay {
+                micros: param % 100_000,
+            },
         }
     }
 }
@@ -339,6 +354,7 @@ static INJECTOR: RwLock<Option<Arc<dyn FaultInjector>>> = RwLock::new(None);
 static INSTALL_LOCK: Mutex<()> = Mutex::new(());
 /// Faults actually handed out, per site (for chaos assertions).
 static INJECTED: [AtomicU64; SITE_COUNT] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -511,6 +527,10 @@ mod tests {
             match inj.decide(FaultSite::WalAppend, ctx) {
                 FaultAction::Truncate { .. } => {}
                 other => panic!("WalAppend produced {other:?}"),
+            }
+            match inj.decide(FaultSite::WorkerStall, ctx) {
+                FaultAction::Delay { micros } => assert!(micros < 100_000),
+                other => panic!("WorkerStall produced {other:?}"),
             }
         }
     }

@@ -27,10 +27,10 @@ use crate::protocol::{
     decode_commit_receipt, decode_error, decode_retrieval, decode_retrievals, decode_seq_reply,
     decode_server_hello, decode_server_stats, decode_server_stats_extended, decode_solve_outcome,
     decode_symbols, encode_client_hello_caps, encode_consult, encode_repl_ack, encode_retrieve,
-    encode_retrieve_batch, encode_solve, encode_subscribe_log, opcode, ConsultReq, ErrorCode,
-    Frame, FrameReader, HelloStatus, ReplAck, RetrieveBatchReq, RetrieveReq, SolveReq,
-    SubscribeLogReq, CAP_FRAME_CRC, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN,
-    STATS_REQ_EXTENDED,
+    encode_retrieve_batch, encode_solve, encode_subscribe_log, opcode, BudgetExt, ConsultReq,
+    ErrorCode, Frame, FrameReader, HelloStatus, ReplAck, RetrieveBatchReq, RetrieveReq, SolveReq,
+    SubscribeLogReq, CAP_FRAME_CRC, CAP_QUERY_BUDGET, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    SERVER_HELLO_LEN, STATS_REQ_EXTENDED,
 };
 use clare_trace::MetricsSnapshot;
 
@@ -99,6 +99,15 @@ pub struct NetClient {
     checksums: bool,
     /// Deadline attached to subsequent requests; `None` = unlimited.
     deadline: Option<Duration>,
+    /// Work ceilings attached to subsequent query requests; sent on the
+    /// wire only when the server negotiated [`CAP_QUERY_BUDGET`].
+    budget: BudgetExt,
+    /// Negotiated on the handshake: the server understands the v4 budget
+    /// extension. Against a v3 server the client silently omits it — the
+    /// request bytes are then byte-identical to a v3 client's.
+    budget_capable: bool,
+    /// xorshift64* state for full-jitter backoff sleeps.
+    rng: u64,
 }
 
 impl NetClient {
@@ -132,9 +141,9 @@ impl NetClient {
         stream.set_nodelay(true).ok();
 
         let requested = if cfg.frame_checksums {
-            CAP_FRAME_CRC
+            CAP_FRAME_CRC | CAP_QUERY_BUDGET
         } else {
-            0
+            CAP_QUERY_BUDGET
         };
         stream.write_all(&encode_client_hello_caps(PROTOCOL_VERSION, requested))?;
         let mut hello_raw = [0u8; SERVER_HELLO_LEN];
@@ -157,8 +166,17 @@ impl NetClient {
         // Only what the server accepted is in effect; an accepted bit the
         // client never requested would be a server bug, so mask again.
         let checksums = hello.caps & requested & CAP_FRAME_CRC != 0;
+        let budget_capable = hello.caps & requested & CAP_QUERY_BUDGET != 0;
         let mut reader = FrameReader::new(cfg.max_frame_len);
         reader.set_checksums(checksums);
+        // Seed the backoff jitter from wall clock and peer identity; the
+        // whole point is that two clients retrying the same overload do
+        // not sleep in lockstep, so the seed only needs to differ.
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        let rng = now ^ (u64::from(addr.port()) << 48) ^ (&addr as *const SocketAddr as u64);
         Ok(NetClient {
             addr,
             cfg: cfg.clone(),
@@ -170,6 +188,9 @@ impl NetClient {
             kb_fingerprint: hello.fingerprint,
             checksums,
             deadline: None,
+            budget: BudgetExt::NONE,
+            budget_capable,
+            rng,
         })
     }
 
@@ -180,9 +201,11 @@ impl NetClient {
     pub fn reconnect(&mut self) -> Result<(), NetError> {
         let fresh = Self::connect_one(self.addr, &self.cfg)?;
         let deadline = self.deadline;
+        let budget = self.budget;
         let next_id = self.next_id;
         *self = fresh;
         self.deadline = deadline;
+        self.budget = budget;
         self.next_id = next_id;
         Ok(())
     }
@@ -213,10 +236,37 @@ impl NetClient {
         self.deadline = deadline;
     }
 
+    /// Sets the work ceilings (solve-step and candidate limits) attached
+    /// to subsequent query requests. Zero fields mean unlimited;
+    /// [`BudgetExt::NONE`] clears the budget. Ceilings cross the wire
+    /// only when the server negotiated the budget capability (protocol
+    /// v4); against an older server they are silently dropped and the
+    /// request bytes stay byte-identical to a v3 client's.
+    pub fn set_budget(&mut self, budget: BudgetExt) {
+        self.budget = budget;
+    }
+
+    /// Whether the connected server negotiated the query-budget
+    /// capability, i.e. whether [`NetClient::set_budget`] ceilings are
+    /// actually enforced remotely.
+    pub fn budget_capable(&self) -> bool {
+        self.budget_capable
+    }
+
     fn deadline_micros(&self) -> u64 {
         self.deadline
             .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
             .unwrap_or(0)
+    }
+
+    /// The budget extension to put on the wire: the configured ceilings
+    /// when the server understands them, [`BudgetExt::NONE`] otherwise.
+    fn wire_budget(&self) -> BudgetExt {
+        if self.budget_capable {
+            self.budget
+        } else {
+            BudgetExt::NONE
+        }
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -276,9 +326,8 @@ impl NetClient {
                     ..
                 }) if attempt < self.cfg.busy_retries => {
                     let hinted = Duration::from_millis(u64::from(retry_after_ms.max(1)));
-                    let backoff = hinted
-                        .saturating_mul(1u32 << attempt.min(10))
-                        .min(self.cfg.busy_retry_cap);
+                    let backoff =
+                        full_jitter(&mut self.rng, hinted, attempt, self.cfg.busy_retry_cap);
                     std::thread::sleep(backoff);
                     attempt += 1;
                 }
@@ -313,6 +362,7 @@ impl NetClient {
         let req = RetrieveReq {
             mode,
             deadline_micros: self.deadline_micros(),
+            budget: self.wire_budget(),
             query: query.clone(),
         };
         let reply = self.roundtrip_idempotent(opcode::RETRIEVE, encode_retrieve(&req))?;
@@ -331,12 +381,14 @@ impl NetClient {
         mode: SearchMode,
     ) -> Result<Vec<Retrieval>, NetError> {
         let deadline_micros = self.deadline_micros();
+        let budget = self.wire_budget();
         let mut ids = Vec::with_capacity(queries.len());
         for query in queries {
             let id = self.fresh_id();
             let req = RetrieveReq {
                 mode,
                 deadline_micros,
+                budget,
                 query: query.clone(),
             };
             self.send_frame(&Frame::new(id, opcode::RETRIEVE, encode_retrieve(&req)))?;
@@ -360,6 +412,7 @@ impl NetClient {
         let req = RetrieveBatchReq {
             mode,
             deadline_micros: self.deadline_micros(),
+            budget: self.wire_budget(),
             queries: queries.to_vec(),
         };
         let reply =
@@ -392,6 +445,7 @@ impl NetClient {
             max_solutions: u64::try_from(options.max_solutions).unwrap_or(u64::MAX),
             max_depth: u64::try_from(options.max_depth).unwrap_or(u64::MAX),
             deadline_micros: self.deadline_micros(),
+            budget: self.wire_budget(),
         };
         let reply = self.roundtrip(opcode::SOLVE, encode_solve(&req))?;
         Ok(decode_solve_outcome(&reply.payload)?)
@@ -592,6 +646,38 @@ fn check_reply(frame: Frame, request_op: u8) -> Result<Frame, NetError> {
     )))
 }
 
+/// One step of xorshift64* — a tiny, dependency-free PRNG; plenty for
+/// decorrelating backoff sleeps (never used where quality matters).
+fn xorshift64star(state: &mut u64) -> u64 {
+    // A zero state is a fixed point; nudge it off.
+    if *state == 0 {
+        *state = 0x9E37_79B9_7F4A_7C15;
+    }
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Full-jitter backoff ("Exponential Backoff And Jitter"): a sleep drawn
+/// uniformly from `[0, min(cap, hint << attempt)]`. Deterministic
+/// exponential backoff synchronizes every client that was refused by the
+/// same overloaded server — they all sleep the same hinted interval and
+/// stampede back together. Randomizing over the whole window spreads the
+/// retries out.
+fn full_jitter(state: &mut u64, hinted: Duration, attempt: u32, cap: Duration) -> Duration {
+    let ceiling = hinted
+        .saturating_mul(1u32 << attempt.min(10))
+        .min(cap)
+        .as_nanos() as u64;
+    if ceiling == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos(xorshift64star(state) % (ceiling + 1))
+}
+
 /// `read_exact` that maps a clean peer close to a protocol error rather
 /// than a bare `UnexpectedEof` I/O error.
 fn read_exactly(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), NetError> {
@@ -602,5 +688,69 @@ fn read_exactly(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), NetError> 
             "server closed the connection during the handshake".into(),
         )),
         Err(e) => Err(NetError::Io(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_jitter_stays_within_the_exponential_window() {
+        let hint = Duration::from_millis(10);
+        let cap = Duration::from_secs(1);
+        let mut state = 42u64;
+        for attempt in 0..8u32 {
+            let window = hint.saturating_mul(1u32 << attempt).min(cap);
+            for _ in 0..200 {
+                let sleep = full_jitter(&mut state, hint, attempt, cap);
+                assert!(
+                    sleep <= window,
+                    "attempt {attempt}: {sleep:?} exceeds window {window:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_jitter_caps_at_the_configured_maximum() {
+        let mut state = 7u64;
+        for attempt in 0..32u32 {
+            let sleep = full_jitter(
+                &mut state,
+                Duration::from_secs(10),
+                attempt,
+                Duration::from_millis(250),
+            );
+            assert!(sleep <= Duration::from_millis(250));
+        }
+    }
+
+    #[test]
+    fn full_jitter_actually_varies() {
+        // The point of jitter is decorrelation: with a nonzero window the
+        // draws must not collapse onto a single value.
+        let mut state = 0xDEAD_BEEFu64;
+        let draws: Vec<Duration> = (0..64)
+            .map(|_| {
+                full_jitter(
+                    &mut state,
+                    Duration::from_millis(100),
+                    3,
+                    Duration::from_secs(5),
+                )
+            })
+            .collect();
+        let first = draws[0];
+        assert!(draws.iter().any(|d| *d != first), "64 identical draws");
+    }
+
+    #[test]
+    fn full_jitter_zero_window_is_zero() {
+        let mut state = 1u64;
+        assert_eq!(
+            full_jitter(&mut state, Duration::ZERO, 5, Duration::from_secs(1)),
+            Duration::ZERO
+        );
     }
 }

@@ -62,5 +62,7 @@ pub mod server;
 
 pub use client::{ClientConfig, NetClient};
 pub use error::NetError;
-pub use protocol::{ErrorCode, PROTOCOL_VERSION};
+pub use protocol::{
+    BudgetExt, ErrorCode, CAP_QUERY_BUDGET, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 pub use server::{NetConfig, NetServer, ServerMode};

@@ -22,8 +22,8 @@ pub use wire::{
     encode_retrieval, encode_retrievals, encode_retrieve, encode_retrieve_batch, encode_seq_reply,
     encode_server_hello, encode_server_stats, encode_server_stats_extended, encode_solve,
     encode_solve_outcome, encode_subscribe_log, encode_symbols, mode_from_wire, mode_to_wire,
-    opcode, ConsultReq, ErrorCode, ErrorReply, HelloStatus, ReplAck, RetrieveBatchReq, RetrieveReq,
-    ServerHello, SolveReq, SubscribeLogReq, WireError, CAP_FRAME_CRC, CLIENT_HELLO_LEN,
-    CLIENT_MAGIC, METRICS_VERSION, PROTOCOL_VERSION, SERVER_HELLO_LEN, SERVER_MAGIC,
-    STATS_REQ_EXTENDED,
+    opcode, BudgetExt, ConsultReq, ErrorCode, ErrorReply, HelloStatus, ReplAck, RetrieveBatchReq,
+    RetrieveReq, ServerHello, SolveReq, SubscribeLogReq, WireError, CAP_FRAME_CRC,
+    CAP_QUERY_BUDGET, CLIENT_HELLO_LEN, CLIENT_MAGIC, METRICS_VERSION, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION, SERVER_HELLO_LEN, SERVER_MAGIC, STATS_REQ_EXTENDED,
 };

@@ -32,13 +32,32 @@ use clare_trace::{HistogramSnapshot, MetricsSnapshot};
 /// `LOG_FRAME` / `REPL_ACK`), the KB build fingerprint to the server
 /// hello (widening it from 12 to 20 bytes), and the `ReplGap` error
 /// code.
-pub const PROTOCOL_VERSION: u16 = 3;
+///
+/// Version 4 added the query-budget extension ([`BudgetExt`], gated by
+/// [`CAP_QUERY_BUDGET`]) to the retrieve / batch / solve requests and the
+/// `BudgetExceeded` error code. The extension is an optional trailing
+/// block: a v4 peer that sets no limits emits byte-identical payloads to
+/// v3, and servers still admit v3 clients ([`MIN_PROTOCOL_VERSION`]).
+pub const PROTOCOL_VERSION: u16 = 4;
+
+/// Oldest protocol version this build still serves. The hello handshake
+/// admits any version in `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION` and
+/// echoes the client's version back, so old clients keep their exact wire
+/// dialect (budget-capable replies are never sent to a v3 peer).
+pub const MIN_PROTOCOL_VERSION: u16 = 3;
 
 /// Hello capability bit: the peer wants CRC32C trailers on every frame
 /// ([`super::frame::FRAME_CRC_TRAILER`]). Effective only when requested by
 /// the client *and* accepted by the server; both hellos carry a capability
 /// byte (client byte 6 = requested, server byte 7 = accepted).
 pub const CAP_FRAME_CRC: u8 = 1;
+
+/// Hello capability bit: the peer understands the query-budget request
+/// extension ([`BudgetExt`]) and the `BudgetExceeded` error code. Offered
+/// by v4+ clients; the server accepts it only on a v4+ connection, and a
+/// client must not append the extension unless the server accepted the
+/// bit.
+pub const CAP_QUERY_BUDGET: u8 = 2;
 
 /// Client hello magic: `"CLRE"`.
 pub const CLIENT_MAGIC: [u8; 4] = *b"CLRE";
@@ -119,6 +138,13 @@ pub enum ErrorCode {
     /// skips past what the backup has applied. The message carries the
     /// expected sequence; the router resends from there.
     ReplGap,
+    /// A query budget other than the wall-clock deadline tripped
+    /// mid-execution (solve-step or candidate ceiling): the work was
+    /// abandoned at a cancellation checkpoint and **no partial answer was
+    /// produced or cached**. Deadline trips keep reporting
+    /// [`ErrorCode::DeadlineExpired`], so v3 peers — which predate this
+    /// code — see the dialect they know. (v4+.)
+    BudgetExceeded,
 }
 
 impl ErrorCode {
@@ -132,6 +158,7 @@ impl ErrorCode {
             ErrorCode::ConsultRejected => 5,
             ErrorCode::Internal => 6,
             ErrorCode::ReplGap => 7,
+            ErrorCode::BudgetExceeded => 8,
         }
     }
 
@@ -145,6 +172,7 @@ impl ErrorCode {
             5 => ErrorCode::ConsultRejected,
             6 => ErrorCode::Internal,
             7 => ErrorCode::ReplGap,
+            8 => ErrorCode::BudgetExceeded,
             _ => return None,
         })
     }
@@ -160,6 +188,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::ConsultRejected => "consult rejected",
             ErrorCode::Internal => "internal server error",
             ErrorCode::ReplGap => "replication sequence gap",
+            ErrorCode::BudgetExceeded => "query budget exceeded",
         })
     }
 }
@@ -456,6 +485,60 @@ pub fn decode_repl_ack(payload: &[u8]) -> Result<ReplAck, WireError> {
 // Requests
 // ---------------------------------------------------------------------------
 
+/// The protocol-v4 query-budget request extension: work ceilings beyond
+/// the wall-clock deadline (which travels in the request's existing
+/// `deadline_micros` field). Encoded as an **optional 16-byte trailing
+/// block** on retrieve / batch / solve requests — appended only when at
+/// least one limit is set and only after the server accepted
+/// [`CAP_QUERY_BUDGET`] — so a v4 client with no limits emits payloads
+/// byte-identical to v3, and v3 decoders (which reject trailing bytes)
+/// are never shown the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetExt {
+    /// Abandon a solve after this many resolution steps; `0` = unlimited.
+    pub solve_step_limit: u64,
+    /// Abandon a retrieval once this many candidates have survived the
+    /// filters; `0` = unlimited.
+    pub candidate_limit: u64,
+}
+
+impl BudgetExt {
+    /// No limits: encodes to zero bytes on the wire.
+    pub const NONE: BudgetExt = BudgetExt {
+        solve_step_limit: 0,
+        candidate_limit: 0,
+    };
+
+    /// True when no limit is set (the extension is omitted on the wire).
+    pub fn is_none(&self) -> bool {
+        *self == BudgetExt::NONE
+    }
+}
+
+/// Byte length of an encoded [`BudgetExt`] block.
+const BUDGET_EXT_LEN: usize = 16;
+
+fn put_budget_ext(out: &mut Vec<u8>, budget: &BudgetExt) {
+    if budget.is_none() {
+        return;
+    }
+    out.extend_from_slice(&budget.solve_step_limit.to_be_bytes());
+    out.extend_from_slice(&budget.candidate_limit.to_be_bytes());
+}
+
+/// The optional trailing budget block: present iff exactly
+/// [`BUDGET_EXT_LEN`] bytes remain (a v3 payload leaves zero). Any other
+/// remainder is malformed and rejected by the caller's `finish()`.
+fn get_budget_ext(c: &mut Cur<'_>) -> Result<BudgetExt, WireError> {
+    if c.remaining() != BUDGET_EXT_LEN {
+        return Ok(BudgetExt::NONE);
+    }
+    Ok(BudgetExt {
+        solve_step_limit: c.u64()?,
+        candidate_limit: c.u64()?,
+    })
+}
+
 /// A single-retrieval request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RetrieveReq {
@@ -465,6 +548,9 @@ pub struct RetrieveReq {
     /// Expired requests are answered with [`ErrorCode::DeadlineExpired`]
     /// instead of being served.
     pub deadline_micros: u64,
+    /// Work ceilings beyond the deadline (v4; [`BudgetExt::NONE`] encodes
+    /// to nothing, keeping the payload v3-identical).
+    pub budget: BudgetExt,
     /// The query term, PIF-encoded on the wire.
     pub query: Term,
 }
@@ -475,6 +561,7 @@ pub fn encode_retrieve(req: &RetrieveReq) -> Vec<u8> {
     out.push(mode_to_wire(req.mode));
     out.extend_from_slice(&req.deadline_micros.to_be_bytes());
     out.extend_from_slice(&encode_term(&req.query));
+    put_budget_ext(&mut out, &req.budget);
     out
 }
 
@@ -484,10 +571,12 @@ pub fn decode_retrieve(payload: &[u8]) -> Result<RetrieveReq, WireError> {
     let mode = mode_from_wire(c.u8()?)?;
     let deadline_micros = c.u64()?;
     let query = c.term()?;
+    let budget = get_budget_ext(&mut c)?;
     c.finish()?;
     Ok(RetrieveReq {
         mode,
         deadline_micros,
+        budget,
         query,
     })
 }
@@ -501,6 +590,8 @@ pub struct RetrieveBatchReq {
     pub mode: SearchMode,
     /// Deadline as in [`RetrieveReq::deadline_micros`].
     pub deadline_micros: u64,
+    /// Work ceilings covering the batch as a whole (v4).
+    pub budget: BudgetExt,
     /// Member queries, answered positionally.
     pub queries: Vec<Term>,
 }
@@ -514,6 +605,7 @@ pub fn encode_retrieve_batch(req: &RetrieveBatchReq) -> Vec<u8> {
     for q in &req.queries {
         out.extend_from_slice(&encode_term(q));
     }
+    put_budget_ext(&mut out, &req.budget);
     out
 }
 
@@ -527,10 +619,12 @@ pub fn decode_retrieve_batch(payload: &[u8]) -> Result<RetrieveBatchReq, WireErr
     for _ in 0..count {
         queries.push(c.term()?);
     }
+    let budget = get_budget_ext(&mut c)?;
     c.finish()?;
     Ok(RetrieveBatchReq {
         mode,
         deadline_micros,
+        budget,
         queries,
     })
 }
@@ -551,6 +645,8 @@ pub struct SolveReq {
     pub max_depth: u64,
     /// Deadline as in [`RetrieveReq::deadline_micros`].
     pub deadline_micros: u64,
+    /// Work ceilings beyond the deadline (v4).
+    pub budget: BudgetExt,
 }
 
 /// Encodes a [`SolveReq`].
@@ -571,6 +667,7 @@ pub fn encode_solve(req: &SolveReq) -> Vec<u8> {
     for goal in &req.goals {
         out.extend_from_slice(&encode_term(goal));
     }
+    put_budget_ext(&mut out, &req.budget);
     out
 }
 
@@ -594,6 +691,7 @@ pub fn decode_solve(payload: &[u8]) -> Result<SolveReq, WireError> {
     for _ in 0..n_goals {
         goals.push(c.term()?);
     }
+    let budget = get_budget_ext(&mut c)?;
     c.finish()?;
     Ok(SolveReq {
         goals,
@@ -602,6 +700,7 @@ pub fn decode_solve(payload: &[u8]) -> Result<SolveReq, WireError> {
         max_solutions,
         max_depth,
         deadline_micros,
+        budget,
     })
 }
 
@@ -1162,12 +1261,21 @@ mod tests {
         let mut symbols = SymbolTable::new();
         for query in sample_terms(&mut symbols) {
             for mode in SearchMode::ALL {
-                let req = RetrieveReq {
-                    mode,
-                    deadline_micros: 1_000_000,
-                    query: query.clone(),
-                };
-                assert_eq!(decode_retrieve(&encode_retrieve(&req)).unwrap(), req);
+                for budget in [
+                    BudgetExt::NONE,
+                    BudgetExt {
+                        solve_step_limit: 0,
+                        candidate_limit: 4096,
+                    },
+                ] {
+                    let req = RetrieveReq {
+                        mode,
+                        deadline_micros: 1_000_000,
+                        budget,
+                        query: query.clone(),
+                    };
+                    assert_eq!(decode_retrieve(&encode_retrieve(&req)).unwrap(), req);
+                }
             }
         }
     }
@@ -1178,11 +1286,48 @@ mod tests {
         let req = RetrieveBatchReq {
             mode: SearchMode::TwoStage,
             deadline_micros: 0,
+            budget: BudgetExt {
+                solve_step_limit: 9,
+                candidate_limit: 10_000,
+            },
             queries: sample_terms(&mut symbols),
         };
         assert_eq!(
             decode_retrieve_batch(&encode_retrieve_batch(&req)).unwrap(),
             req
+        );
+    }
+
+    #[test]
+    fn zero_budget_encodes_byte_identical_to_v3() {
+        // The whole compatibility story: a v4 peer with no limits emits
+        // exactly the bytes a v3 peer would, so servers cannot tell them
+        // apart and v3 decoders never see trailing bytes.
+        let mut symbols = SymbolTable::new();
+        let query = sample_terms(&mut symbols).remove(1);
+        let req = RetrieveReq {
+            mode: SearchMode::TwoStage,
+            deadline_micros: 123,
+            budget: BudgetExt::NONE,
+            query: query.clone(),
+        };
+        let mut v3 = Vec::new();
+        v3.push(mode_to_wire(req.mode));
+        v3.extend_from_slice(&req.deadline_micros.to_be_bytes());
+        v3.extend_from_slice(&encode_term(&req.query));
+        assert_eq!(encode_retrieve(&req), v3);
+
+        let limited = RetrieveReq {
+            budget: BudgetExt {
+                solve_step_limit: 1,
+                candidate_limit: 0,
+            },
+            ..req
+        };
+        assert_eq!(
+            encode_retrieve(&limited).len(),
+            v3.len() + 16,
+            "a set limit appends exactly the 16-byte block"
         );
     }
 
@@ -1201,6 +1346,10 @@ mod tests {
                 max_solutions: u64::MAX,
                 max_depth: 256,
                 deadline_micros: 5,
+                budget: BudgetExt {
+                    solve_step_limit: 1_000,
+                    candidate_limit: 0,
+                },
             };
             assert_eq!(decode_solve(&encode_solve(&req)).unwrap(), req);
         }
@@ -1404,6 +1553,7 @@ mod tests {
         let req = RetrieveReq {
             mode: SearchMode::TwoStage,
             deadline_micros: 7,
+            budget: BudgetExt::NONE,
             query: sample_terms(&mut symbols).remove(1),
         };
         let full = encode_retrieve(&req);
@@ -1413,9 +1563,30 @@ mod tests {
                 "truncation at {cut} must not decode"
             );
         }
-        // Trailing garbage is rejected too.
-        let mut padded = full;
+        // Trailing garbage is rejected too — anything other than a
+        // complete 16-byte budget block after the term is malformed.
+        let mut padded = full.clone();
         padded.push(0);
         assert!(decode_retrieve(&padded).is_err());
+
+        // With the budget block present, every cut inside the block is
+        // rejected except the block boundary itself — which decodes as
+        // the (different) limitless request, never as a wrong budget.
+        let limited = RetrieveReq {
+            budget: BudgetExt {
+                solve_step_limit: 5,
+                candidate_limit: 6,
+            },
+            ..req.clone()
+        };
+        let ext = encode_retrieve(&limited);
+        assert_eq!(ext.len(), full.len() + 16);
+        for cut in full.len() + 1..ext.len() {
+            assert!(
+                decode_retrieve(&ext[..cut]).is_err(),
+                "partial budget block at {cut} must not decode"
+            );
+        }
+        assert_eq!(decode_retrieve(&ext[..full.len()]).unwrap(), req);
     }
 }

@@ -48,7 +48,7 @@ use std::time::{Duration, Instant};
 
 use crate::protocol::{
     decode_client_hello_caps, encode_server_hello, FrameReader, HelloStatus, ServerHello,
-    CAP_FRAME_CRC, CLIENT_HELLO_LEN, PROTOCOL_VERSION,
+    CAP_FRAME_CRC, CLIENT_HELLO_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::server::{process_burst, ConnWriter, Shared};
 
@@ -960,18 +960,17 @@ fn ingest(conn: &mut Conn, mut bytes: &[u8], shared: &Arc<Shared>) -> ConnVerdic
             conn.closing = true;
             return ConnVerdict::Keep;
         }
-        let (status, requested_caps) = match decode_client_hello_caps(&conn.hello) {
-            Ok((PROTOCOL_VERSION, caps)) => (HelloStatus::Ok, caps),
-            Ok(_) | Err(_) => (HelloStatus::VersionMismatch, 0),
+        // Same version-range admission as the threaded listener: any
+        // client in [MIN_PROTOCOL_VERSION, PROTOCOL_VERSION] is accepted
+        // and the hello echoes *its* version; capabilities that did not
+        // exist at that version are masked off.
+        let (status, requested_caps, version) = match decode_client_hello_caps(&conn.hello) {
+            Ok((v @ MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION, caps)) => (HelloStatus::Ok, caps, v),
+            Ok(_) | Err(_) => (HelloStatus::VersionMismatch, 0, PROTOCOL_VERSION),
         };
-        let caps = requested_caps
-            & if shared.cfg.frame_checksums {
-                CAP_FRAME_CRC
-            } else {
-                0
-            };
+        let caps = requested_caps & crate::server::allowed_caps(&shared.cfg, version);
         let hello = ServerHello {
-            version: PROTOCOL_VERSION,
+            version,
             status,
             retry_after_ms: 0,
             caps,

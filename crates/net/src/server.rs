@@ -50,9 +50,9 @@ use crate::protocol::{
     decode_retrieve_batch, decode_solve, decode_subscribe_log, encode_commit_receipt, encode_error,
     encode_retrieval, encode_retrievals, encode_seq_reply, encode_server_hello,
     encode_server_stats, encode_server_stats_extended, encode_solve_outcome, encode_symbols,
-    opcode, ConsultReq, ErrorCode, ErrorReply, Frame, FrameReader, HelloStatus, RetrieveBatchReq,
-    RetrieveReq, ServerHello, SolveReq, CAP_FRAME_CRC, CLIENT_HELLO_LEN, MAX_FRAME_LEN,
-    PROTOCOL_VERSION, STATS_REQ_EXTENDED,
+    opcode, BudgetExt, ConsultReq, ErrorCode, ErrorReply, Frame, FrameReader, HelloStatus,
+    RetrieveBatchReq, RetrieveReq, ServerHello, SolveReq, CAP_FRAME_CRC, CAP_QUERY_BUDGET,
+    CLIENT_HELLO_LEN, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, STATS_REQ_EXTENDED,
 };
 
 /// Which connection-intake core a [`NetServer`] runs.
@@ -110,6 +110,16 @@ pub struct NetConfig {
     /// Checksums only apply on connections where the client asked for
     /// them, so old clients are unaffected either way.
     pub frame_checksums: bool,
+    /// CoDel-style queue-sojourn shedding target. When set, the worker
+    /// pool notes each job's queue sojourn at dequeue; once sojourns stay
+    /// above the target for a full target-length window the intake starts
+    /// refusing *new* jobs with `Busy` (counted by `budget.codel_sheds`)
+    /// until a dequeued job has waited less than the target again. Under
+    /// sustained overload this keeps queue time bounded near the target
+    /// instead of letting every request absorb the full queue depth.
+    /// `None` (the default) disables sojourn shedding; the queue-full
+    /// bound still applies.
+    pub codel_target: Option<Duration>,
     /// Fault injection for tests: a worker panics when it picks up a
     /// `stats` job. Exercises the panic-isolation path (Internal error
     /// replies + `net.worker_panics`) without any adversarial input.
@@ -139,6 +149,7 @@ impl Default for NetConfig {
             kb_config: KbConfig::default(),
             idle_timeout: Some(Duration::from_secs(300)),
             frame_checksums: true,
+            codel_target: None,
             debug_panic_on_stats: false,
             debug_worker_delay: None,
         }
@@ -331,6 +342,18 @@ struct Job {
     writer: Arc<ConnWriter>,
     accepted: Instant,
     deadline_micros: u64,
+    /// Work ceilings from the request's v4 budget extension
+    /// ([`BudgetExt::NONE`] for v3 clients and unlimited requests).
+    budget: BudgetExt,
+}
+
+/// Queue-sojourn controller state (see [`NetConfig::codel_target`]).
+#[derive(Default)]
+struct CodelState {
+    /// When dequeued sojourns first went (and stayed) above the target.
+    above_since: Option<Instant>,
+    /// Sojourn has been above target for a full window: refuse new jobs.
+    shedding: bool,
 }
 
 pub(crate) struct Shared {
@@ -352,6 +375,8 @@ pub(crate) struct Shared {
     pub(crate) next_token: AtomicU64,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
+    /// Sojourn-shedding controller; inert unless `cfg.codel_target` is set.
+    codel: Mutex<CodelState>,
     pub(crate) connections: AtomicUsize,
     /// Over-limit connections currently held for a polite busy hello
     /// (reactor mode). Bounds the fd cost of refusal: accepts beyond the
@@ -360,12 +385,36 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    /// Enqueues a job unless the queue is full. On refusal the caller
-    /// sheds load; admission control is accounted on the CRS stats.
-    fn try_enqueue(&self, job: Job) -> Result<(), Job> {
+    /// Enqueues a job unless the queue is full or the sojourn controller
+    /// is shedding. On refusal the caller sheds load; admission control
+    /// is accounted on the CRS stats.
+    fn try_enqueue(&self, job: Job) -> Result<(), Box<Job>> {
+        if self.cfg.codel_target.is_some() {
+            let mut codel = self.codel.lock().unwrap_or_else(|e| e.into_inner());
+            if codel.shedding {
+                // An empty queue is CoDel's exit condition: the backlog
+                // has drained, so the next sojourn is below target by
+                // construction. Without this unlatch a burst could leave
+                // the gate shedding forever — refusals never enqueue, so
+                // no dequeue would ever observe the recovery.
+                let drained = self
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .is_empty();
+                if drained {
+                    codel.shedding = false;
+                    codel.above_since = None;
+                } else {
+                    drop(codel);
+                    clare_trace::metrics().budget_codel_sheds.inc();
+                    return Err(Box::new(job));
+                }
+            }
+        }
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         if queue.len() >= self.cfg.queue_depth {
-            return Err(job);
+            return Err(Box::new(job));
         }
         queue.push_back(job);
         clare_trace::metrics()
@@ -376,16 +425,37 @@ impl Shared {
         Ok(())
     }
 
+    /// Feeds one dequeued job's queue sojourn to the controller: a
+    /// below-target sojourn resets it (stop shedding); sojourns that stay
+    /// above target for a full target-length window start shedding.
+    fn note_sojourn(&self, sojourn: Duration) {
+        let Some(target) = self.cfg.codel_target else {
+            return;
+        };
+        let mut codel = self.codel.lock().unwrap_or_else(|e| e.into_inner());
+        if sojourn < target {
+            codel.above_since = None;
+            codel.shedding = false;
+        } else {
+            let since = *codel.above_since.get_or_insert_with(Instant::now);
+            if since.elapsed() >= target {
+                codel.shedding = true;
+            }
+        }
+    }
+
     /// Blocks for the next job; `None` means the pool is draining and the
     /// queue is empty, i.e. the worker should exit.
     fn dequeue(&self) -> Option<Job> {
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(job) = queue.pop_front() {
+                let sojourn = job.accepted.elapsed();
                 let m = clare_trace::metrics();
                 m.net_queue_depth.set(queue.len() as i64);
-                m.net_queue_wait_ns
-                    .record(job.accepted.elapsed().as_nanos() as u64);
+                m.net_queue_wait_ns.record(sojourn.as_nanos() as u64);
+                drop(queue);
+                self.note_sojourn(sojourn);
                 return Some(job);
             }
             if self.drained.load(Ordering::Acquire) {
@@ -451,6 +521,7 @@ impl NetServer {
             next_token: AtomicU64::new(crate::reactor::TOKEN_FIRST_CONN),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
+            codel: Mutex::new(CodelState::default()),
             connections: AtomicUsize::new(0),
             refused: AtomicUsize::new(0),
         });
@@ -650,6 +721,21 @@ fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.write_all(&encode_server_hello(&hello));
 }
 
+/// The capability bits this server will accept on a connection speaking
+/// `version`: CRC trailers when configured, plus the query-budget
+/// extension on v4+ connections. Shared by both intake cores so the
+/// negotiation is identical.
+pub(crate) fn allowed_caps(cfg: &NetConfig, version: u16) -> u8 {
+    let mut caps = 0;
+    if cfg.frame_checksums {
+        caps |= CAP_FRAME_CRC;
+    }
+    if version >= 4 {
+        caps |= CAP_QUERY_BUDGET;
+    }
+    caps
+}
+
 fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     if stream
         .set_read_timeout(Some(Duration::from_secs(2)))
@@ -666,20 +752,18 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     if stream.read_exact(&mut hello_raw).is_err() {
         return;
     }
-    let (status, requested_caps) = match decode_client_hello_caps(&hello_raw) {
-        Ok((PROTOCOL_VERSION, caps)) => (HelloStatus::Ok, caps),
-        Ok(_) | Err(_) => (HelloStatus::VersionMismatch, 0),
+    let (status, requested_caps, version) = match decode_client_hello_caps(&hello_raw) {
+        Ok((v @ MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION, caps)) => (HelloStatus::Ok, caps, v),
+        Ok(_) | Err(_) => (HelloStatus::VersionMismatch, 0, PROTOCOL_VERSION),
     };
     // Capabilities are the intersection of what the client asked for and
-    // what this server's config allows.
-    let caps = requested_caps
-        & if shared.cfg.frame_checksums {
-            CAP_FRAME_CRC
-        } else {
-            0
-        };
+    // what this server's config allows; the budget extension additionally
+    // needs a v4 connection (v3 peers predate it).
+    let caps = requested_caps & allowed_caps(&shared.cfg, version);
+    // Echo the *negotiated* version: an old client keeps its exact wire
+    // dialect for the whole connection.
     let hello = ServerHello {
-        version: PROTOCOL_VERSION,
+        version,
         status,
         retry_after_ms: 0,
         caps,
@@ -810,10 +894,11 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
     let flush_pending = |pending: &mut Vec<PendingRetrieve>, jobs: &mut Vec<Job>| {
         while !pending.is_empty() {
             // Take the head's group: the longest prefix sharing its
-            // coalescing key (same predicate, mode, and deadline).
+            // coalescing key (same predicate, mode, deadline, and budget).
             let head_key = pending[0].key;
             let head_mode = pending[0].req.mode;
             let head_deadline = pending[0].req.deadline_micros;
+            let head_budget = pending[0].req.budget;
             let groupable = head_key.is_some();
             let mut n = 1;
             while groupable
@@ -821,6 +906,7 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
                 && pending[n].key == head_key
                 && pending[n].req.mode == head_mode
                 && pending[n].req.deadline_micros == head_deadline
+                && pending[n].req.budget == head_budget
             {
                 n += 1;
             }
@@ -833,6 +919,7 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
                     writer: Arc::clone(writer),
                     accepted: Instant::now(),
                     deadline_micros: head_deadline,
+                    budget: head_budget,
                 });
             } else {
                 let m = clare_trace::metrics();
@@ -846,6 +933,7 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
                         req: RetrieveBatchReq {
                             mode: head_mode,
                             deadline_micros: head_deadline,
+                            budget: head_budget,
                             queries,
                         },
                         member_ids,
@@ -853,6 +941,7 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
                     writer: Arc::clone(writer),
                     accepted: Instant::now(),
                     deadline_micros: head_deadline,
+                    budget: head_budget,
                 });
             }
         }
@@ -970,11 +1059,11 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
             }
         };
         flush_pending(&mut pending, &mut jobs);
-        let deadline_micros = match &work {
-            Work::Retrieve(req) => req.deadline_micros,
-            Work::Solve(req) => req.deadline_micros,
-            Work::Batch(req) => req.deadline_micros,
-            _ => 0,
+        let (deadline_micros, budget) = match &work {
+            Work::Retrieve(req) => (req.deadline_micros, req.budget),
+            Work::Solve(req) => (req.deadline_micros, req.budget),
+            Work::Batch(req) => (req.deadline_micros, req.budget),
+            _ => (0, BudgetExt::NONE),
         };
         jobs.push(Job {
             request_id: id,
@@ -982,6 +1071,7 @@ pub(crate) fn process_burst(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, burs
             writer: Arc::clone(writer),
             accepted: Instant::now(),
             deadline_micros,
+            budget,
         });
     }
     flush_pending(&mut pending, &mut jobs);
@@ -1046,15 +1136,48 @@ fn deadline_expired(job: &Job) -> bool {
     job.deadline_micros > 0 && job.accepted.elapsed() > Duration::from_micros(job.deadline_micros)
 }
 
+/// Sends the typed error for a tripped budget. Deadline trips reuse the
+/// v3-era `DeadlineExpired` code (old clients understand it); step and
+/// candidate ceilings — which only a v4 budget can set — report the v4
+/// `BudgetExceeded` code with the trip reason in the message.
+fn send_budget_exceeded(writer: &ConnWriter, ids: &[u64], e: &clare_core::BudgetExceeded) {
+    clare_core::CancelToken::record_trip(e.reason.unwrap_or(clare_core::BudgetReason::Deadline));
+    let (code, message) = match e.reason {
+        Some(clare_core::BudgetReason::Deadline) | None => (
+            ErrorCode::DeadlineExpired,
+            "deadline expired mid-execution; partial work discarded".to_owned(),
+        ),
+        Some(reason) => (ErrorCode::BudgetExceeded, format!("{e}: {reason}")),
+    };
+    for &id in ids {
+        writer.send_error(id, code, 0, message.clone());
+    }
+}
+
 fn execute(shared: &Arc<Shared>, job: Job) {
     if let Some(delay) = shared.cfg.debug_worker_delay {
         std::thread::sleep(delay);
     }
+    // Worker-side stall fault point (chaos schedules only): pins this
+    // worker for a bounded delay *before* the queue-expiry check, so a
+    // deterministic schedule can force jobs to outlive their deadline in
+    // the queue and prove they are shed, not executed.
+    if clare_fault::active() {
+        if let clare_fault::FaultAction::Delay { micros } =
+            clare_fault::decide(clare_fault::FaultSite::WorkerStall, job.request_id)
+        {
+            std::thread::sleep(Duration::from_micros(micros));
+        }
+    }
+    let ids: Vec<u64> = match &job.work {
+        Work::Coalesced { member_ids, .. } => member_ids.clone(),
+        _ => vec![job.request_id],
+    };
     if deadline_expired(&job) {
-        let ids: Vec<u64> = match &job.work {
-            Work::Coalesced { member_ids, .. } => member_ids.clone(),
-            _ => vec![job.request_id],
-        };
+        // The deadline elapsed while the job sat in the queue: shed it
+        // without executing — running it would waste a worker on an
+        // answer the client has already given up on.
+        clare_trace::metrics().budget_expired_in_queue.inc();
         for id in ids {
             job.writer.send_error(
                 id,
@@ -1065,38 +1188,56 @@ fn execute(shared: &Arc<Shared>, job: Job) {
         }
         return;
     }
+    // The end-to-end cancellation token: the deadline is anchored at
+    // *arrival* (queue time counts against it), the work ceilings come
+    // from the v4 budget extension. Unlimited for v3 / no-budget requests
+    // — CancelToken::starting_at returns the zero-cost unlimited token.
+    let cancel = clare_core::CancelToken::starting_at(
+        &clare_core::QueryBudget {
+            deadline_micros: job.deadline_micros,
+            solve_step_limit: job.budget.solve_step_limit,
+            candidate_limit: job.budget.candidate_limit,
+        },
+        job.accepted,
+    );
 
     let crs = &shared.crs;
     match job.work {
-        Work::Retrieve(req) => {
-            let retrieval = crs.retrieve(&req.query, req.mode);
-            job.writer.send(&Frame::new(
+        Work::Retrieve(req) => match crs.retrieve_budgeted(&req.query, req.mode, &cancel) {
+            Ok(retrieval) => job.writer.send(&Frame::new(
                 job.request_id,
                 opcode::RETRIEVE | opcode::REPLY,
                 encode_retrieval(&retrieval),
-            ));
-        }
+            )),
+            Err(e) => send_budget_exceeded(&job.writer, &ids, &e),
+        },
         Work::Coalesced { req, member_ids } => {
             // One hardware pass; each member answered as if it had been a
             // lone retrieve. Identical bytes are guaranteed by the core's
-            // batch-equals-individual property.
-            let retrievals = crs.retrieve_batch(&req.queries, req.mode);
-            for (id, retrieval) in member_ids.into_iter().zip(&retrievals) {
-                job.writer.send(&Frame::new(
-                    id,
-                    opcode::RETRIEVE | opcode::REPLY,
-                    encode_retrieval(retrieval),
-                ));
+            // batch-equals-individual property. A budget trip anywhere
+            // fails the whole group — members share one (identical)
+            // budget, so none of them would have finished either.
+            match crs.retrieve_batch_budgeted(&req.queries, req.mode, &cancel) {
+                Ok(retrievals) => {
+                    for (id, retrieval) in member_ids.into_iter().zip(&retrievals) {
+                        job.writer.send(&Frame::new(
+                            id,
+                            opcode::RETRIEVE | opcode::REPLY,
+                            encode_retrieval(retrieval),
+                        ));
+                    }
+                }
+                Err(e) => send_budget_exceeded(&job.writer, &member_ids, &e),
             }
         }
-        Work::Batch(req) => {
-            let retrievals = crs.retrieve_batch(&req.queries, req.mode);
-            job.writer.send(&Frame::new(
+        Work::Batch(req) => match crs.retrieve_batch_budgeted(&req.queries, req.mode, &cancel) {
+            Ok(retrievals) => job.writer.send(&Frame::new(
                 job.request_id,
                 opcode::RETRIEVE_BATCH | opcode::REPLY,
                 encode_retrievals(&retrievals),
-            ));
-        }
+            )),
+            Err(e) => send_budget_exceeded(&job.writer, &ids, &e),
+        },
         Work::Solve(req) => {
             let options = SolveOptions {
                 mode: req.mode,
@@ -1104,12 +1245,14 @@ fn execute(shared: &Arc<Shared>, job: Job) {
                 max_depth: usize::try_from(req.max_depth).unwrap_or(usize::MAX),
                 crs: crs.options().clone(),
             };
-            let outcome = crs.solve_goals(&req.goals, &req.var_names, &options);
-            job.writer.send(&Frame::new(
-                job.request_id,
-                opcode::SOLVE | opcode::REPLY,
-                encode_solve_outcome(&outcome),
-            ));
+            match crs.solve_goals_budgeted(&req.goals, &req.var_names, &options, &cancel) {
+                Ok(outcome) => job.writer.send(&Frame::new(
+                    job.request_id,
+                    opcode::SOLVE | opcode::REPLY,
+                    encode_solve_outcome(&outcome),
+                )),
+                Err(e) => send_budget_exceeded(&job.writer, &ids, &e),
+            }
         }
         Work::Consult(req) => {
             let mut tx = crs.begin_update();

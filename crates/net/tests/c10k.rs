@@ -12,7 +12,7 @@ use clare_core::{ClauseRetrievalServer, CrsOptions, SearchMode};
 use clare_kb::{KbBuilder, KbConfig};
 use clare_net::protocol::{
     decode_server_hello, encode_client_hello_caps, encode_retrieval, encode_retrieve, opcode,
-    Frame, FrameReader, HelloStatus, RetrieveReq, PROTOCOL_VERSION, SERVER_HELLO_LEN,
+    BudgetExt, Frame, FrameReader, HelloStatus, RetrieveReq, PROTOCOL_VERSION, SERVER_HELLO_LEN,
 };
 use clare_net::{NetConfig, NetServer, ServerMode};
 use clare_term::parser::parse_term;
@@ -103,6 +103,7 @@ fn reactor_serves_a_thousand_concurrent_pipelined_connections() {
             let req = RetrieveReq {
                 mode: SearchMode::TwoStage,
                 deadline_micros: 0,
+                budget: BudgetExt::NONE,
                 query: queries[q].clone(),
             };
             let id = (i * DEPTH + d) as u64 + 1;

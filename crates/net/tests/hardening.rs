@@ -218,6 +218,130 @@ fn reconnect_replay_scenario(server_mode: ServerMode) {
     server.shutdown();
 }
 
+/// A frame-counting fake server for the no-replay regression below: it
+/// speaks the hello (granting no capabilities, so frames stay
+/// unchecksummed), answers pings, and *hangs up without replying* on
+/// every ASSERT or RETRACT — while counting exactly how many of each it
+/// ever received across all connections. Any client that auto-replayed a
+/// write over a fresh connection would be caught red-handed by the
+/// counter.
+fn write_counting_server() -> (SocketAddr, Arc<AtomicUsize>, Arc<AtomicUsize>) {
+    use clare_net::protocol::{
+        encode_server_hello, opcode, Frame, FrameReader, HelloStatus, ServerHello,
+        CLIENT_HELLO_LEN, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let asserts = Arc::new(AtomicUsize::new(0));
+    let retracts = Arc::new(AtomicUsize::new(0));
+    let (a, r) = (Arc::clone(&asserts), Arc::clone(&retracts));
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            let (a, r) = (Arc::clone(&a), Arc::clone(&r));
+            std::thread::spawn(move || {
+                let mut hello = [0u8; CLIENT_HELLO_LEN];
+                if stream.read_exact(&mut hello).is_err() {
+                    return;
+                }
+                let reply = encode_server_hello(&ServerHello {
+                    version: PROTOCOL_VERSION,
+                    status: HelloStatus::Ok,
+                    retry_after_ms: 0,
+                    caps: 0,
+                    fingerprint: 0,
+                });
+                if stream.write_all(&reply).is_err() {
+                    return;
+                }
+                let mut fr = FrameReader::new(MAX_FRAME_LEN);
+                loop {
+                    let Ok(frame) = fr.read_frame(&mut stream) else {
+                        return;
+                    };
+                    match frame.opcode {
+                        opcode::ASSERT => {
+                            a.fetch_add(1, Ordering::SeqCst);
+                            return; // hang up mid-request, no reply
+                        }
+                        opcode::RETRACT => {
+                            r.fetch_add(1, Ordering::SeqCst);
+                            return; // hang up mid-request, no reply
+                        }
+                        op => {
+                            let pong = Frame::new(frame.request_id, op | opcode::REPLY, Vec::new());
+                            if stream.write_all(&pong.encoded()).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    (addr, asserts, retracts)
+}
+
+/// Non-idempotent writes are **never** auto-replayed. When the peer dies
+/// mid-request after an ASSERT or RETRACT frame went out, the client
+/// cannot know whether the write committed — replaying it could commit
+/// it twice — so the transport error must surface to the caller, and
+/// exactly one copy of the frame may ever reach the wire, even though
+/// the same client happily reconnects and replays *idempotent* requests
+/// on the very same connection.
+#[test]
+fn writes_are_never_replayed_after_mid_request_hangup() {
+    let (addr, asserts, retracts) = write_counting_server();
+    let cfg = ClientConfig {
+        read_timeout: Duration::from_secs(2),
+        reconnect_retries: 3,
+        ..ClientConfig::default()
+    };
+    let mut client = NetClient::connect(addr, cfg).unwrap();
+    client.ping().unwrap();
+
+    // The assert dies mid-request: the error surfaces, typed as a
+    // transport failure the caller can see.
+    let err = client
+        .assert("m", "boom(a).")
+        .expect_err("a swallowed ASSERT must surface, not silently retry");
+    assert!(
+        err.is_connection_fatal(),
+        "the caller must see the transport failure, got {err:?}"
+    );
+
+    // The same client still recovers for idempotent traffic: ping
+    // reconnects and replays, proving the replay machinery is alive —
+    // it just refused to touch the write.
+    let reconnects_before = clare_trace::metrics().net_client_reconnects.get();
+    client.ping().unwrap();
+    assert!(
+        clare_trace::metrics().net_client_reconnects.get() > reconnects_before,
+        "the idempotent ping should have reconnected and replayed"
+    );
+
+    // Same story for RETRACT.
+    let err = client
+        .retract("m", "boom(a).")
+        .expect_err("a swallowed RETRACT must surface, not silently retry");
+    assert!(err.is_connection_fatal());
+    client.ping().unwrap();
+
+    // Give any buggy background replay a beat to land, then the verdict:
+    // exactly one copy of each write ever reached the wire.
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(
+        asserts.load(Ordering::SeqCst),
+        1,
+        "the ASSERT frame was replayed after the hangup"
+    );
+    assert_eq!(
+        retracts.load(Ordering::SeqCst),
+        1,
+        "the RETRACT frame was replayed after the hangup"
+    );
+}
+
 /// With frame checksums negotiated, injected bit flips on server replies
 /// are *detected* (never silently decoded): every retrieve either matches
 /// the direct answer or forces a counted reconnect, and the CRC failure
@@ -354,8 +478,9 @@ fn half_close_delivers_in_flight_replies_threaded() {
 
 fn half_close_scenario(server_mode: ServerMode) {
     use clare_net::protocol::{
-        decode_server_hello, encode_client_hello, encode_retrieval, encode_retrieve, opcode, Frame,
-        FrameReader, HelloStatus, RetrieveReq, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN,
+        decode_server_hello, encode_client_hello, encode_retrieval, encode_retrieve, opcode,
+        BudgetExt, Frame, FrameReader, HelloStatus, RetrieveReq, MAX_FRAME_LEN, PROTOCOL_VERSION,
+        SERVER_HELLO_LEN,
     };
     let (server, crs) = serve(NetConfig {
         server_mode,
@@ -390,6 +515,7 @@ fn half_close_scenario(server_mode: ServerMode) {
         let req = RetrieveReq {
             mode: SearchMode::TwoStage,
             deadline_micros: 0,
+            budget: BudgetExt::NONE,
             query: query.clone(),
         };
         let frame = Frame::new(

@@ -9,8 +9,8 @@
 use clare_core::{ClauseRetrievalServer, CrsOptions, ModeChoice, SearchMode};
 use clare_kb::{KbBuilder, KbConfig, KnowledgeBase};
 use clare_net::protocol::{
-    self, encode_client_hello, encode_retrieve, encode_solve, opcode, Frame, HelloStatus,
-    RetrieveReq, SolveReq, PROTOCOL_VERSION, SERVER_HELLO_LEN,
+    self, encode_client_hello, encode_retrieve, encode_solve, opcode, BudgetExt, Frame,
+    HelloStatus, RetrieveReq, SolveReq, PROTOCOL_VERSION, SERVER_HELLO_LEN,
 };
 use clare_net::{ClientConfig, ErrorCode, NetClient, NetConfig, NetError, NetServer};
 use clare_term::parser::parse_term;
@@ -156,6 +156,7 @@ fn saturated_daemon_is_eventually_served_through_retry() {
                     max_solutions: u64::MAX,
                     max_depth: 64,
                     deadline_micros: 0,
+                    budget: BudgetExt::NONE,
                 }),
             )
             .encoded(),
@@ -172,6 +173,7 @@ fn saturated_daemon_is_eventually_served_through_retry() {
                     query: query.clone(),
                     mode: SearchMode::SoftwareOnly,
                     deadline_micros: 0,
+                    budget: BudgetExt::NONE,
                 }),
             )
             .encoded(),

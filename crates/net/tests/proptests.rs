@@ -7,9 +7,11 @@ use clare_core::{ClauseRetrievalServer, CrsOptions, SearchMode};
 use clare_kb::{KbBuilder, KbConfig};
 use clare_net::protocol::{
     decode_consult, decode_error, decode_metrics_snapshot, decode_retrieval, decode_retrievals,
-    decode_retrieve, decode_retrieve_batch, decode_server_stats, decode_server_stats_extended,
-    decode_solve, decode_solve_outcome, decode_symbols, encode_client_hello, encode_retrieve,
-    opcode, Frame, FrameReader, RetrieveReq, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_HELLO_LEN,
+    decode_retrieve, decode_retrieve_batch, decode_server_hello, decode_server_stats,
+    decode_server_stats_extended, decode_solve, decode_solve_outcome, decode_symbols,
+    encode_client_hello, encode_client_hello_caps, encode_retrieval, encode_retrieve, opcode,
+    BudgetExt, Frame, FrameReader, HelloStatus, RetrieveReq, CAP_FRAME_CRC, CAP_QUERY_BUDGET,
+    MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, SERVER_HELLO_LEN,
 };
 use clare_net::{ClientConfig, NetClient, NetConfig, NetServer};
 use clare_term::parser::parse_term;
@@ -157,6 +159,7 @@ proptest! {
                         query: query.clone(),
                         mode: SearchMode::TwoStage,
                         deadline_micros: 0,
+                        budget: BudgetExt::NONE,
                     })).encoded());
                     expected.push((id, Some(query)));
                 }
@@ -191,6 +194,85 @@ proptest! {
                 None => prop_assert!(frame.opcode & opcode::REPLY != 0),
             }
         }
+        server.shutdown();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Capability negotiation never strands an old client. For an
+    /// arbitrary requested-capability byte and either in-range protocol
+    /// version, the server echoes the client's version, grants only a
+    /// subset of what was requested, refuses the budget capability to a
+    /// v3 client (whose decoders predate the optional budget tail), and
+    /// then serves retrieval replies byte-identical to the in-process
+    /// reference over that client's own framing — the v4 upgrade is
+    /// invisible to v3 speakers.
+    #[test]
+    fn capability_negotiation_keeps_v3_answers_byte_identical(
+        requested in any::<u8>(),
+        speak_v3 in any::<bool>(),
+        qi in 0usize..3,
+    ) {
+        let mut b = KbBuilder::new();
+        b.consult("m", "p(a). p(b). q(c, d).").unwrap();
+        let crs = Arc::new(ClauseRetrievalServer::new(
+            b.finish(KbConfig::default()),
+            CrsOptions::default(),
+        ));
+        let server = NetServer::bind(
+            Arc::clone(&crs),
+            "127.0.0.1:0",
+            NetConfig { workers: 2, ..NetConfig::default() },
+        )
+        .unwrap();
+
+        let version = if speak_v3 { MIN_PROTOCOL_VERSION } else { PROTOCOL_VERSION };
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.write_all(&encode_client_hello_caps(version, requested)).unwrap();
+        let mut raw = [0u8; SERVER_HELLO_LEN];
+        stream.read_exact(&mut raw).unwrap();
+        let hello = decode_server_hello(&raw).unwrap();
+        prop_assert_eq!(hello.status, HelloStatus::Ok);
+        prop_assert_eq!(hello.version, version, "the server must echo the client's version");
+        prop_assert_eq!(
+            hello.caps & !requested, 0,
+            "granted capabilities must be a subset of the requested ones"
+        );
+        if version < PROTOCOL_VERSION {
+            prop_assert_eq!(
+                hello.caps & CAP_QUERY_BUDGET, 0,
+                "the budget capability must never be granted below v4"
+            );
+        }
+
+        // Speak whatever framing was negotiated; a zero budget encodes to
+        // v3-identical request bytes, so this is exactly what a v3 client
+        // puts on the wire.
+        let crc = hello.caps & CAP_FRAME_CRC != 0;
+        let mut symbols = crs.symbols();
+        let text = ["p(X)", "q(X, Y)", "p(b)"][qi];
+        let query = parse_term(text, &mut symbols).unwrap();
+        let req = RetrieveReq {
+            mode: SearchMode::TwoStage,
+            deadline_micros: 0,
+            budget: BudgetExt::NONE,
+            query: query.clone(),
+        };
+        let frame = Frame::new(7, opcode::RETRIEVE, encode_retrieve(&req));
+        stream.write_all(&frame.encoded_with(crc)).unwrap();
+        let mut fr = FrameReader::new(MAX_FRAME_LEN);
+        fr.set_checksums(crc);
+        let reply = fr.read_frame(&mut stream).unwrap();
+        prop_assert_eq!(reply.request_id, 7);
+        prop_assert_eq!(reply.opcode, opcode::RETRIEVE | opcode::REPLY);
+        prop_assert_eq!(
+            reply.payload,
+            encode_retrieval(&crs.retrieve(&query, SearchMode::TwoStage)),
+            "a {}-speaking client's reply diverged from the reference bytes", version
+        );
         server.shutdown();
     }
 }

@@ -279,6 +279,36 @@ impl IndexFile {
         outcome
     }
 
+    /// [`IndexFile::scan_with`] with a cooperative cancellation hook:
+    /// `cancel` is polled once per shard claim (on every worker), and a
+    /// `true` answer abandons the scan and returns `None`. A cancelled
+    /// scan never yields a partial match list and records no scan
+    /// metrics — to the registry it never happened. The hook is a plain
+    /// closure so this crate stays free of any budget-layer dependency.
+    pub fn scan_with_cancel(
+        &self,
+        descriptor: &QueryDescriptor,
+        parallelism: usize,
+        cancel: &(dyn Fn() -> bool + Sync),
+    ) -> Option<ScanOutcome> {
+        let started = Instant::now();
+        let compiled = CompiledQuery::compile(descriptor, self.limbs_per_entry);
+        let mut per_query = self.packed_matches_batch_cancel(
+            std::slice::from_ref(&compiled),
+            parallelism,
+            Some(cancel),
+        )?;
+        let matches = per_query.pop().expect("one query in, one hit list out");
+        let outcome = self.outcome(matches);
+        let m = clare_trace::metrics();
+        m.fs1_scans.inc();
+        m.fs1_entries_scanned.add(outcome.entries_scanned as u64);
+        m.fs1_candidates_out.add(outcome.matches.len() as u64);
+        m.fs1_scan_wall_ns
+            .record(started.elapsed().as_nanos() as u64);
+        Some(outcome)
+    }
+
     /// Reference scalar scan: reconstructs each signature and applies
     /// [`QueryDescriptor::matches`] per entry. Retained as the semantic
     /// baseline the packed and parallel paths are property-tested against
@@ -326,6 +356,35 @@ impl IndexFile {
         outcomes
     }
 
+    /// [`IndexFile::scan_batch_with`] with the cooperative cancellation
+    /// hook of [`IndexFile::scan_with_cancel`]: `cancel` is polled per
+    /// shard claim, and `true` abandons the whole batch (`None`) with no
+    /// partial outcomes and no metrics recorded.
+    pub fn scan_batch_with_cancel(
+        &self,
+        descriptors: &[QueryDescriptor],
+        parallelism: usize,
+        cancel: &(dyn Fn() -> bool + Sync),
+    ) -> Option<Vec<ScanOutcome>> {
+        let started = Instant::now();
+        let compiled: Vec<CompiledQuery> = descriptors
+            .iter()
+            .map(|d| CompiledQuery::compile(d, self.limbs_per_entry))
+            .collect();
+        let per_query = self.packed_matches_batch_cancel(&compiled, parallelism, Some(cancel))?;
+        let outcomes: Vec<ScanOutcome> = per_query.into_iter().map(|m| self.outcome(m)).collect();
+        let m = clare_trace::metrics();
+        m.fs1_batch_scans.inc();
+        m.fs1_scans.add(outcomes.len() as u64);
+        for o in &outcomes {
+            m.fs1_entries_scanned.add(o.entries_scanned as u64);
+            m.fs1_candidates_out.add(o.matches.len() as u64);
+        }
+        m.fs1_scan_wall_ns
+            .record(started.elapsed().as_nanos() as u64);
+        Some(outcomes)
+    }
+
     fn outcome(&self, matches: Vec<ClauseAddr>) -> ScanOutcome {
         let bytes_scanned = self.file_bytes();
         ScanOutcome {
@@ -351,23 +410,68 @@ impl IndexFile {
         queries: &[CompiledQuery],
         parallelism: usize,
     ) -> Vec<Vec<ClauseAddr>> {
+        self.packed_matches_batch_cancel(queries, parallelism, None)
+            .expect("uncancellable scan completed")
+    }
+
+    /// The scan driver with an optional cancellation hook: `cancel` (if
+    /// any) is polled at every shard claim; a `true` answer abandons the
+    /// whole scan and yields `None`. Without a hook this is exactly the
+    /// old driver.
+    fn packed_matches_batch_cancel(
+        &self,
+        queries: &[CompiledQuery],
+        parallelism: usize,
+        cancel: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> Option<Vec<Vec<ClauseAddr>>> {
         let len = self.len();
         let shard = self.config.shard_entries();
         let shard_count = len.div_ceil(shard).max(1);
         let workers = parallelism.clamp(1, shard_count);
 
         if workers == 1 {
-            return self.scan_shard(queries, 0, len);
+            let Some(cancel) = cancel else {
+                return Some(self.scan_shard(queries, 0, len));
+            };
+            // Walk shard-by-shard so cancellation latency stays one
+            // shard even on the serial path.
+            let mut per_query = vec![Vec::new(); queries.len()];
+            let mut start = 0;
+            loop {
+                if cancel() {
+                    return None;
+                }
+                if start >= len {
+                    break;
+                }
+                let end = (start + shard).min(len);
+                for (q, hits) in self.scan_shard(queries, start, end).into_iter().enumerate() {
+                    per_query[q].extend(hits);
+                }
+                start = end;
+            }
+            return Some(per_query);
         }
 
         let next = AtomicUsize::new(0);
+        let abandoned = std::sync::atomic::AtomicBool::new(false);
         let mut sharded: Vec<(usize, Vec<Vec<ClauseAddr>>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
+                    let abandoned = &abandoned;
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
+                            if let Some(cancel) = cancel {
+                                if abandoned.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                if cancel() {
+                                    abandoned.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
                             let s = next.fetch_add(1, Ordering::Relaxed);
                             if s >= shard_count {
                                 break;
@@ -385,6 +489,9 @@ impl IndexFile {
                 .flat_map(|h| h.join().expect("scan worker panicked"))
                 .collect()
         });
+        if abandoned.load(Ordering::Relaxed) {
+            return None;
+        }
         sharded.sort_unstable_by_key(|(s, _)| *s);
 
         let mut per_query = vec![Vec::new(); queries.len()];
@@ -393,7 +500,7 @@ impl IndexFile {
                 per_query[q].extend(hits);
             }
         }
-        per_query
+        Some(per_query)
     }
 
     /// Scans entries `[start, end)` for every query.

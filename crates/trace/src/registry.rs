@@ -130,6 +130,26 @@ pub struct Metrics {
     /// (a knowledge-base update or track quarantine intervened). Each
     /// also counts as a miss.
     pub cache_epoch_invalidations: Counter,
+    // --- budget: end-to-end deadlines and cooperative cancellation --------
+    /// Queued jobs dropped because their deadline expired before a
+    /// worker picked them up (shed with `DeadlineExpired`, never
+    /// executed).
+    pub budget_expired_in_queue: Counter,
+    /// Requests cancelled mid-execution because their deadline passed a
+    /// cooperative checkpoint (typed `BudgetExceeded`, never cached).
+    pub budget_exceeded_deadline: Counter,
+    /// Solve calls cancelled because they hit their resolution-step
+    /// budget.
+    pub budget_exceeded_steps: Counter,
+    /// Retrievals cancelled because they hit their candidate budget.
+    pub budget_exceeded_candidates: Counter,
+    /// Jobs shed at admission by the CoDel-style sojourn controller
+    /// (sustained queue delay above target — shed early, before the
+    /// queue fills).
+    pub budget_codel_sheds: Counter,
+    /// Solve calls that exhausted `SolveOptions::max_depth` at least
+    /// once (the answer is complete only up to the depth cap).
+    pub solve_depth_cap_hits: Counter,
     // --- wal: the write-ahead log and memtable overlay -------------------
     /// Batches appended to the write-ahead log (one fsync each — the
     /// group-commit unit).
@@ -253,6 +273,14 @@ pub struct Metrics {
     /// Replication lag of the worst shard: records committed on the
     /// primary but not yet acknowledged as applied by its backup.
     pub cluster_repl_lag_frames: Gauge,
+    /// Per-shard circuit breakers tripped open (K consecutive
+    /// failures).
+    pub router_breaker_opens: Counter,
+    /// Half-open probe requests let through a cooling-down breaker.
+    pub router_breaker_half_open_probes: Counter,
+    /// Requests fast-failed with `ShardUnavailable` because the shard's
+    /// breaker was open.
+    pub router_breaker_rejections: Counter,
 }
 
 /// The dynamic per-predicate latency histograms. Lookup takes a read
@@ -327,6 +355,12 @@ static METRICS: Metrics = Metrics {
     cache_misses: Counter::new(),
     cache_evictions: Counter::new(),
     cache_epoch_invalidations: Counter::new(),
+    budget_expired_in_queue: Counter::new(),
+    budget_exceeded_deadline: Counter::new(),
+    budget_exceeded_steps: Counter::new(),
+    budget_exceeded_candidates: Counter::new(),
+    budget_codel_sheds: Counter::new(),
+    solve_depth_cap_hits: Counter::new(),
     wal_appends: Counter::new(),
     wal_records: Counter::new(),
     wal_fsyncs: Counter::new(),
@@ -385,6 +419,9 @@ static METRICS: Metrics = Metrics {
     cluster_repl_frames: Counter::new(),
     cluster_degraded_answers: Counter::new(),
     cluster_repl_lag_frames: Gauge::new(),
+    router_breaker_opens: Counter::new(),
+    router_breaker_half_open_probes: Counter::new(),
+    router_breaker_rejections: Counter::new(),
 };
 
 /// The process-wide registry every layer records into.
@@ -430,6 +467,27 @@ impl Metrics {
             (
                 "cache.epoch_invalidations".into(),
                 self.cache_epoch_invalidations.get(),
+            ),
+            (
+                "budget.expired_in_queue".into(),
+                self.budget_expired_in_queue.get(),
+            ),
+            (
+                "budget.exceeded_deadline".into(),
+                self.budget_exceeded_deadline.get(),
+            ),
+            (
+                "budget.exceeded_steps".into(),
+                self.budget_exceeded_steps.get(),
+            ),
+            (
+                "budget.exceeded_candidates".into(),
+                self.budget_exceeded_candidates.get(),
+            ),
+            ("budget.codel_sheds".into(), self.budget_codel_sheds.get()),
+            (
+                "solve.depth_cap_hits".into(),
+                self.solve_depth_cap_hits.get(),
             ),
             ("wal.appends".into(), self.wal_appends.get()),
             ("wal.records".into(), self.wal_records.get()),
@@ -496,6 +554,18 @@ impl Metrics {
             (
                 "cluster.degraded_answers".into(),
                 self.cluster_degraded_answers.get(),
+            ),
+            (
+                "router.breaker_opens".into(),
+                self.router_breaker_opens.get(),
+            ),
+            (
+                "router.breaker_half_open_probes".into(),
+                self.router_breaker_half_open_probes.get(),
+            ),
+            (
+                "router.breaker_rejections".into(),
+                self.router_breaker_rejections.get(),
             ),
         ];
         for (i, c) in self.fs2_ops.iter().enumerate() {

@@ -402,6 +402,103 @@ fn killing_the_primary_loses_no_acknowledged_write() {
 }
 
 // ---------------------------------------------------------------------
+// Group 5: per-shard circuit breaker
+// ---------------------------------------------------------------------
+
+/// A dead primary trips the shard's circuit breaker after K consecutive
+/// transport failures: further requests fast-fail with the typed
+/// `ShardUnavailable` (no network touched, no worker wasted on a sick
+/// node), and after a promotion plus one cooldown the half-open probe
+/// closes the breaker again.
+#[test]
+fn breaker_opens_after_k_failures_and_recovers_via_half_open_probe() {
+    let (primary, pa) = backend();
+    let (_backup, ba) = backend();
+    let map = ShardMap {
+        shards: vec![ShardSpec {
+            primary: pa,
+            backup: Some(ba),
+        }],
+        hot: Vec::new(),
+        fingerprint: None,
+    };
+    let threshold = 3u32;
+    let cooldown = Duration::from_millis(300);
+    let cfg = RouterConfig {
+        auto_failover: false,
+        breaker_threshold: threshold,
+        breaker_cooldown: cooldown,
+        client: ClientConfig {
+            connect_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_millis(300),
+            write_timeout: Duration::from_millis(300),
+            busy_retries: 0,
+            reconnect_retries: 0,
+            ..ClientConfig::default()
+        },
+        ..RouterConfig::default()
+    };
+    let router = Router::connect(map, cfg).unwrap();
+    let mut syms = router.symbols();
+    let query = parse_term("p0(seed, X)", &mut syms).unwrap();
+
+    // Healthy: the breaker is closed and answers flow.
+    let healthy = router.retrieve(&query, SearchMode::TwoStage).unwrap();
+    assert!(healthy.stats.unified >= 1);
+
+    let opens_before = clare_trace::metrics().router_breaker_opens.get();
+    let rejections_before = clare_trace::metrics().router_breaker_rejections.get();
+
+    primary.shutdown();
+
+    // K consecutive transport failures: every one is a real backend
+    // conversation (Io/Protocol), not yet a breaker rejection.
+    for i in 0..threshold {
+        match router.retrieve(&query, SearchMode::TwoStage) {
+            Err(ClusterError::Net(_)) => {}
+            other => panic!("failure {i}: expected a transport error, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        clare_trace::metrics().router_breaker_opens.get(),
+        opens_before + 1,
+        "breaker did not open after {threshold} consecutive failures"
+    );
+
+    // Open: requests fast-fail with the typed error without touching the
+    // network (well under the cooldown, let alone a connect timeout).
+    let t0 = std::time::Instant::now();
+    match router.retrieve(&query, SearchMode::TwoStage) {
+        Err(ClusterError::ShardUnavailable { shard, retry_after }) => {
+            assert_eq!(shard, 0);
+            assert!(retry_after <= cooldown);
+        }
+        other => panic!("expected ShardUnavailable, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_millis(100),
+        "open-breaker rejection was not a fast-fail"
+    );
+    assert!(clare_trace::metrics().router_breaker_rejections.get() > rejections_before);
+
+    // Operator promotes the backup; once the cooldown elapses the next
+    // request is the half-open probe, it succeeds, and the breaker
+    // closes for everyone.
+    router.promote(0).unwrap();
+    std::thread::sleep(cooldown + Duration::from_millis(50));
+    let probes_before = clare_trace::metrics().router_breaker_half_open_probes.get();
+    let recovered = router.retrieve(&query, SearchMode::TwoStage).unwrap();
+    assert!(recovered.stats.unified >= 1, "probe answer lost data");
+    assert!(
+        clare_trace::metrics().router_breaker_half_open_probes.get() > probes_before,
+        "recovery did not go through a half-open probe"
+    );
+    for _ in 0..3 {
+        router.retrieve(&query, SearchMode::TwoStage).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
 // Group 4: fingerprint mismatch refusal
 // ---------------------------------------------------------------------
 
